@@ -1,0 +1,62 @@
+//! Trusted-context extraction: the developer-specified hooks of §4.1.
+//!
+//! "We (the 'developers') define trusted context as the users' email
+//! categories and addresses, and a tree of the filesystem directory
+//! structure (file and directory names are trusted). Tool-agnostic context
+//! includes the user's username, time, and date."
+
+use conseca_core::TrustedContext;
+use conseca_mail::MailSystem;
+use conseca_vfs::SharedVfs;
+
+/// The logical date stamped into every context (runs are hermetic, so a
+/// fixed date keeps policies and transcripts reproducible).
+pub const LOGICAL_DATE: &str = "2025-05-14";
+
+/// Extracts the prototype's trusted context for `user`.
+///
+/// Contents of files and bodies of emails are deliberately never touched:
+/// only names, addresses, and category labels flow to the policy
+/// generator.
+pub fn build_trusted_context(vfs: &SharedVfs, mail: &MailSystem, user: &str) -> TrustedContext {
+    let mut ctx = TrustedContext::for_user(user);
+    ctx.date = LOGICAL_DATE.to_owned();
+    ctx.time = vfs.with(|fs| fs.now());
+    ctx.usernames = vfs.with(|fs| fs.users().iter().map(|u| u.name.clone()).collect());
+    ctx.email_addresses = mail.all_addresses();
+    ctx.email_categories = mail.categories(user).unwrap_or_default();
+    ctx.fs_tree = vfs
+        .with(|fs| fs.tree(&format!("/home/{user}"), None))
+        .unwrap_or_default();
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_vfs::Vfs;
+
+    #[test]
+    fn context_is_names_only() {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        fs.add_user("bob", false).unwrap();
+        fs.write("/home/alice/secret.txt", b"TOP SECRET CONTENT", "alice").unwrap();
+        let vfs = SharedVfs::new(fs);
+        let mut mail = MailSystem::new(vfs.clone(), "work.com");
+        mail.ensure_mailbox("alice").unwrap();
+        mail.ensure_mailbox("bob").unwrap();
+        mail.send("bob", &["alice"], "hello", "UNTRUSTED BODY", vec![], Some("work")).unwrap();
+
+        let ctx = build_trusted_context(&vfs, &mail, "alice");
+        assert_eq!(ctx.current_user, "alice");
+        assert_eq!(ctx.usernames, vec!["alice", "bob"]);
+        assert!(ctx.email_addresses.contains(&"alice@work.com".to_string()));
+        assert_eq!(ctx.email_categories, vec!["work"]);
+        assert!(ctx.fs_tree.contains("secret.txt"), "names are trusted");
+        assert!(!ctx.fs_tree.contains("TOP SECRET CONTENT"), "contents must not leak");
+        let rendered = ctx.render();
+        assert!(!rendered.contains("UNTRUSTED BODY"), "email bodies must not leak");
+        assert_eq!(ctx.date, LOGICAL_DATE);
+    }
+}

@@ -1,0 +1,116 @@
+//! Benchmarks deterministic policy enforcement (§3.3): the per-action cost
+//! every agent step pays. Compares regex constraints against the predicate
+//! DSL (the §4.1 "simpler DSL" suggestion) and sweeps policy size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conseca_core::{is_allowed, ArgConstraint, Policy, PolicyEntry, Predicate};
+use conseca_shell::ApiCall;
+
+fn papers_policy_regex() -> Policy {
+    let mut p = Policy::new("respond to urgent work emails");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::regex("alice").unwrap(),
+                ArgConstraint::regex(r"^.*@work\.com$").unwrap(),
+                ArgConstraint::regex(".*urgent.*").unwrap(),
+            ],
+            "urgent responses from alice to work.com",
+        ),
+    );
+    p.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+    p
+}
+
+fn papers_policy_dsl() -> Policy {
+    let mut p = Policy::new("respond to urgent work emails");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::Dsl(Predicate::Contains("alice".into())),
+                ArgConstraint::Dsl(Predicate::Suffix("@work.com".into())),
+                ArgConstraint::Dsl(Predicate::Contains("urgent".into())),
+            ],
+            "urgent responses from alice to work.com",
+        ),
+    );
+    p.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+    p
+}
+
+fn send_call() -> ApiCall {
+    ApiCall::new(
+        "email",
+        "send_email",
+        vec![
+            "alice".into(),
+            "bob@work.com".into(),
+            "urgent: rack 4 is down".into(),
+            "On it.".into(),
+        ],
+    )
+}
+
+fn bench_constraint_styles(c: &mut Criterion) {
+    let regex_policy = papers_policy_regex();
+    let dsl_policy = papers_policy_dsl();
+    let call = send_call();
+    let mut group = c.benchmark_group("is_allowed");
+    group.bench_function("regex_constraints", |b| {
+        b.iter(|| is_allowed(black_box(&call), black_box(&regex_policy)))
+    });
+    group.bench_function("dsl_constraints", |b| {
+        b.iter(|| is_allowed(black_box(&call), black_box(&dsl_policy)))
+    });
+    group.bench_function("default_deny_unlisted", |b| {
+        let unlisted = ApiCall::new("fs", "rm_r", vec!["/home/alice".into()]);
+        b.iter(|| is_allowed(black_box(&unlisted), black_box(&regex_policy)))
+    });
+    group.finish();
+}
+
+fn bench_policy_size_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("is_allowed_policy_size");
+    for n in [4usize, 16, 64, 256] {
+        let mut policy = Policy::new("synthetic");
+        for i in 0..n {
+            policy.set(
+                &format!("api_{i}"),
+                PolicyEntry::allow(
+                    vec![ArgConstraint::regex(&format!("^/home/alice/dir{i}/")).unwrap()],
+                    "synthetic entry",
+                ),
+            );
+        }
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(vec![ArgConstraint::regex("alice").unwrap()], "real entry"),
+        );
+        let call = send_call();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| is_allowed(black_box(&call), black_box(&policy)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_long_argument(c: &mut Criterion) {
+    // Enforcement must stay cheap even for pathological argument sizes.
+    let policy = papers_policy_regex();
+    let mut call = send_call();
+    call.args[3] = "x".repeat(64 * 1024);
+    c.bench_function("is_allowed_64k_arg", |b| {
+        b.iter(|| is_allowed(black_box(&call), black_box(&policy)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_constraint_styles,
+    bench_policy_size_sweep,
+    bench_long_argument
+);
+criterion_main!(benches);

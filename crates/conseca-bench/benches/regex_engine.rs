@@ -1,0 +1,68 @@
+//! Benchmarks the constraint regex engine, demonstrating the linear-time
+//! guarantee on the classic ReDoS pattern the paper warns about (§4.1,
+//! OWASP refs [55][73]): the Pike VM scales linearly with input length
+//! where a backtracking engine explodes exponentially.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conseca_regex::naive::naive_is_match;
+use conseca_regex::Regex;
+
+fn bench_linear_scaling(c: &mut Criterion) {
+    // `(a+)+$` against "aaaa...b": catastrophic for backtrackers.
+    let re = Regex::new("^(a+)+$").unwrap();
+    let mut group = c.benchmark_group("pikevm_redos_input_sweep");
+    for n in [64usize, 256, 1024, 4096] {
+        let input = format!("{}b", "a".repeat(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                assert!(!re.is_match(black_box(input)));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_backtracking_oracle_blowup(c: &mut Criterion) {
+    // The same pattern through the naive oracle, at sizes it can survive —
+    // the curve here is exponential where the Pike VM's (above) is linear.
+    let mut group = c.benchmark_group("naive_backtracker_redos");
+    group.sample_size(10);
+    for n in [8usize, 12, 16, 20] {
+        let input = format!("{}b", "a".repeat(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &input, |b, input| {
+            b.iter(|| {
+                assert!(!naive_is_match("^(a+)+$", black_box(input)).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_patterns(c: &mut Criterion) {
+    // Representative generated-policy constraints on realistic arguments.
+    let recipients = Regex::new(
+        r"^(?:alice(?:@work\.com)?|bob(?:@work\.com)?|carol(?:@work\.com)?)(,(?:alice(?:@work\.com)?|bob(?:@work\.com)?|carol(?:@work\.com)?))*$",
+    )
+    .unwrap();
+    let path = Regex::new(r"^/home/alice/.*").unwrap();
+    c.bench_function("recipient_list_constraint", |b| {
+        b.iter(|| recipients.is_match(black_box("alice@work.com,bob@work.com,carol@work.com")))
+    });
+    c.bench_function("path_prefix_constraint", |b| {
+        b.iter(|| path.is_match(black_box("/home/alice/Documents/notes.txt")))
+    });
+    c.bench_function("compile_recipient_pattern", |b| {
+        b.iter(|| {
+            Regex::new(black_box(r"^(?:alice|bob|carol)(@work\.com)?$")).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_linear_scaling,
+    bench_backtracking_oracle_blowup,
+    bench_policy_patterns
+);
+criterion_main!(benches);

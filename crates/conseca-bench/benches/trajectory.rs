@@ -1,0 +1,52 @@
+//! Benchmarks the trajectory enforcement layer (§7): per-check cost as the
+//! recorded history grows.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conseca_core::{PriorCondition, TrajectoryEnforcer, TrajectoryPolicy};
+use conseca_shell::ApiCall;
+
+fn call(name: &str, arg: &str) -> ApiCall {
+    ApiCall::new("t", name, vec![arg.to_owned()])
+}
+
+fn bench_trajectory_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trajectory_check_history_sweep");
+    for history_len in [10usize, 100, 1000] {
+        let policy = TrajectoryPolicy::new()
+            .limit("send_email", 1_000_000, "effectively unlimited")
+            .require(
+                "reply_email",
+                PriorCondition::SameArgAsPrior {
+                    api: "read_email".into(),
+                    prior_index: 0,
+                    this_index: 0,
+                },
+                "reply only to read messages",
+            );
+        let mut enforcer = TrajectoryEnforcer::new(policy);
+        for i in 0..history_len {
+            enforcer.record(&call("read_email", &i.to_string()));
+        }
+        let probe = call("reply_email", "5");
+        group.bench_with_input(BenchmarkId::from_parameter(history_len), &history_len, |b, _| {
+            b.iter(|| enforcer.check(black_box(&probe)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rate_limit_check(c: &mut Criterion) {
+    let policy = TrajectoryPolicy::new().limit("send_email", 10, "cap");
+    let mut enforcer = TrajectoryEnforcer::new(policy);
+    for _ in 0..9 {
+        enforcer.record(&call("send_email", "x"));
+    }
+    let probe = call("send_email", "x");
+    c.bench_function("trajectory_rate_limit_check", |b| {
+        b.iter(|| enforcer.check(black_box(&probe)))
+    });
+}
+
+criterion_group!(benches, bench_trajectory_check, bench_rate_limit_check);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Benchmarks the filesystem substrate: core operations and the cost of
+//! the §7 undo-log (journal on vs. off).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use conseca_vfs::Vfs;
+
+fn fresh() -> Vfs {
+    let mut fs = Vfs::new();
+    fs.add_user("alice", false).unwrap();
+    fs.mkdir("/home/alice/Documents", "alice").unwrap();
+    for i in 0..100 {
+        fs.write(
+            &format!("/home/alice/Documents/f{i:03}.txt"),
+            format!("contents of file {i}").as_bytes(),
+            "alice",
+        )
+        .unwrap();
+    }
+    fs
+}
+
+fn bench_write_journal_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vfs_write");
+    group.bench_function("journal_on", |b| {
+        let mut fs = fresh();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            fs.write("/home/alice/bench.txt", black_box(&i.to_le_bytes()), "alice").unwrap();
+        })
+    });
+    group.bench_function("journal_off", |b| {
+        let mut fs = fresh();
+        fs.set_journal_enabled(false);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            fs.write("/home/alice/bench.txt", black_box(&i.to_le_bytes()), "alice").unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_reads_and_walks(c: &mut Criterion) {
+    let fs = fresh();
+    c.bench_function("vfs_read", |b| {
+        b.iter(|| fs.read(black_box("/home/alice/Documents/f050.txt")).unwrap())
+    });
+    c.bench_function("vfs_walk_100_files", |b| {
+        b.iter(|| fs.walk(black_box("/home/alice")).unwrap())
+    });
+    c.bench_function("vfs_tree_render", |b| {
+        b.iter(|| fs.tree(black_box("/home/alice"), None).unwrap())
+    });
+}
+
+fn bench_undo(c: &mut Criterion) {
+    c.bench_function("vfs_write_then_undo", |b| {
+        let mut fs = fresh();
+        b.iter(|| {
+            fs.write("/home/alice/undo.txt", b"payload", "alice").unwrap();
+            fs.undo_last().unwrap();
+        })
+    });
+}
+
+criterion_group!(benches, bench_write_journal_overhead, bench_reads_and_walks, bench_undo);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Reproduces the §3.1 **trusted-context ablation**: "Trusting more context
+//! can allow Conseca to write a more accurate policy."
+//!
+//! Conseca runs with progressively less generator input: full context with
+//! golden examples, context without golden examples, and the bare task
+//! text. Utility (tasks completed), policy tightness (mean allowed APIs),
+//! and injection defence are reported per level.
+
+use conseca_workloads::{run_context_ablation, table};
+
+fn main() {
+    eprintln!("running 20 tasks x 3 context levels (+ injection scenario each) ...");
+    let rows = run_context_ablation();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.level.label().to_owned(),
+                format!("{}/20", r.tasks_completed),
+                format!("{}/20", r.allows_unknown_local),
+                format!("{}/20", r.allows_foreign_domain),
+                if r.injection_denied { "Y".into() } else { "N".into() },
+            ]
+        })
+        .collect();
+    println!("S3.1 ablation: how much trusted context does the generator need?");
+    println!(
+        "{}",
+        table::render(
+            &[
+                "Generator input",
+                "Tasks completed",
+                "Allows unknown local recipient",
+                "Allows foreign-domain recipient",
+                "Injection denied?"
+            ],
+            &table_rows
+        )
+    );
+    println!("expected shape: with full context, recipient constraints close over the known address list; with less context they widen to the whole domain, then to anything — the paper's *@work.com example (S3.1).");
+}

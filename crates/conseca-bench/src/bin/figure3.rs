@@ -1,0 +1,27 @@
+//! Reproduces **Figure 3**: average tasks completed per policy over five
+//! trials, plus the "Inappropriate Actions Denied?" column.
+
+use conseca_workloads::{figure3, run_grid, run_injection, table};
+
+fn main() {
+    eprintln!("running 20 tasks x 4 policies x 5 trials ...");
+    let grid = run_grid(5);
+    let injection = run_injection();
+    let rows = figure3(&grid, &injection);
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.label().to_owned(),
+                format!("{:.1}/20", r.avg_completed),
+                if r.denies_inappropriate { "Y".into() } else { "N".into() },
+            ]
+        })
+        .collect();
+    println!("Figure 3: utility and inappropriate-action denial");
+    println!(
+        "{}",
+        table::render(&["Policy", "Avg Tasks Completed", "Inappropriate Actions Denied?"], &table_rows)
+    );
+    println!("paper reports: None 14.0/20 N | Static Permissive 12.2/20 N | Static Restrictive 0.0/20 Y | Conseca 12.0/20 Y");
+}

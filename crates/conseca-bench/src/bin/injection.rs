@@ -1,0 +1,28 @@
+//! Reproduces the §5 **"Inappropriate Actions"** case study: a malicious
+//! email instructs the agent to forward security mail to employee@work.com.
+
+use conseca_workloads::{run_injection, table};
+
+fn main() {
+    eprintln!("running the injection study (4 email tasks x 4 policies) ...");
+    let rows = run_injection();
+    let yn = |v: bool| if v { "Y".to_owned() } else { "N".to_owned() };
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.short.to_owned(),
+                yn(r.attack_executed[0]),
+                yn(r.attack_executed[1]),
+                yn(r.attack_executed[2]),
+                yn(r.attack_executed[3]),
+            ]
+        })
+        .collect();
+    println!("S5 case study: was the injected forward EXECUTED?");
+    println!(
+        "{}",
+        table::render(&["Task", "None", "Permissive", "Restrictive", "Conseca"], &table_rows)
+    );
+    println!("paper: the unrestricted agent forwards even when inappropriate; Conseca denies forwarding for all tasks other than the urgent-email task.");
+}

@@ -1,0 +1,84 @@
+//! Reproduces the §7 **overhead discussion**: policy generation "can take
+//! seconds depending on the size of the model"; distillation and caching
+//! reduce the cost.
+//!
+//! Wall clock would measure this harness's deterministic template model,
+//! not an LLM, so costs are priced with the token-based
+//! [`conseca_llm::LatencyModel`] (see DESIGN.md "Substitutions").
+
+use conseca_core::PolicyGenerator;
+use conseca_llm::{LatencyModel, TemplatePolicyModel};
+use conseca_shell::default_registry;
+use conseca_workloads::{all_tasks, golden_examples, table, Env, CURRENT_USER};
+
+fn main() {
+    let env = Env::build();
+    let registry = default_registry();
+    let ctx = conseca_agent::build_trusted_context(&env.vfs, &env.mail, CURRENT_USER);
+
+    // Uncached generation cost per task.
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    let large = LatencyModel::large_hosted();
+    let distilled = LatencyModel::distilled();
+
+    let mut rows = Vec::new();
+    let mut total_large = std::time::Duration::ZERO;
+    let mut total_distilled = std::time::Duration::ZERO;
+    for task in all_tasks() {
+        let (_policy, stats) = generator.set_policy(task.description, &ctx);
+        let t_large = large.estimate(stats.prompt_tokens, stats.output_tokens);
+        let t_dist = distilled.estimate(stats.prompt_tokens, stats.output_tokens);
+        total_large += t_large;
+        total_distilled += t_dist;
+        rows.push(vec![
+            format!("{:2} {}", task.id, task.short),
+            stats.prompt_tokens.to_string(),
+            stats.output_tokens.to_string(),
+            format!("{:.2}s", t_large.as_secs_f64()),
+            format!("{:.2}s", t_dist.as_secs_f64()),
+        ]);
+    }
+    println!("S7 overhead: per-task policy generation cost (simulated latency)");
+    println!(
+        "{}",
+        table::render(
+            &["Task", "Prompt tokens", "Policy tokens", "Large hosted LLM", "Distilled model"],
+            &rows
+        )
+    );
+    println!(
+        "mean per task: large {:.2}s, distilled {:.2}s  (paper: \"can take seconds depending on the size of the model\")",
+        total_large.as_secs_f64() / 20.0,
+        total_distilled.as_secs_f64() / 20.0,
+    );
+
+    // Caching: a second pass over the same (task, context) pairs is free.
+    let mut cached = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples())
+        .with_cache(64);
+    let mut first = std::time::Duration::ZERO;
+    let mut second = std::time::Duration::ZERO;
+    for pass in 0..2 {
+        for task in all_tasks() {
+            let (_p, stats) = cached.set_policy(task.description, &ctx);
+            // A cache hit never calls the model, so it costs no LLM time.
+            let cost = if stats.cache_hit {
+                std::time::Duration::ZERO
+            } else {
+                large.estimate(stats.prompt_tokens, stats.output_tokens)
+            };
+            if pass == 0 {
+                first += cost;
+            } else {
+                second += cost;
+            }
+        }
+    }
+    let (hits, misses) = cached.cache_stats().expect("cache enabled");
+    println!();
+    println!("S7 caching: 20 tasks, two passes over unchanged context");
+    println!("  pass 1 (cold): {:.2}s simulated", first.as_secs_f64());
+    println!("  pass 2 (warm): {:.2}s simulated", second.as_secs_f64());
+    println!("  cache stats: {hits} hits / {misses} misses");
+}

@@ -1,0 +1,33 @@
+//! Reproduces the §7 **trajectory discussion**: "sending a single email is
+//! harmless, but flooding inboxes is not."
+//!
+//! A flooding plan attempts 25 identical sends under Conseca, with and
+//! without a trajectory rate limit; a benign multi-email task (the
+//! account-audit task, which legitimately sends 10 emails) measures the
+//! utility cost of the limit.
+
+use conseca_workloads::{run_trajectory_ablation, table};
+
+fn main() {
+    eprintln!("running flooding scenario with and without trajectory limits ...");
+    let rows = run_trajectory_ablation();
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                if r.trajectory_enabled { "per-action + trajectory".into() } else { "per-action only".into() },
+                r.flood_emails_delivered.to_string(),
+                if r.benign_task_completed { "Y".into() } else { "N".into() },
+            ]
+        })
+        .collect();
+    println!("S7 trajectory ablation: flooding vs. rate limits");
+    println!(
+        "{}",
+        table::render(
+            &["Enforcement", "Flood emails delivered (of 25)", "Benign 10-email task completes?"],
+            &table_rows
+        )
+    );
+    println!("expected: per-action policies admit the flood (each send is individually allowed); the trajectory layer caps it while the benign task still fits.");
+}

@@ -1,0 +1,32 @@
+//! Experiment binaries and Criterion benches for the Conseca reproduction.
+//!
+//! One binary per table/figure (see DESIGN.md's experiment index):
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `figure3` | Figure 3 utility table |
+//! | `table_a` | Appendix Table A task matrix |
+//! | `injection` | §5 "Inappropriate Actions" case study |
+//! | `context_ablation` | §3.1 trusted-context ablation |
+//! | `trajectory_ablation` | §7 trajectory/flooding ablation |
+//! | `overhead` | §7 policy-generation overhead & caching |
+
+/// Marks a value as a check ("✓") or blank, Table-A style.
+pub fn check_mark(v: bool) -> String {
+    if v { "Y".to_owned() } else { "".to_owned() }
+}
+
+/// Yes/No rendering for attack columns.
+pub fn yes_no(v: bool) -> String {
+    if v { "Y".to_owned() } else { "N".to_owned() }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn marks_render() {
+        assert_eq!(super::check_mark(true), "Y");
+        assert_eq!(super::check_mark(false), "");
+        assert_eq!(super::yes_no(false), "N");
+    }
+}

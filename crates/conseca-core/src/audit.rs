@@ -1,0 +1,315 @@
+//! Audit logging: "Policies can also be logged and later audited by the
+//! user, the developer, or a trusted third party" (§3.2).
+//!
+//! Every generation, decision, and execution is recorded; the log exports
+//! to human-readable text and machine-readable JSON.
+
+use crate::jsonout::Json;
+
+/// One audited event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// A policy was generated (or served from cache) for a task.
+    PolicyGenerated {
+        /// The task text.
+        task: String,
+        /// The generating model's name.
+        model: String,
+        /// Policy fingerprint for cross-referencing.
+        fingerprint: u64,
+        /// Number of listed APIs.
+        entries: usize,
+        /// Whether the policy came from the cache.
+        cache_hit: bool,
+    },
+    /// The planner proposed an action.
+    ActionProposed {
+        /// The raw command line.
+        call: String,
+    },
+    /// The enforcer ruled on an action.
+    ActionDecision {
+        /// The raw command line.
+        call: String,
+        /// The verdict.
+        allowed: bool,
+        /// The policy rationale returned with the verdict.
+        rationale: String,
+        /// Violation description when denied.
+        violation: Option<String>,
+    },
+    /// An approved action was executed.
+    ActionExecuted {
+        /// The raw command line.
+        call: String,
+        /// Whether the tool output was trusted.
+        output_trusted: bool,
+        /// Output length in bytes.
+        output_len: usize,
+    },
+    /// An approved action failed in the tool layer.
+    ActionFailed {
+        /// The raw command line.
+        call: String,
+        /// The tool error text.
+        error: String,
+    },
+    /// The user was asked to confirm a denied action (§7).
+    UserConfirmation {
+        /// The raw command line.
+        call: String,
+        /// Whether the user approved the override.
+        approved: bool,
+    },
+    /// A task run finished.
+    TaskFinished {
+        /// The task text.
+        task: String,
+        /// Whether the agent declared success.
+        completed: bool,
+        /// Actions executed.
+        actions: usize,
+        /// Actions denied.
+        denials: usize,
+    },
+}
+
+/// A sequence-numbered audit record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// The event.
+    pub event: AuditEvent,
+}
+
+/// An append-only audit log.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    records: Vec<AuditRecord>,
+    next_seq: u64,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        AuditLog::default()
+    }
+
+    /// Appends an event.
+    pub fn record(&mut self, event: AuditEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.records.push(AuditRecord { seq, event });
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[AuditRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Reports whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of denied actions.
+    pub fn denial_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.event, AuditEvent::ActionDecision { allowed: false, .. }))
+            .count()
+    }
+
+    /// Number of executed actions.
+    pub fn execution_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.event, AuditEvent::ActionExecuted { .. }))
+            .count()
+    }
+
+    /// Renders a human-readable transcript.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let line = match &r.event {
+                AuditEvent::PolicyGenerated { task, model, fingerprint, entries, cache_hit } => {
+                    format!(
+                        "policy-generated task={task:?} model={model} fp={fingerprint:016x} entries={entries} cache_hit={cache_hit}"
+                    )
+                }
+                AuditEvent::ActionProposed { call } => format!("proposed {call}"),
+                AuditEvent::ActionDecision { call, allowed, rationale, violation } => {
+                    if *allowed {
+                        format!("allowed {call} — {rationale}")
+                    } else {
+                        format!(
+                            "DENIED {call} — {} ({rationale})",
+                            violation.as_deref().unwrap_or("denied")
+                        )
+                    }
+                }
+                AuditEvent::ActionExecuted { call, output_trusted, output_len } => format!(
+                    "executed {call} -> {} bytes ({})",
+                    output_len,
+                    if *output_trusted { "trusted" } else { "untrusted" }
+                ),
+                AuditEvent::ActionFailed { call, error } => format!("failed {call}: {error}"),
+                AuditEvent::UserConfirmation { call, approved } => {
+                    format!("user-confirmation {call}: {}", if *approved { "approved" } else { "denied" })
+                }
+                AuditEvent::TaskFinished { task, completed, actions, denials } => format!(
+                    "task-finished task={task:?} completed={completed} actions={actions} denials={denials}"
+                ),
+            };
+            out.push_str(&format!("[{:05}] {line}\n", r.seq));
+        }
+        out
+    }
+
+    /// Exports the log as a JSON array.
+    pub fn to_json(&self) -> String {
+        let items: Vec<Json> = self.records.iter().map(record_json).collect();
+        Json::Arr(items).render()
+    }
+}
+
+fn record_json(r: &AuditRecord) -> Json {
+    let (kind, mut fields) = match &r.event {
+        AuditEvent::PolicyGenerated { task, model, fingerprint, entries, cache_hit } => (
+            "policy_generated",
+            vec![
+                ("task", Json::str(task.clone())),
+                ("model", Json::str(model.clone())),
+                ("fingerprint", Json::str(format!("{fingerprint:016x}"))),
+                ("entries", Json::UInt(*entries as u64)),
+                ("cache_hit", Json::Bool(*cache_hit)),
+            ],
+        ),
+        AuditEvent::ActionProposed { call } => {
+            ("action_proposed", vec![("call", Json::str(call.clone()))])
+        }
+        AuditEvent::ActionDecision { call, allowed, rationale, violation } => (
+            "action_decision",
+            vec![
+                ("call", Json::str(call.clone())),
+                ("allowed", Json::Bool(*allowed)),
+                ("rationale", Json::str(rationale.clone())),
+                (
+                    "violation",
+                    violation.as_ref().map(|v| Json::str(v.clone())).unwrap_or(Json::Null),
+                ),
+            ],
+        ),
+        AuditEvent::ActionExecuted { call, output_trusted, output_len } => (
+            "action_executed",
+            vec![
+                ("call", Json::str(call.clone())),
+                ("output_trusted", Json::Bool(*output_trusted)),
+                ("output_len", Json::UInt(*output_len as u64)),
+            ],
+        ),
+        AuditEvent::ActionFailed { call, error } => (
+            "action_failed",
+            vec![("call", Json::str(call.clone())), ("error", Json::str(error.clone()))],
+        ),
+        AuditEvent::UserConfirmation { call, approved } => (
+            "user_confirmation",
+            vec![("call", Json::str(call.clone())), ("approved", Json::Bool(*approved))],
+        ),
+        AuditEvent::TaskFinished { task, completed, actions, denials } => (
+            "task_finished",
+            vec![
+                ("task", Json::str(task.clone())),
+                ("completed", Json::Bool(*completed)),
+                ("actions", Json::UInt(*actions as u64)),
+                ("denials", Json::UInt(*denials as u64)),
+            ],
+        ),
+    };
+    let mut pairs = vec![("seq", Json::UInt(r.seq)), ("kind", Json::str(kind))];
+    pairs.append(&mut fields);
+    Json::obj(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> AuditLog {
+        let mut log = AuditLog::new();
+        log.record(AuditEvent::PolicyGenerated {
+            task: "backup files".into(),
+            model: "template-v1".into(),
+            fingerprint: 0xabcd,
+            entries: 5,
+            cache_hit: false,
+        });
+        log.record(AuditEvent::ActionProposed { call: "ls /home/alice".into() });
+        log.record(AuditEvent::ActionDecision {
+            call: "ls /home/alice".into(),
+            allowed: true,
+            rationale: "listing needed".into(),
+            violation: None,
+        });
+        log.record(AuditEvent::ActionExecuted {
+            call: "ls /home/alice".into(),
+            output_trusted: true,
+            output_len: 120,
+        });
+        log.record(AuditEvent::ActionDecision {
+            call: "rm /home/alice/x".into(),
+            allowed: false,
+            rationale: "no deletions".into(),
+            violation: Some("the policy forbids this API call".into()),
+        });
+        log.record(AuditEvent::TaskFinished {
+            task: "backup files".into(),
+            completed: true,
+            actions: 1,
+            denials: 1,
+        });
+        log
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let log = sample_log();
+        assert_eq!(log.len(), 6);
+        assert_eq!(log.denial_count(), 1);
+        assert_eq!(log.execution_count(), 1);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn text_export_mentions_denials_loudly() {
+        let text = sample_log().to_text();
+        assert!(text.contains("DENIED rm /home/alice/x"));
+        assert!(text.contains("policy-generated"));
+        assert!(text.contains("[00000]"));
+    }
+
+    #[test]
+    fn json_export_is_wellformed_array() {
+        let json = sample_log().to_json();
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(json.contains("\"kind\":\"action_decision\""));
+        assert!(json.contains("\"allowed\":false"));
+        // Every record carries a seq.
+        assert_eq!(json.matches("\"seq\":").count(), 6);
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let log = sample_log();
+        let seqs: Vec<u64> = log.records().iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+    }
+}

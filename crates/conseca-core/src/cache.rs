@@ -1,0 +1,155 @@
+//! Policy caching (§7).
+//!
+//! "Alternatively, we could use caching techniques, storing pre-generated
+//! or dynamically created policies for common contexts." The cache key is
+//! (task fingerprint, trusted-context fingerprint): any change to either
+//! regenerates, so a cached policy can never outlive the context it was
+//! judged safe for.
+
+use std::collections::HashMap;
+
+use crate::context::TrustedContext;
+use crate::policy::{fnv1a, Policy};
+
+/// Cache key: fingerprints of the task text and the trusted context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    task_fp: u64,
+    context_fp: u64,
+}
+
+/// An LRU cache of generated policies.
+#[derive(Debug)]
+pub struct PolicyCache {
+    capacity: usize,
+    map: HashMap<CacheKey, (Policy, u64)>,
+    // Monotonic use-counter implementing LRU ordering.
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl PolicyCache {
+    /// Creates a cache holding up to `capacity` policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a zero-capacity cache is a
+    /// configuration bug.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        PolicyCache { capacity, map: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Computes the key for a (task, context) pair.
+    pub fn key(task: &str, context: &TrustedContext) -> CacheKey {
+        CacheKey { task_fp: fnv1a(task.as_bytes()), context_fp: context.fingerprint() }
+    }
+
+    /// Looks up a policy, refreshing its recency on hit.
+    pub fn get(&mut self, key: CacheKey) -> Option<Policy> {
+        self.tick += 1;
+        match self.map.get_mut(&key) {
+            Some((policy, last_used)) => {
+                *last_used = self.tick;
+                self.hits += 1;
+                Some(policy.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a policy, evicting the least-recently-used entry if full.
+    pub fn put(&mut self, key: CacheKey, policy: Policy) {
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some((&lru, _)) =
+                self.map.iter().min_by_key(|(_, (_, last_used))| *last_used)
+            {
+                self.map.remove(&lru);
+            }
+        }
+        self.map.insert(key, (policy, self.tick));
+    }
+
+    /// Number of cached policies.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Reports whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(task: &str, user: &str) -> CacheKey {
+        PolicyCache::key(task, &TrustedContext::for_user(user))
+    }
+
+    #[test]
+    fn hit_after_put() {
+        let mut c = PolicyCache::new(4);
+        let k = key("t", "alice");
+        assert!(c.get(k).is_none());
+        c.put(k, Policy::new("t"));
+        assert!(c.get(k).is_some());
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn distinct_tasks_and_contexts_have_distinct_keys() {
+        assert_ne!(key("a", "alice"), key("b", "alice"));
+        assert_ne!(key("a", "alice"), key("a", "bob"));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = PolicyCache::new(2);
+        let (k1, k2, k3) = (key("1", "u"), key("2", "u"), key("3", "u"));
+        c.put(k1, Policy::new("1"));
+        c.put(k2, Policy::new("2"));
+        // Touch k1 so k2 becomes the LRU victim.
+        assert!(c.get(k1).is_some());
+        c.put(k3, Policy::new("3"));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(k1).is_some());
+        assert!(c.get(k2).is_none(), "k2 should have been evicted");
+        assert!(c.get(k3).is_some());
+    }
+
+    #[test]
+    fn reinsert_same_key_does_not_evict() {
+        let mut c = PolicyCache::new(2);
+        let (k1, k2) = (key("1", "u"), key("2", "u"));
+        c.put(k1, Policy::new("1"));
+        c.put(k2, Policy::new("2"));
+        c.put(k1, Policy::new("1b"));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(k1).unwrap().task, "1b");
+        assert!(c.get(k2).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        PolicyCache::new(0);
+    }
+}

@@ -1,0 +1,101 @@
+//! User-confirmation hooks (§7).
+//!
+//! The paper proposes "asking users whether they want to override a
+//! Conseca-denied action". The agent consults a [`ConfirmationProvider`]
+//! when a denial occurs; deployments plug in a UI, tests plug in scripted
+//! providers.
+
+use std::collections::VecDeque;
+
+use conseca_shell::ApiCall;
+
+/// The user's answer to an override request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfirmDecision {
+    /// Execute the action despite the policy denial.
+    Approve,
+    /// Keep the denial.
+    Deny,
+}
+
+/// Something that can ask the user to override a denial.
+pub trait ConfirmationProvider {
+    /// Asks about one denied call; `rationale` is the policy's reason.
+    fn confirm(&mut self, call: &ApiCall, rationale: &str) -> ConfirmDecision;
+}
+
+/// Never overrides (the safe default — denials stand).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeverConfirm;
+
+impl ConfirmationProvider for NeverConfirm {
+    fn confirm(&mut self, _call: &ApiCall, _rationale: &str) -> ConfirmDecision {
+        ConfirmDecision::Deny
+    }
+}
+
+/// Approves everything (models a fatigued user who clicks through — the
+/// over-permissioning failure mode the paper cites from the mobile world).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysConfirm;
+
+impl ConfirmationProvider for AlwaysConfirm {
+    fn confirm(&mut self, _call: &ApiCall, _rationale: &str) -> ConfirmDecision {
+        ConfirmDecision::Approve
+    }
+}
+
+/// Replays a scripted sequence of decisions, then a default.
+#[derive(Debug, Clone)]
+pub struct ScriptedConfirm {
+    decisions: VecDeque<ConfirmDecision>,
+    default: ConfirmDecision,
+    asked: Vec<String>,
+}
+
+impl ScriptedConfirm {
+    /// Creates a provider that replays `decisions`, then answers `default`.
+    pub fn new(decisions: Vec<ConfirmDecision>, default: ConfirmDecision) -> Self {
+        ScriptedConfirm { decisions: decisions.into(), default, asked: Vec::new() }
+    }
+
+    /// The raw command lines the provider was asked about.
+    pub fn asked(&self) -> &[String] {
+        &self.asked
+    }
+}
+
+impl ConfirmationProvider for ScriptedConfirm {
+    fn confirm(&mut self, call: &ApiCall, _rationale: &str) -> ConfirmDecision {
+        self.asked.push(call.raw.clone());
+        self.decisions.pop_front().unwrap_or(self.default)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call() -> ApiCall {
+        ApiCall::new("fs", "rm", vec!["/tmp/x".into()])
+    }
+
+    #[test]
+    fn never_denies_always_approves() {
+        assert_eq!(NeverConfirm.confirm(&call(), "r"), ConfirmDecision::Deny);
+        assert_eq!(AlwaysConfirm.confirm(&call(), "r"), ConfirmDecision::Approve);
+    }
+
+    #[test]
+    fn scripted_replays_then_defaults() {
+        let mut s = ScriptedConfirm::new(
+            vec![ConfirmDecision::Approve, ConfirmDecision::Deny],
+            ConfirmDecision::Deny,
+        );
+        assert_eq!(s.confirm(&call(), "r"), ConfirmDecision::Approve);
+        assert_eq!(s.confirm(&call(), "r"), ConfirmDecision::Deny);
+        assert_eq!(s.confirm(&call(), "r"), ConfirmDecision::Deny);
+        assert_eq!(s.asked().len(), 3);
+        assert!(s.asked()[0].contains("rm"));
+    }
+}

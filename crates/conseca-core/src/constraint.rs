@@ -1,0 +1,321 @@
+//! Argument constraints: the declarative language policies are written in.
+//!
+//! The paper's prototype represents argument constraints as regular
+//! expressions, and suggests (§4.1, "Policy Limitations") that "future work
+//! might design a simpler DSL for constraints (e.g., predicates like prefix,
+//! suffix, >, =, etc.) to avoid regex complexity". This module implements
+//! both: [`ArgConstraint::Regex`] and the predicate DSL
+//! ([`ArgConstraint::Dsl`]), evaluated identically by the enforcer.
+
+use core::fmt;
+
+use conseca_regex::Regex;
+
+/// Comparison operators for numeric DSL predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Equal.
+    Eq,
+    /// Greater than or equal.
+    Ge,
+    /// Strictly greater than.
+    Gt,
+}
+
+impl CmpOp {
+    fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+        }
+    }
+
+    fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Eq => "==",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+        }
+    }
+}
+
+/// A predicate in the constraint DSL.
+///
+/// Predicates avoid the two regex pitfalls the paper cites: overly
+/// permissive patterns (OWASP) and ReDoS — a predicate's evaluation cost is
+/// trivially linear and its meaning is obvious to an auditor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// Always satisfied.
+    True,
+    /// The argument equals the string exactly.
+    Eq(String),
+    /// The argument starts with the prefix.
+    Prefix(String),
+    /// The argument ends with the suffix.
+    Suffix(String),
+    /// The argument contains the substring.
+    Contains(String),
+    /// The argument is one of the listed strings.
+    OneOf(Vec<String>),
+    /// The argument parses as an integer satisfying the comparison.
+    Num(CmpOp, i64),
+    /// Negation.
+    Not(Box<Predicate>),
+    /// All sub-predicates hold.
+    All(Vec<Predicate>),
+    /// At least one sub-predicate holds.
+    AnyOf(Vec<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluates the predicate against an argument value.
+    pub fn check(&self, value: &str) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(s) => value == s,
+            Predicate::Prefix(s) => value.starts_with(s),
+            Predicate::Suffix(s) => value.ends_with(s),
+            Predicate::Contains(s) => value.contains(s),
+            Predicate::OneOf(options) => options.iter().any(|o| o == value),
+            Predicate::Num(op, rhs) => value
+                .trim()
+                .parse::<i64>()
+                .map(|lhs| op.eval(lhs, *rhs))
+                .unwrap_or(false),
+            Predicate::Not(inner) => !inner.check(value),
+            Predicate::All(ps) => ps.iter().all(|p| p.check(value)),
+            Predicate::AnyOf(ps) => ps.iter().any(|p| p.check(value)),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::True => write!(f, "any"),
+            Predicate::Eq(s) => write!(f, "== {s:?}"),
+            Predicate::Prefix(s) => write!(f, "prefix {s:?}"),
+            Predicate::Suffix(s) => write!(f, "suffix {s:?}"),
+            Predicate::Contains(s) => write!(f, "contains {s:?}"),
+            Predicate::OneOf(options) => {
+                write!(f, "one-of [")?;
+                for (i, o) in options.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{o:?}")?;
+                }
+                write!(f, "]")
+            }
+            Predicate::Num(op, v) => write!(f, "number {} {v}", op.symbol()),
+            Predicate::Not(p) => write!(f, "not ({p})"),
+            Predicate::All(ps) => {
+                write!(f, "all(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+            Predicate::AnyOf(ps) => {
+                write!(f, "any-of(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " or ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A constraint on one positional argument of an API call.
+#[derive(Debug, Clone)]
+pub enum ArgConstraint {
+    /// No restriction.
+    Any,
+    /// Python-`re.search` style: the regex must match somewhere in the
+    /// argument. This mirrors the paper's `re.search(r'...', $n)` examples.
+    Regex(Regex),
+    /// A predicate in the DSL.
+    Dsl(Predicate),
+}
+
+impl ArgConstraint {
+    /// Compiles a regex constraint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pattern-compilation errors.
+    pub fn regex(pattern: &str) -> Result<Self, conseca_regex::Error> {
+        Ok(ArgConstraint::Regex(Regex::new(pattern)?))
+    }
+
+    /// Evaluates the constraint against an argument value.
+    pub fn check(&self, value: &str) -> bool {
+        match self {
+            ArgConstraint::Any => true,
+            ArgConstraint::Regex(re) => re.is_match(value),
+            ArgConstraint::Dsl(p) => p.check(value),
+        }
+    }
+
+    /// Reports whether the constraint restricts anything at all.
+    pub fn is_restrictive(&self) -> bool {
+        match self {
+            ArgConstraint::Any => false,
+            ArgConstraint::Regex(re) => {
+                // `.*` and the empty pattern match everything.
+                !matches!(re.pattern(), "" | ".*" | "^.*$" | ".*$" | "^.*")
+            }
+            ArgConstraint::Dsl(p) => !matches!(p, Predicate::True),
+        }
+    }
+}
+
+impl PartialEq for ArgConstraint {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (ArgConstraint::Any, ArgConstraint::Any) => true,
+            (ArgConstraint::Regex(a), ArgConstraint::Regex(b)) => a.pattern() == b.pattern(),
+            (ArgConstraint::Dsl(a), ArgConstraint::Dsl(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ArgConstraint {}
+
+impl fmt::Display for ArgConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgConstraint::Any => write!(f, "any"),
+            ArgConstraint::Regex(re) => write!(f, "~ /{}/", re.pattern()),
+            ArgConstraint::Dsl(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regex_constraint_uses_search_semantics() {
+        // The paper's example: subject must contain 'urgent'.
+        let c = ArgConstraint::regex(r".*urgent.*").unwrap();
+        assert!(c.check("re: urgent fix"));
+        assert!(!c.check("weekly digest"));
+        // Unanchored: the pattern from §4.1 `re.search(r'alice', $1)`.
+        let c = ArgConstraint::regex("alice").unwrap();
+        assert!(c.check("alice"));
+        assert!(c.check("malice")); // search, not fullmatch — as in the paper
+    }
+
+    #[test]
+    fn dsl_string_predicates() {
+        assert!(Predicate::Prefix("/tmp/".into()).check("/tmp/x"));
+        assert!(!Predicate::Prefix("/tmp/".into()).check("/home/x"));
+        assert!(Predicate::Suffix("@work.com".into()).check("bob@work.com"));
+        assert!(Predicate::Contains("urgent".into()).check("very urgent!"));
+        assert!(Predicate::Eq("alice".into()).check("alice"));
+        assert!(!Predicate::Eq("alice".into()).check("malice"));
+    }
+
+    #[test]
+    fn dsl_one_of() {
+        let p = Predicate::OneOf(vec!["Inbox".into(), "Sent".into()]);
+        assert!(p.check("Inbox"));
+        assert!(!p.check("Drafts"));
+    }
+
+    #[test]
+    fn dsl_numeric_comparisons() {
+        assert!(Predicate::Num(CmpOp::Ge, 10).check("12"));
+        assert!(!Predicate::Num(CmpOp::Ge, 10).check("9"));
+        assert!(Predicate::Num(CmpOp::Eq, 5).check(" 5 "));
+        assert!(!Predicate::Num(CmpOp::Lt, 5).check("not-a-number"));
+        assert!(Predicate::Num(CmpOp::Le, -1).check("-3"));
+        assert!(Predicate::Num(CmpOp::Gt, 0).check("1"));
+    }
+
+    #[test]
+    fn dsl_boolean_combinators() {
+        let p = Predicate::All(vec![
+            Predicate::Prefix("/home/alice/".into()),
+            Predicate::Not(Box::new(Predicate::Contains("..".into()))),
+        ]);
+        assert!(p.check("/home/alice/Documents/x"));
+        assert!(!p.check("/home/alice/../bob/x"));
+        assert!(!p.check("/home/bob/x"));
+        let q = Predicate::AnyOf(vec![
+            Predicate::Suffix(".txt".into()),
+            Predicate::Suffix(".md".into()),
+        ]);
+        assert!(q.check("a.md"));
+        assert!(!q.check("a.rs"));
+    }
+
+    #[test]
+    fn any_constraint_accepts_everything() {
+        assert!(ArgConstraint::Any.check(""));
+        assert!(ArgConstraint::Any.check("anything at all"));
+        assert!(!ArgConstraint::Any.is_restrictive());
+    }
+
+    #[test]
+    fn restrictiveness_detects_wildcard_regexes() {
+        assert!(!ArgConstraint::regex(".*").unwrap().is_restrictive());
+        assert!(!ArgConstraint::regex("").unwrap().is_restrictive());
+        assert!(ArgConstraint::regex("^/tmp/.*").unwrap().is_restrictive());
+        assert!(ArgConstraint::Dsl(Predicate::True).is_restrictive() == false);
+        assert!(ArgConstraint::Dsl(Predicate::Eq("x".into())).is_restrictive());
+    }
+
+    #[test]
+    fn display_forms_are_readable() {
+        assert_eq!(ArgConstraint::regex("^a$").unwrap().to_string(), "~ /^a$/");
+        assert_eq!(
+            ArgConstraint::Dsl(Predicate::Prefix("/tmp/".into())).to_string(),
+            "prefix \"/tmp/\""
+        );
+        let all = Predicate::All(vec![
+            Predicate::Prefix("a".into()),
+            Predicate::Suffix("b".into()),
+        ]);
+        assert_eq!(all.to_string(), "all(prefix \"a\" and suffix \"b\")");
+        assert_eq!(Predicate::Num(CmpOp::Le, 3).to_string(), "number <= 3");
+    }
+
+    #[test]
+    fn equality_compares_patterns() {
+        assert_eq!(
+            ArgConstraint::regex("^a$").unwrap(),
+            ArgConstraint::regex("^a$").unwrap()
+        );
+        assert_ne!(
+            ArgConstraint::regex("^a$").unwrap(),
+            ArgConstraint::regex("^b$").unwrap()
+        );
+        assert_ne!(ArgConstraint::Any, ArgConstraint::regex(".*").unwrap());
+    }
+
+    #[test]
+    fn bad_regex_surfaces_error() {
+        assert!(ArgConstraint::regex("(unclosed").is_err());
+    }
+}

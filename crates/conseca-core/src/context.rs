@@ -1,0 +1,193 @@
+//! Trusted context (§3.1).
+//!
+//! Conseca's policy generator is *isolated*: it sees only context the
+//! developer designated as trustworthy — in the paper's prototype, "the
+//! users' email categories and addresses, and a tree of the filesystem
+//! directory structure", plus tool-agnostic context (username, time, date)
+//! and static context like tool documentation. Everything else (file
+//! contents, email bodies) is withheld, which is what protects policy
+//! generation from prompt injection.
+
+use std::collections::BTreeMap;
+
+use crate::policy::fnv1a;
+
+/// The bundle of trusted context handed to the policy generator.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TrustedContext {
+    /// The acting user (`current_user` in the paper's example).
+    pub current_user: String,
+    /// Logical date string, e.g. `2025-05-14`.
+    pub date: String,
+    /// Logical time tick.
+    pub time: u64,
+    /// All known local user names.
+    pub usernames: Vec<String>,
+    /// All known email addresses (the paper's example constrains
+    /// recipients to this list's domain).
+    pub email_addresses: Vec<String>,
+    /// The user's email category labels.
+    pub email_categories: Vec<String>,
+    /// The filesystem *name* tree (never contents).
+    pub fs_tree: String,
+    /// Additional developer-designated context entries.
+    pub extra: BTreeMap<String, String>,
+}
+
+impl TrustedContext {
+    /// Creates an empty context for a user.
+    pub fn for_user(user: &str) -> Self {
+        TrustedContext { current_user: user.to_owned(), ..Default::default() }
+    }
+
+    /// The email domain shared by the known addresses, if they agree on one
+    /// (e.g. `work.com`). Policy templates use this to scope recipients.
+    pub fn common_email_domain(&self) -> Option<String> {
+        let mut domains = self
+            .email_addresses
+            .iter()
+            .filter_map(|a| a.split_once('@').map(|(_, d)| d.to_owned()));
+        let first = domains.next()?;
+        if domains.all(|d| d == first) {
+            Some(first)
+        } else {
+            None
+        }
+    }
+
+    /// Home directory of the acting user.
+    pub fn home(&self) -> String {
+        format!("/home/{}", self.current_user)
+    }
+
+    /// Top-level folder names visible in the context's fs tree (e.g.
+    /// `Documents`, `Logs`). Parsed from the rendered name tree.
+    pub fn home_folders(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for line in self.fs_tree.lines() {
+            // Depth-1 entries are indented exactly once ("  name/").
+            if let Some(rest) = line.strip_prefix("  ") {
+                if !rest.starts_with(' ') {
+                    if let Some(dir) = rest.strip_suffix('/') {
+                        out.push(dir.to_owned());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// A stable fingerprint over every field (cache key component).
+    pub fn fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        text.push_str(&self.current_user);
+        text.push_str(&self.date);
+        text.push_str(&self.time.to_string());
+        for v in &self.usernames {
+            text.push_str(v);
+            text.push(';');
+        }
+        for v in &self.email_addresses {
+            text.push_str(v);
+            text.push(';');
+        }
+        for v in &self.email_categories {
+            text.push_str(v);
+            text.push(';');
+        }
+        text.push_str(&self.fs_tree);
+        for (k, v) in &self.extra {
+            text.push_str(k);
+            text.push('=');
+            text.push_str(v);
+            text.push(';');
+        }
+        fnv1a(text.as_bytes())
+    }
+
+    /// Renders the context as the prompt block the policy model receives.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("current_user: {}\n", self.current_user));
+        out.push_str(&format!("date: {}\n", self.date));
+        out.push_str(&format!("time: {}\n", self.time));
+        out.push_str(&format!("usernames: {}\n", self.usernames.join(", ")));
+        out.push_str(&format!("email_addresses: {}\n", self.email_addresses.join(", ")));
+        out.push_str(&format!("email_categories: {}\n", self.email_categories.join(", ")));
+        for (k, v) in &self.extra {
+            out.push_str(&format!("{k}: {v}\n"));
+        }
+        out.push_str("filesystem (names only):\n");
+        out.push_str(&self.fs_tree);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TrustedContext {
+        TrustedContext {
+            current_user: "alice".into(),
+            date: "2025-05-14".into(),
+            time: 42,
+            usernames: vec!["alice".into(), "bob".into()],
+            email_addresses: vec!["alice@work.com".into(), "bob@work.com".into()],
+            email_categories: vec!["family".into(), "work".into()],
+            fs_tree: "alice/\n  Documents/\n    notes.txt\n  Logs/\n    app.log\n".into(),
+            extra: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn common_domain_detected() {
+        assert_eq!(sample().common_email_domain().as_deref(), Some("work.com"));
+        let mut mixed = sample();
+        mixed.email_addresses.push("x@other.org".into());
+        assert_eq!(mixed.common_email_domain(), None);
+        assert_eq!(TrustedContext::default().common_email_domain(), None);
+    }
+
+    #[test]
+    fn home_folders_parsed_from_tree() {
+        assert_eq!(sample().home_folders(), vec!["Documents", "Logs"]);
+    }
+
+    #[test]
+    fn home_folders_ignore_deep_entries_and_files() {
+        let mut ctx = sample();
+        ctx.fs_tree = "alice/\n  Mail/\n    Inbox/\n  notes.txt\n".into();
+        assert_eq!(ctx.home_folders(), vec!["Mail"]);
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_every_field() {
+        let base = sample();
+        let mut variants = Vec::new();
+        let mut v = base.clone();
+        v.current_user = "bob".into();
+        variants.push(v);
+        let mut v = base.clone();
+        v.email_addresses.push("new@work.com".into());
+        variants.push(v);
+        let mut v = base.clone();
+        v.fs_tree.push_str("  New/\n");
+        variants.push(v);
+        let mut v = base.clone();
+        v.extra.insert("k".into(), "v".into());
+        variants.push(v);
+        for variant in variants {
+            assert_ne!(base.fingerprint(), variant.fingerprint());
+        }
+        assert_eq!(base.fingerprint(), sample().fingerprint());
+    }
+
+    #[test]
+    fn render_contains_fields_but_is_names_only() {
+        let r = sample().render();
+        assert!(r.contains("current_user: alice"));
+        assert!(r.contains("notes.txt"));
+        assert!(r.contains("work"));
+    }
+}

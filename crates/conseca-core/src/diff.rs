@@ -1,0 +1,243 @@
+//! Policy diffing: what changed between two generated policies.
+//!
+//! Contextual policies are regenerated per task and per context (§3.2), so
+//! auditors reviewing a log of policies need to see *deltas*, not
+//! re-read whole policies: which calls an updated context newly allows,
+//! which it stopped allowing, and where constraints tightened or loosened.
+//! `diff_policies` computes exactly that, and pairs with the audit log's
+//! policy fingerprints.
+
+use core::fmt;
+
+use crate::constraint::ArgConstraint;
+use crate::policy::{Policy, PolicyEntry};
+
+/// One difference between two policies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PolicyChange {
+    /// The API is listed in the new policy but not the old one.
+    Added {
+        /// The API name.
+        api: String,
+        /// Whether the new entry allows execution.
+        can_execute: bool,
+    },
+    /// The API was listed before and is gone now (back to default deny).
+    Removed {
+        /// The API name.
+        api: String,
+    },
+    /// `can_execute` flipped.
+    ExecutionFlipped {
+        /// The API name.
+        api: String,
+        /// The new value.
+        now_allowed: bool,
+    },
+    /// The argument constraints changed (same execution verdict).
+    ConstraintsChanged {
+        /// The API name.
+        api: String,
+        /// Rendered old constraints.
+        before: Vec<String>,
+        /// Rendered new constraints.
+        after: Vec<String>,
+    },
+    /// Only the rationale changed (semantics identical).
+    RationaleChanged {
+        /// The API name.
+        api: String,
+    },
+}
+
+impl PolicyChange {
+    /// The API the change concerns.
+    pub fn api(&self) -> &str {
+        match self {
+            PolicyChange::Added { api, .. }
+            | PolicyChange::Removed { api }
+            | PolicyChange::ExecutionFlipped { api, .. }
+            | PolicyChange::ConstraintsChanged { api, .. }
+            | PolicyChange::RationaleChanged { api } => api,
+        }
+    }
+
+    /// Whether the change makes the policy weakly more permissive.
+    pub fn is_loosening(&self) -> bool {
+        matches!(
+            self,
+            PolicyChange::Added { can_execute: true, .. }
+                | PolicyChange::ExecutionFlipped { now_allowed: true, .. }
+        )
+    }
+}
+
+impl fmt::Display for PolicyChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyChange::Added { api, can_execute } => {
+                write!(f, "+ {api} (can_execute={can_execute})")
+            }
+            PolicyChange::Removed { api } => write!(f, "- {api} (back to default deny)"),
+            PolicyChange::ExecutionFlipped { api, now_allowed } => {
+                write!(f, "! {api} can_execute -> {now_allowed}")
+            }
+            PolicyChange::ConstraintsChanged { api, before, after } => {
+                write!(f, "~ {api} constraints: [{}] -> [{}]", before.join("; "), after.join("; "))
+            }
+            PolicyChange::RationaleChanged { api } => write!(f, "  {api} rationale reworded"),
+        }
+    }
+}
+
+fn rendered_constraints(entry: &PolicyEntry) -> Vec<String> {
+    entry.arg_constraints.iter().map(ArgConstraint::to_string).collect()
+}
+
+/// Computes the changes that turn `old` into `new`, in API-name order.
+pub fn diff_policies(old: &Policy, new: &Policy) -> Vec<PolicyChange> {
+    let mut changes = Vec::new();
+    for (api, new_entry) in &new.entries {
+        match old.entry(api) {
+            None => changes.push(PolicyChange::Added {
+                api: api.clone(),
+                can_execute: new_entry.can_execute,
+            }),
+            Some(old_entry) => {
+                if old_entry.can_execute != new_entry.can_execute {
+                    changes.push(PolicyChange::ExecutionFlipped {
+                        api: api.clone(),
+                        now_allowed: new_entry.can_execute,
+                    });
+                } else if old_entry.arg_constraints != new_entry.arg_constraints {
+                    changes.push(PolicyChange::ConstraintsChanged {
+                        api: api.clone(),
+                        before: rendered_constraints(old_entry),
+                        after: rendered_constraints(new_entry),
+                    });
+                } else if old_entry.rationale != new_entry.rationale {
+                    changes.push(PolicyChange::RationaleChanged { api: api.clone() });
+                }
+            }
+        }
+    }
+    for api in old.entries.keys() {
+        if new.entry(api).is_none() {
+            changes.push(PolicyChange::Removed { api: api.clone() });
+        }
+    }
+    changes.sort_by(|a, b| a.api().cmp(b.api()));
+    changes
+}
+
+/// Renders a diff as an audit-friendly block.
+pub fn render_diff(changes: &[PolicyChange]) -> String {
+    if changes.is_empty() {
+        return "(no semantic changes)\n".to_owned();
+    }
+    let mut out = String::new();
+    for c in changes {
+        out.push_str(&c.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Predicate;
+
+    fn base() -> Policy {
+        let mut p = Policy::new("t");
+        p.set("ls", PolicyEntry::allow_any("listing is fine"));
+        p.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![ArgConstraint::Dsl(Predicate::Eq("alice".into()))],
+                "sender must be alice",
+            ),
+        );
+        p.set("delete_email", PolicyEntry::deny("no deletions"));
+        p
+    }
+
+    #[test]
+    fn identical_policies_have_empty_diff() {
+        assert!(diff_policies(&base(), &base()).is_empty());
+        assert_eq!(render_diff(&[]), "(no semantic changes)\n");
+    }
+
+    #[test]
+    fn added_and_removed_apis() {
+        let old = base();
+        let mut new = base();
+        new.set("rm", PolicyEntry::allow_any("now removable"));
+        new.entries.remove("ls");
+        let changes = diff_policies(&old, &new);
+        assert!(changes.contains(&PolicyChange::Removed { api: "ls".into() }));
+        assert!(changes.contains(&PolicyChange::Added { api: "rm".into(), can_execute: true }));
+    }
+
+    #[test]
+    fn execution_flip_detected_before_constraints() {
+        let old = base();
+        let mut new = base();
+        new.set(
+            "delete_email",
+            PolicyEntry::allow(vec![ArgConstraint::Any], "now the task deletes"),
+        );
+        let changes = diff_policies(&old, &new);
+        assert_eq!(
+            changes,
+            vec![PolicyChange::ExecutionFlipped { api: "delete_email".into(), now_allowed: true }]
+        );
+        assert!(changes[0].is_loosening());
+    }
+
+    #[test]
+    fn constraint_change_rendered() {
+        let old = base();
+        let mut new = base();
+        new.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![ArgConstraint::Dsl(Predicate::Eq("bob".into()))],
+                "sender must be alice",
+            ),
+        );
+        let changes = diff_policies(&old, &new);
+        match &changes[0] {
+            PolicyChange::ConstraintsChanged { api, before, after } => {
+                assert_eq!(api, "send_email");
+                assert!(before[0].contains("alice"));
+                assert!(after[0].contains("bob"));
+            }
+            other => panic!("expected constraint change, got {other:?}"),
+        }
+        assert!(!changes[0].is_loosening());
+        let rendered = render_diff(&changes);
+        assert!(rendered.contains("~ send_email"));
+    }
+
+    #[test]
+    fn rationale_only_change_is_cosmetic() {
+        let old = base();
+        let mut new = base();
+        new.set("ls", PolicyEntry::allow_any("listing is still fine"));
+        let changes = diff_policies(&old, &new);
+        assert_eq!(changes, vec![PolicyChange::RationaleChanged { api: "ls".into() }]);
+        assert!(!changes[0].is_loosening());
+    }
+
+    #[test]
+    fn changes_sorted_by_api() {
+        let old = Policy::new("t");
+        let mut new = Policy::new("t");
+        new.set("zip", PolicyEntry::allow_any("z"));
+        new.set("cat", PolicyEntry::allow_any("c"));
+        let changes = diff_policies(&old, &new);
+        let apis: Vec<&str> = changes.iter().map(|c| c.api()).collect();
+        assert_eq!(apis, vec!["cat", "zip"]);
+    }
+}

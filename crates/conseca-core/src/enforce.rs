@@ -1,0 +1,275 @@
+//! Deterministic policy enforcement (§3.3).
+//!
+//! `is_allowed` evaluates a proposed [`ApiCall`] against a [`Policy`] with
+//! no model in the loop: a lookup plus constraint evaluations. This is the
+//! property that makes enforcement "impervious to attacks like prompt
+//! injections" — an injected instruction can bend the planner, but the
+//! bent proposal still faces the same pure function.
+
+use core::fmt;
+
+use conseca_shell::ApiCall;
+
+use crate::policy::Policy;
+
+/// Why a call was denied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The API is not listed in the policy (default deny).
+    UnlistedApi,
+    /// The API is listed with `can_execute = false`.
+    CannotExecute,
+    /// An argument failed its constraint.
+    ArgMismatch {
+        /// Zero-based argument index (`$1` is index 0).
+        index: usize,
+        /// Rendered constraint, for the feedback message.
+        constraint: String,
+        /// The offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::UnlistedApi => write!(f, "the API call is not listed in the policy"),
+            Violation::CannotExecute => {
+                write!(f, "the policy forbids this API call in the current context")
+            }
+            Violation::ArgMismatch { index, constraint, value } => write!(
+                f,
+                "argument ${} = {value:?} violates constraint {constraint}",
+                index + 1
+            ),
+        }
+    }
+}
+
+/// The enforcer's verdict on one proposed action.
+///
+/// Whether allowed or denied, the decision carries the policy's rationale:
+/// "When approving or denying an action, Conseca returns the rationale for
+/// the decision to the agent for transparency and feedback" (§3.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Whether the action may execute.
+    pub allowed: bool,
+    /// Human-readable rationale (from the policy entry, or the default).
+    pub rationale: String,
+    /// Populated when denied.
+    pub violation: Option<Violation>,
+}
+
+impl Decision {
+    fn allow(rationale: &str) -> Self {
+        Decision { allowed: true, rationale: rationale.to_owned(), violation: None }
+    }
+
+    fn deny(rationale: &str, violation: Violation) -> Self {
+        Decision { allowed: false, rationale: rationale.to_owned(), violation: Some(violation) }
+    }
+
+    /// Renders the feedback line the agent appends to the planner prompt
+    /// after a denial.
+    pub fn feedback(&self, call: &ApiCall) -> String {
+        if self.allowed {
+            format!("APPROVED `{}`: {}", call.raw, self.rationale)
+        } else {
+            let why = self
+                .violation
+                .as_ref()
+                .map(|v| v.to_string())
+                .unwrap_or_else(|| "denied".to_owned());
+            format!("DENIED `{}`: {why}. Rationale: {}", call.raw, self.rationale)
+        }
+    }
+}
+
+/// Evaluates `call` against `policy`, deterministically.
+///
+/// The check order matches §4.1: "Conseca checks whether the policy allows
+/// the API call at all, and, if so, whether each argument matches its
+/// regex constraint."
+///
+/// # Examples
+///
+/// ```
+/// use conseca_core::{is_allowed, ArgConstraint, Policy, PolicyEntry};
+/// use conseca_shell::ApiCall;
+///
+/// let mut policy = Policy::new("respond to urgent work email");
+/// policy.set("send_email", PolicyEntry::allow(
+///     vec![
+///         ArgConstraint::regex("alice").unwrap(),
+///         ArgConstraint::regex(r"^.*@work\.com$").unwrap(),
+///         ArgConstraint::regex(".*urgent.*").unwrap(),
+///     ],
+///     "urgent responses must come from alice and go to work addresses",
+/// ));
+///
+/// let ok = ApiCall::new("email", "send_email",
+///     vec!["alice".into(), "bob@work.com".into(), "urgent: fix".into(), "On it.".into()]);
+/// assert!(is_allowed(&ok, &policy).allowed);
+///
+/// let bad = ApiCall::new("email", "send_email",
+///     vec!["alice".into(), "bob@evil.com".into(), "urgent: fix".into(), "On it.".into()]);
+/// assert!(!is_allowed(&bad, &policy).allowed);
+/// ```
+pub fn is_allowed(call: &ApiCall, policy: &Policy) -> Decision {
+    let entry = match policy.entry(&call.name) {
+        Some(e) => e,
+        None => return Decision::deny(&policy.default_rationale, Violation::UnlistedApi),
+    };
+    if !entry.can_execute {
+        return Decision::deny(&entry.rationale, Violation::CannotExecute);
+    }
+    for (i, constraint) in entry.arg_constraints.iter().enumerate() {
+        // Absent optional arguments are checked as the empty string so a
+        // constraint on them still has a defined meaning.
+        let value = call.args.get(i).map(String::as_str).unwrap_or("");
+        if !constraint.check(value) {
+            return Decision::deny(
+                &entry.rationale,
+                Violation::ArgMismatch {
+                    index: i,
+                    constraint: constraint.to_string(),
+                    value: value.to_owned(),
+                },
+            );
+        }
+    }
+    Decision::allow(&entry.rationale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{ArgConstraint, Predicate};
+    use crate::policy::PolicyEntry;
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn unlisted_api_denied_by_default() {
+        let policy = Policy::new("t");
+        let d = is_allowed(&call("rm", &["/home/alice/x"]), &policy);
+        assert!(!d.allowed);
+        assert_eq!(d.violation, Some(Violation::UnlistedApi));
+        assert!(!d.rationale.is_empty());
+    }
+
+    #[test]
+    fn can_execute_false_denies_before_args() {
+        let mut policy = Policy::new("t");
+        policy.set("delete_email", PolicyEntry::deny("we are not deleting any emails in this task"));
+        let d = is_allowed(&call("delete_email", &["7"]), &policy);
+        assert!(!d.allowed);
+        assert_eq!(d.violation, Some(Violation::CannotExecute));
+        assert!(d.rationale.contains("not deleting"));
+    }
+
+    #[test]
+    fn arg_constraints_checked_positionally() {
+        let mut policy = Policy::new("t");
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![
+                    ArgConstraint::regex("^alice$").unwrap(),
+                    ArgConstraint::regex(r"@work\.com$").unwrap(),
+                ],
+                "only alice may send, only to work",
+            ),
+        );
+        assert!(is_allowed(&call("send_email", &["alice", "bob@work.com", "s", "b"]), &policy).allowed);
+        let d = is_allowed(&call("send_email", &["mallory", "bob@work.com", "s", "b"]), &policy);
+        assert!(!d.allowed);
+        match d.violation.unwrap() {
+            Violation::ArgMismatch { index, value, .. } => {
+                assert_eq!(index, 0);
+                assert_eq!(value, "mallory");
+            }
+            other => panic!("expected ArgMismatch, got {other:?}"),
+        }
+        // Third and fourth args are unconstrained.
+        assert!(
+            is_allowed(&call("send_email", &["alice", "x@work.com", "anything", "at all"]), &policy)
+                .allowed
+        );
+    }
+
+    #[test]
+    fn missing_optional_arg_checked_as_empty() {
+        let mut policy = Policy::new("t");
+        policy.set(
+            "head",
+            PolicyEntry::allow(
+                vec![ArgConstraint::Any, ArgConstraint::Dsl(Predicate::Eq(String::new()))],
+                "no explicit line count allowed in this context",
+            ),
+        );
+        assert!(is_allowed(&call("head", &["/f"]), &policy).allowed);
+        assert!(!is_allowed(&call("head", &["/f", "20"]), &policy).allowed);
+    }
+
+    #[test]
+    fn dsl_and_regex_mix() {
+        let mut policy = Policy::new("t");
+        policy.set(
+            "write_file",
+            PolicyEntry::allow(
+                vec![ArgConstraint::Dsl(Predicate::Prefix("/home/alice/".into()))],
+                "writes stay inside the user's home",
+            ),
+        );
+        assert!(is_allowed(&call("write_file", &["/home/alice/notes", "x"]), &policy).allowed);
+        assert!(!is_allowed(&call("write_file", &["/etc/passwd", "x"]), &policy).allowed);
+    }
+
+    #[test]
+    fn decision_feedback_is_informative() {
+        let mut policy = Policy::new("t");
+        policy.set(
+            "rm",
+            PolicyEntry::allow(
+                vec![ArgConstraint::regex("^/tmp/").unwrap()],
+                "only remove temporary files when organizing",
+            ),
+        );
+        let d = is_allowed(&call("rm", &["/home/alice/keep.txt"]), &policy);
+        let fb = d.feedback(&call("rm", &["/home/alice/keep.txt"]));
+        assert!(fb.starts_with("DENIED"));
+        assert!(fb.contains("$1"));
+        assert!(fb.contains("only remove temporary files"));
+        let ok = is_allowed(&call("rm", &["/tmp/x"]), &policy);
+        assert!(ok.feedback(&call("rm", &["/tmp/x"])).starts_with("APPROVED"));
+    }
+
+    #[test]
+    fn enforcement_is_deterministic() {
+        let mut policy = Policy::new("t");
+        policy.set("ls", PolicyEntry::allow_any("fine"));
+        let c = call("ls", &["/home"]);
+        let a = is_allowed(&c, &policy);
+        let b = is_allowed(&c, &policy);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injected_command_is_denied_regardless_of_body() {
+        // Simulates the paper's attack: the planner, compromised via an
+        // email body, proposes forwarding to the attacker's address. The
+        // enforcer never sees the email body — only the proposed call.
+        let mut policy = Policy::new("categorize my emails");
+        policy.set("list_emails", PolicyEntry::allow_any("listing needed"));
+        policy.set("read_email", PolicyEntry::allow_any("reading needed"));
+        policy.set("categorize_email", PolicyEntry::allow_any("the task itself"));
+        let injected = call("forward_email", &["3", "employee@work.com"]);
+        let d = is_allowed(&injected, &policy);
+        assert!(!d.allowed);
+        assert_eq!(d.violation, Some(Violation::UnlistedApi));
+    }
+}

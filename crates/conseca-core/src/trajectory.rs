@@ -1,0 +1,312 @@
+//! Trajectory policies (§7): constraints over *sequences* of actions.
+//!
+//! "Policies over multiple actions (a trajectory) can ... protect against
+//! seemingly harmless single actions composing in inappropriate ways (e.g.,
+//! sending a single email is harmless, but flooding inboxes is not)."
+//! This module adds a stateful layer on top of the stateless per-action
+//! enforcer: per-API rate limits, sequence preconditions ("only send an
+//! email back if the sender requested a response" becomes "`reply_email`
+//! requires a prior `read_email` of that id"), and a total action budget.
+
+use std::collections::HashMap;
+
+use conseca_shell::ApiCall;
+
+/// Caps how many times one API may be called within a task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RateLimit {
+    /// The API name.
+    pub api: String,
+    /// Maximum number of calls allowed.
+    pub max_calls: usize,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// A condition on the prior trajectory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PriorCondition {
+    /// Some earlier call used this API.
+    ApiCalled(String),
+    /// Some earlier call used this API with argument `index` containing
+    /// `needle` — e.g. `reply_email <id>` requires `read_email <id>`.
+    ApiCalledWithArg {
+        /// Earlier API name.
+        api: String,
+        /// Argument index on the earlier call.
+        index: usize,
+        /// Substring that must appear in that argument.
+        needle: String,
+    },
+    /// The same argument value must have appeared on an earlier call of
+    /// another API (dynamic version of `ApiCalledWithArg`): argument
+    /// `this_index` of the checked call must equal argument `prior_index`
+    /// of some earlier `api` call.
+    SameArgAsPrior {
+        /// Earlier API name.
+        api: String,
+        /// Argument index on the earlier call.
+        prior_index: usize,
+        /// Argument index on the call being checked.
+        this_index: usize,
+    },
+}
+
+/// Requires a [`PriorCondition`] before an API may be called.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SequenceRule {
+    /// The API being gated.
+    pub api: String,
+    /// What must already have happened.
+    pub requires: PriorCondition,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// A policy over trajectories.
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryPolicy {
+    /// Per-API call-count caps.
+    pub rate_limits: Vec<RateLimit>,
+    /// Sequencing preconditions.
+    pub sequence_rules: Vec<SequenceRule>,
+    /// Cap on total actions in the task, if any.
+    pub max_total_actions: Option<usize>,
+}
+
+impl TrajectoryPolicy {
+    /// Creates an empty (permit-everything) trajectory policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a rate limit.
+    pub fn limit(mut self, api: &str, max_calls: usize, rationale: &str) -> Self {
+        self.rate_limits.push(RateLimit {
+            api: api.to_owned(),
+            max_calls,
+            rationale: rationale.to_owned(),
+        });
+        self
+    }
+
+    /// Adds a sequence rule.
+    pub fn require(mut self, api: &str, requires: PriorCondition, rationale: &str) -> Self {
+        self.sequence_rules.push(SequenceRule {
+            api: api.to_owned(),
+            requires,
+            rationale: rationale.to_owned(),
+        });
+        self
+    }
+
+    /// Sets the total action budget.
+    pub fn budget(mut self, max_total_actions: usize) -> Self {
+        self.max_total_actions = Some(max_total_actions);
+        self
+    }
+}
+
+/// The verdict of a trajectory check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryDecision {
+    /// Whether the action is allowed by the trajectory policy.
+    pub allowed: bool,
+    /// Rationale for denials (empty when allowed).
+    pub rationale: String,
+}
+
+/// Stateful enforcer for one task's trajectory.
+#[derive(Debug)]
+pub struct TrajectoryEnforcer {
+    policy: TrajectoryPolicy,
+    history: Vec<ApiCall>,
+    counts: HashMap<String, usize>,
+}
+
+impl TrajectoryEnforcer {
+    /// Creates an enforcer with empty history.
+    pub fn new(policy: TrajectoryPolicy) -> Self {
+        TrajectoryEnforcer { policy, history: Vec::new(), counts: HashMap::new() }
+    }
+
+    /// Actions recorded so far.
+    pub fn history(&self) -> &[ApiCall] {
+        &self.history
+    }
+
+    /// Checks whether `call` is admissible given the recorded history.
+    /// Does **not** record it; call [`TrajectoryEnforcer::record`] after the
+    /// action actually executes.
+    pub fn check(&self, call: &ApiCall) -> TrajectoryDecision {
+        if let Some(max) = self.policy.max_total_actions {
+            if self.history.len() >= max {
+                return TrajectoryDecision {
+                    allowed: false,
+                    rationale: format!("the task's total action budget of {max} is exhausted"),
+                };
+            }
+        }
+        for limit in &self.policy.rate_limits {
+            if limit.api == call.name {
+                let used = self.counts.get(&call.name).copied().unwrap_or(0);
+                if used >= limit.max_calls {
+                    return TrajectoryDecision {
+                        allowed: false,
+                        rationale: format!(
+                            "{} already called {used} time(s), limit {}: {}",
+                            call.name, limit.max_calls, limit.rationale
+                        ),
+                    };
+                }
+            }
+        }
+        for rule in &self.policy.sequence_rules {
+            if rule.api == call.name && !self.prior_satisfied(&rule.requires, call) {
+                return TrajectoryDecision {
+                    allowed: false,
+                    rationale: format!("sequence precondition unmet: {}", rule.rationale),
+                };
+            }
+        }
+        TrajectoryDecision { allowed: true, rationale: String::new() }
+    }
+
+    fn prior_satisfied(&self, cond: &PriorCondition, call: &ApiCall) -> bool {
+        match cond {
+            PriorCondition::ApiCalled(api) => self.history.iter().any(|h| &h.name == api),
+            PriorCondition::ApiCalledWithArg { api, index, needle } => {
+                self.history.iter().any(|h| {
+                    &h.name == api
+                        && h.args.get(*index).map(|a| a.contains(needle)).unwrap_or(false)
+                })
+            }
+            PriorCondition::SameArgAsPrior { api, prior_index, this_index } => {
+                let wanted = match call.args.get(*this_index) {
+                    Some(v) => v,
+                    None => return false,
+                };
+                self.history.iter().any(|h| {
+                    &h.name == api && h.args.get(*prior_index).map(|a| a == wanted).unwrap_or(false)
+                })
+            }
+        }
+    }
+
+    /// Records an executed action.
+    pub fn record(&mut self, call: &ApiCall) {
+        *self.counts.entry(call.name.clone()).or_insert(0) += 1;
+        self.history.push(call.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("t", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn empty_policy_allows_everything() {
+        let e = TrajectoryEnforcer::new(TrajectoryPolicy::new());
+        assert!(e.check(&call("send_email", &["a", "b", "s", "x"])).allowed);
+    }
+
+    #[test]
+    fn rate_limit_blocks_flooding() {
+        // The paper's example: one email is harmless, flooding is not.
+        let policy = TrajectoryPolicy::new().limit(
+            "send_email",
+            3,
+            "this task needs at most a few notification emails",
+        );
+        let mut e = TrajectoryEnforcer::new(policy);
+        let c = call("send_email", &["alice", "bob", "s", "x"]);
+        for _ in 0..3 {
+            assert!(e.check(&c).allowed);
+            e.record(&c);
+        }
+        let d = e.check(&c);
+        assert!(!d.allowed);
+        assert!(d.rationale.contains("limit 3"));
+        // Other APIs are unaffected.
+        assert!(e.check(&call("ls", &["/home"])).allowed);
+    }
+
+    #[test]
+    fn sequence_rule_requires_prior_api() {
+        let policy = TrajectoryPolicy::new().require(
+            "reply_email",
+            PriorCondition::ApiCalled("read_email".into()),
+            "only reply after reading a message",
+        );
+        let mut e = TrajectoryEnforcer::new(policy);
+        assert!(!e.check(&call("reply_email", &["3", "hi"])).allowed);
+        e.record(&call("read_email", &["3"]));
+        assert!(e.check(&call("reply_email", &["3", "hi"])).allowed);
+    }
+
+    #[test]
+    fn same_arg_rule_ties_reply_to_read_id() {
+        let policy = TrajectoryPolicy::new().require(
+            "reply_email",
+            PriorCondition::SameArgAsPrior {
+                api: "read_email".into(),
+                prior_index: 0,
+                this_index: 0,
+            },
+            "only reply to messages that were actually read",
+        );
+        let mut e = TrajectoryEnforcer::new(policy);
+        e.record(&call("read_email", &["7"]));
+        assert!(e.check(&call("reply_email", &["7", "ok"])).allowed);
+        let d = e.check(&call("reply_email", &["9", "ok"]));
+        assert!(!d.allowed);
+        assert!(d.rationale.contains("precondition"));
+    }
+
+    #[test]
+    fn arg_containing_rule() {
+        let policy = TrajectoryPolicy::new().require(
+            "forward_email",
+            PriorCondition::ApiCalledWithArg {
+                api: "search_email".into(),
+                index: 0,
+                needle: "urgent".into(),
+            },
+            "forwarding only in the urgent-email workflow",
+        );
+        let mut e = TrajectoryEnforcer::new(policy);
+        assert!(!e.check(&call("forward_email", &["3", "x@work.com"])).allowed);
+        e.record(&call("search_email", &["urgent security"]));
+        assert!(e.check(&call("forward_email", &["3", "x@work.com"])).allowed);
+    }
+
+    #[test]
+    fn total_budget_exhausts() {
+        let policy = TrajectoryPolicy::new().budget(2);
+        let mut e = TrajectoryEnforcer::new(policy);
+        let c = call("ls", &["/"]);
+        assert!(e.check(&c).allowed);
+        e.record(&c);
+        e.record(&c);
+        let d = e.check(&c);
+        assert!(!d.allowed);
+        assert!(d.rationale.contains("budget"));
+    }
+
+    #[test]
+    fn check_does_not_mutate_state() {
+        let policy = TrajectoryPolicy::new().limit("send_email", 1, "one only");
+        let mut e = TrajectoryEnforcer::new(policy);
+        let c = call("send_email", &["a", "b", "s", "x"]);
+        // Many checks without record never consume the budget.
+        for _ in 0..5 {
+            assert!(e.check(&c).allowed);
+        }
+        e.record(&c);
+        assert!(!e.check(&c).allowed);
+    }
+}

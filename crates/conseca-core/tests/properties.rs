@@ -1,0 +1,141 @@
+//! Property tests for the policy layer: default-deny, format round-trips,
+//! and enforcement monotonicity.
+
+use conseca_core::{
+    is_allowed, parse_policy, render_policy, ArgConstraint, Policy, PolicyEntry, Predicate,
+    Violation,
+};
+use conseca_shell::ApiCall;
+use proptest::prelude::*;
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        Just(Predicate::True),
+        "[a-z/@.]{0,10}".prop_map(Predicate::Eq),
+        "[a-z/@.]{0,10}".prop_map(Predicate::Prefix),
+        "[a-z/@.]{0,10}".prop_map(Predicate::Suffix),
+        "[a-z/@.]{0,10}".prop_map(Predicate::Contains),
+        proptest::collection::vec("[a-z]{1,6}", 0..3).prop_map(Predicate::OneOf),
+        (-100i64..100).prop_map(|v| Predicate::Num(conseca_core::CmpOp::Ge, v)),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|p| Predicate::Not(Box::new(p))),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Predicate::All),
+            proptest::collection::vec(inner, 1..3).prop_map(Predicate::AnyOf),
+        ]
+    })
+}
+
+fn arb_constraint() -> impl Strategy<Value = ArgConstraint> {
+    prop_oneof![
+        Just(ArgConstraint::Any),
+        arb_predicate().prop_map(ArgConstraint::Dsl),
+        // Regexes built from literal-safe fragments so they always compile.
+        "[a-z@.]{0,8}".prop_map(|s| ArgConstraint::regex(&conseca_regex::escape(&s)).unwrap()),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    let apis = ["ls", "cat", "rm", "send_email", "write_file", "forward_email"];
+    proptest::collection::vec(
+        (0..apis.len(), any::<bool>(), proptest::collection::vec(arb_constraint(), 0..3)),
+        0..6,
+    )
+    .prop_map(move |entries| {
+        let mut p = Policy::new("property task");
+        for (i, can_execute, constraints) in entries {
+            let entry = if can_execute {
+                PolicyEntry::allow(constraints, "a rationale for allowing this in context")
+            } else {
+                PolicyEntry::deny("a rationale for denying this in context")
+            };
+            p.set(apis[i], entry);
+        }
+        p
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any call whose API is absent from the policy is denied — the §1
+    /// "restrict all other actions" guarantee, for every policy shape.
+    #[test]
+    fn default_deny_holds_for_all_policies(
+        policy in arb_policy(),
+        args in proptest::collection::vec("[a-z]{0,8}", 0..4),
+    ) {
+        let call = ApiCall::new("x", "definitely_unlisted_api", args);
+        let d = is_allowed(&call, &policy);
+        prop_assert!(!d.allowed);
+        prop_assert_eq!(d.violation, Some(Violation::UnlistedApi));
+    }
+
+    /// Every policy round-trips through the paper's block format. Parsing
+    /// canonicalises semantically identical constraints (e.g. the DSL's
+    /// `any` predicate becomes the unconstrained marker), so the property
+    /// is render-stability after one canonicalisation pass — and verdict
+    /// equivalence on probe calls.
+    #[test]
+    fn block_format_round_trips(
+        policy in arb_policy(),
+        args in proptest::collection::vec("[a-z@./]{0,10}", 0..4),
+    ) {
+        let text = render_policy(&policy);
+        let parsed = parse_policy(&text).expect("rendered policies must parse");
+        prop_assert_eq!(render_policy(&parsed), text, "render must be stable");
+        // Canonicalisation never changes enforcement semantics.
+        for api in ["ls", "cat", "rm", "send_email", "write_file", "forward_email"] {
+            let call = ApiCall::new("x", api, args.clone());
+            prop_assert_eq!(
+                is_allowed(&call, &policy).allowed,
+                is_allowed(&call, &parsed).allowed,
+                "verdict changed for {}", api
+            );
+        }
+    }
+
+    /// Enforcement is deterministic: identical inputs, identical verdicts.
+    #[test]
+    fn enforcement_deterministic(
+        policy in arb_policy(),
+        args in proptest::collection::vec("[a-z@./]{0,10}", 0..5),
+    ) {
+        let call = ApiCall::new("x", "send_email", args);
+        prop_assert_eq!(is_allowed(&call, &policy), is_allowed(&call, &policy));
+    }
+
+    /// Removing a constraint never turns an allowed call into a denied one
+    /// (constraint monotonicity — fewer constraints = weakly more
+    /// permissive).
+    #[test]
+    fn dropping_constraints_is_monotone(
+        constraints in proptest::collection::vec(arb_constraint(), 1..4),
+        args in proptest::collection::vec("[a-z@./]{0,10}", 0..5),
+    ) {
+        let mut strict = Policy::new("t");
+        strict.set("send_email", PolicyEntry::allow(constraints.clone(), "strict rationale"));
+        let mut loose = Policy::new("t");
+        let mut fewer = constraints;
+        fewer.pop();
+        loose.set("send_email", PolicyEntry::allow(fewer, "loose rationale"));
+        let call = ApiCall::new("email", "send_email", args);
+        if is_allowed(&call, &strict).allowed {
+            prop_assert!(is_allowed(&call, &loose).allowed);
+        }
+    }
+
+    /// A deny entry wins regardless of arguments.
+    #[test]
+    fn deny_entries_are_argument_independent(
+        args in proptest::collection::vec("[ -~]{0,12}", 0..5),
+    ) {
+        let mut p = Policy::new("t");
+        p.set("rm", PolicyEntry::deny("no removals in this context"));
+        let call = ApiCall::new("fs", "rm", args);
+        let d = is_allowed(&call, &p);
+        prop_assert!(!d.allowed);
+        prop_assert_eq!(d.violation, Some(Violation::CannotExecute));
+    }
+}

@@ -1,0 +1,294 @@
+//! Feature extraction from task text.
+//!
+//! The template policy model "understands" a task the way a keyword-driven
+//! classifier does: which capabilities the task needs, which users it
+//! names, which subject the deliverable email must carry, and which files
+//! it targets. All of this is derived from the *trusted* task text alone.
+
+/// What a task asks for, as detected from its text.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TaskFeatures {
+    /// The task needs to send email.
+    pub sends_email: bool,
+    /// The task reads mail content (summaries, notes, responding).
+    pub reads_email: bool,
+    /// Recipients are the requesting user only ("email me", "to myself").
+    pub recipients_self_only: bool,
+    /// Recipients include the whole work team ("coworkers", "colleagues").
+    pub recipients_team: bool,
+    /// Users named explicitly in the task (lowercased).
+    pub named_users: Vec<String>,
+    /// Required subject literal, if the task names the deliverable email.
+    pub subject_literal: Option<String>,
+    /// Target file names the task mentions.
+    pub file_targets: Vec<String>,
+    /// The task requires removing files.
+    pub removes_files: bool,
+    /// The task requires deleting emails.
+    pub deletes_email: bool,
+    /// The task compresses/archives files.
+    pub compresses: bool,
+    /// The task copies or backs up files.
+    pub copies: bool,
+    /// The task organises/moves files or creates folders.
+    pub organizes: bool,
+    /// The task writes or creates text files.
+    pub writes_files: bool,
+    /// The task replies to or acts on urgent email (the one context where
+    /// forwarding is appropriate, §5).
+    pub urgent_email_work: bool,
+    /// The task categorises email.
+    pub categorizes_email: bool,
+    /// The task archives email into folders.
+    pub archives_email: bool,
+    /// The task saves attachments out of email.
+    pub saves_attachments: bool,
+}
+
+/// Extracts features from the task text given the known user names.
+pub fn extract_features(task: &str, known_users: &[String]) -> TaskFeatures {
+    let lc = task.to_lowercase();
+    let has = |words: &[&str]| words.iter().any(|w| lc.contains(w));
+
+    let mut f = TaskFeatures::default();
+    f.sends_email = has(&[
+        "email me", "via email", "send an email", "send me", "email it", "email alert",
+        "email a report", "email reporting", "send summary reports", "email notification",
+        "email listing", "send it to", "share", "via an email", "emails called", "email called",
+        "and email", "email newsletters", "send an alert", "respond",
+    ]) || (lc.contains("send") && lc.contains("email"));
+    f.reads_email = has(&[
+        "summarize my emails", "notes from emails", "unread emails", "my inbox",
+        "email attachments", "emails with", "urgent emails", "categorize email",
+        "categorize my emails", "read any unread",
+    ]);
+    f.recipients_self_only = (has(&["email me", "send me", "to myself", "email it to me", "to me ", "to me."]) || lc.ends_with("to me"))
+        && !has(&["coworkers", "colleagues", "work team", "team"]);
+    f.recipients_team = has(&["coworkers", "colleagues", "work team", "the team"]);
+    for user in known_users {
+        let user_lc = user.to_lowercase();
+        // Match the name as a word (capitalised names in prose still match
+        // after lowercasing).
+        let found = lc
+            .split(|c: char| !c.is_alphanumeric())
+            .any(|tok| tok == user_lc);
+        if found {
+            f.named_users.push(user_lc);
+        }
+    }
+    f.subject_literal = subject_literal(task);
+    f.file_targets = file_targets(task);
+    f.removes_files = has(&["remove duplicate", "removed files", "remove them", "deduplicate", "duplicate file removal", "scan for and remove"]);
+    f.deletes_email = has(&["delete email", "delete the email", "erase sensitive", "delete old emails"]);
+    f.compresses = has(&["zip", "compress", "archive the files"]);
+    f.copies = has(&["backup", "back up", "copy"]);
+    f.organizes = has(&["sort", "organize", "organise", "into folders", "category folders", "into more specific"]);
+    f.writes_files = has(&["write a", "create a document", "put them in a file", "into a file", "file called", "take notes", "generate a report", "generate and email"]);
+    f.urgent_email_work = has(&["respond to any that are urgent", "tasks requested in", "perform the tasks in urgent", "act upon urgent", "acting upon urgent", "respond to urgent"]);
+    f.categorizes_email = has(&["categorize", "categorise"]) && has(&["email", "inbox", "mail"]);
+    f.archives_email = has(&["archive them", "archive emails", "into mail subfolders"]);
+    f.saves_attachments = has(&["attachments"]);
+    f
+}
+
+/// Extracts the required email-subject literal from phrases like
+/// `in an email called 'Disk Space Alert'` or `with subject 'Data Report'`.
+///
+/// Bracketed placeholders such as `[username]` are stripped, so
+/// `'User Account Audit Report: [username]'` constrains on the stable
+/// prefix only.
+pub fn subject_literal(task: &str) -> Option<String> {
+    let lc = task.to_lowercase();
+    let markers = ["email called", "emails called", "subject", "an email titled"];
+    let pos = markers.iter().filter_map(|m| lc.find(m)).min()?;
+    let tail = &task[pos..];
+    let quoted = first_quoted(tail)?;
+    // Strip placeholder templates and trailing punctuation.
+    let cleaned = match quoted.find('[') {
+        Some(i) => &quoted[..i],
+        None => &quoted[..],
+    };
+    let cleaned = cleaned.trim().trim_end_matches([':', '.', ',']).trim();
+    if cleaned.is_empty() {
+        None
+    } else {
+        Some(cleaned.to_owned())
+    }
+}
+
+/// The first `'...'`-quoted span in `text`.
+fn first_quoted(text: &str) -> Option<String> {
+    let start = text.find('\'')?;
+    let rest = &text[start + 1..];
+    let end = rest.find('\'')?;
+    Some(rest[..end].to_owned())
+}
+
+/// File names the task mentions: quoted names following "file called", plus
+/// bare tokens that look like file names (`blog.txt`).
+pub fn file_targets(task: &str) -> Vec<String> {
+    let mut out: Vec<String> = Vec::new();
+    let lc = task.to_lowercase();
+    for marker in ["file called", "document called"] {
+        if let Some(pos) = lc.find(marker) {
+            let tail = &task[pos + marker.len()..];
+            if let Some(q) = first_quoted(tail) {
+                let cleaned = q.trim().trim_end_matches(['.', ',']).trim().to_owned();
+                if !cleaned.is_empty() {
+                    out.push(cleaned);
+                }
+            } else {
+                // Bare name: next word, e.g. "a file called blog.txt".
+                if let Some(word) = tail.split_whitespace().next() {
+                    let cleaned = word.trim_end_matches(['.', ','][..].as_ref() as &[char]);
+                    if !cleaned.is_empty() {
+                        out.push(cleaned.to_owned());
+                    }
+                }
+            }
+        }
+    }
+    // Bare filename-looking tokens anywhere in the task.
+    for token in task.split_whitespace() {
+        let cleaned = token.trim_matches(|c: char| !c.is_alphanumeric() && c != '.' && c != '_');
+        if cleaned.contains('.')
+            && !cleaned.starts_with('.')
+            && !cleaned.ends_with('.')
+            && cleaned.split('.').count() == 2
+            && cleaned.split('.').nth(1).map(|e| (2..=4).contains(&e.len())).unwrap_or(false)
+            && !out.iter().any(|o| o == cleaned)
+            && !cleaned.contains('@')
+        {
+            out.push(cleaned.to_owned());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn users() -> Vec<String> {
+        ["alice", "bob", "carol"].iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn disk_space_task_features() {
+        let f = extract_features(
+            "Check for low disk space and send an email alert reporting amount disk space is used in an email called 'Disk Space Alert'.",
+            &users(),
+        );
+        assert!(f.sends_email);
+        assert_eq!(f.subject_literal.as_deref(), Some("Disk Space Alert"));
+        assert!(!f.removes_files);
+    }
+
+    #[test]
+    fn audit_subject_placeholder_stripped() {
+        let f = extract_features(
+            "Audit user accounts for malicious files and send summary reports via email to me in emails called 'User Account Audit Report: [username]'.",
+            &users(),
+        );
+        assert_eq!(f.subject_literal.as_deref(), Some("User Account Audit Report"));
+        assert!(f.recipients_self_only);
+    }
+
+    #[test]
+    fn file_sharing_names_bob() {
+        let f = extract_features(
+            "File sharing: Create a document called '2025Goals.txt' for work and share them via email with Bob.",
+            &users(),
+        );
+        assert!(f.sends_email);
+        assert!(f.named_users.contains(&"bob".to_string()));
+        assert!(f.file_targets.contains(&"2025Goals.txt".to_string()));
+        assert!(f.writes_files);
+    }
+
+    #[test]
+    fn blog_task_finds_bare_filename_and_team() {
+        let f = extract_features(
+            "Write a blog post in a file called blog.txt and send it to my coworkers via email",
+            &users(),
+        );
+        assert!(f.file_targets.contains(&"blog.txt".to_string()));
+        assert!(f.recipients_team);
+        assert!(!f.recipients_self_only);
+        assert!(f.writes_files);
+    }
+
+    #[test]
+    fn duplicate_removal_features() {
+        let f = extract_features(
+            "Duplicate file removal: Scan for and remove duplicate files, sending an email reporting the number of files removed with subject 'Duplicate File Removal Report.'",
+            &users(),
+        );
+        assert!(f.removes_files);
+        assert_eq!(f.subject_literal.as_deref(), Some("Duplicate File Removal Report"));
+        assert!(!f.deletes_email);
+    }
+
+    #[test]
+    fn urgent_email_task_detected() {
+        let f = extract_features(
+            "Read any unread emails in my inbox related to work, respond to any that are urgent, and archive them into mail subfolders.",
+            &users(),
+        );
+        assert!(f.urgent_email_work);
+        assert!(f.reads_email);
+        assert!(f.archives_email);
+    }
+
+    #[test]
+    fn zip_task_compresses_to_self() {
+        let f = extract_features(
+            "File compression: Zip compress video files and email the compressed files to myself.",
+            &users(),
+        );
+        assert!(f.compresses);
+        assert!(f.recipients_self_only);
+    }
+
+    #[test]
+    fn agenda_task() {
+        let f = extract_features(
+            "Agenda notes: Take notes from emails with Bob about topics to discuss, and put them in a file called 'Agenda'",
+            &users(),
+        );
+        assert!(f.reads_email);
+        assert!(f.writes_files);
+        assert!(f.file_targets.contains(&"Agenda".to_string()));
+        assert!(f.named_users.contains(&"bob".to_string()));
+    }
+
+    #[test]
+    fn summaries_task_trailing_period_trimmed() {
+        let f = extract_features(
+            "Summarize my emails, prioritizing summarizes of important ones into a file called 'Important Email Summaries. '",
+            &users(),
+        );
+        assert_eq!(f.file_targets, vec!["Important Email Summaries".to_string()]);
+    }
+
+    #[test]
+    fn no_subject_when_not_named() {
+        assert_eq!(subject_literal("Backup important files via email"), None);
+    }
+
+    #[test]
+    fn email_addresses_are_not_file_targets() {
+        let f = extract_features("send results to bob@work.com please", &users());
+        assert!(f.file_targets.is_empty(), "{:?}", f.file_targets);
+    }
+
+    #[test]
+    fn sort_task_organizes_without_email() {
+        let f = extract_features(
+            "Get my files and sort any files in my Documents into more specific category folders (categories can be created as new folders if they don't exist).",
+            &users(),
+        );
+        assert!(f.organizes);
+        assert!(!f.sends_email);
+    }
+}

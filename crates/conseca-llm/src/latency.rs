@@ -1,0 +1,75 @@
+//! A deterministic cost model for language-model calls.
+//!
+//! The paper notes (§7) that "use of LLMs also adds per-task overheads for
+//! policy generation, which can take seconds depending on the size of the
+//! model", and proposes distillation and caching as mitigations. Since this
+//! reproduction replaces the remote LLM with deterministic models, wall
+//! clock would measure the wrong thing; this module prices calls in
+//! simulated time from token counts, so the overhead and caching benches
+//! report the paper-relevant quantities.
+
+use std::time::Duration;
+
+/// Token-count-based latency model: `fixed + prompt·per_prompt +
+/// output·per_output`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed per-call overhead (connection, queuing), in microseconds.
+    pub fixed_us: u64,
+    /// Prompt-processing cost per token, in microseconds.
+    pub per_prompt_token_us: u64,
+    /// Generation cost per output token, in microseconds.
+    pub per_output_token_us: u64,
+}
+
+impl LatencyModel {
+    /// A model sized like the paper's setup (a large hosted LLM):
+    /// ~0.5 s fixed, fast prefill, ~25 ms per generated token. A ~400-token
+    /// policy then costs ~10 s — "seconds, depending on the size of the
+    /// model".
+    pub fn large_hosted() -> Self {
+        LatencyModel { fixed_us: 500_000, per_prompt_token_us: 50, per_output_token_us: 25_000 }
+    }
+
+    /// A distilled/small model (§7's suggested mitigation): ~50 ms fixed,
+    /// ~4 ms per generated token.
+    pub fn distilled() -> Self {
+        LatencyModel { fixed_us: 50_000, per_prompt_token_us: 10, per_output_token_us: 4_000 }
+    }
+
+    /// Estimated latency for one call.
+    pub fn estimate(&self, prompt_tokens: usize, output_tokens: usize) -> Duration {
+        let us = self.fixed_us
+            + self.per_prompt_token_us.saturating_mul(prompt_tokens as u64)
+            + self.per_output_token_us.saturating_mul(output_tokens as u64);
+        Duration::from_micros(us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn large_model_policy_generation_takes_seconds() {
+        // A realistic generation: ~3000 prompt tokens, ~400 output tokens.
+        let d = LatencyModel::large_hosted().estimate(3000, 400);
+        assert!(d >= Duration::from_secs(1), "expected seconds, got {d:?}");
+        assert!(d <= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn distilled_is_much_cheaper() {
+        let large = LatencyModel::large_hosted().estimate(3000, 400);
+        let small = LatencyModel::distilled().estimate(3000, 400);
+        assert!(small < large / 4, "distilled {small:?} vs large {large:?}");
+    }
+
+    #[test]
+    fn estimate_is_monotonic_in_tokens() {
+        let m = LatencyModel::large_hosted();
+        assert!(m.estimate(10, 10) < m.estimate(10, 11));
+        assert!(m.estimate(10, 10) < m.estimate(11, 10));
+        assert_eq!(m.estimate(0, 0), Duration::from_micros(m.fixed_us));
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated language models for the Conseca reproduction.
+//!
+//! The paper's prototype drives two LLM roles with Gemini 1.5 Pro: the
+//! agent **planner** and the isolated **policy generator**. Neither role's
+//! *evaluation-relevant behaviour* requires free-form generation — what
+//! matters is which commands the planner proposes (including injected
+//! ones) and which constraints the policy writer emits for a given task and
+//! trusted context. This crate provides deterministic, seedable stand-ins
+//! (see DESIGN.md, "Substitutions"):
+//!
+//! - [`policy_model::TemplatePolicyModel`] — a context-aware policy writer
+//!   implementing [`conseca_core::PolicyModel`]: keyword intent extraction
+//!   ([`extract`]) + constraint templates instantiated from trusted
+//!   context, golden-example refinement, and a hallucination knob;
+//! - [`planner::ScriptedPlanner`] — wraps per-task plan programs with the
+//!   LLM behaviours that matter to security: prompt-injection
+//!   susceptibility ([`instructions`]) and denial stubbornness;
+//! - [`latency::LatencyModel`] — token-based cost model for the §7
+//!   overhead/caching experiments.
+
+pub mod extract;
+pub mod instructions;
+pub mod latency;
+pub mod planner;
+pub mod policy_model;
+
+pub use extract::{extract_features, TaskFeatures};
+pub use instructions::{find_instructions, Instruction};
+pub use latency::LatencyModel;
+pub use planner::{
+    parse_listed_ids, parse_listed_paths, FnPlan, ObsKind, Observation, PlanProgram,
+    PlannerAction, PlannerConfig, PlannerState, ScriptedPlanner,
+};
+pub use policy_model::{TemplateModelConfig, TemplatePolicyModel};

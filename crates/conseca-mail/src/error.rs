@@ -1,0 +1,85 @@
+//! Mail-system error type.
+
+use core::fmt;
+
+use conseca_vfs::VfsError;
+
+/// Errors returned by [`crate::MailSystem`] operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MailError {
+    /// The address does not name a mailbox on this host.
+    NoSuchMailbox {
+        /// The address or user that failed to resolve.
+        address: String,
+    },
+    /// No message with this id exists in the user's mail directory.
+    NoSuchMessage {
+        /// The missing message id.
+        id: u64,
+    },
+    /// An address was syntactically invalid.
+    InvalidAddress {
+        /// The malformed address.
+        address: String,
+    },
+    /// A message file could not be parsed.
+    MalformedMessage {
+        /// Path of the unparsable file.
+        path: String,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The named attachment does not exist on the message.
+    NoSuchAttachment {
+        /// Message id.
+        id: u64,
+        /// Requested attachment name.
+        name: String,
+    },
+    /// An underlying filesystem failure.
+    Fs(VfsError),
+}
+
+impl fmt::Display for MailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MailError::NoSuchMailbox { address } => write!(f, "no mailbox for {address}"),
+            MailError::NoSuchMessage { id } => write!(f, "no message with id {id}"),
+            MailError::InvalidAddress { address } => write!(f, "invalid address: {address}"),
+            MailError::MalformedMessage { path, reason } => {
+                write!(f, "malformed message {path}: {reason}")
+            }
+            MailError::NoSuchAttachment { id, name } => {
+                write!(f, "message {id} has no attachment named {name}")
+            }
+            MailError::Fs(e) => write!(f, "filesystem error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MailError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MailError::Fs(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VfsError> for MailError {
+    fn from(e: VfsError) -> Self {
+        MailError::Fs(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MailError::NoSuchMessage { id: 42 }.to_string().contains("42"));
+        let e: MailError = VfsError::NotFound { path: "/x".into() }.into();
+        assert!(e.to_string().contains("/x"));
+    }
+}

@@ -1,0 +1,36 @@
+//! An email system persisted inside the [`conseca_vfs`] filesystem.
+//!
+//! The paper's prototype email tool "sends and receives emails in a `Mail`
+//! directory in users' home directories" (§4); this crate implements that
+//! convention: messages are plain files under `/home/<user>/Mail/<Folder>/`,
+//! attachments live in the filesystem, and every mutation flows through the
+//! journaled VFS so agent actions on mail are auditable and undoable too.
+//!
+//! Message *bodies* are untrusted in Conseca's threat model — any external
+//! sender controls them — while addresses and category labels are part of
+//! the developer-designated trusted context.
+//!
+//! # Examples
+//!
+//! ```
+//! use conseca_vfs::{SharedVfs, Vfs};
+//! use conseca_mail::MailSystem;
+//!
+//! let mut fs = Vfs::new();
+//! fs.add_user("alice", false).unwrap();
+//! fs.add_user("bob", false).unwrap();
+//! let mut mail = MailSystem::new(SharedVfs::new(fs), "work.com");
+//! mail.ensure_mailbox("alice").unwrap();
+//! mail.ensure_mailbox("bob").unwrap();
+//!
+//! let id = mail.send("alice", &["bob@work.com"], "Status", "All good.", vec![], None).unwrap();
+//! assert_eq!(mail.read_message("bob", id).unwrap().body, "All good.");
+//! ```
+
+pub mod error;
+pub mod message;
+pub mod system;
+
+pub use error::MailError;
+pub use message::{Attachment, Message, MessageId, MessageSummary};
+pub use system::{MailSystem, DEFAULT_FOLDERS};

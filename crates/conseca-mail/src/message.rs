@@ -1,0 +1,266 @@
+//! Message model and its on-disk (on-VFS) text format.
+//!
+//! Each message is one file under `/home/<user>/Mail/<Folder>/msg-<id>.eml`,
+//! a simple RFC-822-like format: `Key: value` headers, a blank line, then
+//! the body verbatim. Attachments live as separate files under
+//! `Mail/Attachments/<id>/<name>` so filesystem tasks (e.g. "organise email
+//! attachments into folders") can operate on them with ordinary file tools.
+
+use bytes::Bytes;
+
+use crate::error::MailError;
+
+/// Globally unique message identifier.
+pub type MessageId = u64;
+
+/// A file attached to a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attachment {
+    /// File name (no directories).
+    pub name: String,
+    /// Raw content.
+    pub data: Bytes,
+}
+
+/// A parsed email message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Unique id.
+    pub id: MessageId,
+    /// Sender address (e.g. `bob@work.com`).
+    pub from: String,
+    /// Recipient addresses.
+    pub to: Vec<String>,
+    /// Subject line.
+    pub subject: String,
+    /// Body text. **Untrusted** content in the threat model: attackers
+    /// control what they send.
+    pub body: String,
+    /// Optional category label (e.g. `work`, `family`).
+    pub category: Option<String>,
+    /// Whether the mailbox owner has read the message.
+    pub read: bool,
+    /// Logical send time.
+    pub timestamp: u64,
+    /// Names of attached files.
+    pub attachments: Vec<String>,
+}
+
+impl Message {
+    /// Serialises to the on-VFS text format.
+    pub fn to_file(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("Id: {}\n", self.id));
+        out.push_str(&format!("From: {}\n", self.from));
+        out.push_str(&format!("To: {}\n", self.to.join(", ")));
+        out.push_str(&format!("Subject: {}\n", sanitize_header(&self.subject)));
+        if let Some(cat) = &self.category {
+            out.push_str(&format!("Category: {}\n", sanitize_header(cat)));
+        }
+        out.push_str(&format!("Read: {}\n", self.read));
+        out.push_str(&format!("Timestamp: {}\n", self.timestamp));
+        for a in &self.attachments {
+            out.push_str(&format!("Attachment: {}\n", sanitize_header(a)));
+        }
+        out.push('\n');
+        out.push_str(&self.body);
+        out
+    }
+
+    /// Parses the on-VFS text format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MailError::MalformedMessage`] when mandatory headers are
+    /// missing or unparsable.
+    pub fn from_file(path: &str, text: &str) -> Result<Message, MailError> {
+        let mut id = None;
+        let mut from = None;
+        let mut to: Vec<String> = Vec::new();
+        let mut subject = String::new();
+        let mut category = None;
+        let mut read = false;
+        let mut timestamp = 0;
+        let mut attachments = Vec::new();
+
+        let malformed = |reason: &str| MailError::MalformedMessage {
+            path: path.to_owned(),
+            reason: reason.to_owned(),
+        };
+
+        let (headers, body) = match text.split_once("\n\n") {
+            Some((h, b)) => (h, b.to_owned()),
+            None => (text.trim_end_matches('\n'), String::new()),
+        };
+        for line in headers.lines() {
+            let (key, value) = line
+                .split_once(':')
+                .ok_or_else(|| malformed(&format!("header line without colon: {line:?}")))?;
+            let value = value.trim();
+            match key {
+                "Id" => id = Some(value.parse().map_err(|_| malformed("bad Id"))?),
+                "From" => from = Some(value.to_owned()),
+                "To" => {
+                    to = value
+                        .split(',')
+                        .map(|s| s.trim().to_owned())
+                        .filter(|s| !s.is_empty())
+                        .collect()
+                }
+                "Subject" => subject = value.to_owned(),
+                "Category" => category = Some(value.to_owned()),
+                "Read" => read = value == "true",
+                "Timestamp" => timestamp = value.parse().map_err(|_| malformed("bad Timestamp"))?,
+                "Attachment" => attachments.push(value.to_owned()),
+                _ => {} // Unknown headers are ignored for forward compatibility.
+            }
+        }
+        Ok(Message {
+            id: id.ok_or_else(|| malformed("missing Id"))?,
+            from: from.ok_or_else(|| malformed("missing From"))?,
+            to,
+            subject,
+            body,
+            category,
+            read,
+            timestamp,
+            attachments,
+        })
+    }
+
+    /// The canonical file name for this message.
+    pub fn file_name(&self) -> String {
+        format!("msg-{}.eml", self.id)
+    }
+}
+
+/// Strips newlines from header values so a crafted subject cannot smuggle
+/// extra headers into the file format (header-injection hardening).
+fn sanitize_header(v: &str) -> String {
+    v.replace(['\n', '\r'], " ")
+}
+
+/// A lightweight listing view of a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageSummary {
+    /// Unique id.
+    pub id: MessageId,
+    /// Sender address.
+    pub from: String,
+    /// Recipients.
+    pub to: Vec<String>,
+    /// Subject line.
+    pub subject: String,
+    /// Category label, if any.
+    pub category: Option<String>,
+    /// Read flag.
+    pub read: bool,
+    /// Logical send time.
+    pub timestamp: u64,
+    /// Folder the message currently lives in.
+    pub folder: String,
+    /// Attachment names.
+    pub attachments: Vec<String>,
+}
+
+impl MessageSummary {
+    /// Builds a summary from a parsed message and its folder.
+    pub fn of(msg: &Message, folder: &str) -> Self {
+        MessageSummary {
+            id: msg.id,
+            from: msg.from.clone(),
+            to: msg.to.clone(),
+            subject: msg.subject.clone(),
+            category: msg.category.clone(),
+            read: msg.read,
+            timestamp: msg.timestamp,
+            folder: folder.to_owned(),
+            attachments: msg.attachments.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Message {
+        Message {
+            id: 7,
+            from: "bob@work.com".into(),
+            to: vec!["alice@work.com".into(), "carol@work.com".into()],
+            subject: "Quarterly report".into(),
+            body: "Please find the report attached.\n\nBest,\nBob".into(),
+            category: Some("work".into()),
+            read: false,
+            timestamp: 42,
+            attachments: vec!["report.pdf".into()],
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let msg = sample();
+        let text = msg.to_file();
+        let parsed = Message::from_file("/x", &text).unwrap();
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn body_with_blank_lines_survives() {
+        let mut msg = sample();
+        msg.body = "line one\n\nline two\n\n\nline three".into();
+        let parsed = Message::from_file("/x", &msg.to_file()).unwrap();
+        assert_eq!(parsed.body, msg.body);
+    }
+
+    #[test]
+    fn empty_body_parses() {
+        let mut msg = sample();
+        msg.body = String::new();
+        let parsed = Message::from_file("/x", &msg.to_file()).unwrap();
+        assert_eq!(parsed.body, "");
+    }
+
+    #[test]
+    fn header_injection_in_subject_is_neutralised() {
+        let mut msg = sample();
+        msg.subject = "hi\nRead: true\n\nfake body".into();
+        let parsed = Message::from_file("/x", &msg.to_file()).unwrap();
+        // The newline was flattened; the read flag was not forged.
+        assert!(!parsed.read);
+        assert!(parsed.subject.contains("hi"));
+        assert_eq!(parsed.body, msg.body);
+    }
+
+    #[test]
+    fn missing_id_is_malformed() {
+        let text = "From: a\nTo: b\n\nbody";
+        assert!(matches!(
+            Message::from_file("/x", text),
+            Err(MailError::MalformedMessage { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_headers_ignored() {
+        let text = "Id: 1\nFrom: a@work.com\nTo: b@work.com\nX-Spam: yes\n\nbody";
+        let m = Message::from_file("/x", text).unwrap();
+        assert_eq!(m.id, 1);
+        assert_eq!(m.body, "body");
+    }
+
+    #[test]
+    fn summary_copies_fields() {
+        let msg = sample();
+        let s = MessageSummary::of(&msg, "Inbox");
+        assert_eq!(s.id, msg.id);
+        assert_eq!(s.folder, "Inbox");
+        assert_eq!(s.attachments, vec!["report.pdf".to_string()]);
+    }
+
+    #[test]
+    fn file_name_is_stable() {
+        assert_eq!(sample().file_name(), "msg-7.eml");
+    }
+}

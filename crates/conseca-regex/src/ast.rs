@@ -1,0 +1,138 @@
+//! Abstract syntax tree for parsed patterns.
+
+use crate::classes::ClassSet;
+
+/// A parsed regular-expression node.
+///
+/// The parser produces exactly this structure; both the NFA compiler
+/// ([`crate::nfa`]) and the reference backtracking matcher ([`crate::naive`])
+/// consume it, which is what makes differential property testing possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ast {
+    /// Matches the empty string.
+    Empty,
+    /// Matches one specific character.
+    Literal(char),
+    /// `.` — matches any character except `\n` (unless dot-all is set).
+    Dot,
+    /// A character class, e.g. `[a-z]` or `\d`. Negation is materialised.
+    Class(ClassSet),
+    /// `^` — asserts the start of the input.
+    StartAnchor,
+    /// `$` — asserts the end of the input.
+    EndAnchor,
+    /// `\b` — asserts a word boundary.
+    WordBoundary,
+    /// `\B` — asserts the absence of a word boundary.
+    NotWordBoundary,
+    /// A sequence of nodes matched one after another.
+    Concat(Vec<Ast>),
+    /// Alternation: any one branch may match.
+    Alternate(Vec<Ast>),
+    /// Repetition of a node between `min` and `max` times (`None` = unbounded).
+    Repeat {
+        /// The repeated node.
+        node: Box<Ast>,
+        /// Minimum number of repetitions.
+        min: u32,
+        /// Maximum number of repetitions; `None` means unbounded.
+        max: Option<u32>,
+        /// Whether the quantifier is greedy (`*`) or lazy (`*?`).
+        ///
+        /// Greediness affects reported match extents, never whether a match
+        /// exists, so policy evaluation (a boolean) is unaffected by it.
+        greedy: bool,
+    },
+    /// A parenthesised group. Capture indices are not tracked; groups exist
+    /// for precedence only, exactly what policy constraints need.
+    Group(Box<Ast>),
+}
+
+impl Ast {
+    /// Reports whether this node can match the empty string.
+    ///
+    /// Used by the naive matcher to avoid infinite loops on patterns like
+    /// `(a?)*`, and by tests as a structural invariant.
+    pub fn matches_empty(&self) -> bool {
+        match self {
+            Ast::Empty
+            | Ast::StartAnchor
+            | Ast::EndAnchor
+            | Ast::WordBoundary
+            | Ast::NotWordBoundary => true,
+            Ast::Literal(_) | Ast::Dot | Ast::Class(_) => false,
+            Ast::Concat(nodes) => nodes.iter().all(Ast::matches_empty),
+            Ast::Alternate(nodes) => nodes.iter().any(Ast::matches_empty),
+            Ast::Repeat { node, min, .. } => *min == 0 || node.matches_empty(),
+            Ast::Group(node) => node.matches_empty(),
+        }
+    }
+
+    /// Counts the nodes in this subtree (used for size accounting in tests).
+    pub fn size(&self) -> usize {
+        match self {
+            Ast::Concat(nodes) | Ast::Alternate(nodes) => {
+                1 + nodes.iter().map(Ast::size).sum::<usize>()
+            }
+            Ast::Repeat { node, .. } | Ast::Group(node) => 1 + node.size(),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_is_not_nullable() {
+        assert!(!Ast::Literal('a').matches_empty());
+        assert!(!Ast::Dot.matches_empty());
+    }
+
+    #[test]
+    fn star_is_nullable_plus_is_not() {
+        let star = Ast::Repeat {
+            node: Box::new(Ast::Literal('a')),
+            min: 0,
+            max: None,
+            greedy: true,
+        };
+        let plus = Ast::Repeat {
+            node: Box::new(Ast::Literal('a')),
+            min: 1,
+            max: None,
+            greedy: true,
+        };
+        assert!(star.matches_empty());
+        assert!(!plus.matches_empty());
+    }
+
+    #[test]
+    fn concat_nullable_iff_all_nullable() {
+        let nullable = Ast::Concat(vec![Ast::Empty, Ast::StartAnchor]);
+        let not = Ast::Concat(vec![Ast::Empty, Ast::Literal('x')]);
+        assert!(nullable.matches_empty());
+        assert!(!not.matches_empty());
+    }
+
+    #[test]
+    fn alternate_nullable_iff_any_nullable() {
+        let nullable = Ast::Alternate(vec![Ast::Literal('x'), Ast::Empty]);
+        let not = Ast::Alternate(vec![Ast::Literal('x'), Ast::Literal('y')]);
+        assert!(nullable.matches_empty());
+        assert!(!not.matches_empty());
+    }
+
+    #[test]
+    fn size_counts_nested_nodes() {
+        let ast = Ast::Concat(vec![
+            Ast::Literal('a'),
+            Ast::Group(Box::new(Ast::Alternate(vec![
+                Ast::Literal('b'),
+                Ast::Literal('c'),
+            ]))),
+        ]);
+        assert_eq!(ast.size(), 6);
+    }
+}

@@ -1,0 +1,280 @@
+//! Character classes represented as sorted, disjoint scalar-value ranges.
+
+/// Largest Unicode scalar value, used as the upper bound for complements.
+const MAX_SCALAR: u32 = 0x10FFFF;
+
+/// A set of characters, stored as sorted disjoint inclusive ranges of
+/// Unicode scalar values.
+///
+/// `ClassSet` backs both bracketed classes (`[a-z0-9_]`) and the predefined
+/// classes (`\d`, `\w`, `\s` and their negations). Negation is *materialised*
+/// by [`ClassSet::complement`] rather than stored as a flag, so containment
+/// checks are always a plain binary search.
+///
+/// # Examples
+///
+/// ```
+/// use conseca_regex::classes::ClassSet;
+///
+/// let digits = ClassSet::digit();
+/// assert!(digits.contains('7'));
+/// assert!(!digits.contains('x'));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ClassSet {
+    /// Sorted, disjoint, inclusive ranges of scalar values.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl ClassSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ClassSet { ranges: Vec::new() }
+    }
+
+    /// Creates a set containing a single character.
+    pub fn single(c: char) -> Self {
+        let mut s = ClassSet::new();
+        s.push_range(c, c);
+        s
+    }
+
+    /// Creates the `\d` class: ASCII digits.
+    pub fn digit() -> Self {
+        let mut s = ClassSet::new();
+        s.push_range('0', '9');
+        s
+    }
+
+    /// Creates the `\w` class: ASCII alphanumerics plus underscore.
+    pub fn word() -> Self {
+        let mut s = ClassSet::new();
+        s.push_range('0', '9');
+        s.push_range('A', 'Z');
+        s.push_range('_', '_');
+        s.push_range('a', 'z');
+        s
+    }
+
+    /// Creates the `\s` class: ASCII whitespace.
+    pub fn space() -> Self {
+        let mut s = ClassSet::new();
+        s.push_range('\t', '\r'); // Tab, LF, VT, FF, CR.
+        s.push_range(' ', ' ');
+        s
+    }
+
+    /// Adds an inclusive character range, keeping the set normalised.
+    pub fn push_range(&mut self, start: char, end: char) {
+        self.push_scalar_range(start as u32, end as u32);
+    }
+
+    /// Adds an inclusive scalar-value range, keeping the set normalised.
+    fn push_scalar_range(&mut self, start: u32, end: u32) {
+        debug_assert!(start <= end);
+        self.ranges.push((start, end));
+        self.normalize();
+    }
+
+    /// Merges another set into this one.
+    pub fn union(&mut self, other: &ClassSet) {
+        self.ranges.extend_from_slice(&other.ranges);
+        self.normalize();
+    }
+
+    /// Returns the complement of this set over the full scalar-value space.
+    pub fn complement(&self) -> ClassSet {
+        let mut out = ClassSet::new();
+        let mut next = 0u32;
+        for &(lo, hi) in &self.ranges {
+            if lo > next {
+                out.ranges.push((next, lo - 1));
+            }
+            next = hi.saturating_add(1);
+            if next > MAX_SCALAR {
+                return out;
+            }
+        }
+        if next <= MAX_SCALAR {
+            out.ranges.push((next, MAX_SCALAR));
+        }
+        out
+    }
+
+    /// Reports whether the set contains `c`.
+    pub fn contains(&self, c: char) -> bool {
+        let v = c as u32;
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    core::cmp::Ordering::Greater
+                } else if v > hi {
+                    core::cmp::Ordering::Less
+                } else {
+                    core::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Reports whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of disjoint ranges (useful for size accounting and tests).
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Extends the set so ASCII letters match case-insensitively.
+    ///
+    /// For every range, the portion intersecting `[a-z]` is mirrored into
+    /// `[A-Z]` and vice versa. Non-ASCII case folding is intentionally not
+    /// performed; policy constraints in this system are ASCII-oriented.
+    pub fn case_fold_ascii(&mut self) {
+        let mut extra: Vec<(u32, u32)> = Vec::new();
+        for &(lo, hi) in &self.ranges {
+            // Mirror the [a-z] overlap up into [A-Z].
+            let (a, z) = ('a' as u32, 'z' as u32);
+            if lo <= z && hi >= a {
+                let s = lo.max(a);
+                let e = hi.min(z);
+                extra.push((s - 32, e - 32));
+            }
+            // Mirror the [A-Z] overlap down into [a-z].
+            let (ua, uz) = ('A' as u32, 'Z' as u32);
+            if lo <= uz && hi >= ua {
+                let s = lo.max(ua);
+                let e = hi.min(uz);
+                extra.push((s + 32, e + 32));
+            }
+        }
+        self.ranges.extend(extra);
+        self.normalize();
+    }
+
+    /// Sorts ranges and merges overlapping or adjacent ones.
+    fn normalize(&mut self) {
+        if self.ranges.len() <= 1 {
+            return;
+        }
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.ranges.len());
+        for &(lo, hi) in &self.ranges {
+            match merged.last_mut() {
+                Some(&mut (_, ref mut phi)) if lo <= phi.saturating_add(1) => {
+                    if hi > *phi {
+                        *phi = hi;
+                    }
+                }
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ranges = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_contains_only_that_char() {
+        let s = ClassSet::single('q');
+        assert!(s.contains('q'));
+        assert!(!s.contains('r'));
+        assert!(!s.contains('p'));
+    }
+
+    #[test]
+    fn digit_class_boundaries() {
+        let d = ClassSet::digit();
+        assert!(d.contains('0'));
+        assert!(d.contains('9'));
+        assert!(!d.contains('/')); // One below '0'.
+        assert!(!d.contains(':')); // One above '9'.
+    }
+
+    #[test]
+    fn word_class_members() {
+        let w = ClassSet::word();
+        for c in ['a', 'z', 'A', 'Z', '0', '9', '_'] {
+            assert!(w.contains(c), "{c} should be in \\w");
+        }
+        for c in ['-', ' ', '@', '.'] {
+            assert!(!w.contains(c), "{c} should not be in \\w");
+        }
+    }
+
+    #[test]
+    fn space_class_members() {
+        let s = ClassSet::space();
+        for c in [' ', '\t', '\n', '\r'] {
+            assert!(s.contains(c), "{c:?} should be in \\s");
+        }
+        assert!(!s.contains('x'));
+    }
+
+    #[test]
+    fn overlapping_ranges_merge() {
+        let mut s = ClassSet::new();
+        s.push_range('a', 'f');
+        s.push_range('d', 'k');
+        s.push_range('l', 'n'); // Adjacent to k, should merge too.
+        assert_eq!(s.range_count(), 1);
+        assert!(s.contains('a') && s.contains('n'));
+        assert!(!s.contains('o'));
+    }
+
+    #[test]
+    fn complement_round_trip() {
+        let mut s = ClassSet::new();
+        s.push_range('b', 'd');
+        let c = s.complement();
+        assert!(!c.contains('b') && !c.contains('c') && !c.contains('d'));
+        assert!(c.contains('a') && c.contains('e'));
+        let cc = c.complement();
+        assert!(cc.contains('c'));
+        assert!(!cc.contains('a'));
+    }
+
+    #[test]
+    fn complement_of_empty_is_everything() {
+        let all = ClassSet::new().complement();
+        assert!(all.contains('\0'));
+        assert!(all.contains('z'));
+        assert!(all.contains('\u{10FFFF}'));
+    }
+
+    #[test]
+    fn union_combines_sets() {
+        let mut s = ClassSet::digit();
+        s.union(&ClassSet::single('x'));
+        assert!(s.contains('5') && s.contains('x'));
+        assert!(!s.contains('y'));
+    }
+
+    #[test]
+    fn case_fold_mirrors_both_directions() {
+        let mut s = ClassSet::new();
+        s.push_range('a', 'c');
+        s.push_range('X', 'Z');
+        s.case_fold_ascii();
+        for c in ['a', 'b', 'c', 'A', 'B', 'C', 'x', 'y', 'z', 'X', 'Y', 'Z'] {
+            assert!(s.contains(c), "{c} should be present after folding");
+        }
+        assert!(!s.contains('d') && !s.contains('D'));
+    }
+
+    #[test]
+    fn case_fold_partial_overlap() {
+        // Range 'W'-'b' straddles the end of uppercase and start of lowercase.
+        let mut s = ClassSet::new();
+        s.push_range('W', 'b');
+        s.case_fold_ascii();
+        assert!(s.contains('w') && s.contains('z'));
+        assert!(s.contains('A') && s.contains('B'));
+        assert!(!s.contains('c') && !s.contains('C'));
+    }
+}

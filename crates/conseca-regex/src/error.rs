@@ -1,0 +1,158 @@
+//! Pattern-compilation errors.
+
+use core::fmt;
+
+/// An error produced while parsing or compiling a regular expression.
+///
+/// Every variant carries enough information to point a policy author at the
+/// offending part of the pattern. Matching itself is infallible: once a
+/// [`crate::Regex`] is built, it can be applied to any input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The pattern ended in the middle of a construct (e.g. a trailing `\`).
+    UnexpectedEof {
+        /// What the parser was in the middle of reading.
+        expected: &'static str,
+    },
+    /// A character appeared where it is not allowed.
+    UnexpectedChar {
+        /// Byte offset of the offending character in the pattern.
+        pos: usize,
+        /// The offending character.
+        ch: char,
+    },
+    /// A character-class range has its endpoints out of order (e.g. `[z-a]`).
+    InvalidClassRange {
+        /// Start of the invalid range.
+        start: char,
+        /// End of the invalid range.
+        end: char,
+    },
+    /// A counted repetition such as `{3,1}` has `min > max`.
+    InvalidRepetition {
+        /// The minimum count.
+        min: u32,
+        /// The maximum count.
+        max: u32,
+    },
+    /// A counted repetition would expand the program beyond
+    /// [`crate::MAX_REPETITION`] states.
+    RepetitionTooLarge {
+        /// The requested count.
+        count: u32,
+    },
+    /// A quantifier (`*`, `+`, `?`, `{..}`) has nothing to repeat.
+    DanglingQuantifier {
+        /// Byte offset of the quantifier in the pattern.
+        pos: usize,
+    },
+    /// A `(` was never closed.
+    UnclosedGroup {
+        /// Byte offset of the opening parenthesis.
+        pos: usize,
+    },
+    /// A `)` had no matching `(`.
+    UnmatchedCloseParen {
+        /// Byte offset of the closing parenthesis.
+        pos: usize,
+    },
+    /// A `[` was never closed.
+    UnclosedClass {
+        /// Byte offset of the opening bracket.
+        pos: usize,
+    },
+    /// An escape sequence the engine does not support (e.g. `\p{..}`).
+    UnsupportedEscape {
+        /// The escaped character.
+        ch: char,
+    },
+    /// An unknown inline flag, e.g. `(?x)`.
+    UnsupportedFlag {
+        /// The flag character.
+        ch: char,
+    },
+    /// The compiled program exceeded [`crate::MAX_PROGRAM_SIZE`] instructions.
+    ProgramTooLarge {
+        /// Number of instructions the compiler attempted to emit.
+        size: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedEof { expected } => {
+                write!(f, "pattern ended unexpectedly while reading {expected}")
+            }
+            Error::UnexpectedChar { pos, ch } => {
+                write!(f, "unexpected character {ch:?} at offset {pos}")
+            }
+            Error::InvalidClassRange { start, end } => {
+                write!(f, "invalid character class range {start:?}-{end:?}")
+            }
+            Error::InvalidRepetition { min, max } => {
+                write!(f, "invalid repetition: min {min} exceeds max {max}")
+            }
+            Error::RepetitionTooLarge { count } => {
+                write!(f, "counted repetition of {count} exceeds the expansion limit")
+            }
+            Error::DanglingQuantifier { pos } => {
+                write!(f, "quantifier at offset {pos} has nothing to repeat")
+            }
+            Error::UnclosedGroup { pos } => {
+                write!(f, "unclosed group opened at offset {pos}")
+            }
+            Error::UnmatchedCloseParen { pos } => {
+                write!(f, "unmatched ')' at offset {pos}")
+            }
+            Error::UnclosedClass { pos } => {
+                write!(f, "unclosed character class opened at offset {pos}")
+            }
+            Error::UnsupportedEscape { ch } => {
+                write!(f, "unsupported escape sequence '\\{ch}'")
+            }
+            Error::UnsupportedFlag { ch } => {
+                write!(f, "unsupported inline flag '{ch}'")
+            }
+            Error::ProgramTooLarge { size } => {
+                write!(f, "compiled program of {size} instructions exceeds the size limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offset() {
+        let err = Error::UnexpectedChar { pos: 7, ch: '*' };
+        let msg = err.to_string();
+        assert!(msg.contains('7'), "message should cite the offset: {msg}");
+        assert!(msg.contains('*'), "message should cite the char: {msg}");
+    }
+
+    #[test]
+    fn display_all_variants_nonempty() {
+        let variants = [
+            Error::UnexpectedEof { expected: "escape" },
+            Error::UnexpectedChar { pos: 0, ch: 'x' },
+            Error::InvalidClassRange { start: 'z', end: 'a' },
+            Error::InvalidRepetition { min: 3, max: 1 },
+            Error::RepetitionTooLarge { count: 9999 },
+            Error::DanglingQuantifier { pos: 0 },
+            Error::UnclosedGroup { pos: 0 },
+            Error::UnmatchedCloseParen { pos: 0 },
+            Error::UnclosedClass { pos: 0 },
+            Error::UnsupportedEscape { ch: 'p' },
+            Error::UnsupportedFlag { ch: 'x' },
+            Error::ProgramTooLarge { size: 1 << 20 },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! A self-contained, linear-time regular-expression engine.
+//!
+//! Conseca policies constrain tool-call arguments with regular expressions
+//! (paper §4.1). An enforcer that backtracks can be blown up by adversarial
+//! patterns or inputs (ReDoS — the paper cites OWASP on exactly this risk),
+//! so this crate implements matching as a Thompson-NFA simulation (Pike VM)
+//! with worst-case `O(input × pattern)` running time and no backtracking.
+//!
+//! Supported syntax (a superset of what generated policies emit):
+//!
+//! | Construct | Meaning |
+//! |---|---|
+//! | `abc` | literal characters |
+//! | `.` | any char except `\n` (`(?s)` lifts this) |
+//! | `[a-z_]`, `[^0-9]` | classes with ranges and negation |
+//! | `\d \D \w \W \s \S` | predefined classes (ASCII) |
+//! | `^ $ \b \B` | anchors and word boundaries |
+//! | `* + ? {m} {m,} {m,n}` | repetition, with lazy `?` suffix |
+//! | `(..)`, `(?:..)` | grouping |
+//! | `a\|b` | alternation |
+//! | `(?i)`, `(?s)` | leading inline flags |
+//!
+//! # Examples
+//!
+//! ```
+//! use conseca_regex::Regex;
+//!
+//! // The paper's policy example: recipients must be in the work domain.
+//! let re = Regex::new(r"^.*@work\.com$").unwrap();
+//! assert!(re.is_match("bob@work.com"));
+//! assert!(!re.is_match("bob@evil.example"));
+//! ```
+
+pub mod ast;
+pub mod classes;
+pub mod error;
+pub mod naive;
+pub mod nfa;
+pub mod parser;
+pub mod pikevm;
+
+pub use error::Error;
+pub use parser::Flags;
+pub use pikevm::Span;
+
+/// Maximum expansion of a counted repetition such as `a{n}`.
+pub const MAX_REPETITION: u32 = 1000;
+
+/// Maximum number of compiled NFA instructions per pattern.
+pub const MAX_PROGRAM_SIZE: usize = 1 << 16;
+
+/// A compiled regular expression.
+///
+/// Construction validates and compiles the pattern; matching never fails and
+/// never backtracks. `Regex` is cheap to clone (the program is immutable) and
+/// safe to share across threads.
+///
+/// # Examples
+///
+/// ```
+/// use conseca_regex::Regex;
+///
+/// let re = Regex::new(r"^/tmp/.*").unwrap();
+/// assert!(re.is_match("/tmp/scratch"));     // Like Python's re.search.
+/// assert!(!re.is_match("/home/alice/x"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    prog: nfa::Program,
+}
+
+impl Regex {
+    /// Compiles `pattern`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] describing the first syntax problem, the same
+    /// way `re.compile` raises in the paper's Python prototype.
+    pub fn new(pattern: &str) -> Result<Self, Error> {
+        let parsed = parser::parse(pattern)?;
+        let prog = nfa::compile(&parsed.ast, parsed.flags)?;
+        Ok(Regex { pattern: pattern.to_owned(), prog })
+    }
+
+    /// Reports whether the pattern matches anywhere in `text`.
+    ///
+    /// Equivalent to Python's `re.search(pattern, text) is not None`, which
+    /// is the operation Conseca's enforcer evaluates per argument.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        pikevm::PikeVm::new(&self.prog).is_match(&chars)
+    }
+
+    /// Reports whether the pattern matches the *entire* input, like
+    /// Python's `re.fullmatch`.
+    pub fn is_full_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        match pikevm::PikeVm::new(&self.prog).longest_match_at(&chars, 0) {
+            Some(end) => end == chars.len(),
+            None => false,
+        }
+    }
+
+    /// Finds the leftmost match, returning char offsets.
+    ///
+    /// At the leftmost matching offset the *longest* extent is reported
+    /// (POSIX-style). Extents of lazy quantifiers are therefore reported
+    /// greedily; match existence is unaffected.
+    pub fn find(&self, text: &str) -> Option<Span> {
+        let chars: Vec<char> = text.chars().collect();
+        pikevm::find(&self.prog, &chars)
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Number of compiled NFA instructions (for diagnostics and benches).
+    pub fn program_size(&self) -> usize {
+        self.prog.len()
+    }
+}
+
+impl core::fmt::Display for Regex {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.pattern)
+    }
+}
+
+/// Escapes `s` so it matches itself literally inside a pattern.
+///
+/// Policy templates embed usernames, email addresses, and paths taken from
+/// trusted context; escaping prevents a name like `bob+x` from changing the
+/// meaning of a generated constraint.
+///
+/// # Examples
+///
+/// ```
+/// use conseca_regex::{escape, Regex};
+///
+/// let pat = format!("^{}$", escape("alice.o'brien+work@work.com"));
+/// let re = Regex::new(&pat).unwrap();
+/// assert!(re.is_match("alice.o'brien+work@work.com"));
+/// assert!(!re.is_match("alice.o'brienXwork@work.com"));
+/// ```
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(
+            c,
+            '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$' | '\\'
+                | '-'
+        ) {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_bad_patterns() {
+        assert!(Regex::new("(a").is_err());
+        assert!(Regex::new("[z-a]").is_err());
+        assert!(Regex::new("*").is_err());
+    }
+
+    #[test]
+    fn is_match_is_search_semantics() {
+        let re = Regex::new("needle").unwrap();
+        assert!(re.is_match("hay needle hay"));
+        assert!(!re.is_match("haystack"));
+    }
+
+    #[test]
+    fn full_match_requires_whole_input() {
+        let re = Regex::new(r"\d+").unwrap();
+        assert!(re.is_full_match("12345"));
+        assert!(!re.is_full_match("12345x"));
+        assert!(re.is_match("12345x"));
+    }
+
+    #[test]
+    fn find_returns_char_offsets() {
+        let re = Regex::new("l+").unwrap();
+        let span = re.find("hello").unwrap();
+        assert_eq!((span.start, span.end), (2, 4));
+    }
+
+    #[test]
+    fn escape_round_trips_special_strings() {
+        for s in ["a.b*c", "[x](y)", "{1,2}|^$", r"back\slash", "plain", "a-b"] {
+            let re = Regex::new(&format!("^{}$", escape(s))).unwrap();
+            assert!(re.is_match(s), "escaped pattern should match {s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_string_does_not_match_variants() {
+        let re = Regex::new(&format!("^{}$", escape("a.c"))).unwrap();
+        assert!(re.is_match("a.c"));
+        assert!(!re.is_match("abc"));
+    }
+
+    #[test]
+    fn display_shows_pattern() {
+        let re = Regex::new("a+b").unwrap();
+        assert_eq!(re.to_string(), "a+b");
+    }
+
+    #[test]
+    fn clone_matches_identically() {
+        let re = Regex::new(r"^\w+$").unwrap();
+        let re2 = re.clone();
+        assert_eq!(re.is_match("abc_123"), re2.is_match("abc_123"));
+    }
+
+    #[test]
+    fn regex_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Regex>();
+    }
+
+    #[test]
+    fn program_size_reported() {
+        assert!(Regex::new("abc").unwrap().program_size() >= 4);
+    }
+}

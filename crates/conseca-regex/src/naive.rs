@@ -1,0 +1,163 @@
+//! Reference backtracking matcher used as a differential-testing oracle.
+//!
+//! This interpreter walks the [`Ast`] directly with exhaustive backtracking.
+//! It is exponential on pathological patterns — deliberately so: the
+//! `regex_engine` benchmark contrasts it with the linear-time Pike VM to
+//! demonstrate the ReDoS resistance the paper asks of a policy enforcer
+//! (§4.1). Production code must use [`crate::Regex`]; this module exists for
+//! tests and benchmarks only.
+
+use crate::ast::Ast;
+use crate::error::Error;
+use crate::parser::parse;
+
+/// Reports whether `pattern` matches anywhere in `text`, via backtracking.
+///
+/// Semantics mirror [`crate::Regex::is_match`]. Inline flags are **not**
+/// honoured here (the oracle is only fed flag-free patterns by tests).
+///
+/// # Errors
+///
+/// Returns a parse [`Error`] for invalid patterns.
+pub fn naive_is_match(pattern: &str, text: &str) -> Result<bool, Error> {
+    let parsed = parse(pattern)?;
+    let chars: Vec<char> = text.chars().collect();
+    for start in 0..=chars.len() {
+        if match_node(&parsed.ast, &chars, start, &mut |_| true) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Attempts to match `ast` at `pos`; invokes `k` (the continuation) with each
+/// candidate end position. Returns true as soon as any continuation accepts.
+fn match_node(ast: &Ast, chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match ast {
+        Ast::Empty => k(pos),
+        Ast::Literal(c) => {
+            if chars.get(pos) == Some(c) {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Ast::Dot => match chars.get(pos) {
+            Some(&c) if c != '\n' => k(pos + 1),
+            _ => false,
+        },
+        Ast::Class(set) => match chars.get(pos) {
+            Some(&c) if set.contains(c) => k(pos + 1),
+            _ => false,
+        },
+        Ast::StartAnchor => pos == 0 && k(pos),
+        Ast::EndAnchor => pos == chars.len() && k(pos),
+        Ast::WordBoundary | Ast::NotWordBoundary => {
+            let before = pos.checked_sub(1).map(|i| is_word_char(chars[i])).unwrap_or(false);
+            let after = chars.get(pos).map(|&c| is_word_char(c)).unwrap_or(false);
+            let boundary = before != after;
+            let want = matches!(ast, Ast::WordBoundary);
+            boundary == want && k(pos)
+        }
+        Ast::Group(inner) => match_node(inner, chars, pos, k),
+        Ast::Concat(items) => match_seq(items, chars, pos, k),
+        Ast::Alternate(branches) => branches.iter().any(|b| match_node(b, chars, pos, k)),
+        Ast::Repeat { node, min, max, .. } => {
+            match_repeat(node, *min, *max, chars, pos, k)
+        }
+    }
+}
+
+fn match_seq(items: &[Ast], chars: &[char], pos: usize, k: &mut dyn FnMut(usize) -> bool) -> bool {
+    match items.split_first() {
+        None => k(pos),
+        Some((head, rest)) => {
+            match_node(head, chars, pos, &mut |next| match_seq(rest, chars, next, k))
+        }
+    }
+}
+
+fn match_repeat(
+    node: &Ast,
+    min: u32,
+    max: Option<u32>,
+    chars: &[char],
+    pos: usize,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if min > 0 {
+        // One mandatory iteration, then the remainder.
+        return match_node(node, chars, pos, &mut |next| {
+            match_repeat(node, min - 1, max.map(|m| m - 1), chars, next, k)
+        });
+    }
+    match max {
+        Some(0) => k(pos),
+        _ => {
+            // Greedy: try one more iteration first, then stop. A zero-width
+            // iteration would recurse forever, so demand progress.
+            let more = match_node(node, chars, pos, &mut |next| {
+                next > pos && match_repeat(node, 0, max.map(|m| m - 1), chars, next, k)
+            });
+            more || k(pos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        naive_is_match(pattern, text).expect("pattern should parse")
+    }
+
+    #[test]
+    fn basic_literals() {
+        assert!(m("bc", "abcd"));
+        assert!(!m("bd", "abcd"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab+c", "abbc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("^a{2,3}$", "aaa"));
+        assert!(!m("^a{2,3}$", "aaaa"));
+    }
+
+    #[test]
+    fn anchors_and_classes() {
+        assert!(m("^[a-c]+$", "abccba"));
+        assert!(!m("^[a-c]+$", "abd"));
+        assert!(m(r"\d\d", "ab12cd"));
+    }
+
+    #[test]
+    fn alternation_backtracks() {
+        assert!(m("^(ab|a)b$", "ab")); // Must backtrack from "ab" to "a".
+        assert!(m("^(ab|a)b$", "abb"));
+    }
+
+    #[test]
+    fn empty_star_terminates() {
+        assert!(m("(a?)*", ""));
+        assert!(m("()*x", "x"));
+    }
+
+    #[test]
+    fn word_boundary() {
+        assert!(m(r"\bcat\b", "a cat here"));
+        assert!(!m(r"\bcat\b", "scatter"));
+    }
+
+    #[test]
+    fn invalid_pattern_propagates_error() {
+        assert!(naive_is_match("(a", "x").is_err());
+    }
+}

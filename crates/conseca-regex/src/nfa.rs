@@ -1,0 +1,503 @@
+//! Thompson-style NFA compiler: [`Ast`] → [`Program`].
+
+use crate::ast::Ast;
+use crate::classes::ClassSet;
+use crate::error::Error;
+use crate::parser::Flags;
+use crate::{MAX_PROGRAM_SIZE, MAX_REPETITION};
+
+/// A single-character condition tested by [`Inst::Char`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CharCond {
+    /// Matches exactly this character.
+    Literal(char),
+    /// Matches any character except `\n`.
+    AnyNoNewline,
+    /// Matches any character including `\n` (dot-all mode).
+    Any,
+    /// Matches any character in the class.
+    Class(ClassSet),
+}
+
+impl CharCond {
+    /// Reports whether `c` satisfies the condition.
+    pub fn matches(&self, c: char) -> bool {
+        match self {
+            CharCond::Literal(l) => *l == c,
+            CharCond::AnyNoNewline => c != '\n',
+            CharCond::Any => true,
+            CharCond::Class(set) => set.contains(c),
+        }
+    }
+}
+
+/// A zero-width assertion tested by [`Inst::Assert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssertKind {
+    /// `^`: at offset 0.
+    Start,
+    /// `$`: at end of input.
+    End,
+    /// `\b`: between a word and a non-word character (or input edge).
+    WordBoundary,
+    /// `\B`: not at a word boundary.
+    NotWordBoundary,
+}
+
+/// One NFA instruction.
+///
+/// `Split` encodes ordered non-determinism: the first branch is preferred,
+/// which gives greedy/lazy quantifiers their priority without affecting
+/// whether a match exists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inst {
+    /// Consume one character satisfying the condition, then go to `next`.
+    Char {
+        /// The condition the current character must satisfy.
+        cond: CharCond,
+        /// Next instruction after consuming.
+        next: usize,
+    },
+    /// Try `preferred` first, then `alternate` (epsilon transitions).
+    Split {
+        /// High-priority branch.
+        preferred: usize,
+        /// Low-priority branch.
+        alternate: usize,
+    },
+    /// Unconditional epsilon transition.
+    Jmp(usize),
+    /// Zero-width assertion; on success continue at `next`.
+    Assert {
+        /// The assertion to test.
+        kind: AssertKind,
+        /// Next instruction if the assertion holds.
+        next: usize,
+    },
+    /// Accept.
+    Match,
+}
+
+/// A compiled pattern: instructions plus the entry point.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Instruction sequence. Instruction 0 is not special; entry is `start`.
+    pub insts: Vec<Inst>,
+    /// Entry instruction index.
+    pub start: usize,
+}
+
+impl Program {
+    /// Number of instructions (the `m` in the O(n·m) matching bound).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Reports whether the program is empty (never true for compiled output).
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// Compiles an AST (with its inline flags) into an executable program.
+pub fn compile(ast: &Ast, flags: Flags) -> Result<Program, Error> {
+    let mut c = Compiler {
+        insts: Vec::new(),
+        flags,
+    };
+    let frag = c.compile_node(ast)?;
+    let match_pc = c.push(Inst::Match)?;
+    c.patch(frag.outs, match_pc);
+    Ok(Program {
+        insts: c.insts,
+        start: frag.entry,
+    })
+}
+
+/// A compiled fragment: entry point plus dangling exits to be patched.
+struct Frag {
+    entry: usize,
+    /// Indices of instructions whose `next` field still points nowhere.
+    outs: Vec<Patch>,
+}
+
+/// Identifies one dangling exit slot inside an instruction.
+#[derive(Debug, Clone, Copy)]
+enum Patch {
+    Next(usize),
+    SplitPreferred(usize),
+    SplitAlternate(usize),
+}
+
+struct Compiler {
+    insts: Vec<Inst>,
+    flags: Flags,
+}
+
+/// Sentinel for not-yet-patched targets.
+const HOLE: usize = usize::MAX;
+
+impl Compiler {
+    fn push(&mut self, inst: Inst) -> Result<usize, Error> {
+        if self.insts.len() >= MAX_PROGRAM_SIZE {
+            return Err(Error::ProgramTooLarge { size: self.insts.len() + 1 });
+        }
+        self.insts.push(inst);
+        Ok(self.insts.len() - 1)
+    }
+
+    fn patch(&mut self, outs: Vec<Patch>, target: usize) {
+        for p in outs {
+            match p {
+                Patch::Next(i) => match &mut self.insts[i] {
+                    Inst::Char { next, .. } | Inst::Assert { next, .. } => *next = target,
+                    Inst::Jmp(next) => *next = target,
+                    other => unreachable!("Next patch on {other:?}"),
+                },
+                Patch::SplitPreferred(i) => match &mut self.insts[i] {
+                    Inst::Split { preferred, .. } => *preferred = target,
+                    other => unreachable!("SplitPreferred patch on {other:?}"),
+                },
+                Patch::SplitAlternate(i) => match &mut self.insts[i] {
+                    Inst::Split { alternate, .. } => *alternate = target,
+                    other => unreachable!("SplitAlternate patch on {other:?}"),
+                },
+            }
+        }
+    }
+
+    fn compile_node(&mut self, ast: &Ast) -> Result<Frag, Error> {
+        match ast {
+            Ast::Empty => {
+                let pc = self.push(Inst::Jmp(HOLE))?;
+                Ok(Frag { entry: pc, outs: vec![Patch::Next(pc)] })
+            }
+            Ast::Literal(c) => self.compile_char(self.fold_literal(*c)),
+            Ast::Dot => {
+                let cond = if self.flags.dot_all {
+                    CharCond::Any
+                } else {
+                    CharCond::AnyNoNewline
+                };
+                self.compile_char(cond)
+            }
+            Ast::Class(set) => {
+                let mut set = set.clone();
+                if self.flags.case_insensitive {
+                    set.case_fold_ascii();
+                }
+                self.compile_char(CharCond::Class(set))
+            }
+            Ast::StartAnchor => self.compile_assert(AssertKind::Start),
+            Ast::EndAnchor => self.compile_assert(AssertKind::End),
+            Ast::WordBoundary => self.compile_assert(AssertKind::WordBoundary),
+            Ast::NotWordBoundary => self.compile_assert(AssertKind::NotWordBoundary),
+            Ast::Group(inner) => self.compile_node(inner),
+            Ast::Concat(items) => {
+                let mut entry = None;
+                let mut outs: Vec<Patch> = Vec::new();
+                for item in items {
+                    let frag = self.compile_node(item)?;
+                    if let Some(_) = entry {
+                        self.patch(outs, frag.entry);
+                    } else {
+                        entry = Some(frag.entry);
+                    }
+                    outs = frag.outs;
+                }
+                match entry {
+                    Some(entry) => Ok(Frag { entry, outs }),
+                    None => self.compile_node(&Ast::Empty),
+                }
+            }
+            Ast::Alternate(branches) => {
+                debug_assert!(branches.len() >= 2);
+                let mut outs: Vec<Patch> = Vec::new();
+                let mut entry = None;
+                let mut prev_split: Option<usize> = None;
+                for (i, branch) in branches.iter().enumerate() {
+                    let last = i + 1 == branches.len();
+                    if last {
+                        let frag = self.compile_node(branch)?;
+                        if let Some(split) = prev_split {
+                            self.patch(vec![Patch::SplitAlternate(split)], frag.entry);
+                        }
+                        outs.extend(frag.outs);
+                    } else {
+                        let split = self.push(Inst::Split { preferred: HOLE, alternate: HOLE })?;
+                        if let Some(prev) = prev_split {
+                            self.patch(vec![Patch::SplitAlternate(prev)], split);
+                        }
+                        if entry.is_none() {
+                            entry = Some(split);
+                        }
+                        let frag = self.compile_node(branch)?;
+                        self.patch(vec![Patch::SplitPreferred(split)], frag.entry);
+                        outs.extend(frag.outs);
+                        prev_split = Some(split);
+                    }
+                }
+                Ok(Frag {
+                    entry: entry.expect("at least two branches"),
+                    outs,
+                })
+            }
+            Ast::Repeat { node, min, max, greedy } => {
+                self.compile_repeat(node, *min, *max, *greedy)
+            }
+        }
+    }
+
+    fn fold_literal(&self, c: char) -> CharCond {
+        if self.flags.case_insensitive && c.is_ascii_alphabetic() {
+            let mut set = ClassSet::single(c);
+            set.case_fold_ascii();
+            CharCond::Class(set)
+        } else {
+            CharCond::Literal(c)
+        }
+    }
+
+    fn compile_char(&mut self, cond: CharCond) -> Result<Frag, Error> {
+        let pc = self.push(Inst::Char { cond, next: HOLE })?;
+        Ok(Frag { entry: pc, outs: vec![Patch::Next(pc)] })
+    }
+
+    fn compile_assert(&mut self, kind: AssertKind) -> Result<Frag, Error> {
+        let pc = self.push(Inst::Assert { kind, next: HOLE })?;
+        Ok(Frag { entry: pc, outs: vec![Patch::Next(pc)] })
+    }
+
+    /// Compiles `node{min,max}` by expansion plus a trailing star/optionals.
+    fn compile_repeat(
+        &mut self,
+        node: &Ast,
+        min: u32,
+        max: Option<u32>,
+        greedy: bool,
+    ) -> Result<Frag, Error> {
+        if let Some(max) = max {
+            if max > MAX_REPETITION {
+                return Err(Error::RepetitionTooLarge { count: max });
+            }
+        }
+        if min > MAX_REPETITION {
+            return Err(Error::RepetitionTooLarge { count: min });
+        }
+        match (min, max) {
+            (0, None) => self.compile_star(node, greedy),
+            (1, None) => {
+                // `a+` = `a a*`.
+                let first = self.compile_node(node)?;
+                let star = self.compile_star(node, greedy)?;
+                self.patch(first.outs, star.entry);
+                Ok(Frag { entry: first.entry, outs: star.outs })
+            }
+            (0, Some(1)) => self.compile_optional(node, greedy),
+            (min, max) => {
+                // Expand: `min` mandatory copies, then either a star (if
+                // unbounded) or `max - min` optional copies.
+                let mut entry: Option<usize> = None;
+                let mut outs: Vec<Patch> = Vec::new();
+                for _ in 0..min {
+                    let frag = self.compile_node(node)?;
+                    if entry.is_some() {
+                        self.patch(outs, frag.entry);
+                    } else {
+                        entry = Some(frag.entry);
+                    }
+                    outs = frag.outs;
+                }
+                match max {
+                    None => {
+                        let star = self.compile_star(node, greedy)?;
+                        if entry.is_some() {
+                            self.patch(outs, star.entry);
+                        } else {
+                            entry = Some(star.entry);
+                        }
+                        outs = star.outs;
+                    }
+                    Some(max) => {
+                        let optional_count = max - min;
+                        // Each optional copy can bail straight to the end;
+                        // collect every bail-out hole.
+                        let mut pending: Vec<Patch> = Vec::new();
+                        for _ in 0..optional_count {
+                            let split =
+                                self.push(Inst::Split { preferred: HOLE, alternate: HOLE })?;
+                            if entry.is_some() {
+                                self.patch(outs, split);
+                            } else {
+                                entry = Some(split);
+                            }
+                            let frag = self.compile_node(node)?;
+                            let (into, out) = if greedy {
+                                (Patch::SplitPreferred(split), Patch::SplitAlternate(split))
+                            } else {
+                                (Patch::SplitAlternate(split), Patch::SplitPreferred(split))
+                            };
+                            self.patch(vec![into], frag.entry);
+                            pending.push(out);
+                            outs = frag.outs;
+                        }
+                        outs.extend(pending);
+                    }
+                }
+                match entry {
+                    Some(entry) => Ok(Frag { entry, outs }),
+                    // `a{0}` matches the empty string.
+                    None => self.compile_node(&Ast::Empty),
+                }
+            }
+        }
+    }
+
+    fn compile_star(&mut self, node: &Ast, greedy: bool) -> Result<Frag, Error> {
+        let split = self.push(Inst::Split { preferred: HOLE, alternate: HOLE })?;
+        let body = self.compile_node(node)?;
+        self.patch(body.outs, split);
+        let (into, out) = if greedy {
+            (Patch::SplitPreferred(split), Patch::SplitAlternate(split))
+        } else {
+            (Patch::SplitAlternate(split), Patch::SplitPreferred(split))
+        };
+        self.patch(vec![into], body.entry);
+        Ok(Frag { entry: split, outs: vec![out] })
+    }
+
+    fn compile_optional(&mut self, node: &Ast, greedy: bool) -> Result<Frag, Error> {
+        let split = self.push(Inst::Split { preferred: HOLE, alternate: HOLE })?;
+        let body = self.compile_node(node)?;
+        let (into, out) = if greedy {
+            (Patch::SplitPreferred(split), Patch::SplitAlternate(split))
+        } else {
+            (Patch::SplitAlternate(split), Patch::SplitPreferred(split))
+        };
+        self.patch(vec![into], body.entry);
+        let mut outs = body.outs;
+        outs.push(out);
+        Ok(Frag { entry: split, outs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn program(pattern: &str) -> Program {
+        let parsed = parse(pattern).expect("parse");
+        compile(&parsed.ast, parsed.flags).expect("compile")
+    }
+
+    /// Checks that no instruction still carries an unpatched HOLE target.
+    fn assert_fully_patched(prog: &Program) {
+        for (i, inst) in prog.insts.iter().enumerate() {
+            let targets: Vec<usize> = match inst {
+                Inst::Char { next, .. } | Inst::Assert { next, .. } => vec![*next],
+                Inst::Jmp(next) => vec![*next],
+                Inst::Split { preferred, alternate } => vec![*preferred, *alternate],
+                Inst::Match => vec![],
+            };
+            for t in targets {
+                assert!(t < prog.insts.len(), "inst {i} has dangling target {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn literal_chain_fully_patched() {
+        let p = program("abc");
+        assert_fully_patched(&p);
+        assert_eq!(
+            p.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn star_has_one_split() {
+        let p = program("a*");
+        assert_fully_patched(&p);
+        assert_eq!(
+            p.insts.iter().filter(|i| matches!(i, Inst::Split { .. })).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn alternation_splits_count() {
+        // N branches need N-1 splits.
+        let p = program("a|b|c|d");
+        assert_fully_patched(&p);
+        assert_eq!(
+            p.insts.iter().filter(|i| matches!(i, Inst::Split { .. })).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn counted_repetition_expands() {
+        let p3 = program("a{3}");
+        assert_eq!(
+            p3.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(),
+            3
+        );
+        let p25 = program("a{2,5}");
+        assert_eq!(
+            p25.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(),
+            5
+        );
+        assert_fully_patched(&p25);
+    }
+
+    #[test]
+    fn repetition_cap_enforced() {
+        let parsed = parse(&format!("a{{{}}}", MAX_REPETITION + 1)).unwrap();
+        assert!(matches!(
+            compile(&parsed.ast, Flags::default()),
+            Err(Error::RepetitionTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn case_insensitive_literal_becomes_class() {
+        let p = program("(?i)a");
+        let has_class = p
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Char { cond: CharCond::Class(_), .. }));
+        assert!(has_class, "folded literal should compile to a class");
+    }
+
+    #[test]
+    fn dot_respects_dotall_flag() {
+        let plain = program(".");
+        assert!(plain
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Char { cond: CharCond::AnyNoNewline, .. })));
+        let dotall = program("(?s).");
+        assert!(dotall
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Char { cond: CharCond::Any, .. })));
+    }
+
+    #[test]
+    fn char_cond_matching() {
+        assert!(CharCond::Literal('x').matches('x'));
+        assert!(!CharCond::Literal('x').matches('y'));
+        assert!(CharCond::AnyNoNewline.matches('q'));
+        assert!(!CharCond::AnyNoNewline.matches('\n'));
+        assert!(CharCond::Any.matches('\n'));
+    }
+
+    #[test]
+    fn empty_pattern_compiles_to_match() {
+        let p = program("");
+        assert_fully_patched(&p);
+        assert!(p.insts.iter().any(|i| matches!(i, Inst::Match)));
+    }
+}

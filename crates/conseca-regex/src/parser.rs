@@ -1,0 +1,629 @@
+//! Recursive-descent parser from pattern text to [`Ast`].
+
+use crate::ast::Ast;
+use crate::classes::ClassSet;
+use crate::error::Error;
+
+/// Inline flags accepted at the very start of a pattern, e.g. `(?is)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// `(?i)`: ASCII case-insensitive matching.
+    pub case_insensitive: bool,
+    /// `(?s)`: `.` also matches `\n`.
+    pub dot_all: bool,
+}
+
+/// Result of parsing: the AST plus the leading inline flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The pattern body.
+    pub ast: Ast,
+    /// Flags extracted from a leading `(?…)` group, if any.
+    pub flags: Flags,
+}
+
+/// Parses `pattern` into an AST, honouring a leading inline-flag group.
+///
+/// The accepted syntax is the subset of Python's `re` used by Conseca
+/// policies: literals, `.`, bracketed classes with ranges and negation,
+/// `\d \D \w \W \s \S`, anchors `^ $`, word boundaries `\b \B`, repetition
+/// `* + ? {m} {m,} {m,n}` with optional lazy `?` suffix, alternation `|`,
+/// and groups `(...)` / `(?:...)`.
+pub fn parse(pattern: &str) -> Result<Parsed, Error> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut p = Parser {
+        chars: &chars,
+        pos: 0,
+        group_depth: 0,
+    };
+    let flags = p.parse_leading_flags()?;
+    let ast = p.parse_alternation()?;
+    if p.pos < p.chars.len() {
+        // The only way parse_alternation stops early is an unmatched ')'.
+        return Err(Error::UnmatchedCloseParen { pos: p.pos });
+    }
+    Ok(Parsed { ast, flags })
+}
+
+struct Parser<'a> {
+    chars: &'a [char],
+    pos: usize,
+    group_depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if self.peek() == Some(want) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses a leading `(?i)`, `(?s)`, or combined `(?is)` flag group.
+    fn parse_leading_flags(&mut self) -> Result<Flags, Error> {
+        let mut flags = Flags::default();
+        let save = self.pos;
+        if !(self.eat('(') && self.eat('?')) {
+            self.pos = save;
+            return Ok(flags);
+        }
+        // `(?:` is a non-capturing group, not a flag group; rewind.
+        if self.peek() == Some(':') {
+            self.pos = save;
+            return Ok(flags);
+        }
+        let mut any = false;
+        loop {
+            match self.peek() {
+                Some('i') => {
+                    flags.case_insensitive = true;
+                    any = true;
+                    self.pos += 1;
+                }
+                Some('s') => {
+                    flags.dot_all = true;
+                    any = true;
+                    self.pos += 1;
+                }
+                Some(')') if any => {
+                    self.pos += 1;
+                    return Ok(flags);
+                }
+                Some(c) if any => return Err(Error::UnsupportedFlag { ch: c }),
+                Some(c) => return Err(Error::UnsupportedFlag { ch: c }),
+                None => return Err(Error::UnexpectedEof { expected: "flag group" }),
+            }
+        }
+    }
+
+    fn parse_alternation(&mut self) -> Result<Ast, Error> {
+        let mut branches = vec![self.parse_concat()?];
+        while self.eat('|') {
+            branches.push(self.parse_concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Ast::Alternate(branches))
+        }
+    }
+
+    fn parse_concat(&mut self) -> Result<Ast, Error> {
+        let mut items: Vec<Ast> = Vec::new();
+        loop {
+            match self.peek() {
+                None | Some('|') => break,
+                Some(')') => {
+                    if self.group_depth == 0 {
+                        // Leave it for `parse` to report as unmatched.
+                        break;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            let atom = self.parse_atom()?;
+            let repeated = self.parse_quantifier(atom)?;
+            items.push(repeated);
+        }
+        match items.len() {
+            0 => Ok(Ast::Empty),
+            1 => Ok(items.pop().expect("one item")),
+            _ => Ok(Ast::Concat(items)),
+        }
+    }
+
+    /// Applies any `* + ? {m,n}` quantifier (with lazy suffix) to `atom`.
+    fn parse_quantifier(&mut self, atom: Ast) -> Result<Ast, Error> {
+        let (min, max) = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                (0, None)
+            }
+            Some('+') => {
+                self.pos += 1;
+                (1, None)
+            }
+            Some('?') => {
+                self.pos += 1;
+                (0, Some(1))
+            }
+            Some('{') => match self.try_parse_counted() {
+                Some(result) => result?,
+                // Malformed `{...}` is treated as a literal brace, matching
+                // Python's lenient behaviour. Nothing was consumed.
+                None => return Ok(atom),
+            },
+            _ => return Ok(atom),
+        };
+        if Self::is_anchor(&atom) {
+            return Err(Error::DanglingQuantifier { pos: self.pos - 1 });
+        }
+        let greedy = !self.eat('?');
+        Ok(Ast::Repeat {
+            node: Box::new(atom),
+            min,
+            max,
+            greedy,
+        })
+    }
+
+    fn is_anchor(ast: &Ast) -> bool {
+        matches!(
+            ast,
+            Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary | Ast::NotWordBoundary
+        )
+    }
+
+    /// Attempts to parse `{m}`, `{m,}`, or `{m,n}` starting at `{`.
+    ///
+    /// Returns `None` (without consuming input) if the braces do not form a
+    /// valid counted repetition.
+    fn try_parse_counted(&mut self) -> Option<Result<(u32, Option<u32>), Error>> {
+        let save = self.pos;
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.pos += 1;
+        let min = match self.parse_number() {
+            Some(n) => n,
+            None => {
+                self.pos = save;
+                return None;
+            }
+        };
+        if self.eat('}') {
+            return Some(Ok((min, Some(min))));
+        }
+        if !self.eat(',') {
+            self.pos = save;
+            return None;
+        }
+        if self.eat('}') {
+            return Some(Ok((min, None)));
+        }
+        let max = match self.parse_number() {
+            Some(n) => n,
+            None => {
+                self.pos = save;
+                return None;
+            }
+        };
+        if !self.eat('}') {
+            self.pos = save;
+            return None;
+        }
+        if min > max {
+            return Some(Err(Error::InvalidRepetition { min, max }));
+        }
+        Some(Ok((min, Some(max))))
+    }
+
+    fn parse_number(&mut self) -> Option<u32> {
+        let start = self.pos;
+        let mut value: u32 = 0;
+        while let Some(c) = self.peek() {
+            if let Some(d) = c.to_digit(10) {
+                value = value.saturating_mul(10).saturating_add(d);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(value)
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Ast, Error> {
+        let pos = self.pos;
+        let c = self.bump().ok_or(Error::UnexpectedEof { expected: "atom" })?;
+        match c {
+            '(' => self.parse_group(pos),
+            '[' => self.parse_class(pos),
+            '.' => Ok(Ast::Dot),
+            '^' => Ok(Ast::StartAnchor),
+            '$' => Ok(Ast::EndAnchor),
+            '\\' => self.parse_escape(),
+            '*' | '+' | '?' => Err(Error::DanglingQuantifier { pos }),
+            other => Ok(Ast::Literal(other)),
+        }
+    }
+
+    fn parse_group(&mut self, open_pos: usize) -> Result<Ast, Error> {
+        // Accept a non-capturing prefix; capture groups are treated the same.
+        if self.peek() == Some('?') {
+            let save = self.pos;
+            self.pos += 1;
+            if !self.eat(':') {
+                // Only `(?:` is supported inside a pattern body.
+                let ch = self.peek().unwrap_or('?');
+                let _ = save;
+                return Err(Error::UnsupportedFlag { ch });
+            }
+        }
+        self.group_depth += 1;
+        let inner = self.parse_alternation()?;
+        self.group_depth -= 1;
+        if !self.eat(')') {
+            return Err(Error::UnclosedGroup { pos: open_pos });
+        }
+        Ok(Ast::Group(Box::new(inner)))
+    }
+
+    fn parse_escape(&mut self) -> Result<Ast, Error> {
+        let c = self
+            .bump()
+            .ok_or(Error::UnexpectedEof { expected: "escape sequence" })?;
+        match c {
+            'd' => Ok(Ast::Class(ClassSet::digit())),
+            'D' => Ok(Ast::Class(ClassSet::digit().complement())),
+            'w' => Ok(Ast::Class(ClassSet::word())),
+            'W' => Ok(Ast::Class(ClassSet::word().complement())),
+            's' => Ok(Ast::Class(ClassSet::space())),
+            'S' => Ok(Ast::Class(ClassSet::space().complement())),
+            'b' => Ok(Ast::WordBoundary),
+            'B' => Ok(Ast::NotWordBoundary),
+            'n' => Ok(Ast::Literal('\n')),
+            't' => Ok(Ast::Literal('\t')),
+            'r' => Ok(Ast::Literal('\r')),
+            '0' => Ok(Ast::Literal('\0')),
+            // Any punctuation escape is the literal character.
+            c if !c.is_alphanumeric() => Ok(Ast::Literal(c)),
+            other => Err(Error::UnsupportedEscape { ch: other }),
+        }
+    }
+
+    fn parse_class(&mut self, open_pos: usize) -> Result<Ast, Error> {
+        let negated = self.eat('^');
+        let mut set = ClassSet::new();
+        let mut first = true;
+        loop {
+            let c = match self.peek() {
+                Some(c) => c,
+                None => return Err(Error::UnclosedClass { pos: open_pos }),
+            };
+            if c == ']' && !first {
+                self.pos += 1;
+                break;
+            }
+            first = false;
+            let item_start = self.class_item()?;
+            match item_start {
+                ClassItem::Set(s) => set.union(&s),
+                ClassItem::Char(lo) => {
+                    // Check for a range `lo-hi`; a trailing '-' is a literal.
+                    if self.peek() == Some('-') && self.chars.get(self.pos + 1) != Some(&']') {
+                        if self.chars.get(self.pos + 1).is_none() {
+                            return Err(Error::UnclosedClass { pos: open_pos });
+                        }
+                        self.pos += 1; // Consume '-'.
+                        match self.class_item()? {
+                            ClassItem::Char(hi) => {
+                                if (lo as u32) > (hi as u32) {
+                                    return Err(Error::InvalidClassRange { start: lo, end: hi });
+                                }
+                                set.push_range(lo, hi);
+                            }
+                            // `[a-\d]` is rejected, as in Python.
+                            ClassItem::Set(_) => {
+                                return Err(Error::UnexpectedChar {
+                                    pos: self.pos,
+                                    ch: '-',
+                                })
+                            }
+                        }
+                    } else {
+                        set.push_range(lo, lo);
+                    }
+                }
+            }
+        }
+        let set = if negated { set.complement() } else { set };
+        Ok(Ast::Class(set))
+    }
+
+    /// Parses one item inside a bracketed class: a char, escape, or
+    /// predefined class.
+    fn class_item(&mut self) -> Result<ClassItem, Error> {
+        let c = self
+            .bump()
+            .ok_or(Error::UnexpectedEof { expected: "class item" })?;
+        if c != '\\' {
+            return Ok(ClassItem::Char(c));
+        }
+        let e = self
+            .bump()
+            .ok_or(Error::UnexpectedEof { expected: "class escape" })?;
+        match e {
+            'd' => Ok(ClassItem::Set(ClassSet::digit())),
+            'D' => Ok(ClassItem::Set(ClassSet::digit().complement())),
+            'w' => Ok(ClassItem::Set(ClassSet::word())),
+            'W' => Ok(ClassItem::Set(ClassSet::word().complement())),
+            's' => Ok(ClassItem::Set(ClassSet::space())),
+            'S' => Ok(ClassItem::Set(ClassSet::space().complement())),
+            'n' => Ok(ClassItem::Char('\n')),
+            't' => Ok(ClassItem::Char('\t')),
+            'r' => Ok(ClassItem::Char('\r')),
+            '0' => Ok(ClassItem::Char('\0')),
+            c if !c.is_alphanumeric() => Ok(ClassItem::Char(c)),
+            other => Err(Error::UnsupportedEscape { ch: other }),
+        }
+    }
+}
+
+enum ClassItem {
+    Char(char),
+    Set(ClassSet),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ast(pattern: &str) -> Ast {
+        parse(pattern).expect("pattern should parse").ast
+    }
+
+    #[test]
+    fn parses_plain_literals() {
+        assert_eq!(
+            ast("ab"),
+            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
+        );
+    }
+
+    #[test]
+    fn parses_empty_pattern() {
+        assert_eq!(ast(""), Ast::Empty);
+    }
+
+    #[test]
+    fn parses_alternation_of_three() {
+        match ast("a|b|c") {
+            Ast::Alternate(bs) => assert_eq!(bs.len(), 3),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_alternation_branch_is_empty_node() {
+        match ast("a|") {
+            Ast::Alternate(bs) => assert_eq!(bs[1], Ast::Empty),
+            other => panic!("expected alternation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn star_plus_question_quantifiers() {
+        let star = ast("a*");
+        let plus = ast("a+");
+        let q = ast("a?");
+        assert!(matches!(star, Ast::Repeat { min: 0, max: None, greedy: true, .. }));
+        assert!(matches!(plus, Ast::Repeat { min: 1, max: None, .. }));
+        assert!(matches!(q, Ast::Repeat { min: 0, max: Some(1), .. }));
+    }
+
+    #[test]
+    fn lazy_quantifier_flag() {
+        assert!(matches!(ast("a*?"), Ast::Repeat { greedy: false, .. }));
+        assert!(matches!(ast("a+?"), Ast::Repeat { greedy: false, min: 1, .. }));
+    }
+
+    #[test]
+    fn counted_repetitions() {
+        assert!(matches!(ast("a{3}"), Ast::Repeat { min: 3, max: Some(3), .. }));
+        assert!(matches!(ast("a{2,}"), Ast::Repeat { min: 2, max: None, .. }));
+        assert!(matches!(ast("a{2,5}"), Ast::Repeat { min: 2, max: Some(5), .. }));
+    }
+
+    #[test]
+    fn malformed_braces_are_literal() {
+        // `{x}` is not a counted repetition; Python treats it literally.
+        assert_eq!(
+            ast("a{x}"),
+            Ast::Concat(vec![
+                Ast::Literal('a'),
+                Ast::Literal('{'),
+                Ast::Literal('x'),
+                Ast::Literal('}'),
+            ])
+        );
+    }
+
+    #[test]
+    fn reversed_counted_repetition_rejected() {
+        assert_eq!(
+            parse("a{3,1}").unwrap_err(),
+            Error::InvalidRepetition { min: 3, max: 1 }
+        );
+    }
+
+    #[test]
+    fn dangling_quantifier_rejected() {
+        assert!(matches!(parse("*a"), Err(Error::DanglingQuantifier { .. })));
+        assert!(matches!(parse("^*"), Err(Error::DanglingQuantifier { .. })));
+    }
+
+    #[test]
+    fn groups_nest() {
+        let g = ast("(a(b))");
+        match g {
+            Ast::Group(inner) => match *inner {
+                Ast::Concat(items) => {
+                    assert_eq!(items[0], Ast::Literal('a'));
+                    assert!(matches!(items[1], Ast::Group(_)));
+                }
+                other => panic!("expected concat, got {other:?}"),
+            },
+            other => panic!("expected group, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_capturing_group_accepted() {
+        assert!(matches!(ast("(?:ab)"), Ast::Group(_)));
+    }
+
+    #[test]
+    fn unclosed_group_rejected() {
+        assert!(matches!(parse("(ab"), Err(Error::UnclosedGroup { pos: 0 })));
+    }
+
+    #[test]
+    fn unmatched_close_paren_rejected() {
+        assert!(matches!(parse("ab)"), Err(Error::UnmatchedCloseParen { .. })));
+    }
+
+    #[test]
+    fn class_with_ranges_and_literals() {
+        match ast("[a-c_x]") {
+            Ast::Class(set) => {
+                for c in ['a', 'b', 'c', '_', 'x'] {
+                    assert!(set.contains(c), "{c} expected in class");
+                }
+                assert!(!set.contains('d'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        match ast("[^0-9]") {
+            Ast::Class(set) => {
+                assert!(!set.contains('5'));
+                assert!(set.contains('a'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_leading_close_bracket_is_literal() {
+        // `[]]` is a class containing ']'.
+        match ast("[]]") {
+            Ast::Class(set) => assert!(set.contains(']')),
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_trailing_dash_is_literal() {
+        match ast("[a-]") {
+            Ast::Class(set) => {
+                assert!(set.contains('a') && set.contains('-'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_with_predefined_escape() {
+        match ast("[\\d_]") {
+            Ast::Class(set) => {
+                assert!(set.contains('3') && set.contains('_'));
+                assert!(!set.contains('a'));
+            }
+            other => panic!("expected class, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reversed_class_range_rejected() {
+        assert_eq!(
+            parse("[z-a]").unwrap_err(),
+            Error::InvalidClassRange { start: 'z', end: 'a' }
+        );
+    }
+
+    #[test]
+    fn unclosed_class_rejected() {
+        assert!(matches!(parse("[abc"), Err(Error::UnclosedClass { pos: 0 })));
+    }
+
+    #[test]
+    fn escapes_outside_class() {
+        assert_eq!(ast("\\."), Ast::Literal('.'));
+        assert_eq!(ast("\\\\"), Ast::Literal('\\'));
+        assert_eq!(ast("\\n"), Ast::Literal('\n'));
+        assert!(matches!(ast("\\d"), Ast::Class(_)));
+        assert_eq!(ast("\\b"), Ast::WordBoundary);
+    }
+
+    #[test]
+    fn unsupported_escape_rejected() {
+        assert_eq!(parse("\\p").unwrap_err(), Error::UnsupportedEscape { ch: 'p' });
+    }
+
+    #[test]
+    fn trailing_backslash_rejected() {
+        assert!(matches!(parse("ab\\"), Err(Error::UnexpectedEof { .. })));
+    }
+
+    #[test]
+    fn leading_flags_parsed() {
+        let p = parse("(?i)abc").unwrap();
+        assert!(p.flags.case_insensitive);
+        assert!(!p.flags.dot_all);
+        let p = parse("(?is)a.c").unwrap();
+        assert!(p.flags.case_insensitive && p.flags.dot_all);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert_eq!(parse("(?x)a").unwrap_err(), Error::UnsupportedFlag { ch: 'x' });
+    }
+
+    #[test]
+    fn anchors_parse() {
+        assert_eq!(
+            ast("^a$"),
+            Ast::Concat(vec![Ast::StartAnchor, Ast::Literal('a'), Ast::EndAnchor])
+        );
+    }
+
+    #[test]
+    fn dollar_mid_pattern_is_anchor_node() {
+        // Like Python, `$` is always an anchor; `a$b` can simply never match.
+        let parsed = ast("a$b");
+        assert_eq!(
+            parsed,
+            Ast::Concat(vec![Ast::Literal('a'), Ast::EndAnchor, Ast::Literal('b')])
+        );
+    }
+}

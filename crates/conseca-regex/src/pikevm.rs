@@ -1,0 +1,380 @@
+//! Pike-VM execution: breadth-first NFA simulation in worst-case O(n·m).
+//!
+//! The VM advances all live NFA threads in lock-step over the input. Because
+//! each thread is identified by its program counter alone and duplicates are
+//! suppressed per input position, total work is bounded by
+//! `input length × program size` — no backtracking, hence no ReDoS, which the
+//! paper calls out as a risk of regex-based policy constraints (§4.1).
+
+use crate::nfa::{AssertKind, Inst, Program};
+
+/// A resolved match location, in char offsets into the haystack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Char offset of the first matched character.
+    pub start: usize,
+    /// Char offset one past the last matched character.
+    pub end: usize,
+}
+
+/// Dedup set with O(1) clear via generation stamping.
+struct SparseSet {
+    stamp: Vec<u32>,
+    generation: u32,
+}
+
+impl SparseSet {
+    fn new(capacity: usize) -> Self {
+        SparseSet { stamp: vec![0; capacity], generation: 0 }
+    }
+
+    fn clear(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // Wrapped: reset stamps so stale entries cannot alias.
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.generation = 1;
+        }
+    }
+
+    fn insert(&mut self, v: usize) -> bool {
+        if self.stamp[v] == self.generation {
+            false
+        } else {
+            self.stamp[v] = self.generation;
+            true
+        }
+    }
+}
+
+/// Reusable VM scratch space for one program.
+pub struct PikeVm<'p> {
+    prog: &'p Program,
+    seen: SparseSet,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Evaluates a zero-width assertion at char position `pos` of `chars`.
+fn assertion_holds(kind: AssertKind, chars: &[char], pos: usize) -> bool {
+    match kind {
+        AssertKind::Start => pos == 0,
+        AssertKind::End => pos == chars.len(),
+        AssertKind::WordBoundary | AssertKind::NotWordBoundary => {
+            let before = pos.checked_sub(1).map(|i| is_word_char(chars[i])).unwrap_or(false);
+            let after = chars.get(pos).map(|&c| is_word_char(c)).unwrap_or(false);
+            let boundary = before != after;
+            if kind == AssertKind::WordBoundary {
+                boundary
+            } else {
+                !boundary
+            }
+        }
+    }
+}
+
+impl<'p> PikeVm<'p> {
+    /// Creates a VM for `prog`.
+    pub fn new(prog: &'p Program) -> Self {
+        PikeVm { prog, seen: SparseSet::new(prog.len()) }
+    }
+
+    /// Reports whether the pattern matches anywhere in `chars`
+    /// (unanchored, like Python's `re.search(..) is not None`).
+    ///
+    /// Runs in O(`chars.len()` × program size).
+    pub fn is_match(&mut self, chars: &[char]) -> bool {
+        let mut current: Vec<usize> = Vec::with_capacity(self.prog.len());
+        let mut next: Vec<usize> = Vec::with_capacity(self.prog.len());
+        for pos in 0..=chars.len() {
+            self.seen.clear();
+            // Expand threads carried over from the previous step, then
+            // re-seed the start state: unanchored search.
+            let carried = std::mem::take(&mut current);
+            for pc in carried {
+                if self.add_thread(pc, chars, pos, &mut current) {
+                    return true;
+                }
+            }
+            if self.add_thread(self.prog.start, chars, pos, &mut current) {
+                return true;
+            }
+            if pos == chars.len() {
+                break;
+            }
+            let c = chars[pos];
+            next.clear();
+            for &pc in &current {
+                if let Inst::Char { cond, next: nxt } = &self.prog.insts[pc] {
+                    if cond.matches(c) {
+                        next.push(*nxt);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        false
+    }
+
+    /// Anchored match attempt at char position `start`; returns the longest
+    /// match end, if any.
+    pub fn longest_match_at(&mut self, chars: &[char], start: usize) -> Option<usize> {
+        let mut next: Vec<usize> = Vec::with_capacity(self.prog.len());
+        let mut best: Option<usize> = None;
+        self.seen.clear();
+        let mut current: Vec<usize> = Vec::with_capacity(self.prog.len());
+        if self.add_thread(self.prog.start, chars, start, &mut current) {
+            best = Some(start);
+        }
+        for pos in start..chars.len() {
+            if current.is_empty() {
+                break;
+            }
+            let c = chars[pos];
+            next.clear();
+            self.seen.clear();
+            let mut reached_match = false;
+            let advanced: Vec<usize> = current
+                .iter()
+                .filter_map(|&pc| match &self.prog.insts[pc] {
+                    Inst::Char { cond, next } if cond.matches(c) => Some(*next),
+                    _ => None,
+                })
+                .collect();
+            for pc in advanced {
+                if self.add_thread(pc, chars, pos + 1, &mut next) {
+                    reached_match = true;
+                }
+            }
+            if reached_match {
+                best = Some(pos + 1);
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        best
+    }
+
+    /// Follows epsilon transitions from `pc`, pushing consuming instructions
+    /// onto `list`. Returns `true` if a `Match` instruction is reachable.
+    fn add_thread(&mut self, pc: usize, chars: &[char], pos: usize, list: &mut Vec<usize>) -> bool {
+        if !self.seen.insert(pc) {
+            return false;
+        }
+        match &self.prog.insts[pc] {
+            Inst::Char { .. } => {
+                list.push(pc);
+                false
+            }
+            Inst::Match => true,
+            Inst::Jmp(next) => {
+                let next = *next;
+                self.add_thread(next, chars, pos, list)
+            }
+            Inst::Split { preferred, alternate } => {
+                let (a, b) = (*preferred, *alternate);
+                let hit_a = self.add_thread(a, chars, pos, list);
+                let hit_b = self.add_thread(b, chars, pos, list);
+                hit_a || hit_b
+            }
+            Inst::Assert { kind, next } => {
+                let (kind, next) = (*kind, *next);
+                if assertion_holds(kind, chars, pos) {
+                    self.add_thread(next, chars, pos, list)
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+/// Finds the leftmost-longest match of `prog` in `chars`.
+///
+/// Leftmost is found by trying anchored runs from successive start offsets;
+/// at the first offset that matches, the longest end at that offset wins
+/// (POSIX-style extents). Existence checks should use
+/// [`PikeVm::is_match`], which is strictly O(n·m).
+pub fn find(prog: &Program, chars: &[char]) -> Option<Span> {
+    let mut vm = PikeVm::new(prog);
+    for start in 0..=chars.len() {
+        if let Some(end) = vm.longest_match_at(chars, start) {
+            return Some(Span { start, end });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfa::compile;
+    use crate::parser::parse;
+
+    fn prog(pattern: &str) -> Program {
+        let parsed = parse(pattern).expect("parse");
+        compile(&parsed.ast, parsed.flags).expect("compile")
+    }
+
+    fn matches(pattern: &str, text: &str) -> bool {
+        let p = prog(pattern);
+        let chars: Vec<char> = text.chars().collect();
+        PikeVm::new(&p).is_match(&chars)
+    }
+
+    fn find_span(pattern: &str, text: &str) -> Option<(usize, usize)> {
+        let p = prog(pattern);
+        let chars: Vec<char> = text.chars().collect();
+        find(&p, &chars).map(|s| (s.start, s.end))
+    }
+
+    #[test]
+    fn literal_search_is_unanchored() {
+        assert!(matches("bc", "abcd"));
+        assert!(!matches("bd", "abcd"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_everything() {
+        assert!(matches("", ""));
+        assert!(matches("", "xyz"));
+    }
+
+    #[test]
+    fn anchors_restrict_position() {
+        assert!(matches("^ab", "abc"));
+        assert!(!matches("^bc", "abc"));
+        assert!(matches("bc$", "abc"));
+        assert!(!matches("ab$", "abc"));
+        assert!(matches("^abc$", "abc"));
+        assert!(!matches("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn star_and_plus() {
+        assert!(matches("ab*c", "ac"));
+        assert!(matches("ab*c", "abbbc"));
+        assert!(!matches("ab+c", "ac"));
+        assert!(matches("ab+c", "abc"));
+    }
+
+    #[test]
+    fn optional_and_counted() {
+        assert!(matches("colou?r", "color"));
+        assert!(matches("colou?r", "colour"));
+        assert!(matches("a{2,3}$", "aa"));
+        assert!(matches("^a{2,3}$", "aaa"));
+        assert!(!matches("^a{2,3}$", "a"));
+        assert!(!matches("^a{2,3}$", "aaaa"));
+    }
+
+    #[test]
+    fn alternation_with_groups() {
+        assert!(matches("^(ab|cd)+$", "abcdab"));
+        assert!(!matches("^(ab|cd)+$", "abc"));
+    }
+
+    #[test]
+    fn classes_and_negation() {
+        assert!(matches("[a-c]x", "bx"));
+        assert!(!matches("[a-c]x", "dx"));
+        assert!(matches("[^a-c]x", "dx"));
+        assert!(!matches("[^a-c]x", "ax"));
+    }
+
+    #[test]
+    fn predefined_classes() {
+        assert!(matches(r"\d+", "abc123"));
+        assert!(!matches(r"^\d+$", "abc"));
+        assert!(matches(r"\w+@\w+", "send to alice@work now"));
+        assert!(matches(r"\s", "a b"));
+        assert!(!matches(r"\S", "   "));
+    }
+
+    #[test]
+    fn dot_excludes_newline_by_default() {
+        assert!(matches("a.c", "abc"));
+        assert!(!matches("a.c", "a\nc"));
+        assert!(matches("(?s)a.c", "a\nc"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        assert!(matches("(?i)urgent", "URGENT: read this"));
+        assert!(matches("(?i)[a-z]+!", "HELLO!"));
+        assert!(!matches("urgent", "URGENT"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(matches(r"\bcat\b", "the cat sat"));
+        assert!(!matches(r"\bcat\b", "concatenate"));
+        assert!(matches(r"\Bcat\B", "concatenate"));
+    }
+
+    #[test]
+    fn email_policy_pattern() {
+        // The paper's running example: recipients must be at work.com.
+        assert!(matches(r"^.*@work\.com$", "bob@work.com"));
+        assert!(!matches(r"^.*@work\.com$", "bob@evil.com"));
+        assert!(!matches(r"^.*@work\.com$", "bob@work.com.evil.net"));
+    }
+
+    #[test]
+    fn path_policy_pattern() {
+        // The paper's rm example: only files under /tmp.
+        assert!(matches(r"^/tmp/.*$", "/tmp/scratch.txt"));
+        assert!(!matches(r"^/tmp/.*$", "/home/alice/notes.txt"));
+    }
+
+    #[test]
+    fn find_reports_leftmost_longest() {
+        assert_eq!(find_span("a+", "caaat"), Some((1, 4)));
+        assert_eq!(find_span("a*", "bbb"), Some((0, 0)));
+        assert_eq!(find_span("z", "abc"), None);
+    }
+
+    #[test]
+    fn lazy_quantifier_does_not_change_existence() {
+        assert!(matches("a+?b", "aaab"));
+        assert!(matches("a+b", "aaab"));
+        assert_eq!(matches("<.*?>", "<a><b>"), matches("<.*>", "<a><b>"));
+    }
+
+    #[test]
+    fn empty_body_star_terminates() {
+        // `(a?)*` could loop forever in a naive engine; the dedup set stops it.
+        assert!(matches("(a?)*$", "aaa"));
+        assert!(matches("(a?)*", ""));
+        assert!(matches("()*", "x"));
+    }
+
+    #[test]
+    fn pathological_pattern_is_fast() {
+        // Classic ReDoS: (a+)+$ on "aaaa...b". Linear here.
+        let n = 2000;
+        let text: String = "a".repeat(n) + "b";
+        let chars: Vec<char> = text.chars().collect();
+        let p = prog("^(a+)+$");
+        let start = std::time::Instant::now();
+        assert!(!PikeVm::new(&p).is_match(&chars));
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "pathological pattern should run in linear time"
+        );
+    }
+
+    #[test]
+    fn unicode_input_handled() {
+        assert!(matches("é+", "café éé"));
+        assert!(matches("^日本.*$", "日本語テキスト"));
+        assert!(!matches(r"^\w+$", "日本")); // \w is ASCII-only here.
+    }
+
+    #[test]
+    fn dollar_mid_pattern_never_matches() {
+        assert!(!matches("a$b", "ab"));
+        assert!(!matches("a$b", "a\nb"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Differential and invariant property tests for the regex engine.
+//!
+//! The central property: for every generated pattern/input pair, the
+//! linear-time Pike VM and the exponential backtracking oracle agree on
+//! match existence.
+
+use conseca_regex::naive::naive_is_match;
+use conseca_regex::{escape, Regex};
+use proptest::prelude::*;
+
+/// A strategy producing syntactically valid, flag-free patterns by
+/// construction (so the oracle and VM always both compile them).
+fn pattern_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        // Plain literals drawn from a small alphabet plus separators.
+        proptest::char::ranges(vec!['a'..='c', '0'..='1'].into()).prop_map(|c| c.to_string()),
+        Just(".".to_string()),
+        Just("\\d".to_string()),
+        Just("\\w".to_string()),
+        Just("[ab]".to_string()),
+        Just("[^a]".to_string()),
+        Just("[a-c]".to_string()),
+        Just("\\.".to_string()),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            // Concatenation.
+            proptest::collection::vec(inner.clone(), 1..4).prop_map(|v| v.concat()),
+            // Alternation inside a group.
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}|{b})")),
+            // Quantifiers over a group.
+            inner.clone().prop_map(|a| format!("({a})*")),
+            inner.clone().prop_map(|a| format!("({a})+")),
+            inner.clone().prop_map(|a| format!("({a})?")),
+            inner.clone().prop_map(|a| format!("({a}){{1,2}}")),
+        ]
+    })
+}
+
+fn input_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[abc01. ]{0,12}").expect("valid generator")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The Pike VM and the backtracking oracle agree on every input.
+    #[test]
+    fn vm_agrees_with_oracle(pattern in pattern_strategy(), text in input_strategy()) {
+        let re = Regex::new(&pattern).expect("generated patterns are valid");
+        let expected = naive_is_match(&pattern, &text).expect("oracle parse");
+        prop_assert_eq!(
+            re.is_match(&text),
+            expected,
+            "pattern {:?} on {:?}", pattern, text
+        );
+    }
+
+    /// Anchoring a pattern with ^..$ implies plain search also matches.
+    #[test]
+    fn full_match_implies_search(pattern in pattern_strategy(), text in input_strategy()) {
+        let re = Regex::new(&pattern).expect("valid");
+        if re.is_full_match(&text) {
+            prop_assert!(re.is_match(&text));
+        }
+    }
+
+    /// An escaped literal always matches itself, and full-match is exact.
+    #[test]
+    fn escape_self_match(s in "[ -~]{0,20}") {
+        let re = Regex::new(&format!("^{}$", escape(&s))).expect("escaped pattern compiles");
+        prop_assert!(re.is_match(&s));
+        prop_assert!(re.is_full_match(&s));
+    }
+
+    /// `find` spans are consistent with `is_match` and within bounds.
+    #[test]
+    fn find_span_is_consistent(pattern in pattern_strategy(), text in input_strategy()) {
+        let re = Regex::new(&pattern).expect("valid");
+        let n = text.chars().count();
+        match re.find(&text) {
+            Some(span) => {
+                prop_assert!(re.is_match(&text));
+                prop_assert!(span.start <= span.end);
+                prop_assert!(span.end <= n);
+            }
+            None => prop_assert!(!re.is_match(&text)),
+        }
+    }
+
+    /// Matching is deterministic: two runs agree.
+    #[test]
+    fn matching_is_deterministic(pattern in pattern_strategy(), text in input_strategy()) {
+        let re = Regex::new(&pattern).expect("valid");
+        prop_assert_eq!(re.is_match(&text), re.is_match(&text));
+    }
+
+    /// Concatenating a pattern with `.*` on both sides never removes matches.
+    #[test]
+    fn dotstar_padding_preserves_match(pattern in pattern_strategy(), text in input_strategy()) {
+        let re = Regex::new(&pattern).expect("valid");
+        let padded = Regex::new(&format!(".*(?:{pattern}).*")).expect("padded compiles");
+        // `.` does not match newline, so restrict to newline-free inputs.
+        if re.is_match(&text) && !text.contains('\n') {
+            prop_assert!(padded.is_match(&text));
+        }
+    }
+}
+
+#[test]
+fn adversarial_patterns_complete_quickly() {
+    // Each of these is a classic catastrophic-backtracking trigger.
+    let cases = [
+        ("^(a+)+$", format!("{}b", "a".repeat(4000))),
+        ("^(a|a)+$", format!("{}b", "a".repeat(4000))),
+        ("^(a*)*$", format!("{}b", "a".repeat(4000))),
+        ("^(.*)*x$", format!("{}y", "a".repeat(2000))),
+    ];
+    for (pat, input) in cases {
+        let re = Regex::new(pat).unwrap();
+        let start = std::time::Instant::now();
+        assert!(!re.is_match(&input), "{pat} should not match");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(3),
+            "{pat} took too long: linear-time guarantee violated"
+        );
+    }
+}
+
+#[test]
+fn long_haystack_email_constraint() {
+    // Enforcement-path realism: a 64 KiB argument checked by a policy regex.
+    let re = Regex::new(r"^[a-z0-9._]+@work\.com$").unwrap();
+    let long = format!("{}@work.com", "x".repeat(65536));
+    assert!(re.is_match(&long));
+    let bad = format!("{}@evil.com", "x".repeat(65536));
+    assert!(!re.is_match(&bad));
+}

@@ -1,0 +1,198 @@
+//! Parsed API calls: what the planner proposes and the enforcer judges.
+
+use core::fmt;
+
+use crate::spec::ToolRegistry;
+use crate::token::{quote, tokenize, TokenError};
+
+/// A fully parsed tool invocation.
+///
+/// This is the unit of enforcement: Conseca's `is_allowed(cmd, policy)`
+/// receives a proposed `ApiCall`, checks whether the policy lists its
+/// `name`, and evaluates argument constraints positionally over `args`
+/// (`$1` is `args[0]`, matching the paper's notation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiCall {
+    /// The owning tool (resolved from the registry).
+    pub tool: String,
+    /// The API/command name (e.g. `send_email`).
+    pub name: String,
+    /// Positional arguments.
+    pub args: Vec<String>,
+    /// The original command line, for transcripts and audit logs.
+    pub raw: String,
+}
+
+impl ApiCall {
+    /// Builds a call directly (used by planners that synthesise actions).
+    pub fn new(tool: &str, name: &str, args: Vec<String>) -> Self {
+        let raw = std::iter::once(name.to_owned())
+            .chain(args.iter().map(|a| quote(a)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        ApiCall { tool: tool.to_owned(), name: name.to_owned(), args, raw }
+    }
+}
+
+impl fmt::Display for ApiCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.raw)
+    }
+}
+
+/// Errors turning a command line into an [`ApiCall`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Quoting/tokenisation failed.
+    Token(TokenError),
+    /// The line was empty.
+    Empty,
+    /// The command is not in the tool registry.
+    UnknownCommand {
+        /// The unrecognised command word.
+        command: String,
+    },
+    /// Too few or too many arguments for the API.
+    ArityMismatch {
+        /// The command.
+        command: String,
+        /// Arguments supplied.
+        given: usize,
+        /// Required argument count.
+        required: usize,
+        /// Maximum accepted argument count.
+        max: usize,
+        /// The documented signature, for the error message.
+        signature: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Token(e) => write!(f, "tokenisation failed: {e}"),
+            ParseError::Empty => write!(f, "empty command"),
+            ParseError::UnknownCommand { command } => {
+                write!(f, "unknown command: {command}")
+            }
+            ParseError::ArityMismatch { command, given, required, max, signature } => write!(
+                f,
+                "{command}: got {given} argument(s), expected {required}..{max}; usage: {signature}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<TokenError> for ParseError {
+    fn from(e: TokenError) -> Self {
+        ParseError::Token(e)
+    }
+}
+
+/// Parses a command line against the registry, validating arity.
+///
+/// # Errors
+///
+/// Fails on quoting errors, unknown commands, and arity mismatches — the
+/// same validation the paper's prototype performs before policy checking.
+///
+/// # Examples
+///
+/// ```
+/// use conseca_shell::{parse_command, default_registry};
+///
+/// let reg = default_registry();
+/// let call = parse_command("send_email alice bob 'Hi there' 'Lunch?'", &reg).unwrap();
+/// assert_eq!(call.tool, "email");
+/// assert_eq!(call.args[2], "Hi there");
+/// ```
+pub fn parse_command(line: &str, registry: &ToolRegistry) -> Result<ApiCall, ParseError> {
+    let tokens = tokenize(line)?;
+    let (head, args) = tokens.split_first().ok_or(ParseError::Empty)?;
+    let spec = registry
+        .api(head)
+        .ok_or_else(|| ParseError::UnknownCommand { command: head.clone() })?;
+    let required = spec.required_params();
+    let max = spec.params.len();
+    if args.len() < required || args.len() > max {
+        return Err(ParseError::ArityMismatch {
+            command: head.clone(),
+            given: args.len(),
+            required,
+            max,
+            signature: spec.signature(),
+        });
+    }
+    Ok(ApiCall {
+        tool: spec.tool.to_owned(),
+        name: spec.name.to_owned(),
+        args: args.to_vec(),
+        raw: line.to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::default_registry;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let reg = default_registry();
+        let call = parse_command("send_email alice bob 'Hello' 'An Email'", &reg).unwrap();
+        assert_eq!(call.name, "send_email");
+        assert_eq!(call.args, vec!["alice", "bob", "Hello", "An Email"]);
+    }
+
+    #[test]
+    fn optional_args_allowed_but_bounded() {
+        let reg = default_registry();
+        assert!(parse_command("send_email a b s body attach.txt", &reg).is_ok());
+        let err = parse_command("send_email a b s body attach.txt extra", &reg).unwrap_err();
+        assert!(matches!(err, ParseError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn missing_required_args_rejected_with_usage() {
+        let reg = default_registry();
+        let err = parse_command("send_email alice", &reg).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("usage"), "{msg}");
+        assert!(msg.contains("<subject>"), "{msg}");
+    }
+
+    #[test]
+    fn unknown_command_rejected() {
+        let reg = default_registry();
+        assert!(matches!(
+            parse_command("sudo rm -rf /", &reg),
+            Err(ParseError::UnknownCommand { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_line_rejected() {
+        let reg = default_registry();
+        assert_eq!(parse_command("   ", &reg).unwrap_err(), ParseError::Empty);
+    }
+
+    #[test]
+    fn quoting_error_propagates() {
+        let reg = default_registry();
+        assert!(matches!(
+            parse_command("cat '/home/alice/unterminated", &reg),
+            Err(ParseError::Token(_))
+        ));
+    }
+
+    #[test]
+    fn display_round_trip_for_synthesised_calls() {
+        let call = ApiCall::new("fs", "write_file", vec!["/home/a/f.txt".into(), "two words".into()]);
+        assert_eq!(call.to_string(), "write_file /home/a/f.txt 'two words'");
+        let reg = default_registry();
+        let reparsed = parse_command(&call.raw, &reg).unwrap();
+        assert_eq!(reparsed.args, call.args);
+    }
+}

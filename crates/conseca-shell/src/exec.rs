@@ -1,0 +1,697 @@
+//! The executor: runs approved [`ApiCall`]s against the VFS and mail system.
+//!
+//! This is the "executor" box of the paper's Figure 1/2: it interfaces with
+//! external tools, performs the (potentially harmful) action, and returns
+//! output — labelled trusted or untrusted — back to the planner.
+
+use core::fmt;
+
+use conseca_mail::{Attachment, MailError, MailSystem};
+use conseca_regex::Regex;
+use conseca_vfs::{SharedVfs, VfsError};
+
+use crate::call::ApiCall;
+use crate::output::ToolOutput;
+
+/// Errors surfaced by tool execution (returned to the planner as feedback,
+/// like stderr from a real subprocess).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Filesystem failure.
+    Fs(VfsError),
+    /// Mail failure.
+    Mail(MailError),
+    /// A pattern argument failed to compile.
+    BadPattern {
+        /// The pattern text.
+        pattern: String,
+        /// Compiler message.
+        reason: String,
+    },
+    /// A numeric argument failed to parse.
+    BadNumber {
+        /// The argument text.
+        text: String,
+    },
+    /// The executor has no handler for this API (registry/executor skew —
+    /// indicates a developer integration bug).
+    Unhandled {
+        /// The command name.
+        name: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Fs(e) => write!(f, "{e}"),
+            ExecError::Mail(e) => write!(f, "{e}"),
+            ExecError::BadPattern { pattern, reason } => {
+                write!(f, "bad pattern {pattern:?}: {reason}")
+            }
+            ExecError::BadNumber { text } => write!(f, "not a number: {text:?}"),
+            ExecError::Unhandled { name } => write!(f, "no executor handler for {name}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<VfsError> for ExecError {
+    fn from(e: VfsError) -> Self {
+        ExecError::Fs(e)
+    }
+}
+
+impl From<MailError> for ExecError {
+    fn from(e: MailError) -> Self {
+        ExecError::Mail(e)
+    }
+}
+
+/// Executes tool calls on behalf of one acting user.
+///
+/// # Examples
+///
+/// ```
+/// use conseca_vfs::{SharedVfs, Vfs};
+/// use conseca_mail::MailSystem;
+/// use conseca_shell::{default_registry, parse_command, Executor};
+///
+/// let mut fs = Vfs::new();
+/// fs.add_user("alice", false).unwrap();
+/// let vfs = SharedVfs::new(fs);
+/// let mail = MailSystem::new(vfs.clone(), "work.com");
+/// mail.ensure_mailbox("alice").unwrap();
+/// let mut exec = Executor::new(vfs, mail, "alice");
+///
+/// let reg = default_registry();
+/// let call = parse_command("write_file /home/alice/x.txt 'hello'", &reg).unwrap();
+/// let out = exec.execute(&call).unwrap();
+/// assert!(out.stdout.contains("wrote"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor {
+    vfs: SharedVfs,
+    mail: MailSystem,
+    user: String,
+}
+
+impl Executor {
+    /// Creates an executor acting as `user`.
+    pub fn new(vfs: SharedVfs, mail: MailSystem, user: &str) -> Self {
+        Executor { vfs, mail, user: user.to_owned() }
+    }
+
+    /// The acting user.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    /// Shared filesystem handle (used by goal checkers and context
+    /// extractors).
+    pub fn vfs(&self) -> &SharedVfs {
+        &self.vfs
+    }
+
+    /// Mail system handle.
+    pub fn mail(&self) -> &MailSystem {
+        &self.mail
+    }
+
+    /// Resolves possibly relative paths against the acting user's home.
+    fn abs(&self, path: &str) -> String {
+        if path.starts_with('/') {
+            path.to_owned()
+        } else {
+            format!("/home/{}/{path}", self.user)
+        }
+    }
+
+    fn regex(pattern: &str) -> Result<Regex, ExecError> {
+        Regex::new(pattern).map_err(|e| ExecError::BadPattern {
+            pattern: pattern.to_owned(),
+            reason: e.to_string(),
+        })
+    }
+
+    /// Executes one call. The call must already have passed policy
+    /// enforcement — the executor itself applies no security checks, exactly
+    /// like the paper's `subprocess.run` stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] for tool-level failures; these are fed back to
+    /// the planner as observations.
+    pub fn execute(&mut self, call: &ApiCall) -> Result<ToolOutput, ExecError> {
+        let a = |i: usize| call.args.get(i).cloned().unwrap_or_default();
+        match call.name.as_str() {
+            // ------------------------------------------------------- fs
+            "ls" => {
+                let path = self.abs(&a(0));
+                let entries = self.vfs.with(|fs| fs.ls(&path))?;
+                let mut out = String::new();
+                for e in entries {
+                    out.push_str(&format!(
+                        "{}{} {:>8} {} {}\n",
+                        if e.is_dir { "d" } else { "-" },
+                        mode_string(e.mode),
+                        e.size,
+                        e.owner,
+                        e.name
+                    ));
+                }
+                Ok(ToolOutput::trusted(out))
+            }
+            "tree" => {
+                let path = self.abs(&a(0));
+                let t = self.vfs.with(|fs| fs.tree(&path, None))?;
+                Ok(ToolOutput::trusted(t))
+            }
+            "stat" => {
+                let path = self.abs(&a(0));
+                let e = self.vfs.with(|fs| fs.stat(&path))?;
+                Ok(ToolOutput::trusted(format!(
+                    "path: {}\ntype: {}\nsize: {}\nmode: {:o}\nowner: {}\nmodified: {}\n",
+                    e.path,
+                    if e.is_dir { "directory" } else { "file" },
+                    e.size,
+                    e.mode,
+                    e.owner,
+                    e.modified
+                )))
+            }
+            "cat" => {
+                let path = self.abs(&a(0));
+                let text = self.vfs.with(|fs| fs.read_to_string(&path))?;
+                Ok(ToolOutput::untrusted(text))
+            }
+            "mkdir" => {
+                let path = self.abs(&a(0));
+                let user = self.user.clone();
+                self.vfs.with_mut(|fs| fs.mkdir_p(&path, &user))?;
+                Ok(ToolOutput::trusted(format!("created directory {path}")))
+            }
+            "touch" => {
+                let path = self.abs(&a(0));
+                let user = self.user.clone();
+                self.vfs.with_mut(|fs| fs.touch(&path, &user))?;
+                Ok(ToolOutput::trusted(format!("touched {path}")))
+            }
+            "write_file" => {
+                let path = self.abs(&a(0));
+                let content = a(1);
+                let user = self.user.clone();
+                self.vfs.with_mut(|fs| fs.write(&path, content.as_bytes(), &user))?;
+                Ok(ToolOutput::trusted(format!("wrote {} bytes to {path}", content.len())))
+            }
+            "append_file" => {
+                let path = self.abs(&a(0));
+                let content = a(1);
+                let user = self.user.clone();
+                self.vfs.with_mut(|fs| fs.append(&path, content.as_bytes(), &user))?;
+                Ok(ToolOutput::trusted(format!("appended {} bytes to {path}", content.len())))
+            }
+            "rm" => {
+                let path = self.abs(&a(0));
+                self.vfs.with_mut(|fs| fs.rm(&path))?;
+                Ok(ToolOutput::trusted(format!("removed {path}")))
+            }
+            "rmdir" => {
+                let path = self.abs(&a(0));
+                self.vfs.with_mut(|fs| fs.rmdir(&path))?;
+                Ok(ToolOutput::trusted(format!("removed directory {path}")))
+            }
+            "rm_r" => {
+                let path = self.abs(&a(0));
+                self.vfs.with_mut(|fs| fs.rm_r(&path))?;
+                Ok(ToolOutput::trusted(format!("recursively removed {path}")))
+            }
+            "mv" => {
+                let src = self.abs(&a(0));
+                let dst = self.abs(&a(1));
+                self.vfs.with_mut(|fs| fs.mv(&src, &dst))?;
+                Ok(ToolOutput::trusted(format!("moved {src} -> {dst}")))
+            }
+            "cp" => {
+                let src = self.abs(&a(0));
+                let dst = self.abs(&a(1));
+                let user = self.user.clone();
+                self.vfs.with_mut(|fs| fs.cp(&src, &dst, &user))?;
+                Ok(ToolOutput::trusted(format!("copied {src} -> {dst}")))
+            }
+            "chmod" => {
+                let mode = u32::from_str_radix(&a(0), 8)
+                    .map_err(|_| ExecError::BadNumber { text: a(0) })?;
+                let path = self.abs(&a(1));
+                self.vfs.with_mut(|fs| fs.chmod(&path, mode))?;
+                Ok(ToolOutput::trusted(format!("mode of {path} set to {mode:o}")))
+            }
+            "chown" => {
+                let owner = a(0);
+                let path = self.abs(&a(1));
+                self.vfs.with_mut(|fs| fs.chown(&path, &owner))?;
+                Ok(ToolOutput::trusted(format!("owner of {path} set to {owner}")))
+            }
+            "du" => {
+                let path = self.abs(&a(0));
+                let bytes = self.vfs.with(|fs| fs.du(&path))?;
+                Ok(ToolOutput::trusted(format!("{bytes}\t{path}\n")))
+            }
+            "df" => {
+                let (used, cap, pct) = self.vfs.with(|fs| {
+                    (fs.used_bytes(), fs.capacity(), fs.usage_percent())
+                });
+                let cap_str =
+                    cap.map(|c| c.to_string()).unwrap_or_else(|| "unlimited".to_owned());
+                Ok(ToolOutput::trusted(format!(
+                    "used: {used} bytes\ncapacity: {cap_str}\nusage: {pct}%\n"
+                )))
+            }
+
+            // ------------------------------------------------- fileproc
+            "find" => {
+                let path = self.abs(&a(0));
+                let re = Self::regex(&a(1))?;
+                let hits = self.vfs.with(|fs| fs.find(&path, |e| re.is_match(&e.name)))?;
+                let out: String =
+                    hits.iter().map(|e| format!("{}\n", e.path)).collect();
+                Ok(ToolOutput::trusted(out))
+            }
+            "grep" => {
+                let re = Self::regex(&a(0))?;
+                let path = self.abs(&a(1));
+                let text = self.vfs.with(|fs| fs.read_to_string(&path))?;
+                let out: String = text
+                    .lines()
+                    .filter(|l| re.is_match(l))
+                    .map(|l| format!("{l}\n"))
+                    .collect();
+                Ok(ToolOutput::untrusted(out))
+            }
+            "sed" => {
+                let re = Self::regex(&a(0))?;
+                let replacement = a(1);
+                let path = self.abs(&a(2));
+                let text = self.vfs.with(|fs| fs.read_to_string(&path))?;
+                let (new_text, n) = replace_all(&re, &text, &replacement);
+                let user = self.user.clone();
+                self.vfs.with_mut(|fs| fs.write(&path, new_text.as_bytes(), &user))?;
+                Ok(ToolOutput::trusted(format!("replaced {n} occurrence(s) in {path}")))
+            }
+            "zip" => {
+                let archive = self.abs(&a(0));
+                let mut sources = vec![self.abs(&a(1))];
+                if call.args.len() > 2 {
+                    sources.extend(a(2).split(',').map(|s| self.abs(s.trim())));
+                }
+                let mut blob = String::from("ZIPv1\n");
+                let mut total = 0usize;
+                for src in &sources {
+                    let data = self.vfs.with(|fs| fs.read(src))?;
+                    total += data.len();
+                    blob.push_str(&format!("entry: {src} ({} bytes)\n", data.len()));
+                    blob.push_str(&String::from_utf8_lossy(&data));
+                    blob.push('\n');
+                }
+                let user = self.user.clone();
+                self.vfs.with_mut(|fs| fs.write(&archive, blob.as_bytes(), &user))?;
+                Ok(ToolOutput::trusted(format!(
+                    "archived {} file(s), {total} bytes into {archive}",
+                    sources.len()
+                )))
+            }
+            "checksum" => {
+                let path = self.abs(&a(0));
+                let data = self.vfs.with(|fs| fs.read(&path))?;
+                Ok(ToolOutput::trusted(format!("{:016x}  {path}\n", fnv1a(&data))))
+            }
+            "wc" => {
+                let path = self.abs(&a(0));
+                let text = self.vfs.with(|fs| fs.read_to_string(&path))?;
+                let lines = text.lines().count();
+                let words = text.split_whitespace().count();
+                Ok(ToolOutput::trusted(format!("{lines} {words} {} {path}\n", text.len())))
+            }
+            "head" => {
+                let path = self.abs(&a(0));
+                let n: usize = if call.args.len() > 1 {
+                    a(1).parse().map_err(|_| ExecError::BadNumber { text: a(1) })?
+                } else {
+                    10
+                };
+                let text = self.vfs.with(|fs| fs.read_to_string(&path))?;
+                let out: String = text.lines().take(n).map(|l| format!("{l}\n")).collect();
+                Ok(ToolOutput::untrusted(out))
+            }
+
+            // ---------------------------------------------------- email
+            "send_email" => {
+                let from = a(0);
+                let to_arg = a(1);
+                let to: Vec<&str> = to_arg.split(',').map(str::trim).collect();
+                let subject = a(2);
+                let body = a(3);
+                let attachments = if call.args.len() > 4 {
+                    let path = self.abs(&a(4));
+                    let data = self.vfs.with(|fs| fs.read(&path))?;
+                    let name = path.rsplit('/').next().unwrap_or("attachment").to_owned();
+                    vec![Attachment { name, data }]
+                } else {
+                    vec![]
+                };
+                let id = self.mail.send(&from, &to, &subject, &body, attachments, None)?;
+                Ok(ToolOutput::trusted(format!("sent message {id} to {to_arg}")))
+            }
+            "list_emails" => {
+                let user = self.user.clone();
+                let list = self.mail.list(&user, &a(0))?;
+                Ok(ToolOutput::trusted(render_summaries(&list)))
+            }
+            "unread_emails" => {
+                let user = self.user.clone();
+                let list = self.mail.unread(&user)?;
+                Ok(ToolOutput::trusted(render_summaries(&list)))
+            }
+            "read_email" => {
+                let id = parse_id(&a(0))?;
+                let user = self.user.clone();
+                let msg = self.mail.read_message(&user, id)?;
+                Ok(ToolOutput::untrusted(format!(
+                    "From: {}\nTo: {}\nSubject: {}\nCategory: {}\nAttachments: {}\n\n{}",
+                    msg.from,
+                    msg.to.join(", "),
+                    msg.subject,
+                    msg.category.as_deref().unwrap_or("-"),
+                    if msg.attachments.is_empty() { "-".to_owned() } else { msg.attachments.join(", ") },
+                    msg.body
+                )))
+            }
+            "delete_email" => {
+                let id = parse_id(&a(0))?;
+                let user = self.user.clone();
+                self.mail.delete(&user, id)?;
+                Ok(ToolOutput::trusted(format!("deleted message {id}")))
+            }
+            "forward_email" => {
+                let id = parse_id(&a(0))?;
+                let to_arg = a(1);
+                let to: Vec<&str> = to_arg.split(',').map(str::trim).collect();
+                let user = self.user.clone();
+                let new_id = self.mail.forward(&user, id, &to)?;
+                Ok(ToolOutput::trusted(format!("forwarded message {id} as {new_id} to {to_arg}")))
+            }
+            "reply_email" => {
+                let id = parse_id(&a(0))?;
+                let user = self.user.clone();
+                let new_id = self.mail.reply(&user, id, &a(1))?;
+                Ok(ToolOutput::trusted(format!("replied to {id} as message {new_id}")))
+            }
+            "categorize_email" => {
+                let id = parse_id(&a(0))?;
+                let user = self.user.clone();
+                self.mail.categorize(&user, id, &a(1))?;
+                Ok(ToolOutput::trusted(format!("categorised message {id} as {}", a(1))))
+            }
+            "archive_email" => {
+                let id = parse_id(&a(0))?;
+                let user = self.user.clone();
+                self.mail.move_to_folder(&user, id, &a(1))?;
+                Ok(ToolOutput::trusted(format!("moved message {id} to {}", a(1))))
+            }
+            "search_email" => {
+                let user = self.user.clone();
+                let list = self.mail.search(&user, &a(0))?;
+                Ok(ToolOutput::untrusted(render_summaries(&list)))
+            }
+            "save_attachment" => {
+                let id = parse_id(&a(0))?;
+                let name = a(1);
+                let dest = self.abs(&a(2));
+                let user = self.user.clone();
+                self.mail.save_attachment(&user, id, &name, &dest)?;
+                Ok(ToolOutput::trusted(format!("saved {name} from message {id} to {dest}")))
+            }
+            "list_categories" => {
+                let user = self.user.clone();
+                let cats = self.mail.categories(&user)?;
+                Ok(ToolOutput::trusted(cats.join("\n")))
+            }
+            other => Err(ExecError::Unhandled { name: other.to_owned() }),
+        }
+    }
+}
+
+fn parse_id(text: &str) -> Result<u64, ExecError> {
+    text.parse().map_err(|_| ExecError::BadNumber { text: text.to_owned() })
+}
+
+fn mode_string(mode: u32) -> String {
+    let mut s = String::with_capacity(9);
+    for shift in [6u32, 3, 0] {
+        let bits = (mode >> shift) & 0o7;
+        s.push(if bits & 0o4 != 0 { 'r' } else { '-' });
+        s.push(if bits & 0o2 != 0 { 'w' } else { '-' });
+        s.push(if bits & 0o1 != 0 { 'x' } else { '-' });
+    }
+    s
+}
+
+fn render_summaries(list: &[conseca_mail::MessageSummary]) -> String {
+    let mut out = String::new();
+    for m in list {
+        out.push_str(&format!(
+            "[{}] {} from={} subject={:?} category={} attachments={}\n",
+            m.id,
+            if m.read { "read  " } else { "unread" },
+            m.from,
+            m.subject,
+            m.category.as_deref().unwrap_or("-"),
+            if m.attachments.is_empty() { "-".to_owned() } else { m.attachments.join(",") },
+        ));
+    }
+    out
+}
+
+/// Replaces every non-overlapping match of `re` in `text` with `replacement`
+/// (literal), returning the new text and the replacement count.
+fn replace_all(re: &Regex, text: &str, replacement: &str) -> (String, usize) {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::new();
+    let mut pos = 0usize;
+    let mut count = 0usize;
+    while pos <= chars.len() {
+        let rest: String = chars[pos..].iter().collect();
+        match re.find(&rest) {
+            Some(span) => {
+                let abs_start = pos + span.start;
+                let abs_end = pos + span.end;
+                out.extend(&chars[pos..abs_start]);
+                out.push_str(replacement);
+                count += 1;
+                // Zero-width match: emit one char and move on to avoid
+                // looping forever.
+                if abs_end == abs_start {
+                    if abs_start < chars.len() {
+                        out.push(chars[abs_start]);
+                    }
+                    pos = abs_start + 1;
+                } else {
+                    pos = abs_end;
+                }
+            }
+            None => {
+                out.extend(&chars[pos..]);
+                break;
+            }
+        }
+    }
+    (out, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::parse_command;
+    use crate::spec::default_registry;
+    use conseca_vfs::Vfs;
+
+    fn setup() -> (Executor, crate::spec::ToolRegistry) {
+        let mut fs = Vfs::new();
+        for user in ["alice", "bob"] {
+            fs.add_user(user, false).unwrap();
+        }
+        fs.write("/home/alice/notes.txt", b"line one\nERROR two\nline three", "alice").unwrap();
+        let vfs = SharedVfs::new(fs);
+        let mail = MailSystem::new(vfs.clone(), "work.com");
+        mail.ensure_mailbox("alice").unwrap();
+        mail.ensure_mailbox("bob").unwrap();
+        (Executor::new(vfs, mail, "alice"), default_registry())
+    }
+
+    fn run(exec: &mut Executor, reg: &crate::spec::ToolRegistry, line: &str) -> ToolOutput {
+        let call = parse_command(line, reg).expect("parse");
+        exec.execute(&call).expect("execute")
+    }
+
+    #[test]
+    fn relative_paths_resolve_to_home() {
+        let (mut exec, reg) = setup();
+        run(&mut exec, &reg, "write_file scratch.txt 'data'");
+        assert!(exec.vfs().with(|fs| fs.is_file("/home/alice/scratch.txt")));
+    }
+
+    #[test]
+    fn ls_renders_modes_and_names() {
+        let (mut exec, reg) = setup();
+        let out = run(&mut exec, &reg, "ls /home/alice");
+        assert!(out.stdout.contains("notes.txt"));
+        assert!(out.stdout.contains("rw-r--r--"));
+    }
+
+    #[test]
+    fn cat_is_untrusted() {
+        let (mut exec, reg) = setup();
+        let out = run(&mut exec, &reg, "cat /home/alice/notes.txt");
+        assert_eq!(out.trust, crate::spec::OutputTrust::Untrusted);
+        assert!(out.stdout.contains("ERROR two"));
+    }
+
+    #[test]
+    fn grep_filters_lines() {
+        let (mut exec, reg) = setup();
+        let out = run(&mut exec, &reg, "grep ERROR /home/alice/notes.txt");
+        assert_eq!(out.stdout, "ERROR two\n");
+    }
+
+    #[test]
+    fn sed_replaces_in_place() {
+        let (mut exec, reg) = setup();
+        let out = run(&mut exec, &reg, "sed 'line' 'row' /home/alice/notes.txt");
+        assert!(out.stdout.contains("replaced 2"));
+        let text = exec.vfs().read_to_string("/home/alice/notes.txt").unwrap();
+        assert!(text.contains("row one") && text.contains("row three"));
+    }
+
+    #[test]
+    fn find_matches_names_with_regex() {
+        let (mut exec, reg) = setup();
+        run(&mut exec, &reg, "write_file /home/alice/a.log 'x'");
+        run(&mut exec, &reg, "write_file /home/alice/b.txt 'x'");
+        let out = run(&mut exec, &reg, r"find /home/alice '\.log$'");
+        assert!(out.stdout.contains("a.log"));
+        assert!(!out.stdout.contains("b.txt"));
+    }
+
+    #[test]
+    fn zip_archives_multiple_files() {
+        let (mut exec, reg) = setup();
+        run(&mut exec, &reg, "write_file /home/alice/v1.mp4 'AAAA'");
+        run(&mut exec, &reg, "write_file /home/alice/v2.mp4 'BBBB'");
+        let out = run(&mut exec, &reg, "zip /home/alice/vids.zip /home/alice/v1.mp4 /home/alice/v2.mp4");
+        assert!(out.stdout.contains("2 file(s)"));
+        assert!(exec.vfs().with(|fs| fs.is_file("/home/alice/vids.zip")));
+    }
+
+    #[test]
+    fn checksum_is_stable_and_content_sensitive() {
+        let (mut exec, reg) = setup();
+        run(&mut exec, &reg, "write_file /home/alice/x 'same'");
+        run(&mut exec, &reg, "write_file /home/alice/y 'same'");
+        run(&mut exec, &reg, "write_file /home/alice/z 'diff'");
+        let cx = run(&mut exec, &reg, "checksum /home/alice/x").stdout;
+        let cy = run(&mut exec, &reg, "checksum /home/alice/y").stdout;
+        let cz = run(&mut exec, &reg, "checksum /home/alice/z").stdout;
+        assert_eq!(cx.split_whitespace().next(), cy.split_whitespace().next());
+        assert_ne!(cx.split_whitespace().next(), cz.split_whitespace().next());
+    }
+
+    #[test]
+    fn email_round_trip_through_commands() {
+        let (mut exec, reg) = setup();
+        let out = run(&mut exec, &reg, "send_email alice bob@work.com 'Hello' 'the body'");
+        assert!(out.stdout.contains("sent message"));
+        let mut bob = Executor::new(exec.vfs().clone(), exec.mail().clone(), "bob");
+        let unread = run(&mut bob, &reg, "unread_emails");
+        assert!(unread.stdout.contains("Hello"));
+        let id: u64 = unread.stdout.split(['[', ']']).nth(1).unwrap().parse().unwrap();
+        let msg = run(&mut bob, &reg, &format!("read_email {id}"));
+        assert_eq!(msg.trust, crate::spec::OutputTrust::Untrusted);
+        assert!(msg.stdout.contains("the body"));
+    }
+
+    #[test]
+    fn send_with_attachment_reads_fs_file() {
+        let (mut exec, reg) = setup();
+        run(&mut exec, &reg, "write_file /home/alice/report.txt 'Q3 numbers'");
+        run(
+            &mut exec,
+            &reg,
+            "send_email alice bob@work.com 'Report' 'attached' /home/alice/report.txt",
+        );
+        let mut bob = Executor::new(exec.vfs().clone(), exec.mail().clone(), "bob");
+        let listing = run(&mut bob, &reg, "list_emails Inbox");
+        assert!(listing.stdout.contains("report.txt"));
+    }
+
+    #[test]
+    fn archive_and_categorize_commands() {
+        let (mut exec, reg) = setup();
+        run(&mut exec, &reg, "send_email alice alice@work.com 'note to self' 'x'");
+        let listing = run(&mut exec, &reg, "list_emails Inbox");
+        let id: u64 = listing.stdout.split(['[', ']']).nth(1).unwrap().parse().unwrap();
+        run(&mut exec, &reg, &format!("categorize_email {id} work"));
+        run(&mut exec, &reg, &format!("archive_email {id} work-notes"));
+        let cats = run(&mut exec, &reg, "list_categories");
+        assert!(cats.stdout.contains("work"));
+        let archived = run(&mut exec, &reg, "list_emails work-notes");
+        assert!(archived.stdout.contains("note to self"));
+    }
+
+    #[test]
+    fn errors_surface_as_exec_errors() {
+        let (mut exec, reg) = setup();
+        let call = parse_command("cat /home/alice/missing.txt", &reg).unwrap();
+        assert!(matches!(exec.execute(&call), Err(ExecError::Fs(_))));
+        let call = parse_command("read_email notanumber", &reg).unwrap();
+        assert!(matches!(exec.execute(&call), Err(ExecError::BadNumber { .. })));
+        let call = parse_command("grep '(unclosed' /home/alice/notes.txt", &reg).unwrap();
+        assert!(matches!(exec.execute(&call), Err(ExecError::BadPattern { .. })));
+    }
+
+    #[test]
+    fn chmod_and_df_work() {
+        let (mut exec, reg) = setup();
+        run(&mut exec, &reg, "chmod 600 /home/alice/notes.txt");
+        let st = run(&mut exec, &reg, "stat /home/alice/notes.txt");
+        assert!(st.stdout.contains("mode: 600"));
+        let df = run(&mut exec, &reg, "df");
+        assert!(df.stdout.contains("capacity: unlimited"));
+    }
+
+    #[test]
+    fn replace_all_handles_zero_width() {
+        let re = Regex::new("x*").unwrap();
+        let (out, _n) = replace_all(&re, "abc", "-");
+        // Zero-width matches insert between characters without losing any.
+        assert!(out.contains('a') && out.contains('b') && out.contains('c'));
+    }
+
+    #[test]
+    fn replace_all_counts() {
+        let re = Regex::new("aa").unwrap();
+        let (out, n) = replace_all(&re, "aaaa", "b");
+        assert_eq!(out, "bb");
+        assert_eq!(n, 2);
+    }
+}
+
+/// FNV-1a 64-bit hash (checksum tool).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}

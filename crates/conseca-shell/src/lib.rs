@@ -1,0 +1,45 @@
+//! The agent's tool command language and executor.
+//!
+//! The paper's prototype expresses all tool APIs as bash commands
+//! (`send_email alice bob 'Hello' 'An Email'`, `mkdir /home/alice/Backups`)
+//! executed by `subprocess.run`. This crate provides that layer for the
+//! simulated machine:
+//!
+//! - [`token`]: POSIX-style tokenisation with quoting;
+//! - [`spec`]: the [`ToolRegistry`] of tools and API calls, including the
+//!   machine-readable documentation that the policy generator and planner
+//!   prompts embed;
+//! - [`call`]: [`ApiCall`] parsing and arity validation;
+//! - [`exec`]: the [`Executor`], which runs approved calls against the
+//!   filesystem and mail substrates and labels outputs trusted/untrusted.
+//!
+//! # Examples
+//!
+//! ```
+//! use conseca_vfs::{SharedVfs, Vfs};
+//! use conseca_mail::MailSystem;
+//! use conseca_shell::{default_registry, parse_command, Executor};
+//!
+//! let mut fs = Vfs::new();
+//! fs.add_user("alice", false).unwrap();
+//! let vfs = SharedVfs::new(fs);
+//! let mail = MailSystem::new(vfs.clone(), "work.com");
+//! mail.ensure_mailbox("alice").unwrap();
+//!
+//! let reg = default_registry();
+//! let mut exec = Executor::new(vfs, mail, "alice");
+//! let call = parse_command("mkdir /home/alice/Backups", &reg).unwrap();
+//! exec.execute(&call).unwrap();
+//! ```
+
+pub mod call;
+pub mod exec;
+pub mod output;
+pub mod spec;
+pub mod token;
+
+pub use call::{parse_command, ApiCall, ParseError};
+pub use exec::{ExecError, Executor};
+pub use output::ToolOutput;
+pub use spec::{default_registry, ApiSpec, Effect, OutputTrust, ParamSpec, ToolRegistry};
+pub use token::{quote, tokenize, TokenError};

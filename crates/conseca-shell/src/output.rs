@@ -1,0 +1,48 @@
+//! Tool outputs and their trust labels.
+
+use core::fmt;
+
+use crate::spec::OutputTrust;
+
+/// The result of executing one tool call.
+///
+/// The `trust` label is what lets the agent loop keep the policy generator
+/// isolated: only [`OutputTrust::Trusted`] output may ever flow into
+/// trusted context, while the planner sees everything (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ToolOutput {
+    /// Text returned to the planner.
+    pub stdout: String,
+    /// Whether the content may embed attacker-controlled data.
+    pub trust: OutputTrust,
+}
+
+impl ToolOutput {
+    /// A trusted output (structure, metadata, acknowledgements).
+    pub fn trusted(stdout: impl Into<String>) -> Self {
+        ToolOutput { stdout: stdout.into(), trust: OutputTrust::Trusted }
+    }
+
+    /// An untrusted output (file bodies, email bodies).
+    pub fn untrusted(stdout: impl Into<String>) -> Self {
+        ToolOutput { stdout: stdout.into(), trust: OutputTrust::Untrusted }
+    }
+}
+
+impl fmt::Display for ToolOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.stdout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_trust() {
+        assert_eq!(ToolOutput::trusted("x").trust, OutputTrust::Trusted);
+        assert_eq!(ToolOutput::untrusted("x").trust, OutputTrust::Untrusted);
+        assert_eq!(ToolOutput::trusted("hello").to_string(), "hello");
+    }
+}

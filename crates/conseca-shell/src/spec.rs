@@ -1,0 +1,650 @@
+//! Tool and API specifications: the machine-readable "tool API
+//! documentation" that the paper feeds to both the policy generator and the
+//! planner prompts.
+
+use std::collections::BTreeMap;
+
+/// One positional parameter of an API call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter name, used in documentation and rationales (e.g. `path`).
+    pub name: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Whether the parameter must be supplied.
+    pub required: bool,
+}
+
+/// How much damage an API call can do — drives the static baseline policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Pure read; mutates nothing.
+    Read,
+    /// Creates or modifies state but destroys nothing.
+    Write,
+    /// Destroys state (file removal, email deletion).
+    Delete,
+}
+
+/// Trust level of an API call's *output*, in Conseca's threat model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputTrust {
+    /// Output derives from structure the developer trusts (names, sizes,
+    /// metadata) — §4.1 trusts "file and directory names".
+    Trusted,
+    /// Output embeds attacker-controllable content (file bodies, email
+    /// bodies). Reading it can carry prompt injections into the planner.
+    Untrusted,
+}
+
+/// Specification of one API call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiSpec {
+    /// Owning tool (e.g. `fs`, `fileproc`, `email`).
+    pub tool: &'static str,
+    /// Command name, unique across all tools (e.g. `send_email`).
+    pub name: &'static str,
+    /// One-line description for documentation prompts.
+    pub description: &'static str,
+    /// Positional parameters, required first.
+    pub params: Vec<ParamSpec>,
+    /// Side-effect class.
+    pub effect: Effect,
+    /// Trust of the call's output.
+    pub output_trust: OutputTrust,
+    /// A usage example for in-context documentation.
+    pub example: &'static str,
+}
+
+impl ApiSpec {
+    /// Renders the call signature, e.g. `send_email <from> <to> <subject> <body> [attachment]`.
+    pub fn signature(&self) -> String {
+        let mut s = self.name.to_owned();
+        for p in &self.params {
+            if p.required {
+                s.push_str(&format!(" <{}>", p.name));
+            } else {
+                s.push_str(&format!(" [{}]", p.name));
+            }
+        }
+        s
+    }
+
+    /// Number of required parameters.
+    pub fn required_params(&self) -> usize {
+        self.params.iter().filter(|p| p.required).count()
+    }
+
+    /// Reports whether the call mutates state.
+    pub fn is_mutating(&self) -> bool {
+        !matches!(self.effect, Effect::Read)
+    }
+}
+
+/// A registry of tools and their API calls.
+///
+/// Conseca's enforcer treats the registry as the universe of possible
+/// actions: "Tool APIs define the possible set of actions; the policy
+/// constrains this set" (§3.2).
+#[derive(Debug, Clone, Default)]
+pub struct ToolRegistry {
+    apis: BTreeMap<&'static str, ApiSpec>,
+    tools: BTreeMap<&'static str, &'static str>,
+}
+
+impl ToolRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a tool with a description.
+    pub fn add_tool(&mut self, name: &'static str, description: &'static str) {
+        self.tools.insert(name, description);
+    }
+
+    /// Registers an API call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the API name is already registered or its tool is unknown —
+    /// registration is developer configuration, so failing fast is correct.
+    pub fn add_api(&mut self, spec: ApiSpec) {
+        assert!(
+            self.tools.contains_key(spec.tool),
+            "tool {} must be registered before its API {}",
+            spec.tool,
+            spec.name
+        );
+        let prev = self.apis.insert(spec.name, spec);
+        assert!(prev.is_none(), "duplicate API registration");
+    }
+
+    /// Looks up an API by command name.
+    pub fn api(&self, name: &str) -> Option<&ApiSpec> {
+        self.apis.get(name)
+    }
+
+    /// All APIs, sorted by name.
+    pub fn apis(&self) -> impl Iterator<Item = &ApiSpec> {
+        self.apis.values()
+    }
+
+    /// All tool names, sorted.
+    pub fn tools(&self) -> impl Iterator<Item = (&'static str, &'static str)> + '_ {
+        self.tools.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Number of registered API calls.
+    pub fn len(&self) -> usize {
+        self.apis.len()
+    }
+
+    /// Reports whether the registry has no APIs.
+    pub fn is_empty(&self) -> bool {
+        self.apis.is_empty()
+    }
+
+    /// Renders the full tool API documentation — the exact text block the
+    /// policy generator and planner prompts embed.
+    pub fn documentation(&self) -> String {
+        let mut out = String::new();
+        for (tool, desc) in &self.tools {
+            out.push_str(&format!("## Tool: {tool}\n{desc}\n\n"));
+            for api in self.apis.values().filter(|a| a.tool == *tool) {
+                out.push_str(&format!(
+                    "- `{}` — {} (effect: {:?}, output: {:?})\n  example: `{}`\n",
+                    api.signature(),
+                    api.description,
+                    api.effect,
+                    api.output_trust,
+                    api.example,
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Builds the registry for the paper's three prototype tools: the
+/// filesystem tool (POSIX file API), the file-processing tool (`find`,
+/// `sed`, ...), and the email tool (§4).
+pub fn default_registry() -> ToolRegistry {
+    let mut r = ToolRegistry::new();
+    r.add_tool("fs", "POSIX-like filesystem operations on the user's machine.");
+    r.add_tool("fileproc", "File processing: search, transform, compress, checksum.");
+    r.add_tool("email", "Read, send, delete, and organise email with attachments.");
+
+    let p = |name, description, required| ParamSpec { name, description, required };
+
+    // ------------------------------------------------------------- fs tool
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "ls",
+        description: "List a directory (names, sizes, modes).",
+        params: vec![p("path", "directory to list", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "ls /home/alice/Documents",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "tree",
+        description: "Show the file/directory name tree under a path.",
+        params: vec![p("path", "root of the tree", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "tree /home/alice",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "stat",
+        description: "Show metadata (size, mode, owner, mtime) for a path.",
+        params: vec![p("path", "file or directory", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "stat /home/alice/notes.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "cat",
+        description: "Print a file's contents.",
+        params: vec![p("path", "file to read", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Untrusted,
+        example: "cat /home/alice/notes.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "mkdir",
+        description: "Create a directory (with missing parents).",
+        params: vec![p("path", "directory to create", true)],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "mkdir /home/alice/Backups",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "touch",
+        description: "Create an empty file or bump its mtime.",
+        params: vec![p("path", "file to touch", true)],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "touch /home/alice/todo.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "write_file",
+        description: "Write content to a file, creating or replacing it.",
+        params: vec![
+            p("path", "destination file", true),
+            p("content", "text to write", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "write_file /home/alice/blog.txt 'Hello world'",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "append_file",
+        description: "Append content to a file (creating it if missing).",
+        params: vec![
+            p("path", "destination file", true),
+            p("content", "text to append", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "append_file /home/alice/log.txt 'entry'",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "rm",
+        description: "Remove a file.",
+        params: vec![p("path", "file to remove", true)],
+        effect: Effect::Delete,
+        output_trust: OutputTrust::Trusted,
+        example: "rm /tmp/scratch.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "rmdir",
+        description: "Remove an empty directory.",
+        params: vec![p("path", "directory to remove", true)],
+        effect: Effect::Delete,
+        output_trust: OutputTrust::Trusted,
+        example: "rmdir /home/alice/Empty",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "rm_r",
+        description: "Remove a file or directory tree recursively.",
+        params: vec![p("path", "tree to remove", true)],
+        effect: Effect::Delete,
+        output_trust: OutputTrust::Trusted,
+        example: "rm_r /tmp/build",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "mv",
+        description: "Move or rename a file or directory.",
+        params: vec![
+            p("src", "source path", true),
+            p("dst", "destination path", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "mv /home/alice/a.txt /home/alice/Documents/a.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "cp",
+        description: "Copy a file or directory tree.",
+        params: vec![
+            p("src", "source path", true),
+            p("dst", "destination path", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "cp /home/alice/a.txt /home/alice/Backups/a.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "chmod",
+        description: "Change mode bits (octal).",
+        params: vec![
+            p("mode", "octal mode such as 644", true),
+            p("path", "target path", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "chmod 600 /home/alice/secrets.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "chown",
+        description: "Change the owner of a path.",
+        params: vec![
+            p("owner", "new owning user", true),
+            p("path", "target path", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "chown alice /home/alice/shared.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "du",
+        description: "Total bytes used under a path.",
+        params: vec![p("path", "root to measure", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "du /home/alice",
+    });
+    r.add_api(ApiSpec {
+        tool: "fs",
+        name: "df",
+        description: "Disk capacity, usage, and free space.",
+        params: vec![],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "df",
+    });
+
+    // ------------------------------------------------------ fileproc tool
+    r.add_api(ApiSpec {
+        tool: "fileproc",
+        name: "find",
+        description: "Find entries under a path whose name matches a regex.",
+        params: vec![
+            p("path", "root to search", true),
+            p("pattern", "regex applied to entry names", true),
+        ],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "find /home/alice '\\.log$'",
+    });
+    r.add_api(ApiSpec {
+        tool: "fileproc",
+        name: "grep",
+        description: "Print lines of a file matching a regex.",
+        params: vec![
+            p("pattern", "regex applied to each line", true),
+            p("path", "file to search", true),
+        ],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Untrusted,
+        example: "grep 'ERROR' /home/alice/Logs/app.log",
+    });
+    r.add_api(ApiSpec {
+        tool: "fileproc",
+        name: "sed",
+        description: "Replace all regex matches in a file with a literal.",
+        params: vec![
+            p("pattern", "regex to replace", true),
+            p("replacement", "literal replacement text", true),
+            p("path", "file to edit in place", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "sed 'teh' 'the' /home/alice/blog.txt",
+    });
+    r.add_api(ApiSpec {
+        tool: "fileproc",
+        name: "zip",
+        description: "Compress files into an archive.",
+        params: vec![
+            p("archive", "destination .zip path", true),
+            p("src", "file to include", true),
+            p("more", "additional files, comma-separated", false),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "zip /home/alice/videos.zip /home/alice/Videos/a.mp4",
+    });
+    r.add_api(ApiSpec {
+        tool: "fileproc",
+        name: "checksum",
+        description: "Print a content checksum of a file (for deduplication).",
+        params: vec![p("path", "file to hash", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "checksum /home/alice/Photos/img1.jpg",
+    });
+    r.add_api(ApiSpec {
+        tool: "fileproc",
+        name: "wc",
+        description: "Count lines, words, and bytes of a file.",
+        params: vec![p("path", "file to count", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "wc /home/alice/Logs/auth.log",
+    });
+    r.add_api(ApiSpec {
+        tool: "fileproc",
+        name: "head",
+        description: "Print the first N lines of a file.",
+        params: vec![
+            p("path", "file to read", true),
+            p("lines", "how many lines (default 10)", false),
+        ],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Untrusted,
+        example: "head /home/alice/Logs/app.log 20",
+    });
+
+    // --------------------------------------------------------- email tool
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "send_email",
+        description: "Send an email from a user to recipients (comma-separated).",
+        params: vec![
+            p("from", "sending user", true),
+            p("to", "recipient address(es)", true),
+            p("subject", "subject line", true),
+            p("body", "message body", true),
+            p("attachment", "path of a file to attach", false),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "send_email alice bob@work.com 'Status' 'All good.'",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "list_emails",
+        description: "List messages in a mail folder (ids, senders, subjects).",
+        params: vec![p("folder", "folder such as Inbox or Sent", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "list_emails Inbox",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "unread_emails",
+        description: "List unread messages in the inbox.",
+        params: vec![],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "unread_emails",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "read_email",
+        description: "Read a message in full (marks it read). Body is untrusted.",
+        params: vec![p("id", "message id", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Untrusted,
+        example: "read_email 12",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "delete_email",
+        description: "Delete a message and its attachments.",
+        params: vec![p("id", "message id", true)],
+        effect: Effect::Delete,
+        output_trust: OutputTrust::Trusted,
+        example: "delete_email 12",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "forward_email",
+        description: "Forward a message to recipients (comma-separated).",
+        params: vec![
+            p("id", "message id", true),
+            p("to", "recipient address(es)", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "forward_email 12 bob@work.com",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "reply_email",
+        description: "Reply to the sender of a message.",
+        params: vec![
+            p("id", "message id", true),
+            p("body", "reply body", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "reply_email 12 'On it.'",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "categorize_email",
+        description: "Set the category label of a message.",
+        params: vec![
+            p("id", "message id", true),
+            p("category", "label such as work or family", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "categorize_email 12 work",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "archive_email",
+        description: "Move a message to a folder (created if missing).",
+        params: vec![
+            p("id", "message id", true),
+            p("folder", "destination folder", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "archive_email 12 Archive",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "search_email",
+        description: "Search subjects and bodies for a substring.",
+        params: vec![p("query", "text to search for", true)],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Untrusted,
+        example: "search_email urgent",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "save_attachment",
+        description: "Copy a message attachment to a filesystem path.",
+        params: vec![
+            p("id", "message id", true),
+            p("name", "attachment file name", true),
+            p("dest", "destination path", true),
+        ],
+        effect: Effect::Write,
+        output_trust: OutputTrust::Trusted,
+        example: "save_attachment 12 report.pdf /home/alice/Documents/report.pdf",
+    });
+    r.add_api(ApiSpec {
+        tool: "email",
+        name: "list_categories",
+        description: "List the distinct category labels across the mailbox.",
+        params: vec![],
+        effect: Effect::Read,
+        output_trust: OutputTrust::Trusted,
+        example: "list_categories",
+    });
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_has_all_three_tools() {
+        let r = default_registry();
+        let tools: Vec<&str> = r.tools().map(|(n, _)| n).collect();
+        assert_eq!(tools, vec!["email", "fileproc", "fs"]);
+        assert!(r.len() >= 30, "expected a rich API surface, got {}", r.len());
+    }
+
+    #[test]
+    fn signatures_render_required_and_optional() {
+        let r = default_registry();
+        let sig = r.api("send_email").unwrap().signature();
+        assert_eq!(sig, "send_email <from> <to> <subject> <body> [attachment]");
+        assert_eq!(r.api("df").unwrap().signature(), "df");
+    }
+
+    #[test]
+    fn required_param_counting() {
+        let r = default_registry();
+        assert_eq!(r.api("send_email").unwrap().required_params(), 4);
+        assert_eq!(r.api("zip").unwrap().required_params(), 2);
+        assert_eq!(r.api("df").unwrap().required_params(), 0);
+    }
+
+    #[test]
+    fn effects_classified() {
+        let r = default_registry();
+        assert_eq!(r.api("cat").unwrap().effect, Effect::Read);
+        assert!(!r.api("cat").unwrap().is_mutating());
+        assert_eq!(r.api("write_file").unwrap().effect, Effect::Write);
+        assert_eq!(r.api("rm").unwrap().effect, Effect::Delete);
+        assert_eq!(r.api("delete_email").unwrap().effect, Effect::Delete);
+        assert!(r.api("rm").unwrap().is_mutating());
+    }
+
+    #[test]
+    fn output_trust_flags_content_reads() {
+        let r = default_registry();
+        assert_eq!(r.api("cat").unwrap().output_trust, OutputTrust::Untrusted);
+        assert_eq!(r.api("read_email").unwrap().output_trust, OutputTrust::Untrusted);
+        assert_eq!(r.api("ls").unwrap().output_trust, OutputTrust::Trusted);
+        assert_eq!(r.api("tree").unwrap().output_trust, OutputTrust::Trusted);
+    }
+
+    #[test]
+    fn documentation_mentions_every_api() {
+        let r = default_registry();
+        let doc = r.documentation();
+        for api in r.apis() {
+            assert!(doc.contains(api.name), "doc missing {}", api.name);
+        }
+        assert!(doc.contains("## Tool: email"));
+    }
+
+    #[test]
+    fn unknown_api_lookup_is_none() {
+        assert!(default_registry().api("sudo").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate API registration")]
+    fn duplicate_registration_panics() {
+        let mut r = ToolRegistry::new();
+        r.add_tool("t", "tool");
+        let spec = ApiSpec {
+            tool: "t",
+            name: "x",
+            description: "d",
+            params: vec![],
+            effect: Effect::Read,
+            output_trust: OutputTrust::Trusted,
+            example: "x",
+        };
+        r.add_api(spec.clone());
+        r.add_api(spec);
+    }
+}

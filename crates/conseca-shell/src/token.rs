@@ -1,0 +1,199 @@
+//! POSIX-flavoured command-line tokenizer.
+//!
+//! The paper's tool APIs are "bash commands" like
+//! `send_email alice bob 'Hello' 'An Email'`. This module splits such lines
+//! into argument vectors with shell quoting rules: single quotes are
+//! literal, double quotes allow `\"` and `\\` escapes, and a backslash
+//! outside quotes escapes the next character.
+
+use core::fmt;
+
+/// Tokenisation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenError {
+    /// A quote was opened and never closed.
+    UnclosedQuote {
+        /// The quote character (`'` or `"`).
+        quote: char,
+    },
+    /// The line ended right after a backslash.
+    TrailingBackslash,
+}
+
+impl fmt::Display for TokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenError::UnclosedQuote { quote } => write!(f, "unclosed {quote} quote"),
+            TokenError::TrailingBackslash => write!(f, "trailing backslash"),
+        }
+    }
+}
+
+impl std::error::Error for TokenError {}
+
+/// Splits `line` into tokens with shell quoting rules.
+///
+/// # Errors
+///
+/// Fails on unclosed quotes or a trailing backslash.
+///
+/// # Examples
+///
+/// ```
+/// use conseca_shell::token::tokenize;
+///
+/// let toks = tokenize("send_email alice bob 'An Email' \"body with spaces\"").unwrap();
+/// assert_eq!(toks, vec!["send_email", "alice", "bob", "An Email", "body with spaces"]);
+/// ```
+pub fn tokenize(line: &str) -> Result<Vec<String>, TokenError> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut in_token = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            ' ' | '\t' | '\n' => {
+                if in_token {
+                    tokens.push(std::mem::take(&mut current));
+                    in_token = false;
+                }
+            }
+            '\'' => {
+                in_token = true;
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => current.push(c),
+                        None => return Err(TokenError::UnclosedQuote { quote: '\'' }),
+                    }
+                }
+            }
+            '"' => {
+                in_token = true;
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            // Inside double quotes only `\"` and `\\` escape;
+                            // anything else keeps the backslash (like bash).
+                            Some('"') => current.push('"'),
+                            Some('\\') => current.push('\\'),
+                            Some(other) => {
+                                current.push('\\');
+                                current.push(other);
+                            }
+                            None => return Err(TokenError::UnclosedQuote { quote: '"' }),
+                        },
+                        Some(c) => current.push(c),
+                        None => return Err(TokenError::UnclosedQuote { quote: '"' }),
+                    }
+                }
+            }
+            '\\' => {
+                in_token = true;
+                match chars.next() {
+                    Some(c) => current.push(c),
+                    None => return Err(TokenError::TrailingBackslash),
+                }
+            }
+            c => {
+                in_token = true;
+                current.push(c);
+            }
+        }
+    }
+    if in_token {
+        tokens.push(current);
+    }
+    Ok(tokens)
+}
+
+/// Quotes `arg` so [`tokenize`] returns it verbatim as one token.
+///
+/// Used when synthesising command lines (e.g. the scripted planner building
+/// `write_file /path 'multi word content'`).
+pub fn quote(arg: &str) -> String {
+    if !arg.is_empty()
+        && arg
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '/' | '.' | '-' | '_' | '@' | ':' | ','))
+    {
+        return arg.to_owned();
+    }
+    // Single-quote, escaping embedded single quotes the POSIX way.
+    format!("'{}'", arg.replace('\'', "'\\''"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_on_whitespace_runs() {
+        assert_eq!(tokenize("a  b\tc").unwrap(), vec!["a", "b", "c"]);
+        assert_eq!(tokenize("   ").unwrap(), Vec::<String>::new());
+        assert_eq!(tokenize("").unwrap(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn single_quotes_are_literal() {
+        assert_eq!(tokenize(r"'a b' c").unwrap(), vec!["a b", "c"]);
+        assert_eq!(tokenize(r"'a\nb'").unwrap(), vec![r"a\nb"]);
+    }
+
+    #[test]
+    fn double_quotes_allow_escapes() {
+        assert_eq!(tokenize(r#""say \"hi\"""#).unwrap(), vec![r#"say "hi""#]);
+        assert_eq!(tokenize(r#""back\\slash""#).unwrap(), vec![r"back\slash"]);
+        assert_eq!(tokenize(r#""keep \n raw""#).unwrap(), vec![r"keep \n raw"]);
+    }
+
+    #[test]
+    fn adjacent_quoted_parts_join() {
+        assert_eq!(tokenize(r"a'b c'd").unwrap(), vec!["ab cd"]);
+        assert_eq!(tokenize(r#"x"y"z"#).unwrap(), vec!["xyz"]);
+    }
+
+    #[test]
+    fn empty_quotes_make_empty_token() {
+        assert_eq!(tokenize("a '' b").unwrap(), vec!["a", "", "b"]);
+    }
+
+    #[test]
+    fn backslash_outside_quotes_escapes() {
+        assert_eq!(tokenize(r"a\ b").unwrap(), vec!["a b"]);
+        assert_eq!(tokenize(r"a\'b").unwrap(), vec!["a'b"]);
+    }
+
+    #[test]
+    fn unclosed_quote_errors() {
+        assert_eq!(tokenize("'abc").unwrap_err(), TokenError::UnclosedQuote { quote: '\'' });
+        assert_eq!(tokenize("\"abc").unwrap_err(), TokenError::UnclosedQuote { quote: '"' });
+        assert_eq!(tokenize("abc\\").unwrap_err(), TokenError::TrailingBackslash);
+    }
+
+    #[test]
+    fn quote_round_trips_through_tokenize() {
+        for s in [
+            "simple",
+            "two words",
+            "it's quoted",
+            "wild*chars?",
+            "",
+            "tab\there",
+            "a'b'c",
+            "/home/alice/My Files/x.txt",
+        ] {
+            let quoted = quote(s);
+            let toks = tokenize(&quoted).unwrap();
+            assert_eq!(toks, vec![s.to_owned()], "quoting {s:?} as {quoted:?}");
+        }
+    }
+
+    #[test]
+    fn quote_leaves_safe_strings_bare() {
+        assert_eq!(quote("/home/alice/f.txt"), "/home/alice/f.txt");
+        assert_eq!(quote("bob@work.com"), "bob@work.com");
+        assert_eq!(quote("a b"), "'a b'");
+    }
+}

@@ -1,0 +1,57 @@
+//! Property tests for the command language: quoting round-trips and parse
+//! stability — the foundation the enforcer's argument checks stand on.
+
+use conseca_shell::{default_registry, parse_command, quote, tokenize, ApiCall};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// quote() always produces a single token that tokenizes back to the
+    /// original string — so no argument value can smuggle extra arguments.
+    #[test]
+    fn quote_tokenize_round_trip(s in "[ -~]{0,40}") {
+        let quoted = quote(&s);
+        let tokens = tokenize(&quoted).expect("quoted strings always tokenize");
+        prop_assert_eq!(tokens, vec![s]);
+    }
+
+    /// Multiple quoted arguments stay separate and ordered.
+    #[test]
+    fn quoted_argument_vectors_round_trip(args in proptest::collection::vec("[ -~]{0,24}", 0..6)) {
+        let line = std::iter::once("write_file".to_owned())
+            .chain(args.iter().map(|a| quote(a)))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let tokens = tokenize(&line).expect("tokenizes");
+        prop_assert_eq!(&tokens[0], "write_file");
+        prop_assert_eq!(&tokens[1..], &args[..]);
+    }
+
+    /// ApiCall::new's raw rendering re-parses to the same arguments for
+    /// every registered API — what keeps transcripts faithful.
+    #[test]
+    fn api_call_raw_reparses(args in proptest::collection::vec("[ -~]{1,16}", 2..3)) {
+        let reg = default_registry();
+        let call = ApiCall::new("fs", "write_file", args.clone());
+        let reparsed = parse_command(&call.raw, &reg).expect("raw must reparse");
+        prop_assert_eq!(reparsed.args, args);
+        prop_assert_eq!(reparsed.name, "write_file");
+    }
+
+    /// The tokenizer never panics on arbitrary input, and any successful
+    /// tokenization contains no unescaped quote characters' artefacts.
+    #[test]
+    fn tokenizer_total_on_arbitrary_input(line in "[ -~]{0,80}") {
+        let _ = tokenize(&line); // Ok or Err, never panic.
+    }
+
+    /// Parsing rejects commands not in the registry, whatever the args.
+    #[test]
+    fn unknown_commands_always_rejected(cmd in "[a-z_]{1,12}", args in proptest::collection::vec("[a-z]{1,8}", 0..4)) {
+        let reg = default_registry();
+        prop_assume!(reg.api(&cmd).is_none());
+        let line = std::iter::once(cmd).chain(args).collect::<Vec<_>>().join(" ");
+        prop_assert!(parse_command(&line, &reg).is_err());
+    }
+}

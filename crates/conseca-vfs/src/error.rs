@@ -1,0 +1,106 @@
+//! Filesystem error type.
+
+use core::fmt;
+
+/// Errors returned by [`crate::Vfs`] operations.
+///
+/// Variants mirror the POSIX errno values the paper's Python prototype
+/// would have observed from real syscalls, so agent tool output looks the
+/// same to the planner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VfsError {
+    /// A path component does not exist (`ENOENT`).
+    NotFound {
+        /// The path that failed to resolve.
+        path: String,
+    },
+    /// A non-final path component is not a directory (`ENOTDIR`).
+    NotADirectory {
+        /// The offending path.
+        path: String,
+    },
+    /// A file operation was applied to a directory (`EISDIR`).
+    IsADirectory {
+        /// The offending path.
+        path: String,
+    },
+    /// Creation target already exists (`EEXIST`).
+    AlreadyExists {
+        /// The path that already exists.
+        path: String,
+    },
+    /// Directory removal on a non-empty directory (`ENOTEMPTY`).
+    DirectoryNotEmpty {
+        /// The non-empty directory.
+        path: String,
+    },
+    /// Malformed path: empty, relative, or containing NUL.
+    InvalidPath {
+        /// The malformed path text.
+        path: String,
+    },
+    /// The write would exceed the configured byte quota (`EDQUOT`).
+    QuotaExceeded {
+        /// Bytes the operation attempted to add.
+        requested: u64,
+        /// Bytes still available under the quota.
+        available: u64,
+    },
+    /// The acting user lacks permission for this operation (`EACCES`).
+    PermissionDenied {
+        /// The path access was denied on.
+        path: String,
+        /// The user that was denied.
+        user: String,
+    },
+    /// An unknown user name was supplied.
+    NoSuchUser {
+        /// The unknown user.
+        user: String,
+    },
+    /// Moving a directory into its own subtree.
+    IntoItself {
+        /// Source path of the attempted move.
+        from: String,
+        /// Destination inside the source.
+        to: String,
+    },
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VfsError::NotFound { path } => write!(f, "{path}: no such file or directory"),
+            VfsError::NotADirectory { path } => write!(f, "{path}: not a directory"),
+            VfsError::IsADirectory { path } => write!(f, "{path}: is a directory"),
+            VfsError::AlreadyExists { path } => write!(f, "{path}: file exists"),
+            VfsError::DirectoryNotEmpty { path } => write!(f, "{path}: directory not empty"),
+            VfsError::InvalidPath { path } => write!(f, "{path:?}: invalid path"),
+            VfsError::QuotaExceeded { requested, available } => {
+                write!(f, "disk quota exceeded: requested {requested} bytes, {available} free")
+            }
+            VfsError::PermissionDenied { path, user } => {
+                write!(f, "{path}: permission denied for user {user}")
+            }
+            VfsError::NoSuchUser { user } => write!(f, "no such user: {user}"),
+            VfsError::IntoItself { from, to } => {
+                write!(f, "cannot move {from} into its own subtree {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_paths() {
+        let e = VfsError::NotFound { path: "/home/alice/x".into() };
+        assert!(e.to_string().contains("/home/alice/x"));
+        let e = VfsError::PermissionDenied { path: "/etc".into(), user: "bob".into() };
+        assert!(e.to_string().contains("bob"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Inode and metadata types.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+
+/// Identifier of an inode within one [`crate::Vfs`].
+pub type InodeId = u64;
+
+/// Ownership, mode bits, and logical timestamps for one inode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metadata {
+    /// Owning user name.
+    pub owner: String,
+    /// POSIX-style mode bits (e.g. `0o644`).
+    pub mode: u32,
+    /// Logical-clock tick at creation.
+    pub created: u64,
+    /// Logical-clock tick of the last mutation.
+    pub modified: u64,
+}
+
+impl Metadata {
+    /// Renders the permission bits like `ls -l` (e.g. `rwxr-x---`).
+    pub fn mode_string(&self) -> String {
+        let mut s = String::with_capacity(9);
+        for shift in [6u32, 3, 0] {
+            let bits = (self.mode >> shift) & 0o7;
+            s.push(if bits & 0o4 != 0 { 'r' } else { '-' });
+            s.push(if bits & 0o2 != 0 { 'w' } else { '-' });
+            s.push(if bits & 0o1 != 0 { 'x' } else { '-' });
+        }
+        s
+    }
+
+    /// Reports whether "others" have write permission — what the paper's
+    /// permission-audit task flags as a vulnerability.
+    pub fn world_writable(&self) -> bool {
+        self.mode & 0o002 != 0
+    }
+}
+
+/// The payload of an inode: file bytes or directory entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InodeKind {
+    /// A regular file and its contents.
+    File {
+        /// File contents.
+        data: Bytes,
+    },
+    /// A directory mapping child names to inode ids, sorted by name.
+    Dir {
+        /// Child entries.
+        children: BTreeMap<String, InodeId>,
+    },
+}
+
+/// One filesystem object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inode {
+    /// This inode's id.
+    pub id: InodeId,
+    /// Parent directory id; the root is its own parent.
+    pub parent: InodeId,
+    /// Entry name within the parent ("" for the root).
+    pub name: String,
+    /// Ownership and timestamps.
+    pub meta: Metadata,
+    /// File data or directory entries.
+    pub kind: InodeKind,
+}
+
+impl Inode {
+    /// Reports whether this inode is a directory.
+    pub fn is_dir(&self) -> bool {
+        matches!(self.kind, InodeKind::Dir { .. })
+    }
+
+    /// Reports whether this inode is a regular file.
+    pub fn is_file(&self) -> bool {
+        matches!(self.kind, InodeKind::File { .. })
+    }
+
+    /// Size in bytes: file length, or 0 for directories.
+    pub fn size(&self) -> u64 {
+        match &self.kind {
+            InodeKind::File { data } => data.len() as u64,
+            InodeKind::Dir { .. } => 0,
+        }
+    }
+}
+
+/// A decoupled copy of an inode subtree, used by the journal to restore
+/// removed trees and by `cp -r`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Snapshot {
+    /// A file snapshot.
+    File {
+        /// Entry name.
+        name: String,
+        /// File contents.
+        data: Bytes,
+        /// Metadata at snapshot time.
+        meta: Metadata,
+    },
+    /// A directory snapshot with recursive children.
+    Dir {
+        /// Entry name.
+        name: String,
+        /// Metadata at snapshot time.
+        meta: Metadata,
+        /// Child snapshots, in name order.
+        children: Vec<Snapshot>,
+    },
+}
+
+impl Snapshot {
+    /// The entry name of the snapshot root.
+    pub fn name(&self) -> &str {
+        match self {
+            Snapshot::File { name, .. } | Snapshot::Dir { name, .. } => name,
+        }
+    }
+
+    /// Total bytes of file content in the snapshot.
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            Snapshot::File { data, .. } => data.len() as u64,
+            Snapshot::Dir { children, .. } => children.iter().map(Snapshot::total_bytes).sum(),
+        }
+    }
+
+    /// Number of files (not directories) in the snapshot.
+    pub fn file_count(&self) -> usize {
+        match self {
+            Snapshot::File { .. } => 1,
+            Snapshot::Dir { children, .. } => children.iter().map(Snapshot::file_count).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(mode: u32) -> Metadata {
+        Metadata { owner: "alice".into(), mode, created: 1, modified: 1 }
+    }
+
+    #[test]
+    fn mode_string_renders_like_ls() {
+        assert_eq!(meta(0o644).mode_string(), "rw-r--r--");
+        assert_eq!(meta(0o755).mode_string(), "rwxr-xr-x");
+        assert_eq!(meta(0o000).mode_string(), "---------");
+        assert_eq!(meta(0o777).mode_string(), "rwxrwxrwx");
+    }
+
+    #[test]
+    fn world_writable_detection() {
+        assert!(meta(0o646).world_writable());
+        assert!(meta(0o777).world_writable());
+        assert!(!meta(0o644).world_writable());
+        assert!(!meta(0o750).world_writable());
+    }
+
+    #[test]
+    fn inode_size_and_kind() {
+        let f = Inode {
+            id: 1,
+            parent: 0,
+            name: "x".into(),
+            meta: meta(0o644),
+            kind: InodeKind::File { data: Bytes::from_static(b"hello") },
+        };
+        assert!(f.is_file() && !f.is_dir());
+        assert_eq!(f.size(), 5);
+        let d = Inode {
+            id: 2,
+            parent: 0,
+            name: "d".into(),
+            meta: meta(0o755),
+            kind: InodeKind::Dir { children: BTreeMap::new() },
+        };
+        assert!(d.is_dir());
+        assert_eq!(d.size(), 0);
+    }
+
+    #[test]
+    fn snapshot_accounting() {
+        let snap = Snapshot::Dir {
+            name: "top".into(),
+            meta: meta(0o755),
+            children: vec![
+                Snapshot::File { name: "a".into(), data: Bytes::from_static(b"12345"), meta: meta(0o644) },
+                Snapshot::Dir {
+                    name: "sub".into(),
+                    meta: meta(0o755),
+                    children: vec![Snapshot::File {
+                        name: "b".into(),
+                        data: Bytes::from_static(b"123"),
+                        meta: meta(0o600),
+                    }],
+                },
+            ],
+        };
+        assert_eq!(snap.total_bytes(), 8);
+        assert_eq!(snap.file_count(), 2);
+        assert_eq!(snap.name(), "top");
+    }
+}

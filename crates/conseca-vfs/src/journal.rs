@@ -1,0 +1,160 @@
+//! Mutation journal: the paper's §7 "undo-log".
+//!
+//! Every mutating [`crate::Vfs`] operation appends an entry describing how to
+//! reverse it. Users (or auditors) can review the log and roll actions back,
+//! which is exactly the capability the paper proposes for recovering from
+//! agent mistakes.
+
+use bytes::Bytes;
+
+use crate::inode::Snapshot;
+
+/// How to reverse one recorded mutation.
+#[derive(Debug, Clone)]
+pub enum UndoData {
+    /// The operation created `path`; undo removes it (recursively).
+    RemovePath {
+        /// Path created by the original operation.
+        path: String,
+    },
+    /// The operation removed a subtree; undo re-attaches the snapshot under
+    /// `parent`.
+    RestoreSubtree {
+        /// Directory the subtree lived in.
+        parent: String,
+        /// Full copy of what was removed.
+        snapshot: Snapshot,
+    },
+    /// The operation overwrote a file; undo restores prior contents.
+    RestoreFile {
+        /// The overwritten file.
+        path: String,
+        /// Previous contents.
+        data: Bytes,
+        /// Previous modification tick.
+        modified: u64,
+    },
+    /// The operation renamed `from` → `to`; undo renames back.
+    RenameBack {
+        /// Original location.
+        from: String,
+        /// Location after the original operation.
+        to: String,
+    },
+    /// The operation changed mode bits; undo restores them.
+    RestoreMode {
+        /// The affected path.
+        path: String,
+        /// Previous mode bits.
+        mode: u32,
+    },
+    /// The operation changed ownership; undo restores it.
+    RestoreOwner {
+        /// The affected path.
+        path: String,
+        /// Previous owner.
+        owner: String,
+    },
+}
+
+/// One journal record.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Monotonic sequence number.
+    pub seq: u64,
+    /// Logical-clock tick when the mutation happened.
+    pub tick: u64,
+    /// Human-readable description, e.g. `write /home/alice/notes.txt (120 bytes)`.
+    pub description: String,
+    /// Reversal instructions.
+    pub undo: UndoData,
+}
+
+/// An append-only log of reversible mutations.
+#[derive(Debug, Default)]
+pub struct Journal {
+    entries: Vec<JournalEntry>,
+    next_seq: u64,
+}
+
+impl Journal {
+    /// Creates an empty journal.
+    pub fn new() -> Self {
+        Journal::default()
+    }
+
+    /// Appends an entry, assigning it the next sequence number.
+    pub fn record(&mut self, tick: u64, description: String, undo: UndoData) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.push(JournalEntry { seq, tick, description, undo });
+        seq
+    }
+
+    /// Removes and returns the most recent entry.
+    pub fn pop(&mut self) -> Option<JournalEntry> {
+        self.entries.pop()
+    }
+
+    /// Number of recorded (not yet undone) mutations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Reports whether the journal is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Read-only view of all entries, oldest first.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Drops all entries (e.g. after the user approves the agent's work).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let mut j = Journal::new();
+        let a = j.record(1, "one".into(), UndoData::RemovePath { path: "/a".into() });
+        let b = j.record(2, "two".into(), UndoData::RemovePath { path: "/b".into() });
+        assert!(b > a);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn pop_is_lifo() {
+        let mut j = Journal::new();
+        j.record(1, "one".into(), UndoData::RemovePath { path: "/a".into() });
+        j.record(2, "two".into(), UndoData::RemovePath { path: "/b".into() });
+        assert_eq!(j.pop().unwrap().description, "two");
+        assert_eq!(j.pop().unwrap().description, "one");
+        assert!(j.pop().is_none());
+    }
+
+    #[test]
+    fn sequence_survives_pop() {
+        // Seqs keep increasing even after pops, so audit ids stay unique.
+        let mut j = Journal::new();
+        let a = j.record(1, "a".into(), UndoData::RemovePath { path: "/a".into() });
+        j.pop();
+        let b = j.record(2, "b".into(), UndoData::RemovePath { path: "/b".into() });
+        assert!(b > a);
+    }
+
+    #[test]
+    fn clear_empties_log() {
+        let mut j = Journal::new();
+        j.record(1, "a".into(), UndoData::RemovePath { path: "/a".into() });
+        j.clear();
+        assert!(j.is_empty());
+    }
+}

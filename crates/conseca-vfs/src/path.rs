@@ -1,0 +1,145 @@
+//! Absolute-path parsing and normalisation.
+//!
+//! The VFS accepts only absolute `/`-separated paths; the shell layer is
+//! responsible for resolving anything relative against the acting user's
+//! home directory before it reaches the filesystem.
+
+use crate::error::VfsError;
+
+/// Splits an absolute path into normalised components.
+///
+/// `.` components are dropped and `..` pops the previous component (stopping
+/// at the root, as POSIX path resolution does for `/..`).
+///
+/// # Errors
+///
+/// Rejects empty paths, relative paths, and paths containing NUL bytes.
+///
+/// # Examples
+///
+/// ```
+/// use conseca_vfs::path::components;
+///
+/// assert_eq!(components("/home//alice/./x").unwrap(), vec!["home", "alice", "x"]);
+/// assert_eq!(components("/a/b/../c").unwrap(), vec!["a", "c"]);
+/// assert!(components("relative/path").is_err());
+/// ```
+pub fn components(path: &str) -> Result<Vec<String>, VfsError> {
+    if path.is_empty() || !path.starts_with('/') || path.contains('\0') {
+        return Err(VfsError::InvalidPath { path: path.to_owned() });
+    }
+    let mut out: Vec<String> = Vec::new();
+    for part in path.split('/') {
+        match part {
+            "" | "." => {}
+            ".." => {
+                out.pop();
+            }
+            name => out.push(name.to_owned()),
+        }
+    }
+    Ok(out)
+}
+
+/// Re-assembles components into a canonical absolute path.
+pub fn join(components: &[String]) -> String {
+    if components.is_empty() {
+        "/".to_owned()
+    } else {
+        format!("/{}", components.join("/"))
+    }
+}
+
+/// Returns the canonical form of `path` (normalised components re-joined).
+///
+/// # Errors
+///
+/// Propagates [`VfsError::InvalidPath`] from [`components`].
+pub fn canonicalize(path: &str) -> Result<String, VfsError> {
+    Ok(join(&components(path)?))
+}
+
+/// Splits a path into `(parent, file_name)`.
+///
+/// # Errors
+///
+/// Fails on the root path (which has no parent) and on invalid paths.
+pub fn split_parent(path: &str) -> Result<(String, String), VfsError> {
+    let mut comps = components(path)?;
+    match comps.pop() {
+        Some(name) => Ok((join(&comps), name)),
+        None => Err(VfsError::InvalidPath { path: path.to_owned() }),
+    }
+}
+
+/// Reports whether `inner` is equal to or lexically inside `outer`.
+///
+/// Both paths are canonicalised first, so `/a/b/../b/c` is inside `/a/b`.
+///
+/// # Errors
+///
+/// Propagates [`VfsError::InvalidPath`] for either argument.
+pub fn is_within(outer: &str, inner: &str) -> Result<bool, VfsError> {
+    let o = components(outer)?;
+    let i = components(inner)?;
+    Ok(i.len() >= o.len() && i[..o.len()] == o[..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_no_components() {
+        assert!(components("/").unwrap().is_empty());
+        assert_eq!(canonicalize("/").unwrap(), "/");
+    }
+
+    #[test]
+    fn duplicate_slashes_collapse() {
+        assert_eq!(canonicalize("//a///b//").unwrap(), "/a/b");
+    }
+
+    #[test]
+    fn dot_and_dotdot_resolve() {
+        assert_eq!(canonicalize("/a/./b/../c").unwrap(), "/a/c");
+        assert_eq!(canonicalize("/../a").unwrap(), "/a");
+        assert_eq!(canonicalize("/a/b/../../..").unwrap(), "/");
+    }
+
+    #[test]
+    fn relative_paths_rejected() {
+        assert!(components("a/b").is_err());
+        assert!(components("").is_err());
+        assert!(components("./x").is_err());
+    }
+
+    #[test]
+    fn nul_rejected() {
+        assert!(components("/a\0b").is_err());
+    }
+
+    #[test]
+    fn split_parent_works() {
+        let (parent, name) = split_parent("/home/alice/notes.txt").unwrap();
+        assert_eq!(parent, "/home/alice");
+        assert_eq!(name, "notes.txt");
+        let (parent, name) = split_parent("/top").unwrap();
+        assert_eq!(parent, "/");
+        assert_eq!(name, "top");
+    }
+
+    #[test]
+    fn split_parent_rejects_root() {
+        assert!(split_parent("/").is_err());
+    }
+
+    #[test]
+    fn is_within_checks_prefix_by_component() {
+        assert!(is_within("/a/b", "/a/b/c").unwrap());
+        assert!(is_within("/a/b", "/a/b").unwrap());
+        assert!(!is_within("/a/b", "/a/bc").unwrap());
+        assert!(!is_within("/a/b", "/a").unwrap());
+        assert!(is_within("/a/b", "/a/x/../b/c").unwrap());
+    }
+}

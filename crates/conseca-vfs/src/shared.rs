@@ -1,0 +1,99 @@
+//! A cloneable, thread-safe handle around [`Vfs`].
+//!
+//! The agent's executor, the email tool, and trusted-context extractors all
+//! need access to the same filesystem; `SharedVfs` provides that with a
+//! `parking_lot::RwLock`, keeping the core [`Vfs`] itself single-threaded
+//! and simple.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::VfsError;
+use crate::fs::Vfs;
+
+/// A shared handle to one filesystem.
+///
+/// # Examples
+///
+/// ```
+/// use conseca_vfs::{SharedVfs, Vfs};
+///
+/// let mut fs = Vfs::new();
+/// fs.add_user("alice", false).unwrap();
+/// let shared = SharedVfs::new(fs);
+/// let clone = shared.clone();
+/// clone.with_mut(|fs| fs.write("/home/alice/x", b"1", "alice")).unwrap();
+/// assert!(shared.with(|fs| fs.is_file("/home/alice/x")));
+/// ```
+#[derive(Clone)]
+pub struct SharedVfs {
+    inner: Arc<RwLock<Vfs>>,
+}
+
+impl SharedVfs {
+    /// Wraps a filesystem in a shared handle.
+    pub fn new(fs: Vfs) -> Self {
+        SharedVfs { inner: Arc::new(RwLock::new(fs)) }
+    }
+
+    /// Runs a read-only closure against the filesystem.
+    pub fn with<R>(&self, f: impl FnOnce(&Vfs) -> R) -> R {
+        f(&self.inner.read())
+    }
+
+    /// Runs a mutating closure against the filesystem.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Vfs) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Convenience: reads a file as text.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Vfs::read_to_string`].
+    pub fn read_to_string(&self, path: &str) -> Result<String, VfsError> {
+        self.with(|fs| fs.read_to_string(path))
+    }
+}
+
+impl std::fmt::Debug for SharedVfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedVfs").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_state() {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        let a = SharedVfs::new(fs);
+        let b = a.clone();
+        a.with_mut(|fs| fs.write("/home/alice/f", b"x", "alice")).unwrap();
+        assert_eq!(b.read_to_string("/home/alice/f").unwrap(), "x");
+    }
+
+    #[test]
+    fn usable_across_threads() {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        let shared = SharedVfs::new(fs);
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let s = shared.clone();
+                std::thread::spawn(move || {
+                    s.with_mut(|fs| fs.write(&format!("/home/alice/f{i}"), b"x", "alice"))
+                        .unwrap();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.with(|fs| fs.ls("/home/alice").unwrap().len()), 4);
+    }
+}

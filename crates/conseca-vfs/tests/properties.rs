@@ -1,0 +1,126 @@
+//! Property tests for filesystem invariants, centred on the journal:
+//! after any sequence of mutations, `undo_all` restores the pristine state.
+
+use conseca_vfs::{Vfs, VfsError};
+use proptest::prelude::*;
+
+/// A randomly generated mutation to apply to the filesystem.
+#[derive(Debug, Clone)]
+enum Op {
+    Mkdir(u8),
+    Write(u8, Vec<u8>),
+    Append(u8, Vec<u8>),
+    Touch(u8),
+    Rm(u8),
+    RmR(u8),
+    Mv(u8, u8),
+    Cp(u8, u8),
+    Chmod(u8, u32),
+}
+
+/// Maps a small integer to one of a fixed pool of paths so operations
+/// collide often enough to exercise interesting interleavings.
+fn path_for(i: u8) -> String {
+    let names = ["a", "b", "c", "d/e", "d/f", "d", "g"];
+    format!("/home/alice/{}", names[(i as usize) % names.len()])
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..7).prop_map(Op::Mkdir),
+        (0u8..7, proptest::collection::vec(any::<u8>(), 0..24)).prop_map(|(p, d)| Op::Write(p, d)),
+        (0u8..7, proptest::collection::vec(any::<u8>(), 0..16)).prop_map(|(p, d)| Op::Append(p, d)),
+        (0u8..7).prop_map(Op::Touch),
+        (0u8..7).prop_map(Op::Rm),
+        (0u8..7).prop_map(Op::RmR),
+        (0u8..7, 0u8..7).prop_map(|(a, b)| Op::Mv(a, b)),
+        (0u8..7, 0u8..7).prop_map(|(a, b)| Op::Cp(a, b)),
+        (0u8..7, 0u32..0o777).prop_map(|(p, m)| Op::Chmod(p, m)),
+    ]
+}
+
+fn apply(fs: &mut Vfs, op: &Op) -> Result<(), VfsError> {
+    match op {
+        Op::Mkdir(p) => fs.mkdir(&path_for(*p), "alice"),
+        Op::Write(p, d) => fs.write(&path_for(*p), d, "alice"),
+        Op::Append(p, d) => fs.append(&path_for(*p), d, "alice"),
+        Op::Touch(p) => fs.touch(&path_for(*p), "alice"),
+        Op::Rm(p) => fs.rm(&path_for(*p)),
+        Op::RmR(p) => fs.rm_r(&path_for(*p)),
+        Op::Mv(a, b) => fs.mv(&path_for(*a), &path_for(*b)),
+        Op::Cp(a, b) => fs.cp(&path_for(*a), &path_for(*b), "alice"),
+        Op::Chmod(p, m) => fs.chmod(&path_for(*p), *m),
+    }
+}
+
+/// Captures the full observable state of /home/alice.
+fn fingerprint(fs: &Vfs) -> Vec<(String, bool, u64, u32, Vec<u8>)> {
+    fs.walk("/home/alice")
+        .unwrap()
+        .into_iter()
+        .map(|e| {
+            let data = if e.is_dir { Vec::new() } else { fs.read(&e.path).unwrap().to_vec() };
+            (e.path, e.is_dir, e.size, e.mode, data)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// undo_all returns the filesystem to its pre-mutation state, bytes,
+    /// modes, structure and quota accounting included.
+    #[test]
+    fn undo_all_restores_pristine_state(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        fs.clear_journal();
+        let baseline = fingerprint(&fs);
+        let baseline_used = fs.used_bytes();
+        for op in &ops {
+            // Failures are fine (target missing etc.); they must not journal.
+            let _ = apply(&mut fs, op);
+        }
+        fs.undo_all().unwrap();
+        prop_assert_eq!(fingerprint(&fs), baseline);
+        prop_assert_eq!(fs.used_bytes(), baseline_used);
+    }
+
+    /// used_bytes always equals the sum of file sizes in the tree.
+    #[test]
+    fn quota_accounting_matches_du(ops in proptest::collection::vec(op_strategy(), 1..40)) {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        for op in &ops {
+            let _ = apply(&mut fs, op);
+        }
+        prop_assert_eq!(fs.used_bytes(), fs.du("/").unwrap());
+    }
+
+    /// Failed operations leave no trace in the journal.
+    #[test]
+    fn failures_do_not_journal(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        for op in &ops {
+            let before = fs.journal().len();
+            match apply(&mut fs, op) {
+                Ok(()) => {}
+                Err(_) => prop_assert_eq!(fs.journal().len(), before),
+            }
+        }
+    }
+
+    /// Walk output is always sorted (BTreeMap ordering) and paths resolve.
+    #[test]
+    fn walk_entries_resolve(ops in proptest::collection::vec(op_strategy(), 1..30)) {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        for op in &ops {
+            let _ = apply(&mut fs, op);
+        }
+        for e in fs.walk("/").unwrap() {
+            prop_assert!(fs.exists(&e.path), "walk produced dangling path {}", e.path);
+        }
+    }
+}

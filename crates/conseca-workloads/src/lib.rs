@@ -1,0 +1,31 @@
+//! Evaluation workloads for the Conseca reproduction (§5 + Appendix A).
+//!
+//! - [`env`]: the deterministic 10-user world (files, logs, mailboxes,
+//!   attachments) and the §5 attack email;
+//! - [`tasks`]: the 20 Table-A tasks — descriptions, plan programs, goal
+//!   checkers — plus the §5 categorize scenario;
+//! - [`script`]: the plan-program engine modelling the paper's basic agent
+//!   (sequential steps, stubborn retry on denial, explicit fallbacks);
+//! - [`runner`]: the Figure 3 / Table A / injection harnesses;
+//! - [`ablation`]: trusted-context and trajectory ablations;
+//! - [`table`]: plain-text table rendering for experiment binaries.
+
+pub mod ablation;
+pub mod env;
+pub mod runner;
+pub mod script;
+pub mod table;
+pub mod tasks;
+
+pub use ablation::{
+    run_context_ablation, run_trajectory_ablation, ContextAblationRow, ContextLevel,
+    TrajectoryAblationRow,
+};
+pub use env::{Env, CURRENT_USER, DOMAIN, INJECTED_BODY, USERS};
+pub use runner::{
+    denies_inappropriate, figure3, golden_examples, injection_task_ids, mode_index, run_grid,
+    run_injection, run_task_once, table_a, Figure3Row, Grid, InjectionOutcome, RunOutcome,
+    TableARow,
+};
+pub use script::{DeniedBehavior, Script, ScriptCtx, StepResult};
+pub use tasks::{all_tasks, categorize_task, check_goal, make_planner, TaskSpec, CATEGORIZE_TASK_ID};

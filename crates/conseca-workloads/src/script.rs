@@ -1,0 +1,408 @@
+//! A small engine for writing task plans as sequential scripts.
+//!
+//! Each of the paper's 20 tasks becomes a [`Script`]: a list of steps that
+//! are either fixed commands or generators computing commands from earlier
+//! outputs. The engine models the paper's **basic agent**: when a command
+//! is denied it is stubbornly re-proposed (which is how denials turn into
+//! the 10-consecutive-denial stall the paper reports), unless the script
+//! installs an explicit fallback via [`Script::on_denied`].
+
+use std::collections::VecDeque;
+
+use conseca_llm::{ObsKind, Observation, PlanProgram, PlannerAction, PlannerState};
+
+/// Outcome of one dynamic step generator.
+pub enum StepResult {
+    /// Issue these commands next, in order.
+    Cmds(Vec<String>),
+    /// Declare the task complete with this message.
+    Finish(String),
+    /// Abandon the task ("too complex", per §5's failed tasks).
+    Abort(String),
+}
+
+/// What to do when a command is denied.
+pub enum DeniedBehavior {
+    /// Re-propose the same command (the basic agent's default).
+    Retry,
+    /// Record the denial as a failed output and move on.
+    Skip,
+    /// Propose these commands instead.
+    Replace(Vec<String>),
+}
+
+/// One resolved command: (command, output text, executed-ok).
+pub type ResolvedCmd = (String, String, bool);
+
+/// Read-only view of resolved commands for generators.
+pub struct ScriptCtx<'a> {
+    /// All resolved commands, oldest first.
+    pub outputs: &'a [ResolvedCmd],
+}
+
+impl<'a> ScriptCtx<'a> {
+    /// Output of the most recent command whose text starts with `prefix`.
+    pub fn output_of(&self, prefix: &str) -> Option<&str> {
+        self.outputs
+            .iter()
+            .rev()
+            .find(|(cmd, _, _)| cmd.starts_with(prefix))
+            .map(|(_, out, _)| out.as_str())
+    }
+
+    /// Outputs of every command whose text starts with `prefix`, in order.
+    pub fn outputs_of(&self, prefix: &str) -> Vec<&str> {
+        self.outputs
+            .iter()
+            .filter(|(cmd, _, _)| cmd.starts_with(prefix))
+            .map(|(_, out, _)| out.as_str())
+            .collect()
+    }
+
+    /// The most recent output, if any.
+    pub fn last_output(&self) -> Option<&str> {
+        self.outputs.last().map(|(_, out, _)| out.as_str())
+    }
+}
+
+type StepGen = Box<dyn FnMut(&ScriptCtx) -> StepResult>;
+type DeniedHook = Box<dyn FnMut(&str) -> DeniedBehavior>;
+
+/// A sequential, possibly dynamic, plan program.
+pub struct Script {
+    name: String,
+    gens: VecDeque<StepGen>,
+    queue: VecDeque<String>,
+    outputs: Vec<ResolvedCmd>,
+    pending: Option<String>,
+    on_denied: Option<DeniedHook>,
+    done_message: String,
+}
+
+impl Script {
+    /// Creates an empty script.
+    pub fn new(name: &str) -> Self {
+        Script {
+            name: name.to_owned(),
+            gens: VecDeque::new(),
+            queue: VecDeque::new(),
+            outputs: Vec::new(),
+            pending: None,
+            on_denied: None,
+            done_message: "task complete".to_owned(),
+        }
+    }
+
+    /// Appends a fixed command step.
+    pub fn run(mut self, cmd: impl Into<String>) -> Self {
+        let cmd = cmd.into();
+        self.gens.push_back(Box::new(move |_ctx| StepResult::Cmds(vec![cmd.clone()])));
+        self
+    }
+
+    /// Appends a dynamic step computed from prior outputs.
+    pub fn then(mut self, gen: impl FnMut(&ScriptCtx) -> StepResult + 'static) -> Self {
+        self.gens.push_back(Box::new(gen));
+        self
+    }
+
+    /// Installs the denial fallback hook.
+    pub fn on_denied(mut self, hook: impl FnMut(&str) -> DeniedBehavior + 'static) -> Self {
+        self.on_denied = Some(Box::new(hook));
+        self
+    }
+
+    /// Sets the final completion message.
+    pub fn finish(mut self, message: &str) -> Self {
+        self.done_message = message.to_owned();
+        self
+    }
+
+    /// Boxes the script as a plan program.
+    pub fn build(self) -> Box<dyn PlanProgram> {
+        Box::new(self)
+    }
+
+    fn latest_observation<'a>(state: &'a PlannerState, cmd: &str) -> Option<&'a Observation> {
+        state.history.iter().rev().find(|o| o.command == cmd)
+    }
+}
+
+impl PlanProgram for Script {
+    fn next(&mut self, state: &PlannerState) -> PlannerAction {
+        // Resolve the pending command first.
+        if let Some(cmd) = self.pending.clone() {
+            match Self::latest_observation(state, &cmd) {
+                Some(obs) if obs.kind == ObsKind::Denied => {
+                    let behavior = match self.on_denied.as_mut() {
+                        Some(hook) => hook(&cmd),
+                        None => DeniedBehavior::Retry,
+                    };
+                    match behavior {
+                        DeniedBehavior::Retry => return PlannerAction::Execute(cmd),
+                        DeniedBehavior::Skip => {
+                            self.outputs.push((cmd, obs.output.clone(), false));
+                            self.pending = None;
+                        }
+                        DeniedBehavior::Replace(cmds) => {
+                            for c in cmds.into_iter().rev() {
+                                self.queue.push_front(c);
+                            }
+                            self.pending = None;
+                        }
+                    }
+                }
+                Some(obs) => {
+                    self.outputs.push((cmd, obs.output.clone(), obs.kind == ObsKind::Executed));
+                    self.pending = None;
+                }
+                // Not yet observed (should not happen in the agent loop);
+                // re-propose defensively.
+                None => return PlannerAction::Execute(cmd),
+            }
+        }
+
+        loop {
+            if let Some(cmd) = self.queue.pop_front() {
+                self.pending = Some(cmd.clone());
+                return PlannerAction::Execute(cmd);
+            }
+            match self.gens.pop_front() {
+                Some(mut gen) => {
+                    let ctx = ScriptCtx { outputs: &self.outputs };
+                    match gen(&ctx) {
+                        StepResult::Cmds(cmds) => {
+                            self.queue.extend(cmds);
+                        }
+                        StepResult::Finish(message) => return PlannerAction::Done { message },
+                        StepResult::Abort(reason) => return PlannerAction::GiveUp { reason },
+                    }
+                }
+                None => {
+                    return PlannerAction::Done { message: self.done_message.clone() };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+// ------------------------------------------------------- output parsing
+
+/// Ids from email-listing lines, filtered by a predicate on the line.
+pub fn listing_ids_where(output: &str, mut pred: impl FnMut(&str) -> bool) -> Vec<u64> {
+    let mut ids = Vec::new();
+    for line in output.lines() {
+        let line = line.trim_start();
+        if !pred(line) {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            if let Some(end) = rest.find(']') {
+                if let Ok(id) = rest[..end].parse::<u64>() {
+                    ids.push(id);
+                }
+            }
+        }
+    }
+    ids
+}
+
+/// The `subject="..."` field of a listing line.
+pub fn listing_subject(line: &str) -> Option<&str> {
+    let start = line.find("subject=\"")? + "subject=\"".len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    Some(&rest[..end])
+}
+
+/// The attachment names of a listing line (empty for `-`).
+pub fn listing_attachments(line: &str) -> Vec<String> {
+    let Some(start) = line.find("attachments=") else { return Vec::new() };
+    let field = line[start + "attachments=".len()..]
+        .split_whitespace()
+        .next()
+        .unwrap_or("-");
+    if field == "-" {
+        Vec::new()
+    } else {
+        field.split(',').map(str::to_owned).collect()
+    }
+}
+
+/// Entry names from `ls` output (the name is the final column).
+pub fn ls_names(output: &str) -> Vec<String> {
+    output
+        .lines()
+        .filter_map(|l| l.split_whitespace().last())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Directory names from `ls` output (lines starting with `d`).
+pub fn ls_dir_names(output: &str) -> Vec<String> {
+    output
+        .lines()
+        .filter(|l| l.starts_with('d'))
+        .filter_map(|l| l.split_whitespace().last())
+        .map(str::to_owned)
+        .collect()
+}
+
+/// `checksum` output → (hash, path).
+pub fn checksum_parts(output: &str) -> Option<(String, String)> {
+    let mut it = output.split_whitespace();
+    let hash = it.next()?.to_owned();
+    let path = it.next()?.to_owned();
+    Some((hash, path))
+}
+
+/// The `Subject:` header of a `read_email` output.
+pub fn read_email_subject(output: &str) -> Option<&str> {
+    output
+        .lines()
+        .find_map(|l| l.strip_prefix("Subject: "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_shell::OutputTrust;
+
+    fn obs(kind: ObsKind, command: &str, output: &str) -> Observation {
+        Observation {
+            command: command.into(),
+            api: None,
+            output: output.into(),
+            trust: OutputTrust::Trusted,
+            kind,
+        }
+    }
+
+    #[test]
+    fn fixed_steps_run_in_order_then_finish() {
+        let mut plan = Script::new("t").run("a 1").run("b 2").finish("ok").build();
+        let mut state = PlannerState::default();
+        assert_eq!(plan.next(&state), PlannerAction::Execute("a 1".into()));
+        state.history.push(obs(ObsKind::Executed, "a 1", "outA"));
+        assert_eq!(plan.next(&state), PlannerAction::Execute("b 2".into()));
+        state.history.push(obs(ObsKind::Executed, "b 2", "outB"));
+        assert_eq!(plan.next(&state), PlannerAction::Done { message: "ok".into() });
+    }
+
+    #[test]
+    fn denials_are_retried_stubbornly_by_default() {
+        let mut plan = Script::new("t").run("write x").build();
+        let mut state = PlannerState::default();
+        assert_eq!(plan.next(&state), PlannerAction::Execute("write x".into()));
+        for _ in 0..5 {
+            state.history.push(obs(ObsKind::Denied, "write x", "DENIED"));
+            assert_eq!(
+                plan.next(&state),
+                PlannerAction::Execute("write x".into()),
+                "stubborn retry expected"
+            );
+        }
+    }
+
+    #[test]
+    fn denied_hook_can_replace_with_fallback() {
+        let mut made_trash = false;
+        let mut plan = Script::new("t")
+            .run("rm /home/a/x")
+            .on_denied(move |cmd| {
+                if let Some(path) = cmd.strip_prefix("rm ") {
+                    let mut cmds = Vec::new();
+                    if !made_trash {
+                        made_trash = true;
+                        cmds.push("mkdir /home/a/.Trash".to_owned());
+                    }
+                    let name = path.rsplit('/').next().unwrap_or("f");
+                    cmds.push(format!("mv {path} /home/a/.Trash/{name}"));
+                    DeniedBehavior::Replace(cmds)
+                } else {
+                    DeniedBehavior::Retry
+                }
+            })
+            .build();
+        let mut state = PlannerState::default();
+        assert_eq!(plan.next(&state), PlannerAction::Execute("rm /home/a/x".into()));
+        state.history.push(obs(ObsKind::Denied, "rm /home/a/x", "DENIED"));
+        assert_eq!(plan.next(&state), PlannerAction::Execute("mkdir /home/a/.Trash".into()));
+        state.history.push(obs(ObsKind::Executed, "mkdir /home/a/.Trash", "ok"));
+        assert_eq!(
+            plan.next(&state),
+            PlannerAction::Execute("mv /home/a/x /home/a/.Trash/x".into())
+        );
+    }
+
+    #[test]
+    fn generators_see_prior_outputs() {
+        let mut plan = Script::new("t")
+            .run("find /v '\\.mp4$'")
+            .then(|ctx| {
+                let got = ctx.output_of("find").unwrap().to_owned();
+                StepResult::Cmds(vec![format!("zip /v.zip {}", got.trim())])
+            })
+            .build();
+        let mut state = PlannerState::default();
+        let a = plan.next(&state);
+        assert_eq!(a, PlannerAction::Execute("find /v '\\.mp4$'".into()));
+        state.history.push(obs(ObsKind::Executed, "find /v '\\.mp4$'", "/v/a.mp4\n"));
+        assert_eq!(plan.next(&state), PlannerAction::Execute("zip /v.zip /v/a.mp4".into()));
+    }
+
+    #[test]
+    fn abort_gives_up() {
+        let mut plan = Script::new("t")
+            .then(|_ctx| StepResult::Abort("too complex".into()))
+            .build();
+        let state = PlannerState::default();
+        assert_eq!(
+            plan.next(&state),
+            PlannerAction::GiveUp { reason: "too complex".into() }
+        );
+    }
+
+    #[test]
+    fn tool_errors_recorded_and_plan_continues() {
+        let mut plan = Script::new("t").run("cat /missing").run("ls /").build();
+        let mut state = PlannerState::default();
+        plan.next(&state);
+        state.history.push(obs(ObsKind::ToolError, "cat /missing", "no such file"));
+        assert_eq!(plan.next(&state), PlannerAction::Execute("ls /".into()));
+    }
+
+    #[test]
+    fn listing_parsers() {
+        let listing = "[3] unread from=bob@work.com subject=\"topics to discuss: roadmap\" category=work attachments=-\n\
+                       [7] read   from=dave@work.com subject=\"invoice March\" category=finance attachments=invoice_01.pdf,notes.txt\n";
+        let ids = listing_ids_where(listing, |l| l.contains("from=bob@work.com"));
+        assert_eq!(ids, vec![3]);
+        let all = listing_ids_where(listing, |_| true);
+        assert_eq!(all, vec![3, 7]);
+        let line2 = listing.lines().nth(1).unwrap();
+        assert_eq!(listing_subject(line2), Some("invoice March"));
+        assert_eq!(listing_attachments(line2), vec!["invoice_01.pdf", "notes.txt"]);
+        assert!(listing_attachments(listing.lines().next().unwrap()).is_empty());
+    }
+
+    #[test]
+    fn ls_and_checksum_parsers() {
+        let ls = "drwxr-xr-x        0 alice Documents\n-rw-r--r--      120 alice notes.txt\n";
+        assert_eq!(ls_names(ls), vec!["Documents", "notes.txt"]);
+        assert_eq!(ls_dir_names(ls), vec!["Documents"]);
+        let (h, p) = checksum_parts("00ff00ff00ff00ff  /home/a/x.txt\n").unwrap();
+        assert_eq!(h, "00ff00ff00ff00ff");
+        assert_eq!(p, "/home/a/x.txt");
+    }
+
+    #[test]
+    fn read_email_subject_parser() {
+        let out = "From: bob@work.com\nTo: alice@work.com\nSubject: topics to discuss: hiring\nCategory: work\n\nbody";
+        assert_eq!(read_email_subject(out), Some("topics to discuss: hiring"));
+    }
+}

@@ -1,0 +1,64 @@
+//! Plain-text table rendering for experiment output.
+
+/// Renders an aligned text table with a header row and a separator.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            let pad = widths[i].saturating_sub(cell.chars().count());
+            line.push_str(&" ".repeat(pad));
+        }
+        line.trim_end().to_owned()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["Policy", "Avg"],
+            &[
+                vec!["None".into(), "14.0".into()],
+                vec!["Static Restrictive".into(), "0.0".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Policy"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The Avg column starts at the same offset in every row.
+        let col = lines[0].find("Avg").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "14.0");
+    }
+
+    #[test]
+    fn handles_wide_cells() {
+        let t = render(&["A"], &[vec!["a-very-long-cell".into()]]);
+        assert!(t.contains("a-very-long-cell"));
+    }
+}

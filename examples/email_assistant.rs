@@ -1,0 +1,39 @@
+//! A computer-use email assistant run under all four policy regimes.
+//!
+//! Runs one Table-A task — "Check for low disk space and send an email
+//! alert..." — in the paper's full evaluation environment under None,
+//! Static Permissive, Static Restrictive, and Conseca, and prints what
+//! each regime allowed, denied, and achieved.
+//!
+//! Run with: `cargo run --example email_assistant`
+
+use conseca_agent::PolicyMode;
+use conseca_workloads::{run_task_once, table};
+
+fn main() {
+    let task_id = 11; // disk-space-alert
+    println!("task 11: Disk space alert (Table A row 11)\n");
+    let mut rows = Vec::new();
+    for mode in PolicyMode::all() {
+        let outcome = run_task_once(task_id, 0, mode, false);
+        rows.push(vec![
+            mode.label().to_owned(),
+            if outcome.completed { "yes".into() } else { "no".into() },
+            outcome.report.executed.to_string(),
+            outcome.report.denials.to_string(),
+            outcome.report.final_message.clone(),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["Policy", "Completed", "Executed", "Denials", "Agent's final message"],
+            &rows
+        )
+    );
+
+    // Show the contextual policy Conseca generated for this task.
+    let outcome = run_task_once(task_id, 0, PolicyMode::Conseca, false);
+    println!("\nConseca's generated policy for this task:\n");
+    println!("{}", conseca_core::render_policy(&outcome.report.policy));
+}

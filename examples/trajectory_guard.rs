@@ -1,0 +1,43 @@
+//! Trajectory policies (§7): rate limits over action sequences.
+//!
+//! Per-action policies judge each command alone, so 25 individually
+//! harmless `send_email` calls flood an inbox. A trajectory rate limit
+//! caps the sequence while leaving legitimate multi-email tasks intact.
+//!
+//! Run with: `cargo run --example trajectory_guard`
+
+use conseca_core::{PriorCondition, TrajectoryEnforcer, TrajectoryPolicy};
+use conseca_shell::ApiCall;
+use conseca_workloads::run_trajectory_ablation;
+
+fn main() {
+    // The agent-level ablation: flooding with and without the layer.
+    for row in run_trajectory_ablation() {
+        println!(
+            "trajectory {}: flood delivered {}/25 emails; benign 10-email audit task completes: {}",
+            if row.trajectory_enabled { "ON " } else { "OFF" },
+            row.flood_emails_delivered,
+            row.benign_task_completed,
+        );
+    }
+
+    // The API itself: sequencing rules ("only reply to messages actually
+    // read") and rate limits, checked statefully.
+    println!("\nsequence rule demo:");
+    let policy = TrajectoryPolicy::new()
+        .limit("send_email", 3, "this task needs at most a few emails")
+        .require(
+            "reply_email",
+            PriorCondition::SameArgAsPrior {
+                api: "read_email".into(),
+                prior_index: 0,
+                this_index: 0,
+            },
+            "only reply to messages that were actually read",
+        );
+    let mut enforcer = TrajectoryEnforcer::new(policy);
+    let reply9 = ApiCall::new("email", "reply_email", vec!["9".into(), "ok".into()]);
+    println!("  reply_email 9 before reading it -> allowed: {}", enforcer.check(&reply9).allowed);
+    enforcer.record(&ApiCall::new("email", "read_email", vec!["9".into()]));
+    println!("  reply_email 9 after read_email 9 -> allowed: {}", enforcer.check(&reply9).allowed);
+}

@@ -1,0 +1,27 @@
+//! Umbrella crate for the Conseca reproduction.
+//!
+//! Re-exports every workspace crate under one name so examples and
+//! integration tests can reach the whole system:
+//!
+//! - [`conseca_core`] — the paper's contribution: contextual policies,
+//!   deterministic enforcement, generation, caching, auditing, trajectory
+//!   policies;
+//! - [`conseca_regex`] — the linear-time constraint regex engine;
+//! - [`conseca_vfs`] / [`conseca_mail`] — the simulated machine;
+//! - [`conseca_shell`] — the tool command language and executor;
+//! - [`conseca_llm`] — deterministic planner and policy-model substitutes;
+//! - [`conseca_agent`] — the computer-use agent with Conseca hooks;
+//! - [`conseca_workloads`] — the §5 evaluation: environment, 20 tasks,
+//!   experiment harnesses.
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use conseca_agent;
+pub use conseca_core;
+pub use conseca_llm;
+pub use conseca_mail;
+pub use conseca_regex;
+pub use conseca_shell;
+pub use conseca_vfs;
+pub use conseca_workloads;

@@ -1,0 +1,101 @@
+//! Properties of the full policy pipeline across crates: every generated
+//! policy round-trips through the paper's block format, passes the
+//! verifier without errors, caches consistently, and default-denies.
+
+use conseca_repro::conseca_agent::build_trusted_context;
+use conseca_repro::conseca_core::{
+    is_allowed, parse_policy, render_policy, verify_policy, PolicyGenerator, Severity,
+};
+use conseca_repro::conseca_llm::TemplatePolicyModel;
+use conseca_repro::conseca_shell::{default_registry, ApiCall};
+use conseca_repro::conseca_workloads::{all_tasks, golden_examples, Env, CURRENT_USER};
+
+#[test]
+fn every_generated_policy_roundtrips_through_the_block_format() {
+    let env = Env::build();
+    let registry = default_registry();
+    let ctx = build_trusted_context(&env.vfs, &env.mail, CURRENT_USER);
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    for task in all_tasks() {
+        let (policy, _) = generator.set_policy(task.description, &ctx);
+        let text = render_policy(&policy);
+        let parsed = parse_policy(&text)
+            .unwrap_or_else(|e| panic!("task {}: parse failed: {e}\n{text}", task.id));
+        assert_eq!(parsed, policy, "task {} round-trip mismatch", task.id);
+    }
+}
+
+#[test]
+fn every_generated_policy_passes_verification_without_errors() {
+    let env = Env::build();
+    let registry = default_registry();
+    let ctx = build_trusted_context(&env.vfs, &env.mail, CURRENT_USER);
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    for task in all_tasks() {
+        let (policy, _) = generator.set_policy(task.description, &ctx);
+        let findings = verify_policy(&policy, &registry);
+        let errors: Vec<_> =
+            findings.iter().filter(|f| f.severity == Severity::Error).collect();
+        assert!(errors.is_empty(), "task {}: {errors:?}", task.id);
+    }
+}
+
+#[test]
+fn cache_returns_semantically_identical_policies() {
+    let env = Env::build();
+    let registry = default_registry();
+    let ctx = build_trusted_context(&env.vfs, &env.mail, CURRENT_USER);
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples())
+        .with_cache(64);
+    for task in all_tasks() {
+        let (p1, s1) = generator.set_policy(task.description, &ctx);
+        let (p2, s2) = generator.set_policy(task.description, &ctx);
+        assert!(!s1.cache_hit && s2.cache_hit, "task {}", task.id);
+        assert_eq!(p1.fingerprint(), p2.fingerprint(), "task {}", task.id);
+    }
+}
+
+#[test]
+fn generated_policies_default_deny_dangerous_unlisted_calls() {
+    let env = Env::build();
+    let registry = default_registry();
+    let ctx = build_trusted_context(&env.vfs, &env.mail, CURRENT_USER);
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    // Calls no task policy should ever allow implicitly.
+    let dangerous = [
+        ApiCall::new("fs", "rm_r", vec!["/home/alice".into()]),
+        ApiCall::new("fs", "chown", vec!["employee".into(), "/home/alice".into()]),
+        ApiCall::new("fs", "chmod", vec!["777".into(), "/home/alice".into()]),
+    ];
+    for task in all_tasks() {
+        let (policy, _) = generator.set_policy(task.description, &ctx);
+        for call in &dangerous {
+            assert!(
+                !is_allowed(call, &policy).allowed,
+                "task {} allowed {}",
+                task.id,
+                call.raw
+            );
+        }
+    }
+}
+
+#[test]
+fn policies_are_deterministic_across_generations() {
+    let env = Env::build();
+    let registry = default_registry();
+    let ctx = build_trusted_context(&env.vfs, &env.mail, CURRENT_USER);
+    for task in all_tasks() {
+        let mut g1 = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+            .with_golden_examples(golden_examples());
+        let mut g2 = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+            .with_golden_examples(golden_examples());
+        let (p1, _) = g1.set_policy(task.description, &ctx);
+        let (p2, _) = g2.set_policy(task.description, &ctx);
+        assert_eq!(p1, p2, "task {} nondeterministic", task.id);
+    }
+}

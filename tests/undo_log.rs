@@ -1,0 +1,77 @@
+//! The §7 undo-log across the whole stack: after a full agent run, the
+//! filesystem journal can roll back every mutation the agent made —
+//! including the emails it delivered, since mail lives in the VFS.
+
+use conseca_repro::conseca_agent::{Agent, AgentConfig, PolicyMode};
+use conseca_repro::conseca_core::PolicyGenerator;
+use conseca_repro::conseca_llm::TemplatePolicyModel;
+use conseca_repro::conseca_shell::default_registry;
+use conseca_repro::conseca_workloads::{
+    all_tasks, check_goal, golden_examples, make_planner, Env, CURRENT_USER,
+};
+
+fn fingerprint(env: &Env) -> Vec<(String, u64)> {
+    env.vfs.with(|fs| {
+        fs.walk("/home")
+            .unwrap()
+            .into_iter()
+            .map(|e| (e.path, e.size))
+            .collect()
+    })
+}
+
+#[test]
+fn agent_work_is_fully_reversible() {
+    let env = Env::build();
+    let before = fingerprint(&env);
+
+    let registry = default_registry();
+    let generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    let mut agent = Agent::new(
+        env.vfs.clone(),
+        env.mail.clone(),
+        CURRENT_USER,
+        registry,
+        generator,
+        AgentConfig::for_mode(PolicyMode::Conseca),
+    );
+    // The incremental-backup task mutates heavily: mkdir + recursive copy +
+    // email delivery (several files per recipient).
+    let task = all_tasks().into_iter().find(|t| t.id == 8).unwrap();
+    let report = agent.run_task(task.description, make_planner(8, 0));
+    assert!(report.claimed_complete && check_goal(8, &env));
+    assert_ne!(fingerprint(&env), before, "the task must have changed the world");
+
+    let journal_entries = env.vfs.with(|fs| fs.journal().len());
+    assert!(journal_entries > 0);
+    let undone = env.vfs.with_mut(|fs| fs.undo_all()).expect("undo must succeed");
+    assert_eq!(undone, journal_entries);
+    assert_eq!(fingerprint(&env), before, "undo_all must restore the pre-task world");
+    // The confirmation email is gone too.
+    assert!(!check_goal(8, &env));
+}
+
+#[test]
+fn journal_descriptions_name_the_agents_actions() {
+    let env = Env::build();
+    let registry = default_registry();
+    let generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    let mut agent = Agent::new(
+        env.vfs.clone(),
+        env.mail.clone(),
+        CURRENT_USER,
+        registry,
+        generator,
+        AgentConfig::for_mode(PolicyMode::Conseca),
+    );
+    let task = all_tasks().into_iter().find(|t| t.id == 4).unwrap();
+    agent.run_task(task.description, make_planner(4, 0));
+    let journal_text: Vec<String> =
+        env.vfs.with(|fs| fs.journal().iter().map(|e| e.description.clone()).collect());
+    assert!(
+        journal_text.iter().any(|d| d.contains("2025Goals.txt")),
+        "journal should record the created file: {journal_text:?}"
+    );
+}
