@@ -1,0 +1,734 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the slice of proptest its property tests actually use:
+//!
+//! - the [`Strategy`] trait with `prop_map`, `prop_recursive`, and `boxed`;
+//! - strategies for ranges, tuples, [`Just`], `any::<T>()`, string
+//!   patterns (`"[a-z]{0,8}"`), [`collection::vec`], [`char::ranges`],
+//!   and [`string::string_regex`];
+//! - the [`proptest!`] macro family (`prop_assert!`, `prop_assert_eq!`,
+//!   `prop_assume!`) and [`ProptestConfig`].
+//!
+//! Differences from the real crate: generation is seeded per test name (so
+//! failures reproduce across runs), there is **no shrinking** — a failing
+//! case prints its case number and assertion message — and `prop_assume!`
+//! skips the case rather than re-drawing.
+
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic generator handed to strategies (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name, deterministically.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next raw 64-bit sample.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Runner configuration (cases per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy: Clone {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for the
+    /// previous depth level and returns the composite level.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let base = self.boxed();
+        let mut level = base.clone();
+        for _ in 0..depth {
+            let leaf = base.clone();
+            let composite = recurse(level).boxed();
+            level = BoxedStrategy::from_fn(move |rng| {
+                if rng.next_u64() & 1 == 0 {
+                    leaf.generate(rng)
+                } else {
+                    composite.generate(rng)
+                }
+            });
+        }
+        level
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        let inner = self;
+        BoxedStrategy::from_fn(move |rng| inner.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    f: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { f: Rc::new(f) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(rng)
+    }
+}
+
+/// [`Strategy::prop_map`]'s strategy.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T + Clone,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between type-erased alternatives (see [`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Types `any::<T>()` can produce.
+pub trait Arbitrary {
+    /// Draws one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// `any::<T>()`'s strategy.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: std::marker::PhantomData }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // i128 arithmetic so signed spans wider than the element
+                // type (e.g. -100i8..100) cannot wrap out of range.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// String literals are pattern strategies: `"[a-z]{0,8}"` generates strings
+/// matching that (restricted) regex shape.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        pattern::Pattern::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported string pattern {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+/// Restricted-regex string generation.
+mod pattern {
+    use super::TestRng;
+
+    /// One pattern atom: a set of candidate chars plus a repetition range.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A parsed generator pattern: a sequence of atoms.
+    #[derive(Debug, Clone)]
+    pub struct Pattern {
+        atoms: Vec<Atom>,
+    }
+
+    impl Pattern {
+        /// Parses the supported subset: literal chars, escapes, `[...]`
+        /// classes with ranges, and `{m,n}` / `{n}` / `?` / `*` / `+`
+        /// quantifiers.
+        pub fn parse(pattern: &str) -> Result<Pattern, String> {
+            let chars: Vec<char> = pattern.chars().collect();
+            let mut i = 0;
+            let mut atoms = Vec::new();
+            while i < chars.len() {
+                let set = match chars[i] {
+                    '[' => {
+                        let (set, next) = parse_class(&chars, i + 1)?;
+                        i = next;
+                        set
+                    }
+                    '\\' => {
+                        i += 1;
+                        let c = *chars.get(i).ok_or("dangling escape")?;
+                        i += 1;
+                        escape_set(c)?
+                    }
+                    '.' => {
+                        i += 1;
+                        (' '..='~').collect()
+                    }
+                    c => {
+                        i += 1;
+                        vec![c]
+                    }
+                };
+                let (min, max, next) = parse_quantifier(&chars, i)?;
+                i = next;
+                atoms.push(Atom { chars: set, min, max });
+            }
+            Ok(Pattern { atoms })
+        }
+
+        /// Draws one matching string.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = atom.min + rng.below(atom.max - atom.min + 1);
+                for _ in 0..n {
+                    if atom.chars.is_empty() {
+                        continue;
+                    }
+                    out.push(atom.chars[rng.below(atom.chars.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    fn escape_set(c: char) -> Result<Vec<char>, String> {
+        Ok(match c {
+            'd' => ('0'..='9').collect(),
+            'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+            's' => vec![' ', '\t', '\n'],
+            other => vec![other],
+        })
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> Result<(Vec<char>, usize), String> {
+        let mut set = Vec::new();
+        let negated = chars.get(i) == Some(&'^');
+        if negated {
+            i += 1;
+        }
+        while i < chars.len() && chars[i] != ']' {
+            let lo = if chars[i] == '\\' {
+                i += 1;
+                *chars.get(i).ok_or("dangling escape in class")?
+            } else {
+                chars[i]
+            };
+            i += 1;
+            if chars.get(i) == Some(&'-') && chars.get(i + 1).map(|c| *c != ']').unwrap_or(false) {
+                let hi = chars[i + 1];
+                i += 2;
+                if lo > hi {
+                    return Err(format!("inverted class range {lo}-{hi}"));
+                }
+                set.extend(lo..=hi);
+            } else {
+                set.push(lo);
+            }
+        }
+        if i >= chars.len() {
+            return Err("unterminated character class".to_owned());
+        }
+        if negated {
+            set = (' '..='~').filter(|c| !set.contains(c)).collect();
+        }
+        Ok((set, i + 1))
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize) -> Result<(usize, usize, usize), String> {
+        match chars.get(i) {
+            Some('{') => {
+                let close =
+                    chars[i..].iter().position(|c| *c == '}').ok_or("unterminated quantifier")? + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().map_err(|_| "bad quantifier")?,
+                        hi.parse().map_err(|_| "bad quantifier")?,
+                    ),
+                    None => {
+                        let n = body.parse().map_err(|_| "bad quantifier")?;
+                        (n, n)
+                    }
+                };
+                if max < min {
+                    return Err("inverted quantifier".to_owned());
+                }
+                Ok((min, max, close + 1))
+            }
+            Some('?') => Ok((0, 1, i + 1)),
+            Some('*') => Ok((0, 8, i + 1)),
+            Some('+') => Ok((1, 8, i + 1)),
+            _ => Ok((1, 1, i)),
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// `vec(element, size_range)`'s strategy.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1);
+            let n = self.size.start + rng.below(span);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `elem`-generated values with length drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+}
+
+/// Character strategies.
+pub mod char {
+    use super::{Strategy, TestRng};
+    use std::ops::RangeInclusive;
+
+    /// A union of inclusive character ranges.
+    #[derive(Clone)]
+    pub struct CharStrategy {
+        ranges: Vec<RangeInclusive<char>>,
+    }
+
+    impl Strategy for CharStrategy {
+        type Value = char;
+        fn generate(&self, rng: &mut TestRng) -> char {
+            let r = &self.ranges[rng.below(self.ranges.len())];
+            let lo = *r.start() as u32;
+            let hi = *r.end() as u32;
+            char::from_u32(lo + rng.below((hi - lo + 1) as usize) as u32)
+                .expect("range stays inside valid scalar values")
+        }
+    }
+
+    /// Characters drawn uniformly from `ranges`.
+    pub fn ranges(ranges: Vec<RangeInclusive<char>>) -> CharStrategy {
+        assert!(!ranges.is_empty(), "char::ranges needs at least one range");
+        CharStrategy { ranges }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::Strategy;
+
+    /// Why a pattern failed to parse.
+    #[derive(Debug, Clone)]
+    pub struct Error(pub String);
+
+    /// A strategy for strings matching `pattern` (restricted subset).
+    pub fn string_regex(pattern: &str) -> Result<impl Strategy<Value = String> + use<>, Error> {
+        let owned: &'static str = Box::leak(pattern.to_owned().into_boxed_str());
+        // Validate eagerly so errors surface at build time, not first draw.
+        match super::pattern::Pattern::parse(owned) {
+            Ok(_) => Ok(owned),
+            Err(e) => Err(Error(e)),
+        }
+    }
+}
+
+/// Everything a property test needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng, Union,
+    };
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Asserts inside a property (fails the current case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} at {}:{}", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond), format!($($fmt)+), file!(), line!()
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{:?}` != `{:?}` at {}:{}", l, r, file!(), line!()
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{:?}` != `{:?}` ({}) at {}:{}",
+                        l, r, format!($($fmt)+), file!(), line!()
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err(format!(
+                        "assertion failed: `{:?}` == `{:?}` at {}:{}",
+                        l,
+                        r,
+                        file!(),
+                        line!()
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Skips the current case when the assumption fails. (The real crate
+/// re-draws; this stand-in counts the case as passed.)
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Declares property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let mut run = || -> ::std::result::Result<(), ::std::string::String> {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                if let ::std::result::Result::Err(message) = run() {
+                    panic!("property {} failed on case {}/{}:\n{}",
+                        stringify!($name), case + 1, config.cases, message);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_generates_in_class() {
+        let mut rng = TestRng::from_name("t1");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn space_tilde_range_class() {
+        let mut rng = TestRng::from_name("t2");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn signed_range_wider_than_type_max_stays_in_bounds() {
+        let mut rng = TestRng::from_name("t5");
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(-100i8..100), &mut rng);
+            assert!((-100..100).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(1u8), (10u8..20).prop_map(|v| v)];
+        let mut rng = TestRng::from_name("t3");
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v == 1 || (10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        let leaf = (0u8..10).prop_map(Tree::Leaf);
+        let strat = leaf.prop_recursive(3, 16, 3, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+        });
+        let mut rng = TestRng::from_name("t4");
+        for _ in 0..50 {
+            let t = strat.generate(&mut rng);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 1,
+                    Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_roundtrip(v in crate::collection::vec("[a-z]{1,3}", 0..4)) {
+            prop_assert!(v.len() < 4);
+            for s in &v {
+                prop_assert!(!s.is_empty(), "segment {:?}", s);
+            }
+        }
+    }
+}

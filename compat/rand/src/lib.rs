@@ -1,0 +1,161 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides `StdRng` + the `Rng`/`SeedableRng` trait surface the workspace
+//! uses (`gen::<f64>()`, `gen_range(0..n)`), implemented as a deterministic
+//! splitmix64 generator. Determinism is a feature here: the reproduction's
+//! planners are seeded and must replay identically across runs.
+
+/// Core 64-bit generator step (splitmix64).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types that can be drawn uniformly from a raw 64-bit sample.
+pub trait Standard: Sized {
+    /// Maps one uniform `u64` draw to a value.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    fn from_u64(raw: u64) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn from_u64(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn from_u64(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    fn from_u64(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+/// Ranges `gen_range` accepts.
+pub trait SampleRange {
+    /// The produced value type.
+    type Out;
+    /// Draws uniformly from the range.
+    fn sample(self, raw: u64) -> Self::Out;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Out = $t;
+            fn sample(self, raw: u64) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (raw % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// A seedable random generator.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random-value convenience methods.
+pub trait Rng {
+    /// The next raw 64-bit sample.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Out
+    where
+        Self: Sized,
+    {
+        range.sample(self.next_u64())
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, Rng, SeedableRng};
+
+    /// The workspace's standard deterministic generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0x5115_7a5d_4a15_1015 }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+        }
+    }
+}

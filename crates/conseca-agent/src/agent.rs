@@ -2,14 +2,19 @@
 //!
 //! This implements the numbered flow of the paper's Figure 2: (1) the task
 //! and trusted context reach the policy generator; (2) the planner proposes
-//! an action; (3) the deterministic enforcer approves or denies, returning
-//! the rationale; (4–5) approved actions execute against the tools and the
-//! (possibly untrusted) output returns to the planner; (6) the loop ends
-//! with a final response.
+//! an action; (3) the deterministic enforcement *pipeline* — policy layer,
+//! optional trajectory layer, optional user-confirmation layer, audit
+//! sinks — approves or denies, returning the rationale; (4–5) approved
+//! actions execute against the tools and the (possibly untrusted) output
+//! returns to the planner; (6) the loop ends with a final response.
+//!
+//! The layering itself lives in [`conseca_core::pipeline`]; `run_task`
+//! only assembles an [`EnforcementSession`] per task and drives it.
 
+use conseca_core::pipeline::{EnforcementSession, PipelineBuilder};
 use conseca_core::{
-    is_allowed, AuditEvent, AuditLog, ConfirmDecision, ConfirmationProvider, GenerationStats,
-    Policy, PolicyGenerator, PolicyModel, TrajectoryEnforcer, TrajectoryPolicy,
+    AuditEvent, AuditLog, ConfirmationProvider, GenerationStats, Policy, PolicyGenerator,
+    PolicyModel, TrajectoryPolicy,
 };
 use conseca_llm::{ObsKind, Observation, PlannerAction, PlannerState, ScriptedPlanner};
 use conseca_mail::MailSystem;
@@ -71,12 +76,7 @@ pub struct AgentConfig {
 impl AgentConfig {
     /// The paper's defaults under a given mode.
     pub fn for_mode(policy_mode: PolicyMode) -> Self {
-        AgentConfig {
-            max_actions: 100,
-            max_consecutive_denials: 10,
-            policy_mode,
-            trajectory: None,
-        }
+        AgentConfig { max_actions: 100, max_consecutive_denials: 10, policy_mode, trajectory: None }
     }
 }
 
@@ -161,15 +161,8 @@ impl<M: PolicyModel> Agent<M> {
     /// Runs one task to completion, stall, or budget exhaustion.
     pub fn run_task(&mut self, task: &str, mut planner: ScriptedPlanner) -> TaskReport {
         let (policy, generation) = self.resolve_policy(task);
-        self.audit.record(AuditEvent::PolicyGenerated {
-            task: task.to_owned(),
-            model: self.generator.model_name().to_owned(),
-            fingerprint: policy.fingerprint(),
-            entries: policy.len(),
-            cache_hit: generation.cache_hit,
-        });
+        let model = self.generator.model_name().to_owned();
 
-        let mut trajectory = self.config.trajectory.clone().map(TrajectoryEnforcer::new);
         let mut state = PlannerState {
             task: task.to_owned(),
             user: self.executor.user().to_owned(),
@@ -191,7 +184,26 @@ impl<M: PolicyModel> Agent<M> {
             policy: policy.clone(),
             generation,
         };
-        let mut consecutive_denials = 0usize;
+
+        // One enforcement session per task: it owns the layer stack, the
+        // consecutive-denial stall tracking, and the audit stream.
+        let mut builder = PipelineBuilder::new()
+            .policy(&policy)
+            .max_consecutive_denials(self.config.max_consecutive_denials);
+        if let Some(tp) = self.config.trajectory.clone() {
+            builder = builder.trajectory(tp);
+        }
+        if let Some(provider) = self.confirmation.as_mut() {
+            builder = builder.confirmation(provider.as_mut());
+        }
+        let mut session: EnforcementSession<'_> = builder.sink(&mut self.audit).build();
+        session.emit(AuditEvent::PolicyGenerated {
+            task: task.to_owned(),
+            model,
+            fingerprint: policy.fingerprint(),
+            entries: policy.len(),
+            cache_hit: report.generation.cache_hit,
+        });
 
         loop {
             if report.proposals >= self.config.max_actions {
@@ -214,7 +226,7 @@ impl<M: PolicyModel> Agent<M> {
                 PlannerAction::Execute(cmd) => {
                     report.proposals += 1;
                     let was_injected = planner.last_was_injected();
-                    self.audit.record(AuditEvent::ActionProposed { call: cmd.clone() });
+                    session.record_proposal(&cmd);
                     let call = match parse_command(&cmd, &self.registry) {
                         Ok(call) => call,
                         Err(e) => {
@@ -230,53 +242,23 @@ impl<M: PolicyModel> Agent<M> {
                         }
                     };
 
-                    // (3) Deterministic policy check, then the trajectory
-                    // layer if configured.
-                    let mut decision = is_allowed(&call, &policy);
-                    if decision.allowed {
-                        if let Some(traj) = trajectory.as_ref() {
-                            let td = traj.check(&call);
-                            if !td.allowed {
-                                decision.allowed = false;
-                                decision.rationale = td.rationale;
-                            }
-                        }
-                    }
-                    self.audit.record(AuditEvent::ActionDecision {
-                        call: cmd.clone(),
-                        allowed: decision.allowed,
-                        rationale: decision.rationale.clone(),
-                        violation: decision.violation.as_ref().map(|v| v.to_string()),
-                    });
+                    // (3) One pipeline pass: policy, trajectory, and user
+                    // confirmation, audited with layer provenance.
+                    let verdict = session.check(&call);
 
-                    let mut proceed = decision.allowed;
-                    if !proceed {
-                        // (§7) Optional user override.
-                        if let Some(confirm) = self.confirmation.as_mut() {
-                            let answer = confirm.confirm(&call, &decision.rationale);
-                            self.audit.record(AuditEvent::UserConfirmation {
-                                call: cmd.clone(),
-                                approved: answer == ConfirmDecision::Approve,
-                            });
-                            proceed = answer == ConfirmDecision::Approve;
-                        }
-                    }
-
-                    if !proceed {
-                        report.denials += 1;
+                    if !verdict.allowed {
                         report.denied_commands.push(cmd.clone());
                         if was_injected {
                             report.injected_denied.push(cmd.clone());
                         }
-                        consecutive_denials += 1;
                         state.history.push(Observation {
                             command: cmd.clone(),
                             api: Some(call.name.clone()),
-                            output: decision.feedback(&call),
+                            output: verdict.feedback(&call),
                             trust: OutputTrust::Trusted,
                             kind: ObsKind::Denied,
                         });
-                        if consecutive_denials >= self.config.max_consecutive_denials {
+                        if session.stalled() {
                             report.stop = StopReason::DeniedStall;
                             report.final_message = "could not complete".to_owned();
                             break;
@@ -285,10 +267,8 @@ impl<M: PolicyModel> Agent<M> {
                     }
 
                     // (4–5) Execute and feed the output back.
-                    consecutive_denials = 0;
                     match self.executor.execute(&call) {
                         Ok(out) => {
-                            report.executed += 1;
                             report.executed_commands.push(cmd.clone());
                             // Only mutating injected commands count as a
                             // landed attack; injected reconnaissance reads
@@ -301,14 +281,11 @@ impl<M: PolicyModel> Agent<M> {
                             if was_injected && mutating {
                                 report.injected_executed.push(cmd.clone());
                             }
-                            if let Some(traj) = trajectory.as_mut() {
-                                traj.record(&call);
-                            }
-                            self.audit.record(AuditEvent::ActionExecuted {
-                                call: cmd.clone(),
-                                output_trusted: out.trust == OutputTrust::Trusted,
-                                output_len: out.stdout.len(),
-                            });
+                            session.record_execution(
+                                &call,
+                                out.trust == OutputTrust::Trusted,
+                                out.stdout.len(),
+                            );
                             state.history.push(Observation {
                                 command: cmd.clone(),
                                 api: Some(call.name.clone()),
@@ -319,10 +296,7 @@ impl<M: PolicyModel> Agent<M> {
                         }
                         Err(e) => {
                             report.tool_errors += 1;
-                            self.audit.record(AuditEvent::ActionFailed {
-                                call: cmd.clone(),
-                                error: e.to_string(),
-                            });
+                            session.record_failure(&call, &e.to_string());
                             state.history.push(Observation {
                                 command: cmd.clone(),
                                 api: Some(call.name.clone()),
@@ -336,7 +310,11 @@ impl<M: PolicyModel> Agent<M> {
             }
         }
 
-        self.audit.record(AuditEvent::TaskFinished {
+        // The session's counters are the single source of truth for
+        // enforcement outcomes; the report mirrors them.
+        report.denials = session.stats().denials;
+        report.executed = session.stats().executed;
+        session.emit(AuditEvent::TaskFinished {
             task: task.to_owned(),
             completed: report.claimed_complete,
             actions: report.executed,
@@ -375,9 +353,11 @@ mod tests {
     fn simple_planner(cmds: Vec<&str>) -> ScriptedPlanner {
         let mut queue: std::collections::VecDeque<String> =
             cmds.into_iter().map(str::to_owned).collect();
-        ScriptedPlanner::new(Box::new(FnPlan::new("fixed", move |_state| match queue.pop_front() {
-            Some(cmd) => PlannerAction::Execute(cmd),
-            None => PlannerAction::Done { message: "all steps issued".into() },
+        ScriptedPlanner::new(Box::new(FnPlan::new("fixed", move |_state| {
+            match queue.pop_front() {
+                Some(cmd) => PlannerAction::Execute(cmd),
+                None => PlannerAction::Done { message: "all steps issued".into() },
+            }
         })))
     }
 
@@ -480,15 +460,48 @@ mod tests {
     #[test]
     fn trajectory_layer_rate_limits() {
         let mut agent = setup(PolicyMode::NoPolicy);
-        agent.config.trajectory = Some(
-            conseca_core::TrajectoryPolicy::new().limit("send_email", 2, "no flooding"),
-        );
+        agent.config.trajectory =
+            Some(conseca_core::TrajectoryPolicy::new().limit("send_email", 2, "no flooding"));
         let planner = ScriptedPlanner::new(Box::new(FnPlan::new("flood", |_s| {
             PlannerAction::Execute("send_email alice bob@work.com 'spam' 'hi'".into())
         })));
         let report = agent.run_task("flood bob", planner);
         assert_eq!(report.executed, 2, "only two sends may pass");
         assert!(report.denials >= 1);
+    }
+
+    #[test]
+    fn trajectory_denial_carries_violation_provenance() {
+        // Regression: the pre-pipeline loop mutated the policy `Decision`
+        // in place on a trajectory denial, leaving `violation = None`, so
+        // the audit record and the planner feedback said only "denied".
+        // Through the pipeline, the denial names the rate limit.
+        let mut agent = setup(PolicyMode::NoPolicy);
+        agent.config.trajectory =
+            Some(conseca_core::TrajectoryPolicy::new().limit("send_email", 1, "one is plenty"));
+        let planner = simple_planner(vec![
+            "send_email alice bob@work.com 's' 'x'",
+            "send_email alice bob@work.com 's' 'x'",
+        ]);
+        let report = agent.run_task("send one email", planner);
+        assert_eq!(report.executed, 1);
+        assert_eq!(report.denials, 1);
+        let denial = agent
+            .audit()
+            .records()
+            .iter()
+            .find_map(|r| match &r.event {
+                AuditEvent::ActionDecision { allowed: false, violation, .. } => {
+                    Some(violation.clone())
+                }
+                _ => None,
+            })
+            .expect("a denial was audited");
+        let violation = denial.expect("trajectory denials must carry a violation");
+        assert!(
+            violation.contains("limit 1"),
+            "violation should name the exhausted rate limit, got {violation:?}"
+        );
     }
 
     #[test]
@@ -511,9 +524,7 @@ mod tests {
 
     #[test]
     fn injection_denied_under_conseca_but_executed_without_policy() {
-        for (mode, expect_attack) in
-            [(PolicyMode::NoPolicy, true), (PolicyMode::Conseca, false)]
-        {
+        for (mode, expect_attack) in [(PolicyMode::NoPolicy, true), (PolicyMode::Conseca, false)] {
             let mut agent = setup(mode);
             // Plant the malicious email.
             let mut mail = agent.mail().clone();

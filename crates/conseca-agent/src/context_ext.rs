@@ -25,9 +25,7 @@ pub fn build_trusted_context(vfs: &SharedVfs, mail: &MailSystem, user: &str) -> 
     ctx.usernames = vfs.with(|fs| fs.users().iter().map(|u| u.name.clone()).collect());
     ctx.email_addresses = mail.all_addresses();
     ctx.email_categories = mail.categories(user).unwrap_or_default();
-    ctx.fs_tree = vfs
-        .with(|fs| fs.tree(&format!("/home/{user}"), None))
-        .unwrap_or_default();
+    ctx.fs_tree = vfs.with(|fs| fs.tree(&format!("/home/{user}"), None)).unwrap_or_default();
     ctx
 }
 

@@ -4,6 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use conseca_core::pipeline::PipelineBuilder;
 use conseca_core::{is_allowed, ArgConstraint, Policy, PolicyEntry, Predicate};
 use conseca_shell::ApiCall;
 
@@ -69,6 +70,12 @@ fn bench_constraint_styles(c: &mut Criterion) {
         let unlisted = ApiCall::new("fs", "rm_r", vec!["/home/alice".into()]);
         b.iter(|| is_allowed(black_box(&unlisted), black_box(&regex_policy)))
     });
+    // The same check through the enforcement pipeline: what callers that
+    // need provenance/session state pay over the bare fast path.
+    group.bench_function("regex_constraints_via_pipeline", |b| {
+        let mut session = PipelineBuilder::new().policy(&regex_policy).build();
+        b.iter(|| session.check(black_box(&call)))
+    });
     group.finish();
 }
 
@@ -107,10 +114,5 @@ fn bench_long_argument(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_constraint_styles,
-    bench_policy_size_sweep,
-    bench_long_argument
-);
+criterion_group!(benches, bench_constraint_styles, bench_policy_size_sweep, bench_long_argument);
 criterion_main!(benches);

@@ -1,0 +1,133 @@
+//! Benchmarks the enforcement pipeline: per-check overhead versus the bare
+//! `is_allowed` fast path, batched `check_all` throughput over 1k calls,
+//! and the cost of deepening the layer stack. These are the baselines
+//! future throughput work (sharding, caching, async backends) compares
+//! against.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conseca_core::pipeline::PipelineBuilder;
+use conseca_core::{
+    is_allowed, ArgConstraint, CountingSink, Policy, PolicyEntry, TrajectoryPolicy,
+};
+use conseca_shell::ApiCall;
+
+fn papers_policy() -> Policy {
+    let mut p = Policy::new("respond to urgent work emails");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::regex("alice").unwrap(),
+                ArgConstraint::regex(r"^.*@work\.com$").unwrap(),
+                ArgConstraint::regex(".*urgent.*").unwrap(),
+            ],
+            "urgent responses from alice to work.com",
+        ),
+    );
+    p.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+    p
+}
+
+fn send_call(i: usize) -> ApiCall {
+    ApiCall::new(
+        "email",
+        "send_email",
+        vec![
+            "alice".into(),
+            "bob@work.com".into(),
+            format!("urgent: rack {i} is down"),
+            "On it.".into(),
+        ],
+    )
+}
+
+/// A mixed 1k-call batch: mostly allowed, some denied, some unlisted.
+fn batch_1k() -> Vec<ApiCall> {
+    (0..1000)
+        .map(|i| match i % 10 {
+            8 => ApiCall::new("email", "delete_email", vec![i.to_string()]),
+            9 => ApiCall::new("fs", "rm_r", vec![format!("/home/alice/{i}")]),
+            _ => send_call(i),
+        })
+        .collect()
+}
+
+fn bench_single_check_vs_is_allowed(c: &mut Criterion) {
+    let policy = papers_policy();
+    let call = send_call(4);
+    let mut group = c.benchmark_group("pipeline_single");
+    group.bench_function("is_allowed_fast_path", |b| {
+        b.iter(|| is_allowed(black_box(&call), black_box(&policy)))
+    });
+    group.bench_function("session_check_policy_only", |b| {
+        let mut session = PipelineBuilder::new().policy(&policy).build();
+        b.iter(|| session.check(black_box(&call)))
+    });
+    group.bench_function("session_check_with_counting_sink", |b| {
+        let mut counts = CountingSink::default();
+        let mut session = PipelineBuilder::new().policy(&policy).sink(&mut counts).build();
+        b.iter(|| session.check(black_box(&call)))
+    });
+    group.finish();
+}
+
+fn bench_batched_check_all(c: &mut Criterion) {
+    let policy = papers_policy();
+    let calls = batch_1k();
+    let mut group = c.benchmark_group("pipeline_1k_calls");
+    group.sample_size(10);
+    group.bench_function("sequential_check", |b| {
+        let mut session = PipelineBuilder::new().policy(&policy).build();
+        b.iter(|| {
+            let mut allowed = 0usize;
+            for call in &calls {
+                if session.check(black_box(call)).allowed {
+                    allowed += 1;
+                }
+            }
+            allowed
+        })
+    });
+    group.bench_function("batched_check_all", |b| {
+        let mut session = PipelineBuilder::new().policy(&policy).build();
+        b.iter(|| session.check_all(black_box(&calls)).iter().filter(|v| v.allowed).count())
+    });
+    group.finish();
+}
+
+fn bench_layer_stack_depth(c: &mut Criterion) {
+    // CountingSink (not AuditLog) keeps memory flat across the millions of
+    // iterations a bench session sees — the log variant would grow a
+    // record per check and skew timings with reallocation cost.
+    let policy = papers_policy();
+    let call = send_call(4);
+    let mut group = c.benchmark_group("pipeline_stack");
+    for config in ["policy", "policy+trajectory", "policy+trajectory+sink"] {
+        group.bench_with_input(BenchmarkId::from_parameter(config), &config, |b, &config| {
+            let mut counts = CountingSink::default();
+            let mut builder = PipelineBuilder::new().policy(&policy);
+            if config.contains("trajectory") {
+                builder = builder.trajectory(TrajectoryPolicy::new().limit(
+                    "send_email",
+                    usize::MAX,
+                    "effectively unlimited",
+                ));
+            }
+            if config.contains("sink") {
+                builder = builder.sink(&mut counts);
+            }
+            let mut session = builder.build();
+            b.iter(|| session.check(black_box(&call)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_check_vs_is_allowed,
+    bench_batched_check_all,
+    bench_layer_stack_depth
+);
+criterion_main!(benches);

@@ -53,9 +53,7 @@ fn bench_policy_patterns(c: &mut Criterion) {
         b.iter(|| path.is_match(black_box("/home/alice/Documents/notes.txt")))
     });
     c.bench_function("compile_recipient_pattern", |b| {
-        b.iter(|| {
-            Regex::new(black_box(r"^(?:alice|bob|carol)(@work\.com)?$")).unwrap()
-        })
+        b.iter(|| Regex::new(black_box(r"^(?:alice|bob|carol)(@work\.com)?$")).unwrap())
     });
 }
 

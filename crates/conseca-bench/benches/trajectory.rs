@@ -3,7 +3,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use conseca_core::{PriorCondition, TrajectoryEnforcer, TrajectoryPolicy};
+use conseca_core::pipeline::{PipelineBuilder, TrajectoryLayer};
+use conseca_core::{Policy, PolicyEntry, PriorCondition, TrajectoryEnforcer, TrajectoryPolicy};
 use conseca_shell::ApiCall;
 
 fn call(name: &str, arg: &str) -> ApiCall {
@@ -48,5 +49,41 @@ fn bench_rate_limit_check(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_trajectory_check, bench_rate_limit_check);
+fn bench_trajectory_in_pipeline(c: &mut Criterion) {
+    // The full two-layer stack the agent runs per action: policy, then
+    // trajectory with a warm 100-call history.
+    let mut policy = Policy::new("email triage");
+    for api in ["send_email", "read_email", "reply_email"] {
+        policy.set(api, PolicyEntry::allow_any("triage needs this"));
+    }
+    let trajectory =
+        TrajectoryPolicy::new().limit("send_email", 1_000_000, "effectively unlimited").require(
+            "reply_email",
+            PriorCondition::SameArgAsPrior {
+                api: "read_email".into(),
+                prior_index: 0,
+                this_index: 0,
+            },
+            "reply only to read messages",
+        );
+    let mut session =
+        PipelineBuilder::new().policy(&policy).layer(TrajectoryLayer::new(trajectory)).build();
+    // Warm a 100-call history through the session itself.
+    for i in 0..100 {
+        let read = call("read_email", &i.to_string());
+        session.check(&read);
+        session.record_execution(&read, true, 0);
+    }
+    let probe = call("reply_email", "5");
+    c.bench_function("trajectory_check_via_pipeline", |b| {
+        b.iter(|| session.check(black_box(&probe)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_trajectory_check,
+    bench_rate_limit_check,
+    bench_trajectory_in_pipeline
+);
 criterion_main!(benches);

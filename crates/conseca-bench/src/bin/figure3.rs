@@ -21,7 +21,10 @@ fn main() {
     println!("Figure 3: utility and inappropriate-action denial");
     println!(
         "{}",
-        table::render(&["Policy", "Avg Tasks Completed", "Inappropriate Actions Denied?"], &table_rows)
+        table::render(
+            &["Policy", "Avg Tasks Completed", "Inappropriate Actions Denied?"],
+            &table_rows
+        )
     );
     println!("paper reports: None 14.0/20 N | Static Permissive 12.2/20 N | Static Restrictive 0.0/20 Y | Conseca 12.0/20 Y");
 }

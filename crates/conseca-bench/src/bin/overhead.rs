@@ -4,7 +4,7 @@
 //!
 //! Wall clock would measure this harness's deterministic template model,
 //! not an LLM, so costs are priced with the token-based
-//! [`conseca_llm::LatencyModel`] (see DESIGN.md "Substitutions").
+//! [`conseca_llm::LatencyModel`] stand-in.
 
 use conseca_core::PolicyGenerator;
 use conseca_llm::{LatencyModel, TemplatePolicyModel};

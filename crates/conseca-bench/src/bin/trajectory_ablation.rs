@@ -15,7 +15,11 @@ fn main() {
         .iter()
         .map(|r| {
             vec![
-                if r.trajectory_enabled { "per-action + trajectory".into() } else { "per-action only".into() },
+                if r.trajectory_enabled {
+                    "per-action + trajectory".into()
+                } else {
+                    "per-action only".into()
+                },
                 r.flood_emails_delivered.to_string(),
                 if r.benign_task_completed { "Y".into() } else { "N".into() },
             ]

@@ -1,6 +1,7 @@
 //! Experiment binaries and Criterion benches for the Conseca reproduction.
 //!
-//! One binary per table/figure (see DESIGN.md's experiment index):
+//! One binary per table/figure (see the experiment index in the repo's
+//! `README.md`):
 //!
 //! | Target | Reproduces |
 //! |---|---|
@@ -13,12 +14,20 @@
 
 /// Marks a value as a check ("✓") or blank, Table-A style.
 pub fn check_mark(v: bool) -> String {
-    if v { "Y".to_owned() } else { "".to_owned() }
+    if v {
+        "Y".to_owned()
+    } else {
+        "".to_owned()
+    }
 }
 
 /// Yes/No rendering for attack columns.
 pub fn yes_no(v: bool) -> String {
-    if v { "Y".to_owned() } else { "N".to_owned() }
+    if v {
+        "Y".to_owned()
+    } else {
+        "N".to_owned()
+    }
 }
 
 #[cfg(test)]

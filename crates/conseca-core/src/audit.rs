@@ -83,6 +83,53 @@ pub struct AuditRecord {
     pub event: AuditEvent,
 }
 
+/// Something audit events can be streamed into.
+///
+/// The enforcement pipeline ([`crate::pipeline`]) emits every decision,
+/// confirmation, execution, and failure through this trait, making
+/// [`AuditLog`] one pluggable sink among possibly many: deployments can
+/// tee events to an in-memory log for the user, a line-oriented exporter,
+/// and a metrics counter at once.
+pub trait AuditSink {
+    /// Consumes one event.
+    fn record(&mut self, event: AuditEvent);
+}
+
+impl AuditSink for AuditLog {
+    fn record(&mut self, event: AuditEvent) {
+        AuditLog::record(self, event);
+    }
+}
+
+/// An [`AuditSink`] that counts events by coarse kind — cheap enough for
+/// high-throughput sessions that cannot afford to retain every record.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Decisions seen.
+    pub decisions: usize,
+    /// Denied decisions seen.
+    pub denials: usize,
+    /// Executions seen.
+    pub executions: usize,
+    /// Everything else.
+    pub other: usize,
+}
+
+impl AuditSink for CountingSink {
+    fn record(&mut self, event: AuditEvent) {
+        match event {
+            AuditEvent::ActionDecision { allowed, .. } => {
+                self.decisions += 1;
+                if !allowed {
+                    self.denials += 1;
+                }
+            }
+            AuditEvent::ActionExecuted { .. } => self.executions += 1,
+            _ => self.other += 1,
+        }
+    }
+}
+
 /// An append-only audit log.
 #[derive(Debug, Default)]
 pub struct AuditLog {
@@ -128,10 +175,7 @@ impl AuditLog {
 
     /// Number of executed actions.
     pub fn execution_count(&self) -> usize {
-        self.records
-            .iter()
-            .filter(|r| matches!(r.event, AuditEvent::ActionExecuted { .. }))
-            .count()
+        self.records.iter().filter(|r| matches!(r.event, AuditEvent::ActionExecuted { .. })).count()
     }
 
     /// Renders a human-readable transcript.

@@ -66,9 +66,7 @@ impl PolicyCache {
     pub fn put(&mut self, key: CacheKey, policy: Policy) {
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
-            if let Some((&lru, _)) =
-                self.map.iter().min_by_key(|(_, (_, last_used))| *last_used)
-            {
+            if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, (_, last_used))| *last_used) {
                 self.map.remove(&lru);
             }
         }

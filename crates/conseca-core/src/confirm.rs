@@ -24,6 +24,18 @@ pub trait ConfirmationProvider {
     fn confirm(&mut self, call: &ApiCall, rationale: &str) -> ConfirmDecision;
 }
 
+impl<P: ConfirmationProvider + ?Sized> ConfirmationProvider for &mut P {
+    fn confirm(&mut self, call: &ApiCall, rationale: &str) -> ConfirmDecision {
+        (**self).confirm(call, rationale)
+    }
+}
+
+impl<P: ConfirmationProvider + ?Sized> ConfirmationProvider for Box<P> {
+    fn confirm(&mut self, call: &ApiCall, rationale: &str) -> ConfirmDecision {
+        (**self).confirm(call, rationale)
+    }
+}
+
 /// Never overrides (the safe default — denials stand).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NeverConfirm;

@@ -87,11 +87,9 @@ impl Predicate {
             Predicate::Suffix(s) => value.ends_with(s),
             Predicate::Contains(s) => value.contains(s),
             Predicate::OneOf(options) => options.iter().any(|o| o == value),
-            Predicate::Num(op, rhs) => value
-                .trim()
-                .parse::<i64>()
-                .map(|lhs| op.eval(lhs, *rhs))
-                .unwrap_or(false),
+            Predicate::Num(op, rhs) => {
+                value.trim().parse::<i64>().map(|lhs| op.eval(lhs, *rhs)).unwrap_or(false)
+            }
             Predicate::Not(inner) => !inner.check(value),
             Predicate::All(ps) => ps.iter().all(|p| p.check(value)),
             Predicate::AnyOf(ps) => ps.iter().any(|p| p.check(value)),
@@ -282,7 +280,7 @@ mod tests {
         assert!(!ArgConstraint::regex(".*").unwrap().is_restrictive());
         assert!(!ArgConstraint::regex("").unwrap().is_restrictive());
         assert!(ArgConstraint::regex("^/tmp/.*").unwrap().is_restrictive());
-        assert!(ArgConstraint::Dsl(Predicate::True).is_restrictive() == false);
+        assert!(!ArgConstraint::Dsl(Predicate::True).is_restrictive());
         assert!(ArgConstraint::Dsl(Predicate::Eq("x".into())).is_restrictive());
     }
 
@@ -293,24 +291,16 @@ mod tests {
             ArgConstraint::Dsl(Predicate::Prefix("/tmp/".into())).to_string(),
             "prefix \"/tmp/\""
         );
-        let all = Predicate::All(vec![
-            Predicate::Prefix("a".into()),
-            Predicate::Suffix("b".into()),
-        ]);
+        let all =
+            Predicate::All(vec![Predicate::Prefix("a".into()), Predicate::Suffix("b".into())]);
         assert_eq!(all.to_string(), "all(prefix \"a\" and suffix \"b\")");
         assert_eq!(Predicate::Num(CmpOp::Le, 3).to_string(), "number <= 3");
     }
 
     #[test]
     fn equality_compares_patterns() {
-        assert_eq!(
-            ArgConstraint::regex("^a$").unwrap(),
-            ArgConstraint::regex("^a$").unwrap()
-        );
-        assert_ne!(
-            ArgConstraint::regex("^a$").unwrap(),
-            ArgConstraint::regex("^b$").unwrap()
-        );
+        assert_eq!(ArgConstraint::regex("^a$").unwrap(), ArgConstraint::regex("^a$").unwrap());
+        assert_ne!(ArgConstraint::regex("^a$").unwrap(), ArgConstraint::regex("^b$").unwrap());
         assert_ne!(ArgConstraint::Any, ArgConstraint::regex(".*").unwrap());
     }
 

@@ -99,10 +99,8 @@ pub fn diff_policies(old: &Policy, new: &Policy) -> Vec<PolicyChange> {
     let mut changes = Vec::new();
     for (api, new_entry) in &new.entries {
         match old.entry(api) {
-            None => changes.push(PolicyChange::Added {
-                api: api.clone(),
-                can_execute: new_entry.can_execute,
-            }),
+            None => changes
+                .push(PolicyChange::Added { api: api.clone(), can_execute: new_entry.can_execute }),
             Some(old_entry) => {
                 if old_entry.can_execute != new_entry.can_execute {
                     changes.push(PolicyChange::ExecutionFlipped {

@@ -13,6 +13,12 @@ use conseca_shell::ApiCall;
 use crate::policy::Policy;
 
 /// Why a call was denied.
+///
+/// Per-action variants come from the policy layer (§3.3); the trajectory
+/// variants come from the sequence layer (§7); `OverrideDeclined` records
+/// that the user was consulted (§7) and kept the denial. Every layer of the
+/// [`pipeline`](crate::pipeline) reports its denials through this one type,
+/// so audit records and planner feedback always carry full provenance.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Violation {
     /// The API is not listed in the policy (default deny).
@@ -28,6 +34,32 @@ pub enum Violation {
         /// The offending value.
         value: String,
     },
+    /// A trajectory rate limit was exhausted (§7).
+    RateLimited {
+        /// The capped API.
+        api: String,
+        /// The configured cap.
+        limit: usize,
+        /// Calls already recorded.
+        used: usize,
+    },
+    /// A trajectory sequence precondition was unmet (§7).
+    SequenceUnmet {
+        /// The gated API.
+        api: String,
+        /// The rule's rationale, naming what must happen first.
+        requirement: String,
+    },
+    /// The task's total action budget was exhausted (§7).
+    BudgetExhausted {
+        /// The configured budget.
+        max: usize,
+    },
+    /// The user was asked to override a denial and declined (§7).
+    OverrideDeclined {
+        /// The violation that triggered the confirmation request.
+        underlying: Option<Box<Violation>>,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -37,11 +69,22 @@ impl fmt::Display for Violation {
             Violation::CannotExecute => {
                 write!(f, "the policy forbids this API call in the current context")
             }
-            Violation::ArgMismatch { index, constraint, value } => write!(
-                f,
-                "argument ${} = {value:?} violates constraint {constraint}",
-                index + 1
-            ),
+            Violation::ArgMismatch { index, constraint, value } => {
+                write!(f, "argument ${} = {value:?} violates constraint {constraint}", index + 1)
+            }
+            Violation::RateLimited { api, limit, used } => {
+                write!(f, "{api} already called {used} time(s), limit {limit}")
+            }
+            Violation::SequenceUnmet { api, requirement } => {
+                write!(f, "{api} requires a prior action: {requirement}")
+            }
+            Violation::BudgetExhausted { max } => {
+                write!(f, "the task's total action budget of {max} is exhausted")
+            }
+            Violation::OverrideDeclined { underlying } => match underlying {
+                Some(v) => write!(f, "the user declined to override the denial ({v})"),
+                None => write!(f, "the user declined to override the denial"),
+            },
         }
     }
 }
@@ -73,16 +116,24 @@ impl Decision {
     /// Renders the feedback line the agent appends to the planner prompt
     /// after a denial.
     pub fn feedback(&self, call: &ApiCall) -> String {
-        if self.allowed {
-            format!("APPROVED `{}`: {}", call.raw, self.rationale)
-        } else {
-            let why = self
-                .violation
-                .as_ref()
-                .map(|v| v.to_string())
-                .unwrap_or_else(|| "denied".to_owned());
-            format!("DENIED `{}`: {why}. Rationale: {}", call.raw, self.rationale)
-        }
+        feedback_line(self.allowed, &self.rationale, self.violation.as_ref(), call)
+    }
+}
+
+/// The one feedback format, shared by [`Decision::feedback`] and the
+/// pipeline's `Verdict::feedback` so the planner-facing wording cannot
+/// drift between the two APIs.
+pub(crate) fn feedback_line(
+    allowed: bool,
+    rationale: &str,
+    violation: Option<&Violation>,
+    call: &ApiCall,
+) -> String {
+    if allowed {
+        format!("APPROVED `{}`: {rationale}", call.raw)
+    } else {
+        let why = violation.map(|v| v.to_string()).unwrap_or_else(|| "denied".to_owned());
+        format!("DENIED `{}`: {why}. Rationale: {rationale}", call.raw)
     }
 }
 
@@ -91,6 +142,17 @@ impl Decision {
 /// The check order matches §4.1: "Conseca checks whether the policy allows
 /// the API call at all, and, if so, whether each argument matches its
 /// regex constraint."
+///
+/// This is the paper's original single-layer API, kept for backward
+/// compatibility: it is exactly an [`EnforcementSession`] containing one
+/// [`PolicyLayer`] (a property the parity tests in
+/// `tests/properties.rs` pin down), with the allocation-free fast path the
+/// per-action hot loop wants. Callers stacking trajectory policies, user
+/// confirmation, or audit sinks should build a pipeline instead — see
+/// [`crate::pipeline`].
+///
+/// [`EnforcementSession`]: crate::pipeline::EnforcementSession
+/// [`PolicyLayer`]: crate::pipeline::PolicyLayer
 ///
 /// # Examples
 ///
@@ -164,7 +226,8 @@ mod tests {
     #[test]
     fn can_execute_false_denies_before_args() {
         let mut policy = Policy::new("t");
-        policy.set("delete_email", PolicyEntry::deny("we are not deleting any emails in this task"));
+        policy
+            .set("delete_email", PolicyEntry::deny("we are not deleting any emails in this task"));
         let d = is_allowed(&call("delete_email", &["7"]), &policy);
         assert!(!d.allowed);
         assert_eq!(d.violation, Some(Violation::CannotExecute));
@@ -184,7 +247,9 @@ mod tests {
                 "only alice may send, only to work",
             ),
         );
-        assert!(is_allowed(&call("send_email", &["alice", "bob@work.com", "s", "b"]), &policy).allowed);
+        assert!(
+            is_allowed(&call("send_email", &["alice", "bob@work.com", "s", "b"]), &policy).allowed
+        );
         let d = is_allowed(&call("send_email", &["mallory", "bob@work.com", "s", "b"]), &policy);
         assert!(!d.allowed);
         match d.violation.unwrap() {
@@ -196,8 +261,11 @@ mod tests {
         }
         // Third and fourth args are unconstrained.
         assert!(
-            is_allowed(&call("send_email", &["alice", "x@work.com", "anything", "at all"]), &policy)
-                .allowed
+            is_allowed(
+                &call("send_email", &["alice", "x@work.com", "anything", "at all"]),
+                &policy
+            )
+            .allowed
         );
     }
 

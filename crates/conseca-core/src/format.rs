@@ -31,10 +31,7 @@ impl std::error::Error for FormatError {}
 pub fn render_policy(policy: &Policy) -> String {
     let mut out = String::new();
     out.push_str(&format!("Policy for task: {}\n", policy.task));
-    out.push_str(&format!(
-        "Default: {}\n",
-        policy.default_rationale.replace('\n', " ")
-    ));
+    out.push_str(&format!("Default: {}\n", policy.default_rationale.replace('\n', " ")));
     for (api, entry) in &policy.entries {
         out.push('\n');
         out.push_str(&format!("API Call: {api}\n"));
@@ -63,12 +60,11 @@ pub fn parse_policy(text: &str) -> Result<Policy, FormatError> {
 
     let err = |line: usize, message: &str| FormatError { line, message: message.to_owned() };
 
-    let flush =
-        |policy: &mut Option<Policy>, api: &mut Option<String>, entry: &mut PolicyEntry| {
-            if let (Some(p), Some(a)) = (policy.as_mut(), api.take()) {
-                p.set(&a, std::mem::replace(entry, PolicyEntry::allow_any("")));
-            }
-        };
+    let flush = |policy: &mut Option<Policy>, api: &mut Option<String>, entry: &mut PolicyEntry| {
+        if let (Some(p), Some(a)) = (policy.as_mut(), api.take()) {
+            p.set(&a, std::mem::replace(entry, PolicyEntry::allow_any("")));
+        }
+    };
 
     for (idx, raw_line) in text.lines().enumerate() {
         let lineno = idx + 1;
@@ -104,9 +100,8 @@ pub fn parse_policy(text: &str) -> Result<Policy, FormatError> {
             in_constraints = false;
         } else if in_constraints && line.trim_start().starts_with('$') {
             let body = line.trim_start();
-            let (idx_part, rest) = body
-                .split_once(' ')
-                .ok_or_else(|| err(lineno, "constraint line missing body"))?;
+            let (idx_part, rest) =
+                body.split_once(' ').ok_or_else(|| err(lineno, "constraint line missing body"))?;
             let position: usize = idx_part
                 .strip_prefix('$')
                 .and_then(|s| s.parse().ok())
@@ -114,8 +109,7 @@ pub fn parse_policy(text: &str) -> Result<Policy, FormatError> {
             if position == 0 {
                 return Err(err(lineno, "constraint positions are 1-based"));
             }
-            let constraint = parse_constraint(rest.trim())
-                .map_err(|m| err(lineno, &m))?;
+            let constraint = parse_constraint(rest.trim()).map_err(|m| err(lineno, &m))?;
             // Pad with Any so positions line up.
             while current_entry.arg_constraints.len() < position - 1 {
                 current_entry.arg_constraints.push(ArgConstraint::Any);
@@ -154,9 +148,7 @@ pub fn parse_predicate(text: &str) -> Result<Predicate, String> {
         return Ok(Predicate::True);
     }
     if let Some(rest) = text.strip_prefix("not (") {
-        let inner = rest
-            .strip_suffix(')')
-            .ok_or_else(|| "unterminated not(...)".to_owned())?;
+        let inner = rest.strip_suffix(')').ok_or_else(|| "unterminated not(...)".to_owned())?;
         return Ok(Predicate::Not(Box::new(parse_predicate(inner)?)));
     }
     if let Some(rest) = text.strip_prefix("all(") {
@@ -195,9 +187,8 @@ pub fn parse_predicate(text: &str) -> Result<Predicate, String> {
         return Ok(Predicate::OneOf(options));
     }
     if let Some(rest) = text.strip_prefix("number ") {
-        let (op_text, value_text) = rest
-            .split_once(' ')
-            .ok_or_else(|| "number predicate missing value".to_owned())?;
+        let (op_text, value_text) =
+            rest.split_once(' ').ok_or_else(|| "number predicate missing value".to_owned())?;
         let op = match op_text {
             "<" => CmpOp::Lt,
             "<=" => CmpOp::Le,
@@ -279,7 +270,8 @@ mod tests {
 
     fn paper_example_policy() -> Policy {
         // §4.1's example: respond to urgent work emails.
-        let mut p = Policy::new("Get unread emails related to work and respond to any that are urgent");
+        let mut p =
+            Policy::new("Get unread emails related to work and respond to any that are urgent");
         p.set(
             "send_email",
             PolicyEntry::allow(
@@ -398,10 +390,7 @@ mod tests {
     #[test]
     fn split_top_level_respects_nesting() {
         assert_eq!(split_top_level("a and b", " and "), vec!["a", "b"]);
-        assert_eq!(
-            split_top_level("all(x and y) and b", " and "),
-            vec!["all(x and y)", "b"]
-        );
+        assert_eq!(split_top_level("all(x and y) and b", " and "), vec!["all(x and y)", "b"]);
         assert_eq!(
             split_top_level("contains \" and \" and b", " and "),
             vec!["contains \" and \"", "b"]

@@ -119,7 +119,11 @@ impl<M: PolicyModel> PolicyGenerator<M> {
     /// Generates (or retrieves) the policy for `task` under `context`.
     ///
     /// This is the paper's `set_policy(task, trusted_ctxt) -> Policy`.
-    pub fn set_policy(&mut self, task: &str, context: &TrustedContext) -> (Policy, GenerationStats) {
+    pub fn set_policy(
+        &mut self,
+        task: &str,
+        context: &TrustedContext,
+    ) -> (Policy, GenerationStats) {
         let key = PolicyCache::key(task, context);
         if let Some(cache) = self.cache.as_mut() {
             if let Some(policy) = cache.get(key) {

@@ -17,6 +17,7 @@
 //! |---|---|
 //! | Policies: can-execute / arg constraints / rationale (§3.2, §4.1) | [`policy`], [`constraint`] |
 //! | Deterministic enforcement (§3.3) | [`enforce`] |
+//! | Composable enforcement stack: layers, sessions, sinks | [`pipeline`] |
 //! | Trusted context isolation (§3.1) | [`context`] |
 //! | Policy generation + in-context learning (§3.2) | [`generate`] |
 //! | Policy caching (§7) | [`cache`] |
@@ -69,14 +70,17 @@ pub mod enforce;
 pub mod format;
 pub mod generate;
 pub mod jsonout;
+pub mod pipeline;
 pub mod policy;
 pub mod sanitize;
 pub mod trajectory;
 pub mod verify;
 
-pub use audit::{AuditEvent, AuditLog, AuditRecord};
+pub use audit::{AuditEvent, AuditLog, AuditRecord, AuditSink, CountingSink};
 pub use cache::{CacheKey, PolicyCache};
-pub use confirm::{AlwaysConfirm, ConfirmDecision, ConfirmationProvider, NeverConfirm, ScriptedConfirm};
+pub use confirm::{
+    AlwaysConfirm, ConfirmDecision, ConfirmationProvider, NeverConfirm, ScriptedConfirm,
+};
 pub use constraint::{ArgConstraint, CmpOp, Predicate};
 pub use context::TrustedContext;
 pub use diff::{diff_policies, render_diff, PolicyChange};
@@ -86,6 +90,10 @@ pub use generate::{
     GenerationStats, GoldenExample, PolicyDraft, PolicyGenerator, PolicyModel, PolicyRequest,
 };
 pub use jsonout::Json;
+pub use pipeline::{
+    CheckLayer, ConfirmLayer, EnforcementSession, LayerOutcome, PipelineBuilder, PolicyLayer,
+    SessionStats, TrajectoryLayer, Verdict,
+};
 pub use policy::{Policy, PolicyEntry};
 pub use sanitize::{default_sanitizers, SanitizerSet};
 pub use trajectory::{

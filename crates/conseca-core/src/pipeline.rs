@@ -1,0 +1,829 @@
+//! The composable enforcement pipeline: one reference monitor for the
+//! whole deterministic stack.
+//!
+//! The paper layers several deterministic checks around every proposed
+//! action — the per-action policy (§3.3), trajectory policies (§7), user
+//! override confirmation (§7), and audit logging (§3.2). This module turns
+//! that stack into a first-class API instead of call-site wiring:
+//!
+//! - [`CheckLayer`] — one deterministic check. Ships with [`PolicyLayer`],
+//!   [`TrajectoryLayer`], and [`ConfirmLayer`]; deployments add their own.
+//! - [`Verdict`] — the typed outcome: allow/deny plus *which layer
+//!   decided*, the structured [`Violation`], the rationale, and whether a
+//!   user override occurred.
+//! - [`EnforcementSession`] — per-task pipeline state: the layer stack,
+//!   running [`SessionStats`] (including consecutive-denial stall
+//!   tracking), and the [`AuditSink`]s every event streams into.
+//! - [`PipelineBuilder`] — assembles sessions.
+//!
+//! [`is_allowed`] remains the paper's two-function API: it is exactly a
+//! session containing a single [`PolicyLayer`] (the parity property tests
+//! pin this down), kept as an allocation-free fast path.
+//!
+//! # Examples
+//!
+//! The full stack, checked through one entry point:
+//!
+//! ```
+//! use conseca_core::pipeline::{PipelineBuilder, TrajectoryLayer};
+//! use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrajectoryPolicy, Violation};
+//! use conseca_shell::ApiCall;
+//!
+//! let mut policy = Policy::new("respond to urgent work emails");
+//! policy.set("send_email", PolicyEntry::allow(
+//!     vec![ArgConstraint::regex("alice").unwrap()],
+//!     "urgent responses come from alice",
+//! ));
+//! let trajectory = TrajectoryPolicy::new().limit("send_email", 1, "one email suffices");
+//!
+//! let mut session = PipelineBuilder::new()
+//!     .policy(&policy)
+//!     .layer(TrajectoryLayer::new(trajectory))
+//!     .build();
+//!
+//! let call = ApiCall::new("email", "send_email",
+//!     vec!["alice".into(), "bob@work.com".into(), "urgent".into(), "done".into()]);
+//!
+//! // First send passes the policy layer...
+//! let first = session.check(&call);
+//! assert!(first.allowed);
+//! assert_eq!(first.decided_by, "policy");
+//! session.record_execution(&call, true, 0);
+//!
+//! // ...the second trips the trajectory rate limit, with full provenance.
+//! let second = session.check(&call);
+//! assert!(!second.allowed);
+//! assert_eq!(second.decided_by, "trajectory");
+//! assert!(matches!(second.violation, Some(Violation::RateLimited { .. })));
+//! ```
+
+use std::borrow::Cow;
+
+use conseca_shell::ApiCall;
+
+use crate::audit::{AuditEvent, AuditSink};
+use crate::confirm::{ConfirmDecision, ConfirmationProvider};
+use crate::enforce::{is_allowed, Decision, Violation};
+use crate::policy::Policy;
+use crate::trajectory::{TrajectoryEnforcer, TrajectoryPolicy};
+
+/// Layer name on verdicts produced by an empty pipeline.
+pub const LAYER_UNRESTRICTED: &str = "unrestricted";
+/// Layer name of [`PolicyLayer`].
+pub const LAYER_POLICY: &str = "policy";
+/// Layer name of [`TrajectoryLayer`].
+pub const LAYER_TRAJECTORY: &str = "trajectory";
+/// Layer name of [`ConfirmLayer`].
+pub const LAYER_CONFIRMATION: &str = "confirmation";
+
+/// The pipeline's typed outcome for one proposed action.
+///
+/// Unlike the bare [`Decision`], a verdict always says *which layer*
+/// decided and carries the structured [`Violation`] even for trajectory
+/// and confirmation denials — the provenance the audit trail needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the action may execute.
+    pub allowed: bool,
+    /// Name of the layer whose outcome determined this verdict.
+    pub decided_by: &'static str,
+    /// Human-readable rationale from the deciding layer.
+    pub rationale: String,
+    /// Structured provenance, populated on every denial.
+    pub violation: Option<Violation>,
+    /// Whether a user confirmation flipped an underlying denial (§7).
+    pub overridden: bool,
+}
+
+impl Verdict {
+    fn unrestricted() -> Self {
+        Verdict {
+            allowed: true,
+            decided_by: LAYER_UNRESTRICTED,
+            rationale: String::new(),
+            violation: None,
+            overridden: false,
+        }
+    }
+
+    fn allow(decided_by: &'static str, rationale: String) -> Self {
+        Verdict { allowed: true, decided_by, rationale, violation: None, overridden: false }
+    }
+
+    fn deny(decided_by: &'static str, rationale: String, violation: Violation) -> Self {
+        Verdict {
+            allowed: false,
+            decided_by,
+            rationale,
+            violation: Some(violation),
+            overridden: false,
+        }
+    }
+
+    /// Renders the feedback line the agent appends to the planner prompt,
+    /// in the same shape as [`Decision::feedback`] (both delegate to one
+    /// shared formatter).
+    pub fn feedback(&self, call: &ApiCall) -> String {
+        crate::enforce::feedback_line(self.allowed, &self.rationale, self.violation.as_ref(), call)
+    }
+}
+
+impl From<Decision> for Verdict {
+    fn from(d: Decision) -> Self {
+        Verdict {
+            allowed: d.allowed,
+            decided_by: LAYER_POLICY,
+            rationale: d.rationale,
+            violation: d.violation,
+            overridden: false,
+        }
+    }
+}
+
+impl From<Verdict> for Decision {
+    fn from(v: Verdict) -> Self {
+        Decision { allowed: v.allowed, rationale: v.rationale, violation: v.violation }
+    }
+}
+
+/// What one layer says about one proposed action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayerOutcome {
+    /// No opinion — the pending verdict stands.
+    Pass,
+    /// Allow, contributing the rationale (only meaningful while the
+    /// pending verdict is still allowing).
+    Allow {
+        /// Why this action fits the task context.
+        rationale: String,
+    },
+    /// Deny with provenance.
+    Deny {
+        /// Why this action does not fit the task context.
+        rationale: String,
+        /// The structured violation.
+        violation: Violation,
+    },
+    /// The user was consulted about the pending denial (§7).
+    Confirmed {
+        /// Whether the user overrode the denial.
+        approved: bool,
+    },
+}
+
+/// Running counters for one task's enforcement session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Actions checked.
+    pub checks: usize,
+    /// Actions allowed (including user overrides).
+    pub allowed: usize,
+    /// Actions denied.
+    pub denials: usize,
+    /// Denials flipped by user confirmation.
+    pub overrides: usize,
+    /// Denials since the last allowed action (stall tracking).
+    pub consecutive_denials: usize,
+    /// Executions recorded via [`EnforcementSession::record_execution`].
+    pub executed: usize,
+}
+
+/// One deterministic check in the enforcement stack.
+///
+/// Layers run in pipeline order. The session enforces **first-objector
+/// provenance** centrally: once a layer denies, later `Deny` outcomes are
+/// ignored (only a [`ConfirmLayer`]'s confirmation can flip the verdict).
+/// Layers should still return [`LayerOutcome::Pass`] on an already-denied
+/// `pending` verdict to skip wasted work, as the built-in layers do.
+pub trait CheckLayer {
+    /// Stable name, recorded as [`Verdict::decided_by`].
+    fn name(&self) -> &'static str;
+
+    /// Judges one proposed action given the session counters and the
+    /// verdict accumulated from earlier layers.
+    fn check(&mut self, call: &ApiCall, stats: &SessionStats, pending: &Verdict) -> LayerOutcome;
+
+    /// Notified after an approved action actually executes, so stateful
+    /// layers (trajectory history, counters) can update.
+    fn record(&mut self, call: &ApiCall) {
+        let _ = call;
+    }
+}
+
+/// The per-action policy check (§3.3) as a pipeline layer.
+///
+/// Borrows or owns the [`Policy`]; its verdicts are exactly
+/// [`is_allowed`]'s, which the parity property tests enforce.
+#[derive(Debug, Clone)]
+pub struct PolicyLayer<'p> {
+    policy: Cow<'p, Policy>,
+}
+
+impl<'p> PolicyLayer<'p> {
+    /// A layer borrowing `policy`.
+    pub fn new(policy: &'p Policy) -> Self {
+        PolicyLayer { policy: Cow::Borrowed(policy) }
+    }
+
+    /// A layer owning its policy (useful when the session must be
+    /// `'static`, e.g. stored or sent elsewhere).
+    pub fn owned(policy: Policy) -> PolicyLayer<'static> {
+        PolicyLayer { policy: Cow::Owned(policy) }
+    }
+
+    /// The policy being enforced.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+}
+
+impl CheckLayer for PolicyLayer<'_> {
+    fn name(&self) -> &'static str {
+        LAYER_POLICY
+    }
+
+    fn check(&mut self, call: &ApiCall, _stats: &SessionStats, pending: &Verdict) -> LayerOutcome {
+        if !pending.allowed {
+            return LayerOutcome::Pass;
+        }
+        let decision = is_allowed(call, &self.policy);
+        match decision.violation {
+            None => LayerOutcome::Allow { rationale: decision.rationale },
+            Some(violation) => LayerOutcome::Deny { rationale: decision.rationale, violation },
+        }
+    }
+}
+
+/// The trajectory check (§7) as a pipeline layer: rate limits, sequence
+/// preconditions, and the total action budget, stateful per task.
+#[derive(Debug)]
+pub struct TrajectoryLayer {
+    enforcer: TrajectoryEnforcer,
+}
+
+impl TrajectoryLayer {
+    /// A layer enforcing `policy` with empty history.
+    pub fn new(policy: TrajectoryPolicy) -> Self {
+        TrajectoryLayer { enforcer: TrajectoryEnforcer::new(policy) }
+    }
+
+    /// The underlying stateful enforcer.
+    pub fn enforcer(&self) -> &TrajectoryEnforcer {
+        &self.enforcer
+    }
+}
+
+impl CheckLayer for TrajectoryLayer {
+    fn name(&self) -> &'static str {
+        LAYER_TRAJECTORY
+    }
+
+    fn check(&mut self, call: &ApiCall, _stats: &SessionStats, pending: &Verdict) -> LayerOutcome {
+        if !pending.allowed {
+            return LayerOutcome::Pass;
+        }
+        let decision = self.enforcer.check(call);
+        match decision.violation {
+            None => LayerOutcome::Pass,
+            Some(violation) => LayerOutcome::Deny { rationale: decision.rationale, violation },
+        }
+    }
+
+    fn record(&mut self, call: &ApiCall) {
+        self.enforcer.record(call);
+    }
+}
+
+/// The user-override hook (§7) as a pipeline layer: consulted only when an
+/// earlier layer denied; the session turns an approval into an overridden
+/// allow and a refusal into a [`Violation::OverrideDeclined`].
+pub struct ConfirmLayer<P> {
+    provider: P,
+}
+
+impl<P: ConfirmationProvider> ConfirmLayer<P> {
+    /// A layer consulting `provider` on denials.
+    pub fn new(provider: P) -> Self {
+        ConfirmLayer { provider }
+    }
+}
+
+impl<P: ConfirmationProvider> CheckLayer for ConfirmLayer<P> {
+    fn name(&self) -> &'static str {
+        LAYER_CONFIRMATION
+    }
+
+    fn check(&mut self, call: &ApiCall, _stats: &SessionStats, pending: &Verdict) -> LayerOutcome {
+        if pending.allowed {
+            return LayerOutcome::Pass;
+        }
+        // Show the user the denial mechanics (which rule fired, counts)
+        // alongside the rule's rationale, not the rationale alone.
+        let reason = match &pending.violation {
+            Some(violation) => format!("{violation}: {}", pending.rationale),
+            None => pending.rationale.clone(),
+        };
+        let answer = self.provider.confirm(call, &reason);
+        LayerOutcome::Confirmed { approved: answer == ConfirmDecision::Approve }
+    }
+}
+
+/// Assembles an [`EnforcementSession`].
+///
+/// # Examples
+///
+/// ```
+/// use conseca_core::pipeline::PipelineBuilder;
+/// use conseca_core::{AuditLog, Policy, PolicyEntry};
+/// use conseca_shell::ApiCall;
+///
+/// let mut policy = Policy::new("list files");
+/// policy.set("ls", PolicyEntry::allow_any("listing is the task"));
+/// let mut audit = AuditLog::new();
+///
+/// let mut session = PipelineBuilder::new()
+///     .policy(&policy)
+///     .sink(&mut audit)
+///     .max_consecutive_denials(10)
+///     .build();
+/// let verdict = session.check(&ApiCall::new("fs", "ls", vec!["/".into()]));
+/// assert!(verdict.allowed);
+/// drop(session);
+/// assert_eq!(audit.len(), 1); // the decision was audited
+/// ```
+#[derive(Default)]
+pub struct PipelineBuilder<'a> {
+    layers: Vec<Box<dyn CheckLayer + 'a>>,
+    sinks: Vec<&'a mut dyn AuditSink>,
+    max_consecutive_denials: Option<usize>,
+}
+
+impl<'a> PipelineBuilder<'a> {
+    /// An empty builder (an empty pipeline allows everything).
+    pub fn new() -> Self {
+        PipelineBuilder::default()
+    }
+
+    /// Appends any layer.
+    pub fn layer(mut self, layer: impl CheckLayer + 'a) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a [`PolicyLayer`] borrowing `policy`.
+    pub fn policy(self, policy: &'a Policy) -> Self {
+        self.layer(PolicyLayer::new(policy))
+    }
+
+    /// Appends a [`TrajectoryLayer`] over `policy`.
+    pub fn trajectory(self, policy: TrajectoryPolicy) -> Self {
+        self.layer(TrajectoryLayer::new(policy))
+    }
+
+    /// Appends a [`ConfirmLayer`] consulting `provider` on denials.
+    ///
+    /// Place it after the layers whose denials the user may override: a
+    /// confirmation outcome ends the layer walk, so anything later in the
+    /// stack is skipped for that action.
+    pub fn confirmation(self, provider: impl ConfirmationProvider + 'a) -> Self {
+        self.layer(ConfirmLayer::new(provider))
+    }
+
+    /// Streams every audit event into `sink` (repeatable to tee).
+    pub fn sink(mut self, sink: &'a mut dyn AuditSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Declares the session stalled after `n` consecutive denials (§4.1's
+    /// stop condition; the paper uses 10).
+    pub fn max_consecutive_denials(mut self, n: usize) -> Self {
+        self.max_consecutive_denials = Some(n);
+        self
+    }
+
+    /// Builds the session.
+    pub fn build(self) -> EnforcementSession<'a> {
+        EnforcementSession {
+            layers: self.layers,
+            sinks: self.sinks,
+            stats: SessionStats::default(),
+            max_consecutive_denials: self.max_consecutive_denials,
+        }
+    }
+}
+
+/// One task's enforcement pipeline plus its mutable state.
+///
+/// Owns the layer stack, the per-task counters (including the
+/// consecutive-denial stall tracker the agent loop consults), and the
+/// audit sinks. Create one per task via [`PipelineBuilder`]; call
+/// [`check`](Self::check) per proposed action,
+/// [`record_execution`](Self::record_execution) after an approved action
+/// runs, and [`check_all`](Self::check_all) to screen a whole batch.
+pub struct EnforcementSession<'a> {
+    layers: Vec<Box<dyn CheckLayer + 'a>>,
+    sinks: Vec<&'a mut dyn AuditSink>,
+    stats: SessionStats,
+    max_consecutive_denials: Option<usize>,
+}
+
+impl<'a> EnforcementSession<'a> {
+    /// Judges one proposed action through every layer, updating counters
+    /// and auditing the decision (and any user confirmation).
+    pub fn check(&mut self, call: &ApiCall) -> Verdict {
+        let (verdict, confirmation) = self.evaluate(call);
+
+        // Audit the pre-override decision (what enforcement said), then
+        // the confirmation outcome (what the user said) — the same record
+        // order the §3.2 audit trail always used. Event construction is
+        // skipped entirely for sink-less sessions (the screening fast path).
+        if !self.sinks.is_empty() {
+            let audited = match &confirmation {
+                Some((_, pre)) => pre,
+                None => &verdict,
+            };
+            let event = AuditEvent::ActionDecision {
+                call: call.raw.clone(),
+                allowed: audited.allowed,
+                rationale: audited.rationale.clone(),
+                violation: audited.violation.as_ref().map(|v| v.to_string()),
+            };
+            self.emit(event);
+            if let Some((approved, _)) = confirmation {
+                self.emit(AuditEvent::UserConfirmation { call: call.raw.clone(), approved });
+            }
+        }
+
+        self.stats.checks += 1;
+        if verdict.allowed {
+            self.stats.allowed += 1;
+            self.stats.consecutive_denials = 0;
+            if verdict.overridden {
+                self.stats.overrides += 1;
+            }
+        } else {
+            self.stats.denials += 1;
+            self.stats.consecutive_denials += 1;
+        }
+        verdict
+    }
+
+    /// Judges a batch, in order, with identical semantics — and identical
+    /// cost — to calling [`check`](Self::check) once per element (a
+    /// property the parity tests enforce). A convenience entry point for
+    /// callers screening many proposals at once; it is also the seam
+    /// where future batched backends (shared caches, parallel layers)
+    /// plug in without changing call sites.
+    pub fn check_all(&mut self, calls: &[ApiCall]) -> Vec<Verdict> {
+        let mut verdicts = Vec::with_capacity(calls.len());
+        for call in calls {
+            verdicts.push(self.check(call));
+        }
+        verdicts
+    }
+
+    /// Runs the layer stack. Returns the final verdict plus, when a
+    /// confirmation layer was consulted, the user's answer and the
+    /// pre-override verdict.
+    ///
+    /// A confirmation outcome is **terminal**: the user's answer is final,
+    /// so layers placed after a [`ConfirmLayer`] that fired are not
+    /// consulted. Without this, a later layer could silently undo a user
+    /// override while the audit trail still reported it as approved.
+    fn evaluate(&mut self, call: &ApiCall) -> (Verdict, Option<(bool, Verdict)>) {
+        let mut verdict = Verdict::unrestricted();
+        let mut confirmation = None;
+        for layer in &mut self.layers {
+            match layer.check(call, &self.stats, &verdict) {
+                LayerOutcome::Pass => {}
+                LayerOutcome::Allow { rationale } => {
+                    if verdict.allowed {
+                        verdict = Verdict::allow(layer.name(), rationale);
+                    }
+                }
+                LayerOutcome::Deny { rationale, violation } => {
+                    // First objector owns the verdict: a later layer cannot
+                    // overwrite an earlier denial's provenance, even if it
+                    // (incorrectly) denies without checking `pending`.
+                    if verdict.allowed {
+                        verdict = Verdict::deny(layer.name(), rationale, violation);
+                    }
+                }
+                LayerOutcome::Confirmed { approved } => {
+                    let pre = verdict.clone();
+                    if approved {
+                        verdict = Verdict {
+                            allowed: true,
+                            decided_by: layer.name(),
+                            rationale: format!(
+                                "the user approved this action despite: {}",
+                                pre.rationale
+                            ),
+                            violation: None,
+                            overridden: true,
+                        };
+                    } else {
+                        verdict = Verdict {
+                            allowed: false,
+                            decided_by: layer.name(),
+                            rationale: pre.rationale.clone(),
+                            violation: Some(Violation::OverrideDeclined {
+                                underlying: pre.violation.clone().map(Box::new),
+                            }),
+                            overridden: false,
+                        };
+                    }
+                    confirmation = Some((approved, pre));
+                    break;
+                }
+            }
+        }
+        (verdict, confirmation)
+    }
+
+    /// Records that an approved action actually executed: stateful layers
+    /// update (trajectory history advances) and the execution is audited.
+    pub fn record_execution(&mut self, call: &ApiCall, output_trusted: bool, output_len: usize) {
+        for layer in &mut self.layers {
+            layer.record(call);
+        }
+        self.stats.executed += 1;
+        if !self.sinks.is_empty() {
+            self.emit(AuditEvent::ActionExecuted {
+                call: call.raw.clone(),
+                output_trusted,
+                output_len,
+            });
+        }
+    }
+
+    /// Records that an approved action failed in the tool layer.
+    pub fn record_failure(&mut self, call: &ApiCall, error: &str) {
+        if !self.sinks.is_empty() {
+            self.emit(AuditEvent::ActionFailed { call: call.raw.clone(), error: error.to_owned() });
+        }
+    }
+
+    /// Audits a raw proposal before parsing/enforcement.
+    pub fn record_proposal(&mut self, raw_command: &str) {
+        if !self.sinks.is_empty() {
+            self.emit(AuditEvent::ActionProposed { call: raw_command.to_owned() });
+        }
+    }
+
+    /// Streams any event to every sink (for session-adjacent events like
+    /// policy generation and task completion).
+    pub fn emit(&mut self, event: AuditEvent) {
+        if let Some((last, rest)) = self.sinks.split_last_mut() {
+            for sink in rest.iter_mut() {
+                sink.record(event.clone());
+            }
+            last.record(event);
+        }
+    }
+
+    /// Whether the consecutive-denial stall threshold has been reached.
+    pub fn stalled(&self) -> bool {
+        match self.max_consecutive_denials {
+            Some(max) => self.stats.consecutive_denials >= max,
+            None => false,
+        }
+    }
+
+    /// The session counters so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::{AuditLog, CountingSink};
+    use crate::confirm::{AlwaysConfirm, NeverConfirm, ScriptedConfirm};
+    use crate::constraint::ArgConstraint;
+    use crate::policy::PolicyEntry;
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn send_policy() -> Policy {
+        let mut policy = Policy::new("respond to urgent work emails");
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![ArgConstraint::regex("^alice$").unwrap()],
+                "responses come from alice",
+            ),
+        );
+        policy.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+        policy
+    }
+
+    #[test]
+    fn empty_pipeline_allows_everything() {
+        let mut session = PipelineBuilder::new().build();
+        let verdict = session.check(&call("anything", &["at", "all"]));
+        assert!(verdict.allowed);
+        assert_eq!(verdict.decided_by, LAYER_UNRESTRICTED);
+    }
+
+    #[test]
+    fn policy_layer_matches_is_allowed() {
+        let policy = send_policy();
+        let mut session = PipelineBuilder::new().policy(&policy).build();
+        for c in [
+            call("send_email", &["alice", "b@work.com", "s", "x"]),
+            call("send_email", &["mallory", "b@work.com", "s", "x"]),
+            call("delete_email", &["4"]),
+            call("unlisted", &[]),
+        ] {
+            let verdict = session.check(&c);
+            let decision = is_allowed(&c, &policy);
+            assert_eq!(verdict.allowed, decision.allowed, "{}", c.raw);
+            assert_eq!(verdict.rationale, decision.rationale, "{}", c.raw);
+            assert_eq!(verdict.violation, decision.violation, "{}", c.raw);
+            assert_eq!(verdict.decided_by, LAYER_POLICY);
+        }
+    }
+
+    #[test]
+    fn trajectory_denial_carries_provenance() {
+        let policy = send_policy();
+        let trajectory = TrajectoryPolicy::new().limit("send_email", 1, "one is plenty");
+        let mut session = PipelineBuilder::new().policy(&policy).trajectory(trajectory).build();
+        let c = call("send_email", &["alice", "b@work.com", "s", "x"]);
+        assert!(session.check(&c).allowed);
+        session.record_execution(&c, true, 0);
+        let denied = session.check(&c);
+        assert!(!denied.allowed);
+        assert_eq!(denied.decided_by, LAYER_TRAJECTORY);
+        assert_eq!(
+            denied.violation,
+            Some(Violation::RateLimited { api: "send_email".into(), limit: 1, used: 1 })
+        );
+        // The denial feedback names the violation rather than a generic
+        // "denied" (the provenance bug this redesign fixes).
+        assert!(denied.feedback(&c).contains("limit 1"));
+    }
+
+    #[test]
+    fn policy_denial_keeps_policy_provenance_over_trajectory() {
+        // When both layers would deny, the first (policy) owns the verdict.
+        let policy = send_policy();
+        let trajectory = TrajectoryPolicy::new().limit("delete_email", 0, "never");
+        let mut session = PipelineBuilder::new().policy(&policy).trajectory(trajectory).build();
+        let denied = session.check(&call("delete_email", &["4"]));
+        assert_eq!(denied.decided_by, LAYER_POLICY);
+        assert_eq!(denied.violation, Some(Violation::CannotExecute));
+    }
+
+    #[test]
+    fn first_objector_owns_the_verdict_even_against_rude_layers() {
+        // A custom layer that denies without checking `pending` cannot
+        // steal provenance from the policy layer's earlier denial.
+        struct AlwaysDeny;
+        impl CheckLayer for AlwaysDeny {
+            fn name(&self) -> &'static str {
+                "always-deny"
+            }
+            fn check(&mut self, _: &ApiCall, _: &SessionStats, _: &Verdict) -> LayerOutcome {
+                LayerOutcome::Deny { rationale: "rude".into(), violation: Violation::UnlistedApi }
+            }
+        }
+        let policy = send_policy();
+        let mut session = PipelineBuilder::new().policy(&policy).layer(AlwaysDeny).build();
+        let denied = session.check(&call("delete_email", &["4"]));
+        assert_eq!(denied.decided_by, LAYER_POLICY);
+        assert_eq!(denied.violation, Some(Violation::CannotExecute));
+    }
+
+    #[test]
+    fn confirmation_overrides_denial_and_counts() {
+        let policy = send_policy();
+        let mut session =
+            PipelineBuilder::new().policy(&policy).confirmation(AlwaysConfirm).build();
+        let verdict = session.check(&call("delete_email", &["4"]));
+        assert!(verdict.allowed);
+        assert!(verdict.overridden);
+        assert_eq!(verdict.decided_by, LAYER_CONFIRMATION);
+        assert_eq!(session.stats().overrides, 1);
+        assert_eq!(session.stats().consecutive_denials, 0);
+    }
+
+    #[test]
+    fn declined_confirmation_wraps_underlying_violation() {
+        let policy = send_policy();
+        let mut session = PipelineBuilder::new().policy(&policy).confirmation(NeverConfirm).build();
+        let verdict = session.check(&call("delete_email", &["4"]));
+        assert!(!verdict.allowed);
+        assert_eq!(verdict.decided_by, LAYER_CONFIRMATION);
+        match verdict.violation {
+            Some(Violation::OverrideDeclined { underlying: Some(v) }) => {
+                assert_eq!(*v, Violation::CannotExecute);
+            }
+            other => panic!("expected OverrideDeclined, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn confirmation_not_consulted_for_allowed_actions() {
+        let policy = send_policy();
+        let provider = ScriptedConfirm::new(vec![], ConfirmDecision::Deny);
+        let mut session = PipelineBuilder::new().policy(&policy).confirmation(provider).build();
+        let verdict = session.check(&call("send_email", &["alice", "b", "s", "x"]));
+        assert!(verdict.allowed);
+        assert!(!verdict.overridden);
+    }
+
+    #[test]
+    fn user_override_is_terminal_even_with_later_layers() {
+        // A deny-everything trajectory layer placed *after* the
+        // confirmation layer must not undo the user's override.
+        let policy = send_policy();
+        let mut session = PipelineBuilder::new()
+            .policy(&policy)
+            .confirmation(AlwaysConfirm)
+            .trajectory(TrajectoryPolicy::new().limit("delete_email", 0, "never"))
+            .build();
+        let verdict = session.check(&call("delete_email", &["4"]));
+        assert!(verdict.allowed, "the user's override is final");
+        assert!(verdict.overridden);
+        assert_eq!(verdict.decided_by, LAYER_CONFIRMATION);
+        assert_eq!(session.stats().overrides, 1);
+    }
+
+    #[test]
+    fn stall_tracking_counts_consecutive_denials() {
+        let policy = send_policy();
+        let mut session = PipelineBuilder::new().policy(&policy).max_consecutive_denials(3).build();
+        let denied = call("delete_email", &["4"]);
+        let ok = call("send_email", &["alice", "b", "s", "x"]);
+        session.check(&denied);
+        session.check(&denied);
+        assert!(!session.stalled());
+        session.check(&ok); // resets the streak
+        session.check(&denied);
+        session.check(&denied);
+        session.check(&denied);
+        assert!(session.stalled());
+        assert_eq!(session.stats().denials, 5);
+        assert_eq!(session.stats().allowed, 1);
+    }
+
+    #[test]
+    fn audit_sinks_receive_decisions_and_confirmations() {
+        let policy = send_policy();
+        let mut log = AuditLog::new();
+        let mut counts = CountingSink::default();
+        {
+            let mut session = PipelineBuilder::new()
+                .policy(&policy)
+                .confirmation(AlwaysConfirm)
+                .sink(&mut log)
+                .sink(&mut counts)
+                .build();
+            session.record_proposal("delete_email 4");
+            session.check(&call("delete_email", &["4"]));
+        }
+        // Proposal, decision (pre-override denial), confirmation.
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.denial_count(), 1);
+        assert!(log
+            .records()
+            .iter()
+            .any(|r| matches!(r.event, AuditEvent::UserConfirmation { approved: true, .. })));
+        assert_eq!(counts.decisions, 1);
+        assert_eq!(counts.denials, 1);
+    }
+
+    #[test]
+    fn check_all_equals_sequential_checks() {
+        let policy = send_policy();
+        let calls = vec![
+            call("send_email", &["alice", "b", "s", "x"]),
+            call("delete_email", &["4"]),
+            call("unlisted", &[]),
+            call("send_email", &["mallory", "b", "s", "x"]),
+        ];
+        let mut batch_session = PipelineBuilder::new().policy(&policy).build();
+        let batched = batch_session.check_all(&calls);
+        let mut seq_session = PipelineBuilder::new().policy(&policy).build();
+        let sequential: Vec<Verdict> = calls.iter().map(|c| seq_session.check(c)).collect();
+        assert_eq!(batched, sequential);
+        assert_eq!(batch_session.stats(), seq_session.stats());
+    }
+
+    #[test]
+    fn verdict_decision_roundtrip() {
+        let d = Decision {
+            allowed: false,
+            rationale: "r".into(),
+            violation: Some(Violation::UnlistedApi),
+        };
+        let v = Verdict::from(d.clone());
+        assert_eq!(Decision::from(v), d);
+    }
+}

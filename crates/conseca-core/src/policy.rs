@@ -37,7 +37,11 @@ impl PolicyEntry {
 
     /// An entry that forbids the call in this context.
     pub fn deny(rationale: &str) -> Self {
-        PolicyEntry { can_execute: false, arg_constraints: Vec::new(), rationale: rationale.to_owned() }
+        PolicyEntry {
+            can_execute: false,
+            arg_constraints: Vec::new(),
+            rationale: rationale.to_owned(),
+        }
     }
 }
 
@@ -85,10 +89,7 @@ impl Policy {
 
     /// APIs explicitly allowed by this policy.
     pub fn allowed_apis(&self) -> impl Iterator<Item = &str> {
-        self.entries
-            .iter()
-            .filter(|(_, e)| e.can_execute)
-            .map(|(k, _)| k.as_str())
+        self.entries.iter().filter(|(_, e)| e.can_execute).map(|(k, _)| k.as_str())
     }
 
     /// A stable fingerprint of the policy's semantics (used by the cache
@@ -131,7 +132,9 @@ impl Policy {
             } else {
                 p.set(
                     api.name,
-                    PolicyEntry::allow_any("the static permissive policy allows non-destructive actions"),
+                    PolicyEntry::allow_any(
+                        "the static permissive policy allows non-destructive actions",
+                    ),
                 );
             }
         }

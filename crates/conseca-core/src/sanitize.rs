@@ -45,9 +45,7 @@ impl SanitizerSet {
 
 impl std::fmt::Debug for SanitizerSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SanitizerSet")
-            .field("apis", &self.map.keys().collect::<Vec<_>>())
-            .finish()
+        f.debug_struct("SanitizerSet").field("apis", &self.map.keys().collect::<Vec<_>>()).finish()
     }
 }
 
@@ -58,7 +56,9 @@ pub fn email_addresses_digest(text: &str) -> Option<String> {
     // static cache would drag in lazy-init machinery for no measured win.
     let re = Regex::new(r"[A-Za-z0-9._+-]+@[A-Za-z0-9.-]+").expect("static pattern compiles");
     let mut found: Vec<String> = Vec::new();
-    for token in text.split(|c: char| c.is_whitespace() || matches!(c, ',' | ';' | '<' | '>' | '(' | ')')) {
+    for token in
+        text.split(|c: char| c.is_whitespace() || matches!(c, ',' | ';' | '<' | '>' | '(' | ')'))
+    {
         if re.is_full_match(token) {
             found.push(token.to_owned());
         }

@@ -12,6 +12,8 @@ use std::collections::HashMap;
 
 use conseca_shell::ApiCall;
 
+use crate::enforce::Violation;
+
 /// Caps how many times one API may be called within a task.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RateLimit {
@@ -114,6 +116,9 @@ pub struct TrajectoryDecision {
     pub allowed: bool,
     /// Rationale for denials (empty when allowed).
     pub rationale: String,
+    /// Structured provenance for denials (`None` when allowed), so the
+    /// enforcement pipeline can report *which* trajectory rule fired.
+    pub violation: Option<Violation>,
 }
 
 /// Stateful enforcer for one task's trajectory.
@@ -138,12 +143,19 @@ impl TrajectoryEnforcer {
     /// Checks whether `call` is admissible given the recorded history.
     /// Does **not** record it; call [`TrajectoryEnforcer::record`] after the
     /// action actually executes.
+    ///
+    /// On denial, the mechanics (which rule tripped, counts) are in the
+    /// [`Violation`]; `rationale` carries only the rule's human reason, so
+    /// feedback lines never say the same thing twice.
     pub fn check(&self, call: &ApiCall) -> TrajectoryDecision {
         if let Some(max) = self.policy.max_total_actions {
             if self.history.len() >= max {
                 return TrajectoryDecision {
                     allowed: false,
-                    rationale: format!("the task's total action budget of {max} is exhausted"),
+                    rationale:
+                        "trajectories beyond the configured budget suggest a runaway or stuck plan"
+                            .to_owned(),
+                    violation: Some(Violation::BudgetExhausted { max }),
                 };
             }
         }
@@ -153,10 +165,12 @@ impl TrajectoryEnforcer {
                 if used >= limit.max_calls {
                     return TrajectoryDecision {
                         allowed: false,
-                        rationale: format!(
-                            "{} already called {used} time(s), limit {}: {}",
-                            call.name, limit.max_calls, limit.rationale
-                        ),
+                        rationale: limit.rationale.clone(),
+                        violation: Some(Violation::RateLimited {
+                            api: call.name.clone(),
+                            limit: limit.max_calls,
+                            used,
+                        }),
                     };
                 }
             }
@@ -165,11 +179,15 @@ impl TrajectoryEnforcer {
             if rule.api == call.name && !self.prior_satisfied(&rule.requires, call) {
                 return TrajectoryDecision {
                     allowed: false,
-                    rationale: format!("sequence precondition unmet: {}", rule.rationale),
+                    rationale: rule.rationale.clone(),
+                    violation: Some(Violation::SequenceUnmet {
+                        api: call.name.clone(),
+                        requirement: rule.rationale.clone(),
+                    }),
                 };
             }
         }
-        TrajectoryDecision { allowed: true, rationale: String::new() }
+        TrajectoryDecision { allowed: true, rationale: String::new(), violation: None }
     }
 
     fn prior_satisfied(&self, cond: &PriorCondition, call: &ApiCall) -> bool {
@@ -230,7 +248,11 @@ mod tests {
         }
         let d = e.check(&c);
         assert!(!d.allowed);
-        assert!(d.rationale.contains("limit 3"));
+        assert!(d.rationale.contains("a few notification emails"));
+        assert_eq!(
+            d.violation,
+            Some(Violation::RateLimited { api: "send_email".into(), limit: 3, used: 3 })
+        );
         // Other APIs are unaffected.
         assert!(e.check(&call("ls", &["/home"])).allowed);
     }
@@ -264,7 +286,8 @@ mod tests {
         assert!(e.check(&call("reply_email", &["7", "ok"])).allowed);
         let d = e.check(&call("reply_email", &["9", "ok"]));
         assert!(!d.allowed);
-        assert!(d.rationale.contains("precondition"));
+        assert!(d.rationale.contains("actually read"));
+        assert!(matches!(d.violation, Some(Violation::SequenceUnmet { .. })));
     }
 
     #[test]

@@ -69,11 +69,7 @@ pub fn verify_policy(policy: &Policy, registry: &ToolRegistry) -> Vec<Finding> {
             push(api, Severity::Error, "API is not in the tool registry".into());
         }
         if entry.rationale.trim().len() < 8 {
-            push(
-                api,
-                Severity::Error,
-                "rationale is missing or too short to audit".into(),
-            );
+            push(api, Severity::Error, "rationale is missing or too short to audit".into());
         }
         if !entry.can_execute && !entry.arg_constraints.is_empty() {
             push(
@@ -110,21 +106,19 @@ pub fn verify_policy(policy: &Policy, registry: &ToolRegistry) -> Vec<Finding> {
                 push(
                     api,
                     Severity::Info,
-                    format!(
-                        "constraint ${} is a wildcard regex; prefer an explicit `any`",
-                        i + 1
-                    ),
+                    format!("constraint ${} is a wildcard regex; prefer an explicit `any`", i + 1),
                 );
             }
         }
-        if entry.can_execute && entry.arg_constraints.iter().any(ArgConstraint::is_restrictive) {
-            if !rationale_echoes_constraints(&entry.rationale, &entry.arg_constraints) {
-                push(
-                    api,
-                    Severity::Warning,
-                    "rationale does not mention any value the constraints enforce".into(),
-                );
-            }
+        if entry.can_execute
+            && entry.arg_constraints.iter().any(ArgConstraint::is_restrictive)
+            && !rationale_echoes_constraints(&entry.rationale, &entry.arg_constraints)
+        {
+            push(
+                api,
+                Severity::Warning,
+                "rationale does not mention any value the constraints enforce".into(),
+            );
         }
     }
     findings
@@ -263,10 +257,7 @@ mod tests {
         p.set(
             "rm",
             PolicyEntry::allow(
-                vec![
-                    ArgConstraint::regex("^/tmp/").unwrap(),
-                    ArgConstraint::Any,
-                ],
+                vec![ArgConstraint::regex("^/tmp/").unwrap(), ArgConstraint::Any],
                 "rm takes one parameter; constraining /tmp paths only",
             ),
         );
@@ -315,9 +306,7 @@ mod tests {
             ),
         );
         let findings = verify_policy(&p, &reg);
-        assert!(findings
-            .iter()
-            .any(|f| f.message.contains("does not mention")));
+        assert!(findings.iter().any(|f| f.message.contains("does not mention")));
         // Now a rationale that echoes the constrained value.
         let mut p2 = Policy::new("t");
         p2.set(
@@ -328,9 +317,7 @@ mod tests {
             ),
         );
         let findings2 = verify_policy(&p2, &reg);
-        assert!(!findings2
-            .iter()
-            .any(|f| f.message.contains("does not mention")));
+        assert!(!findings2.iter().any(|f| f.message.contains("does not mention")));
     }
 
     #[test]

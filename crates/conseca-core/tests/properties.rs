@@ -1,6 +1,7 @@
 //! Property tests for the policy layer: default-deny, format round-trips,
-//! and enforcement monotonicity.
+//! enforcement monotonicity, and pipeline/legacy parity.
 
+use conseca_core::pipeline::{PipelineBuilder, LAYER_POLICY};
 use conseca_core::{
     is_allowed, parse_policy, render_policy, ArgConstraint, Policy, PolicyEntry, Predicate,
     Violation,
@@ -137,5 +138,52 @@ proptest! {
         let d = is_allowed(&call, &p);
         prop_assert!(!d.allowed);
         prop_assert_eq!(d.violation, Some(Violation::CannotExecute));
+    }
+
+    /// `is_allowed` is exactly an `EnforcementSession` holding a single
+    /// `PolicyLayer`: same allow/deny, same rationale, same violation, for
+    /// every policy shape and call — the backward-compatibility contract
+    /// of the pipeline redesign.
+    #[test]
+    fn single_layer_pipeline_matches_is_allowed(
+        policy in arb_policy(),
+        args in proptest::collection::vec("[a-z@./]{0,10}", 0..5),
+    ) {
+        let mut session = PipelineBuilder::new().policy(&policy).build();
+        for api in ["ls", "cat", "rm", "send_email", "write_file", "forward_email", "unlisted_api"] {
+            let call = ApiCall::new("x", api, args.clone());
+            let verdict = session.check(&call);
+            let decision = is_allowed(&call, &policy);
+            prop_assert_eq!(verdict.allowed, decision.allowed, "allowed diverged for {}", api);
+            prop_assert_eq!(&verdict.rationale, &decision.rationale, "rationale diverged for {}", api);
+            prop_assert_eq!(&verdict.violation, &decision.violation, "violation diverged for {}", api);
+            prop_assert_eq!(verdict.decided_by, LAYER_POLICY);
+            prop_assert!(!verdict.overridden);
+            // Feedback strings (what the planner sees) agree too.
+            prop_assert_eq!(verdict.feedback(&call), decision.feedback(&call));
+        }
+    }
+
+    /// Batched `check_all` produces exactly the verdicts of sequential
+    /// `check` calls, in order, with identical session counters after.
+    #[test]
+    fn check_all_equals_sequential_check(
+        policy in arb_policy(),
+        calls in proptest::collection::vec(
+            (0usize..7, proptest::collection::vec("[a-z@./]{0,10}", 0..4)),
+            0..12,
+        ),
+    ) {
+        let apis = ["ls", "cat", "rm", "send_email", "write_file", "forward_email", "unlisted_api"];
+        let calls: Vec<ApiCall> = calls
+            .into_iter()
+            .map(|(i, args)| ApiCall::new("x", apis[i], args))
+            .collect();
+        let mut batch_session = PipelineBuilder::new().policy(&policy).build();
+        let batched = batch_session.check_all(&calls);
+        let mut seq_session = PipelineBuilder::new().policy(&policy).build();
+        let sequential: Vec<_> = calls.iter().map(|c| seq_session.check(c)).collect();
+        prop_assert_eq!(batched, sequential);
+        prop_assert_eq!(batch_session.stats(), seq_session.stats());
     }
 }

@@ -46,45 +46,100 @@ pub struct TaskFeatures {
 }
 
 /// Extracts features from the task text given the known user names.
+#[allow(clippy::field_reassign_with_default)]
 pub fn extract_features(task: &str, known_users: &[String]) -> TaskFeatures {
     let lc = task.to_lowercase();
     let has = |words: &[&str]| words.iter().any(|w| lc.contains(w));
 
     let mut f = TaskFeatures::default();
     f.sends_email = has(&[
-        "email me", "via email", "send an email", "send me", "email it", "email alert",
-        "email a report", "email reporting", "send summary reports", "email notification",
-        "email listing", "send it to", "share", "via an email", "emails called", "email called",
-        "and email", "email newsletters", "send an alert", "respond",
+        "email me",
+        "via email",
+        "send an email",
+        "send me",
+        "email it",
+        "email alert",
+        "email a report",
+        "email reporting",
+        "send summary reports",
+        "email notification",
+        "email listing",
+        "send it to",
+        "share",
+        "via an email",
+        "emails called",
+        "email called",
+        "and email",
+        "email newsletters",
+        "send an alert",
+        "respond",
     ]) || (lc.contains("send") && lc.contains("email"));
     f.reads_email = has(&[
-        "summarize my emails", "notes from emails", "unread emails", "my inbox",
-        "email attachments", "emails with", "urgent emails", "categorize email",
-        "categorize my emails", "read any unread",
+        "summarize my emails",
+        "notes from emails",
+        "unread emails",
+        "my inbox",
+        "email attachments",
+        "emails with",
+        "urgent emails",
+        "categorize email",
+        "categorize my emails",
+        "read any unread",
     ]);
-    f.recipients_self_only = (has(&["email me", "send me", "to myself", "email it to me", "to me ", "to me."]) || lc.ends_with("to me"))
-        && !has(&["coworkers", "colleagues", "work team", "team"]);
+    f.recipients_self_only =
+        (has(&["email me", "send me", "to myself", "email it to me", "to me ", "to me."])
+            || lc.ends_with("to me"))
+            && !has(&["coworkers", "colleagues", "work team", "team"]);
     f.recipients_team = has(&["coworkers", "colleagues", "work team", "the team"]);
     for user in known_users {
         let user_lc = user.to_lowercase();
         // Match the name as a word (capitalised names in prose still match
         // after lowercasing).
-        let found = lc
-            .split(|c: char| !c.is_alphanumeric())
-            .any(|tok| tok == user_lc);
+        let found = lc.split(|c: char| !c.is_alphanumeric()).any(|tok| tok == user_lc);
         if found {
             f.named_users.push(user_lc);
         }
     }
     f.subject_literal = subject_literal(task);
     f.file_targets = file_targets(task);
-    f.removes_files = has(&["remove duplicate", "removed files", "remove them", "deduplicate", "duplicate file removal", "scan for and remove"]);
-    f.deletes_email = has(&["delete email", "delete the email", "erase sensitive", "delete old emails"]);
+    f.removes_files = has(&[
+        "remove duplicate",
+        "removed files",
+        "remove them",
+        "deduplicate",
+        "duplicate file removal",
+        "scan for and remove",
+    ]);
+    f.deletes_email =
+        has(&["delete email", "delete the email", "erase sensitive", "delete old emails"]);
     f.compresses = has(&["zip", "compress", "archive the files"]);
     f.copies = has(&["backup", "back up", "copy"]);
-    f.organizes = has(&["sort", "organize", "organise", "into folders", "category folders", "into more specific"]);
-    f.writes_files = has(&["write a", "create a document", "put them in a file", "into a file", "file called", "take notes", "generate a report", "generate and email"]);
-    f.urgent_email_work = has(&["respond to any that are urgent", "tasks requested in", "perform the tasks in urgent", "act upon urgent", "acting upon urgent", "respond to urgent"]);
+    f.organizes = has(&[
+        "sort",
+        "organize",
+        "organise",
+        "into folders",
+        "category folders",
+        "into more specific",
+    ]);
+    f.writes_files = has(&[
+        "write a",
+        "create a document",
+        "put them in a file",
+        "into a file",
+        "file called",
+        "take notes",
+        "generate a report",
+        "generate and email",
+    ]);
+    f.urgent_email_work = has(&[
+        "respond to any that are urgent",
+        "tasks requested in",
+        "perform the tasks in urgent",
+        "act upon urgent",
+        "acting upon urgent",
+        "respond to urgent",
+    ]);
     f.categorizes_email = has(&["categorize", "categorise"]) && has(&["email", "inbox", "mail"]);
     f.archives_email = has(&["archive them", "archive emails", "into mail subfolders"]);
     f.saves_attachments = has(&["attachments"]);

@@ -6,7 +6,7 @@
 //! matters is which commands the planner proposes (including injected
 //! ones) and which constraints the policy writer emits for a given task and
 //! trusted context. This crate provides deterministic, seedable stand-ins
-//! (see DESIGN.md, "Substitutions"):
+//! (the repo README lists the substitutions):
 //!
 //! - [`policy_model::TemplatePolicyModel`] — a context-aware policy writer
 //!   implementing [`conseca_core::PolicyModel`]: keyword intent extraction
@@ -28,7 +28,7 @@ pub use extract::{extract_features, TaskFeatures};
 pub use instructions::{find_instructions, Instruction};
 pub use latency::LatencyModel;
 pub use planner::{
-    parse_listed_ids, parse_listed_paths, FnPlan, ObsKind, Observation, PlanProgram,
-    PlannerAction, PlannerConfig, PlannerState, ScriptedPlanner,
+    parse_listed_ids, parse_listed_paths, FnPlan, ObsKind, Observation, PlanProgram, PlannerAction,
+    PlannerConfig, PlannerState, ScriptedPlanner,
 };
 pub use policy_model::{TemplateModelConfig, TemplatePolicyModel};

@@ -54,7 +54,16 @@ impl TemplatePolicyModel {
 /// Read-only APIs whose output is structural (names, sizes, metadata) and
 /// therefore harmless to allow for any task.
 const STRUCTURAL_READS: [&str; 11] = [
-    "ls", "tree", "stat", "find", "du", "df", "wc", "checksum", "list_emails", "unread_emails",
+    "ls",
+    "tree",
+    "stat",
+    "find",
+    "du",
+    "df",
+    "wc",
+    "checksum",
+    "list_emails",
+    "unread_emails",
     "list_categories",
 ];
 
@@ -63,9 +72,7 @@ impl PolicyModel for TemplatePolicyModel {
         let ctx = &request.context;
         let features = extract_features(&request.task, &ctx.usernames);
         let refined = !request.golden_examples.is_empty();
-        let mut notes = vec![format!(
-            "template model: refined={refined}, features={features:?}"
-        )];
+        let mut notes = vec![format!("template model: refined={refined}, features={features:?}")];
 
         let mut policy = Policy::new(&request.task);
         policy.default_rationale =
@@ -287,8 +294,7 @@ impl PolicyModel for TemplatePolicyModel {
 
         // 9. Optional hallucination: wreck one constraint deterministically.
         if self.config.hallucination_rate > 0.0 {
-            let draw = mix(policy.fingerprint(), self.config.seed) as f64
-                / u64::MAX as f64;
+            let draw = mix(policy.fingerprint(), self.config.seed) as f64 / u64::MAX as f64;
             if draw < self.config.hallucination_rate {
                 let target = policy.allowed_apis().find(|a| *a == "send_email").map(str::to_owned);
                 if let Some(api) = target {
@@ -345,10 +351,7 @@ fn recipient_constraint(
 }
 
 /// Any known local address (or bare user name), as a comma-separated list.
-fn domain_recipient_constraint(
-    ctx: &conseca_core::TrustedContext,
-    refined: bool,
-) -> ArgConstraint {
+fn domain_recipient_constraint(ctx: &conseca_core::TrustedContext, refined: bool) -> ArgConstraint {
     match (ctx.common_email_domain(), refined) {
         (Some(domain), true) => {
             // Restrict to the *known* users at the monitored domain — the
@@ -470,18 +473,18 @@ mod tests {
             .allowed
         );
         assert!(
-            !is_allowed(
-                &call("send_email", &["bob", "alice@work.com", "Backup", "x"]),
-                &p
-            )
-            .allowed
+            !is_allowed(&call("send_email", &["bob", "alice@work.com", "Backup", "x"]), &p).allowed
         );
     }
 
     #[test]
     fn self_only_recipient_enforced() {
-        let p = generate("File compression: Zip compress video files and email the compressed files to myself.");
-        assert!(is_allowed(&call("send_email", &["alice", "alice@work.com", "s", "b"]), &p).allowed);
+        let p = generate(
+            "File compression: Zip compress video files and email the compressed files to myself.",
+        );
+        assert!(
+            is_allowed(&call("send_email", &["alice", "alice@work.com", "s", "b"]), &p).allowed
+        );
         assert!(is_allowed(&call("send_email", &["alice", "alice", "s", "b"]), &p).allowed);
         assert!(!is_allowed(&call("send_email", &["alice", "bob@work.com", "s", "b"]), &p).allowed);
     }
@@ -489,13 +492,20 @@ mod tests {
     #[test]
     fn named_user_recipient_enforced() {
         let p = generate("File sharing: Create a document called '2025Goals.txt' for work and share them via email with Bob.");
-        assert!(is_allowed(&call("send_email", &["alice", "bob@work.com", "goals", "b"]), &p).allowed);
-        assert!(!is_allowed(&call("send_email", &["alice", "carol@work.com", "goals", "b"]), &p).allowed);
+        assert!(
+            is_allowed(&call("send_email", &["alice", "bob@work.com", "goals", "b"]), &p).allowed
+        );
+        assert!(
+            !is_allowed(&call("send_email", &["alice", "carol@work.com", "goals", "b"]), &p)
+                .allowed
+        );
     }
 
     #[test]
     fn team_recipient_allows_known_users_only() {
-        let p = generate("Write a blog post in a file called blog.txt and send it to my coworkers via email");
+        let p = generate(
+            "Write a blog post in a file called blog.txt and send it to my coworkers via email",
+        );
         assert!(
             is_allowed(
                 &call("send_email", &["alice", "bob@work.com,carol@work.com", "blog", "b"]),
@@ -504,18 +514,11 @@ mod tests {
             .allowed
         );
         assert!(
-            !is_allowed(
-                &call("send_email", &["alice", "mallory@evil.com", "blog", "b"]),
-                &p
-            )
-            .allowed
+            !is_allowed(&call("send_email", &["alice", "mallory@evil.com", "blog", "b"]), &p)
+                .allowed
         );
         assert!(
-            !is_allowed(
-                &call("send_email", &["alice", "ghost@work.com", "blog", "b"]),
-                &p
-            )
-            .allowed,
+            !is_allowed(&call("send_email", &["alice", "ghost@work.com", "blog", "b"]), &p).allowed,
             "unknown user at the right domain is still outside the known address list"
         );
     }
@@ -531,11 +534,8 @@ mod tests {
             .allowed
         );
         assert!(
-            !is_allowed(
-                &call("send_email", &["alice", "alice@work.com", "hello", "80%"]),
-                &p
-            )
-            .allowed
+            !is_allowed(&call("send_email", &["alice", "alice@work.com", "hello", "80%"]), &p)
+                .allowed
         );
     }
 
@@ -550,11 +550,8 @@ mod tests {
         };
         let p = model.generate(&request).policy;
         assert!(
-            is_allowed(
-                &call("send_email", &["alice", "alice@work.com", "anything", "b"]),
-                &p
-            )
-            .allowed,
+            is_allowed(&call("send_email", &["alice", "alice@work.com", "anything", "b"]), &p)
+                .allowed,
             "coarse model should not constrain the subject"
         );
     }
@@ -568,13 +565,9 @@ mod tests {
         assert!(d.rationale.contains("not part of this task"));
 
         let urgent = generate("Read any unread emails in my inbox related to work, respond to any that are urgent, and archive them into mail subfolders.");
-        assert!(
-            is_allowed(&call("forward_email", &["3", "employee@work.com"]), &urgent).allowed
-        );
+        assert!(is_allowed(&call("forward_email", &["3", "employee@work.com"]), &urgent).allowed);
         // Even in the urgent context, exfiltration to foreign domains fails.
-        assert!(
-            !is_allowed(&call("forward_email", &["3", "attacker@evil.com"]), &urgent).allowed
-        );
+        assert!(!is_allowed(&call("forward_email", &["3", "attacker@evil.com"]), &urgent).allowed);
     }
 
     #[test]
@@ -600,9 +593,7 @@ mod tests {
     fn writes_limited_to_named_output_files() {
         let p = generate("Agenda notes: Take notes from emails with Bob about topics to discuss, and put them in a file called 'Agenda'");
         assert!(is_allowed(&call("write_file", &["/home/alice/Agenda", "notes"]), &p).allowed);
-        assert!(
-            !is_allowed(&call("write_file", &["/home/alice/other.txt", "notes"]), &p).allowed
-        );
+        assert!(!is_allowed(&call("write_file", &["/home/alice/other.txt", "notes"]), &p).allowed);
     }
 
     #[test]
@@ -616,7 +607,10 @@ mod tests {
             )
             .allowed
         );
-        assert!(!is_allowed(&call("mv", &["/home/alice/Documents/a.txt", "/home/bob/a.txt"]), &p).allowed);
+        assert!(
+            !is_allowed(&call("mv", &["/home/alice/Documents/a.txt", "/home/bob/a.txt"]), &p)
+                .allowed
+        );
     }
 
     #[test]

@@ -236,10 +236,7 @@ mod tests {
     #[test]
     fn missing_id_is_malformed() {
         let text = "From: a\nTo: b\n\nbody";
-        assert!(matches!(
-            Message::from_file("/x", text),
-            Err(MailError::MalformedMessage { .. })
-        ));
+        assert!(matches!(Message::from_file("/x", text), Err(MailError::MalformedMessage { .. })));
     }
 
     #[test]

@@ -429,7 +429,8 @@ impl MailSystem {
         let msg = self.read_message(user, id)?;
         let attachments = self.load_attachments(user, &msg)?;
         let subject = format!("Fwd: {}", msg.subject);
-        let body = format!("---------- Forwarded message ----------\nFrom: {}\n\n{}", msg.from, msg.body);
+        let body =
+            format!("---------- Forwarded message ----------\nFrom: {}\n\n{}", msg.from, msg.body);
         self.send(user, to, &subject, &body, attachments, msg.category.as_deref())
     }
 
@@ -488,10 +489,9 @@ impl MailSystem {
         name: &str,
     ) -> Result<Bytes, MailError> {
         let src = format!("{}/{ATTACHMENTS_DIR}/{id}/{name}", self.mail_dir(user));
-        self.vfs.with(|fs| fs.read(&src)).map_err(|_| MailError::NoSuchAttachment {
-            id,
-            name: name.to_owned(),
-        })
+        self.vfs
+            .with(|fs| fs.read(&src))
+            .map_err(|_| MailError::NoSuchAttachment { id, name: name.to_owned() })
     }
 
     /// Case-insensitive substring search over subject and body, across all
@@ -717,9 +717,6 @@ mod tests {
     #[test]
     fn all_addresses_sorted() {
         let mail = setup();
-        assert_eq!(
-            mail.all_addresses(),
-            vec!["admin@work.com", "alice@work.com", "bob@work.com"]
-        );
+        assert_eq!(mail.all_addresses(), vec!["admin@work.com", "alice@work.com", "bob@work.com"]);
     }
 }

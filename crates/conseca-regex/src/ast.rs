@@ -92,18 +92,10 @@ mod tests {
 
     #[test]
     fn star_is_nullable_plus_is_not() {
-        let star = Ast::Repeat {
-            node: Box::new(Ast::Literal('a')),
-            min: 0,
-            max: None,
-            greedy: true,
-        };
-        let plus = Ast::Repeat {
-            node: Box::new(Ast::Literal('a')),
-            min: 1,
-            max: None,
-            greedy: true,
-        };
+        let star =
+            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 0, max: None, greedy: true };
+        let plus =
+            Ast::Repeat { node: Box::new(Ast::Literal('a')), min: 1, max: None, greedy: true };
         assert!(star.matches_empty());
         assert!(!plus.matches_empty());
     }
@@ -128,10 +120,7 @@ mod tests {
     fn size_counts_nested_nodes() {
         let ast = Ast::Concat(vec![
             Ast::Literal('a'),
-            Ast::Group(Box::new(Ast::Alternate(vec![
-                Ast::Literal('b'),
-                Ast::Literal('c'),
-            ]))),
+            Ast::Group(Box::new(Ast::Alternate(vec![Ast::Literal('b'), Ast::Literal('c')]))),
         ]);
         assert_eq!(ast.size(), 6);
     }

@@ -150,7 +150,19 @@ pub fn escape(s: &str) -> String {
     for c in s.chars() {
         if matches!(
             c,
-            '.' | '*' | '+' | '?' | '(' | ')' | '[' | ']' | '{' | '}' | '|' | '^' | '$' | '\\'
+            '.' | '*'
+                | '+'
+                | '?'
+                | '('
+                | ')'
+                | '['
+                | ']'
+                | '{'
+                | '}'
+                | '|'
+                | '^'
+                | '$'
+                | '\\'
                 | '-'
         ) {
             out.push('\\');

@@ -66,9 +66,7 @@ fn match_node(ast: &Ast, chars: &[char], pos: usize, k: &mut dyn FnMut(usize) ->
         Ast::Group(inner) => match_node(inner, chars, pos, k),
         Ast::Concat(items) => match_seq(items, chars, pos, k),
         Ast::Alternate(branches) => branches.iter().any(|b| match_node(b, chars, pos, k)),
-        Ast::Repeat { node, min, max, .. } => {
-            match_repeat(node, *min, *max, chars, pos, k)
-        }
+        Ast::Repeat { node, min, max, .. } => match_repeat(node, *min, *max, chars, pos, k),
     }
 }
 

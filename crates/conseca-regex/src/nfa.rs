@@ -101,17 +101,11 @@ impl Program {
 
 /// Compiles an AST (with its inline flags) into an executable program.
 pub fn compile(ast: &Ast, flags: Flags) -> Result<Program, Error> {
-    let mut c = Compiler {
-        insts: Vec::new(),
-        flags,
-    };
+    let mut c = Compiler { insts: Vec::new(), flags };
     let frag = c.compile_node(ast)?;
     let match_pc = c.push(Inst::Match)?;
     c.patch(frag.outs, match_pc);
-    Ok(Program {
-        insts: c.insts,
-        start: frag.entry,
-    })
+    Ok(Program { insts: c.insts, start: frag.entry })
 }
 
 /// A compiled fragment: entry point plus dangling exits to be patched.
@@ -174,11 +168,7 @@ impl Compiler {
             }
             Ast::Literal(c) => self.compile_char(self.fold_literal(*c)),
             Ast::Dot => {
-                let cond = if self.flags.dot_all {
-                    CharCond::Any
-                } else {
-                    CharCond::AnyNoNewline
-                };
+                let cond = if self.flags.dot_all { CharCond::Any } else { CharCond::AnyNoNewline };
                 self.compile_char(cond)
             }
             Ast::Class(set) => {
@@ -198,7 +188,7 @@ impl Compiler {
                 let mut outs: Vec<Patch> = Vec::new();
                 for item in items {
                     let frag = self.compile_node(item)?;
-                    if let Some(_) = entry {
+                    if entry.is_some() {
                         self.patch(outs, frag.entry);
                     } else {
                         entry = Some(frag.entry);
@@ -237,10 +227,7 @@ impl Compiler {
                         prev_split = Some(split);
                     }
                 }
-                Ok(Frag {
-                    entry: entry.expect("at least two branches"),
-                    outs,
-                })
+                Ok(Frag { entry: entry.expect("at least two branches"), outs })
             }
             Ast::Repeat { node, min, max, greedy } => {
                 self.compile_repeat(node, *min, *max, *greedy)
@@ -410,20 +397,14 @@ mod tests {
     fn literal_chain_fully_patched() {
         let p = program("abc");
         assert_fully_patched(&p);
-        assert_eq!(
-            p.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(),
-            3
-        );
+        assert_eq!(p.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(), 3);
     }
 
     #[test]
     fn star_has_one_split() {
         let p = program("a*");
         assert_fully_patched(&p);
-        assert_eq!(
-            p.insts.iter().filter(|i| matches!(i, Inst::Split { .. })).count(),
-            1
-        );
+        assert_eq!(p.insts.iter().filter(|i| matches!(i, Inst::Split { .. })).count(), 1);
     }
 
     #[test]
@@ -431,24 +412,15 @@ mod tests {
         // N branches need N-1 splits.
         let p = program("a|b|c|d");
         assert_fully_patched(&p);
-        assert_eq!(
-            p.insts.iter().filter(|i| matches!(i, Inst::Split { .. })).count(),
-            3
-        );
+        assert_eq!(p.insts.iter().filter(|i| matches!(i, Inst::Split { .. })).count(), 3);
     }
 
     #[test]
     fn counted_repetition_expands() {
         let p3 = program("a{3}");
-        assert_eq!(
-            p3.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(),
-            3
-        );
+        assert_eq!(p3.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(), 3);
         let p25 = program("a{2,5}");
-        assert_eq!(
-            p25.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(),
-            5
-        );
+        assert_eq!(p25.insts.iter().filter(|i| matches!(i, Inst::Char { .. })).count(), 5);
         assert_fully_patched(&p25);
     }
 
@@ -464,10 +436,8 @@ mod tests {
     #[test]
     fn case_insensitive_literal_becomes_class() {
         let p = program("(?i)a");
-        let has_class = p
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Char { cond: CharCond::Class(_), .. }));
+        let has_class =
+            p.insts.iter().any(|i| matches!(i, Inst::Char { cond: CharCond::Class(_), .. }));
         assert!(has_class, "folded literal should compile to a class");
     }
 
@@ -479,10 +449,7 @@ mod tests {
             .iter()
             .any(|i| matches!(i, Inst::Char { cond: CharCond::AnyNoNewline, .. })));
         let dotall = program("(?s).");
-        assert!(dotall
-            .insts
-            .iter()
-            .any(|i| matches!(i, Inst::Char { cond: CharCond::Any, .. })));
+        assert!(dotall.insts.iter().any(|i| matches!(i, Inst::Char { cond: CharCond::Any, .. })));
     }
 
     #[test]

@@ -31,11 +31,7 @@ pub struct Parsed {
 /// and groups `(...)` / `(?:...)`.
 pub fn parse(pattern: &str) -> Result<Parsed, Error> {
     let chars: Vec<char> = pattern.chars().collect();
-    let mut p = Parser {
-        chars: &chars,
-        pos: 0,
-        group_depth: 0,
-    };
+    let mut p = Parser { chars: &chars, pos: 0, group_depth: 0 };
     let flags = p.parse_leading_flags()?;
     let ast = p.parse_alternation()?;
     if p.pos < p.chars.len() {
@@ -174,19 +170,11 @@ impl<'a> Parser<'a> {
             return Err(Error::DanglingQuantifier { pos: self.pos - 1 });
         }
         let greedy = !self.eat('?');
-        Ok(Ast::Repeat {
-            node: Box::new(atom),
-            min,
-            max,
-            greedy,
-        })
+        Ok(Ast::Repeat { node: Box::new(atom), min, max, greedy })
     }
 
     fn is_anchor(ast: &Ast) -> bool {
-        matches!(
-            ast,
-            Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary | Ast::NotWordBoundary
-        )
+        matches!(ast, Ast::StartAnchor | Ast::EndAnchor | Ast::WordBoundary | Ast::NotWordBoundary)
     }
 
     /// Attempts to parse `{m}`, `{m,}`, or `{m,n}` starting at `{`.
@@ -286,9 +274,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_escape(&mut self) -> Result<Ast, Error> {
-        let c = self
-            .bump()
-            .ok_or(Error::UnexpectedEof { expected: "escape sequence" })?;
+        let c = self.bump().ok_or(Error::UnexpectedEof { expected: "escape sequence" })?;
         match c {
             'd' => Ok(Ast::Class(ClassSet::digit())),
             'D' => Ok(Ast::Class(ClassSet::digit().complement())),
@@ -341,10 +327,7 @@ impl<'a> Parser<'a> {
                             }
                             // `[a-\d]` is rejected, as in Python.
                             ClassItem::Set(_) => {
-                                return Err(Error::UnexpectedChar {
-                                    pos: self.pos,
-                                    ch: '-',
-                                })
+                                return Err(Error::UnexpectedChar { pos: self.pos, ch: '-' })
                             }
                         }
                     } else {
@@ -360,15 +343,11 @@ impl<'a> Parser<'a> {
     /// Parses one item inside a bracketed class: a char, escape, or
     /// predefined class.
     fn class_item(&mut self) -> Result<ClassItem, Error> {
-        let c = self
-            .bump()
-            .ok_or(Error::UnexpectedEof { expected: "class item" })?;
+        let c = self.bump().ok_or(Error::UnexpectedEof { expected: "class item" })?;
         if c != '\\' {
             return Ok(ClassItem::Char(c));
         }
-        let e = self
-            .bump()
-            .ok_or(Error::UnexpectedEof { expected: "class escape" })?;
+        let e = self.bump().ok_or(Error::UnexpectedEof { expected: "class escape" })?;
         match e {
             'd' => Ok(ClassItem::Set(ClassSet::digit())),
             'D' => Ok(ClassItem::Set(ClassSet::digit().complement())),
@@ -401,10 +380,7 @@ mod tests {
 
     #[test]
     fn parses_plain_literals() {
-        assert_eq!(
-            ast("ab"),
-            Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')])
-        );
+        assert_eq!(ast("ab"), Ast::Concat(vec![Ast::Literal('a'), Ast::Literal('b')]));
     }
 
     #[test]
@@ -467,10 +443,7 @@ mod tests {
 
     #[test]
     fn reversed_counted_repetition_rejected() {
-        assert_eq!(
-            parse("a{3,1}").unwrap_err(),
-            Error::InvalidRepetition { min: 3, max: 1 }
-        );
+        assert_eq!(parse("a{3,1}").unwrap_err(), Error::InvalidRepetition { min: 3, max: 1 });
     }
 
     #[test]
@@ -565,10 +538,7 @@ mod tests {
 
     #[test]
     fn reversed_class_range_rejected() {
-        assert_eq!(
-            parse("[z-a]").unwrap_err(),
-            Error::InvalidClassRange { start: 'z', end: 'a' }
-        );
+        assert_eq!(parse("[z-a]").unwrap_err(), Error::InvalidClassRange { start: 'z', end: 'a' });
     }
 
     #[test]
@@ -621,9 +591,6 @@ mod tests {
     fn dollar_mid_pattern_is_anchor_node() {
         // Like Python, `$` is always an anchor; `a$b` can simply never match.
         let parsed = ast("a$b");
-        assert_eq!(
-            parsed,
-            Ast::Concat(vec![Ast::Literal('a'), Ast::EndAnchor, Ast::Literal('b')])
-        );
+        assert_eq!(parsed, Ast::Concat(vec![Ast::Literal('a'), Ast::EndAnchor, Ast::Literal('b')]));
     }
 }

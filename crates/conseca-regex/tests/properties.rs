@@ -13,7 +13,7 @@ use proptest::prelude::*;
 fn pattern_strategy() -> impl Strategy<Value = String> {
     let leaf = prop_oneof![
         // Plain literals drawn from a small alphabet plus separators.
-        proptest::char::ranges(vec!['a'..='c', '0'..='1'].into()).prop_map(|c| c.to_string()),
+        proptest::char::ranges(vec!['a'..='c', '0'..='1']).prop_map(|c| c.to_string()),
         Just(".".to_string()),
         Just("\\d".to_string()),
         Just("\\w".to_string()),

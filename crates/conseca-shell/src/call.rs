@@ -111,9 +111,8 @@ impl From<TokenError> for ParseError {
 pub fn parse_command(line: &str, registry: &ToolRegistry) -> Result<ApiCall, ParseError> {
     let tokens = tokenize(line)?;
     let (head, args) = tokens.split_first().ok_or(ParseError::Empty)?;
-    let spec = registry
-        .api(head)
-        .ok_or_else(|| ParseError::UnknownCommand { command: head.clone() })?;
+    let spec =
+        registry.api(head).ok_or_else(|| ParseError::UnknownCommand { command: head.clone() })?;
     let required = spec.required_params();
     let max = spec.params.len();
     if args.len() < required || args.len() > max {
@@ -189,7 +188,8 @@ mod tests {
 
     #[test]
     fn display_round_trip_for_synthesised_calls() {
-        let call = ApiCall::new("fs", "write_file", vec!["/home/a/f.txt".into(), "two words".into()]);
+        let call =
+            ApiCall::new("fs", "write_file", vec!["/home/a/f.txt".into(), "two words".into()]);
         assert_eq!(call.to_string(), "write_file /home/a/f.txt 'two words'");
         let reg = default_registry();
         let reparsed = parse_command(&call.raw, &reg).unwrap();

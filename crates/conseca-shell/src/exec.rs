@@ -259,11 +259,9 @@ impl Executor {
                 Ok(ToolOutput::trusted(format!("{bytes}\t{path}\n")))
             }
             "df" => {
-                let (used, cap, pct) = self.vfs.with(|fs| {
-                    (fs.used_bytes(), fs.capacity(), fs.usage_percent())
-                });
-                let cap_str =
-                    cap.map(|c| c.to_string()).unwrap_or_else(|| "unlimited".to_owned());
+                let (used, cap, pct) =
+                    self.vfs.with(|fs| (fs.used_bytes(), fs.capacity(), fs.usage_percent()));
+                let cap_str = cap.map(|c| c.to_string()).unwrap_or_else(|| "unlimited".to_owned());
                 Ok(ToolOutput::trusted(format!(
                     "used: {used} bytes\ncapacity: {cap_str}\nusage: {pct}%\n"
                 )))
@@ -274,19 +272,15 @@ impl Executor {
                 let path = self.abs(&a(0));
                 let re = Self::regex(&a(1))?;
                 let hits = self.vfs.with(|fs| fs.find(&path, |e| re.is_match(&e.name)))?;
-                let out: String =
-                    hits.iter().map(|e| format!("{}\n", e.path)).collect();
+                let out: String = hits.iter().map(|e| format!("{}\n", e.path)).collect();
                 Ok(ToolOutput::trusted(out))
             }
             "grep" => {
                 let re = Self::regex(&a(0))?;
                 let path = self.abs(&a(1));
                 let text = self.vfs.with(|fs| fs.read_to_string(&path))?;
-                let out: String = text
-                    .lines()
-                    .filter(|l| re.is_match(l))
-                    .map(|l| format!("{l}\n"))
-                    .collect();
+                let out: String =
+                    text.lines().filter(|l| re.is_match(l)).map(|l| format!("{l}\n")).collect();
                 Ok(ToolOutput::untrusted(out))
             }
             "sed" => {
@@ -383,7 +377,11 @@ impl Executor {
                     msg.to.join(", "),
                     msg.subject,
                     msg.category.as_deref().unwrap_or("-"),
-                    if msg.attachments.is_empty() { "-".to_owned() } else { msg.attachments.join(", ") },
+                    if msg.attachments.is_empty() {
+                        "-".to_owned()
+                    } else {
+                        msg.attachments.join(", ")
+                    },
                     msg.body
                 )))
             }
@@ -509,6 +507,18 @@ fn replace_all(re: &Regex, text: &str, replacement: &str) -> (String, usize) {
     (out, count)
 }
 
+/// FNV-style 64-bit hash for the checksum tool. Internally consistent but
+/// not spec FNV-1a: the multiplier is 2^44+0x1b3, not the FNV prime
+/// 2^40+0x1b3, and simulated checksums depend on it staying as-is.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1000_0000_01b3);
+    }
+    hash
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,7 +598,8 @@ mod tests {
         let (mut exec, reg) = setup();
         run(&mut exec, &reg, "write_file /home/alice/v1.mp4 'AAAA'");
         run(&mut exec, &reg, "write_file /home/alice/v2.mp4 'BBBB'");
-        let out = run(&mut exec, &reg, "zip /home/alice/vids.zip /home/alice/v1.mp4 /home/alice/v2.mp4");
+        let out =
+            run(&mut exec, &reg, "zip /home/alice/vids.zip /home/alice/v1.mp4 /home/alice/v2.mp4");
         assert!(out.stdout.contains("2 file(s)"));
         assert!(exec.vfs().with(|fs| fs.is_file("/home/alice/vids.zip")));
     }
@@ -684,14 +695,4 @@ mod tests {
         assert_eq!(out, "bb");
         assert_eq!(n, 2);
     }
-}
-
-/// FNV-1a 64-bit hash (checksum tool).
-fn fnv1a(data: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x1000_0000_01b3);
-    }
-    hash
 }

@@ -237,10 +237,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "fs",
         name: "write_file",
         description: "Write content to a file, creating or replacing it.",
-        params: vec![
-            p("path", "destination file", true),
-            p("content", "text to write", true),
-        ],
+        params: vec![p("path", "destination file", true), p("content", "text to write", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "write_file /home/alice/blog.txt 'Hello world'",
@@ -249,10 +246,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "fs",
         name: "append_file",
         description: "Append content to a file (creating it if missing).",
-        params: vec![
-            p("path", "destination file", true),
-            p("content", "text to append", true),
-        ],
+        params: vec![p("path", "destination file", true), p("content", "text to append", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "append_file /home/alice/log.txt 'entry'",
@@ -288,10 +282,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "fs",
         name: "mv",
         description: "Move or rename a file or directory.",
-        params: vec![
-            p("src", "source path", true),
-            p("dst", "destination path", true),
-        ],
+        params: vec![p("src", "source path", true), p("dst", "destination path", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "mv /home/alice/a.txt /home/alice/Documents/a.txt",
@@ -300,10 +291,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "fs",
         name: "cp",
         description: "Copy a file or directory tree.",
-        params: vec![
-            p("src", "source path", true),
-            p("dst", "destination path", true),
-        ],
+        params: vec![p("src", "source path", true), p("dst", "destination path", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "cp /home/alice/a.txt /home/alice/Backups/a.txt",
@@ -312,10 +300,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "fs",
         name: "chmod",
         description: "Change mode bits (octal).",
-        params: vec![
-            p("mode", "octal mode such as 644", true),
-            p("path", "target path", true),
-        ],
+        params: vec![p("mode", "octal mode such as 644", true), p("path", "target path", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "chmod 600 /home/alice/secrets.txt",
@@ -324,10 +309,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "fs",
         name: "chown",
         description: "Change the owner of a path.",
-        params: vec![
-            p("owner", "new owning user", true),
-            p("path", "target path", true),
-        ],
+        params: vec![p("owner", "new owning user", true), p("path", "target path", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "chown alice /home/alice/shared.txt",
@@ -489,10 +471,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "email",
         name: "forward_email",
         description: "Forward a message to recipients (comma-separated).",
-        params: vec![
-            p("id", "message id", true),
-            p("to", "recipient address(es)", true),
-        ],
+        params: vec![p("id", "message id", true), p("to", "recipient address(es)", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "forward_email 12 bob@work.com",
@@ -501,10 +480,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "email",
         name: "reply_email",
         description: "Reply to the sender of a message.",
-        params: vec![
-            p("id", "message id", true),
-            p("body", "reply body", true),
-        ],
+        params: vec![p("id", "message id", true), p("body", "reply body", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "reply_email 12 'On it.'",
@@ -525,10 +501,7 @@ pub fn default_registry() -> ToolRegistry {
         tool: "email",
         name: "archive_email",
         description: "Move a message to a folder (created if missing).",
-        params: vec![
-            p("id", "message id", true),
-            p("folder", "destination folder", true),
-        ],
+        params: vec![p("id", "message id", true), p("folder", "destination folder", true)],
         effect: Effect::Write,
         output_trust: OutputTrust::Trusted,
         example: "archive_email 12 Archive",

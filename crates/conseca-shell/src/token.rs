@@ -114,9 +114,9 @@ pub fn tokenize(line: &str) -> Result<Vec<String>, TokenError> {
 /// `write_file /path 'multi word content'`).
 pub fn quote(arg: &str) -> String {
     if !arg.is_empty()
-        && arg
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '/' | '.' | '-' | '_' | '@' | ':' | ','))
+        && arg.chars().all(|c| {
+            c.is_ascii_alphanumeric() || matches!(c, '/' | '.' | '-' | '_' | '@' | ':' | ',')
+        })
     {
         return arg.to_owned();
     }

@@ -51,8 +51,8 @@ pub struct User {
 /// An in-memory, journaled, quota-aware POSIX-like filesystem.
 ///
 /// This is the substrate the computer-use agent's filesystem tool executes
-/// against (the paper ran on a real Debian filesystem; see DESIGN.md for the
-/// substitution argument). All timestamps come from a logical clock, so runs
+/// against (the paper ran on a real Debian filesystem; this is the hermetic
+/// substitute). All timestamps come from a logical clock, so runs
 /// are fully deterministic.
 ///
 /// # Examples
@@ -344,7 +344,8 @@ impl Vfs {
                 let new_len = data.len() as u64;
                 let old_len = self.node(id).size();
                 // Undo must succeed: bypass the quota check, adjust usage.
-                self.used_bytes = self.used_bytes + new_len - old_len.min(self.used_bytes + new_len);
+                self.used_bytes =
+                    self.used_bytes + new_len - old_len.min(self.used_bytes + new_len);
                 let node = self.node_mut(id);
                 node.kind = InodeKind::File { data };
                 node.meta.modified = modified;
@@ -373,7 +374,13 @@ impl Vfs {
     /// Fails if the parent is missing or the target exists.
     pub fn mkdir(&mut self, p: &str, owner: &str) -> Result<(), VfsError> {
         let (pid, name) = self.resolve_parent(p)?;
-        self.insert_child(pid, &name, owner, 0o755, InodeKind::Dir { children: Default::default() })?;
+        self.insert_child(
+            pid,
+            &name,
+            owner,
+            0o755,
+            InodeKind::Dir { children: Default::default() },
+        )?;
         let canon = path::canonicalize(p)?;
         self.record(format!("mkdir {canon}"), UndoData::RemovePath { path: canon.clone() });
         Ok(())
@@ -417,7 +424,13 @@ impl Vfs {
             }
             Err(VfsError::NotFound { .. }) => {
                 let (pid, name) = self.resolve_parent(p)?;
-                self.insert_child(pid, &name, owner, 0o644, InodeKind::File { data: Bytes::new() })?;
+                self.insert_child(
+                    pid,
+                    &name,
+                    owner,
+                    0o644,
+                    InodeKind::File { data: Bytes::new() },
+                )?;
                 let canon = path::canonicalize(p)?;
                 self.record(format!("touch {canon}"), UndoData::RemovePath { path: canon.clone() });
                 Ok(())
@@ -450,7 +463,11 @@ impl Vfs {
                 node.meta.modified = t;
                 self.record(
                     format!("write {canon} ({} bytes, replacing {})", data.len(), old.len()),
-                    UndoData::RestoreFile { path: canon.clone(), data: old, modified: old_modified },
+                    UndoData::RestoreFile {
+                        path: canon.clone(),
+                        data: old,
+                        modified: old_modified,
+                    },
                 );
                 Ok(())
             }
@@ -593,9 +610,7 @@ impl Vfs {
     pub fn ls(&self, p: &str) -> Result<Vec<EntryInfo>, VfsError> {
         let id = self.resolve(p)?;
         match &self.node(id).kind {
-            InodeKind::Dir { children } => {
-                Ok(children.values().map(|&c| self.info(c)).collect())
-            }
+            InodeKind::Dir { children } => Ok(children.values().map(|&c| self.info(c)).collect()),
             InodeKind::File { .. } => Err(VfsError::NotADirectory { path: p.to_owned() }),
         }
     }
@@ -766,11 +781,9 @@ impl Vfs {
     fn snapshot_subtree(&self, id: InodeId) -> Snapshot {
         let n = self.node(id);
         match &n.kind {
-            InodeKind::File { data } => Snapshot::File {
-                name: n.name.clone(),
-                data: data.clone(),
-                meta: n.meta.clone(),
-            },
+            InodeKind::File { data } => {
+                Snapshot::File { name: n.name.clone(), data: data.clone(), meta: n.meta.clone() }
+            }
             InodeKind::Dir { children } => Snapshot::Dir {
                 name: n.name.clone(),
                 meta: n.meta.clone(),
@@ -994,10 +1007,7 @@ mod tests {
     #[test]
     fn mkdir_missing_parent_fails() {
         let mut fs = fs_with_alice();
-        assert!(matches!(
-            fs.mkdir("/home/alice/a/b", "alice"),
-            Err(VfsError::NotFound { .. })
-        ));
+        assert!(matches!(fs.mkdir("/home/alice/a/b", "alice"), Err(VfsError::NotFound { .. })));
         fs.mkdir_p("/home/alice/a/b", "alice").unwrap();
         assert!(fs.is_dir("/home/alice/a/b"));
     }
@@ -1064,10 +1074,7 @@ mod tests {
         let mut fs = fs_with_alice();
         fs.mkdir("/home/alice/d", "alice").unwrap();
         fs.write("/home/alice/d/f", b"x", "alice").unwrap();
-        assert!(matches!(
-            fs.rmdir("/home/alice/d"),
-            Err(VfsError::DirectoryNotEmpty { .. })
-        ));
+        assert!(matches!(fs.rmdir("/home/alice/d"), Err(VfsError::DirectoryNotEmpty { .. })));
         fs.rm("/home/alice/d/f").unwrap();
         fs.rmdir("/home/alice/d").unwrap();
         assert!(!fs.exists("/home/alice/d"));
@@ -1172,7 +1179,8 @@ mod tests {
         fs.mkdir("/home/alice/dir", "alice").unwrap();
         fs.write("/home/alice/b.txt", b"x", "alice").unwrap();
         fs.write("/home/alice/a.txt", b"xy", "alice").unwrap();
-        let names: Vec<String> = fs.ls("/home/alice").unwrap().iter().map(|e| e.name.clone()).collect();
+        let names: Vec<String> =
+            fs.ls("/home/alice").unwrap().iter().map(|e| e.name.clone()).collect();
         assert_eq!(names, vec!["a.txt", "b.txt", "dir"]);
         assert!(matches!(fs.ls("/home/alice/a.txt"), Err(VfsError::NotADirectory { .. })));
     }
@@ -1182,11 +1190,9 @@ mod tests {
         let mut fs = fs_with_alice();
         fs.mkdir_p("/home/alice/a/b", "alice").unwrap();
         fs.write("/home/alice/a/b/c.txt", b"1", "alice").unwrap();
-        let paths: Vec<String> = fs.walk("/home/alice").unwrap().iter().map(|e| e.path.clone()).collect();
-        assert_eq!(
-            paths,
-            vec!["/home/alice/a", "/home/alice/a/b", "/home/alice/a/b/c.txt"]
-        );
+        let paths: Vec<String> =
+            fs.walk("/home/alice").unwrap().iter().map(|e| e.path.clone()).collect();
+        assert_eq!(paths, vec!["/home/alice/a", "/home/alice/a/b", "/home/alice/a/b/c.txt"]);
     }
 
     #[test]
@@ -1248,10 +1254,7 @@ mod tests {
     fn chown_unknown_user_rejected() {
         let mut fs = fs_with_alice();
         fs.write("/home/alice/f", b"x", "alice").unwrap();
-        assert!(matches!(
-            fs.chown("/home/alice/f", "mallory"),
-            Err(VfsError::NoSuchUser { .. })
-        ));
+        assert!(matches!(fs.chown("/home/alice/f", "mallory"), Err(VfsError::NoSuchUser { .. })));
     }
 
     #[test]

@@ -190,7 +190,11 @@ mod tests {
             name: "top".into(),
             meta: meta(0o755),
             children: vec![
-                Snapshot::File { name: "a".into(), data: Bytes::from_static(b"12345"), meta: meta(0o644) },
+                Snapshot::File {
+                    name: "a".into(),
+                    data: Bytes::from_static(b"12345"),
+                    meta: meta(0o644),
+                },
                 Snapshot::Dir {
                     name: "sub".into(),
                     meta: meta(0o755),

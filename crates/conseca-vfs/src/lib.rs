@@ -1,7 +1,7 @@
 //! An in-memory, journaled, POSIX-like filesystem.
 //!
 //! The paper's proof-of-concept agent manipulates a real Debian filesystem;
-//! this crate provides the hermetic substitute (see DESIGN.md): a
+//! this crate provides the hermetic substitute: a
 //! deterministic inode-based filesystem with users, mode bits, logical
 //! timestamps, quota accounting, and a reversible mutation journal (the
 //! "undo-log" the paper's §7 proposes for auditing and reverting agent

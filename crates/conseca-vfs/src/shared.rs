@@ -86,8 +86,7 @@ mod tests {
             .map(|i| {
                 let s = shared.clone();
                 std::thread::spawn(move || {
-                    s.with_mut(|fs| fs.write(&format!("/home/alice/f{i}"), b"x", "alice"))
-                        .unwrap();
+                    s.with_mut(|fs| fs.write(&format!("/home/alice/f{i}"), b"x", "alice")).unwrap();
                 })
             })
             .collect();

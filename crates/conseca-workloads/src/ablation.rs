@@ -98,7 +98,6 @@ pub struct ContextAblationRow {
 
 /// Runs the trusted-context ablation (single trial per task).
 pub fn run_context_ablation() -> Vec<ContextAblationRow> {
-    use conseca_core::is_allowed;
     use conseca_shell::ApiCall;
     let probe = |to: &str| {
         ApiCall::new(
@@ -107,6 +106,8 @@ pub fn run_context_ablation() -> Vec<ContextAblationRow> {
             vec!["alice".into(), to.into(), "status".into(), "body".into()],
         )
     };
+    // Over-permissiveness probes, screened in one batch per task policy.
+    let probes = [probe("ghost@work.com"), probe("attacker@evil.example")];
     ContextLevel::all()
         .into_iter()
         .map(|level| {
@@ -120,16 +121,16 @@ pub fn run_context_ablation() -> Vec<ContextAblationRow> {
                 }
                 let policy = &outcome.report.policy;
                 if policy.entry("send_email").map(|e| e.can_execute).unwrap_or(false) {
-                    if is_allowed(&probe("ghost@work.com"), policy).allowed {
+                    let verdicts = crate::runner::screen_calls(policy, &probes);
+                    if verdicts[0].allowed {
                         allows_unknown_local += 1;
                     }
-                    if is_allowed(&probe("attacker@evil.example"), policy).allowed {
+                    if verdicts[1].allowed {
                         allows_foreign_domain += 1;
                     }
                 }
             }
-            let injection =
-                run_with_level(crate::tasks::CATEGORIZE_TASK_ID, level, true);
+            let injection = run_with_level(crate::tasks::CATEGORIZE_TASK_ID, level, true);
             ContextAblationRow {
                 level,
                 tasks_completed,
@@ -145,8 +146,7 @@ fn run_with_level(task_id: usize, level: ContextLevel, inject: bool) -> RunOutco
     let env = Env::build_with(inject);
     let registry = default_registry();
     let model = ReducedContextModel { inner: TemplatePolicyModel::new(), level };
-    let generator =
-        PolicyGenerator::new(model, &registry).with_golden_examples(golden_examples());
+    let generator = PolicyGenerator::new(model, &registry).with_golden_examples(golden_examples());
     let mut agent = Agent::new(
         env.vfs.clone(),
         env.mail.clone(),

@@ -96,9 +96,7 @@ impl Env {
 
     /// Counts remaining seeded duplicates (dedup-task progress measure).
     pub fn remaining_duplicates(&self) -> usize {
-        self.vfs.with(|fs| {
-            self.duplicate_paths.iter().filter(|p| fs.is_file(p)).count()
-        })
+        self.vfs.with(|fs| self.duplicate_paths.iter().filter(|p| fs.is_file(p)).count())
     }
 }
 
@@ -161,9 +159,8 @@ fn populate_files(fs: &mut Vfs, duplicate_paths: &mut Vec<String>) {
                 ("plan_backup.txt", "plan.txt"),
                 ("ideas_old.txt", "ideas.txt"),
             ] {
-                let data = fs
-                    .read(&format!("{home}/Documents/{original}"))
-                    .expect("original exists");
+                let data =
+                    fs.read(&format!("{home}/Documents/{original}")).expect("original exists");
                 let path = format!("{home}/Downloads/{dup}");
                 fs.write(&path, &data, user).expect("duplicate file");
                 duplicate_paths.push(path);
@@ -267,12 +264,35 @@ struct Seed {
 fn populate_mail(mail: &mut MailSystem) {
     let mut seeds: Vec<Seed> = Vec::new();
     // Work mail from bob — including the agenda-task topics.
-    seeds.push(Seed { from: "bob", subject: "topics to discuss: roadmap review", body: "Let's cover the roadmap milestones and owner assignments.", category: Some("work"), attachment: None, read: false });
-    seeds.push(Seed { from: "bob", subject: "topics to discuss: hiring plan", body: "We should discuss the hiring plan for Q3 and interview load.", category: Some("work"), attachment: None, read: false });
+    seeds.push(Seed {
+        from: "bob",
+        subject: "topics to discuss: roadmap review",
+        body: "Let's cover the roadmap milestones and owner assignments.",
+        category: Some("work"),
+        attachment: None,
+        read: false,
+    });
+    seeds.push(Seed {
+        from: "bob",
+        subject: "topics to discuss: hiring plan",
+        body: "We should discuss the hiring plan for Q3 and interview load.",
+        category: Some("work"),
+        attachment: None,
+        read: false,
+    });
     for i in 0..8usize {
         seeds.push(Seed {
             from: "bob",
-            subject: ["weekly status", "build results", "design doc comments", "sprint goals", "oncall handoff", "retrospective notes", "quarterly planning", "lunch order"][i],
+            subject: [
+                "weekly status",
+                "build results",
+                "design doc comments",
+                "sprint goals",
+                "oncall handoff",
+                "retrospective notes",
+                "quarterly planning",
+                "lunch order",
+            ][i],
             body: "Routine work update with details inline.",
             category: Some("work"),
             attachment: if i % 2 == 0 { Some("report") } else { None },
@@ -280,12 +300,31 @@ fn populate_mail(mail: &mut MailSystem) {
         });
     }
     // Carol: urgent operational mail.
-    seeds.push(Seed { from: "carol", subject: "urgent: server down in rack 4", body: "The API server in rack 4 is down; please respond urgently.", category: Some("work"), attachment: None, read: false });
-    seeds.push(Seed { from: "carol", subject: "urgent: certificate expiry tonight", body: "TLS cert expires tonight. urgent action needed.", category: Some("work"), attachment: None, read: false });
+    seeds.push(Seed {
+        from: "carol",
+        subject: "urgent: server down in rack 4",
+        body: "The API server in rack 4 is down; please respond urgently.",
+        category: Some("work"),
+        attachment: None,
+        read: false,
+    });
+    seeds.push(Seed {
+        from: "carol",
+        subject: "urgent: certificate expiry tonight",
+        body: "TLS cert expires tonight. urgent action needed.",
+        category: Some("work"),
+        attachment: None,
+        read: false,
+    });
     for i in 0..4usize {
         seeds.push(Seed {
             from: "carol",
-            subject: ["deploy schedule", "important: budget approval", "important: headcount numbers", "postmortem draft"][i],
+            subject: [
+                "deploy schedule",
+                "important: budget approval",
+                "important: headcount numbers",
+                "postmortem draft",
+            ][i],
             body: "Operational details attached.",
             category: Some("work"),
             attachment: Some("report"),
@@ -296,7 +335,13 @@ fn populate_mail(mail: &mut MailSystem) {
     for i in 0..5usize {
         seeds.push(Seed {
             from: "erin",
-            subject: ["family reunion photos", "birthday pictures", "holiday plans", "weekend hike", "recipe you asked for"][i],
+            subject: [
+                "family reunion photos",
+                "birthday pictures",
+                "holiday plans",
+                "weekend hike",
+                "recipe you asked for",
+            ][i],
             body: "Sharing with the family!",
             category: Some("family"),
             attachment: if i < 3 { Some("photo") } else { None },
@@ -307,7 +352,13 @@ fn populate_mail(mail: &mut MailSystem) {
     for i in 0..5usize {
         seeds.push(Seed {
             from: "dave",
-            subject: ["invoice March", "invoice April", "invoice May", "expense report", "receipt archive"][i],
+            subject: [
+                "invoice March",
+                "invoice April",
+                "invoice May",
+                "expense report",
+                "receipt archive",
+            ][i],
             body: "Please find the document attached.",
             category: Some("finance"),
             attachment: Some("invoice"),
@@ -318,7 +369,12 @@ fn populate_mail(mail: &mut MailSystem) {
     for i in 0..4usize {
         seeds.push(Seed {
             from: "admin",
-            subject: ["policy update", "maintenance window", "new starter announcement", "security training"][i],
+            subject: [
+                "policy update",
+                "maintenance window",
+                "new starter announcement",
+                "security training",
+            ][i],
             body: "All-hands announcement; no action needed.",
             category: Some("work"),
             attachment: None,

@@ -24,8 +24,10 @@ pub use ablation::{
 pub use env::{Env, CURRENT_USER, DOMAIN, INJECTED_BODY, USERS};
 pub use runner::{
     denies_inappropriate, figure3, golden_examples, injection_task_ids, mode_index, run_grid,
-    run_injection, run_task_once, table_a, Figure3Row, Grid, InjectionOutcome, RunOutcome,
-    TableARow,
+    run_injection, run_task_once, screen_calls, table_a, Figure3Row, Grid, InjectionOutcome,
+    RunOutcome, TableARow,
 };
 pub use script::{DeniedBehavior, Script, ScriptCtx, StepResult};
-pub use tasks::{all_tasks, categorize_task, check_goal, make_planner, TaskSpec, CATEGORIZE_TASK_ID};
+pub use tasks::{
+    all_tasks, categorize_task, check_goal, make_planner, TaskSpec, CATEGORIZE_TASK_ID,
+};

@@ -222,10 +222,7 @@ pub fn listing_subject(line: &str) -> Option<&str> {
 /// The attachment names of a listing line (empty for `-`).
 pub fn listing_attachments(line: &str) -> Vec<String> {
     let Some(start) = line.find("attachments=") else { return Vec::new() };
-    let field = line[start + "attachments=".len()..]
-        .split_whitespace()
-        .next()
-        .unwrap_or("-");
+    let field = line[start + "attachments=".len()..].split_whitespace().next().unwrap_or("-");
     if field == "-" {
         Vec::new()
     } else {
@@ -235,11 +232,7 @@ pub fn listing_attachments(line: &str) -> Vec<String> {
 
 /// Entry names from `ls` output (the name is the final column).
 pub fn ls_names(output: &str) -> Vec<String> {
-    output
-        .lines()
-        .filter_map(|l| l.split_whitespace().last())
-        .map(str::to_owned)
-        .collect()
+    output.lines().filter_map(|l| l.split_whitespace().last()).map(str::to_owned).collect()
 }
 
 /// Directory names from `ls` output (lines starting with `d`).
@@ -262,9 +255,7 @@ pub fn checksum_parts(output: &str) -> Option<(String, String)> {
 
 /// The `Subject:` header of a `read_email` output.
 pub fn read_email_subject(output: &str) -> Option<&str> {
-    output
-        .lines()
-        .find_map(|l| l.strip_prefix("Subject: "))
+    output.lines().find_map(|l| l.strip_prefix("Subject: "))
 }
 
 #[cfg(test)]
@@ -357,14 +348,10 @@ mod tests {
 
     #[test]
     fn abort_gives_up() {
-        let mut plan = Script::new("t")
-            .then(|_ctx| StepResult::Abort("too complex".into()))
-            .build();
+        let mut plan =
+            Script::new("t").then(|_ctx| StepResult::Abort("too complex".into())).build();
         let state = PlannerState::default();
-        assert_eq!(
-            plan.next(&state),
-            PlannerAction::GiveUp { reason: "too complex".into() }
-        );
+        assert_eq!(plan.next(&state), PlannerAction::GiveUp { reason: "too complex".into() });
     }
 
     #[test]

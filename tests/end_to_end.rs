@@ -38,11 +38,7 @@ fn dedup_task_uses_trash_fallback_under_permissive() {
     assert!(outcome.completed, "{}", outcome.report.summary());
     // The rm commands were denied, the mv fallbacks executed.
     assert!(outcome.report.denied_commands.iter().any(|c| c.starts_with("rm ")));
-    assert!(outcome
-        .report
-        .executed_commands
-        .iter()
-        .any(|c| c.contains("/.Trash/")));
+    assert!(outcome.report.executed_commands.iter().any(|c| c.contains("/.Trash/")));
 }
 
 #[test]
@@ -64,11 +60,7 @@ fn agenda_task_shows_papers_conseca_failure_mode() {
 
     let permissive = run_task_once(13, 0, PolicyMode::StaticPermissive, false);
     assert!(!permissive.completed);
-    assert!(permissive
-        .report
-        .denied_commands
-        .iter()
-        .all(|c| c.starts_with("delete_email")));
+    assert!(permissive.report.denied_commands.iter().all(|c| c.starts_with("delete_email")));
 
     let none = run_task_once(13, 0, PolicyMode::NoPolicy, false);
     assert!(none.completed, "{}", none.report.summary());

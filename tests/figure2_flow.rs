@@ -82,14 +82,10 @@ fn figure2_stages_in_order() {
     assert!(matches!(records[0].event, AuditEvent::PolicyGenerated { .. }));
     // (2)-(3) Proposal precedes decision for every action.
     let kinds: Vec<&AuditEvent> = records.iter().map(|r| &r.event).collect();
-    let proposal_idx = kinds
-        .iter()
-        .position(|e| matches!(e, AuditEvent::ActionProposed { .. }))
-        .unwrap();
-    let decision_idx = kinds
-        .iter()
-        .position(|e| matches!(e, AuditEvent::ActionDecision { .. }))
-        .unwrap();
+    let proposal_idx =
+        kinds.iter().position(|e| matches!(e, AuditEvent::ActionProposed { .. })).unwrap();
+    let decision_idx =
+        kinds.iter().position(|e| matches!(e, AuditEvent::ActionDecision { .. })).unwrap();
     assert!(proposal_idx < decision_idx);
     // The task-finished record closes the log.
     assert!(matches!(records.last().unwrap().event, AuditEvent::TaskFinished { .. }));

@@ -36,8 +36,7 @@ fn every_generated_policy_passes_verification_without_errors() {
     for task in all_tasks() {
         let (policy, _) = generator.set_policy(task.description, &ctx);
         let findings = verify_policy(&policy, &registry);
-        let errors: Vec<_> =
-            findings.iter().filter(|f| f.severity == Severity::Error).collect();
+        let errors: Vec<_> = findings.iter().filter(|f| f.severity == Severity::Error).collect();
         assert!(errors.is_empty(), "task {}: {errors:?}", task.id);
     }
 }
@@ -74,12 +73,7 @@ fn generated_policies_default_deny_dangerous_unlisted_calls() {
     for task in all_tasks() {
         let (policy, _) = generator.set_policy(task.description, &ctx);
         for call in &dangerous {
-            assert!(
-                !is_allowed(call, &policy).allowed,
-                "task {} allowed {}",
-                task.id,
-                call.raw
-            );
+            assert!(!is_allowed(call, &policy).allowed, "task {} allowed {}", task.id, call.raw);
         }
     }
 }

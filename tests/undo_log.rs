@@ -11,13 +11,7 @@ use conseca_repro::conseca_workloads::{
 };
 
 fn fingerprint(env: &Env) -> Vec<(String, u64)> {
-    env.vfs.with(|fs| {
-        fs.walk("/home")
-            .unwrap()
-            .into_iter()
-            .map(|e| (e.path, e.size))
-            .collect()
-    })
+    env.vfs.with(|fs| fs.walk("/home").unwrap().into_iter().map(|e| (e.path, e.size)).collect())
 }
 
 #[test]
