@@ -11,11 +11,14 @@
 //! The layering itself lives in [`conseca_core::pipeline`]; `run_task`
 //! only assembles an [`EnforcementSession`] per task and drives it.
 
+use std::sync::Arc;
+
 use conseca_core::pipeline::{EnforcementSession, PipelineBuilder};
 use conseca_core::{
     AuditEvent, AuditLog, ConfirmationProvider, GenerationStats, Policy, PolicyGenerator,
-    PolicyModel, TrajectoryPolicy,
+    PolicyModel, TrajectoryPolicy, TrustedContext,
 };
+use conseca_engine::{CompiledPolicy, Engine};
 use conseca_llm::{ObsKind, Observation, PlannerAction, PlannerState, ScriptedPlanner};
 use conseca_mail::MailSystem;
 use conseca_shell::{parse_command, Executor, OutputTrust, ToolRegistry};
@@ -91,6 +94,10 @@ pub struct Agent<M: PolicyModel> {
     generator: PolicyGenerator<M>,
     confirmation: Option<Box<dyn ConfirmationProvider>>,
     audit: AuditLog,
+    /// Shared enforcement engine plus the tenant this agent bills its
+    /// policies and checks to; `None` keeps the in-process interpreted
+    /// path.
+    engine: Option<(Arc<Engine>, String)>,
 }
 
 impl<M: PolicyModel> Agent<M> {
@@ -113,12 +120,24 @@ impl<M: PolicyModel> Agent<M> {
             generator,
             confirmation: None,
             audit: AuditLog::new(),
+            engine: None,
         }
     }
 
     /// Installs a user-confirmation provider for denied actions (§7).
     pub fn with_confirmation(mut self, provider: Box<dyn ConfirmationProvider>) -> Self {
         self.confirmation = Some(provider);
+        self
+    }
+
+    /// Routes this agent's policies through a shared [`Engine`] as
+    /// `tenant`: policies are compiled once into the engine's store and
+    /// enforced through a [`conseca_engine::CompiledPolicyLayer`], so many agents (and
+    /// many threads) serving the same (task, context) share one compiled
+    /// snapshot. Verdicts are identical to the in-process path — the
+    /// engine's differential tests pin that down.
+    pub fn with_engine(mut self, engine: Arc<Engine>, tenant: &str) -> Self {
+        self.engine = Some((engine, tenant.to_owned()));
         self
     }
 
@@ -142,25 +161,85 @@ impl<M: PolicyModel> Agent<M> {
         self.executor.user()
     }
 
-    /// Resolves the policy for a task under the configured mode.
-    fn resolve_policy(&mut self, task: &str) -> (Policy, GenerationStats) {
+    /// The registry-derived baseline policy for a static mode; `None`
+    /// for Conseca, whose policy comes from the generator. The single
+    /// source of the mode→policy mapping for both the engine-backed and
+    /// in-process resolution paths.
+    fn static_policy(mode: PolicyMode, registry: &ToolRegistry) -> Option<Policy> {
+        match mode {
+            PolicyMode::NoPolicy => Some(Policy::unrestricted(registry)),
+            PolicyMode::StaticPermissive => Some(Policy::static_permissive(registry)),
+            PolicyMode::StaticRestrictive => Some(Policy::static_restrictive(registry)),
+            PolicyMode::Conseca => None,
+        }
+    }
+
+    /// Resolves the policy for a task under the configured mode. With an
+    /// engine attached, the policy is additionally compiled into (or
+    /// served from) the shared store, and the compiled snapshot is
+    /// returned for the pipeline's policy layer.
+    fn resolve_policy(
+        &mut self,
+        task: &str,
+    ) -> (Arc<Policy>, GenerationStats, Option<Arc<CompiledPolicy>>) {
         let none_stats = GenerationStats { cache_hit: false, prompt_tokens: 0, output_tokens: 0 };
-        match self.config.policy_mode {
-            PolicyMode::NoPolicy => (Policy::unrestricted(&self.registry), none_stats),
-            PolicyMode::StaticPermissive => (Policy::static_permissive(&self.registry), none_stats),
-            PolicyMode::StaticRestrictive => {
-                (Policy::static_restrictive(&self.registry), none_stats)
-            }
-            PolicyMode::Conseca => {
+        if let Some((engine, tenant)) = self.engine.clone() {
+            // Static policies depend only on the registry, but the store
+            // key still carries a context fingerprint; the user-only
+            // context keeps those entries per-user without over-keying.
+            let ctx = match self.config.policy_mode {
+                PolicyMode::Conseca => {
+                    build_trusted_context(&self.vfs, &self.mail, self.executor.user())
+                }
+                _ => TrustedContext::for_user(self.executor.user()),
+            };
+            let mode = self.config.policy_mode;
+            // The store key must identify the policy *artifact*, which
+            // depends on more than the task text: the mode, the tool
+            // registry the static baselines enumerate, and (for Conseca)
+            // the generator's model + examples + docs. Fold them all into
+            // the keyed task so agents sharing a tenant never serve each
+            // other's snapshots across any configuration difference
+            // (U+001F cannot occur in user task text).
+            let store_task = format!(
+                "{}\u{1f}{:016x}\u{1f}{:016x}\u{1f}{task}",
+                mode.label(),
+                conseca_core::fnv1a(self.registry.documentation().as_bytes()),
+                self.generator.config_fingerprint(),
+            );
+            let registry = &self.registry;
+            let generator = &mut self.generator;
+            let mut generated: Option<GenerationStats> = None;
+            let (compiled, store_hit) = engine.get_or_compile(&tenant, &store_task, &ctx, || {
+                match Self::static_policy(mode, registry) {
+                    Some(policy) => Arc::new(policy),
+                    None => {
+                        let (policy, stats) = generator.set_policy(task, &ctx);
+                        generated = Some(stats);
+                        policy
+                    }
+                }
+            });
+            let generation = if store_hit {
+                GenerationStats { cache_hit: true, prompt_tokens: 0, output_tokens: 0 }
+            } else {
+                generated.unwrap_or(none_stats)
+            };
+            return (compiled.source_handle(), generation, Some(compiled));
+        }
+        match Self::static_policy(self.config.policy_mode, &self.registry) {
+            Some(policy) => (Arc::new(policy), none_stats, None),
+            None => {
                 let ctx = build_trusted_context(&self.vfs, &self.mail, self.executor.user());
-                self.generator.set_policy(task, &ctx)
+                let (policy, stats) = self.generator.set_policy(task, &ctx);
+                (policy, stats, None)
             }
         }
     }
 
     /// Runs one task to completion, stall, or budget exhaustion.
     pub fn run_task(&mut self, task: &str, mut planner: ScriptedPlanner) -> TaskReport {
-        let (policy, generation) = self.resolve_policy(task);
+        let (policy, generation, compiled) = self.resolve_policy(task);
         let model = self.generator.model_name().to_owned();
 
         let mut state = PlannerState {
@@ -181,15 +260,22 @@ impl<M: PolicyModel> Agent<M> {
             denied_commands: Vec::new(),
             injected_executed: Vec::new(),
             injected_denied: Vec::new(),
-            policy: policy.clone(),
+            policy: Arc::clone(&policy),
             generation,
         };
 
         // One enforcement session per task: it owns the layer stack, the
-        // consecutive-denial stall tracking, and the audit stream.
-        let mut builder = PipelineBuilder::new()
-            .policy(&policy)
-            .max_consecutive_denials(self.config.max_consecutive_denials);
+        // consecutive-denial stall tracking, and the audit stream. The
+        // policy layer comes from the engine's compiled snapshot when one
+        // is attached, and borrows the interpreted policy otherwise.
+        let mut builder =
+            PipelineBuilder::new().max_consecutive_denials(self.config.max_consecutive_denials);
+        builder = match (&compiled, &self.engine) {
+            (Some(snapshot), Some((engine, tenant))) => {
+                builder.layer(engine.session_layer(tenant, Arc::clone(snapshot)))
+            }
+            _ => builder.policy(&policy),
+        };
         if let Some(tp) = self.config.trajectory.clone() {
             builder = builder.trajectory(tp);
         }
@@ -520,6 +606,101 @@ mod tests {
             .records()
             .iter()
             .any(|r| matches!(r.event, AuditEvent::UserConfirmation { approved: true, .. })));
+    }
+
+    #[test]
+    fn engine_driven_agent_matches_in_process_enforcement() {
+        // The same tasks, with and without the shared engine: reports must
+        // agree on every enforcement-visible outcome in every policy mode.
+        for mode in PolicyMode::all() {
+            let engine = Arc::new(conseca_engine::Engine::default());
+            let cmds = vec![
+                "ls /home/alice",
+                "write_file /home/alice/out.txt 'x'",
+                "rm /home/alice/out.txt",
+                "cat /home/alice/notes.txt",
+            ];
+            let baseline = setup(mode).run_task("do some file work", simple_planner(cmds.clone()));
+            let mut engined = setup(mode).with_engine(Arc::clone(&engine), "acme");
+            let report = engined.run_task("do some file work", simple_planner(cmds));
+            assert_eq!(report.executed, baseline.executed, "{mode:?}");
+            assert_eq!(report.denials, baseline.denials, "{mode:?}");
+            assert_eq!(report.denied_commands, baseline.denied_commands, "{mode:?}");
+            assert_eq!(report.claimed_complete, baseline.claimed_complete, "{mode:?}");
+            assert_eq!(report.policy, baseline.policy, "{mode:?}");
+            // Every check was billed to the tenant.
+            let counters = engine.tenant_counters("acme");
+            assert_eq!(counters.checks, report.proposals as u64, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn policy_modes_never_share_engine_store_entries() {
+        // Regression: with one engine, one tenant, and one task, a
+        // NoPolicy agent must not poison the store entry a restrictive
+        // agent is about to resolve (a silent policy swap that turned
+        // "deny all mutations" into "allow everything").
+        let engine = Arc::new(conseca_engine::Engine::default());
+        let task = "do some file work";
+        let mut permissive = setup(PolicyMode::NoPolicy).with_engine(Arc::clone(&engine), "acme");
+        let open = permissive.run_task(task, simple_planner(vec!["rm /home/alice/notes.txt"]));
+        assert_eq!(open.executed, 1, "NoPolicy allows the deletion");
+        let mut restrictive =
+            setup(PolicyMode::StaticRestrictive).with_engine(Arc::clone(&engine), "acme");
+        let locked = restrictive.run_task(task, simple_planner(vec!["rm /home/alice/notes.txt"]));
+        assert_eq!(locked.executed, 0, "restrictive mode must keep its own policy");
+        assert_eq!(locked.denials, 1);
+        assert!(!locked.generation.cache_hit, "modes must not hit each other's entries");
+    }
+
+    #[test]
+    fn differently_configured_generators_never_share_engine_entries() {
+        // Same engine, tenant, task, and mode — but different golden
+        // example sets, which change what the generator would produce.
+        // The store key folds in the generator config fingerprint, so the
+        // second agent must compile its own policy, not inherit the first's.
+        let engine = Arc::new(conseca_engine::Engine::default());
+        let task = "do some file work";
+        let mut first = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine), "acme");
+        first.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        let mut reconfigured = setup(PolicyMode::Conseca);
+        reconfigured.generator = {
+            let registry = conseca_shell::default_registry();
+            PolicyGenerator::new(TemplatePolicyModel::new(), &registry).with_golden_examples(vec![
+                conseca_core::GoldenExample {
+                    task: "a different example".into(),
+                    policy_text: "API Call: cat\n  Can Execute: true".into(),
+                },
+            ])
+        };
+        let mut reconfigured = reconfigured.with_engine(Arc::clone(&engine), "acme");
+        let report = reconfigured.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(
+            !report.generation.cache_hit,
+            "a differently-configured generator must not hit the other agent's entry"
+        );
+        assert_eq!(engine.store().len(), 2);
+    }
+
+    #[test]
+    fn engine_store_serves_the_second_task_from_cache() {
+        let engine = Arc::new(conseca_engine::Engine::default());
+        let task = "do some file work";
+        let mut first = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine), "acme");
+        let r1 = first.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(!r1.generation.cache_hit, "first resolution must compile");
+        // A different agent instance, same engine: the compiled policy is
+        // shared across agents, not per-agent state.
+        let mut second = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine), "acme");
+        let r2 = second.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(r2.generation.cache_hit, "second resolution must hit the store");
+        assert_eq!(r1.policy, r2.policy);
+        let counters = engine.tenant_counters("acme");
+        assert_eq!((counters.hits, counters.misses), (1, 1));
+        // Tenants are isolated: a different tenant recompiles.
+        let mut rival = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine), "rival");
+        let r3 = rival.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(!r3.generation.cache_hit, "tenants must not share policies");
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Task-run reports: everything the evaluation harness needs to score a run.
 
+use std::sync::Arc;
+
 use conseca_core::{GenerationStats, Policy};
 
 /// Why the agent's control loop stopped.
@@ -51,8 +53,9 @@ pub struct TaskReport {
     pub injected_executed: Vec<String>,
     /// Injected commands that were denied by policy.
     pub injected_denied: Vec<String>,
-    /// The policy in force during the run.
-    pub policy: Policy,
+    /// The policy in force during the run — a shared handle, so storing
+    /// it in the report never deep-clones the policy.
+    pub policy: Arc<Policy>,
     /// Policy-generation statistics.
     pub generation: GenerationStats,
 }
@@ -96,7 +99,7 @@ mod tests {
             denied_commands: vec![],
             injected_executed: vec![],
             injected_denied: vec![],
-            policy: Policy::new("t"),
+            policy: Arc::new(Policy::new("t")),
             generation: GenerationStats { cache_hit: false, prompt_tokens: 0, output_tokens: 0 },
         };
         assert!(!r.attack_succeeded());

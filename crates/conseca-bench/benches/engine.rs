@@ -1,0 +1,189 @@
+//! Benchmarks the compiled-policy engine against the interpreted
+//! baseline: cold compilation cost, hot single-check latency (the
+//! acceptance target: compiled ≥2× faster than interpreted on
+//! regex-constrained policies), store lookup overhead, and
+//! multi-threaded throughput over a shared `PolicyStore` at 1/2/4/8
+//! threads. The measured numbers are recorded in `BENCH_engine.json` at
+//! the repository root alongside the hardware caveats.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use conseca_core::{
+    is_allowed, ArgConstraint, CmpOp, Policy, PolicyEntry, Predicate, TrustedContext,
+};
+use conseca_engine::{CheckJob, CompiledPolicy, Engine, EngineConfig, EngineKey};
+use conseca_shell::ApiCall;
+
+/// The paper's §4.1 policy: three regex constraints on `send_email`.
+fn regex_policy() -> Policy {
+    let mut p = Policy::new("respond to urgent work emails");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::regex("alice").unwrap(),
+                ArgConstraint::regex(r"^.*@work\.com$").unwrap(),
+                ArgConstraint::regex(".*urgent.*").unwrap(),
+            ],
+            "urgent responses from alice to work.com",
+        ),
+    );
+    p.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+    p
+}
+
+/// The same shape written in the predicate DSL.
+fn dsl_policy() -> Policy {
+    let mut p = Policy::new("respond to urgent work emails (dsl)");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::Dsl(Predicate::Eq("alice".into())),
+                ArgConstraint::Dsl(Predicate::Suffix("@work.com".into())),
+                ArgConstraint::Dsl(Predicate::All(vec![
+                    Predicate::Contains("urgent".into()),
+                    Predicate::Not(Box::new(Predicate::Num(CmpOp::Lt, 0))),
+                ])),
+            ],
+            "urgent responses from alice to work.com",
+        ),
+    );
+    p
+}
+
+/// A wide policy: the shape a generated policy takes over a large
+/// registry, with a mix of regex and DSL constraints.
+fn wide_policy(entries: usize) -> Policy {
+    let mut p = Policy::new("wide synthetic policy");
+    for i in 0..entries {
+        let name = format!("api_{i:03}");
+        match i % 3 {
+            0 => {
+                p.set(
+                    &name,
+                    PolicyEntry::allow(
+                        vec![ArgConstraint::regex(&format!("^/home/user{i}/")).unwrap()],
+                        "path-scoped",
+                    ),
+                );
+            }
+            1 => {
+                p.set(
+                    &name,
+                    PolicyEntry::allow(
+                        vec![ArgConstraint::Dsl(Predicate::Prefix(format!("/srv/{i}/")))],
+                        "dsl-scoped",
+                    ),
+                );
+            }
+            _ => {
+                p.set(&name, PolicyEntry::deny("not in this context"));
+            }
+        }
+    }
+    p
+}
+
+fn send_call(i: usize) -> ApiCall {
+    ApiCall::new(
+        "email",
+        "send_email",
+        vec![
+            "alice".into(),
+            "bob@work.com".into(),
+            format!("urgent: rack {i} is down"),
+            "On it.".into(),
+        ],
+    )
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let paper = regex_policy();
+    let wide = wide_policy(48);
+    let mut group = c.benchmark_group("engine_compile");
+    group.bench_function("paper_policy_cold", |b| {
+        b.iter(|| CompiledPolicy::compile(black_box(&paper)))
+    });
+    group.bench_function("wide_policy_48_cold", |b| {
+        b.iter(|| CompiledPolicy::compile(black_box(&wide)))
+    });
+    group.finish();
+}
+
+fn bench_hot_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_check_regex");
+    let policy = regex_policy();
+    let compiled = CompiledPolicy::compile(&policy);
+    let call = send_call(4);
+    group.bench_function("interpreted_is_allowed", |b| {
+        b.iter(|| is_allowed(black_box(&call), black_box(&policy)))
+    });
+    group.bench_function("compiled_check", |b| b.iter(|| compiled.check(black_box(&call))));
+    group.bench_function("compiled_allows", |b| b.iter(|| compiled.allows(black_box(&call))));
+    group.finish();
+
+    let mut group = c.benchmark_group("engine_check_dsl");
+    let policy = dsl_policy();
+    let compiled = CompiledPolicy::compile(&policy);
+    group.bench_function("interpreted_is_allowed", |b| {
+        b.iter(|| is_allowed(black_box(&call), black_box(&policy)))
+    });
+    group.bench_function("compiled_check", |b| b.iter(|| compiled.check(black_box(&call))));
+    group.finish();
+}
+
+fn bench_store_path(c: &mut Criterion) {
+    let engine = Engine::new(EngineConfig::default());
+    let ctx = TrustedContext::for_user("alice");
+    let policy = regex_policy();
+    engine.install("acme", &policy.task, &ctx, &policy);
+    let task = policy.task.clone();
+    let call = send_call(4);
+    let mut group = c.benchmark_group("engine_store");
+    group.bench_function("lookup_plus_check", |b| {
+        b.iter(|| engine.check(black_box("acme"), black_box(&task), &ctx, black_box(&call)))
+    });
+    group.bench_function("store_get_hot", |b| {
+        let key = EngineKey::new("acme", &task, &ctx);
+        b.iter(|| engine.store().get(black_box(&key)))
+    });
+    group.finish();
+}
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    // 16 tenants sharing one engine, 20k mixed checks per run. Criterion
+    // reports ns per full run; per-check cost = reported / 20_000.
+    const JOBS: usize = 20_000;
+    let engine = Arc::new(Engine::new(EngineConfig::default()));
+    let ctx = TrustedContext::for_user("alice");
+    let policy = regex_policy();
+    let mut jobs = Vec::with_capacity(JOBS);
+    let tenants: Vec<String> = (0..16).map(|i| format!("tenant-{i:02}")).collect();
+    for tenant in &tenants {
+        engine.install(tenant, &policy.task, &ctx, &policy);
+    }
+    for i in 0..JOBS {
+        let tenant = &tenants[i % tenants.len()];
+        let key = EngineKey::new(tenant, &policy.task, &ctx);
+        let call = match i % 10 {
+            8 => ApiCall::new("email", "delete_email", vec![i.to_string()]),
+            9 => ApiCall::new("fs", "rm_r", vec![format!("/home/alice/{i}")]),
+            _ => send_call(i),
+        };
+        jobs.push(CheckJob::new(tenant, key, call));
+    }
+    let mut group = c.benchmark_group("engine_scaling_20k");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter(|| engine.check_parallel(black_box(&jobs), threads).allowed)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_hot_check, bench_store_path, bench_thread_scaling);
+criterion_main!(benches);

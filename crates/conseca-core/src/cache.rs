@@ -7,6 +7,7 @@
 //! judged safe for.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::context::TrustedContext;
 use crate::policy::{fnv1a, Policy};
@@ -18,11 +19,24 @@ pub struct CacheKey {
     context_fp: u64,
 }
 
+impl CacheKey {
+    /// Builds a key from precomputed fingerprints, for callers that key on
+    /// something other than raw task text (e.g. the engine's policy store
+    /// indexing ad-hoc screening batches by policy fingerprint).
+    pub fn from_fingerprints(task_fp: u64, context_fp: u64) -> Self {
+        CacheKey { task_fp, context_fp }
+    }
+}
+
 /// An LRU cache of generated policies.
+///
+/// Entries are held as [`Arc<Policy>`] so a hit hands back a shared,
+/// immutable handle instead of deep-cloning the whole policy (every entry,
+/// constraint, and rationale string) on the lookup path.
 #[derive(Debug)]
 pub struct PolicyCache {
     capacity: usize,
-    map: HashMap<CacheKey, (Policy, u64)>,
+    map: HashMap<CacheKey, (Arc<Policy>, u64)>,
     // Monotonic use-counter implementing LRU ordering.
     tick: u64,
     hits: u64,
@@ -47,13 +61,16 @@ impl PolicyCache {
     }
 
     /// Looks up a policy, refreshing its recency on hit.
-    pub fn get(&mut self, key: CacheKey) -> Option<Policy> {
+    ///
+    /// A hit is a reference-count bump on the stored [`Arc`], not a deep
+    /// clone of the policy.
+    pub fn get(&mut self, key: CacheKey) -> Option<Arc<Policy>> {
         self.tick += 1;
         match self.map.get_mut(&key) {
             Some((policy, last_used)) => {
                 *last_used = self.tick;
                 self.hits += 1;
-                Some(policy.clone())
+                Some(Arc::clone(policy))
             }
             None => {
                 self.misses += 1;
@@ -63,7 +80,7 @@ impl PolicyCache {
     }
 
     /// Inserts a policy, evicting the least-recently-used entry if full.
-    pub fn put(&mut self, key: CacheKey, policy: Policy) {
+    pub fn put(&mut self, key: CacheKey, policy: Arc<Policy>) {
         self.tick += 1;
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
             if let Some((&lru, _)) = self.map.iter().min_by_key(|(_, (_, last_used))| *last_used) {
@@ -107,9 +124,19 @@ mod tests {
         let mut c = PolicyCache::new(4);
         let k = key("t", "alice");
         assert!(c.get(k).is_none());
-        c.put(k, Policy::new("t"));
+        c.put(k, Arc::new(Policy::new("t")));
         assert!(c.get(k).is_some());
         assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn hit_shares_the_stored_policy() {
+        let mut c = PolicyCache::new(4);
+        let k = key("t", "alice");
+        let stored = Arc::new(Policy::new("t"));
+        c.put(k, Arc::clone(&stored));
+        let hit = c.get(k).unwrap();
+        assert!(Arc::ptr_eq(&stored, &hit), "a hit must be a handle, not a deep clone");
     }
 
     #[test]
@@ -122,11 +149,11 @@ mod tests {
     fn lru_evicts_least_recent() {
         let mut c = PolicyCache::new(2);
         let (k1, k2, k3) = (key("1", "u"), key("2", "u"), key("3", "u"));
-        c.put(k1, Policy::new("1"));
-        c.put(k2, Policy::new("2"));
+        c.put(k1, Arc::new(Policy::new("1")));
+        c.put(k2, Arc::new(Policy::new("2")));
         // Touch k1 so k2 becomes the LRU victim.
         assert!(c.get(k1).is_some());
-        c.put(k3, Policy::new("3"));
+        c.put(k3, Arc::new(Policy::new("3")));
         assert_eq!(c.len(), 2);
         assert!(c.get(k1).is_some());
         assert!(c.get(k2).is_none(), "k2 should have been evicted");
@@ -137,12 +164,21 @@ mod tests {
     fn reinsert_same_key_does_not_evict() {
         let mut c = PolicyCache::new(2);
         let (k1, k2) = (key("1", "u"), key("2", "u"));
-        c.put(k1, Policy::new("1"));
-        c.put(k2, Policy::new("2"));
-        c.put(k1, Policy::new("1b"));
+        c.put(k1, Arc::new(Policy::new("1")));
+        c.put(k2, Arc::new(Policy::new("2")));
+        c.put(k1, Arc::new(Policy::new("1b")));
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(k1).unwrap().task, "1b");
         assert!(c.get(k2).is_some());
+    }
+
+    #[test]
+    fn from_fingerprints_round_trips() {
+        let ctx = TrustedContext::for_user("alice");
+        let derived = PolicyCache::key("t", &ctx);
+        let raw =
+            CacheKey::from_fingerprints(crate::policy::fnv1a("t".as_bytes()), ctx.fingerprint());
+        assert_eq!(derived, raw);
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn eval(self, lhs: i64, rhs: i64) -> bool {
+    /// Applies the comparison. Public so pre-compiled policy
+    /// representations can evaluate numeric predicates identically.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
         match self {
             CmpOp::Lt => lhs < rhs,
             CmpOp::Le => lhs <= rhs,

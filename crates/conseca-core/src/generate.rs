@@ -7,6 +7,8 @@
 //! in-context learning, the tool documentation, and an optional
 //! [`PolicyCache`] (§7's caching suggestion).
 
+use std::sync::Arc;
+
 use conseca_shell::ToolRegistry;
 
 use crate::cache::PolicyCache;
@@ -116,14 +118,36 @@ impl<M: PolicyModel> PolicyGenerator<M> {
         self.model.name()
     }
 
+    /// A fingerprint of everything besides (task, context) that shapes
+    /// this generator's output: model name, tool documentation, and the
+    /// golden example set. Cache layers that may be shared between
+    /// differently-configured generators (the engine's policy store) fold
+    /// this into their keys so two generators never serve each other's
+    /// policies.
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut text = String::with_capacity(self.tool_docs.len() + 64);
+        text.push_str(self.model.name());
+        text.push('\u{1f}');
+        text.push_str(&self.tool_docs);
+        for example in &self.golden {
+            text.push('\u{1f}');
+            text.push_str(&example.task);
+            text.push('\u{1f}');
+            text.push_str(&example.policy_text);
+        }
+        crate::policy::fnv1a(text.as_bytes())
+    }
+
     /// Generates (or retrieves) the policy for `task` under `context`.
     ///
-    /// This is the paper's `set_policy(task, trusted_ctxt) -> Policy`.
+    /// This is the paper's `set_policy(task, trusted_ctxt) -> Policy`. The
+    /// policy is returned as a shared handle: cache hits are a refcount
+    /// bump, and the same `Arc` is what the cache keeps.
     pub fn set_policy(
         &mut self,
         task: &str,
         context: &TrustedContext,
-    ) -> (Policy, GenerationStats) {
+    ) -> (Arc<Policy>, GenerationStats) {
         let key = PolicyCache::key(task, context);
         if let Some(cache) = self.cache.as_mut() {
             if let Some(policy) = cache.get(key) {
@@ -142,10 +166,11 @@ impl<M: PolicyModel> PolicyGenerator<M> {
         let prompt_tokens = approximate_tokens(&render_prompt(&request));
         let draft = self.model.generate(&request);
         let output_tokens = approximate_tokens(&crate::format::render_policy(&draft.policy));
+        let policy = Arc::new(draft.policy);
         if let Some(cache) = self.cache.as_mut() {
-            cache.put(key, draft.policy.clone());
+            cache.put(key, Arc::clone(&policy));
         }
-        (draft.policy, GenerationStats { cache_hit: false, prompt_tokens, output_tokens })
+        (policy, GenerationStats { cache_hit: false, prompt_tokens, output_tokens })
     }
 }
 

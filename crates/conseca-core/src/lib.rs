@@ -21,7 +21,7 @@
 //! | Trusted context isolation (§3.1) | [`context`] |
 //! | Policy generation + in-context learning (§3.2) | [`generate`] |
 //! | Policy caching (§7) | [`cache`] |
-//! | Human-readable policy format + parser (§4.1) | [`format`] |
+//! | Human-readable policy format + parser (§4.1) | [`mod@format`] |
 //! | Logging and auditing (§3.2) | [`audit`], [`jsonout`] |
 //! | Automated rationale/constraint verification (§7) | [`verify`] |
 //! | Trajectory policies: rate limits, sequencing (§7) | [`trajectory`] |
@@ -94,7 +94,7 @@ pub use pipeline::{
     CheckLayer, ConfirmLayer, EnforcementSession, LayerOutcome, PipelineBuilder, PolicyLayer,
     SessionStats, TrajectoryLayer, Verdict,
 };
-pub use policy::{Policy, PolicyEntry};
+pub use policy::{fnv1a, Policy, PolicyEntry};
 pub use sanitize::{default_sanitizers, SanitizerSet};
 pub use trajectory::{
     PriorCondition, RateLimit, SequenceRule, TrajectoryDecision, TrajectoryEnforcer,

@@ -164,7 +164,10 @@ impl Policy {
 }
 
 /// FNV-1a 64-bit hash used for policy and context fingerprints.
-pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+///
+/// Public so engine-layer caches can derive keys with exactly the same
+/// fingerprints the in-process [`crate::cache::PolicyCache`] uses.
+pub fn fnv1a(data: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in data {
         hash ^= b as u64;

@@ -1,0 +1,717 @@
+//! Policy compilation: one-time lowering of a [`Policy`] into the
+//! representation the hot check path wants.
+//!
+//! The interpreted enforcer re-derives the same facts on every call: it
+//! walks a `BTreeMap` of owned `String` keys, dispatches on the
+//! [`ArgConstraint`] enum, and runs every regex through a fresh Pike-VM
+//! with freshly allocated thread lists. [`CompiledPolicy::compile`] does
+//! all of that work exactly once:
+//!
+//! - API names are interned into one sorted slice; lookup is a binary
+//!   search over `&str`s with no tree pointers to chase.
+//! - Each regex constraint keeps the [`Regex`]'s already-compiled NFA
+//!   program (shared `Arc`, never recompiled), and is **lowered to a
+//!   plain substring / prefix / suffix / equality test** when the pattern
+//!   provably denotes one — `alice`, `.*urgent.*`, `^/tmp/` and friends
+//!   never touch the VM at all. Patterns that keep the VM run it through
+//!   a thread-local [`Scratch`], so steady-state checks allocate nothing.
+//! - DSL predicate trees are flattened into a compact index-linked array
+//!   (`FlatPredicate`) with short-circuit evaluation and no `Box`
+//!   pointer chains.
+//! - Constraint display strings (needed only on denial) are pre-rendered.
+//!
+//! The contract is **semantic identity**: for every call,
+//! [`CompiledPolicy::check`] returns exactly the [`Decision`] that
+//! [`is_allowed`](conseca_core::is_allowed) returns for the source
+//! policy — same verdict, same rationale, same structured violation. The
+//! differential property tests in `tests/differential.rs` pin this down.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use conseca_core::{ArgConstraint, CmpOp, Decision, Policy, Predicate, Violation};
+use conseca_regex::ast::Ast;
+use conseca_regex::{parser, Regex, Scratch};
+use conseca_shell::ApiCall;
+
+thread_local! {
+    /// Per-thread VM scratch: `CompiledPolicy::check` takes `&self` and is
+    /// shared across threads via `Arc`, so reusable match buffers live in
+    /// thread-local storage rather than in the policy.
+    static VM_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
+/// One node of a flattened DSL predicate.
+///
+/// `Not` / `All` / `AnyOf` reference other nodes by index into the same
+/// array — the pointer-chasing `Box<Predicate>` tree is gone, and the
+/// whole predicate sits in one contiguous allocation.
+#[derive(Debug, Clone)]
+enum FlatOp {
+    True,
+    Eq(Box<str>),
+    Prefix(Box<str>),
+    Suffix(Box<str>),
+    Contains(Box<str>),
+    OneOf(Box<[Box<str>]>),
+    Num(CmpOp, i64),
+    Not(u32),
+    All(Box<[u32]>),
+    AnyOf(Box<[u32]>),
+}
+
+/// A DSL predicate flattened into a compact enum array.
+#[derive(Debug, Clone)]
+struct FlatPredicate {
+    ops: Box<[FlatOp]>,
+    root: u32,
+}
+
+impl FlatPredicate {
+    fn build(p: &Predicate) -> Self {
+        fn flatten(p: &Predicate, ops: &mut Vec<FlatOp>) -> u32 {
+            let op = match p {
+                Predicate::True => FlatOp::True,
+                Predicate::Eq(s) => FlatOp::Eq(s.as_str().into()),
+                Predicate::Prefix(s) => FlatOp::Prefix(s.as_str().into()),
+                Predicate::Suffix(s) => FlatOp::Suffix(s.as_str().into()),
+                Predicate::Contains(s) => FlatOp::Contains(s.as_str().into()),
+                Predicate::OneOf(opts) => {
+                    FlatOp::OneOf(opts.iter().map(|o| o.as_str().into()).collect())
+                }
+                Predicate::Num(op, rhs) => FlatOp::Num(*op, *rhs),
+                Predicate::Not(inner) => FlatOp::Not(flatten(inner, ops)),
+                Predicate::All(ps) => FlatOp::All(ps.iter().map(|p| flatten(p, ops)).collect()),
+                Predicate::AnyOf(ps) => FlatOp::AnyOf(ps.iter().map(|p| flatten(p, ops)).collect()),
+            };
+            ops.push(op);
+            (ops.len() - 1) as u32
+        }
+        let mut ops = Vec::new();
+        let root = flatten(p, &mut ops);
+        FlatPredicate { ops: ops.into_boxed_slice(), root }
+    }
+
+    fn check(&self, value: &str) -> bool {
+        self.eval(self.root, value)
+    }
+
+    fn eval(&self, idx: u32, value: &str) -> bool {
+        match &self.ops[idx as usize] {
+            FlatOp::True => true,
+            FlatOp::Eq(s) => value == s.as_ref(),
+            FlatOp::Prefix(s) => value.starts_with(s.as_ref()),
+            FlatOp::Suffix(s) => value.ends_with(s.as_ref()),
+            FlatOp::Contains(s) => value.contains(s.as_ref()),
+            FlatOp::OneOf(opts) => opts.iter().any(|o| o.as_ref() == value),
+            FlatOp::Num(op, rhs) => {
+                value.trim().parse::<i64>().map(|lhs| op.eval(lhs, *rhs)).unwrap_or(false)
+            }
+            FlatOp::Not(inner) => !self.eval(*inner, value),
+            FlatOp::All(ids) => ids.iter().all(|&i| self.eval(i, value)),
+            FlatOp::AnyOf(ids) => ids.iter().any(|&i| self.eval(i, value)),
+        }
+    }
+}
+
+/// The lowered form of one argument constraint's test.
+#[derive(Debug, Clone)]
+enum CompiledCheck {
+    /// `ArgConstraint::Any`, or a regex that matches everything.
+    Always,
+    /// Regex lowered to a substring search.
+    Contains(Box<str>),
+    /// Regex lowered to a prefix test.
+    Prefix(Box<str>),
+    /// Regex lowered to a suffix test.
+    Suffix(Box<str>),
+    /// Regex lowered to an exact-equality test.
+    Equals(Box<str>),
+    /// Regex that genuinely needs the NFA simulation; the `Regex` shares
+    /// its compiled program with the source policy's constraint.
+    Vm(Regex),
+    /// A flattened DSL predicate.
+    Pred(FlatPredicate),
+}
+
+impl CompiledCheck {
+    /// Evaluates every non-VM variant. Callers dispatch the
+    /// [`CompiledCheck::Vm`] case themselves so the scratch buffer stays
+    /// out of the literal fast paths.
+    fn matches_literal(&self, value: &str) -> bool {
+        match self {
+            CompiledCheck::Always => true,
+            CompiledCheck::Contains(s) => value.contains(s.as_ref()),
+            CompiledCheck::Prefix(s) => value.starts_with(s.as_ref()),
+            CompiledCheck::Suffix(s) => value.ends_with(s.as_ref()),
+            CompiledCheck::Equals(s) => value == s.as_ref(),
+            CompiledCheck::Vm(re) => re.is_match(value),
+            CompiledCheck::Pred(p) => p.check(value),
+        }
+    }
+}
+
+/// One compiled argument constraint: the lowered test plus the original
+/// rendering (denials must report the constraint exactly as the
+/// interpreted enforcer would).
+#[derive(Debug, Clone)]
+struct CompiledConstraint {
+    check: CompiledCheck,
+    rendered: Box<str>,
+}
+
+/// The compiled entry for one API name.
+#[derive(Debug, Clone)]
+struct CompiledEntry {
+    can_execute: bool,
+    rationale: Box<str>,
+    constraints: Box<[CompiledConstraint]>,
+    /// Whether any constraint still needs the Pike VM; entries whose
+    /// constraints all lowered to literal/predicate tests skip the
+    /// thread-local scratch entirely.
+    has_vm: bool,
+}
+
+/// A [`Policy`] lowered for the hot check path.
+///
+/// Compile once, check forever: construction does every parse, regex
+/// analysis, and allocation up front, and [`check`](CompiledPolicy::check)
+/// is then safe to call from any number of threads through a shared
+/// `Arc<CompiledPolicy>`.
+#[derive(Debug, Clone)]
+pub struct CompiledPolicy {
+    source: Arc<Policy>,
+    /// Interned API names, sorted; parallel to `entries`.
+    names: Box<[Box<str>]>,
+    entries: Box<[CompiledEntry]>,
+    fingerprint: u64,
+}
+
+impl CompiledPolicy {
+    /// Compiles `policy`. Infallible: every constraint in a `Policy` was
+    /// already validated when it was constructed.
+    pub fn compile(policy: &Policy) -> Self {
+        Self::compile_arc(Arc::new(policy.clone()))
+    }
+
+    /// [`compile`](Self::compile) from an already-shared policy handle,
+    /// avoiding the source clone — the snapshot keeps the same `Arc`
+    /// callers (generator cache, task reports) are holding.
+    pub fn compile_arc(policy: Arc<Policy>) -> Self {
+        let mut names = Vec::with_capacity(policy.len());
+        let mut entries = Vec::with_capacity(policy.len());
+        // BTreeMap iteration is ordered, so the interned name table is
+        // born sorted — the invariant binary-search lookup relies on.
+        for (name, entry) in &policy.entries {
+            names.push(name.as_str().into());
+            let constraints: Box<[CompiledConstraint]> = entry
+                .arg_constraints
+                .iter()
+                .map(|c| CompiledConstraint {
+                    check: lower_constraint(c),
+                    rendered: c.to_string().into(),
+                })
+                .collect();
+            let has_vm = constraints.iter().any(|c| matches!(c.check, CompiledCheck::Vm(_)));
+            entries.push(CompiledEntry {
+                can_execute: entry.can_execute,
+                rationale: entry.rationale.as_str().into(),
+                constraints,
+                has_vm,
+            });
+        }
+        let fingerprint = policy.fingerprint();
+        CompiledPolicy {
+            source: policy,
+            names: names.into_boxed_slice(),
+            entries: entries.into_boxed_slice(),
+            fingerprint,
+        }
+    }
+
+    /// The policy this was compiled from (for audit records and reports).
+    pub fn source(&self) -> &Policy {
+        &self.source
+    }
+
+    /// A shared handle to the source policy — a refcount bump, never a
+    /// deep clone of the policy's entries and rationale strings.
+    pub fn source_handle(&self) -> Arc<Policy> {
+        Arc::clone(&self.source)
+    }
+
+    /// The task the source policy was generated for.
+    pub fn task(&self) -> &str {
+        &self.source.task
+    }
+
+    /// The source policy's semantic fingerprint, precomputed.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of listed APIs.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Reports whether the policy lists no APIs (deny-everything).
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn lookup(&self, api: &str) -> Option<&CompiledEntry> {
+        self.names
+            .binary_search_by(|name| name.as_ref().cmp(api))
+            .ok()
+            .map(|idx| &self.entries[idx])
+    }
+
+    /// Evaluates `call`, returning exactly the [`Decision`] the
+    /// interpreted [`is_allowed`](conseca_core::is_allowed) would return
+    /// for the source policy.
+    pub fn check(&self, call: &ApiCall) -> Decision {
+        let entry = match self.lookup(&call.name) {
+            Some(e) => e,
+            None => {
+                return Decision {
+                    allowed: false,
+                    rationale: self.source.default_rationale.clone(),
+                    violation: Some(Violation::UnlistedApi),
+                }
+            }
+        };
+        if !entry.can_execute {
+            return Decision {
+                allowed: false,
+                rationale: entry.rationale.to_string(),
+                violation: Some(Violation::CannotExecute),
+            };
+        }
+        match first_violation(entry, call) {
+            Some((index, value)) => Decision {
+                allowed: false,
+                rationale: entry.rationale.to_string(),
+                violation: Some(Violation::ArgMismatch {
+                    index,
+                    constraint: entry.constraints[index].rendered.to_string(),
+                    value: value.to_owned(),
+                }),
+            },
+            None => {
+                Decision { allowed: true, rationale: entry.rationale.to_string(), violation: None }
+            }
+        }
+    }
+
+    /// Allocation-free verdict: like [`check`](Self::check) but returning
+    /// only whether the call is allowed. The throughput entry point for
+    /// callers that do not need rationale or provenance.
+    pub fn allows(&self, call: &ApiCall) -> bool {
+        let entry = match self.lookup(&call.name) {
+            Some(e) => e,
+            None => return false,
+        };
+        entry.can_execute && first_violation(entry, call).is_none()
+    }
+}
+
+/// Scans an entry's constraints, returning the first failing (index,
+/// value). The thread-local VM scratch is only touched when the entry
+/// kept at least one constraint on the VM.
+fn first_violation<'c>(entry: &CompiledEntry, call: &'c ApiCall) -> Option<(usize, &'c str)> {
+    if entry.has_vm {
+        VM_SCRATCH.with(|cell| scan_constraints(entry, call, Some(&mut cell.borrow_mut())))
+    } else {
+        scan_constraints(entry, call, None)
+    }
+}
+
+fn scan_constraints<'c>(
+    entry: &CompiledEntry,
+    call: &'c ApiCall,
+    mut scratch: Option<&mut Scratch>,
+) -> Option<(usize, &'c str)> {
+    for (index, constraint) in entry.constraints.iter().enumerate() {
+        // Absent optional arguments are checked as the empty string,
+        // matching the interpreted enforcer.
+        let value = call.args.get(index).map(String::as_str).unwrap_or("");
+        let ok = match (&constraint.check, scratch.as_deref_mut()) {
+            (CompiledCheck::Vm(re), Some(scratch)) => re.is_match_with(scratch, value),
+            // The scratch-less Vm case is unreachable via
+            // `first_violation` (has_vm gates the scratch), and
+            // `matches_literal` still evaluates it exactly.
+            (check, _) => check.matches_literal(value),
+        };
+        if !ok {
+            return Some((index, value));
+        }
+    }
+    None
+}
+
+/// Lowers one constraint to its compiled check. Leaf DSL predicates land
+/// on the same literal tests as lowered regexes; only combinators keep
+/// the flattened-array evaluator.
+fn lower_constraint(constraint: &ArgConstraint) -> CompiledCheck {
+    match constraint {
+        ArgConstraint::Any => CompiledCheck::Always,
+        ArgConstraint::Regex(re) => lower_regex(re),
+        ArgConstraint::Dsl(p) => match p {
+            Predicate::True => CompiledCheck::Always,
+            Predicate::Eq(s) => CompiledCheck::Equals(s.as_str().into()),
+            Predicate::Prefix(s) => CompiledCheck::Prefix(s.as_str().into()),
+            Predicate::Suffix(s) => CompiledCheck::Suffix(s.as_str().into()),
+            Predicate::Contains(s) => CompiledCheck::Contains(s.as_str().into()),
+            other => CompiledCheck::Pred(FlatPredicate::build(other)),
+        },
+    }
+}
+
+/// Lowers a regex to a literal string test when the pattern provably
+/// denotes one under `re.search` semantics; otherwise keeps the (shared)
+/// compiled program.
+fn lower_regex(re: &Regex) -> CompiledCheck {
+    let parsed = match parser::parse(re.pattern()) {
+        Ok(parsed) => parsed,
+        // Unreachable for a constructed `Regex`, but never guess: fall
+        // back to the VM, which is always exact.
+        Err(_) => return CompiledCheck::Vm(re.clone()),
+    };
+    if parsed.flags.case_insensitive {
+        return CompiledCheck::Vm(re.clone());
+    }
+    match literal_shape(&parsed.ast, parsed.flags.dot_all) {
+        Some(check) => check,
+        None => CompiledCheck::Vm(re.clone()),
+    }
+}
+
+/// The atoms a literal-shaped pattern may consist of.
+enum Atom {
+    Start,
+    End,
+    Lit(char),
+    /// `.*` (greedy or lazy — existence is unaffected by greediness).
+    DotStar,
+}
+
+/// Recognises patterns of the shape `^? .*? literal .*? $?` and returns
+/// the equivalent string test, or `None` when the pattern is anything
+/// richer (classes, alternation, bounded repeats, word boundaries, …).
+///
+/// Soundness notes, all under unanchored-search semantics:
+/// - a leading/trailing `.*` that is *not* pinned between two anchors can
+///   always match empty, so it never changes which inputs match;
+/// - an anchored `.*` (e.g. `^.*lit$`) must cross every character between
+///   the anchor and the literal. Without `(?s)`, `.` rejects `\n`, so the
+///   lowering would wrongly accept `"x\ny@work.com"` for `^.*@work\.com$`
+///   — those shapes are only lowered when `dot_all` is set and otherwise
+///   keep the VM.
+fn literal_shape(ast: &Ast, dot_all: bool) -> Option<CompiledCheck> {
+    fn is_dot(ast: &Ast) -> bool {
+        match ast {
+            Ast::Dot => true,
+            Ast::Group(inner) => is_dot(inner),
+            _ => false,
+        }
+    }
+    fn flatten(ast: &Ast, out: &mut Vec<Atom>) -> bool {
+        match ast {
+            Ast::Empty => true,
+            Ast::Literal(c) => {
+                out.push(Atom::Lit(*c));
+                true
+            }
+            Ast::StartAnchor => {
+                out.push(Atom::Start);
+                true
+            }
+            Ast::EndAnchor => {
+                out.push(Atom::End);
+                true
+            }
+            Ast::Concat(nodes) => nodes.iter().all(|n| flatten(n, out)),
+            Ast::Group(inner) => flatten(inner, out),
+            Ast::Repeat { node, min: 0, max: None, .. } if is_dot(node) => {
+                out.push(Atom::DotStar);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    let mut atoms = Vec::new();
+    if !flatten(ast, &mut atoms) {
+        return None;
+    }
+
+    // Walk the canonical shape: [^] [.*] lit* [.*] [$] — anything else
+    // (a second literal run, an anchor mid-pattern) bails to the VM.
+    let mut idx = 0;
+    let at = |i: usize| atoms.get(i);
+    let anchored_start = matches!(at(idx), Some(Atom::Start));
+    if anchored_start {
+        idx += 1;
+    }
+    let leading_dotstar = matches!(at(idx), Some(Atom::DotStar));
+    if leading_dotstar {
+        idx += 1;
+    }
+    let mut literal = String::new();
+    while let Some(Atom::Lit(c)) = at(idx) {
+        literal.push(*c);
+        idx += 1;
+    }
+    let trailing_dotstar = matches!(at(idx), Some(Atom::DotStar));
+    if trailing_dotstar {
+        idx += 1;
+    }
+    let anchored_end = matches!(at(idx), Some(Atom::End));
+    if anchored_end {
+        idx += 1;
+    }
+    if idx != atoms.len() {
+        return None;
+    }
+
+    let lit: Box<str> = literal.into();
+    let check = match (anchored_start, anchored_end) {
+        (false, false) => CompiledCheck::Contains(lit),
+        (true, false) => {
+            if !leading_dotstar {
+                CompiledCheck::Prefix(lit)
+            } else if dot_all {
+                CompiledCheck::Contains(lit)
+            } else {
+                return None;
+            }
+        }
+        (false, true) => {
+            if !trailing_dotstar {
+                CompiledCheck::Suffix(lit)
+            } else if dot_all {
+                CompiledCheck::Contains(lit)
+            } else {
+                return None;
+            }
+        }
+        (true, true) => match (leading_dotstar, trailing_dotstar) {
+            (false, false) => CompiledCheck::Equals(lit),
+            _ if !dot_all => return None,
+            (true, false) => CompiledCheck::Suffix(lit),
+            (false, true) => CompiledCheck::Prefix(lit),
+            (true, true) => CompiledCheck::Contains(lit),
+        },
+    };
+    // `contains("")` and friends are tautologies; collapse them so the
+    // check is branch-free. (`Equals("")` still means "empty argument".)
+    Some(match check {
+        CompiledCheck::Contains(s) | CompiledCheck::Prefix(s) | CompiledCheck::Suffix(s)
+            if s.is_empty() =>
+        {
+            CompiledCheck::Always
+        }
+        other => other,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_core::{is_allowed, PolicyEntry};
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn assert_parity(policy: &Policy, calls: &[ApiCall]) {
+        let compiled = CompiledPolicy::compile(policy);
+        for c in calls {
+            let interpreted = is_allowed(c, policy);
+            let fast = compiled.check(c);
+            assert_eq!(fast, interpreted, "divergence on {}", c.raw);
+            assert_eq!(compiled.allows(c), interpreted.allowed, "allows() diverged on {}", c.raw);
+        }
+    }
+
+    #[test]
+    fn paper_policy_parity() {
+        let mut policy = Policy::new("respond to urgent work emails");
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![
+                    ArgConstraint::regex("alice").unwrap(),
+                    ArgConstraint::regex(r"^.*@work\.com$").unwrap(),
+                    ArgConstraint::regex(".*urgent.*").unwrap(),
+                ],
+                "urgent responses from alice to work.com",
+            ),
+        );
+        policy.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+        assert_parity(
+            &policy,
+            &[
+                call("send_email", &["alice", "bob@work.com", "urgent: x", "b"]),
+                call("send_email", &["mallory", "bob@work.com", "urgent: x", "b"]),
+                call("send_email", &["alice", "bob@evil.com", "urgent: x", "b"]),
+                call("send_email", &["alice", "bob@work.com", "weekly digest", "b"]),
+                call("send_email", &["alice", "x\ny@work.com", "urgent", "b"]),
+                call("send_email", &[]),
+                call("delete_email", &["4"]),
+                call("unlisted_api", &["x"]),
+            ],
+        );
+    }
+
+    #[test]
+    fn lowering_covers_the_common_pattern_families() {
+        let cases: &[(&str, CompiledCheckKind)] = &[
+            ("alice", CompiledCheckKind::Contains),
+            (".*urgent.*", CompiledCheckKind::Contains),
+            ("urgent.*", CompiledCheckKind::Contains),
+            (".*urgent", CompiledCheckKind::Contains),
+            ("^/tmp/", CompiledCheckKind::Prefix),
+            ("^/tmp/.*", CompiledCheckKind::Prefix),
+            (r"@work\.com$", CompiledCheckKind::Suffix),
+            (r".*@work\.com$", CompiledCheckKind::Suffix),
+            ("^alice$", CompiledCheckKind::Equals),
+            ("^$", CompiledCheckKind::Equals),
+            ("", CompiledCheckKind::Always),
+            (".*", CompiledCheckKind::Always),
+            // Anchors + unguarded `.*` must keep the VM (newline soundness).
+            (r"^.*@work\.com$", CompiledCheckKind::Vm),
+            ("^.*$", CompiledCheckKind::Vm),
+            ("^a.*$", CompiledCheckKind::Vm),
+            // …unless (?s) lifts the newline exclusion.
+            (r"(?s)^.*@work\.com$", CompiledCheckKind::Suffix),
+            ("(?s)^a.*$", CompiledCheckKind::Prefix),
+            ("(?s)^.*a.*$", CompiledCheckKind::Contains),
+            // Richer syntax keeps the VM.
+            ("(?i)alice", CompiledCheckKind::Vm),
+            ("a|b", CompiledCheckKind::Vm),
+            ("a+", CompiledCheckKind::Vm),
+            ("[a-z]", CompiledCheckKind::Vm),
+            (r"\balice\b", CompiledCheckKind::Vm),
+            ("a.*b", CompiledCheckKind::Vm),
+            ("a.c", CompiledCheckKind::Vm),
+        ];
+        for (pattern, expected) in cases {
+            let lowered = lower_regex(&Regex::new(pattern).unwrap());
+            assert_eq!(CompiledCheckKind::of(&lowered), *expected, "pattern {pattern:?}");
+        }
+    }
+
+    /// Structural fingerprint of a lowered check, for the lowering tests.
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    enum CompiledCheckKind {
+        Always,
+        Contains,
+        Prefix,
+        Suffix,
+        Equals,
+        Vm,
+    }
+
+    impl CompiledCheckKind {
+        fn of(check: &CompiledCheck) -> Self {
+            match check {
+                CompiledCheck::Always => CompiledCheckKind::Always,
+                CompiledCheck::Contains(_) => CompiledCheckKind::Contains,
+                CompiledCheck::Prefix(_) => CompiledCheckKind::Prefix,
+                CompiledCheck::Suffix(_) => CompiledCheckKind::Suffix,
+                CompiledCheck::Equals(_) => CompiledCheckKind::Equals,
+                CompiledCheck::Vm(_) => CompiledCheckKind::Vm,
+                CompiledCheck::Pred(_) => unreachable!("regex never lowers to a predicate"),
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_regexes_share_the_source_program() {
+        let re = Regex::new("a|b").unwrap();
+        let policy = {
+            let mut p = Policy::new("t");
+            p.set("ls", PolicyEntry::allow(vec![ArgConstraint::Regex(re.clone())], "r"));
+            p
+        };
+        let compiled = CompiledPolicy::compile(&policy);
+        match &compiled.entries[0].constraints[0].check {
+            CompiledCheck::Vm(shared) => {
+                assert!(
+                    std::sync::Arc::ptr_eq(shared.program(), re.program()),
+                    "compilation must reuse the already-compiled program"
+                );
+            }
+            other => panic!("expected Vm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flat_predicate_matches_tree_evaluation() {
+        let tree = Predicate::All(vec![
+            Predicate::Prefix("/home/alice/".into()),
+            Predicate::Not(Box::new(Predicate::Contains("..".into()))),
+            Predicate::AnyOf(vec![
+                Predicate::Suffix(".txt".into()),
+                Predicate::Suffix(".md".into()),
+                Predicate::Num(CmpOp::Ge, 10),
+            ]),
+        ]);
+        let flat = FlatPredicate::build(&tree);
+        for value in [
+            "/home/alice/notes.txt",
+            "/home/alice/../bob/x.md",
+            "/home/alice/a.rs",
+            "/etc/passwd",
+            "",
+            "/home/alice/12",
+        ] {
+            assert_eq!(flat.check(value), tree.check(value), "value {value:?}");
+        }
+    }
+
+    #[test]
+    fn default_deny_and_out_of_range_args() {
+        let mut policy = Policy::new("t");
+        policy.set(
+            "head",
+            PolicyEntry::allow(
+                vec![
+                    ArgConstraint::Any,
+                    ArgConstraint::Dsl(Predicate::Eq(String::new())),
+                    ArgConstraint::regex("^x").unwrap(),
+                ],
+                "r",
+            ),
+        );
+        assert_parity(
+            &policy,
+            &[
+                call("head", &[]),
+                call("head", &["/f"]),
+                call("head", &["/f", "20"]),
+                call("head", &["/f", "", "x1"]),
+                call("head", &["/f", "", "y1"]),
+                call("tail", &["/f"]),
+            ],
+        );
+    }
+
+    #[test]
+    fn lookup_is_exact_on_interned_names() {
+        let mut policy = Policy::new("t");
+        for api in ["cat", "ls", "rm", "send_email", "write_file"] {
+            policy.set(api, PolicyEntry::allow_any("r"));
+        }
+        let compiled = CompiledPolicy::compile(&policy);
+        assert_eq!(compiled.len(), 5);
+        for api in ["cat", "ls", "rm", "send_email", "write_file"] {
+            assert!(compiled.check(&call(api, &[])).allowed, "{api}");
+        }
+        for missing in ["c", "lsx", "send_emai", "send_emails", "zzz", ""] {
+            assert!(!compiled.check(&call(missing, &[])).allowed, "{missing}");
+        }
+    }
+}

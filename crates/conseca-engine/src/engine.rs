@@ -1,0 +1,512 @@
+//! The serving façade: compiled policies + sharded store + tenant stats.
+//!
+//! An [`Engine`] is the one object a multi-tenant deployment shares
+//! between its worker threads. It owns the [`PolicyStore`], compiles
+//! policies on demand, and keeps per-tenant counters (store hits/misses,
+//! checks, allow/deny outcomes) so operators can see which tenant is
+//! generating load — and which is tripping denials — without touching the
+//! audit stream.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use conseca_core::{Decision, Policy, TrustedContext};
+use conseca_shell::ApiCall;
+use parking_lot::RwLock;
+
+use crate::compile::CompiledPolicy;
+use crate::store::{EngineKey, PolicyStore, StoreConfig};
+
+/// Engine sizing; forwarded to the [`PolicyStore`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    /// Store layout (shards, capacity).
+    pub store: StoreConfig,
+}
+
+/// Live per-tenant counters (atomics; snapshot via [`TenantCounters`]).
+#[derive(Debug, Default)]
+pub(crate) struct TenantStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    checks: AtomicU64,
+    allowed: AtomicU64,
+    denied: AtomicU64,
+}
+
+impl TenantStats {
+    fn snapshot(&self) -> TenantCounters {
+        TenantCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            checks: self.checks.load(Ordering::Relaxed),
+            allowed: self.allowed.load(Ordering::Relaxed),
+            denied: self.denied.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn record_decision(&self, allowed: bool) {
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        if allowed {
+            self.allowed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.denied.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn record_lookup(&self, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time snapshot of one tenant's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Policy-store hits attributed to this tenant.
+    pub hits: u64,
+    /// Policy-store misses attributed to this tenant.
+    pub misses: u64,
+    /// Actions checked.
+    pub checks: u64,
+    /// Actions allowed.
+    pub allowed: u64,
+    /// Actions denied.
+    pub denied: u64,
+}
+
+/// One unit of work for [`Engine::check_parallel`].
+#[derive(Debug, Clone)]
+pub struct CheckJob {
+    /// Tenant the check is attributed to.
+    pub tenant: Box<str>,
+    /// Which compiled policy judges the call.
+    pub key: EngineKey,
+    /// The proposed action.
+    pub call: ApiCall,
+}
+
+impl CheckJob {
+    /// Builds a job.
+    pub fn new(tenant: &str, key: EngineKey, call: ApiCall) -> Self {
+        CheckJob { tenant: tenant.into(), key, call }
+    }
+}
+
+/// Outcome of one multi-threaded evaluation run.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelReport {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Total calls checked (== jobs supplied).
+    pub checked: u64,
+    /// Calls allowed.
+    pub allowed: u64,
+    /// Calls denied (including default denials for missing policies).
+    pub denied: u64,
+    /// Jobs whose key had no installed policy (denied by default).
+    pub missing_policy: u64,
+    /// Wall-clock time for the whole run.
+    pub elapsed: Duration,
+}
+
+impl ParallelReport {
+    /// Aggregate throughput over the run.
+    pub fn checks_per_second(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.checked as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The concurrent multi-tenant enforcement engine.
+///
+/// Shared by reference (`&Engine` / `Arc<Engine>`) across any number of
+/// threads; every method takes `&self`.
+pub struct Engine {
+    store: PolicyStore,
+    tenants: RwLock<HashMap<Box<str>, Arc<TenantStats>>>,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Creates an engine with the given store layout.
+    pub fn new(config: EngineConfig) -> Self {
+        Engine { store: PolicyStore::new(config.store), tenants: RwLock::new(HashMap::new()) }
+    }
+
+    /// The underlying policy store (for diagnostics).
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    fn tenant(&self, name: &str) -> Arc<TenantStats> {
+        if let Some(stats) = self.tenants.read().get(name) {
+            return Arc::clone(stats);
+        }
+        let mut tenants = self.tenants.write();
+        Arc::clone(tenants.entry(name.into()).or_default())
+    }
+
+    /// Compiles `policy` and installs it for (`tenant`, `task`,
+    /// `context`), returning the shared snapshot. Re-installing a key
+    /// atomically replaces the snapshot for *future* lookups; in-flight
+    /// holders of the old `Arc` are unaffected.
+    pub fn install(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+    ) -> Arc<CompiledPolicy> {
+        let compiled = Arc::new(CompiledPolicy::compile(policy));
+        self.store.insert(EngineKey::new(tenant, task, context), Arc::clone(&compiled));
+        compiled
+    }
+
+    /// Fetches the compiled policy for (`tenant`, `task`, `context`),
+    /// counting the hit or miss against the tenant.
+    pub fn lookup(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+    ) -> Option<Arc<CompiledPolicy>> {
+        let stats = self.tenant(tenant);
+        let found = self.store.get(&EngineKey::new(tenant, task, context));
+        stats.record_lookup(found.is_some());
+        found
+    }
+
+    /// Fetches the compiled policy, generating (via `make`) and compiling
+    /// it on a miss. Returns the snapshot plus whether it was served from
+    /// cache. `make` hands over a shared policy handle, so the snapshot
+    /// keeps the caller's `Arc` instead of deep-cloning the policy.
+    pub fn get_or_compile(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        make: impl FnOnce() -> Arc<Policy>,
+    ) -> (Arc<CompiledPolicy>, bool) {
+        let stats = self.tenant(tenant);
+        let key = EngineKey::new(tenant, task, context);
+        let (policy, hit) =
+            self.store.get_or_insert_with(key, || Arc::new(CompiledPolicy::compile_arc(make())));
+        stats.record_lookup(hit);
+        (policy, hit)
+    }
+
+    /// A pipeline policy layer over `policy` whose checks are billed to
+    /// `tenant`, for sessions assembled outside the engine (the agent's
+    /// per-task [`PipelineBuilder`](conseca_core::pipeline::PipelineBuilder)
+    /// stacks).
+    pub fn session_layer(
+        &self,
+        tenant: &str,
+        policy: Arc<CompiledPolicy>,
+    ) -> crate::layer::CompiledPolicyLayer {
+        crate::layer::CompiledPolicyLayer::with_stats(policy, self.tenant(tenant))
+    }
+
+    /// Judges one call against an already-held snapshot, counting the
+    /// outcome against the tenant. The per-action hot path.
+    pub fn check_compiled(
+        &self,
+        tenant: &str,
+        policy: &CompiledPolicy,
+        call: &ApiCall,
+    ) -> Decision {
+        let decision = policy.check(call);
+        self.tenant(tenant).record_decision(decision.allowed);
+        decision
+    }
+
+    /// Single-check entry point: looks up the policy and judges `call`.
+    /// `None` means no policy is installed for the key (the store miss is
+    /// counted; callers should generate + [`install`](Self::install)).
+    /// The tenant-stats handle is resolved once for the lookup and the
+    /// decision together.
+    pub fn check(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        call: &ApiCall,
+    ) -> Option<Decision> {
+        let stats = self.tenant(tenant);
+        let found = self.store.get(&EngineKey::new(tenant, task, context));
+        stats.record_lookup(found.is_some());
+        let policy = found?;
+        let decision = policy.check(call);
+        stats.record_decision(decision.allowed);
+        Some(decision)
+    }
+
+    /// Batched [`check_compiled`](Self::check_compiled): the tenant's
+    /// stats handle is resolved once for the whole batch, not per call.
+    pub fn check_all_compiled(
+        &self,
+        tenant: &str,
+        policy: &CompiledPolicy,
+        calls: &[ApiCall],
+    ) -> Vec<Decision> {
+        let stats = self.tenant(tenant);
+        calls
+            .iter()
+            .map(|call| {
+                let decision = policy.check(call);
+                stats.record_decision(decision.allowed);
+                decision
+            })
+            .collect()
+    }
+
+    /// Batch entry point: one store lookup and one stats-handle
+    /// resolution, then every call judged against the same snapshot.
+    pub fn check_all(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        calls: &[ApiCall],
+    ) -> Option<Vec<Decision>> {
+        let stats = self.tenant(tenant);
+        let found = self.store.get(&EngineKey::new(tenant, task, context));
+        stats.record_lookup(found.is_some());
+        let policy = found?;
+        Some(
+            calls
+                .iter()
+                .map(|call| {
+                    let decision = policy.check(call);
+                    stats.record_decision(decision.allowed);
+                    decision
+                })
+                .collect(),
+        )
+    }
+
+    /// Multi-threaded evaluation: `jobs` are striped across `threads`
+    /// scoped workers, every worker sharing this engine's store. Jobs
+    /// whose key has no installed policy are denied by default (the
+    /// paper's stance for anything outside a policy) and reported in
+    /// [`ParallelReport::missing_policy`].
+    pub fn check_parallel(&self, jobs: &[CheckJob], threads: usize) -> ParallelReport {
+        let threads = threads.max(1);
+        let start = Instant::now();
+        let totals: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..threads)
+                .map(|worker| {
+                    scope.spawn(move || {
+                        let mut allowed = 0u64;
+                        let mut denied = 0u64;
+                        let mut missing = 0u64;
+                        // Per-worker caches: resolve each distinct policy
+                        // snapshot and tenant-stats handle once, not once
+                        // per job.
+                        let mut policies: HashMap<EngineKey, Option<Arc<CompiledPolicy>>> =
+                            HashMap::new();
+                        let mut stats: HashMap<Box<str>, Arc<TenantStats>> = HashMap::new();
+                        for job in jobs.iter().skip(worker).step_by(threads) {
+                            let policy =
+                                policies.entry(job.key).or_insert_with(|| self.store.get(&job.key));
+                            let resolved = policy.is_some();
+                            let verdict = match policy {
+                                Some(policy) => policy.allows(&job.call),
+                                None => {
+                                    missing += 1;
+                                    false
+                                }
+                            };
+                            if verdict {
+                                allowed += 1;
+                            } else {
+                                denied += 1;
+                            }
+                            let tenant_stats = stats
+                                .entry(job.tenant.clone())
+                                .or_insert_with(|| self.tenant(&job.tenant));
+                            // Attribute one logical lookup per job (the
+                            // memoized snapshot still served it), keeping
+                            // tenant hit/miss meaningful on this path too.
+                            tenant_stats.record_lookup(resolved);
+                            tenant_stats.record_decision(verdict);
+                        }
+                        (allowed, denied, missing)
+                    })
+                })
+                .collect();
+            workers.into_iter().map(|w| w.join().expect("worker panicked")).collect()
+        });
+        let elapsed = start.elapsed();
+        let (allowed, denied, missing_policy) =
+            totals.into_iter().fold((0, 0, 0), |(a, d, m), (wa, wd, wm)| (a + wa, d + wd, m + wm));
+        ParallelReport {
+            threads,
+            checked: allowed + denied,
+            allowed,
+            denied,
+            missing_policy,
+            elapsed,
+        }
+    }
+
+    /// A tenant's counters (zeros for a tenant the engine has never seen).
+    pub fn tenant_counters(&self, tenant: &str) -> TenantCounters {
+        self.tenants.read().get(tenant).map(|s| s.snapshot()).unwrap_or_default()
+    }
+
+    /// All tenants' counters, sorted by tenant name.
+    pub fn counters(&self) -> Vec<(String, TenantCounters)> {
+        let mut all: Vec<(String, TenantCounters)> = self
+            .tenants
+            .read()
+            .iter()
+            .map(|(name, stats)| (name.to_string(), stats.snapshot()))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_core::{ArgConstraint, PolicyEntry};
+
+    fn send_policy() -> Policy {
+        let mut policy = Policy::new("respond to urgent work emails");
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![ArgConstraint::regex("^alice$").unwrap()],
+                "responses come from alice",
+            ),
+        );
+        policy.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+        policy
+    }
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn ctx() -> TrustedContext {
+        TrustedContext::for_user("alice")
+    }
+
+    #[test]
+    fn install_then_check_counts_per_tenant() {
+        let engine = Engine::default();
+        let policy = send_policy();
+        engine.install("acme", &policy.task, &ctx(), &policy);
+        let task = policy.task.clone();
+        let ok = engine.check("acme", &task, &ctx(), &call("send_email", &["alice"])).unwrap();
+        assert!(ok.allowed);
+        let denied = engine.check("acme", &task, &ctx(), &call("delete_email", &["1"])).unwrap();
+        assert!(!denied.allowed);
+        assert!(engine.check("acme", "other task", &ctx(), &call("ls", &[])).is_none());
+        let counters = engine.tenant_counters("acme");
+        assert_eq!(counters.checks, 2);
+        assert_eq!(counters.allowed, 1);
+        assert_eq!(counters.denied, 1);
+        assert_eq!(counters.hits, 2);
+        assert_eq!(counters.misses, 1);
+        // A different tenant sees none of acme's policies or counters.
+        assert!(engine.check("rival", &task, &ctx(), &call("send_email", &["alice"])).is_none());
+        assert_eq!(engine.tenant_counters("rival").misses, 1);
+        assert_eq!(engine.tenant_counters("nobody"), TenantCounters::default());
+    }
+
+    #[test]
+    fn get_or_compile_compiles_once() {
+        let engine = Engine::default();
+        let mut compiles = 0;
+        let (first, hit) = engine.get_or_compile("acme", "t", &ctx(), || {
+            compiles += 1;
+            Arc::new(send_policy())
+        });
+        assert!(!hit);
+        let (second, hit) = engine.get_or_compile("acme", "t", &ctx(), || {
+            compiles += 1;
+            Arc::new(send_policy())
+        });
+        assert!(hit);
+        assert_eq!(compiles, 1);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn check_all_uses_one_lookup() {
+        let engine = Engine::default();
+        let policy = send_policy();
+        engine.install("acme", "t", &ctx(), &policy);
+        let calls =
+            vec![call("send_email", &["alice"]), call("send_email", &["eve"]), call("ls", &[])];
+        let decisions = engine.check_all("acme", "t", &ctx(), &calls).unwrap();
+        assert_eq!(
+            decisions.iter().map(|d| d.allowed).collect::<Vec<_>>(),
+            vec![true, false, false]
+        );
+        let counters = engine.tenant_counters("acme");
+        assert_eq!((counters.hits, counters.checks), (1, 3));
+    }
+
+    #[test]
+    fn parallel_checks_share_the_store() {
+        let engine = Engine::default();
+        let policy = send_policy();
+        let context = ctx();
+        let mut jobs = Vec::new();
+        for tenant in ["acme", "globex"] {
+            engine.install(tenant, "t", &context, &policy);
+            let key = EngineKey::new(tenant, "t", &context);
+            for i in 0..50 {
+                let call = if i % 5 == 0 {
+                    call("delete_email", &["1"])
+                } else {
+                    call("send_email", &["alice"])
+                };
+                jobs.push(CheckJob::new(tenant, key, call));
+            }
+        }
+        // One job against a key nobody installed: default deny.
+        jobs.push(CheckJob::new(
+            "acme",
+            EngineKey::new("acme", "uninstalled", &context),
+            call("ls", &[]),
+        ));
+        let report = engine.check_parallel(&jobs, 4);
+        assert_eq!(report.checked, 101);
+        assert_eq!(report.allowed, 80);
+        assert_eq!(report.denied, 21);
+        assert_eq!(report.missing_policy, 1);
+        let acme = engine.tenant_counters("acme");
+        let globex = engine.tenant_counters("globex");
+        assert_eq!(acme.checks, 51);
+        assert_eq!(globex.checks, 50);
+        assert!(report.checks_per_second() > 0.0);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let engine = Engine::default();
+        let report = engine.check_parallel(&[], 0);
+        assert_eq!(report.threads, 1);
+        assert_eq!(report.checked, 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Pipeline integration: a compiled policy as the per-action policy layer.
+//!
+//! The enforcement pipeline stays the single reference monitor; the
+//! engine only changes how the policy layer evaluates. A
+//! [`CompiledPolicyLayer`] is a drop-in replacement for
+//! [`PolicyLayer`](conseca_core::pipeline::PolicyLayer): same layer name
+//! (`"policy"`), same verdicts, same violation provenance — the parity
+//! property tests in `tests/differential.rs` assert it — but checks run
+//! against the shared compiled snapshot, so one `Arc<CompiledPolicy>`
+//! from the store serves any number of concurrent sessions.
+
+use std::sync::Arc;
+
+use conseca_core::pipeline::{CheckLayer, LayerOutcome, SessionStats, Verdict, LAYER_POLICY};
+use conseca_shell::ApiCall;
+
+use crate::compile::CompiledPolicy;
+use crate::engine::TenantStats;
+
+/// The per-action policy check (§3.3) evaluated against a compiled
+/// policy snapshot.
+#[derive(Debug, Clone)]
+pub struct CompiledPolicyLayer {
+    policy: Arc<CompiledPolicy>,
+    /// When built via [`Engine::session_layer`](crate::Engine::session_layer),
+    /// every check is also billed to the tenant's counters.
+    stats: Option<Arc<TenantStats>>,
+}
+
+impl CompiledPolicyLayer {
+    /// A layer enforcing `policy`.
+    pub fn new(policy: Arc<CompiledPolicy>) -> Self {
+        CompiledPolicyLayer { policy, stats: None }
+    }
+
+    pub(crate) fn with_stats(policy: Arc<CompiledPolicy>, stats: Arc<TenantStats>) -> Self {
+        CompiledPolicyLayer { policy, stats: Some(stats) }
+    }
+
+    /// The compiled policy being enforced.
+    pub fn policy(&self) -> &Arc<CompiledPolicy> {
+        &self.policy
+    }
+}
+
+impl CheckLayer for CompiledPolicyLayer {
+    fn name(&self) -> &'static str {
+        LAYER_POLICY
+    }
+
+    fn check(&mut self, call: &ApiCall, _stats: &SessionStats, pending: &Verdict) -> LayerOutcome {
+        if !pending.allowed {
+            return LayerOutcome::Pass;
+        }
+        let decision = self.policy.check(call);
+        if let Some(stats) = &self.stats {
+            stats.record_decision(decision.allowed);
+        }
+        match decision.violation {
+            None => LayerOutcome::Allow { rationale: decision.rationale },
+            Some(violation) => LayerOutcome::Deny { rationale: decision.rationale, violation },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_core::pipeline::PipelineBuilder;
+    use conseca_core::{ArgConstraint, Policy, PolicyEntry, Violation};
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn compiled_layer_matches_interpreted_policy_layer() {
+        let mut policy = Policy::new("t");
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![ArgConstraint::regex("^alice$").unwrap()],
+                "responses come from alice",
+            ),
+        );
+        policy.set("delete_email", PolicyEntry::deny("no deletions"));
+        let compiled = Arc::new(CompiledPolicy::compile(&policy));
+
+        let calls = [
+            call("send_email", &["alice"]),
+            call("send_email", &["eve"]),
+            call("delete_email", &["1"]),
+            call("unlisted", &[]),
+        ];
+        let mut interpreted_session = PipelineBuilder::new().policy(&policy).build();
+        let mut compiled_session =
+            PipelineBuilder::new().layer(CompiledPolicyLayer::new(compiled)).build();
+        for c in &calls {
+            let expected = interpreted_session.check(c);
+            let got = compiled_session.check(c);
+            assert_eq!(got, expected, "verdict divergence on {}", c.raw);
+            assert_eq!(got.decided_by, LAYER_POLICY);
+        }
+        assert_eq!(interpreted_session.stats(), compiled_session.stats());
+    }
+
+    #[test]
+    fn compiled_layer_reports_structured_violations() {
+        let mut policy = Policy::new("t");
+        policy.set(
+            "rm",
+            PolicyEntry::allow(vec![ArgConstraint::regex("^/tmp/").unwrap()], "tmp only"),
+        );
+        let compiled = Arc::new(CompiledPolicy::compile(&policy));
+        let mut session = PipelineBuilder::new().layer(CompiledPolicyLayer::new(compiled)).build();
+        let verdict = session.check(&call("rm", &["/home/alice/keep"]));
+        assert!(!verdict.allowed);
+        match verdict.violation {
+            Some(Violation::ArgMismatch { index, ref constraint, .. }) => {
+                assert_eq!(index, 0);
+                assert!(constraint.contains("/tmp/"), "constraint rendering: {constraint}");
+            }
+            other => panic!("expected ArgMismatch, got {other:?}"),
+        }
+    }
+}

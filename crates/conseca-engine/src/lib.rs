@@ -1,0 +1,70 @@
+//! The concurrent, multi-tenant enforcement engine.
+//!
+//! `conseca-core` interprets a [`Policy`](conseca_core::Policy) on every
+//! check: a `BTreeMap` walk plus per-constraint evaluation of whatever
+//! representation the policy was written in. That is the right shape for
+//! one agent screening its own actions; it is the wrong shape for a
+//! deployment serving policy decisions for millions of users (the
+//! ROADMAP's north star), where the same (task, context) policy is checked
+//! thousands of times by many threads at once. This crate adds the
+//! serving layer the paper's §7 scaling discussion asks for, in two
+//! halves:
+//!
+//! 1. **Compilation** ([`compile`]): a [`CompiledPolicy`] is built once
+//!    from a `Policy` — API names interned into a sorted lookup table
+//!    (binary search, no tree-walk), every regex constraint sharing the
+//!    one program its [`conseca_regex::Regex`] already compiled (and
+//!    lowered to a plain substring/prefix/suffix test when that is
+//!    provably equivalent), and DSL predicate trees flattened into a
+//!    compact index-linked array. `CompiledPolicy::check` is
+//!    differentially tested to agree with the interpreted
+//!    [`is_allowed`](conseca_core::is_allowed) on every input.
+//! 2. **Serving** ([`store`], [`engine`]): a sharded [`PolicyStore`]
+//!    (one `RwLock` + LRU per shard, `Arc<CompiledPolicy>` snapshots so
+//!    readers never deep-clone and never hold a lock during evaluation)
+//!    keyed by (tenant, task fingerprint, context fingerprint), behind an
+//!    [`Engine`] façade with single-check, batched, and multi-threaded
+//!    entry points plus per-tenant hit/miss/deny counters.
+//!
+//! The pipeline stays the one reference monitor: [`CompiledPolicyLayer`]
+//! drops a compiled policy into any
+//! [`EnforcementSession`](conseca_core::pipeline::EnforcementSession) as
+//! the policy layer, with identical verdicts and provenance.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrustedContext};
+//! use conseca_engine::{Engine, EngineConfig};
+//! use conseca_shell::ApiCall;
+//!
+//! let mut policy = Policy::new("respond to urgent work emails");
+//! policy.set("send_email", PolicyEntry::allow(
+//!     vec![ArgConstraint::regex("alice").unwrap()],
+//!     "urgent responses come from alice",
+//! ));
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! let ctx = TrustedContext::for_user("alice");
+//! engine.install("acme", "respond to urgent work emails", &ctx, &policy);
+//!
+//! let call = ApiCall::new("email", "send_email",
+//!     vec!["alice".into(), "bob@work.com".into(), "urgent".into(), "done".into()]);
+//! let decision = engine
+//!     .check("acme", "respond to urgent work emails", &ctx, &call)
+//!     .expect("policy was installed");
+//! assert!(decision.allowed);
+//! assert_eq!(engine.tenant_counters("acme").allowed, 1);
+//! ```
+
+pub mod compile;
+pub mod engine;
+pub mod layer;
+pub mod store;
+
+pub use compile::CompiledPolicy;
+pub use engine::{CheckJob, Engine, EngineConfig, ParallelReport, TenantCounters};
+pub use layer::CompiledPolicyLayer;
+pub use store::{EngineKey, PolicyStore, StoreConfig};

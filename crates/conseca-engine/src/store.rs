@@ -1,0 +1,326 @@
+//! The sharded, thread-safe compiled-policy store.
+//!
+//! The paper's §7 caching suggestion, rebuilt for concurrent serving: the
+//! single-threaded [`PolicyCache`] becomes N
+//! independent shards, each a `parking_lot::RwLock` around its own LRU
+//! map, so lookups from different tenants contend only when they hash to
+//! the same shard. Entries are `Arc<CompiledPolicy>` **snapshots**:
+//!
+//! - a hit clones the `Arc` (a refcount bump) and drops the shard lock
+//!   before the caller evaluates anything, so policy checks never run
+//!   under a lock;
+//! - a writer replacing or evicting a policy never invalidates readers —
+//!   threads holding the old snapshot keep enforcing the policy they
+//!   looked up, exactly the semantics the cache key guarantees (the key
+//!   fingerprints task *and* context, so a stale snapshot can only ever
+//!   be the same policy, §7);
+//! - recency is tracked with a per-entry atomic touched under the *read*
+//!   lock, so hits never take the write lock.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use conseca_core::{fnv1a, CacheKey, PolicyCache, TrustedContext};
+use parking_lot::RwLock;
+
+use crate::compile::CompiledPolicy;
+
+/// Store key: tenant fingerprint plus the core cache's (task, context)
+/// fingerprint pair. Two tenants with identical tasks and contexts get
+/// distinct entries — policies are per-tenant artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EngineKey {
+    tenant_fp: u64,
+    policy_key: CacheKey,
+}
+
+impl EngineKey {
+    /// Key for `tenant`'s policy for (`task`, `context`).
+    pub fn new(tenant: &str, task: &str, context: &TrustedContext) -> Self {
+        EngineKey {
+            tenant_fp: fnv1a(tenant.as_bytes()),
+            policy_key: PolicyCache::key(task, context),
+        }
+    }
+
+    /// Key from a tenant name and a precomputed core cache key, for
+    /// callers that index by something other than raw task text (e.g.
+    /// screening batches keyed by policy fingerprint).
+    pub fn from_cache_key(tenant: &str, policy_key: CacheKey) -> Self {
+        EngineKey { tenant_fp: fnv1a(tenant.as_bytes()), policy_key }
+    }
+
+    fn shard_index(&self, shards: usize) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.hash(&mut hasher);
+        (hasher.finish() % shards as u64) as usize
+    }
+}
+
+/// Sizing of a [`PolicyStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Number of independent shards (≥ 1). More shards, less contention.
+    pub shards: usize,
+    /// Total policy capacity across all shards (≥ `shards`).
+    pub capacity: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { shards: 8, capacity: 1024 }
+    }
+}
+
+struct Slot {
+    policy: Arc<CompiledPolicy>,
+    /// Recency stamp, written under the read lock on hits.
+    last_used: AtomicU64,
+}
+
+struct Shard {
+    slots: RwLock<HashMap<EngineKey, Slot>>,
+    /// Monotonic use-counter implementing per-shard LRU ordering.
+    tick: AtomicU64,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Shard {
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// Removes the least-recently-used slot. Caller holds the write lock.
+fn evict_lru(slots: &mut HashMap<EngineKey, Slot>) {
+    let victim = slots
+        .iter()
+        .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+        .map(|(k, _)| *k);
+    if let Some(victim) = victim {
+        slots.remove(&victim);
+    }
+}
+
+/// A sharded LRU map from [`EngineKey`] to `Arc<CompiledPolicy>`.
+pub struct PolicyStore {
+    shards: Box<[Shard]>,
+}
+
+impl PolicyStore {
+    /// Creates a store with `config.shards` shards splitting
+    /// `config.capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `capacity < shards` — either is a
+    /// configuration bug (a shard with zero capacity could never hold the
+    /// policy it is asked to cache).
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "store must have at least one shard");
+        assert!(
+            config.capacity >= config.shards,
+            "store capacity must be at least one entry per shard"
+        );
+        let per_shard = config.capacity.div_ceil(config.shards);
+        let shards = (0..config.shards)
+            .map(|_| Shard {
+                slots: RwLock::new(HashMap::new()),
+                tick: AtomicU64::new(0),
+                capacity: per_shard,
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            })
+            .collect();
+        PolicyStore { shards }
+    }
+
+    fn shard(&self, key: &EngineKey) -> &Shard {
+        &self.shards[key.shard_index(self.shards.len())]
+    }
+
+    /// Looks up a compiled policy. A hit hands back a shared snapshot and
+    /// refreshes recency without ever taking the write lock.
+    pub fn get(&self, key: &EngineKey) -> Option<Arc<CompiledPolicy>> {
+        let shard = self.shard(key);
+        let slots = shard.slots.read();
+        match slots.get(key) {
+            Some(slot) => {
+                slot.last_used.store(shard.next_tick(), Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&slot.policy))
+            }
+            None => {
+                shard.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a policy, evicting the shard's
+    /// least-recently-used entry if the shard is full.
+    pub fn insert(&self, key: EngineKey, policy: Arc<CompiledPolicy>) {
+        let shard = self.shard(&key);
+        let mut slots = shard.slots.write();
+        if slots.len() >= shard.capacity && !slots.contains_key(&key) {
+            evict_lru(&mut slots);
+        }
+        slots.insert(key, Slot { policy, last_used: AtomicU64::new(shard.next_tick()) });
+    }
+
+    /// Returns the cached policy for `key`, or compiles-and-caches via
+    /// `make` on a miss. The closure runs outside any lock (policy
+    /// compilation must not block the shard); if another thread installs
+    /// the same key concurrently, the first-installed snapshot wins so
+    /// every caller converges on one `Arc`.
+    ///
+    /// The boolean is `true` when the policy was served from cache.
+    pub fn get_or_insert_with(
+        &self,
+        key: EngineKey,
+        make: impl FnOnce() -> Arc<CompiledPolicy>,
+    ) -> (Arc<CompiledPolicy>, bool) {
+        if let Some(policy) = self.get(&key) {
+            return (policy, true);
+        }
+        let policy = make();
+        let shard = self.shard(&key);
+        let mut slots = shard.slots.write();
+        if let Some(existing) = slots.get(&key) {
+            return (Arc::clone(&existing.policy), false);
+        }
+        if slots.len() >= shard.capacity {
+            evict_lru(&mut slots);
+        }
+        slots.insert(
+            key,
+            Slot { policy: Arc::clone(&policy), last_used: AtomicU64::new(shard.next_tick()) },
+        );
+        (policy, false)
+    }
+
+    /// Number of cached policies across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.read().len()).sum()
+    }
+
+    /// Reports whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total lookup hits across shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.hits.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total lookup misses across shards.
+    pub fn misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.misses.load(Ordering::Relaxed)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_core::Policy;
+
+    fn compiled(task: &str) -> Arc<CompiledPolicy> {
+        Arc::new(CompiledPolicy::compile(&Policy::new(task)))
+    }
+
+    fn key(tenant: &str, task: &str) -> EngineKey {
+        EngineKey::new(tenant, task, &TrustedContext::for_user("alice"))
+    }
+
+    #[test]
+    fn hit_returns_the_same_snapshot() {
+        let store = PolicyStore::new(StoreConfig::default());
+        let k = key("acme", "t");
+        assert!(store.get(&k).is_none());
+        let policy = compiled("t");
+        store.insert(k, Arc::clone(&policy));
+        let hit = store.get(&k).expect("hit");
+        assert!(Arc::ptr_eq(&policy, &hit));
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+    }
+
+    #[test]
+    fn keys_separate_tenants_tasks_and_contexts() {
+        let ctx_a = TrustedContext::for_user("alice");
+        let ctx_b = TrustedContext::for_user("bob");
+        assert_ne!(EngineKey::new("t1", "task", &ctx_a), EngineKey::new("t2", "task", &ctx_a));
+        assert_ne!(EngineKey::new("t1", "task", &ctx_a), EngineKey::new("t1", "other", &ctx_a));
+        assert_ne!(EngineKey::new("t1", "task", &ctx_a), EngineKey::new("t1", "task", &ctx_b));
+    }
+
+    #[test]
+    fn lru_eviction_is_per_shard() {
+        // One shard with room for two entries makes eviction deterministic.
+        let store = PolicyStore::new(StoreConfig { shards: 1, capacity: 2 });
+        let (k1, k2, k3) = (key("a", "1"), key("a", "2"), key("a", "3"));
+        store.insert(k1, compiled("1"));
+        store.insert(k2, compiled("2"));
+        assert!(store.get(&k1).is_some()); // refresh k1; k2 becomes LRU
+        store.insert(k3, compiled("3"));
+        assert_eq!(store.len(), 2);
+        assert!(store.get(&k1).is_some());
+        assert!(store.get(&k2).is_none(), "k2 should have been evicted");
+        assert!(store.get(&k3).is_some());
+    }
+
+    #[test]
+    fn get_or_insert_compiles_once_then_hits() {
+        let store = PolicyStore::new(StoreConfig::default());
+        let k = key("acme", "t");
+        let mut compile_count = 0;
+        let (first, hit) = store.get_or_insert_with(k, || {
+            compile_count += 1;
+            compiled("t")
+        });
+        assert!(!hit);
+        let (second, hit) = store.get_or_insert_with(k, || {
+            compile_count += 1;
+            compiled("t")
+        });
+        assert!(hit);
+        assert_eq!(compile_count, 1);
+        assert!(Arc::ptr_eq(&first, &second));
+    }
+
+    #[test]
+    fn concurrent_readers_converge_on_one_snapshot() {
+        let store = PolicyStore::new(StoreConfig::default());
+        let k = key("acme", "t");
+        store.insert(k, compiled("t"));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..8).map(|_| scope.spawn(|| store.get(&k).expect("hit"))).collect();
+            let snapshots: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for pair in snapshots.windows(2) {
+                assert!(Arc::ptr_eq(&pair[0], &pair[1]));
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        PolicyStore::new(StoreConfig { shards: 0, capacity: 8 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry per shard")]
+    fn capacity_below_shards_panics() {
+        PolicyStore::new(StoreConfig { shards: 8, capacity: 4 });
+    }
+}

@@ -11,21 +11,21 @@
 /// An instruction an attacker embedded in untrusted content.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Instruction {
-    /// "forward all emails about <topic> to <address>".
+    /// "forward all emails about `<topic>` to `<address>`".
     ForwardEmails {
         /// Topic words to search for.
         topic: String,
         /// Exfiltration address.
         to: String,
     },
-    /// "send <address> an email ..." / "email <address> ...".
+    /// "send `<address>` an email ..." / "email `<address>` ...".
     SendEmail {
         /// Target address.
         to: String,
         /// Subject to use.
         subject: String,
     },
-    /// "delete the email(s) about <topic>".
+    /// "delete the email(s) about `<topic>`".
     DeleteEmails {
         /// Topic words to search for.
         topic: String,

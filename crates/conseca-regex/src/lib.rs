@@ -39,9 +39,11 @@ pub mod nfa;
 pub mod parser;
 pub mod pikevm;
 
+use std::sync::Arc;
+
 pub use error::Error;
 pub use parser::Flags;
-pub use pikevm::Span;
+pub use pikevm::{Scratch, Span};
 
 /// Maximum expansion of a counted repetition such as `a{n}`.
 pub const MAX_REPETITION: u32 = 1000;
@@ -52,8 +54,11 @@ pub const MAX_PROGRAM_SIZE: usize = 1 << 16;
 /// A compiled regular expression.
 ///
 /// Construction validates and compiles the pattern; matching never fails and
-/// never backtracks. `Regex` is cheap to clone (the program is immutable) and
-/// safe to share across threads.
+/// never backtracks. The compiled [`nfa::Program`] lives behind an [`Arc`],
+/// so `Regex` is cheap to clone — every clone shares the one program — and
+/// safe to share across threads. Consumers that pre-lower policies (the
+/// compiled-policy engine) clone the `Regex` or take [`Regex::program`]
+/// rather than recompiling the pattern at each construction site.
 ///
 /// # Examples
 ///
@@ -67,7 +72,7 @@ pub const MAX_PROGRAM_SIZE: usize = 1 << 16;
 #[derive(Debug, Clone)]
 pub struct Regex {
     pattern: String,
-    prog: nfa::Program,
+    prog: Arc<nfa::Program>,
 }
 
 impl Regex {
@@ -80,7 +85,7 @@ impl Regex {
     pub fn new(pattern: &str) -> Result<Self, Error> {
         let parsed = parser::parse(pattern)?;
         let prog = nfa::compile(&parsed.ast, parsed.flags)?;
-        Ok(Regex { pattern: pattern.to_owned(), prog })
+        Ok(Regex { pattern: pattern.to_owned(), prog: Arc::new(prog) })
     }
 
     /// Reports whether the pattern matches anywhere in `text`.
@@ -88,8 +93,13 @@ impl Regex {
     /// Equivalent to Python's `re.search(pattern, text) is not None`, which
     /// is the operation Conseca's enforcer evaluates per argument.
     pub fn is_match(&self, text: &str) -> bool {
-        let chars: Vec<char> = text.chars().collect();
-        pikevm::PikeVm::new(&self.prog).is_match(&chars)
+        Scratch::new().is_match_str(&self.prog, text)
+    }
+
+    /// [`Regex::is_match`] with caller-owned [`Scratch`], for hot loops
+    /// that check many values: no per-call allocation at all.
+    pub fn is_match_with(&self, scratch: &mut Scratch, text: &str) -> bool {
+        scratch.is_match_str(&self.prog, text)
     }
 
     /// Reports whether the pattern matches the *entire* input, like
@@ -115,6 +125,15 @@ impl Regex {
     /// The original pattern text.
     pub fn pattern(&self) -> &str {
         &self.pattern
+    }
+
+    /// The shared compiled program.
+    ///
+    /// Cloning the returned [`Arc`] is the precompiled-matcher reuse path:
+    /// a consumer that lowers policies ahead of time holds the same program
+    /// this `Regex` executes, instead of recompiling the pattern.
+    pub fn program(&self) -> &Arc<nfa::Program> {
+        &self.prog
     }
 
     /// Number of compiled NFA instructions (for diagnostics and benches).
@@ -231,6 +250,25 @@ mod tests {
         let re = Regex::new(r"^\w+$").unwrap();
         let re2 = re.clone();
         assert_eq!(re.is_match("abc_123"), re2.is_match("abc_123"));
+    }
+
+    #[test]
+    fn clone_shares_one_compiled_program() {
+        let re = Regex::new(r"^.*@work\.com$").unwrap();
+        let re2 = re.clone();
+        assert!(Arc::ptr_eq(re.program(), re2.program()), "clones must not recompile");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_like_fresh_vm() {
+        let mut scratch = Scratch::new();
+        // Interleave programs of different sizes through one scratch.
+        let small = Regex::new("a+b").unwrap();
+        let big = Regex::new(r"^(ab|cd){1,20}x?\d*$").unwrap();
+        for text in ["aab", "b", "abcdx12", "abab", "", "a\nb"] {
+            assert_eq!(small.is_match_with(&mut scratch, text), small.is_match(text), "{text:?}");
+            assert_eq!(big.is_match_with(&mut scratch, text), big.is_match(text), "{text:?}");
+        }
     }
 
     #[test]

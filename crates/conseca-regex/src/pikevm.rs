@@ -28,6 +28,15 @@ impl SparseSet {
         SparseSet { stamp: vec![0; capacity], generation: 0 }
     }
 
+    /// Grows the stamp table to cover programs of `capacity` instructions.
+    /// New slots start at generation 0, which never aliases a live
+    /// generation (the first `clear` bumps it to 1 before any insert).
+    fn ensure(&mut self, capacity: usize) {
+        if self.stamp.len() < capacity {
+            self.stamp.resize(capacity, 0);
+        }
+    }
+
     fn clear(&mut self) {
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
@@ -47,10 +56,93 @@ impl SparseSet {
     }
 }
 
+/// Program-independent scratch buffers for repeated matching.
+///
+/// One `Scratch` amortises every per-call allocation of the Pike VM — the
+/// dedup stamps, the two thread lists, and the decoded char buffer — across
+/// any number of `is_match` runs against any number of programs. Hot
+/// enforcement paths (the compiled-policy engine, per-thread workers) hold
+/// one per thread; one-shot callers can keep using [`crate::Regex::is_match`],
+/// which builds a fresh scratch internally.
+#[derive(Default)]
+pub struct Scratch {
+    seen: SparseSet,
+    current: Vec<usize>,
+    next: Vec<usize>,
+    chars: Vec<char>,
+}
+
+impl Default for SparseSet {
+    fn default() -> Self {
+        SparseSet::new(0)
+    }
+}
+
+impl Scratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Reports whether `prog` matches anywhere in `chars` (unanchored
+    /// search), reusing this scratch's buffers.
+    pub fn is_match(&mut self, prog: &Program, chars: &[char]) -> bool {
+        self.seen.ensure(prog.len());
+        let mut current = std::mem::take(&mut self.current);
+        let mut next = std::mem::take(&mut self.next);
+        current.clear();
+        let mut found = false;
+        'outer: for pos in 0..=chars.len() {
+            self.seen.clear();
+            // Expand threads carried over from the previous step, then
+            // re-seed the start state: unanchored search.
+            next.clear();
+            for &pc in &current {
+                if add_thread(prog, &mut self.seen, pc, chars, pos, &mut next) {
+                    found = true;
+                    break 'outer;
+                }
+            }
+            if add_thread(prog, &mut self.seen, prog.start, chars, pos, &mut next) {
+                found = true;
+                break 'outer;
+            }
+            std::mem::swap(&mut current, &mut next);
+            if pos == chars.len() {
+                break;
+            }
+            let c = chars[pos];
+            next.clear();
+            for &pc in &current {
+                if let Inst::Char { cond, next: nxt } = &prog.insts[pc] {
+                    if cond.matches(c) {
+                        next.push(*nxt);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+        }
+        self.current = current;
+        self.next = next;
+        found
+    }
+
+    /// [`Scratch::is_match`] over a `&str`, reusing the internal char
+    /// buffer for the decode as well.
+    pub fn is_match_str(&mut self, prog: &Program, text: &str) -> bool {
+        let mut chars = std::mem::take(&mut self.chars);
+        chars.clear();
+        chars.extend(text.chars());
+        let found = self.is_match(prog, &chars);
+        self.chars = chars;
+        found
+    }
+}
+
 /// Reusable VM scratch space for one program.
 pub struct PikeVm<'p> {
     prog: &'p Program,
-    seen: SparseSet,
+    scratch: Scratch,
 }
 
 fn is_word_char(c: char) -> bool {
@@ -78,7 +170,7 @@ fn assertion_holds(kind: AssertKind, chars: &[char], pos: usize) -> bool {
 impl<'p> PikeVm<'p> {
     /// Creates a VM for `prog`.
     pub fn new(prog: &'p Program) -> Self {
-        PikeVm { prog, seen: SparseSet::new(prog.len()) }
+        PikeVm { prog, scratch: Scratch::new() }
     }
 
     /// Reports whether the pattern matches anywhere in `chars`
@@ -86,46 +178,19 @@ impl<'p> PikeVm<'p> {
     ///
     /// Runs in O(`chars.len()` × program size).
     pub fn is_match(&mut self, chars: &[char]) -> bool {
-        let mut current: Vec<usize> = Vec::with_capacity(self.prog.len());
-        let mut next: Vec<usize> = Vec::with_capacity(self.prog.len());
-        for pos in 0..=chars.len() {
-            self.seen.clear();
-            // Expand threads carried over from the previous step, then
-            // re-seed the start state: unanchored search.
-            let carried = std::mem::take(&mut current);
-            for pc in carried {
-                if self.add_thread(pc, chars, pos, &mut current) {
-                    return true;
-                }
-            }
-            if self.add_thread(self.prog.start, chars, pos, &mut current) {
-                return true;
-            }
-            if pos == chars.len() {
-                break;
-            }
-            let c = chars[pos];
-            next.clear();
-            for &pc in &current {
-                if let Inst::Char { cond, next: nxt } = &self.prog.insts[pc] {
-                    if cond.matches(c) {
-                        next.push(*nxt);
-                    }
-                }
-            }
-            std::mem::swap(&mut current, &mut next);
-        }
-        false
+        self.scratch.is_match(self.prog, chars)
     }
 
     /// Anchored match attempt at char position `start`; returns the longest
     /// match end, if any.
     pub fn longest_match_at(&mut self, chars: &[char], start: usize) -> Option<usize> {
+        let seen = &mut self.scratch.seen;
+        seen.ensure(self.prog.len());
         let mut next: Vec<usize> = Vec::with_capacity(self.prog.len());
         let mut best: Option<usize> = None;
-        self.seen.clear();
+        seen.clear();
         let mut current: Vec<usize> = Vec::with_capacity(self.prog.len());
-        if self.add_thread(self.prog.start, chars, start, &mut current) {
+        if add_thread(self.prog, seen, self.prog.start, chars, start, &mut current) {
             best = Some(start);
         }
         for pos in start..chars.len() {
@@ -134,7 +199,7 @@ impl<'p> PikeVm<'p> {
             }
             let c = chars[pos];
             next.clear();
-            self.seen.clear();
+            seen.clear();
             let mut reached_match = false;
             let advanced: Vec<usize> = current
                 .iter()
@@ -144,7 +209,7 @@ impl<'p> PikeVm<'p> {
                 })
                 .collect();
             for pc in advanced {
-                if self.add_thread(pc, chars, pos + 1, &mut next) {
+                if add_thread(self.prog, seen, pc, chars, pos + 1, &mut next) {
                     reached_match = true;
                 }
             }
@@ -155,36 +220,38 @@ impl<'p> PikeVm<'p> {
         }
         best
     }
+}
 
-    /// Follows epsilon transitions from `pc`, pushing consuming instructions
-    /// onto `list`. Returns `true` if a `Match` instruction is reachable.
-    fn add_thread(&mut self, pc: usize, chars: &[char], pos: usize, list: &mut Vec<usize>) -> bool {
-        if !self.seen.insert(pc) {
-            return false;
+/// Follows epsilon transitions from `pc`, pushing consuming instructions
+/// onto `list`. Returns `true` if a `Match` instruction is reachable.
+fn add_thread(
+    prog: &Program,
+    seen: &mut SparseSet,
+    pc: usize,
+    chars: &[char],
+    pos: usize,
+    list: &mut Vec<usize>,
+) -> bool {
+    if !seen.insert(pc) {
+        return false;
+    }
+    match &prog.insts[pc] {
+        Inst::Char { .. } => {
+            list.push(pc);
+            false
         }
-        match &self.prog.insts[pc] {
-            Inst::Char { .. } => {
-                list.push(pc);
+        Inst::Match => true,
+        Inst::Jmp(next) => add_thread(prog, seen, *next, chars, pos, list),
+        Inst::Split { preferred, alternate } => {
+            let hit_a = add_thread(prog, seen, *preferred, chars, pos, list);
+            let hit_b = add_thread(prog, seen, *alternate, chars, pos, list);
+            hit_a || hit_b
+        }
+        Inst::Assert { kind, next } => {
+            if assertion_holds(*kind, chars, pos) {
+                add_thread(prog, seen, *next, chars, pos, list)
+            } else {
                 false
-            }
-            Inst::Match => true,
-            Inst::Jmp(next) => {
-                let next = *next;
-                self.add_thread(next, chars, pos, list)
-            }
-            Inst::Split { preferred, alternate } => {
-                let (a, b) = (*preferred, *alternate);
-                let hit_a = self.add_thread(a, chars, pos, list);
-                let hit_b = self.add_thread(b, chars, pos, list);
-                hit_a || hit_b
-            }
-            Inst::Assert { kind, next } => {
-                let (kind, next) = (*kind, *next);
-                if assertion_holds(kind, chars, pos) {
-                    self.add_thread(next, chars, pos, list)
-                } else {
-                    false
-                }
             }
         }
     }

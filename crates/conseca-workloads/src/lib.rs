@@ -1,6 +1,6 @@
 //! Evaluation workloads for the Conseca reproduction (§5 + Appendix A).
 //!
-//! - [`env`]: the deterministic 10-user world (files, logs, mailboxes,
+//! - [`mod@env`]: the deterministic 10-user world (files, logs, mailboxes,
 //!   attachments) and the §5 attack email;
 //! - [`tasks`]: the 20 Table-A tasks — descriptions, plan programs, goal
 //!   checkers — plus the §5 categorize scenario;
@@ -24,8 +24,8 @@ pub use ablation::{
 pub use env::{Env, CURRENT_USER, DOMAIN, INJECTED_BODY, USERS};
 pub use runner::{
     denies_inappropriate, figure3, golden_examples, injection_task_ids, mode_index, run_grid,
-    run_injection, run_task_once, screen_calls, table_a, Figure3Row, Grid, InjectionOutcome,
-    RunOutcome, TableARow,
+    run_injection, run_task_once, run_task_once_engine, screen_calls, screen_calls_compiled,
+    table_a, Figure3Row, Grid, InjectionOutcome, RunOutcome, TableARow,
 };
 pub use script::{DeniedBehavior, Script, ScriptCtx, StepResult};
 pub use tasks::{

@@ -1,10 +1,12 @@
 //! Experiment harnesses: Figure 3, Table A, and the §5 injection study.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use conseca_agent::{Agent, AgentConfig, PolicyMode, TaskReport};
 use conseca_core::pipeline::{PipelineBuilder, Verdict};
-use conseca_core::{GoldenExample, Policy, PolicyGenerator};
+use conseca_core::{CacheKey, Decision, GoldenExample, Policy, PolicyGenerator};
+use conseca_engine::{Engine, EngineKey};
 use conseca_llm::TemplatePolicyModel;
 use conseca_shell::{default_registry, ApiCall};
 
@@ -36,6 +38,55 @@ pub fn screen_calls(policy: &Policy, calls: &[ApiCall]) -> Vec<Verdict> {
     PipelineBuilder::new().policy(policy).build().check_all(calls)
 }
 
+/// A full-content identity for an ad-hoc screening policy.
+///
+/// [`Policy::fingerprint`] is deliberately *semantic* — it ignores
+/// rationales and uses no field delimiters — so two policies with equal
+/// verdicts but different rationale text share a fingerprint. Screening
+/// results include rationales, so the store key here must hash every
+/// field, delimiter-separated, to honour the no-collision contract.
+fn screening_identity(policy: &Policy) -> u64 {
+    let mut text = String::new();
+    text.push_str(&policy.task);
+    text.push('\u{1f}');
+    text.push_str(&policy.default_rationale);
+    for (api, entry) in &policy.entries {
+        text.push('\u{1f}');
+        text.push_str(api);
+        text.push('\u{1f}');
+        text.push(if entry.can_execute { '+' } else { '-' });
+        for constraint in &entry.arg_constraints {
+            text.push('\u{1f}');
+            text.push_str(&constraint.to_string());
+        }
+        text.push('\u{1f}');
+        text.push_str(&entry.rationale);
+    }
+    conseca_core::fnv1a(text.as_bytes())
+}
+
+/// [`screen_calls`] through a shared [`Engine`]: the policy is compiled
+/// into (or served from) the engine's store — keyed by a full-content
+/// hash of the policy, so distinct ad-hoc policies never collide — and
+/// the batch is judged against the shared snapshot, billed to `tenant`.
+/// Decisions are identical to [`screen_calls`]'s verdicts; repeated
+/// batches against the same policy skip recompilation entirely.
+pub fn screen_calls_compiled(
+    engine: &Engine,
+    tenant: &str,
+    policy: &Policy,
+    calls: &[ApiCall],
+) -> Vec<Decision> {
+    let key = EngineKey::from_cache_key(
+        tenant,
+        CacheKey::from_fingerprints(screening_identity(policy), 0),
+    );
+    let (compiled, _hit) = engine
+        .store()
+        .get_or_insert_with(key, || Arc::new(conseca_engine::CompiledPolicy::compile(policy)));
+    engine.check_all_compiled(tenant, &compiled, calls)
+}
+
 /// Runs one (task, trial, mode) cell and scores it.
 pub struct RunOutcome {
     /// The agent's report.
@@ -46,6 +97,31 @@ pub struct RunOutcome {
 
 /// Executes one task in a fresh environment.
 pub fn run_task_once(task_id: usize, trial: usize, mode: PolicyMode, inject: bool) -> RunOutcome {
+    run_task_once_inner(task_id, trial, mode, inject, None)
+}
+
+/// [`run_task_once`] with enforcement served by a shared [`Engine`]: the
+/// agent compiles its policy into the engine's store (or reuses the
+/// cached snapshot from an earlier trial) and checks every action through
+/// the compiled layer. Outcomes are identical to [`run_task_once`].
+pub fn run_task_once_engine(
+    task_id: usize,
+    trial: usize,
+    mode: PolicyMode,
+    inject: bool,
+    engine: &Arc<Engine>,
+    tenant: &str,
+) -> RunOutcome {
+    run_task_once_inner(task_id, trial, mode, inject, Some((engine, tenant)))
+}
+
+fn run_task_once_inner(
+    task_id: usize,
+    trial: usize,
+    mode: PolicyMode,
+    inject: bool,
+    engine: Option<(&Arc<Engine>, &str)>,
+) -> RunOutcome {
     let env = Env::build_with(inject);
     let registry = default_registry();
     let generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
@@ -58,6 +134,9 @@ pub fn run_task_once(task_id: usize, trial: usize, mode: PolicyMode, inject: boo
         generator,
         AgentConfig::for_mode(mode),
     );
+    if let Some((engine, tenant)) = engine {
+        agent = agent.with_engine(Arc::clone(engine), tenant);
+    }
     let description = task_description(task_id);
     let planner = make_planner(task_id, trial);
     let report = agent.run_task(description, planner);
@@ -232,6 +311,88 @@ mod tests {
             assert_eq!(verdict.violation, decision.violation, "{}", call.raw);
         }
         assert_eq!(verdicts[1].decided_by, conseca_core::pipeline::LAYER_POLICY);
+    }
+
+    #[test]
+    fn screen_calls_compiled_matches_interpreted_screening() {
+        use conseca_core::PolicyEntry;
+        let engine = Engine::default();
+        let mut policy = Policy::new("probe policy");
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![conseca_core::ArgConstraint::regex("^alice$").unwrap()],
+                "only alice sends",
+            ),
+        );
+        let calls = vec![
+            ApiCall::new("email", "send_email", vec!["alice".into()]),
+            ApiCall::new("email", "send_email", vec!["eve".into()]),
+            ApiCall::new("fs", "rm", vec!["/x".into()]),
+        ];
+        let compiled = screen_calls_compiled(&engine, "probe", &policy, &calls);
+        let interpreted = screen_calls(&policy, &calls);
+        for ((decision, verdict), call) in compiled.iter().zip(&interpreted).zip(&calls) {
+            assert_eq!(decision.allowed, verdict.allowed, "{}", call.raw);
+            assert_eq!(decision.violation, verdict.violation, "{}", call.raw);
+            assert_eq!(decision.rationale, verdict.rationale, "{}", call.raw);
+        }
+        // Second batch reuses the compiled snapshot.
+        screen_calls_compiled(&engine, "probe", &policy, &calls);
+        assert_eq!(engine.store().hits(), 1);
+        assert_eq!(engine.tenant_counters("probe").checks, 6);
+        // A different policy with the same tenant gets its own entry.
+        let other = Policy::new("another probe policy");
+        screen_calls_compiled(&engine, "probe", &other, &calls);
+        assert_eq!(engine.store().len(), 2);
+    }
+
+    #[test]
+    fn screening_distinguishes_rationale_only_differences() {
+        // Policy::fingerprint is rationale-blind by design, so two
+        // policies with equal verdicts but different rationales share a
+        // fingerprint — the screening key must still separate them, or a
+        // batch would be served another policy's rationale text.
+        use conseca_core::PolicyEntry;
+        let mut a = Policy::new("t");
+        a.set("ls", PolicyEntry::allow_any("rationale A"));
+        let mut b = Policy::new("t");
+        b.set("ls", PolicyEntry::allow_any("rationale B"));
+        assert_eq!(a.fingerprint(), b.fingerprint(), "premise: semantic fingerprints collide");
+        let engine = Engine::default();
+        let calls = vec![ApiCall::new("fs", "ls", vec!["/".into()])];
+        let first = screen_calls_compiled(&engine, "probe", &a, &calls);
+        let second = screen_calls_compiled(&engine, "probe", &b, &calls);
+        assert_eq!(first[0].rationale, "rationale A");
+        assert_eq!(second[0].rationale, "rationale B");
+        assert_eq!(engine.store().len(), 2);
+    }
+
+    #[test]
+    fn engine_backed_runs_match_direct_runs() {
+        let engine = Arc::new(Engine::default());
+        for mode in [PolicyMode::Conseca, PolicyMode::StaticPermissive] {
+            for task_id in [1usize, 4, 13] {
+                let direct = run_task_once(task_id, 0, mode, false);
+                let engined = run_task_once_engine(task_id, 0, mode, false, &engine, "eval");
+                assert_eq!(
+                    engined.completed, direct.completed,
+                    "task {task_id} {mode:?} completion"
+                );
+                assert_eq!(
+                    engined.report.denials, direct.report.denials,
+                    "task {task_id} {mode:?} denials"
+                );
+                assert_eq!(
+                    engined.report.executed, direct.report.executed,
+                    "task {task_id} {mode:?} executions"
+                );
+            }
+        }
+        // The second trial of each (task, mode) cell is a store hit.
+        let before = engine.store().hits();
+        run_task_once_engine(1, 0, PolicyMode::Conseca, false, &engine, "eval");
+        assert!(engine.store().hits() > before, "repeat trial must hit the store");
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! - [`conseca_core`] — the paper's contribution: contextual policies,
 //!   deterministic enforcement, generation, caching, auditing, trajectory
 //!   policies;
+//! - [`conseca_engine`] — the concurrent multi-tenant enforcement engine:
+//!   compiled policies, the sharded policy store, per-tenant stats;
 //! - [`conseca_regex`] — the linear-time constraint regex engine;
 //! - [`conseca_vfs`] / [`conseca_mail`] — the simulated machine;
 //! - [`conseca_shell`] — the tool command language and executor;
@@ -23,6 +25,7 @@
 
 pub use conseca_agent;
 pub use conseca_core;
+pub use conseca_engine;
 pub use conseca_llm;
 pub use conseca_mail;
 pub use conseca_regex;

@@ -22,7 +22,7 @@ fn every_generated_policy_roundtrips_through_the_block_format() {
         let text = render_policy(&policy);
         let parsed = parse_policy(&text)
             .unwrap_or_else(|e| panic!("task {}: parse failed: {e}\n{text}", task.id));
-        assert_eq!(parsed, policy, "task {} round-trip mismatch", task.id);
+        assert_eq!(parsed, *policy, "task {} round-trip mismatch", task.id);
     }
 }
 
