@@ -1,0 +1,122 @@
+//! Offline stand-in for the `futures` crate.
+//!
+//! The serving layer (`conseca-serve`) needs exactly four async building
+//! blocks, and the build environment has no registry access, so this crate
+//! provides them over `std` alone:
+//!
+//! - [`block_on`] — drive a future to completion on the current thread
+//!   (thread-park waker, like `futures::executor::block_on`);
+//! - [`executor::ThreadPool`] — a multi-threaded task executor whose
+//!   [`spawn`](executor::ThreadPool::spawn) returns a
+//!   [`JoinHandle`] (the shape of
+//!   `SpawnExt::spawn_with_handle`) and which shuts down gracefully;
+//! - [`channel::mpsc`] — an unbounded multi-producer channel with an
+//!   async `recv` and a non-blocking `try_recv`;
+//! - [`channel::oneshot`] — a single-value channel whose receiver is a
+//!   future and which resolves to `Canceled` when the sender is dropped.
+//!
+//! Deviations from the real crate are deliberate and documented inline:
+//! no `Stream` trait (the receivers expose inherent methods instead), no
+//! `select!`, and `JoinHandle` resolves to `None` — rather than
+//! panicking — when its task was dropped by a pool shutdown.
+
+use std::future::Future;
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::{self, Thread};
+
+pub mod channel;
+pub mod executor;
+
+pub use executor::{JoinHandle, ThreadPool};
+
+/// Wakes a parked thread; the waker behind [`block_on`].
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Runs a future to completion on the calling thread, parking between
+/// polls. Spurious unparks are tolerated (the loop simply re-polls).
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let waker = Waker::from(Arc::new(ThreadWaker(thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    let mut future = std::pin::pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn block_on_ready_future() {
+        assert_eq!(block_on(async { 40 + 2 }), 42);
+    }
+
+    #[test]
+    fn block_on_crosses_threads() {
+        let (tx, rx) = channel::oneshot::channel();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tx.send(7u32).unwrap();
+        });
+        assert_eq!(block_on(rx), Ok(7));
+    }
+
+    #[test]
+    fn pool_runs_tasks_and_joins() {
+        let pool = ThreadPool::new(2);
+        let handles: Vec<_> = (0..8).map(|i| pool.spawn(async move { i * i })).collect();
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pool_tasks_communicate_over_channels() {
+        let pool = ThreadPool::new(2);
+        let (tx, mut rx) = channel::mpsc::unbounded();
+        let consumer = pool.spawn(async move {
+            let mut total = 0u64;
+            while let Some(v) = rx.recv().await {
+                total += v;
+            }
+            total
+        });
+        let producer = pool.spawn(async move {
+            for v in 1..=10u64 {
+                tx.send(v).unwrap();
+            }
+            // tx drops here, closing the channel.
+        });
+        assert_eq!(producer.join(), Some(()));
+        assert_eq!(consumer.join(), Some(55));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_cancels_parked_tasks() {
+        let pool = ThreadPool::new(1);
+        // A task that waits on a channel nobody ever sends to: it parks
+        // forever, and shutdown must not hang on it.
+        let (_tx, rx) = channel::oneshot::channel::<u8>();
+        let handle = pool.spawn(async move { rx.await.ok() });
+        pool.shutdown();
+        // The task never completed; its handle resolves to None (dropped)
+        // or Some(None) (polled once, then canceled when the state drops).
+        match handle.join() {
+            None | Some(None) => {}
+            Some(Some(v)) => panic!("value {v} appeared from nowhere"),
+        }
+    }
+}

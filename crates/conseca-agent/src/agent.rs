@@ -21,6 +21,7 @@ use conseca_core::{
 use conseca_engine::{CompiledPolicy, Engine};
 use conseca_llm::{ObsKind, Observation, PlannerAction, PlannerState, ScriptedPlanner};
 use conseca_mail::MailSystem;
+use conseca_serve::{Client, RemoteSessionLayer};
 use conseca_shell::{parse_command, Executor, OutputTrust, ToolRegistry};
 use conseca_vfs::SharedVfs;
 
@@ -98,6 +99,27 @@ pub struct Agent<M: PolicyModel> {
     /// policies and checks to; `None` keeps the in-process interpreted
     /// path.
     engine: Option<(Arc<Engine>, String)>,
+    /// Remote policy-decision server connection plus tenant; `None`
+    /// keeps enforcement in-process. When both an engine and a remote
+    /// connection are attached, the in-process engine wins.
+    remote: Option<(Client, String)>,
+}
+
+/// Which enforcement backend [`Agent::resolve_policy`] produced for a
+/// task — it decides what the session's policy layer is built from.
+enum ResolvedBackend {
+    /// The in-process interpreted policy (the pipeline borrows it).
+    Interpreted,
+    /// A compiled snapshot from the shared [`Engine`]'s store.
+    Compiled(Arc<CompiledPolicy>),
+    /// A remote policy-decision server; per-action checks go over the
+    /// wire, keyed by the folded store task and this context.
+    Remote {
+        /// The store task the policy was fetched/installed under.
+        store_task: String,
+        /// The context the policy is keyed by.
+        context: TrustedContext,
+    },
 }
 
 impl<M: PolicyModel> Agent<M> {
@@ -121,6 +143,7 @@ impl<M: PolicyModel> Agent<M> {
             confirmation: None,
             audit: AuditLog::new(),
             engine: None,
+            remote: None,
         }
     }
 
@@ -138,6 +161,20 @@ impl<M: PolicyModel> Agent<M> {
     /// engine's differential tests pin that down.
     pub fn with_engine(mut self, engine: Arc<Engine>, tenant: &str) -> Self {
         self.engine = Some((engine, tenant.to_owned()));
+        self
+    }
+
+    /// Routes this agent's policies through a remote policy-decision
+    /// server (`conseca-serve`) as `tenant`: policies are fetched from —
+    /// or generated locally and installed into — the server's store, and
+    /// every per-action check is a wire round-trip through a
+    /// [`RemoteSessionLayer`]. Verdicts are identical to the in-process
+    /// path (the serving differential tests pin that down). Enforcement
+    /// is fail-closed: a transport failure mid-task panics rather than
+    /// silently approving actions. If an in-process engine is also
+    /// attached via [`with_engine`](Self::with_engine), it wins.
+    pub fn with_remote_engine(mut self, client: Client, tenant: &str) -> Self {
+        self.remote = Some((client, tenant.to_owned()));
         self
     }
 
@@ -174,39 +211,49 @@ impl<M: PolicyModel> Agent<M> {
         }
     }
 
+    /// The context a store key carries under the configured mode. Static
+    /// policies depend only on the registry, but the key still carries a
+    /// context fingerprint; the user-only context keeps those entries
+    /// per-user without over-keying.
+    fn policy_context(&self) -> TrustedContext {
+        match self.config.policy_mode {
+            PolicyMode::Conseca => {
+                build_trusted_context(&self.vfs, &self.mail, self.executor.user())
+            }
+            _ => TrustedContext::for_user(self.executor.user()),
+        }
+    }
+
+    /// The store key must identify the policy *artifact*, which depends
+    /// on more than the task text: the mode, the tool registry the
+    /// static baselines enumerate, and (for Conseca) the generator's
+    /// model + examples + docs. Fold them all into the keyed task so
+    /// agents sharing a tenant never serve each other's snapshots across
+    /// any configuration difference (U+001F cannot occur in user task
+    /// text). Shared by the engine-backed and served resolution paths, so
+    /// the two stores can never key the same artifact differently.
+    fn keyed_task(&self, task: &str) -> String {
+        format!(
+            "{}\u{1f}{:016x}\u{1f}{:016x}\u{1f}{task}",
+            self.config.policy_mode.label(),
+            conseca_core::fnv1a(self.registry.documentation().as_bytes()),
+            self.generator.config_fingerprint(),
+        )
+    }
+
     /// Resolves the policy for a task under the configured mode. With an
     /// engine attached, the policy is additionally compiled into (or
-    /// served from) the shared store, and the compiled snapshot is
-    /// returned for the pipeline's policy layer.
-    fn resolve_policy(
-        &mut self,
-        task: &str,
-    ) -> (Arc<Policy>, GenerationStats, Option<Arc<CompiledPolicy>>) {
+    /// served from) the shared store; with a remote server attached, it
+    /// is fetched from (or generated and installed into) the server's
+    /// store. The returned backend tells `run_task` what to build the
+    /// session's policy layer from.
+    fn resolve_policy(&mut self, task: &str) -> (Arc<Policy>, GenerationStats, ResolvedBackend) {
         let none_stats = GenerationStats { cache_hit: false, prompt_tokens: 0, output_tokens: 0 };
+        let hit_stats = GenerationStats { cache_hit: true, prompt_tokens: 0, output_tokens: 0 };
         if let Some((engine, tenant)) = self.engine.clone() {
-            // Static policies depend only on the registry, but the store
-            // key still carries a context fingerprint; the user-only
-            // context keeps those entries per-user without over-keying.
-            let ctx = match self.config.policy_mode {
-                PolicyMode::Conseca => {
-                    build_trusted_context(&self.vfs, &self.mail, self.executor.user())
-                }
-                _ => TrustedContext::for_user(self.executor.user()),
-            };
+            let ctx = self.policy_context();
+            let store_task = self.keyed_task(task);
             let mode = self.config.policy_mode;
-            // The store key must identify the policy *artifact*, which
-            // depends on more than the task text: the mode, the tool
-            // registry the static baselines enumerate, and (for Conseca)
-            // the generator's model + examples + docs. Fold them all into
-            // the keyed task so agents sharing a tenant never serve each
-            // other's snapshots across any configuration difference
-            // (U+001F cannot occur in user task text).
-            let store_task = format!(
-                "{}\u{1f}{:016x}\u{1f}{:016x}\u{1f}{task}",
-                mode.label(),
-                conseca_core::fnv1a(self.registry.documentation().as_bytes()),
-                self.generator.config_fingerprint(),
-            );
             let registry = &self.registry;
             let generator = &mut self.generator;
             let mut generated: Option<GenerationStats> = None;
@@ -220,26 +267,50 @@ impl<M: PolicyModel> Agent<M> {
                     }
                 }
             });
-            let generation = if store_hit {
-                GenerationStats { cache_hit: true, prompt_tokens: 0, output_tokens: 0 }
-            } else {
-                generated.unwrap_or(none_stats)
+            let generation = if store_hit { hit_stats } else { generated.unwrap_or(none_stats) };
+            return (compiled.source_handle(), generation, ResolvedBackend::Compiled(compiled));
+        }
+        if self.remote.is_some() {
+            let ctx = self.policy_context();
+            let store_task = self.keyed_task(task);
+            let mode = self.config.policy_mode;
+            // Split the borrows: the client is driven while the generator
+            // may also run.
+            let Agent { remote, generator, registry, .. } = self;
+            let (client, tenant) = remote.as_mut().expect("checked above");
+            let fetched = client
+                .fetch_policy(tenant, &store_task, &ctx)
+                .expect("remote policy resolution transport failed (fail-closed)");
+            let (policy, generation) = match fetched {
+                // The server already holds the policy: like an engine
+                // store hit, generation is skipped entirely.
+                Some(policy) => (Arc::new(policy), hit_stats),
+                None => {
+                    let (policy, stats) = match Self::static_policy(mode, registry) {
+                        Some(policy) => (Arc::new(policy), none_stats),
+                        None => generator.set_policy(task, &ctx),
+                    };
+                    client
+                        .install(tenant, &store_task, &ctx, &policy)
+                        .expect("remote policy install transport failed (fail-closed)");
+                    (policy, stats)
+                }
             };
-            return (compiled.source_handle(), generation, Some(compiled));
+            return (policy, generation, ResolvedBackend::Remote { store_task, context: ctx });
         }
         match Self::static_policy(self.config.policy_mode, &self.registry) {
-            Some(policy) => (Arc::new(policy), none_stats, None),
+            Some(policy) => (Arc::new(policy), none_stats, ResolvedBackend::Interpreted),
             None => {
                 let ctx = build_trusted_context(&self.vfs, &self.mail, self.executor.user());
                 let (policy, stats) = self.generator.set_policy(task, &ctx);
-                (policy, stats, None)
+                (policy, stats, ResolvedBackend::Interpreted)
             }
         }
     }
 
     /// Runs one task to completion, stall, or budget exhaustion.
     pub fn run_task(&mut self, task: &str, mut planner: ScriptedPlanner) -> TaskReport {
-        let (policy, generation, compiled) = self.resolve_policy(task);
+        let (policy, generation, backend) = self.resolve_policy(task);
         let model = self.generator.model_name().to_owned();
 
         let mut state = PlannerState {
@@ -270,11 +341,24 @@ impl<M: PolicyModel> Agent<M> {
         // is attached, and borrows the interpreted policy otherwise.
         let mut builder =
             PipelineBuilder::new().max_consecutive_denials(self.config.max_consecutive_denials);
-        builder = match (&compiled, &self.engine) {
-            (Some(snapshot), Some((engine, tenant))) => {
-                builder.layer(engine.session_layer(tenant, Arc::clone(snapshot)))
+        builder = match backend {
+            ResolvedBackend::Compiled(snapshot) => {
+                let (engine, tenant) =
+                    self.engine.as_ref().expect("compiled backend implies an engine");
+                builder.layer(engine.session_layer(tenant, snapshot))
             }
-            _ => builder.policy(&policy),
+            ResolvedBackend::Remote { store_task, context } => {
+                let (client, tenant) =
+                    self.remote.as_mut().expect("remote backend implies a client");
+                builder.layer(RemoteSessionLayer::new(
+                    client,
+                    tenant,
+                    &store_task,
+                    context,
+                    Arc::clone(&policy),
+                ))
+            }
+            ResolvedBackend::Interpreted => builder.policy(&policy),
         };
         if let Some(tp) = self.config.trajectory.clone() {
             builder = builder.trajectory(tp);
@@ -632,6 +716,65 @@ mod tests {
             let counters = engine.tenant_counters("acme");
             assert_eq!(counters.checks, report.proposals as u64, "{mode:?}");
         }
+    }
+
+    #[test]
+    fn served_agent_matches_in_process_enforcement() {
+        // The same tasks, enforced through a remote policy-decision
+        // server: reports must agree with the in-process baseline on
+        // every enforcement-visible outcome in every policy mode —
+        // including the round-tripped policy itself.
+        for mode in PolicyMode::all() {
+            let server = conseca_serve::Server::start(
+                Arc::new(conseca_engine::Engine::default()),
+                conseca_serve::ServeConfig::default(),
+            );
+            let cmds = vec![
+                "ls /home/alice",
+                "write_file /home/alice/out.txt 'x'",
+                "rm /home/alice/out.txt",
+                "cat /home/alice/notes.txt",
+            ];
+            let baseline = setup(mode).run_task("do some file work", simple_planner(cmds.clone()));
+            let client = server.connect().expect("handshake");
+            let mut served = setup(mode).with_remote_engine(client, "acme");
+            let report = served.run_task("do some file work", simple_planner(cmds));
+            assert_eq!(report.executed, baseline.executed, "{mode:?}");
+            assert_eq!(report.denials, baseline.denials, "{mode:?}");
+            assert_eq!(report.denied_commands, baseline.denied_commands, "{mode:?}");
+            assert_eq!(report.claimed_complete, baseline.claimed_complete, "{mode:?}");
+            assert_eq!(report.policy, baseline.policy, "{mode:?}");
+            // Every proposed action was billed to the tenant server-side.
+            let counters = server.engine().tenant_counters("acme");
+            assert_eq!(counters.checks, report.proposals as u64, "{mode:?}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn served_agent_hits_the_server_store_on_repeat_tasks() {
+        let server = conseca_serve::Server::start(
+            Arc::new(conseca_engine::Engine::default()),
+            conseca_serve::ServeConfig::default(),
+        );
+        let task = "do some file work";
+        let mut first =
+            setup(PolicyMode::Conseca).with_remote_engine(server.connect().unwrap(), "acme");
+        let r1 = first.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(!r1.generation.cache_hit, "first resolution must generate");
+        // A different agent, a different connection, the same server: the
+        // installed policy is fetched back instead of regenerated.
+        let mut second =
+            setup(PolicyMode::Conseca).with_remote_engine(server.connect().unwrap(), "acme");
+        let r2 = second.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(r2.generation.cache_hit, "second resolution must fetch from the server");
+        assert_eq!(r1.policy, r2.policy, "fetched policy must round-trip exactly");
+        // Tenants stay isolated across the wire too.
+        let mut rival =
+            setup(PolicyMode::Conseca).with_remote_engine(server.connect().unwrap(), "rival");
+        let r3 = rival.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(!r3.generation.cache_hit, "tenants must not share policies");
+        server.shutdown();
     }
 
     #[test]

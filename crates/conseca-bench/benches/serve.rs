@@ -1,0 +1,92 @@
+//! Benchmarks served policy decisions against in-process checks: what a
+//! wire round-trip costs on top of `Engine::check`, how batching
+//! amortises it, and the duplex-vs-TCP transport gap. Measured numbers
+//! are recorded in `BENCH_serve.json` at the repository root, next to
+//! the in-process baseline in `BENCH_engine.json`.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrustedContext};
+use conseca_engine::Engine;
+use conseca_serve::{Client, ServeConfig, Server};
+use conseca_shell::ApiCall;
+
+/// The paper's §4.1 policy, same as the `engine` bench uses.
+fn regex_policy() -> Policy {
+    let mut p = Policy::new("respond to urgent work emails");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::regex("alice").unwrap(),
+                ArgConstraint::regex(r"^.*@work\.com$").unwrap(),
+                ArgConstraint::regex(".*urgent.*").unwrap(),
+            ],
+            "urgent responses from alice to work.com",
+        ),
+    );
+    p.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+    p
+}
+
+fn send_call(i: usize) -> ApiCall {
+    ApiCall::new(
+        "email",
+        "send_email",
+        vec![
+            "alice".into(),
+            "bob@work.com".into(),
+            format!("urgent: rack {i} is down"),
+            "On it.".into(),
+        ],
+    )
+}
+
+fn bench_round_trip(c: &mut Criterion) {
+    let engine = Arc::new(Engine::default());
+    let ctx = TrustedContext::for_user("alice");
+    let policy = regex_policy();
+    let task = policy.task.clone();
+    engine.install("acme", &task, &ctx, &policy);
+    let call = send_call(4);
+
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().expect("listener").to_string();
+    let mut duplex_client = server.connect().expect("in-process connect");
+    let mut tcp_client = Client::connect(&addr).expect("tcp connect");
+
+    let mut group = c.benchmark_group("serve_round_trip");
+    group.bench_function("engine_check_in_process", |b| {
+        b.iter(|| engine.check(black_box("acme"), black_box(&task), &ctx, black_box(&call)))
+    });
+    group.bench_function("served_check_duplex", |b| {
+        b.iter(|| duplex_client.check("acme", &task, &ctx, black_box(&call)).unwrap())
+    });
+    group.bench_function("served_check_tcp", |b| {
+        b.iter(|| tcp_client.check("acme", &task, &ctx, black_box(&call)).unwrap())
+    });
+    group.finish();
+
+    // Batching amortises the round-trip: one frame carries 16 calls, the
+    // server does one store lookup for all of them. Reported time is per
+    // batch; per-check cost = reported / 16.
+    let batch: Vec<ApiCall> = (0..16).map(send_call).collect();
+    let mut group = c.benchmark_group("serve_batch_16");
+    group.bench_function("engine_check_all_in_process", |b| {
+        b.iter(|| engine.check_all(black_box("acme"), black_box(&task), &ctx, black_box(&batch)))
+    });
+    group.bench_function("served_check_all_duplex", |b| {
+        b.iter(|| duplex_client.check_all("acme", &task, &ctx, black_box(&batch)).unwrap())
+    });
+    group.finish();
+
+    tcp_client.close();
+    drop(duplex_client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_round_trip);
+criterion_main!(benches);

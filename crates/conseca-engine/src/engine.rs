@@ -365,6 +365,16 @@ impl Engine {
         }
     }
 
+    /// Drops every policy installed for `tenant` from the store,
+    /// returning how many entries were removed. The tenant's counters are
+    /// deliberately kept — a flush invalidates *policies* (e.g. after the
+    /// trusted context changes), not the operator's view of load. Checks
+    /// issued after a flush see a store miss until a policy is
+    /// re-installed; in-flight holders of old snapshots are unaffected.
+    pub fn flush_tenant(&self, tenant: &str) -> usize {
+        self.store.flush_tenant(tenant)
+    }
+
     /// A tenant's counters (zeros for a tenant the engine has never seen).
     pub fn tenant_counters(&self, tenant: &str) -> TenantCounters {
         self.tenants.read().get(tenant).map(|s| s.snapshot()).unwrap_or_default()
@@ -500,6 +510,27 @@ mod tests {
         assert_eq!(acme.checks, 51);
         assert_eq!(globex.checks, 50);
         assert!(report.checks_per_second() > 0.0);
+    }
+
+    #[test]
+    fn flush_tenant_invalidates_policies_but_keeps_counters() {
+        let engine = Engine::default();
+        let policy = send_policy();
+        let task = policy.task.clone();
+        engine.install("acme", &task, &ctx(), &policy);
+        engine.install("globex", &task, &ctx(), &policy);
+        engine.check("acme", &task, &ctx(), &call("send_email", &["alice"])).unwrap();
+        assert_eq!(engine.flush_tenant("acme"), 1);
+        // The policy is gone for acme, present for globex.
+        assert!(engine.check("acme", &task, &ctx(), &call("send_email", &["alice"])).is_none());
+        assert!(engine.check("globex", &task, &ctx(), &call("send_email", &["alice"])).is_some());
+        // Counters survive the flush: 1 check before + hit, then a miss.
+        let counters = engine.tenant_counters("acme");
+        assert_eq!(counters.checks, 1);
+        assert_eq!((counters.hits, counters.misses), (1, 1));
+        // Re-install restores service.
+        engine.install("acme", &task, &ctx(), &policy);
+        assert!(engine.check("acme", &task, &ctx(), &call("send_email", &["alice"])).is_some());
     }
 
     #[test]

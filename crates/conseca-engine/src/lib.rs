@@ -29,7 +29,11 @@
 //! The pipeline stays the one reference monitor: [`CompiledPolicyLayer`]
 //! drops a compiled policy into any
 //! [`EnforcementSession`](conseca_core::pipeline::EnforcementSession) as
-//! the policy layer, with identical verdicts and provenance.
+//! the policy layer, with identical verdicts and provenance. To serve
+//! decisions *across* processes, `conseca-serve` wraps an [`Engine`] in
+//! an async front-end speaking the wire protocol specified in
+//! `docs/serving.md` (see also `docs/engine.md` for when to reach for
+//! which layer).
 //!
 //! # Examples
 //!
@@ -57,6 +61,36 @@
 //!     .expect("policy was installed");
 //! assert!(decision.allowed);
 //! assert_eq!(engine.tenant_counters("acme").allowed, 1);
+//! ```
+//!
+//! Batched checks share one store lookup, and a tenant's policies can be
+//! invalidated wholesale (the hot-reload flush):
+//!
+//! ```
+//! use conseca_core::{Policy, PolicyEntry, TrustedContext};
+//! use conseca_engine::Engine;
+//! use conseca_shell::ApiCall;
+//!
+//! let engine = Engine::default();
+//! let ctx = TrustedContext::for_user("alice");
+//! let mut policy = Policy::new("triage the inbox");
+//! policy.set("list_emails", PolicyEntry::allow_any("listing is the task"));
+//! engine.install("acme", "triage the inbox", &ctx, &policy);
+//!
+//! let calls = vec![
+//!     ApiCall::new("email", "list_emails", vec!["Inbox".into()]),
+//!     ApiCall::new("email", "delete_email", vec!["3".into()]),
+//! ];
+//! let decisions = engine
+//!     .check_all("acme", "triage the inbox", &ctx, &calls)
+//!     .expect("policy installed");
+//! assert!(decisions[0].allowed);
+//! assert!(!decisions[1].allowed); // unlisted: default deny
+//!
+//! // Trusted context changed? Flush the tenant; future lookups miss and
+//! // the caller regenerates against the new context.
+//! assert_eq!(engine.flush_tenant("acme"), 1);
+//! assert!(engine.check_all("acme", "triage the inbox", &ctx, &calls).is_none());
 //! ```
 
 pub mod compile;

@@ -52,6 +52,12 @@ impl EngineKey {
         EngineKey { tenant_fp: fnv1a(tenant.as_bytes()), policy_key }
     }
 
+    /// The tenant fingerprint component (what [`PolicyStore::flush_tenant`]
+    /// matches on).
+    pub(crate) fn tenant_fp(&self) -> u64 {
+        self.tenant_fp
+    }
+
     fn shard_index(&self, shards: usize) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         self.hash(&mut hasher);
@@ -203,6 +209,23 @@ impl PolicyStore {
         (policy, false)
     }
 
+    /// Removes every entry belonging to `tenant` (the per-tenant
+    /// invalidation the hot-reload roadmap asks for), returning how many
+    /// were dropped. In-flight holders of flushed snapshots are
+    /// unaffected — they keep the `Arc` they already resolved; only
+    /// *future* lookups miss and recompile.
+    pub fn flush_tenant(&self, tenant: &str) -> usize {
+        let tenant_fp = fnv1a(tenant.as_bytes());
+        let mut removed = 0;
+        for shard in self.shards.iter() {
+            let mut slots = shard.slots.write();
+            let before = slots.len();
+            slots.retain(|key, _| key.tenant_fp() != tenant_fp);
+            removed += before - slots.len();
+        }
+        removed
+    }
+
     /// Number of cached policies across all shards.
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.slots.read().len()).sum()
@@ -310,6 +333,24 @@ mod tests {
                 assert!(Arc::ptr_eq(&pair[0], &pair[1]));
             }
         });
+    }
+
+    #[test]
+    fn flush_tenant_removes_only_that_tenant() {
+        let store = PolicyStore::new(StoreConfig::default());
+        for task in ["a", "b", "c"] {
+            store.insert(key("acme", task), compiled(task));
+        }
+        store.insert(key("globex", "a"), compiled("a"));
+        // A snapshot resolved before the flush keeps working after it.
+        let held = store.get(&key("acme", "a")).expect("installed");
+        assert_eq!(store.flush_tenant("acme"), 3);
+        assert_eq!(store.len(), 1);
+        assert!(store.get(&key("acme", "a")).is_none(), "future lookups must miss");
+        assert!(store.get(&key("globex", "a")).is_some(), "other tenants untouched");
+        assert!(held.source_handle().task == "a", "in-flight snapshot survives the flush");
+        assert_eq!(store.flush_tenant("acme"), 0, "second flush finds nothing");
+        assert_eq!(store.flush_tenant("never-seen"), 0);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! The synchronous policy-decision client.
+//!
+//! One [`Client`] owns one connection and speaks strict
+//! request/response: every method writes one frame and reads exactly one
+//! response frame. (The protocol itself permits pipelining — responses
+//! come back in request order — but the agent integration has no use for
+//! it, and a sequential client keeps error attribution exact.)
+
+use core::fmt;
+use std::io;
+use std::net::TcpStream;
+
+use conseca_core::{Decision, Policy, TrustedContext};
+use conseca_engine::TenantCounters;
+use conseca_shell::ApiCall;
+
+use crate::transport::Stream;
+use crate::wire::{
+    read_frame, write_frame, FrameReadError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN,
+    PROTOCOL_VERSION,
+};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (including mid-frame EOF: a truncated
+    /// response).
+    Io(io::Error),
+    /// A response frame did not decode.
+    Wire(WireError),
+    /// The server answered with [`Response::Error`]; see
+    /// [`code`](crate::wire::code).
+    Server {
+        /// Machine-readable error code.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong type for the
+    /// request (a protocol bug on one side).
+    Unexpected {
+        /// What the client was waiting for.
+        expected: &'static str,
+    },
+    /// The connection closed before a response arrived.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            ClientError::Unexpected { expected } => {
+                write!(f, "unexpected response (wanted {expected})")
+            }
+            ClientError::Closed => write!(f, "connection closed before the response"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<FrameReadError> for ClientError {
+    fn from(e: FrameReadError) -> Self {
+        match e {
+            FrameReadError::Io(e) => ClientError::Io(e),
+            other => ClientError::Io(io::Error::new(io::ErrorKind::InvalidData, other.to_string())),
+        }
+    }
+}
+
+/// Receipt for an installed policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstallReceipt {
+    /// [`Policy::fingerprint`] of what the server compiled.
+    pub fingerprint: u64,
+    /// Number of API entries the policy lists.
+    pub entries: u64,
+}
+
+/// A connected, handshaken policy-decision client.
+pub struct Client {
+    conn: Box<dyn Stream>,
+    max_frame_len: u32,
+}
+
+impl fmt::Debug for Client {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Client").finish_non_exhaustive()
+    }
+}
+
+impl Client {
+    /// Connects over TCP and completes the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Client::over(stream)
+    }
+
+    /// Wraps an already-established stream (TCP or
+    /// [`DuplexStream`](crate::transport::DuplexStream)) and completes
+    /// the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures ([`code::UNSUPPORTED_VERSION`](crate::wire::code::UNSUPPORTED_VERSION) among them).
+    pub fn over<S: Stream>(stream: S) -> Result<Client, ClientError> {
+        let mut client = Client { conn: Box::new(stream), max_frame_len: DEFAULT_MAX_FRAME_LEN };
+        match client.roundtrip(&Request::Hello { version: PROTOCOL_VERSION })? {
+            Response::HelloOk { .. } => Ok(client),
+            other => Err(unexpected(other, "HelloOk")),
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.conn, &request.encode())?;
+        let frame = read_frame(&mut self.conn, self.max_frame_len)?.ok_or(ClientError::Closed)?;
+        Ok(Response::decode(&frame)?)
+    }
+
+    /// One policy decision for one call. `Ok(None)` means no policy is
+    /// installed for the key — generate one and [`install`](Self::install).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn check(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        call: &ApiCall,
+    ) -> Result<Option<Decision>, ClientError> {
+        match self.roundtrip(&Request::Check {
+            tenant: tenant.into(),
+            task: task.into(),
+            context: context.clone(),
+            call: call.clone(),
+        })? {
+            Response::Verdict { decision } => Ok(decision),
+            other => Err(unexpected(other, "Verdict")),
+        }
+    }
+
+    /// Decisions for a batch of calls against one policy key (one store
+    /// lookup server-side, like [`Engine::check_all`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    ///
+    /// [`Engine::check_all`]: conseca_engine::Engine::check_all
+    pub fn check_all(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        calls: &[ApiCall],
+    ) -> Result<Option<Vec<Decision>>, ClientError> {
+        match self.roundtrip(&Request::CheckBatch {
+            tenant: tenant.into(),
+            task: task.into(),
+            context: context.clone(),
+            calls: calls.to_vec(),
+        })? {
+            Response::VerdictBatch { decisions } => Ok(decisions),
+            other => Err(unexpected(other, "VerdictBatch")),
+        }
+    }
+
+    /// Compiles and installs `policy` for (tenant, task, context) on the
+    /// server, replacing any previous snapshot for the key.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors ([`code::BAD_POLICY`](crate::wire::code::BAD_POLICY) if a
+    /// regex constraint fails to compile server-side).
+    pub fn install(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+    ) -> Result<InstallReceipt, ClientError> {
+        match self.roundtrip(&Request::Install {
+            tenant: tenant.into(),
+            task: task.into(),
+            context: context.clone(),
+            policy: policy.clone(),
+        })? {
+            Response::Installed { fingerprint, entries } => {
+                Ok(InstallReceipt { fingerprint, entries })
+            }
+            other => Err(unexpected(other, "Installed")),
+        }
+    }
+
+    /// Retrieves the source policy installed for (tenant, task, context),
+    /// if any. Counts as a store lookup (hit or miss) against the tenant.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn fetch_policy(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+    ) -> Result<Option<Policy>, ClientError> {
+        match self.roundtrip(&Request::FetchPolicy {
+            tenant: tenant.into(),
+            task: task.into(),
+            context: context.clone(),
+        })? {
+            Response::PolicyOk { policy } => Ok(policy),
+            other => Err(unexpected(other, "PolicyOk")),
+        }
+    }
+
+    /// Drops every policy installed for `tenant`, returning how many
+    /// entries were removed.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn flush(&mut self, tenant: &str) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Flush { tenant: tenant.into() })? {
+            Response::Flushed { removed } => Ok(removed),
+            other => Err(unexpected(other, "Flushed")),
+        }
+    }
+
+    /// Reads `tenant`'s counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn stats(&mut self, tenant: &str) -> Result<TenantCounters, ClientError> {
+        match self.roundtrip(&Request::Stats { tenant: tenant.into() })? {
+            Response::StatsOk { counters } => Ok(counters),
+            other => Err(unexpected(other, "StatsOk")),
+        }
+    }
+
+    /// Asks the server to stop accepting new connections. This
+    /// connection stays usable until closed.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(other, "ShuttingDown")),
+        }
+    }
+
+    /// Closes the connection.
+    pub fn close(self) {
+        self.conn.close();
+    }
+}
+
+fn unexpected(response: Response, expected: &'static str) -> ClientError {
+    match response {
+        Response::Error { code, message } => ClientError::Server { code, message },
+        _ => ClientError::Unexpected { expected },
+    }
+}

@@ -1,0 +1,250 @@
+//! The async policy-decision server: out-of-process enforcement for the
+//! engine.
+//!
+//! `conseca-engine` made policy checks cheap inside one process; this
+//! crate moves them behind a wire so *many* processes — the paper's §7
+//! deployment at "millions of users" scale — can share one standing
+//! reference monitor. A [`Server`] wraps an
+//! [`Engine`](conseca_engine::Engine) in an async task layer: blocking
+//! reader/writer threads at the edges, and a batching dispatcher in the
+//! middle that **coalesces concurrent check requests into one
+//! [`check_all`](conseca_engine::Engine::check_all)** per policy key, so
+//! load from many agents amortises store lookups instead of multiplying
+//! them.
+//!
+//! The protocol is a small length-prefixed binary format — fully
+//! specified in `docs/serving.md`, implemented in [`wire`] — carrying
+//! check / install / fetch / flush / stats / shutdown operations.
+//! Served verdicts are **byte-identical** to in-process
+//! [`Engine::check`](conseca_engine::Engine::check) decisions
+//! (differentially property-tested), because the server runs the same
+//! engine entry points on the same compiled snapshots.
+//!
+//! Transports: plain TCP ([`Server::bind`]) for deployments, an
+//! in-process [`DuplexStream`] pair ([`ServerHandle::connect`]) for
+//! tests, benches, and single-process setups. Agents join the party via
+//! [`RemoteSessionLayer`] (a drop-in pipeline policy layer) or
+//! `Agent::with_remote_engine` in `conseca-agent`.
+//!
+//! # Examples
+//!
+//! Serve, install a tenant's policy, screen a call, read the counters,
+//! and shut down — all in-process:
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrustedContext};
+//! use conseca_engine::Engine;
+//! use conseca_serve::{ServeConfig, Server};
+//! use conseca_shell::ApiCall;
+//!
+//! let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+//! let mut client = server.connect().expect("handshake");
+//!
+//! let mut policy = Policy::new("respond to urgent work emails");
+//! policy.set("send_email", PolicyEntry::allow(
+//!     vec![ArgConstraint::regex("alice").unwrap()],
+//!     "urgent responses come from alice",
+//! ));
+//! let ctx = TrustedContext::for_user("alice");
+//! client.install("acme", &policy.task, &ctx, &policy).expect("install");
+//!
+//! let call = ApiCall::new("email", "send_email",
+//!     vec!["alice".into(), "bob@work.com".into(), "urgent".into(), "done".into()]);
+//! let decision = client
+//!     .check("acme", "respond to urgent work emails", &ctx, &call)
+//!     .expect("transport")
+//!     .expect("policy installed");
+//! assert!(decision.allowed);
+//!
+//! let counters = client.stats("acme").expect("stats");
+//! assert_eq!((counters.checks, counters.allowed), (1, 1));
+//! server.shutdown();
+//! ```
+//!
+//! Batched screening over the same connection costs one server-side
+//! store lookup for the whole batch:
+//!
+//! ```
+//! # use std::sync::Arc;
+//! # use conseca_core::{Policy, PolicyEntry, TrustedContext};
+//! # use conseca_engine::Engine;
+//! # use conseca_serve::{ServeConfig, Server};
+//! # use conseca_shell::ApiCall;
+//! let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+//! let mut client = server.connect().expect("handshake");
+//! let mut policy = Policy::new("triage");
+//! policy.set("ls", PolicyEntry::allow_any("listing is fine"));
+//! let ctx = TrustedContext::for_user("alice");
+//! client.install("acme", "triage", &ctx, &policy).expect("install");
+//!
+//! let calls = vec![
+//!     ApiCall::new("fs", "ls", vec!["/home/alice".into()]),
+//!     ApiCall::new("fs", "rm", vec!["/home/alice/x".into()]),
+//! ];
+//! let decisions = client
+//!     .check_all("acme", "triage", &ctx, &calls)
+//!     .expect("transport")
+//!     .expect("policy installed");
+//! assert!(decisions[0].allowed);
+//! assert!(!decisions[1].allowed); // rm is not in the policy: default deny
+//! server.shutdown();
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod session;
+pub mod transport;
+pub mod wire;
+
+pub use client::{Client, ClientError, InstallReceipt};
+pub use server::{ServeConfig, ServeMetrics, Server, ServerHandle};
+pub use session::RemoteSessionLayer;
+pub use transport::{duplex, DuplexStream, Stream};
+pub use wire::{Frame, Request, Response, WireError, PROTOCOL_VERSION};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrustedContext};
+    use conseca_engine::Engine;
+    use conseca_shell::ApiCall;
+
+    use crate::wire::code;
+    use crate::{ClientError, ServeConfig, Server};
+
+    fn policy() -> Policy {
+        let mut p = Policy::new("t");
+        p.set(
+            "send_email",
+            PolicyEntry::allow(vec![ArgConstraint::regex("^alice$").unwrap()], "alice sends"),
+        );
+        p.set("delete_email", PolicyEntry::deny("no deletions"));
+        p
+    }
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn install_check_stats_flush_roundtrip() {
+        let engine = Arc::new(Engine::default());
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        let mut client = server.connect().unwrap();
+        let ctx = TrustedContext::for_user("alice");
+
+        // No policy yet: the key misses.
+        assert_eq!(client.check("acme", "t", &ctx, &call("ls", &[])).unwrap(), None);
+
+        let receipt = client.install("acme", "t", &ctx, &policy()).unwrap();
+        assert_eq!(receipt.fingerprint, policy().fingerprint());
+        assert_eq!(receipt.entries, 2);
+
+        let allowed =
+            client.check("acme", "t", &ctx, &call("send_email", &["alice"])).unwrap().unwrap();
+        assert!(allowed.allowed);
+        let denied =
+            client.check("acme", "t", &ctx, &call("delete_email", &["1"])).unwrap().unwrap();
+        assert!(!denied.allowed);
+
+        // Served decisions equal in-process decisions from the same engine.
+        let direct = engine.check("acme", "t", &ctx, &call("send_email", &["alice"])).unwrap();
+        assert_eq!(direct, allowed);
+
+        // fetch_policy hands the source policy back.
+        let fetched = client.fetch_policy("acme", "t", &ctx).unwrap().unwrap();
+        assert_eq!(fetched, policy());
+        assert_eq!(client.fetch_policy("acme", "other", &ctx).unwrap(), None);
+
+        // Two served checks + the direct comparison check above.
+        let counters = client.stats("acme").unwrap();
+        assert_eq!(counters.checks, 3);
+        assert_eq!((counters.allowed, counters.denied), (2, 1));
+
+        assert_eq!(client.flush("acme").unwrap(), 1);
+        assert_eq!(client.check("acme", "t", &ctx, &call("ls", &[])).unwrap(), None);
+        assert_eq!(client.flush("acme").unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn check_all_preserves_call_order() {
+        let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+        let mut client = server.connect().unwrap();
+        let ctx = TrustedContext::for_user("alice");
+        client.install("acme", "t", &ctx, &policy()).unwrap();
+        let calls = vec![
+            call("send_email", &["alice"]),
+            call("send_email", &["eve"]),
+            call("ls", &[]),
+            call("delete_email", &["1"]),
+        ];
+        let decisions = client.check_all("acme", "t", &ctx, &calls).unwrap().unwrap();
+        assert_eq!(
+            decisions.iter().map(|d| d.allowed).collect::<Vec<_>>(),
+            vec![true, false, false, false]
+        );
+        assert_eq!(client.check_all("acme", "missing", &ctx, &calls).unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn tcp_and_duplex_serve_the_same_engine() {
+        let engine = Arc::new(Engine::default());
+        let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default())
+            .expect("bind loopback");
+        let addr = server.local_addr().unwrap().to_string();
+        let ctx = TrustedContext::for_user("alice");
+
+        let mut tcp = crate::Client::connect(&addr).unwrap();
+        tcp.install("acme", "t", &ctx, &policy()).unwrap();
+        let over_tcp =
+            tcp.check("acme", "t", &ctx, &call("send_email", &["alice"])).unwrap().unwrap();
+
+        let mut inproc = server.connect().unwrap();
+        let over_duplex =
+            inproc.check("acme", "t", &ctx, &call("send_email", &["alice"])).unwrap().unwrap();
+        assert_eq!(over_tcp, over_duplex);
+        assert_eq!(server.engine().tenant_counters("acme").checks, 2);
+        tcp.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_shutdown_request_stops_new_connections_only() {
+        let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+        let mut client = server.connect().unwrap();
+        let ctx = TrustedContext::for_user("alice");
+        client.install("acme", "t", &ctx, &policy()).unwrap();
+        client.shutdown_server().unwrap();
+        assert!(server.is_shutting_down());
+        // The existing connection keeps serving...
+        let decision =
+            client.check("acme", "t", &ctx, &call("send_email", &["alice"])).unwrap().unwrap();
+        assert!(decision.allowed);
+        // ...but new connections are refused.
+        match server.connect() {
+            Err(ClientError::Server { code: c, .. }) => assert_eq!(c, code::SHUTTING_DOWN),
+            other => panic!("expected SHUTTING_DOWN, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_joins_cleanly() {
+        let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+        let client = server.connect().unwrap();
+        drop(client); // client vanishes first
+        server.shutdown();
+
+        // And the other order: server goes first, client sees errors.
+        let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+        let mut client = server.connect().unwrap();
+        server.shutdown();
+        let ctx = TrustedContext::for_user("alice");
+        assert!(client.check("acme", "t", &ctx, &call("ls", &[])).is_err());
+    }
+}

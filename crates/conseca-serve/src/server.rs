@@ -1,0 +1,597 @@
+//! The policy-decision server: an async task layer over
+//! [`Engine`], fed by per-connection reader/writer threads.
+//!
+//! # Architecture
+//!
+//! ```text
+//!   TCP accept thread ──┐
+//!   in-process connect ─┴─► per-connection reader thread
+//!                              │ decode frame → Request
+//!                              │ (handshake + framing errors answered
+//!                              │  inline; engine work forwarded)
+//!                              ▼
+//!                     mpsc job queue  ◄─── all connections share it
+//!                              │
+//!                              ▼
+//!                    dispatcher task (futures::ThreadPool)
+//!                       drains the queue, COALESCES every queued
+//!                       Check/CheckBatch with the same policy key into
+//!                       one Engine::check_all, answers each job through
+//!                       its oneshot
+//!                              │
+//!                              ▼
+//!                     per-connection writer thread
+//!                       (awaits oneshots in request order, writes
+//!                        response frames — responses never reorder)
+//! ```
+//!
+//! The dispatcher is where the async layer earns its keep: under
+//! concurrent load the queue fills between polls, so one store lookup and
+//! one tenant-stats resolution serve many clients' checks (visible in
+//! [`ServeMetrics::coalesced_checks`]). The engine itself is untouched —
+//! every verdict is produced by the same [`Engine::check_all`] the
+//! in-process path uses, which is what keeps served decisions
+//! byte-identical.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use conseca_engine::{Engine, EngineKey};
+use conseca_shell::ApiCall;
+use futures::channel::{mpsc, oneshot};
+use futures::ThreadPool;
+
+use crate::client::{Client, ClientError};
+use crate::transport::{duplex, DuplexStream, Stream};
+use crate::wire::{
+    code, read_frame, write_frame, FrameReadError, Request, Response, PROTOCOL_VERSION,
+};
+
+/// Server sizing and limits.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Largest frame (tag + payload) accepted from a client; oversized
+    /// frames are answered with [`code::FRAME_TOO_LARGE`] and the
+    /// connection closes.
+    pub max_frame_len: u32,
+    /// Worker threads in the executor driving the dispatcher.
+    pub worker_threads: usize,
+    /// Most jobs one dispatch round will coalesce.
+    pub max_batch: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_frame_len: crate::wire::DEFAULT_MAX_FRAME_LEN,
+            worker_threads: 2,
+            max_batch: 256,
+        }
+    }
+}
+
+/// Point-in-time dispatcher counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Engine requests processed (Hello and framing errors excluded).
+    pub requests: u64,
+    /// Dispatch rounds run (each drains the queue once).
+    pub batches: u64,
+    /// Calls that shared a store lookup with another request because the
+    /// dispatcher coalesced them into one `check_all`.
+    pub coalesced_checks: u64,
+}
+
+#[derive(Default)]
+struct Metrics {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    coalesced_checks: AtomicU64,
+}
+
+struct Job {
+    request: Request,
+    reply: oneshot::Sender<Response>,
+}
+
+/// What the writer thread sends next, in request order.
+enum Outgoing {
+    /// An answer the reader produced inline (handshake, framing errors).
+    Ready(Response),
+    /// An answer the dispatcher will produce.
+    Pending(oneshot::Receiver<Response>),
+    /// Close the connection after everything queued so far is written.
+    Close,
+}
+
+struct ServerState {
+    engine: Arc<Engine>,
+    config: ServeConfig,
+    jobs: mpsc::UnboundedSender<Job>,
+    shutting_down: AtomicBool,
+    /// Where the TCP listener ended up (None for in-process-only servers).
+    tcp_addr: Option<SocketAddr>,
+    /// Close hooks + thread handles for every spawned connection.
+    conns: Mutex<Vec<ConnEntry>>,
+    metrics: Metrics,
+}
+
+struct ConnEntry {
+    close: Box<dyn Fn() + Send>,
+    reader: thread::JoinHandle<()>,
+    writer: thread::JoinHandle<()>,
+}
+
+impl ServerState {
+    /// Stops accepting new connections. Existing connections keep being
+    /// served until their clients disconnect (or the handle force-closes
+    /// them in [`ServerHandle::shutdown`]).
+    fn initiate_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the accept thread: it re-checks the flag per accept.
+        if let Some(addr) = self.tcp_addr {
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+/// Entry points for starting a server. See [`ServerHandle`] for the
+/// running server's API.
+pub struct Server;
+
+impl Server {
+    /// Starts an in-process server (no TCP listener); connect with
+    /// [`ServerHandle::connect`].
+    pub fn start(engine: Arc<Engine>, config: ServeConfig) -> ServerHandle {
+        Self::build(engine, config, None).expect("in-process start cannot fail")
+    }
+
+    /// Starts a server listening on `addr` (e.g. `"127.0.0.1:0"`), *and*
+    /// accepting in-process connections.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener bind failures.
+    pub fn bind(
+        engine: Arc<Engine>,
+        addr: &str,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        Self::build(engine, config, Some(listener))
+    }
+
+    fn build(
+        engine: Arc<Engine>,
+        config: ServeConfig,
+        listener: Option<TcpListener>,
+    ) -> std::io::Result<ServerHandle> {
+        let tcp_addr = match &listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let (jobs_tx, jobs_rx) = mpsc::unbounded();
+        let state = Arc::new(ServerState {
+            engine,
+            config,
+            jobs: jobs_tx,
+            shutting_down: AtomicBool::new(false),
+            tcp_addr,
+            conns: Mutex::new(Vec::new()),
+            metrics: Metrics::default(),
+        });
+        let pool = ThreadPool::new(config.worker_threads);
+        let dispatcher = Arc::clone(&state);
+        pool.spawn(async move { dispatch(dispatcher, jobs_rx).await });
+        let accept = listener.map(|listener| {
+            let state = Arc::clone(&state);
+            thread::spawn(move || accept_loop(state, listener))
+        });
+        Ok(ServerHandle { state, pool, accept })
+    }
+}
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    pool: ThreadPool,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The TCP address the server listens on, if it has a listener.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.state.tcp_addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.state.engine
+    }
+
+    /// Dispatcher counters (request/batch/coalescing totals so far).
+    pub fn metrics(&self) -> ServeMetrics {
+        ServeMetrics {
+            requests: self.state.metrics.requests.load(Ordering::Relaxed),
+            batches: self.state.metrics.batches.load(Ordering::Relaxed),
+            coalesced_checks: self.state.metrics.coalesced_checks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether [`shutdown`](Self::shutdown) or a client's
+    /// [`Request::Shutdown`] has been seen.
+    pub fn is_shutting_down(&self) -> bool {
+        self.state.shutting_down.load(Ordering::Acquire)
+    }
+
+    /// Opens an in-process connection and completes the handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`code::SHUTTING_DOWN`] if the server
+    /// no longer accepts connections; otherwise handshake failures.
+    pub fn connect(&self) -> Result<Client, ClientError> {
+        Client::over(self.connect_stream()?)
+    }
+
+    /// Opens a raw in-process connection **without** sending `Hello` —
+    /// the hook protocol tests use to speak the wire format directly.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`code::SHUTTING_DOWN`] if the server
+    /// no longer accepts connections.
+    pub fn connect_stream(&self) -> Result<DuplexStream, ClientError> {
+        if self.is_shutting_down() {
+            return Err(ClientError::Server {
+                code: code::SHUTTING_DOWN,
+                message: "server is shutting down".into(),
+            });
+        }
+        let (client_end, server_end) = duplex();
+        spawn_connection(&self.state, server_end);
+        Ok(client_end)
+    }
+
+    /// Graceful shutdown: stop accepting, close every connection, join
+    /// all connection threads, finish queued dispatcher work, stop the
+    /// executor.
+    pub fn shutdown(self) {
+        // Dropping runs the same sequence; this method exists so call
+        // sites read as what they are.
+        drop(self);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.state.initiate_shutdown();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let conns: Vec<ConnEntry> =
+            self.state.conns.lock().unwrap_or_else(|e| e.into_inner()).drain(..).collect();
+        for conn in &conns {
+            (conn.close)();
+        }
+        for conn in conns {
+            let _ = conn.reader.join();
+            let _ = conn.writer.join();
+        }
+        // All readers are gone, so no new jobs can arrive; the pool lets
+        // the dispatcher finish anything already queued, then parks it,
+        // and shutdown cancels the parked task.
+        self.pool.shutdown();
+    }
+}
+
+fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
+    for stream in listener.incoming() {
+        if state.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        spawn_connection(&state, stream);
+    }
+}
+
+fn spawn_connection<S: Stream>(state: &Arc<ServerState>, stream: S) {
+    let Ok(writer_stream) = stream.try_split() else {
+        stream.close();
+        return;
+    };
+    let Ok(close_handle) = stream.try_split() else {
+        stream.close();
+        return;
+    };
+    let (out_tx, out_rx) = std::sync::mpsc::channel::<Outgoing>();
+    let reader_state = Arc::clone(state);
+    let reader = thread::spawn(move || read_loop(reader_state, stream, out_tx));
+    let writer = thread::spawn(move || write_loop(writer_stream, out_rx));
+    let mut conns = state.conns.lock().unwrap_or_else(|e| e.into_inner());
+    // Reap connections whose threads have already exited — without this
+    // a long-running server accepting many short-lived connections would
+    // accumulate one entry (and two unjoined thread handles) apiece.
+    let (dead, alive): (Vec<ConnEntry>, Vec<ConnEntry>) =
+        conns.drain(..).partition(|conn| conn.reader.is_finished() && conn.writer.is_finished());
+    *conns = alive;
+    conns.push(ConnEntry { close: Box::new(move || close_handle.close()), reader, writer });
+    drop(conns);
+    for conn in dead {
+        let _ = conn.reader.join();
+        let _ = conn.writer.join();
+    }
+}
+
+fn read_loop<S: Stream>(
+    state: Arc<ServerState>,
+    mut stream: S,
+    out: std::sync::mpsc::Sender<Outgoing>,
+) {
+    let max = state.config.max_frame_len;
+    let mut greeted = false;
+    loop {
+        let frame = match read_frame(&mut stream, max) {
+            Ok(Some(frame)) => frame,
+            // Clean EOF, or a truncated frame / transport error: either
+            // way the conversation is over and there is nobody to answer.
+            Ok(None) | Err(FrameReadError::Io(_)) => break,
+            Err(e @ FrameReadError::Oversized { .. }) => {
+                let _ = out.send(Outgoing::Ready(Response::Error {
+                    code: code::FRAME_TOO_LARGE,
+                    message: e.to_string(),
+                }));
+                let _ = out.send(Outgoing::Close);
+                break;
+            }
+            Err(e @ FrameReadError::Empty) => {
+                let _ = out.send(Outgoing::Ready(Response::Error {
+                    code: code::MALFORMED,
+                    message: e.to_string(),
+                }));
+                let _ = out.send(Outgoing::Close);
+                break;
+            }
+        };
+        let request = match Request::decode(&frame) {
+            Ok(request) => request,
+            Err(e) => {
+                // Unknown tags and undecodable payloads are answered and
+                // the conversation continues — the frame boundary is
+                // intact, so the stream is still in sync.
+                let _ = out.send(Outgoing::Ready(Response::Error {
+                    code: e.error_code(),
+                    message: e.to_string(),
+                }));
+                continue;
+            }
+        };
+        match request {
+            Request::Hello { version } => {
+                if version == PROTOCOL_VERSION {
+                    greeted = true;
+                    let _ =
+                        out.send(Outgoing::Ready(Response::HelloOk { version: PROTOCOL_VERSION }));
+                } else {
+                    let _ = out.send(Outgoing::Ready(Response::Error {
+                        code: code::UNSUPPORTED_VERSION,
+                        message: format!(
+                            "client speaks version {version}, server speaks {PROTOCOL_VERSION}"
+                        ),
+                    }));
+                    let _ = out.send(Outgoing::Close);
+                    break;
+                }
+            }
+            _ if !greeted => {
+                let _ = out.send(Outgoing::Ready(Response::Error {
+                    code: code::HANDSHAKE_REQUIRED,
+                    message: "first frame must be Hello".into(),
+                }));
+                let _ = out.send(Outgoing::Close);
+                break;
+            }
+            request => {
+                let (reply_tx, reply_rx) = oneshot::channel();
+                if state.jobs.send(Job { request, reply: reply_tx }).is_err() {
+                    // The dispatcher is gone: the server is shutting down.
+                    let _ = out.send(Outgoing::Ready(Response::Error {
+                        code: code::SHUTTING_DOWN,
+                        message: "server is shutting down".into(),
+                    }));
+                    let _ = out.send(Outgoing::Close);
+                    break;
+                }
+                if out.send(Outgoing::Pending(reply_rx)).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>) {
+    for outgoing in out {
+        let response = match outgoing {
+            Outgoing::Ready(response) => response,
+            Outgoing::Pending(reply) => match futures::block_on(reply) {
+                Ok(response) => response,
+                // The dispatcher dropped the job (shutdown mid-flight);
+                // there is nothing left to say on this connection.
+                Err(_) => break,
+            },
+            Outgoing::Close => {
+                let _ = stream.flush();
+                stream.close();
+                break;
+            }
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            break;
+        }
+    }
+}
+
+/// One coalescable check: where its calls start in the group's combined
+/// batch, how many there are, and whether it was a single `Check`.
+struct PendingCheck {
+    reply: oneshot::Sender<Response>,
+    start: usize,
+    len: usize,
+    single: bool,
+}
+
+/// All checks sharing one policy key within a dispatch round.
+struct CheckGroup {
+    tenant: String,
+    task: String,
+    context: conseca_core::TrustedContext,
+    calls: Vec<ApiCall>,
+    pending: Vec<PendingCheck>,
+}
+
+async fn dispatch(state: Arc<ServerState>, mut jobs: mpsc::UnboundedReceiver<Job>) {
+    while let Some(first) = jobs.recv().await {
+        let mut batch = vec![first];
+        while batch.len() < state.config.max_batch {
+            match jobs.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        state.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        state.metrics.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        process_batch(&state, batch);
+    }
+}
+
+fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
+    let engine = &state.engine;
+    // Coalesce contiguous runs of checks by policy key so each group
+    // costs one store lookup + one stats resolution regardless of how
+    // many clients contributed to it. The accumulated run is flushed
+    // before any mutating/admin job executes, so effects apply in
+    // arrival order — a pipelined client's Check can never observe its
+    // own later Install or Flush (docs/serving.md §1 permits
+    // pipelining).
+    let mut groups: Vec<CheckGroup> = Vec::new();
+    let mut index: std::collections::HashMap<EngineKey, usize> = std::collections::HashMap::new();
+
+    for job in batch {
+        match job.request {
+            Request::Check { tenant, task, context, call } => {
+                push_check(
+                    &mut groups,
+                    &mut index,
+                    tenant,
+                    task,
+                    context,
+                    vec![call],
+                    true,
+                    job.reply,
+                );
+            }
+            Request::CheckBatch { tenant, task, context, calls } => {
+                push_check(&mut groups, &mut index, tenant, task, context, calls, false, job.reply);
+            }
+            other => {
+                flush_checks(state, &mut groups, &mut index);
+                match other {
+                    Request::Install { tenant, task, context, policy } => {
+                        let fingerprint = policy.fingerprint();
+                        let entries = policy.len() as u64;
+                        engine.install(&tenant, &task, &context, &policy);
+                        let _ = job.reply.send(Response::Installed { fingerprint, entries });
+                    }
+                    Request::FetchPolicy { tenant, task, context } => {
+                        let policy = engine
+                            .lookup(&tenant, &task, &context)
+                            .map(|compiled| (*compiled.source_handle()).clone());
+                        let _ = job.reply.send(Response::PolicyOk { policy });
+                    }
+                    Request::Flush { tenant } => {
+                        let removed = engine.flush_tenant(&tenant) as u64;
+                        let _ = job.reply.send(Response::Flushed { removed });
+                    }
+                    Request::Stats { tenant } => {
+                        let counters = engine.tenant_counters(&tenant);
+                        let _ = job.reply.send(Response::StatsOk { counters });
+                    }
+                    Request::Shutdown => {
+                        let _ = job.reply.send(Response::ShuttingDown);
+                        state.initiate_shutdown();
+                    }
+                    Request::Hello { .. } => {
+                        // Handshakes are answered by the reader; one
+                        // reaching the dispatcher is a server bug, not a
+                        // client error.
+                        let _ = job.reply.send(Response::Error {
+                            code: code::MALFORMED,
+                            message: "Hello is handled during the handshake".into(),
+                        });
+                    }
+                    Request::Check { .. } | Request::CheckBatch { .. } => unreachable!(),
+                }
+            }
+        }
+    }
+    flush_checks(state, &mut groups, &mut index);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_check(
+    groups: &mut Vec<CheckGroup>,
+    index: &mut std::collections::HashMap<EngineKey, usize>,
+    tenant: String,
+    task: String,
+    context: conseca_core::TrustedContext,
+    calls: Vec<ApiCall>,
+    single: bool,
+    reply: oneshot::Sender<Response>,
+) {
+    let key = EngineKey::new(&tenant, &task, &context);
+    let slot = *index.entry(key).or_insert_with(|| {
+        groups.push(CheckGroup { tenant, task, context, calls: Vec::new(), pending: Vec::new() });
+        groups.len() - 1
+    });
+    let group = &mut groups[slot];
+    let start = group.calls.len();
+    let len = calls.len();
+    group.calls.extend(calls);
+    group.pending.push(PendingCheck { reply, start, len, single });
+}
+
+/// Evaluates and answers every accumulated check group, leaving the
+/// accumulators empty.
+fn flush_checks(
+    state: &Arc<ServerState>,
+    groups: &mut Vec<CheckGroup>,
+    index: &mut std::collections::HashMap<EngineKey, usize>,
+) {
+    index.clear();
+    for group in groups.drain(..) {
+        if group.pending.len() > 1 {
+            state.metrics.coalesced_checks.fetch_add(group.calls.len() as u64, Ordering::Relaxed);
+        }
+        let decisions =
+            state.engine.check_all(&group.tenant, &group.task, &group.context, &group.calls);
+        for pending in group.pending {
+            let response = match (&decisions, pending.single) {
+                (None, true) => Response::Verdict { decision: None },
+                (None, false) => Response::VerdictBatch { decisions: None },
+                (Some(all), true) => {
+                    Response::Verdict { decision: Some(all[pending.start].clone()) }
+                }
+                (Some(all), false) => Response::VerdictBatch {
+                    decisions: Some(all[pending.start..pending.start + pending.len].to_vec()),
+                },
+            };
+            let _ = pending.reply.send(response);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! Byte transports the protocol runs over.
+//!
+//! The server splits every connection into a reader thread and a writer
+//! thread, so a transport must hand out a second handle to the same
+//! stream ([`Stream::try_split`]) and support an out-of-band close that
+//! unblocks a parked reader ([`Stream::close`]). Two transports are
+//! provided:
+//!
+//! - [`std::net::TcpStream`] — the deployment transport;
+//! - [`DuplexStream`] — an in-process pipe pair for tests, benches, and
+//!   single-process deployments, with the same blocking `Read`/`Write`
+//!   semantics as a socket (EOF after close, `BrokenPipe` on writes to a
+//!   closed peer).
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// A connection transport: a byte stream that can be split into
+/// independently owned reader/writer handles and closed out-of-band.
+pub trait Stream: Read + Write + Send + 'static {
+    /// A second handle to the same underlying stream (reader/writer
+    /// split).
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific (e.g. `TcpStream::try_clone` failure).
+    fn try_split(&self) -> io::Result<Self>
+    where
+        Self: Sized;
+
+    /// Closes both directions: parked readers unblock with EOF, writers
+    /// fail with `BrokenPipe`.
+    fn close(&self);
+}
+
+impl Stream for TcpStream {
+    fn try_split(&self) -> io::Result<Self> {
+        self.try_clone()
+    }
+
+    fn close(&self) {
+        let _ = self.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// One direction of a duplex pipe.
+struct Pipe {
+    state: Mutex<PipeState>,
+    readable: Condvar,
+}
+
+struct PipeState {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+impl Pipe {
+    fn new() -> Arc<Self> {
+        Arc::new(Pipe {
+            state: Mutex::new(PipeState { buf: VecDeque::new(), closed: false }),
+            readable: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PipeState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn close(&self) {
+        self.lock().closed = true;
+        self.readable.notify_all();
+    }
+
+    fn write(&self, data: &[u8]) -> io::Result<usize> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "duplex peer closed"));
+        }
+        state.buf.extend(data);
+        drop(state);
+        self.readable.notify_all();
+        Ok(data.len())
+    }
+
+    fn read(&self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let mut state = self.lock();
+        loop {
+            if !state.buf.is_empty() {
+                let n = out.len().min(state.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = state.buf.pop_front().expect("n bounded by len");
+                }
+                return Ok(n);
+            }
+            if state.closed {
+                return Ok(0); // EOF
+            }
+            state = self.readable.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// One end of an in-process, blocking, bidirectional byte stream.
+///
+/// Clones share the same underlying pipes (like a `TcpStream` clone), so
+/// one clone can read while another writes. Dropping every clone of an
+/// end closes the stream for the peer.
+pub struct DuplexStream {
+    read: Arc<Pipe>,
+    write: Arc<Pipe>,
+    /// Live handles to this *end*, for close-on-last-drop. An explicit
+    /// counter (not `Arc::strong_count`) so two handles dropping
+    /// concurrently cannot both observe "someone else is still alive".
+    end_refs: Arc<AtomicUsize>,
+}
+
+/// Creates a connected pair of in-process streams.
+pub fn duplex() -> (DuplexStream, DuplexStream) {
+    let a_to_b = Pipe::new();
+    let b_to_a = Pipe::new();
+    let a = DuplexStream {
+        read: Arc::clone(&b_to_a),
+        write: Arc::clone(&a_to_b),
+        end_refs: Arc::new(AtomicUsize::new(1)),
+    };
+    let b = DuplexStream { read: a_to_b, write: b_to_a, end_refs: Arc::new(AtomicUsize::new(1)) };
+    (a, b)
+}
+
+impl Clone for DuplexStream {
+    fn clone(&self) -> Self {
+        self.end_refs.fetch_add(1, Ordering::Relaxed);
+        DuplexStream {
+            read: Arc::clone(&self.read),
+            write: Arc::clone(&self.write),
+            end_refs: Arc::clone(&self.end_refs),
+        }
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        // Last handle of this end gone: the peer sees EOF, and writes to
+        // this end fail — socket semantics.
+        if self.end_refs.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.write.close();
+            self.read.close();
+        }
+    }
+}
+
+impl Read for DuplexStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.read.read(buf)
+    }
+}
+
+impl Write for DuplexStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.write.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Stream for DuplexStream {
+    fn try_split(&self) -> io::Result<Self> {
+        Ok(self.clone())
+    }
+
+    fn close(&self) {
+        self.write.close();
+        self.read.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn duplex_carries_bytes_both_ways() {
+        let (mut a, mut b) = duplex();
+        a.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        b.write_all(b"pong").unwrap();
+        a.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"pong");
+    }
+
+    #[test]
+    fn duplex_read_blocks_until_data_arrives() {
+        let (mut a, mut b) = duplex();
+        let reader = thread::spawn(move || {
+            let mut buf = [0u8; 3];
+            b.read_exact(&mut buf).unwrap();
+            buf
+        });
+        thread::sleep(std::time::Duration::from_millis(10));
+        a.write_all(b"abc").unwrap();
+        assert_eq!(&reader.join().unwrap(), b"abc");
+    }
+
+    #[test]
+    fn dropping_an_end_gives_the_peer_eof() {
+        let (a, mut b) = duplex();
+        drop(a);
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read(&mut buf).unwrap(), 0);
+        assert!(b.write_all(b"x").is_err());
+    }
+
+    #[test]
+    fn close_unblocks_a_parked_reader() {
+        let (a, mut b) = duplex();
+        let closer = a.try_split().unwrap();
+        let reader = thread::spawn(move || {
+            let mut buf = [0u8; 1];
+            b.read(&mut buf).unwrap()
+        });
+        thread::sleep(std::time::Duration::from_millis(10));
+        closer.close();
+        assert_eq!(reader.join().unwrap(), 0, "reader must see EOF");
+        drop(a);
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let (a, mut b) = duplex();
+        let mut a2 = a.try_split().unwrap();
+        a2.write_all(b"via clone").unwrap();
+        let mut buf = [0u8; 9];
+        b.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"via clone");
+        // Dropping one clone keeps the end open...
+        drop(a2);
+        let mut a = a;
+        a.write_all(b"x").unwrap();
+        let mut one = [0u8; 1];
+        b.read_exact(&mut one).unwrap();
+        // ...dropping the last closes it.
+        drop(a);
+        assert_eq!(b.read(&mut one).unwrap(), 0);
+    }
+}

@@ -1,0 +1,1266 @@
+//! The policy-decision wire protocol: frames, messages, and the binary
+//! codec.
+//!
+//! The full specification lives in `docs/serving.md`; this module is its
+//! reference implementation, and every frame type, field, and error code
+//! here appears there. The short version:
+//!
+//! - Every message is one **frame**: a 4-byte big-endian length, a 1-byte
+//!   tag, then `length - 1` bytes of payload. The length counts the tag.
+//! - All integers are big-endian; strings are a `u32` byte length plus
+//!   UTF-8 bytes; lists are a `u32` count plus elements; options are a
+//!   presence byte (0/1) plus the value.
+//! - A connection opens with a [`Request::Hello`] carrying
+//!   [`PROTOCOL_VERSION`]; the server answers [`Response::HelloOk`] or an
+//!   [`Response::Error`] with [`code::UNSUPPORTED_VERSION`] and closes.
+//! - Decode failures are structured [`WireError`]s so the server can
+//!   answer with the precise [`code`] instead of dropping the connection.
+//!
+//! The codec round-trips every type it carries ([`conseca_core::Policy`],
+//! [`conseca_core::TrustedContext`], [`conseca_shell::ApiCall`],
+//! [`conseca_core::Decision`]) exactly — property tests in
+//! `tests/differential.rs` pin this down — which is what makes served
+//! verdicts byte-identical to in-process ones.
+
+use core::fmt;
+use std::io::{self, Read, Write};
+
+use conseca_core::{
+    ArgConstraint, CmpOp, Decision, Policy, PolicyEntry, Predicate, TrustedContext, Violation,
+};
+use conseca_engine::TenantCounters;
+use conseca_shell::ApiCall;
+
+/// Protocol version spoken by this implementation. Bumped only for
+/// incompatible frame-layout changes; new message tags within a version
+/// are additive (receivers answer unknown tags with
+/// [`code::UNKNOWN_TAG`]).
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Default cap on `length` (tag + payload) a peer will accept. Frames
+/// above the cap are answered with [`code::FRAME_TOO_LARGE`] and the
+/// connection is closed (the oversized payload is never read).
+pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Maximum nesting depth the decoder accepts for [`Predicate`] trees —
+/// a malicious payload must not be able to overflow the decoder's stack.
+pub const MAX_PREDICATE_DEPTH: usize = 64;
+
+/// Error codes carried by [`Response::Error`].
+pub mod code {
+    /// The `Hello` version is not spoken by this server; connection closes.
+    pub const UNSUPPORTED_VERSION: u16 = 1;
+    /// A request arrived before `Hello`; connection closes.
+    pub const HANDSHAKE_REQUIRED: u16 = 2;
+    /// The payload did not decode (truncated fields, trailing bytes, bad
+    /// UTF-8, unknown enum discriminant, over-deep predicate). Connection
+    /// stays open.
+    pub const MALFORMED: u16 = 3;
+    /// The frame tag names no request this version knows. Connection
+    /// stays open.
+    pub const UNKNOWN_TAG: u16 = 4;
+    /// The frame length exceeds the receiver's cap; connection closes.
+    pub const FRAME_TOO_LARGE: u16 = 5;
+    /// An installed policy failed compilation (a regex constraint did not
+    /// compile). Connection stays open.
+    pub const BAD_POLICY: u16 = 6;
+    /// The server is shutting down and no longer accepts work.
+    pub const SHUTTING_DOWN: u16 = 7;
+}
+
+// Request tags.
+pub(crate) const TAG_HELLO: u8 = 0x01;
+pub(crate) const TAG_CHECK: u8 = 0x02;
+pub(crate) const TAG_CHECK_BATCH: u8 = 0x03;
+pub(crate) const TAG_INSTALL: u8 = 0x04;
+pub(crate) const TAG_FETCH_POLICY: u8 = 0x05;
+pub(crate) const TAG_FLUSH: u8 = 0x06;
+pub(crate) const TAG_STATS: u8 = 0x07;
+pub(crate) const TAG_SHUTDOWN: u8 = 0x08;
+
+// Response tags.
+pub(crate) const TAG_HELLO_OK: u8 = 0x81;
+pub(crate) const TAG_VERDICT: u8 = 0x82;
+pub(crate) const TAG_VERDICT_BATCH: u8 = 0x83;
+pub(crate) const TAG_INSTALLED: u8 = 0x84;
+pub(crate) const TAG_POLICY: u8 = 0x85;
+pub(crate) const TAG_FLUSHED: u8 = 0x86;
+pub(crate) const TAG_STATS_OK: u8 = 0x87;
+pub(crate) const TAG_SHUTTING_DOWN: u8 = 0x88;
+pub(crate) const TAG_ERROR: u8 = 0xFF;
+
+/// One length-prefixed message as it travels the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message tag (request `0x01..=0x7F`, response `0x80..=0xFF`).
+    pub tag: u8,
+    /// Tag-specific payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame tag names no message this implementation knows.
+    UnknownTag(u8),
+    /// A field's bytes ended before the field did.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The payload decoded fully but bytes remain.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An enum discriminant byte named no known variant.
+    UnknownEnumTag {
+        /// The enum being decoded.
+        what: &'static str,
+        /// The offending discriminant.
+        tag: u8,
+    },
+    /// A predicate tree exceeded [`MAX_PREDICATE_DEPTH`].
+    TooDeep,
+    /// A regex constraint pattern failed to compile on arrival.
+    BadRegex {
+        /// The pattern as received.
+        pattern: String,
+        /// The compiler's error, rendered.
+        error: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag 0x{tag:02x}"),
+            WireError::Truncated { what } => write!(f, "payload truncated while decoding {what}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the payload")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::UnknownEnumTag { what, tag } => {
+                write!(f, "unknown {what} discriminant 0x{tag:02x}")
+            }
+            WireError::TooDeep => {
+                write!(f, "predicate nesting exceeds {MAX_PREDICATE_DEPTH} levels")
+            }
+            WireError::BadRegex { pattern, error } => {
+                write!(f, "regex constraint {pattern:?} does not compile: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl WireError {
+    /// The [`code`] a server reports for this decode failure.
+    pub fn error_code(&self) -> u16 {
+        match self {
+            WireError::UnknownTag(_) => code::UNKNOWN_TAG,
+            WireError::BadRegex { .. } => code::BAD_POLICY,
+            _ => code::MALFORMED,
+        }
+    }
+}
+
+/// Why a frame could not be read off the transport.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// Transport failure — including `UnexpectedEof` when the peer closed
+    /// mid-frame (a truncated frame).
+    Io(io::Error),
+    /// The announced length exceeds the receiver's cap. The payload was
+    /// not read; the connection must close.
+    Oversized {
+        /// The announced length.
+        len: u32,
+        /// The receiver's cap.
+        max: u32,
+    },
+    /// The announced length was zero — a frame must at least carry a tag.
+    Empty,
+}
+
+impl fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameReadError::Io(e) => write!(f, "frame read failed: {e}"),
+            FrameReadError::Oversized { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte cap")
+            }
+            FrameReadError::Empty => write!(f, "zero-length frame (no tag byte)"),
+        }
+    }
+}
+
+impl std::error::Error for FrameReadError {}
+
+impl From<io::Error> for FrameReadError {
+    fn from(e: io::Error) -> Self {
+        FrameReadError::Io(e)
+    }
+}
+
+/// Writes one frame: `u32` length (tag + payload), tag byte, payload.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let len = 1u32 + frame.payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[frame.tag])?;
+    w.write_all(&frame.payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed cleanly at a frame
+/// boundary; EOF *inside* a frame surfaces as
+/// [`FrameReadError::Io`] with `UnexpectedEof` (a truncated frame).
+pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Frame>, FrameReadError> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(FrameReadError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-length",
+                )))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes);
+    if len == 0 {
+        return Err(FrameReadError::Empty);
+    }
+    if len > max_len {
+        return Err(FrameReadError::Oversized { len, max: max_len });
+    }
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let mut payload = vec![0u8; len as usize - 1];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Frame { tag: tag[0], payload }))
+}
+
+// --------------------------------------------------------------- encoder
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
+    put_u32(out, items.len() as u32);
+    for item in items {
+        put_str(out, item);
+    }
+}
+
+fn put_context(out: &mut Vec<u8>, ctx: &TrustedContext) {
+    put_str(out, &ctx.current_user);
+    put_str(out, &ctx.date);
+    put_u64(out, ctx.time);
+    put_str_list(out, &ctx.usernames);
+    put_str_list(out, &ctx.email_addresses);
+    put_str_list(out, &ctx.email_categories);
+    put_str(out, &ctx.fs_tree);
+    put_u32(out, ctx.extra.len() as u32);
+    for (k, v) in &ctx.extra {
+        put_str(out, k);
+        put_str(out, v);
+    }
+}
+
+fn put_call(out: &mut Vec<u8>, call: &ApiCall) {
+    put_str(out, &call.tool);
+    put_str(out, &call.name);
+    put_str_list(out, &call.args);
+    put_str(out, &call.raw);
+}
+
+fn put_predicate(out: &mut Vec<u8>, p: &Predicate) {
+    match p {
+        Predicate::True => out.push(0),
+        Predicate::Eq(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        Predicate::Prefix(s) => {
+            out.push(2);
+            put_str(out, s);
+        }
+        Predicate::Suffix(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+        Predicate::Contains(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Predicate::OneOf(options) => {
+            out.push(5);
+            put_str_list(out, options);
+        }
+        Predicate::Num(op, v) => {
+            out.push(6);
+            out.push(match op {
+                CmpOp::Lt => 0,
+                CmpOp::Le => 1,
+                CmpOp::Eq => 2,
+                CmpOp::Ge => 3,
+                CmpOp::Gt => 4,
+            });
+            put_i64(out, *v);
+        }
+        Predicate::Not(inner) => {
+            out.push(7);
+            put_predicate(out, inner);
+        }
+        Predicate::All(ps) => {
+            out.push(8);
+            put_u32(out, ps.len() as u32);
+            for p in ps {
+                put_predicate(out, p);
+            }
+        }
+        Predicate::AnyOf(ps) => {
+            out.push(9);
+            put_u32(out, ps.len() as u32);
+            for p in ps {
+                put_predicate(out, p);
+            }
+        }
+    }
+}
+
+fn put_constraint(out: &mut Vec<u8>, c: &ArgConstraint) {
+    match c {
+        ArgConstraint::Any => out.push(0),
+        ArgConstraint::Regex(re) => {
+            out.push(1);
+            put_str(out, re.pattern());
+        }
+        ArgConstraint::Dsl(p) => {
+            out.push(2);
+            put_predicate(out, p);
+        }
+    }
+}
+
+fn put_policy(out: &mut Vec<u8>, policy: &Policy) {
+    put_str(out, &policy.task);
+    put_str(out, &policy.default_rationale);
+    put_u32(out, policy.entries.len() as u32);
+    for (api, entry) in &policy.entries {
+        put_str(out, api);
+        put_bool(out, entry.can_execute);
+        put_u32(out, entry.arg_constraints.len() as u32);
+        for c in &entry.arg_constraints {
+            put_constraint(out, c);
+        }
+        put_str(out, &entry.rationale);
+    }
+}
+
+fn put_violation(out: &mut Vec<u8>, v: &Violation) {
+    match v {
+        Violation::UnlistedApi => out.push(0),
+        Violation::CannotExecute => out.push(1),
+        Violation::ArgMismatch { index, constraint, value } => {
+            out.push(2);
+            put_u64(out, *index as u64);
+            put_str(out, constraint);
+            put_str(out, value);
+        }
+        Violation::RateLimited { api, limit, used } => {
+            out.push(3);
+            put_str(out, api);
+            put_u64(out, *limit as u64);
+            put_u64(out, *used as u64);
+        }
+        Violation::SequenceUnmet { api, requirement } => {
+            out.push(4);
+            put_str(out, api);
+            put_str(out, requirement);
+        }
+        Violation::BudgetExhausted { max } => {
+            out.push(5);
+            put_u64(out, *max as u64);
+        }
+        Violation::OverrideDeclined { underlying } => {
+            out.push(6);
+            match underlying {
+                None => put_bool(out, false),
+                Some(inner) => {
+                    put_bool(out, true);
+                    put_violation(out, inner);
+                }
+            }
+        }
+    }
+}
+
+fn put_decision(out: &mut Vec<u8>, d: &Decision) {
+    put_bool(out, d.allowed);
+    put_str(out, &d.rationale);
+    match &d.violation {
+        None => put_bool(out, false),
+        Some(v) => {
+            put_bool(out, true);
+            put_violation(out, v);
+        }
+    }
+}
+
+/// Encodes a decision exactly as [`Response::Verdict`] carries it — the
+/// byte string the differential tests compare served and in-process
+/// verdicts with.
+pub fn encode_decision(d: &Decision) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_decision(&mut out, d);
+    out
+}
+
+fn put_counters(out: &mut Vec<u8>, c: &TenantCounters) {
+    put_u64(out, c.hits);
+    put_u64(out, c.misses);
+    put_u64(out, c.checks);
+    put_u64(out, c.allowed);
+    put_u64(out, c.denied);
+}
+
+// --------------------------------------------------------------- decoder
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated { what });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self, what: &'static str) -> Result<i64, WireError> {
+        Ok(i64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn bool_(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::UnknownEnumTag { what, tag }),
+        }
+    }
+
+    fn str_(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    fn str_list(&mut self, what: &'static str) -> Result<Vec<String>, WireError> {
+        let count = self.u32(what)? as usize;
+        let mut items = Vec::new();
+        for _ in 0..count {
+            items.push(self.str_(what)?);
+        }
+        Ok(items)
+    }
+
+    fn context(&mut self) -> Result<TrustedContext, WireError> {
+        let mut ctx = TrustedContext::for_user("");
+        ctx.current_user = self.str_("context.current_user")?;
+        ctx.date = self.str_("context.date")?;
+        ctx.time = self.u64("context.time")?;
+        ctx.usernames = self.str_list("context.usernames")?;
+        ctx.email_addresses = self.str_list("context.email_addresses")?;
+        ctx.email_categories = self.str_list("context.email_categories")?;
+        ctx.fs_tree = self.str_("context.fs_tree")?;
+        let extras = self.u32("context.extra")? as usize;
+        for _ in 0..extras {
+            let key = self.str_("context.extra key")?;
+            let value = self.str_("context.extra value")?;
+            ctx.extra.insert(key, value);
+        }
+        Ok(ctx)
+    }
+
+    fn call(&mut self) -> Result<ApiCall, WireError> {
+        let tool = self.str_("call.tool")?;
+        let name = self.str_("call.name")?;
+        let args = self.str_list("call.args")?;
+        let raw = self.str_("call.raw")?;
+        Ok(ApiCall { tool, name, args, raw })
+    }
+
+    fn predicate(&mut self, depth: usize) -> Result<Predicate, WireError> {
+        if depth > MAX_PREDICATE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.u8("predicate")? {
+            0 => Ok(Predicate::True),
+            1 => Ok(Predicate::Eq(self.str_("predicate.eq")?)),
+            2 => Ok(Predicate::Prefix(self.str_("predicate.prefix")?)),
+            3 => Ok(Predicate::Suffix(self.str_("predicate.suffix")?)),
+            4 => Ok(Predicate::Contains(self.str_("predicate.contains")?)),
+            5 => Ok(Predicate::OneOf(self.str_list("predicate.one_of")?)),
+            6 => {
+                let op = match self.u8("cmp_op")? {
+                    0 => CmpOp::Lt,
+                    1 => CmpOp::Le,
+                    2 => CmpOp::Eq,
+                    3 => CmpOp::Ge,
+                    4 => CmpOp::Gt,
+                    tag => return Err(WireError::UnknownEnumTag { what: "cmp_op", tag }),
+                };
+                Ok(Predicate::Num(op, self.i64("predicate.num")?))
+            }
+            7 => Ok(Predicate::Not(Box::new(self.predicate(depth + 1)?))),
+            8 => {
+                let count = self.u32("predicate.all")? as usize;
+                let mut ps = Vec::new();
+                for _ in 0..count {
+                    ps.push(self.predicate(depth + 1)?);
+                }
+                Ok(Predicate::All(ps))
+            }
+            9 => {
+                let count = self.u32("predicate.any_of")? as usize;
+                let mut ps = Vec::new();
+                for _ in 0..count {
+                    ps.push(self.predicate(depth + 1)?);
+                }
+                Ok(Predicate::AnyOf(ps))
+            }
+            tag => Err(WireError::UnknownEnumTag { what: "predicate", tag }),
+        }
+    }
+
+    fn constraint(&mut self) -> Result<ArgConstraint, WireError> {
+        match self.u8("constraint")? {
+            0 => Ok(ArgConstraint::Any),
+            1 => {
+                let pattern = self.str_("constraint.regex")?;
+                ArgConstraint::regex(&pattern)
+                    .map_err(|e| WireError::BadRegex { pattern, error: e.to_string() })
+            }
+            2 => Ok(ArgConstraint::Dsl(self.predicate(0)?)),
+            tag => Err(WireError::UnknownEnumTag { what: "constraint", tag }),
+        }
+    }
+
+    fn policy(&mut self) -> Result<Policy, WireError> {
+        let mut policy = Policy::new(&self.str_("policy.task")?);
+        policy.default_rationale = self.str_("policy.default_rationale")?;
+        let entries = self.u32("policy.entries")? as usize;
+        for _ in 0..entries {
+            let api = self.str_("policy.api")?;
+            let can_execute = self.bool_("entry.can_execute")?;
+            let constraints = self.u32("entry.constraints")? as usize;
+            let mut arg_constraints = Vec::new();
+            for _ in 0..constraints {
+                arg_constraints.push(self.constraint()?);
+            }
+            let rationale = self.str_("entry.rationale")?;
+            policy.set(&api, PolicyEntry { can_execute, arg_constraints, rationale });
+        }
+        Ok(policy)
+    }
+
+    fn violation(&mut self, depth: usize) -> Result<Violation, WireError> {
+        if depth > MAX_PREDICATE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.u8("violation")? {
+            0 => Ok(Violation::UnlistedApi),
+            1 => Ok(Violation::CannotExecute),
+            2 => Ok(Violation::ArgMismatch {
+                index: self.u64("violation.index")? as usize,
+                constraint: self.str_("violation.constraint")?,
+                value: self.str_("violation.value")?,
+            }),
+            3 => Ok(Violation::RateLimited {
+                api: self.str_("violation.api")?,
+                limit: self.u64("violation.limit")? as usize,
+                used: self.u64("violation.used")? as usize,
+            }),
+            4 => Ok(Violation::SequenceUnmet {
+                api: self.str_("violation.api")?,
+                requirement: self.str_("violation.requirement")?,
+            }),
+            5 => Ok(Violation::BudgetExhausted { max: self.u64("violation.max")? as usize }),
+            6 => {
+                let underlying = if self.bool_("violation.underlying")? {
+                    Some(Box::new(self.violation(depth + 1)?))
+                } else {
+                    None
+                };
+                Ok(Violation::OverrideDeclined { underlying })
+            }
+            tag => Err(WireError::UnknownEnumTag { what: "violation", tag }),
+        }
+    }
+
+    fn decision(&mut self) -> Result<Decision, WireError> {
+        let allowed = self.bool_("decision.allowed")?;
+        let rationale = self.str_("decision.rationale")?;
+        let violation =
+            if self.bool_("decision.violation")? { Some(self.violation(0)?) } else { None };
+        Ok(Decision { allowed, rationale, violation })
+    }
+
+    fn counters(&mut self) -> Result<TenantCounters, WireError> {
+        Ok(TenantCounters {
+            hits: self.u64("counters.hits")?,
+            misses: self.u64("counters.misses")?,
+            checks: self.u64("counters.checks")?,
+            allowed: self.u64("counters.allowed")?,
+            denied: self.u64("counters.denied")?,
+        })
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        let extra = self.buf.len() - self.pos;
+        if extra == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes { extra })
+        }
+    }
+}
+
+// --------------------------------------------------------------- messages
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Opens the conversation; must be the first frame on a connection.
+    Hello {
+        /// The protocol version the client speaks.
+        version: u16,
+    },
+    /// One policy decision for one proposed call.
+    Check {
+        /// Tenant the check is billed to.
+        tenant: String,
+        /// Task text the policy is keyed by.
+        task: String,
+        /// Trusted context the policy is keyed by.
+        context: TrustedContext,
+        /// The proposed action.
+        call: ApiCall,
+    },
+    /// Decisions for a batch of calls against one policy key.
+    CheckBatch {
+        /// Tenant the checks are billed to.
+        tenant: String,
+        /// Task text the policy is keyed by.
+        task: String,
+        /// Trusted context the policy is keyed by.
+        context: TrustedContext,
+        /// The proposed actions, judged in order.
+        calls: Vec<ApiCall>,
+    },
+    /// Compiles and installs a policy for (tenant, task, context).
+    Install {
+        /// Owning tenant.
+        tenant: String,
+        /// Task text the policy is keyed by.
+        task: String,
+        /// Trusted context the policy is keyed by.
+        context: TrustedContext,
+        /// The policy to compile.
+        policy: Policy,
+    },
+    /// Retrieves the source policy installed for (tenant, task, context).
+    FetchPolicy {
+        /// Owning tenant.
+        tenant: String,
+        /// Task text the policy is keyed by.
+        task: String,
+        /// Trusted context the policy is keyed by.
+        context: TrustedContext,
+    },
+    /// Drops every policy installed for a tenant.
+    Flush {
+        /// The tenant to flush.
+        tenant: String,
+    },
+    /// Reads a tenant's counters.
+    Stats {
+        /// The tenant to report on.
+        tenant: String,
+    },
+    /// Asks the server to stop accepting connections (admin operation).
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The handshake succeeded; the server speaks `version`.
+    HelloOk {
+        /// The protocol version the server speaks.
+        version: u16,
+    },
+    /// Answer to [`Request::Check`]. `None` means no policy is installed
+    /// for the key (the caller should generate and install one).
+    Verdict {
+        /// The decision, when a policy was installed.
+        decision: Option<Decision>,
+    },
+    /// Answer to [`Request::CheckBatch`]; `None` as in [`Response::Verdict`].
+    VerdictBatch {
+        /// Decisions in call order, when a policy was installed.
+        decisions: Option<Vec<Decision>>,
+    },
+    /// Answer to [`Request::Install`].
+    Installed {
+        /// [`Policy::fingerprint`] of the installed policy.
+        fingerprint: u64,
+        /// Number of API entries the policy lists.
+        entries: u64,
+    },
+    /// Answer to [`Request::FetchPolicy`].
+    PolicyOk {
+        /// The installed source policy, if any.
+        policy: Option<Policy>,
+    },
+    /// Answer to [`Request::Flush`].
+    Flushed {
+        /// How many store entries were dropped.
+        removed: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    StatsOk {
+        /// The tenant's counters at the time of the request.
+        counters: TenantCounters,
+    },
+    /// Answer to [`Request::Shutdown`]; the server stops accepting new
+    /// connections but serves existing ones until they close.
+    ShuttingDown,
+    /// The request failed; see [`code`] for the catalogue.
+    Error {
+        /// Machine-readable error code.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl Request {
+    /// Encodes the request into a frame.
+    pub fn encode(&self) -> Frame {
+        let mut out = Vec::new();
+        let tag = match self {
+            Request::Hello { version } => {
+                put_u16(&mut out, *version);
+                TAG_HELLO
+            }
+            Request::Check { tenant, task, context, call } => {
+                put_str(&mut out, tenant);
+                put_str(&mut out, task);
+                put_context(&mut out, context);
+                put_call(&mut out, call);
+                TAG_CHECK
+            }
+            Request::CheckBatch { tenant, task, context, calls } => {
+                put_str(&mut out, tenant);
+                put_str(&mut out, task);
+                put_context(&mut out, context);
+                put_u32(&mut out, calls.len() as u32);
+                for call in calls {
+                    put_call(&mut out, call);
+                }
+                TAG_CHECK_BATCH
+            }
+            Request::Install { tenant, task, context, policy } => {
+                put_str(&mut out, tenant);
+                put_str(&mut out, task);
+                put_context(&mut out, context);
+                put_policy(&mut out, policy);
+                TAG_INSTALL
+            }
+            Request::FetchPolicy { tenant, task, context } => {
+                put_str(&mut out, tenant);
+                put_str(&mut out, task);
+                put_context(&mut out, context);
+                TAG_FETCH_POLICY
+            }
+            Request::Flush { tenant } => {
+                put_str(&mut out, tenant);
+                TAG_FLUSH
+            }
+            Request::Stats { tenant } => {
+                put_str(&mut out, tenant);
+                TAG_STATS
+            }
+            Request::Shutdown => TAG_SHUTDOWN,
+        };
+        Frame { tag, payload: out }
+    }
+
+    /// Decodes a request frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; the server maps it to an error [`code`] via
+    /// [`WireError::error_code`].
+    pub fn decode(frame: &Frame) -> Result<Request, WireError> {
+        let mut r = Reader::new(&frame.payload);
+        let request = match frame.tag {
+            TAG_HELLO => Request::Hello { version: r.u16("hello.version")? },
+            TAG_CHECK => Request::Check {
+                tenant: r.str_("check.tenant")?,
+                task: r.str_("check.task")?,
+                context: r.context()?,
+                call: r.call()?,
+            },
+            TAG_CHECK_BATCH => {
+                let tenant = r.str_("check_batch.tenant")?;
+                let task = r.str_("check_batch.task")?;
+                let context = r.context()?;
+                let count = r.u32("check_batch.calls")? as usize;
+                let mut calls = Vec::new();
+                for _ in 0..count {
+                    calls.push(r.call()?);
+                }
+                Request::CheckBatch { tenant, task, context, calls }
+            }
+            TAG_INSTALL => Request::Install {
+                tenant: r.str_("install.tenant")?,
+                task: r.str_("install.task")?,
+                context: r.context()?,
+                policy: r.policy()?,
+            },
+            TAG_FETCH_POLICY => Request::FetchPolicy {
+                tenant: r.str_("fetch.tenant")?,
+                task: r.str_("fetch.task")?,
+                context: r.context()?,
+            },
+            TAG_FLUSH => Request::Flush { tenant: r.str_("flush.tenant")? },
+            TAG_STATS => Request::Stats { tenant: r.str_("stats.tenant")? },
+            TAG_SHUTDOWN => Request::Shutdown,
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        r.finish()?;
+        Ok(request)
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame.
+    pub fn encode(&self) -> Frame {
+        let mut out = Vec::new();
+        let tag = match self {
+            Response::HelloOk { version } => {
+                put_u16(&mut out, *version);
+                TAG_HELLO_OK
+            }
+            Response::Verdict { decision } => {
+                match decision {
+                    None => put_bool(&mut out, false),
+                    Some(d) => {
+                        put_bool(&mut out, true);
+                        put_decision(&mut out, d);
+                    }
+                }
+                TAG_VERDICT
+            }
+            Response::VerdictBatch { decisions } => {
+                match decisions {
+                    None => put_bool(&mut out, false),
+                    Some(ds) => {
+                        put_bool(&mut out, true);
+                        put_u32(&mut out, ds.len() as u32);
+                        for d in ds {
+                            put_decision(&mut out, d);
+                        }
+                    }
+                }
+                TAG_VERDICT_BATCH
+            }
+            Response::Installed { fingerprint, entries } => {
+                put_u64(&mut out, *fingerprint);
+                put_u64(&mut out, *entries);
+                TAG_INSTALLED
+            }
+            Response::PolicyOk { policy } => {
+                match policy {
+                    None => put_bool(&mut out, false),
+                    Some(p) => {
+                        put_bool(&mut out, true);
+                        put_policy(&mut out, p);
+                    }
+                }
+                TAG_POLICY
+            }
+            Response::Flushed { removed } => {
+                put_u64(&mut out, *removed);
+                TAG_FLUSHED
+            }
+            Response::StatsOk { counters } => {
+                put_counters(&mut out, counters);
+                TAG_STATS_OK
+            }
+            Response::ShuttingDown => TAG_SHUTTING_DOWN,
+            Response::Error { code, message } => {
+                put_u16(&mut out, *code);
+                put_str(&mut out, message);
+                TAG_ERROR
+            }
+        };
+        Frame { tag, payload: out }
+    }
+
+    /// Decodes a response frame.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`]; clients treat it as a protocol failure.
+    pub fn decode(frame: &Frame) -> Result<Response, WireError> {
+        let mut r = Reader::new(&frame.payload);
+        let response = match frame.tag {
+            TAG_HELLO_OK => Response::HelloOk { version: r.u16("hello_ok.version")? },
+            TAG_VERDICT => Response::Verdict {
+                decision: if r.bool_("verdict.present")? { Some(r.decision()?) } else { None },
+            },
+            TAG_VERDICT_BATCH => Response::VerdictBatch {
+                decisions: if r.bool_("verdict_batch.present")? {
+                    let count = r.u32("verdict_batch.count")? as usize;
+                    let mut ds = Vec::new();
+                    for _ in 0..count {
+                        ds.push(r.decision()?);
+                    }
+                    Some(ds)
+                } else {
+                    None
+                },
+            },
+            TAG_INSTALLED => Response::Installed {
+                fingerprint: r.u64("installed.fingerprint")?,
+                entries: r.u64("installed.entries")?,
+            },
+            TAG_POLICY => Response::PolicyOk {
+                policy: if r.bool_("policy.present")? { Some(r.policy()?) } else { None },
+            },
+            TAG_FLUSHED => Response::Flushed { removed: r.u64("flushed.removed")? },
+            TAG_STATS_OK => Response::StatsOk { counters: r.counters()? },
+            TAG_SHUTTING_DOWN => Response::ShuttingDown,
+            TAG_ERROR => {
+                Response::Error { code: r.u16("error.code")?, message: r.str_("error.message")? }
+            }
+            tag => return Err(WireError::UnknownTag(tag)),
+        };
+        r.finish()?;
+        Ok(response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_core::is_allowed;
+
+    fn sample_policy() -> Policy {
+        let mut policy = Policy::new("respond to urgent work emails");
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![
+                    ArgConstraint::regex("alice").unwrap(),
+                    ArgConstraint::Dsl(Predicate::All(vec![
+                        Predicate::Suffix("@work.com".into()),
+                        Predicate::Not(Box::new(Predicate::Contains("..".into()))),
+                    ])),
+                    ArgConstraint::Any,
+                ],
+                "urgent responses come from alice",
+            ),
+        );
+        policy.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+        policy
+    }
+
+    fn sample_context() -> TrustedContext {
+        let mut ctx = TrustedContext::for_user("alice");
+        ctx.date = "2025-05-14".into();
+        ctx.time = 42;
+        ctx.usernames = vec!["alice".into(), "bob".into()];
+        ctx.email_addresses = vec!["alice@work.com".into()];
+        ctx.email_categories = vec!["Inbox".into()];
+        ctx.fs_tree = "/home/alice\n/home/alice/notes.txt".into();
+        ctx.extra.insert("region".into(), "eu".into());
+        ctx
+    }
+
+    fn roundtrip_request(request: Request) -> Request {
+        let frame = request.encode();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        let read = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(read, frame);
+        Request::decode(&read).unwrap()
+    }
+
+    fn roundtrip_response(response: Response) -> Response {
+        let frame = response.encode();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame).unwrap();
+        let read = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        Response::decode(&read).unwrap()
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let ctx = sample_context();
+        let call = ApiCall::new("email", "send_email", vec!["alice".into(), "b@work.com".into()]);
+        let requests = vec![
+            Request::Hello { version: PROTOCOL_VERSION },
+            Request::Check {
+                tenant: "acme".into(),
+                task: "t".into(),
+                context: ctx.clone(),
+                call: call.clone(),
+            },
+            Request::CheckBatch {
+                tenant: "acme".into(),
+                task: "t".into(),
+                context: ctx.clone(),
+                calls: vec![call.clone(), ApiCall::new("fs", "ls", vec![])],
+            },
+            Request::Install {
+                tenant: "acme".into(),
+                task: "t".into(),
+                context: ctx.clone(),
+                policy: sample_policy(),
+            },
+            Request::FetchPolicy { tenant: "acme".into(), task: "t".into(), context: ctx },
+            Request::Flush { tenant: "acme".into() },
+            Request::Stats { tenant: "acme".into() },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            assert_eq!(roundtrip_request(request.clone()), request);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let policy = sample_policy();
+        let allow = is_allowed(
+            &ApiCall::new(
+                "email",
+                "send_email",
+                vec!["alice".into(), "b@work.com".into(), "s".into()],
+            ),
+            &policy,
+        );
+        let deny = is_allowed(&ApiCall::new("email", "delete_email", vec!["1".into()]), &policy);
+        let unlisted = is_allowed(&ApiCall::new("fs", "rm", vec!["/x".into()]), &policy);
+        let responses = vec![
+            Response::HelloOk { version: PROTOCOL_VERSION },
+            Response::Verdict { decision: None },
+            Response::Verdict { decision: Some(allow.clone()) },
+            Response::VerdictBatch { decisions: None },
+            Response::VerdictBatch { decisions: Some(vec![allow, deny, unlisted]) },
+            Response::Installed { fingerprint: policy.fingerprint(), entries: 2 },
+            Response::PolicyOk { policy: None },
+            Response::PolicyOk { policy: Some(policy) },
+            Response::Flushed { removed: 3 },
+            Response::StatsOk {
+                counters: TenantCounters { hits: 1, misses: 2, checks: 3, allowed: 2, denied: 1 },
+            },
+            Response::ShuttingDown,
+            Response::Error { code: code::MALFORMED, message: "truncated".into() },
+        ];
+        for response in responses {
+            assert_eq!(roundtrip_response(response.clone()), response);
+        }
+    }
+
+    #[test]
+    fn violations_roundtrip_through_decisions() {
+        let violations = vec![
+            Violation::UnlistedApi,
+            Violation::CannotExecute,
+            Violation::ArgMismatch { index: 2, constraint: "~ /a/".into(), value: "b\nc".into() },
+            Violation::RateLimited { api: "send_email".into(), limit: 2, used: 2 },
+            Violation::SequenceUnmet { api: "rm".into(), requirement: "list first".into() },
+            Violation::BudgetExhausted { max: 100 },
+            Violation::OverrideDeclined { underlying: None },
+            Violation::OverrideDeclined {
+                underlying: Some(Box::new(Violation::OverrideDeclined {
+                    underlying: Some(Box::new(Violation::UnlistedApi)),
+                })),
+            },
+        ];
+        for violation in violations {
+            let decision = Decision {
+                allowed: false,
+                rationale: "why".into(),
+                violation: Some(violation.clone()),
+            };
+            let out = roundtrip_response(Response::Verdict { decision: Some(decision.clone()) });
+            assert_eq!(out, Response::Verdict { decision: Some(decision) });
+        }
+    }
+
+    #[test]
+    fn truncated_payload_is_a_structured_error() {
+        let frame = Request::Stats { tenant: "acme".into() }.encode();
+        let cut = Frame { tag: frame.tag, payload: frame.payload[..2].to_vec() };
+        assert!(matches!(Request::decode(&cut), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut frame = Request::Shutdown.encode();
+        frame.payload.push(0);
+        assert_eq!(Request::decode(&frame), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected_with_their_tag() {
+        let frame = Frame { tag: 0x7E, payload: Vec::new() };
+        assert_eq!(Request::decode(&frame), Err(WireError::UnknownTag(0x7E)));
+        assert_eq!(Request::decode(&frame).unwrap_err().error_code(), code::UNKNOWN_TAG);
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_reading_the_payload() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(64u32).to_be_bytes());
+        bytes.push(TAG_STATS);
+        match read_frame(&mut bytes.as_slice(), 16) {
+            Err(FrameReadError::Oversized { len: 64, max: 16 }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_length_frames_are_refused() {
+        let bytes = 0u32.to_be_bytes();
+        assert!(matches!(read_frame(&mut bytes.as_slice(), 16), Err(FrameReadError::Empty)));
+    }
+
+    #[test]
+    fn clean_eof_is_none_but_mid_frame_eof_is_truncation() {
+        assert!(read_frame(&mut [].as_slice(), 16).unwrap().is_none());
+        let mut full = Vec::new();
+        write_frame(&mut full, &Request::Shutdown.encode()).unwrap();
+        for cut in 1..full.len() {
+            match read_frame(&mut &full[..cut], 16) {
+                Err(FrameReadError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}")
+                }
+                other => panic!("cut at {cut}: expected truncation, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn over_deep_predicates_are_rejected() {
+        let mut p = Predicate::True;
+        for _ in 0..(MAX_PREDICATE_DEPTH + 1) {
+            p = Predicate::Not(Box::new(p));
+        }
+        let mut policy = Policy::new("deep");
+        policy.set("ls", PolicyEntry::allow(vec![ArgConstraint::Dsl(p)], "r"));
+        let frame = Request::Install {
+            tenant: "t".into(),
+            task: "t".into(),
+            context: TrustedContext::for_user("a"),
+            policy,
+        }
+        .encode();
+        assert_eq!(Request::decode(&frame), Err(WireError::TooDeep));
+    }
+
+    #[test]
+    fn bad_regex_surfaces_as_bad_policy() {
+        // Encode a policy frame whose regex pattern is unbalanced by
+        // hand-crafting the constraint bytes (the typed API cannot build
+        // one, which is the point of checking at the trust boundary).
+        let mut out = Vec::new();
+        put_str(&mut out, "tenant");
+        put_str(&mut out, "task");
+        put_context(&mut out, &TrustedContext::for_user("a"));
+        put_str(&mut out, "task");
+        put_str(&mut out, "default");
+        put_u32(&mut out, 1);
+        put_str(&mut out, "ls");
+        put_bool(&mut out, true);
+        put_u32(&mut out, 1);
+        out.push(1); // constraint kind: regex
+        put_str(&mut out, "(unclosed");
+        put_str(&mut out, "rationale");
+        let frame = Frame { tag: TAG_INSTALL, payload: out };
+        match Request::decode(&frame) {
+            Err(e @ WireError::BadRegex { .. }) => {
+                assert_eq!(e.error_code(), code::BAD_POLICY);
+            }
+            other => panic!("expected BadRegex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_utf8_is_rejected() {
+        let mut payload = Vec::new();
+        put_u32(&mut payload, 2);
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        let frame = Frame { tag: TAG_STATS, payload };
+        assert_eq!(Request::decode(&frame), Err(WireError::BadUtf8));
+    }
+}

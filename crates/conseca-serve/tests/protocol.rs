@@ -1,0 +1,356 @@
+//! Protocol edge cases against a live server: truncated frames,
+//! oversized payloads, unknown tags, malformed payloads, handshake
+//! violations, concurrent clients hammering one tenant, and the remote
+//! session layer's eviction recovery. Every behaviour asserted here is
+//! specified in `docs/serving.md`.
+
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+use conseca_core::pipeline::PipelineBuilder;
+use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrustedContext};
+use conseca_engine::Engine;
+use conseca_serve::wire::{code, read_frame, write_frame, Frame, Request, Response};
+use conseca_serve::{Client, RemoteSessionLayer, ServeConfig, Server, ServerHandle};
+use conseca_shell::ApiCall;
+
+fn policy() -> Policy {
+    let mut p = Policy::new("t");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(vec![ArgConstraint::regex("^alice$").unwrap()], "alice sends"),
+    );
+    p.set("delete_email", PolicyEntry::deny("no deletions"));
+    p
+}
+
+fn call(name: &str, args: &[&str]) -> ApiCall {
+    ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+}
+
+fn ctx() -> TrustedContext {
+    TrustedContext::for_user("alice")
+}
+
+fn start() -> ServerHandle {
+    Server::start(Arc::new(Engine::default()), ServeConfig::default())
+}
+
+/// Raw-stream handshake for tests that speak frames directly.
+fn greet(stream: &mut (impl Read + Write)) {
+    write_frame(stream, &Request::Hello { version: conseca_serve::PROTOCOL_VERSION }.encode())
+        .unwrap();
+    let frame = read_frame(stream, 1 << 20).unwrap().expect("hello response");
+    assert!(matches!(Response::decode(&frame).unwrap(), Response::HelloOk { .. }));
+}
+
+fn read_response(stream: &mut impl Read) -> Response {
+    let frame = read_frame(stream, 1 << 20).unwrap().expect("a response frame");
+    Response::decode(&frame).unwrap()
+}
+
+#[test]
+fn truncated_frame_drops_the_connection_but_not_the_server() {
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    // A frame header promising 100 bytes, followed by silence: the peer
+    // vanishes mid-frame. The server must treat it as a disconnect.
+    raw.write_all(&100u32.to_be_bytes()).unwrap();
+    raw.write_all(&[0x02, 1, 2, 3]).unwrap();
+    drop(raw);
+    // The server is still fully alive for the next client.
+    let mut client = server.connect().unwrap();
+    client.install("acme", "t", &ctx(), &policy()).unwrap();
+    let decision = client.check("acme", "t", &ctx(), &call("send_email", &["alice"])).unwrap();
+    assert!(decision.unwrap().allowed);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_frame_is_refused_and_the_connection_closes() {
+    let server = Server::start(
+        Arc::new(Engine::default()),
+        ServeConfig { max_frame_len: 256, ..ServeConfig::default() },
+    );
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    // Announce a frame far over the cap. The server answers without ever
+    // reading the payload, then closes.
+    raw.write_all(&(1_000_000u32).to_be_bytes()).unwrap();
+    raw.write_all(&[0x02]).unwrap();
+    match read_response(&mut raw) {
+        Response::Error { code: c, message } => {
+            assert_eq!(c, code::FRAME_TOO_LARGE);
+            assert!(message.contains("1000000"), "message names the length: {message}");
+        }
+        other => panic!("expected FRAME_TOO_LARGE, got {other:?}"),
+    }
+    assert!(read_frame(&mut raw, 1 << 20).unwrap().is_none(), "server must close");
+    server.shutdown();
+}
+
+#[test]
+fn unknown_tag_is_answered_and_the_connection_continues() {
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    write_frame(&mut raw, &Frame { tag: 0x7E, payload: vec![1, 2, 3] }).unwrap();
+    match read_response(&mut raw) {
+        Response::Error { code: c, .. } => assert_eq!(c, code::UNKNOWN_TAG),
+        other => panic!("expected UNKNOWN_TAG, got {other:?}"),
+    }
+    // Same connection, valid request: still served.
+    write_frame(&mut raw, &Request::Stats { tenant: "acme".into() }.encode()).unwrap();
+    assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }));
+    server.shutdown();
+}
+
+#[test]
+fn malformed_payload_is_answered_and_the_connection_continues() {
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    // A Stats frame whose tenant string promises more bytes than follow.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&100u32.to_be_bytes());
+    payload.extend_from_slice(b"short");
+    write_frame(&mut raw, &Frame { tag: 0x07, payload }).unwrap();
+    match read_response(&mut raw) {
+        Response::Error { code: c, .. } => assert_eq!(c, code::MALFORMED),
+        other => panic!("expected MALFORMED, got {other:?}"),
+    }
+    write_frame(&mut raw, &Request::Stats { tenant: "acme".into() }.encode()).unwrap();
+    assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }));
+    server.shutdown();
+}
+
+#[test]
+fn requests_before_hello_are_refused_and_the_connection_closes() {
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    write_frame(&mut raw, &Request::Stats { tenant: "acme".into() }.encode()).unwrap();
+    match read_response(&mut raw) {
+        Response::Error { code: c, .. } => assert_eq!(c, code::HANDSHAKE_REQUIRED),
+        other => panic!("expected HANDSHAKE_REQUIRED, got {other:?}"),
+    }
+    assert!(read_frame(&mut raw, 1 << 20).unwrap().is_none(), "server must close");
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_version_is_refused_and_the_connection_closes() {
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    write_frame(&mut raw, &Request::Hello { version: 99 }.encode()).unwrap();
+    match read_response(&mut raw) {
+        Response::Error { code: c, message } => {
+            assert_eq!(c, code::UNSUPPORTED_VERSION);
+            assert!(message.contains("99"), "message names the bad version: {message}");
+        }
+        other => panic!("expected UNSUPPORTED_VERSION, got {other:?}"),
+    }
+    assert!(read_frame(&mut raw, 1 << 20).unwrap().is_none(), "server must close");
+    server.shutdown();
+}
+
+#[test]
+fn bad_policy_install_is_answered_and_the_connection_continues() {
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    // Hand-craft an Install whose regex does not compile (the typed API
+    // cannot produce one — the check lives at the trust boundary).
+    let mut payload = Vec::new();
+    for s in ["acme", "t"] {
+        payload.extend_from_slice(&(s.len() as u32).to_be_bytes());
+        payload.extend_from_slice(s.as_bytes());
+    }
+    let ctx_frame =
+        Request::FetchPolicy { tenant: String::new(), task: String::new(), context: ctx() }
+            .encode();
+    payload.extend_from_slice(&ctx_frame.payload[8..]); // context bytes after two empty strings
+    for s in ["t", "default"] {
+        payload.extend_from_slice(&(s.len() as u32).to_be_bytes());
+        payload.extend_from_slice(s.as_bytes());
+    }
+    payload.extend_from_slice(&1u32.to_be_bytes()); // one entry
+    payload.extend_from_slice(&2u32.to_be_bytes());
+    payload.extend_from_slice(b"ls");
+    payload.push(1); // can_execute
+    payload.extend_from_slice(&1u32.to_be_bytes()); // one constraint
+    payload.push(1); // regex kind
+    let pattern = b"(unclosed";
+    payload.extend_from_slice(&(pattern.len() as u32).to_be_bytes());
+    payload.extend_from_slice(pattern);
+    payload.extend_from_slice(&1u32.to_be_bytes());
+    payload.extend_from_slice(b"r");
+    write_frame(&mut raw, &Frame { tag: 0x04, payload }).unwrap();
+    match read_response(&mut raw) {
+        Response::Error { code: c, message } => {
+            assert_eq!(c, code::BAD_POLICY);
+            assert!(message.contains("unclosed"), "message names the pattern: {message}");
+        }
+        other => panic!("expected BAD_POLICY, got {other:?}"),
+    }
+    write_frame(&mut raw, &Request::Stats { tenant: "acme".into() }.encode()).unwrap();
+    assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }));
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_apply_effects_in_arrival_order() {
+    // The protocol permits pipelining; even when the dispatcher batches
+    // a whole pipeline into one round, an earlier Check must never
+    // observe a later Flush or Install from the same connection.
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    let context = ctx();
+    write_frame(
+        &mut raw,
+        &Request::Install {
+            tenant: "acme".into(),
+            task: "t".into(),
+            context: context.clone(),
+            policy: policy(),
+        }
+        .encode(),
+    )
+    .unwrap();
+    assert!(matches!(read_response(&mut raw), Response::Installed { .. }));
+    // Pipeline three frames before reading any response.
+    let check = Request::Check {
+        tenant: "acme".into(),
+        task: "t".into(),
+        context: context.clone(),
+        call: call("send_email", &["alice"]),
+    };
+    write_frame(&mut raw, &check.encode()).unwrap();
+    write_frame(&mut raw, &Request::Flush { tenant: "acme".into() }.encode()).unwrap();
+    write_frame(&mut raw, &check.encode()).unwrap();
+    match read_response(&mut raw) {
+        Response::Verdict { decision: Some(d) } => assert!(d.allowed),
+        other => panic!("pre-flush check must see the policy, got {other:?}"),
+    }
+    match read_response(&mut raw) {
+        Response::Flushed { removed } => assert_eq!(removed, 1),
+        other => panic!("expected Flushed, got {other:?}"),
+    }
+    match read_response(&mut raw) {
+        Response::Verdict { decision: None } => {}
+        other => panic!("post-flush check must miss, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_hammering_one_tenant_reconcile_with_counters() {
+    const CLIENTS: usize = 8;
+    const CHECKS_PER_CLIENT: usize = 200;
+    let server = Server::bind(Arc::new(Engine::default()), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    {
+        let mut setup = server.connect().unwrap();
+        setup.install("acme", "t", &ctx(), &policy()).unwrap();
+    }
+    let (observed_allowed, observed_denied) = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..CLIENTS)
+            .map(|worker| {
+                let server = &server;
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    // Half the clients arrive over TCP, half in-process.
+                    let mut client = if worker % 2 == 0 {
+                        Client::connect(&addr).expect("tcp connect")
+                    } else {
+                        server.connect().expect("duplex connect")
+                    };
+                    let context = ctx();
+                    let mut allowed = 0u64;
+                    let mut denied = 0u64;
+                    for i in 0..CHECKS_PER_CLIENT {
+                        let action = match i % 3 {
+                            0 => call("send_email", &["alice"]), // allowed
+                            1 => call("send_email", &["eve"]),   // arg mismatch
+                            _ => call("delete_email", &["1"]),   // cannot execute
+                        };
+                        let decision = client
+                            .check("acme", "t", &context, &action)
+                            .expect("transport")
+                            .expect("policy installed");
+                        if decision.allowed {
+                            allowed += 1;
+                        } else {
+                            denied += 1;
+                        }
+                    }
+                    (allowed, denied)
+                })
+            })
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("client thread"))
+            .fold((0, 0), |(a, d), (wa, wd)| (a + wa, d + wd))
+    });
+    let total = (CLIENTS * CHECKS_PER_CLIENT) as u64;
+    assert_eq!(observed_allowed + observed_denied, total);
+    // The server's per-tenant counters must reconcile exactly with what
+    // the clients observed, however the dispatcher batched the load.
+    let counters = server.engine().tenant_counters("acme");
+    assert_eq!(counters.checks, total, "every check billed exactly once");
+    assert_eq!(counters.allowed, observed_allowed);
+    assert_eq!(counters.denied, observed_denied);
+    let metrics = server.metrics();
+    assert_eq!(metrics.requests, total + 1, "checks + the install");
+    assert!(metrics.batches <= metrics.requests);
+    server.shutdown();
+}
+
+#[test]
+fn remote_session_layer_recovers_from_server_side_eviction() {
+    let server = start();
+    let mut client = server.connect().unwrap();
+    let context = ctx();
+    let shared = Arc::new(policy());
+    client.install("acme", "t", &context, &shared).unwrap();
+    {
+        let layer =
+            RemoteSessionLayer::new(&mut client, "acme", "t", context.clone(), Arc::clone(&shared));
+        let mut session = PipelineBuilder::new().layer(layer).build();
+        let verdict = session.check(&call("send_email", &["alice"]));
+        assert!(verdict.allowed);
+        // The server loses the snapshot mid-session (flush / LRU): the
+        // layer must re-install the policy it holds and keep enforcing
+        // identically, never fail open or panic.
+        assert_eq!(server.engine().flush_tenant("acme"), 1);
+        let verdict = session.check(&call("send_email", &["alice"]));
+        assert!(verdict.allowed, "verdict identical after recovery");
+        let denied = session.check(&call("delete_email", &["1"]));
+        assert!(!denied.allowed);
+    }
+    assert_eq!(server.engine().store().len(), 1, "the policy was re-installed");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_refuses_new_tcp_connections() {
+    let server = Server::bind(Arc::new(Engine::default()), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().unwrap().to_string();
+    let mut existing = Client::connect(&addr).unwrap();
+    existing.install("acme", "t", &ctx(), &policy()).unwrap();
+    existing.shutdown_server().unwrap();
+    // The accept loop has stopped: a fresh TCP connection either fails
+    // outright or is never served (its handshake dies).
+    match Client::connect(&addr) {
+        Err(_) => {}
+        Ok(_) => panic!("a new connection was served after shutdown"),
+    }
+    // The existing connection still answers.
+    assert!(existing.stats("acme").is_ok());
+    existing.close();
+    server.shutdown();
+}

@@ -8,6 +8,7 @@ use conseca_core::pipeline::{PipelineBuilder, Verdict};
 use conseca_core::{CacheKey, Decision, GoldenExample, Policy, PolicyGenerator};
 use conseca_engine::{Engine, EngineKey};
 use conseca_llm::TemplatePolicyModel;
+use conseca_serve::ServerHandle;
 use conseca_shell::{default_registry, ApiCall};
 
 use crate::env::{Env, CURRENT_USER};
@@ -95,9 +96,19 @@ pub struct RunOutcome {
     pub completed: bool,
 }
 
+/// How a harness run enforces its policies.
+enum Backend<'a> {
+    /// In-process interpreted enforcement (the paper's prototype shape).
+    Local,
+    /// A shared in-process [`Engine`], billed to a tenant.
+    Engine(&'a Arc<Engine>, &'a str),
+    /// A remote policy-decision server, billed to a tenant.
+    Served(&'a ServerHandle, &'a str),
+}
+
 /// Executes one task in a fresh environment.
 pub fn run_task_once(task_id: usize, trial: usize, mode: PolicyMode, inject: bool) -> RunOutcome {
-    run_task_once_inner(task_id, trial, mode, inject, None)
+    run_task_once_inner(task_id, trial, mode, inject, Backend::Local)
 }
 
 /// [`run_task_once`] with enforcement served by a shared [`Engine`]: the
@@ -112,7 +123,23 @@ pub fn run_task_once_engine(
     engine: &Arc<Engine>,
     tenant: &str,
 ) -> RunOutcome {
-    run_task_once_inner(task_id, trial, mode, inject, Some((engine, tenant)))
+    run_task_once_inner(task_id, trial, mode, inject, Backend::Engine(engine, tenant))
+}
+
+/// [`run_task_once`] with enforcement served by a remote policy-decision
+/// server (`conseca-serve`): the agent opens a connection, fetches or
+/// installs its policy in the server's store, and screens every action
+/// over the wire. Outcomes are identical to [`run_task_once`] — the
+/// serving differential tests pin the verdicts down byte-for-byte.
+pub fn run_task_once_served(
+    task_id: usize,
+    trial: usize,
+    mode: PolicyMode,
+    inject: bool,
+    server: &ServerHandle,
+    tenant: &str,
+) -> RunOutcome {
+    run_task_once_inner(task_id, trial, mode, inject, Backend::Served(server, tenant))
 }
 
 fn run_task_once_inner(
@@ -120,7 +147,7 @@ fn run_task_once_inner(
     trial: usize,
     mode: PolicyMode,
     inject: bool,
-    engine: Option<(&Arc<Engine>, &str)>,
+    backend: Backend<'_>,
 ) -> RunOutcome {
     let env = Env::build_with(inject);
     let registry = default_registry();
@@ -134,9 +161,14 @@ fn run_task_once_inner(
         generator,
         AgentConfig::for_mode(mode),
     );
-    if let Some((engine, tenant)) = engine {
-        agent = agent.with_engine(Arc::clone(engine), tenant);
-    }
+    agent = match backend {
+        Backend::Local => agent,
+        Backend::Engine(engine, tenant) => agent.with_engine(Arc::clone(engine), tenant),
+        Backend::Served(server, tenant) => {
+            let client = server.connect().expect("policy server refused the connection");
+            agent.with_remote_engine(client, tenant)
+        }
+    };
     let description = task_description(task_id);
     let planner = make_planner(task_id, trial);
     let report = agent.run_task(description, planner);
@@ -393,6 +425,33 @@ mod tests {
         let before = engine.store().hits();
         run_task_once_engine(1, 0, PolicyMode::Conseca, false, &engine, "eval");
         assert!(engine.store().hits() > before, "repeat trial must hit the store");
+    }
+
+    #[test]
+    fn served_runs_match_direct_runs() {
+        let server = conseca_serve::Server::start(
+            Arc::new(Engine::default()),
+            conseca_serve::ServeConfig::default(),
+        );
+        for mode in [PolicyMode::Conseca, PolicyMode::StaticRestrictive] {
+            for task_id in [1usize, 4] {
+                let direct = run_task_once(task_id, 0, mode, false);
+                let served = run_task_once_served(task_id, 0, mode, false, &server, "eval");
+                assert_eq!(served.completed, direct.completed, "task {task_id} {mode:?}");
+                assert_eq!(
+                    served.report.denials, direct.report.denials,
+                    "task {task_id} {mode:?} denials"
+                );
+                assert_eq!(
+                    served.report.executed, direct.report.executed,
+                    "task {task_id} {mode:?} executions"
+                );
+            }
+        }
+        // Repeat trials fetch the installed policy instead of regenerating.
+        let repeat = run_task_once_served(1, 0, PolicyMode::Conseca, false, &server, "eval");
+        assert!(repeat.report.generation.cache_hit, "repeat trial must hit the server store");
+        server.shutdown();
     }
 
     #[test]

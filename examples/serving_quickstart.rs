@@ -1,0 +1,79 @@
+//! Serving quickstart: a policy-decision server, a tenant, and a
+//! screened tool-call trace, in ~60 lines.
+//!
+//! Starts an in-process `conseca-serve` server over a fresh engine,
+//! generates the paper's §4.1 policy for a tenant, installs it over the
+//! wire, screens a short tool-call trace through the client — including
+//! the injected `forward_email` the paper's §5 attack would propose —
+//! and reads the tenant's counters back.
+//!
+//! Run with: `cargo run --example serving_quickstart`
+
+use std::sync::Arc;
+
+use conseca_agent::build_trusted_context;
+use conseca_core::PolicyGenerator;
+use conseca_engine::Engine;
+use conseca_llm::TemplatePolicyModel;
+use conseca_mail::MailSystem;
+use conseca_serve::{ServeConfig, Server};
+use conseca_shell::{default_registry, parse_command};
+use conseca_vfs::{SharedVfs, Vfs};
+use conseca_workloads::golden_examples;
+
+fn main() {
+    // A small world: two users with mailboxes, for trusted context.
+    let mut fs = Vfs::new();
+    fs.add_user("alice", false).unwrap();
+    fs.add_user("bob", false).unwrap();
+    let vfs = SharedVfs::new(fs);
+    let mail = MailSystem::new(vfs.clone(), "work.com");
+    mail.ensure_mailbox("alice").unwrap();
+    mail.ensure_mailbox("bob").unwrap();
+
+    // The server fronts a shared engine; agents connect as tenants.
+    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+    let mut client = server.connect().expect("handshake");
+
+    // Generate the policy locally (the paper's set_policy), then install
+    // it into the server's store for the tenant.
+    let registry = default_registry();
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    let task = "Get unread emails related to work and respond to any that are urgent";
+    let ctx = build_trusted_context(&vfs, &mail, "alice");
+    let (policy, _stats) = generator.set_policy(task, &ctx);
+    let receipt = client.install("acme", task, &ctx, &policy).expect("install");
+    println!(
+        "installed policy {:016x} ({} entries) for tenant 'acme'\n",
+        receipt.fingerprint, receipt.entries
+    );
+
+    // Screen a tool-call trace over the wire. The last command is what a
+    // prompt-injected planner would propose (§5) — the server denies it
+    // without ever seeing the untrusted email body that caused it.
+    let trace = [
+        "list_emails Inbox",
+        "send_email alice bob@work.com 'urgent: staging down' 'On it.'",
+        "send_email alice eve@evil.org 'urgent: staging down' 'On it.'",
+        "forward_email 3 employee@work.com",
+    ];
+    for line in trace {
+        let call = parse_command(line, &registry).expect("known command");
+        let decision =
+            client.check("acme", task, &ctx, &call).expect("transport").expect("policy installed");
+        println!("{}", decision.feedback(&call));
+    }
+
+    // Per-tenant accounting, over the same wire.
+    let counters = client.stats("acme").expect("stats");
+    println!(
+        "\ntenant 'acme': {} checks, {} allowed, {} denied",
+        counters.checks, counters.allowed, counters.denied
+    );
+
+    // Graceful shutdown: the client asks, the handle joins.
+    client.shutdown_server().expect("shutdown request");
+    server.shutdown();
+    println!("server stopped.");
+}

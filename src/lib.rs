@@ -8,6 +8,9 @@
 //!   policies;
 //! - [`conseca_engine`] — the concurrent multi-tenant enforcement engine:
 //!   compiled policies, the sharded policy store, per-tenant stats;
+//! - [`conseca_serve`] — the async policy-decision server: a wire
+//!   protocol, a batching dispatcher over the engine, and the client +
+//!   pipeline layer that put enforcement behind it;
 //! - [`conseca_regex`] — the linear-time constraint regex engine;
 //! - [`conseca_vfs`] / [`conseca_mail`] — the simulated machine;
 //! - [`conseca_shell`] — the tool command language and executor;
@@ -29,6 +32,7 @@ pub use conseca_engine;
 pub use conseca_llm;
 pub use conseca_mail;
 pub use conseca_regex;
+pub use conseca_serve;
 pub use conseca_shell;
 pub use conseca_vfs;
 pub use conseca_workloads;
