@@ -246,12 +246,17 @@ impl<M: PolicyModel> Agent<M> {
     /// served from) the shared store; with a remote server attached, it
     /// is fetched from (or generated and installed into) the server's
     /// store. The returned backend tells `run_task` what to build the
-    /// session's policy layer from.
-    fn resolve_policy(&mut self, task: &str) -> (Arc<Policy>, GenerationStats, ResolvedBackend) {
+    /// session's policy layer from; the returned context is the trusted
+    /// context the policy was resolved against, which the run loop
+    /// watches for drift.
+    fn resolve_policy(
+        &mut self,
+        task: &str,
+    ) -> (Arc<Policy>, GenerationStats, ResolvedBackend, TrustedContext) {
         let none_stats = GenerationStats { cache_hit: false, prompt_tokens: 0, output_tokens: 0 };
         let hit_stats = GenerationStats { cache_hit: true, prompt_tokens: 0, output_tokens: 0 };
+        let ctx = self.policy_context();
         if let Some((engine, tenant)) = self.engine.clone() {
-            let ctx = self.policy_context();
             let store_task = self.keyed_task(task);
             let mode = self.config.policy_mode;
             let registry = &self.registry;
@@ -268,10 +273,14 @@ impl<M: PolicyModel> Agent<M> {
                 }
             });
             let generation = if store_hit { hit_stats } else { generated.unwrap_or(none_stats) };
-            return (compiled.source_handle(), generation, ResolvedBackend::Compiled(compiled));
+            return (
+                compiled.source_handle(),
+                generation,
+                ResolvedBackend::Compiled(compiled),
+                ctx,
+            );
         }
         if self.remote.is_some() {
-            let ctx = self.policy_context();
             let store_task = self.keyed_task(task);
             let mode = self.config.policy_mode;
             // Split the borrows: the client is driven while the generator
@@ -296,21 +305,57 @@ impl<M: PolicyModel> Agent<M> {
                     (policy, stats)
                 }
             };
-            return (policy, generation, ResolvedBackend::Remote { store_task, context: ctx });
+            let backend = ResolvedBackend::Remote { store_task, context: ctx.clone() };
+            return (policy, generation, backend, ctx);
         }
         match Self::static_policy(self.config.policy_mode, &self.registry) {
-            Some(policy) => (Arc::new(policy), none_stats, ResolvedBackend::Interpreted),
+            Some(policy) => (Arc::new(policy), none_stats, ResolvedBackend::Interpreted, ctx),
             None => {
-                let ctx = build_trusted_context(&self.vfs, &self.mail, self.executor.user());
                 let (policy, stats) = self.generator.set_policy(task, &ctx);
-                (policy, stats, ResolvedBackend::Interpreted)
+                (policy, stats, ResolvedBackend::Interpreted, ctx)
             }
         }
     }
 
+    /// Revokes the stale snapshot `fingerprint` on whatever shared
+    /// enforcement backend is attached, so no other session — this
+    /// process or another — can be served the policy this agent has
+    /// discovered to be stale. The in-process interpreted path holds no
+    /// shared snapshots, so there is nothing to sweep; regeneration alone
+    /// retires the stale policy (it was only ever reachable through the
+    /// stale context's cache key).
+    fn revoke_stale_snapshot(&mut self, fingerprint: u64) {
+        if let Some((engine, tenant)) = self.engine.as_ref() {
+            engine.revoke_fingerprint(tenant, fingerprint);
+        } else if let Some((client, tenant)) = self.remote.as_mut() {
+            client
+                .revoke(tenant, fingerprint)
+                .expect("remote policy revocation transport failed (fail-closed)");
+        }
+    }
+
     /// Runs one task to completion, stall, or budget exhaustion.
+    ///
+    /// Under Conseca the loop also watches the trusted context: after an
+    /// executed *mutating* action, the next proposal is not screened
+    /// against the start-of-task policy if the context has since drifted
+    /// semantically ([`TrustedContext::drift_fingerprint`]). The proposal
+    /// is held back, the policy is regenerated against the current
+    /// context, and only then is the proposal screened — fail-closed for
+    /// *this* session: nothing is screened or executed between detection
+    /// and reload. If regeneration actually changed the policy, the
+    /// stale fingerprint is then swept from the shared engine/server
+    /// store so no other session can be served it either; an identical
+    /// regeneration is re-keyed without a sweep (revoking its
+    /// fingerprint would revoke the reload itself). Note the scope:
+    /// other sessions sharing the store may still resolve the prior
+    /// snapshot during the regeneration window — agents optimise for
+    /// their own fail-closed screening plus liveness, while the strict
+    /// revoke-*before*-regenerate ordering lives in
+    /// [`conseca_engine::ReloadCoordinator`], the operator path. Each
+    /// reload is audited as [`AuditEvent::PolicyReloaded`] (plus
+    /// [`AuditEvent::PolicyRevoked`] when a sweep happened).
     pub fn run_task(&mut self, task: &str, mut planner: ScriptedPlanner) -> TaskReport {
-        let (policy, generation, backend) = self.resolve_policy(task);
         let model = self.generator.model_name().to_owned();
 
         let mut state = PlannerState {
@@ -331,166 +376,262 @@ impl<M: PolicyModel> Agent<M> {
             denied_commands: Vec::new(),
             injected_executed: Vec::new(),
             injected_denied: Vec::new(),
-            policy: Arc::clone(&policy),
-            generation,
+            policy: Arc::new(Policy::new(task)),
+            generation: GenerationStats { cache_hit: false, prompt_tokens: 0, output_tokens: 0 },
+            reloads: 0,
         };
 
-        // One enforcement session per task: it owns the layer stack, the
-        // consecutive-denial stall tracking, and the audit stream. The
-        // policy layer comes from the engine's compiled snapshot when one
-        // is attached, and borrows the interpreted policy otherwise.
-        let mut builder =
-            PipelineBuilder::new().max_consecutive_denials(self.config.max_consecutive_denials);
-        builder = match backend {
-            ResolvedBackend::Compiled(snapshot) => {
-                let (engine, tenant) =
-                    self.engine.as_ref().expect("compiled backend implies an engine");
-                builder.layer(engine.session_layer(tenant, snapshot))
-            }
-            ResolvedBackend::Remote { store_task, context } => {
-                let (client, tenant) =
-                    self.remote.as_mut().expect("remote backend implies a client");
-                builder.layer(RemoteSessionLayer::new(
-                    client,
-                    tenant,
-                    &store_task,
-                    context,
-                    Arc::clone(&policy),
-                ))
-            }
-            ResolvedBackend::Interpreted => builder.policy(&policy),
-        };
-        if let Some(tp) = self.config.trajectory.clone() {
-            builder = builder.trajectory(tp);
+        /// Why one enforcement round ended.
+        enum RoundEnd {
+            /// The task is over (`report.stop` is already set).
+            Finished,
+            /// The trusted context drifted: revoke, re-resolve, go again.
+            Reload,
         }
-        if let Some(provider) = self.confirmation.as_mut() {
-            builder = builder.confirmation(provider.as_mut());
-        }
-        let mut session: EnforcementSession<'_> = builder.sink(&mut self.audit).build();
-        session.emit(AuditEvent::PolicyGenerated {
-            task: task.to_owned(),
-            model,
-            fingerprint: policy.fingerprint(),
-            entries: policy.len(),
-            cache_hit: report.generation.cache_hit,
-        });
+
+        // A proposal held back by a reload: it is screened in the next
+        // round under the regenerated policy, never under the stale one.
+        let mut carry: Option<(String, bool)> = None;
+        // The (policy fp, context fp) pair a drift round retires, and the
+        // reload audit events chain to.
+        let mut stale: Option<(u64, u64)> = None;
+        let mut total_denials = 0usize;
+        let mut total_executed = 0usize;
+        // Stateful layers survive reload rounds: the trajectory layer is
+        // owned here and re-mounted (by `&mut`) into every round's
+        // session, so rate limits and sequence history span the whole
+        // task, not one policy round.
+        let mut trajectory_layer =
+            self.config.trajectory.clone().map(conseca_core::pipeline::TrajectoryLayer::new);
 
         loop {
-            if report.proposals >= self.config.max_actions {
-                report.stop = StopReason::MaxActions;
-                report.final_message = "could not complete".to_owned();
-                break;
+            let (policy, generation, backend, context) = self.resolve_policy(task);
+            let drift_fp = context.drift_fingerprint();
+            if let Some((old_fp, old_ctx)) = stale {
+                // The policy was regenerated against the drifted context
+                // before anything else was screened. If regeneration
+                // actually changed the policy, the old snapshot is wrong
+                // everywhere it is still cached — sweep it from the
+                // shared store by fingerprint so no session anywhere can
+                // be served it again. If the regenerated policy came out
+                // identical, the old snapshot *is* the current policy
+                // under a different context key, and sweeping its
+                // fingerprint would revoke the reload itself.
+                if old_fp != policy.fingerprint() {
+                    self.revoke_stale_snapshot(old_fp);
+                    self.audit.record(AuditEvent::PolicyRevoked {
+                        task: task.to_owned(),
+                        fingerprint: old_fp,
+                        context_fingerprint: old_ctx,
+                        reason: "trusted context drifted mid-session".to_owned(),
+                    });
+                }
             }
-            match planner.next_action(&state) {
-                PlannerAction::Done { message } => {
-                    report.claimed_complete = true;
-                    report.stop = StopReason::PlannerDone;
-                    report.final_message = message;
-                    break;
-                }
-                PlannerAction::GiveUp { reason } => {
-                    report.stop = StopReason::PlannerGaveUp { reason: reason.clone() };
-                    report.final_message = format!("could not complete: {reason}");
-                    break;
-                }
-                PlannerAction::Execute(cmd) => {
-                    report.proposals += 1;
-                    let was_injected = planner.last_was_injected();
-                    session.record_proposal(&cmd);
-                    let call = match parse_command(&cmd, &self.registry) {
-                        Ok(call) => call,
-                        Err(e) => {
-                            state.history.push(Observation {
-                                command: cmd.clone(),
-                                api: None,
-                                output: e.to_string(),
-                                trust: OutputTrust::Trusted,
-                                kind: ObsKind::ParseError,
-                            });
-                            report.tool_errors += 1;
-                            continue;
-                        }
-                    };
+            if stale.is_none() {
+                report.policy = Arc::clone(&policy);
+                report.generation = generation.clone();
+            }
 
-                    // (3) One pipeline pass: policy, trajectory, and user
-                    // confirmation, audited with layer provenance.
-                    let verdict = session.check(&call);
+            // One enforcement session per policy round: it owns the layer
+            // stack, the consecutive-denial stall tracking, and the audit
+            // stream. The policy layer comes from the engine's compiled
+            // snapshot when one is attached, and borrows the interpreted
+            // policy otherwise.
+            let mut builder =
+                PipelineBuilder::new().max_consecutive_denials(self.config.max_consecutive_denials);
+            builder = match backend {
+                ResolvedBackend::Compiled(snapshot) => {
+                    let (engine, tenant) =
+                        self.engine.as_ref().expect("compiled backend implies an engine");
+                    builder.layer(engine.session_layer(tenant, snapshot))
+                }
+                ResolvedBackend::Remote { store_task, context } => {
+                    let (client, tenant) =
+                        self.remote.as_mut().expect("remote backend implies a client");
+                    builder.layer(RemoteSessionLayer::new(
+                        client,
+                        tenant,
+                        &store_task,
+                        context,
+                        Arc::clone(&policy),
+                    ))
+                }
+                ResolvedBackend::Interpreted => builder.policy(&policy),
+            };
+            if let Some(layer) = trajectory_layer.as_mut() {
+                builder = builder.layer(layer);
+            }
+            if let Some(provider) = self.confirmation.as_mut() {
+                builder = builder.confirmation(provider.as_mut());
+            }
+            let mut session: EnforcementSession<'_> = builder.sink(&mut self.audit).build();
+            session.emit(AuditEvent::PolicyGenerated {
+                task: task.to_owned(),
+                model: model.clone(),
+                fingerprint: policy.fingerprint(),
+                entries: policy.len(),
+                cache_hit: generation.cache_hit,
+            });
+            if let Some((old_fp, old_ctx)) = stale.take() {
+                report.reloads += 1;
+                session.emit(AuditEvent::PolicyReloaded {
+                    task: task.to_owned(),
+                    old_fingerprint: old_fp,
+                    new_fingerprint: policy.fingerprint(),
+                    old_context: old_ctx,
+                    new_context: context.fingerprint(),
+                });
+            }
 
-                    if !verdict.allowed {
-                        report.denied_commands.push(cmd.clone());
-                        if was_injected {
-                            report.injected_denied.push(cmd.clone());
+            // Whether a mutating action has executed since the context
+            // was last known to match `drift_fp`.
+            let mut context_dirty = false;
+
+            let end = loop {
+                if report.proposals >= self.config.max_actions {
+                    report.stop = StopReason::MaxActions;
+                    report.final_message = "could not complete".to_owned();
+                    break RoundEnd::Finished;
+                }
+                let (cmd, was_injected) = match carry.take() {
+                    Some(held) => held,
+                    None => match planner.next_action(&state) {
+                        PlannerAction::Done { message } => {
+                            report.claimed_complete = true;
+                            report.stop = StopReason::PlannerDone;
+                            report.final_message = message;
+                            break RoundEnd::Finished;
                         }
+                        PlannerAction::GiveUp { reason } => {
+                            report.stop = StopReason::PlannerGaveUp { reason: reason.clone() };
+                            report.final_message = format!("could not complete: {reason}");
+                            break RoundEnd::Finished;
+                        }
+                        PlannerAction::Execute(cmd) => {
+                            let was_injected = planner.last_was_injected();
+                            (cmd, was_injected)
+                        }
+                    },
+                };
+
+                // Context-drift gate (Conseca only: static baselines are
+                // context-free by construction). An executed mutation may
+                // have invalidated the policy's premises; verify before
+                // screening anything else against the old snapshot.
+                if context_dirty && self.config.policy_mode == PolicyMode::Conseca {
+                    let current =
+                        build_trusted_context(&self.vfs, &self.mail, self.executor.user());
+                    if current.drift_fingerprint() != drift_fp {
+                        stale = Some((policy.fingerprint(), context.fingerprint()));
+                        carry = Some((cmd, was_injected));
+                        break RoundEnd::Reload;
+                    }
+                    context_dirty = false;
+                }
+
+                report.proposals += 1;
+                session.record_proposal(&cmd);
+                let call = match parse_command(&cmd, &self.registry) {
+                    Ok(call) => call,
+                    Err(e) => {
+                        state.history.push(Observation {
+                            command: cmd.clone(),
+                            api: None,
+                            output: e.to_string(),
+                            trust: OutputTrust::Trusted,
+                            kind: ObsKind::ParseError,
+                        });
+                        report.tool_errors += 1;
+                        continue;
+                    }
+                };
+
+                // (3) One pipeline pass: policy, trajectory, and user
+                // confirmation, audited with layer provenance.
+                let verdict = session.check(&call);
+
+                if !verdict.allowed {
+                    report.denied_commands.push(cmd.clone());
+                    if was_injected {
+                        report.injected_denied.push(cmd.clone());
+                    }
+                    state.history.push(Observation {
+                        command: cmd.clone(),
+                        api: Some(call.name.clone()),
+                        output: verdict.feedback(&call),
+                        trust: OutputTrust::Trusted,
+                        kind: ObsKind::Denied,
+                    });
+                    if session.stalled() {
+                        report.stop = StopReason::DeniedStall;
+                        report.final_message = "could not complete".to_owned();
+                        break RoundEnd::Finished;
+                    }
+                    continue;
+                }
+
+                // (4–5) Execute and feed the output back.
+                match self.executor.execute(&call) {
+                    Ok(out) => {
+                        report.executed_commands.push(cmd.clone());
+                        // Only mutating injected commands count as a
+                        // landed attack; injected reconnaissance reads
+                        // are harmless on their own.
+                        let mutating =
+                            self.registry.api(&call.name).map(|s| s.is_mutating()).unwrap_or(true);
+                        if was_injected && mutating {
+                            report.injected_executed.push(cmd.clone());
+                        }
+                        if mutating {
+                            context_dirty = true;
+                        }
+                        session.record_execution(
+                            &call,
+                            out.trust == OutputTrust::Trusted,
+                            out.stdout.len(),
+                        );
                         state.history.push(Observation {
                             command: cmd.clone(),
                             api: Some(call.name.clone()),
-                            output: verdict.feedback(&call),
-                            trust: OutputTrust::Trusted,
-                            kind: ObsKind::Denied,
+                            output: out.stdout,
+                            trust: out.trust,
+                            kind: ObsKind::Executed,
                         });
-                        if session.stalled() {
-                            report.stop = StopReason::DeniedStall;
-                            report.final_message = "could not complete".to_owned();
-                            break;
-                        }
-                        continue;
                     }
-
-                    // (4–5) Execute and feed the output back.
-                    match self.executor.execute(&call) {
-                        Ok(out) => {
-                            report.executed_commands.push(cmd.clone());
-                            // Only mutating injected commands count as a
-                            // landed attack; injected reconnaissance reads
-                            // are harmless on their own.
-                            let mutating = self
-                                .registry
-                                .api(&call.name)
-                                .map(|s| s.is_mutating())
-                                .unwrap_or(true);
-                            if was_injected && mutating {
-                                report.injected_executed.push(cmd.clone());
-                            }
-                            session.record_execution(
-                                &call,
-                                out.trust == OutputTrust::Trusted,
-                                out.stdout.len(),
-                            );
-                            state.history.push(Observation {
-                                command: cmd.clone(),
-                                api: Some(call.name.clone()),
-                                output: out.stdout,
-                                trust: out.trust,
-                                kind: ObsKind::Executed,
-                            });
-                        }
-                        Err(e) => {
-                            report.tool_errors += 1;
-                            session.record_failure(&call, &e.to_string());
-                            state.history.push(Observation {
-                                command: cmd.clone(),
-                                api: Some(call.name.clone()),
-                                output: e.to_string(),
-                                trust: OutputTrust::Trusted,
-                                kind: ObsKind::ToolError,
-                            });
-                        }
+                    Err(e) => {
+                        report.tool_errors += 1;
+                        session.record_failure(&call, &e.to_string());
+                        state.history.push(Observation {
+                            command: cmd.clone(),
+                            api: Some(call.name.clone()),
+                            output: e.to_string(),
+                            trust: OutputTrust::Trusted,
+                            kind: ObsKind::ToolError,
+                        });
                     }
                 }
+            };
+
+            // The session's counters are the single source of truth for
+            // enforcement outcomes; the report accumulates them across
+            // policy rounds.
+            total_denials += session.stats().denials;
+            total_executed += session.stats().executed;
+            match end {
+                RoundEnd::Finished => {
+                    report.denials = total_denials;
+                    report.executed = total_executed;
+                    session.emit(AuditEvent::TaskFinished {
+                        task: task.to_owned(),
+                        completed: report.claimed_complete,
+                        actions: report.executed,
+                        denials: report.denials,
+                    });
+                    return report;
+                }
+                RoundEnd::Reload => continue,
             }
         }
-
-        // The session's counters are the single source of truth for
-        // enforcement outcomes; the report mirrors them.
-        report.denials = session.stats().denials;
-        report.executed = session.stats().executed;
-        session.emit(AuditEvent::TaskFinished {
-            task: task.to_owned(),
-            completed: report.claimed_complete,
-            actions: report.executed,
-            denials: report.denials,
-        });
-        report
     }
 }
 
@@ -844,6 +985,172 @@ mod tests {
         let mut rival = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine), "rival");
         let r3 = rival.run_task(task, simple_planner(vec!["ls /home/alice"]));
         assert!(!r3.generation.cache_hit, "tenants must not share policies");
+    }
+
+    /// A deliberately context-sensitive model: deletions are allowed
+    /// until a file named `tripwire` appears in the trusted fs tree,
+    /// after which the regenerated policy locks them out. This is the
+    /// case hot-reload exists for — the stale snapshot and the current
+    /// policy disagree.
+    struct TripwireModel;
+
+    impl conseca_core::PolicyModel for TripwireModel {
+        fn generate(&self, request: &conseca_core::PolicyRequest) -> conseca_core::PolicyDraft {
+            let mut policy = Policy::new(&request.task);
+            policy.set("ls", conseca_core::PolicyEntry::allow_any("listing is fine"));
+            policy.set("write_file", conseca_core::PolicyEntry::allow_any("writing is the task"));
+            if request.context.fs_tree.contains("tripwire") {
+                policy.set(
+                    "rm",
+                    conseca_core::PolicyEntry::deny("tripwire present: deletions locked"),
+                );
+            } else {
+                policy.set("rm", conseca_core::PolicyEntry::allow_any("cleanup allowed"));
+            }
+            conseca_core::PolicyDraft { policy, notes: Vec::new() }
+        }
+
+        fn name(&self) -> &str {
+            "tripwire-model"
+        }
+    }
+
+    fn tripwire_setup() -> Agent<TripwireModel> {
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        fs.write("/home/alice/notes.txt", b"hello", "alice").unwrap();
+        let vfs = SharedVfs::new(fs);
+        let mail = MailSystem::new(vfs.clone(), "work.com");
+        mail.ensure_mailbox("alice").unwrap();
+        let registry = conseca_shell::default_registry();
+        let generator = PolicyGenerator::new(TripwireModel, &registry);
+        Agent::new(
+            vfs,
+            mail,
+            "alice",
+            registry,
+            generator,
+            AgentConfig::for_mode(PolicyMode::Conseca),
+        )
+    }
+
+    #[test]
+    fn mid_session_drift_reloads_the_policy_instead_of_serving_the_stale_one() {
+        let mut agent = tripwire_setup();
+        let planner = simple_planner(vec![
+            "write_file /home/alice/tripwire 'armed'",
+            // Under the *stale* start-of-task policy this deletion is
+            // allowed; under the policy regenerated from the drifted
+            // context it must be denied. Silently using the stale
+            // snapshot would execute it.
+            "rm /home/alice/notes.txt",
+            "ls /home/alice",
+        ]);
+        let report = agent.run_task("tidy my files", planner);
+        assert_eq!(report.reloads, 1, "the write must trigger exactly one reload");
+        assert_eq!(report.executed, 2, "the write and the ls");
+        assert_eq!(report.denials, 1, "the deletion is judged by the reloaded policy");
+        assert_eq!(report.denied_commands, vec!["rm /home/alice/notes.txt"]);
+        assert!(agent.vfs().with(|fs| fs.is_file("/home/alice/notes.txt")), "never deleted");
+        // The audit trail chains the revocation to the reload.
+        let revoked = agent
+            .audit()
+            .records()
+            .iter()
+            .find_map(|r| match &r.event {
+                AuditEvent::PolicyRevoked { fingerprint, .. } => Some(*fingerprint),
+                _ => None,
+            })
+            .expect("the changed policy must audit a revocation");
+        let (old_fp, new_fp) = agent
+            .audit()
+            .records()
+            .iter()
+            .find_map(|r| match &r.event {
+                AuditEvent::PolicyReloaded { old_fingerprint, new_fingerprint, .. } => {
+                    Some((*old_fingerprint, *new_fingerprint))
+                }
+                _ => None,
+            })
+            .expect("a reload event");
+        assert_eq!(revoked, old_fp);
+        assert_ne!(old_fp, new_fp, "the regenerated policy differs");
+        assert_eq!(report.policy.fingerprint(), old_fp, "the report keeps the first policy");
+    }
+
+    #[test]
+    fn drift_reload_revokes_the_stale_snapshot_from_a_shared_engine() {
+        let engine = Arc::new(conseca_engine::Engine::default());
+        let mut agent = tripwire_setup().with_engine(Arc::clone(&engine), "acme");
+        let baseline = {
+            let mut direct = tripwire_setup();
+            direct.run_task(
+                "tidy my files",
+                simple_planner(vec![
+                    "write_file /home/alice/tripwire 'armed'",
+                    "rm /home/alice/notes.txt",
+                    "ls /home/alice",
+                ]),
+            )
+        };
+        let report = agent.run_task(
+            "tidy my files",
+            simple_planner(vec![
+                "write_file /home/alice/tripwire 'armed'",
+                "rm /home/alice/notes.txt",
+                "ls /home/alice",
+            ]),
+        );
+        // Identical enforcement outcomes through the engine.
+        assert_eq!(report.executed, baseline.executed);
+        assert_eq!(report.denials, baseline.denials);
+        assert_eq!(report.denied_commands, baseline.denied_commands);
+        assert_eq!(report.reloads, baseline.reloads);
+        // The stale snapshot was swept from the shared store: the agent's
+        // revocation is engine-wide, not session-local.
+        assert_eq!(engine.tenant_counters("acme").revoked, 1);
+        assert!(
+            !engine.store().is_empty(),
+            "the regenerated policy is installed under the drifted context key"
+        );
+    }
+
+    #[test]
+    fn rekey_without_policy_change_reloads_but_revokes_nothing() {
+        // The template model ignores the fs tree, so the regenerated
+        // policy is identical: the reload re-keys the policy under the
+        // new context without revoking the (still-correct) snapshot.
+        let mut agent = setup(PolicyMode::Conseca);
+        let planner = simple_planner(vec![
+            "write_file /home/alice/Agenda 'topics: planning'",
+            "cat /home/alice/Agenda",
+        ]);
+        let report = agent.run_task(
+            "Agenda notes: Take notes from emails with Bob about topics to discuss, and put them in a file called 'Agenda'",
+            planner,
+        );
+        assert!(report.claimed_complete);
+        assert_eq!(report.reloads, 1, "the new file is semantic drift");
+        let reloaded = agent
+            .audit()
+            .records()
+            .iter()
+            .find_map(|r| match &r.event {
+                AuditEvent::PolicyReloaded { old_fingerprint, new_fingerprint, .. } => {
+                    Some((*old_fingerprint, *new_fingerprint))
+                }
+                _ => None,
+            })
+            .expect("a reload event");
+        assert_eq!(reloaded.0, reloaded.1, "same policy, new context key");
+        assert!(
+            !agent
+                .audit()
+                .records()
+                .iter()
+                .any(|r| matches!(r.event, AuditEvent::PolicyRevoked { .. })),
+            "an unchanged policy must not be revoked"
+        );
     }
 
     #[test]

@@ -22,6 +22,33 @@ pub enum AuditEvent {
         /// Whether the policy came from the cache.
         cache_hit: bool,
     },
+    /// A policy snapshot was revoked — its trusted context drifted, or an
+    /// operator revoked the fingerprint. Enforcement against the key fails
+    /// closed (no decisions) until a reload installs a replacement.
+    PolicyRevoked {
+        /// The task text.
+        task: String,
+        /// Semantic fingerprint of the revoked policy.
+        fingerprint: u64,
+        /// Fingerprint of the (now stale) context it was generated for.
+        context_fingerprint: u64,
+        /// Why the snapshot was revoked.
+        reason: String,
+    },
+    /// A revoked policy was regenerated against current trusted context
+    /// and reinstalled.
+    PolicyReloaded {
+        /// The task text.
+        task: String,
+        /// Semantic fingerprint of the policy that was replaced.
+        old_fingerprint: u64,
+        /// Semantic fingerprint of the regenerated policy.
+        new_fingerprint: u64,
+        /// Fingerprint of the context the old policy was keyed by.
+        old_context: u64,
+        /// Fingerprint of the context the new policy is keyed by.
+        new_context: u64,
+    },
     /// The planner proposed an action.
     ActionProposed {
         /// The raw command line.
@@ -188,6 +215,20 @@ impl AuditLog {
                         "policy-generated task={task:?} model={model} fp={fingerprint:016x} entries={entries} cache_hit={cache_hit}"
                     )
                 }
+                AuditEvent::PolicyRevoked { task, fingerprint, context_fingerprint, reason } => {
+                    format!(
+                        "policy-REVOKED task={task:?} fp={fingerprint:016x} ctx={context_fingerprint:016x} reason={reason}"
+                    )
+                }
+                AuditEvent::PolicyReloaded {
+                    task,
+                    old_fingerprint,
+                    new_fingerprint,
+                    old_context,
+                    new_context,
+                } => format!(
+                    "policy-reloaded task={task:?} fp={old_fingerprint:016x}->{new_fingerprint:016x} ctx={old_context:016x}->{new_context:016x}"
+                ),
                 AuditEvent::ActionProposed { call } => format!("proposed {call}"),
                 AuditEvent::ActionDecision { call, allowed, rationale, violation } => {
                     if *allowed {
@@ -234,6 +275,31 @@ fn record_json(r: &AuditRecord) -> Json {
                 ("fingerprint", Json::str(format!("{fingerprint:016x}"))),
                 ("entries", Json::UInt(*entries as u64)),
                 ("cache_hit", Json::Bool(*cache_hit)),
+            ],
+        ),
+        AuditEvent::PolicyRevoked { task, fingerprint, context_fingerprint, reason } => (
+            "policy_revoked",
+            vec![
+                ("task", Json::str(task.clone())),
+                ("fingerprint", Json::str(format!("{fingerprint:016x}"))),
+                ("context_fingerprint", Json::str(format!("{context_fingerprint:016x}"))),
+                ("reason", Json::str(reason.clone())),
+            ],
+        ),
+        AuditEvent::PolicyReloaded {
+            task,
+            old_fingerprint,
+            new_fingerprint,
+            old_context,
+            new_context,
+        } => (
+            "policy_reloaded",
+            vec![
+                ("task", Json::str(task.clone())),
+                ("old_fingerprint", Json::str(format!("{old_fingerprint:016x}"))),
+                ("new_fingerprint", Json::str(format!("{new_fingerprint:016x}"))),
+                ("old_context", Json::str(format!("{old_context:016x}"))),
+                ("new_context", Json::str(format!("{new_context:016x}"))),
             ],
         ),
         AuditEvent::ActionProposed { call } => {
@@ -348,6 +414,32 @@ mod tests {
         assert!(json.contains("\"allowed\":false"));
         // Every record carries a seq.
         assert_eq!(json.matches("\"seq\":").count(), 6);
+    }
+
+    #[test]
+    fn reload_events_export_old_and_new_fingerprints() {
+        let mut log = AuditLog::new();
+        log.record(AuditEvent::PolicyRevoked {
+            task: "t".into(),
+            fingerprint: 0xaa,
+            context_fingerprint: 0xbb,
+            reason: "trusted context drifted".into(),
+        });
+        log.record(AuditEvent::PolicyReloaded {
+            task: "t".into(),
+            old_fingerprint: 0xaa,
+            new_fingerprint: 0xcc,
+            old_context: 0xbb,
+            new_context: 0xdd,
+        });
+        let text = log.to_text();
+        assert!(text.contains("policy-REVOKED"), "{text}");
+        assert!(text.contains("00000000000000aa->00000000000000cc"), "{text}");
+        let json = log.to_json();
+        assert!(json.contains("\"kind\":\"policy_revoked\""));
+        assert!(json.contains("\"kind\":\"policy_reloaded\""));
+        assert!(json.contains("\"old_context\":\"00000000000000bb\""));
+        assert!(json.contains("\"reason\":\"trusted context drifted\""));
     }
 
     #[test]

@@ -105,6 +105,39 @@ impl TrustedContext {
         fnv1a(text.as_bytes())
     }
 
+    /// A fingerprint over the *semantic* fields only — everything except
+    /// the logical `time` tick. [`fingerprint`](Self::fingerprint) is the
+    /// cache identity (any field change keys a fresh policy); this one is
+    /// the **drift** identity hot-reload watches. The distinction matters
+    /// because the logical clock advances on every mutating tool call, so
+    /// keying drift on the full fingerprint would force a policy reload
+    /// after every write even when nothing the generator looks at changed.
+    pub fn drift_fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        text.push_str(&self.current_user);
+        text.push_str(&self.date);
+        for v in &self.usernames {
+            text.push_str(v);
+            text.push(';');
+        }
+        for v in &self.email_addresses {
+            text.push_str(v);
+            text.push(';');
+        }
+        for v in &self.email_categories {
+            text.push_str(v);
+            text.push(';');
+        }
+        text.push_str(&self.fs_tree);
+        for (k, v) in &self.extra {
+            text.push_str(k);
+            text.push('=');
+            text.push_str(v);
+            text.push(';');
+        }
+        fnv1a(text.as_bytes())
+    }
+
     /// Renders the context as the prompt block the policy model receives.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -181,6 +214,25 @@ mod tests {
             assert_ne!(base.fingerprint(), variant.fingerprint());
         }
         assert_eq!(base.fingerprint(), sample().fingerprint());
+    }
+
+    #[test]
+    fn drift_fingerprint_ignores_the_clock_but_nothing_else() {
+        let base = sample();
+        let mut ticked = base.clone();
+        ticked.time += 7;
+        assert_ne!(base.fingerprint(), ticked.fingerprint(), "cache identity sees the clock");
+        assert_eq!(
+            base.drift_fingerprint(),
+            ticked.drift_fingerprint(),
+            "drift identity must not churn on the logical clock"
+        );
+        let mut grown = base.clone();
+        grown.fs_tree.push_str("  New/\n");
+        assert_ne!(base.drift_fingerprint(), grown.drift_fingerprint());
+        let mut categorized = base.clone();
+        categorized.email_categories.push("urgent".into());
+        assert_ne!(base.drift_fingerprint(), categorized.drift_fingerprint());
     }
 
     #[test]

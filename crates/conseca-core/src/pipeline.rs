@@ -210,6 +210,24 @@ pub trait CheckLayer {
     }
 }
 
+/// A mutable borrow is itself a layer, so stateful layers (a
+/// [`TrajectoryLayer`]'s rate counters, say) can outlive one session and
+/// be re-mounted into the next — what the agent's policy hot-reload does
+/// to keep trajectory history across a mid-task session rebuild.
+impl<L: CheckLayer + ?Sized> CheckLayer for &mut L {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn check(&mut self, call: &ApiCall, stats: &SessionStats, pending: &Verdict) -> LayerOutcome {
+        (**self).check(call, stats, pending)
+    }
+
+    fn record(&mut self, call: &ApiCall) {
+        (**self).record(call)
+    }
+}
+
 /// The per-action policy check (§3.3) as a pipeline layer.
 ///
 /// Borrows or owns the [`Policy`]; its verdicts are exactly

@@ -34,6 +34,8 @@ pub(crate) struct TenantStats {
     checks: AtomicU64,
     allowed: AtomicU64,
     denied: AtomicU64,
+    reloads: AtomicU64,
+    revoked: AtomicU64,
 }
 
 impl TenantStats {
@@ -44,6 +46,8 @@ impl TenantStats {
             checks: self.checks.load(Ordering::Relaxed),
             allowed: self.allowed.load(Ordering::Relaxed),
             denied: self.denied.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            revoked: self.revoked.load(Ordering::Relaxed),
         }
     }
 
@@ -78,6 +82,25 @@ pub struct TenantCounters {
     pub allowed: u64,
     /// Actions denied.
     pub denied: u64,
+    /// Policies reloaded (revoke-and-replace on a live key) for this
+    /// tenant via [`Engine::reload`].
+    pub reloads: u64,
+    /// Store snapshots revoked for this tenant via
+    /// [`Engine::revoke_fingerprint`] (reload-replaced keys included).
+    pub revoked: u64,
+}
+
+/// Receipt for an [`Engine::reload`]: what was displaced, what replaced
+/// it, and the install generation the new snapshot carries.
+#[derive(Debug, Clone)]
+pub struct ReloadReceipt {
+    /// Source fingerprint of the snapshot that was replaced, if the key
+    /// was live when the reload landed.
+    pub old_fingerprint: Option<u64>,
+    /// Install generation stamped on the new snapshot.
+    pub generation: u64,
+    /// The freshly compiled snapshot now serving the key.
+    pub policy: Arc<CompiledPolicy>,
 }
 
 /// One unit of work for [`Engine::check_parallel`].
@@ -375,6 +398,47 @@ impl Engine {
         self.store.flush_tenant(tenant)
     }
 
+    /// Revokes every snapshot `tenant` has installed whose source policy
+    /// carries `fingerprint` — the paper's "policy for a context that no
+    /// longer exists" case. Once this returns, no future lookup (and so no
+    /// future check in any execution mode fronting this engine) can
+    /// resolve the revoked snapshot; checks against the swept keys fail
+    /// closed (miss → no decision) until a reload installs a replacement.
+    /// The sweep is counted in the tenant's `revoked` counter.
+    pub fn revoke_fingerprint(&self, tenant: &str, fingerprint: u64) -> usize {
+        let removed = self.store.revoke_fingerprint(tenant, fingerprint);
+        if removed > 0 {
+            self.tenant(tenant).revoked.fetch_add(removed as u64, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Revoke-and-replace in one atomic step: compiles `policy` and swaps
+    /// it in for (`tenant`, `task`, `context`) under the shard's write
+    /// lock, so a racing check either sees the old snapshot (if it
+    /// resolved before the swap) or the new one — never a gap, never a
+    /// mix. Returns the receipt: the fingerprint of the snapshot that was
+    /// replaced (if the key was live) plus the new compiled snapshot.
+    /// Counted in the tenant's `reloads` counter (and `revoked`, when a
+    /// live snapshot was displaced).
+    pub fn reload(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+    ) -> ReloadReceipt {
+        let compiled = Arc::new(CompiledPolicy::compile(policy));
+        let (old_fingerprint, generation) =
+            self.store.replace(EngineKey::new(tenant, task, context), Arc::clone(&compiled));
+        let stats = self.tenant(tenant);
+        stats.reloads.fetch_add(1, Ordering::Relaxed);
+        if old_fingerprint.is_some() {
+            stats.revoked.fetch_add(1, Ordering::Relaxed);
+        }
+        ReloadReceipt { old_fingerprint, generation, policy: compiled }
+    }
+
     /// A tenant's counters (zeros for a tenant the engine has never seen).
     pub fn tenant_counters(&self, tenant: &str) -> TenantCounters {
         self.tenants.read().get(tenant).map(|s| s.snapshot()).unwrap_or_default()
@@ -531,6 +595,58 @@ mod tests {
         // Re-install restores service.
         engine.install("acme", &task, &ctx(), &policy);
         assert!(engine.check("acme", &task, &ctx(), &call("send_email", &["alice"])).is_some());
+    }
+
+    #[test]
+    fn revoke_fingerprint_fails_checks_closed_until_reload() {
+        let engine = Engine::default();
+        let policy = send_policy();
+        let task = policy.task.clone();
+        engine.install("acme", &task, &ctx(), &policy);
+        assert!(engine.check("acme", &task, &ctx(), &call("send_email", &["alice"])).is_some());
+        assert_eq!(engine.revoke_fingerprint("acme", policy.fingerprint()), 1);
+        // Fail closed: the key resolves nothing until a reload lands.
+        assert!(
+            engine.check("acme", &task, &ctx(), &call("send_email", &["alice"])).is_none(),
+            "a revoked snapshot must not serve decisions"
+        );
+        let mut replacement = Policy::new(&task);
+        replacement.set("send_email", PolicyEntry::deny("context changed: no more sends"));
+        let receipt = engine.reload("acme", &task, &ctx(), &replacement);
+        assert_eq!(receipt.old_fingerprint, None, "the revoked key was empty at reload time");
+        let decision =
+            engine.check("acme", &task, &ctx(), &call("send_email", &["alice"])).unwrap();
+        assert!(!decision.allowed, "the reloaded policy governs now");
+        let counters = engine.tenant_counters("acme");
+        assert_eq!(counters.revoked, 1);
+        assert_eq!(counters.reloads, 1);
+    }
+
+    #[test]
+    fn reload_on_a_live_key_reports_the_displaced_fingerprint() {
+        let engine = Engine::default();
+        let policy = send_policy();
+        let task = policy.task.clone();
+        engine.install("acme", &task, &ctx(), &policy);
+        let mut regenerated = Policy::new(&task);
+        regenerated.set("send_email", PolicyEntry::allow_any("regenerated"));
+        let receipt = engine.reload("acme", &task, &ctx(), &regenerated);
+        assert_eq!(receipt.old_fingerprint, Some(policy.fingerprint()));
+        assert_eq!(receipt.policy.fingerprint(), regenerated.fingerprint());
+        let counters = engine.tenant_counters("acme");
+        assert_eq!((counters.reloads, counters.revoked), (1, 1));
+        // The swap is visible immediately.
+        let decision = engine.check("acme", &task, &ctx(), &call("send_email", &["eve"])).unwrap();
+        assert!(decision.allowed, "the regenerated policy allows any sender");
+    }
+
+    #[test]
+    fn revoking_an_unknown_fingerprint_is_a_counted_noop() {
+        let engine = Engine::default();
+        engine.install("acme", "t", &ctx(), &send_policy());
+        assert_eq!(engine.revoke_fingerprint("acme", 0xdead_beef), 0);
+        assert_eq!(engine.tenant_counters("acme").revoked, 0, "no-op sweeps are not counted");
+        assert!(engine.check("acme", "t", &ctx(), &call("delete_email", &["1"])).is_some());
     }
 
     #[test]

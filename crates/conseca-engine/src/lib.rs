@@ -96,9 +96,11 @@
 pub mod compile;
 pub mod engine;
 pub mod layer;
+pub mod reload;
 pub mod store;
 
 pub use compile::CompiledPolicy;
-pub use engine::{CheckJob, Engine, EngineConfig, ParallelReport, TenantCounters};
+pub use engine::{CheckJob, Engine, EngineConfig, ParallelReport, ReloadReceipt, TenantCounters};
 pub use layer::CompiledPolicyLayer;
+pub use reload::{ReloadCoordinator, ReloadOutcome, SweepReport};
 pub use store::{EngineKey, PolicyStore, StoreConfig};

@@ -1,0 +1,452 @@
+//! Policy hot-reload: fingerprint revocation plus a regeneration watcher.
+//!
+//! The paper's policies are *contextual*: a policy is only the right
+//! policy while the trusted context it was generated from still holds. A
+//! snapshot compiled yesterday is the wrong policy the moment the
+//! context changes — the "stale decision state" integrity gap. The
+//! [`Engine`] already swaps snapshots atomically
+//! ([`Engine::install`]/[`Engine::reload`]) and sweeps them by
+//! fingerprint ([`Engine::revoke_fingerprint`]); what this module adds is
+//! the piece that knows *when* to do either: a [`ReloadCoordinator`]
+//! that remembers, for every live (tenant, task) policy, the context it
+//! was generated against, detects drift by recomputing the context's
+//! [`drift fingerprint`](TrustedContext::drift_fingerprint), and drives
+//! the revoke → regenerate → reinstall sequence, emitting
+//! [`AuditEvent::PolicyRevoked`] / [`AuditEvent::PolicyReloaded`] so the
+//! reload trail is auditable like every enforcement decision.
+//!
+//! The sequence is **fail-closed by construction**: the stale snapshot
+//! is revoked *before* regeneration starts, so a check racing the reload
+//! either still holds the old `Arc` (it resolved before the revocation
+//! landed — the store's documented snapshot semantics) or misses and is
+//! denied by default until the regenerated policy is installed. No
+//! ordering lets a post-revocation lookup resolve the revoked snapshot,
+//! and reloads and revocations *claim* the tracking entry they act on,
+//! so a completed [`revoke`](ReloadCoordinator::revoke) can never be
+//! silently undone by an in-flight reload. (Callers outside the
+//! coordinator that hold a specific (snapshot, generation) pair get the
+//! same clobber-safety from the store primitive
+//! [`PolicyStore::revoke_if_generation`](crate::PolicyStore::revoke_if_generation).)
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use conseca_core::{AuditEvent, AuditSink, Policy, TrustedContext};
+use parking_lot::RwLock;
+
+use crate::compile::CompiledPolicy;
+use crate::engine::Engine;
+
+/// Identity of one tracked policy: the tenant it bills to and the task
+/// text it is keyed by (the same strings the engine's store fingerprints).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct LiveKey {
+    tenant: Box<str>,
+    task: Box<str>,
+}
+
+impl LiveKey {
+    fn new(tenant: &str, task: &str) -> Self {
+        LiveKey { tenant: tenant.into(), task: task.into() }
+    }
+}
+
+/// What the coordinator remembers about one live policy.
+#[derive(Debug, Clone, Copy)]
+struct LiveEntry {
+    /// Full context fingerprint (the store-key component).
+    context_fp: u64,
+    /// Semantic context fingerprint watched for drift.
+    drift_fp: u64,
+    /// Source fingerprint of the installed policy.
+    policy_fp: u64,
+}
+
+/// Receipt for one coordinated reload.
+#[derive(Debug, Clone)]
+pub struct ReloadOutcome {
+    /// Fingerprint of the policy that was revoked.
+    pub old_fingerprint: u64,
+    /// Fingerprint of the regenerated policy now in force.
+    pub new_fingerprint: u64,
+    /// Store entries the revocation sweep removed (can exceed 1 when the
+    /// stale policy was installed under several context keys).
+    pub revoked_entries: usize,
+    /// The freshly compiled snapshot.
+    pub policy: Arc<CompiledPolicy>,
+}
+
+/// What one [`ReloadCoordinator::sweep`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Tracked keys examined.
+    pub scanned: usize,
+    /// Keys whose context had drifted and were reloaded.
+    pub reloaded: usize,
+    /// Keys whose context could not be resolved (revoked, not reloaded —
+    /// a context that no longer exists cannot justify any policy).
+    pub orphaned: usize,
+}
+
+/// Tracks live (tenant, task, context) policies on an [`Engine`] and
+/// reloads them when their trusted context drifts.
+///
+/// Shared by reference across threads; every method takes `&self`.
+pub struct ReloadCoordinator {
+    engine: Arc<Engine>,
+    live: RwLock<HashMap<LiveKey, LiveEntry>>,
+}
+
+impl ReloadCoordinator {
+    /// A coordinator fronting `engine`.
+    pub fn new(engine: Arc<Engine>) -> Self {
+        ReloadCoordinator { engine, live: RwLock::new(HashMap::new()) }
+    }
+
+    /// The engine this coordinator reloads policies on.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Number of (tenant, task) keys currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.live.read().len()
+    }
+
+    /// Compiles and installs `policy` for (`tenant`, `task`, `context`)
+    /// through the engine, and starts watching the key for context drift.
+    pub fn install(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+    ) -> Arc<CompiledPolicy> {
+        let compiled = self.engine.install(tenant, task, context, policy);
+        self.track(tenant, task, context, policy.fingerprint());
+        compiled
+    }
+
+    /// Starts watching a key that was installed directly on the engine.
+    pub fn track(&self, tenant: &str, task: &str, context: &TrustedContext, policy_fp: u64) {
+        self.live.write().insert(
+            LiveKey::new(tenant, task),
+            LiveEntry {
+                context_fp: context.fingerprint(),
+                drift_fp: context.drift_fingerprint(),
+                policy_fp,
+            },
+        );
+    }
+
+    /// Whether the tracked policy for (`tenant`, `task`) was generated
+    /// against a context that no longer matches `current` (semantically —
+    /// the logical clock alone never counts as drift). Untracked keys are
+    /// not stale: the coordinator only speaks for policies it watches.
+    pub fn is_stale(&self, tenant: &str, task: &str, current: &TrustedContext) -> bool {
+        self.live
+            .read()
+            .get(&LiveKey::new(tenant, task))
+            .map(|entry| entry.drift_fp != current.drift_fingerprint())
+            .unwrap_or(false)
+    }
+
+    /// Revokes the tracked policy for (`tenant`, `task`) — sweeps every
+    /// snapshot carrying its fingerprint out of the store, stops watching
+    /// the key, and audits the revocation. Returns how many store entries
+    /// the sweep removed, or `None` if the key was not tracked. Checks
+    /// against the swept keys fail closed until something reinstalls.
+    pub fn revoke(
+        &self,
+        tenant: &str,
+        task: &str,
+        reason: &str,
+        sink: &mut dyn AuditSink,
+    ) -> Option<usize> {
+        let entry = self.live.write().remove(&LiveKey::new(tenant, task))?;
+        let removed = self.engine.revoke_fingerprint(tenant, entry.policy_fp);
+        sink.record(AuditEvent::PolicyRevoked {
+            task: task.to_owned(),
+            fingerprint: entry.policy_fp,
+            context_fingerprint: entry.context_fp,
+            reason: reason.to_owned(),
+        });
+        Some(removed)
+    }
+
+    /// The revoke → regenerate → reinstall sequence for one key, run only
+    /// when the context actually drifted. Returns `None` when the key is
+    /// untracked or its context still matches.
+    ///
+    /// Ordering is the fail-closed one: the stale snapshot is swept
+    /// *before* `regenerate` runs, so while regeneration is in flight the
+    /// key resolves nothing and checks are denied by default; the
+    /// regenerated policy then lands atomically under the new context key
+    /// via [`Engine::reload`].
+    pub fn reload_if_stale(
+        &self,
+        tenant: &str,
+        task: &str,
+        current: &TrustedContext,
+        regenerate: impl FnOnce(&TrustedContext) -> Policy,
+        sink: &mut dyn AuditSink,
+    ) -> Option<ReloadOutcome> {
+        if !self.is_stale(tenant, task, current) {
+            return None;
+        }
+        self.reload_now(tenant, task, current, regenerate, sink)
+    }
+
+    /// [`reload_if_stale`](Self::reload_if_stale) without the staleness
+    /// gate — the forced-reload path operators use after changing
+    /// generator configuration. Still `None` for untracked keys.
+    ///
+    /// A reload and a concurrent [`revoke`](Self::revoke) race by
+    /// *claiming* the tracking entry: whichever removes it first wins and
+    /// the loser no-ops. In particular a completed revocation can never
+    /// be silently undone by an in-flight reload reinstalling the key —
+    /// the reload finds the entry gone and returns `None`. (A revocation
+    /// that arrives *after* a reload has claimed the entry also returns
+    /// `None`; the operator then sees the key untracked and can revoke
+    /// the reloaded fingerprint explicitly.)
+    pub fn reload_now(
+        &self,
+        tenant: &str,
+        task: &str,
+        current: &TrustedContext,
+        regenerate: impl FnOnce(&TrustedContext) -> Policy,
+        sink: &mut dyn AuditSink,
+    ) -> Option<ReloadOutcome> {
+        // 0. Claim the entry. Reading without removing would let a
+        // racing revoke() complete in the window before our reinstall,
+        // which this reload would then reverse.
+        let stale = self.live.write().remove(&LiveKey::new(tenant, task))?;
+        // 1. Fail closed: sweep the stale snapshot before regenerating.
+        let revoked_entries = self.engine.revoke_fingerprint(tenant, stale.policy_fp);
+        sink.record(AuditEvent::PolicyRevoked {
+            task: task.to_owned(),
+            fingerprint: stale.policy_fp,
+            context_fingerprint: stale.context_fp,
+            reason: "trusted context drifted".to_owned(),
+        });
+        // 2. Regenerate against the current context and reinstall.
+        let policy = regenerate(current);
+        let new_fingerprint = policy.fingerprint();
+        let receipt = self.engine.reload(tenant, task, current, &policy);
+        sink.record(AuditEvent::PolicyReloaded {
+            task: task.to_owned(),
+            old_fingerprint: stale.policy_fp,
+            new_fingerprint,
+            old_context: stale.context_fp,
+            new_context: current.fingerprint(),
+        });
+        // 3. Keep watching under the new identity.
+        self.track(tenant, task, current, new_fingerprint);
+        Some(ReloadOutcome {
+            old_fingerprint: stale.policy_fp,
+            new_fingerprint,
+            revoked_entries,
+            policy: receipt.policy,
+        })
+    }
+
+    /// The regeneration-watcher pass: re-resolves every tracked key's
+    /// current context via `resolve`, reloads the drifted ones through
+    /// `regenerate`, and revokes keys whose context can no longer be
+    /// resolved at all. One call is one watch tick; deployments run it
+    /// from whatever cadence (timer, inotify-style hook, post-commit) the
+    /// context source supports.
+    pub fn sweep(
+        &self,
+        resolve: impl Fn(&str, &str) -> Option<TrustedContext>,
+        regenerate: impl Fn(&str, &str, &TrustedContext) -> Policy,
+        sink: &mut dyn AuditSink,
+    ) -> SweepReport {
+        let tracked: Vec<LiveKey> = self.live.read().keys().cloned().collect();
+        let mut report = SweepReport { scanned: tracked.len(), ..SweepReport::default() };
+        for key in tracked {
+            match resolve(&key.tenant, &key.task) {
+                Some(current) => {
+                    let reloaded = self.reload_if_stale(
+                        &key.tenant,
+                        &key.task,
+                        &current,
+                        |ctx| regenerate(&key.tenant, &key.task, ctx),
+                        sink,
+                    );
+                    if reloaded.is_some() {
+                        report.reloaded += 1;
+                    }
+                }
+                None => {
+                    if self
+                        .revoke(&key.tenant, &key.task, "context no longer resolvable", sink)
+                        .is_some()
+                    {
+                        report.orphaned += 1;
+                    }
+                }
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_core::{AuditLog, CountingSink, PolicyEntry};
+    use conseca_shell::ApiCall;
+
+    fn ctx(user: &str, tree: &str) -> TrustedContext {
+        let mut ctx = TrustedContext::for_user(user);
+        ctx.fs_tree = tree.to_owned();
+        ctx
+    }
+
+    fn policy_for(task: &str, ctx: &TrustedContext) -> Policy {
+        let mut policy = Policy::new(task);
+        policy.set(
+            "ls",
+            PolicyEntry::allow_any(&format!("listing ok under tree {}", ctx.fs_tree.len())),
+        );
+        policy
+    }
+
+    fn ls() -> ApiCall {
+        ApiCall::new("fs", "ls", vec!["/".into()])
+    }
+
+    #[test]
+    fn drift_is_detected_and_reloaded_with_audit_trail() {
+        let engine = Arc::new(Engine::default());
+        let coordinator = ReloadCoordinator::new(Arc::clone(&engine));
+        let mut log = AuditLog::new();
+        let before = ctx("alice", "alice/\n");
+        let policy = policy_for("t", &before);
+        coordinator.install("acme", "t", &before, &policy);
+        assert_eq!(coordinator.tracked(), 1);
+        assert!(!coordinator.is_stale("acme", "t", &before));
+
+        // The logical clock alone is not drift.
+        let mut ticked = before.clone();
+        ticked.time += 100;
+        assert!(!coordinator.is_stale("acme", "t", &ticked));
+        assert!(coordinator
+            .reload_if_stale("acme", "t", &ticked, |c| policy_for("t", c), &mut log)
+            .is_none());
+
+        // A grown fs tree is.
+        let after = ctx("alice", "alice/\n  New/\n");
+        assert!(coordinator.is_stale("acme", "t", &after));
+        let outcome = coordinator
+            .reload_if_stale("acme", "t", &after, |c| policy_for("t", c), &mut log)
+            .expect("drift must reload");
+        assert_eq!(outcome.old_fingerprint, policy.fingerprint());
+        assert_eq!(outcome.revoked_entries, 1);
+
+        // The old key is gone; the new key serves.
+        assert!(engine.check("acme", "t", &before, &ls()).is_none(), "stale key fails closed");
+        assert!(engine.check("acme", "t", &after, &ls()).unwrap().allowed);
+        assert!(!coordinator.is_stale("acme", "t", &after), "tracking follows the reload");
+
+        // Audit: one revocation, one reload, fingerprints chained.
+        let events: Vec<_> = log.records().iter().map(|r| &r.event).collect();
+        match (events[0], events[1]) {
+            (
+                AuditEvent::PolicyRevoked { fingerprint, context_fingerprint, .. },
+                AuditEvent::PolicyReloaded { old_fingerprint, old_context, new_context, .. },
+            ) => {
+                assert_eq!(fingerprint, old_fingerprint);
+                assert_eq!(context_fingerprint, old_context);
+                assert_eq!(*new_context, after.fingerprint());
+            }
+            other => panic!("expected Revoked then Reloaded, got {other:?}"),
+        }
+        let counters = engine.tenant_counters("acme");
+        assert_eq!((counters.reloads, counters.revoked), (1, 1));
+    }
+
+    #[test]
+    fn no_mode_can_resolve_a_revoked_snapshot_after_revoke_returns() {
+        let engine = Arc::new(Engine::default());
+        let coordinator = ReloadCoordinator::new(Arc::clone(&engine));
+        let mut sink = CountingSink::default();
+        let context = ctx("alice", "alice/\n");
+        let policy = policy_for("t", &context);
+        coordinator.install("acme", "t", &context, &policy);
+        let removed = coordinator.revoke("acme", "t", "operator request", &mut sink).unwrap();
+        assert_eq!(removed, 1);
+        assert!(engine.check("acme", "t", &context, &ls()).is_none());
+        assert!(engine.check_all("acme", "t", &context, &[ls()]).is_none());
+        assert!(engine.lookup("acme", "t", &context).is_none());
+        assert_eq!(coordinator.tracked(), 0);
+        assert!(coordinator.revoke("acme", "t", "again", &mut sink).is_none());
+        // A reload that lost the claim race to the revocation must not
+        // reinstall the key — the revocation stands.
+        assert!(
+            coordinator
+                .reload_now("acme", "t", &context, |c| policy_for("t", c), &mut sink)
+                .is_none(),
+            "an in-flight reload must not undo a completed revocation"
+        );
+        assert!(engine.check("acme", "t", &context, &ls()).is_none());
+    }
+
+    #[test]
+    fn sweep_reloads_drifted_keys_and_orphans_unresolvable_ones() {
+        let engine = Arc::new(Engine::default());
+        let coordinator = ReloadCoordinator::new(Arc::clone(&engine));
+        let mut log = AuditLog::new();
+        let stable = ctx("alice", "alice/\n");
+        let drifting = ctx("bob", "bob/\n");
+        coordinator.install("acme", "stable", &stable, &policy_for("stable", &stable));
+        coordinator.install("acme", "drifts", &drifting, &policy_for("drifts", &drifting));
+        coordinator.install("acme", "orphan", &stable, &policy_for("orphan", &stable));
+
+        let drifted = ctx("bob", "bob/\n  Downloads/\n");
+        let report = coordinator.sweep(
+            |_tenant, task| match task {
+                "stable" => Some(stable.clone()),
+                "drifts" => Some(drifted.clone()),
+                _ => None,
+            },
+            |_tenant, task, current| policy_for(task, current),
+            &mut log,
+        );
+        assert_eq!(report, SweepReport { scanned: 3, reloaded: 1, orphaned: 1 });
+        assert_eq!(coordinator.tracked(), 2, "the orphan is no longer watched");
+        assert!(engine.check("acme", "stable", &stable, &ls()).is_some());
+        assert!(engine.check("acme", "drifts", &drifted, &ls()).is_some());
+        assert!(engine.check("acme", "drifts", &drifting, &ls()).is_none());
+        assert!(engine.check("acme", "orphan", &stable, &ls()).is_none());
+        // A second sweep over unchanged contexts is a no-op.
+        let report = coordinator.sweep(
+            |_tenant, task| match task {
+                "stable" => Some(stable.clone()),
+                "drifts" => Some(drifted.clone()),
+                _ => None,
+            },
+            |_tenant, task, current| policy_for(task, current),
+            &mut log,
+        );
+        assert_eq!(report, SweepReport { scanned: 2, reloaded: 0, orphaned: 0 });
+    }
+
+    #[test]
+    fn forced_reload_works_without_drift() {
+        let engine = Arc::new(Engine::default());
+        let coordinator = ReloadCoordinator::new(Arc::clone(&engine));
+        let mut sink = CountingSink::default();
+        let context = ctx("alice", "alice/\n");
+        coordinator.install("acme", "t", &context, &policy_for("t", &context));
+        let mut tightened = Policy::new("t");
+        tightened.set("ls", PolicyEntry::deny("operator lockdown"));
+        let fp = tightened.fingerprint();
+        let outcome = coordinator
+            .reload_now("acme", "t", &context, move |_| tightened, &mut sink)
+            .expect("tracked key reloads on demand");
+        assert_eq!(outcome.new_fingerprint, fp);
+        assert!(!engine.check("acme", "t", &context, &ls()).unwrap().allowed);
+    }
+}

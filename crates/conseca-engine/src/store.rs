@@ -84,6 +84,17 @@ struct Slot {
     policy: Arc<CompiledPolicy>,
     /// Recency stamp, written under the read lock on hits.
     last_used: AtomicU64,
+    /// Store-wide install generation assigned when this snapshot was
+    /// (re)installed. Revocation is compare-and-remove on this counter:
+    /// a revoker that observed generation G only removes the slot if it
+    /// still holds G, so a racing re-install (which bumps the
+    /// generation) can never be clobbered by a stale revocation — and a
+    /// racing check can never be handed a snapshot the store has already
+    /// agreed to revoke.
+    generation: u64,
+    /// The snapshot's source-policy fingerprint, cached at insert so
+    /// fingerprint sweeps never walk policy contents under the lock.
+    source_fp: u64,
 }
 
 struct Shard {
@@ -115,6 +126,9 @@ fn evict_lru(slots: &mut HashMap<EngineKey, Slot>) {
 /// A sharded LRU map from [`EngineKey`] to `Arc<CompiledPolicy>`.
 pub struct PolicyStore {
     shards: Box<[Shard]>,
+    /// Monotonic install counter; every insert/replace stamps its slot
+    /// with the next value (the revocation token, see [`Slot`]).
+    installs: AtomicU64,
 }
 
 impl PolicyStore {
@@ -142,7 +156,11 @@ impl PolicyStore {
                 misses: AtomicU64::new(0),
             })
             .collect();
-        PolicyStore { shards }
+        PolicyStore { shards, installs: AtomicU64::new(0) }
+    }
+
+    fn next_generation(&self) -> u64 {
+        self.installs.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn shard(&self, key: &EngineKey) -> &Shard {
@@ -152,13 +170,20 @@ impl PolicyStore {
     /// Looks up a compiled policy. A hit hands back a shared snapshot and
     /// refreshes recency without ever taking the write lock.
     pub fn get(&self, key: &EngineKey) -> Option<Arc<CompiledPolicy>> {
+        self.get_with_generation(key).map(|(policy, _)| policy)
+    }
+
+    /// [`get`](Self::get), also reporting the install generation the
+    /// snapshot was stamped with — the token
+    /// [`revoke_if_generation`](Self::revoke_if_generation) matches on.
+    pub fn get_with_generation(&self, key: &EngineKey) -> Option<(Arc<CompiledPolicy>, u64)> {
         let shard = self.shard(key);
         let slots = shard.slots.read();
         match slots.get(key) {
             Some(slot) => {
                 slot.last_used.store(shard.next_tick(), Ordering::Relaxed);
                 shard.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Arc::clone(&slot.policy))
+                Some((Arc::clone(&slot.policy), slot.generation))
             }
             None => {
                 shard.misses.fetch_add(1, Ordering::Relaxed);
@@ -168,14 +193,28 @@ impl PolicyStore {
     }
 
     /// Inserts (or replaces) a policy, evicting the shard's
-    /// least-recently-used entry if the shard is full.
-    pub fn insert(&self, key: EngineKey, policy: Arc<CompiledPolicy>) {
+    /// least-recently-used entry if the shard is full. Returns the
+    /// install generation stamped on the new slot.
+    pub fn insert(&self, key: EngineKey, policy: Arc<CompiledPolicy>) -> u64 {
+        self.replace(key, policy).1
+    }
+
+    /// [`insert`](Self::insert), also reporting the source fingerprint of
+    /// the snapshot that was replaced (if the key was live) — what a
+    /// reload audits as the old policy.
+    pub fn replace(&self, key: EngineKey, policy: Arc<CompiledPolicy>) -> (Option<u64>, u64) {
+        let generation = self.next_generation();
+        let source_fp = policy.fingerprint();
         let shard = self.shard(&key);
         let mut slots = shard.slots.write();
         if slots.len() >= shard.capacity && !slots.contains_key(&key) {
             evict_lru(&mut slots);
         }
-        slots.insert(key, Slot { policy, last_used: AtomicU64::new(shard.next_tick()) });
+        let old = slots.insert(
+            key,
+            Slot { policy, last_used: AtomicU64::new(shard.next_tick()), generation, source_fp },
+        );
+        (old.map(|slot| slot.source_fp), generation)
     }
 
     /// Returns the cached policy for `key`, or compiles-and-caches via
@@ -194,6 +233,8 @@ impl PolicyStore {
             return (policy, true);
         }
         let policy = make();
+        let generation = self.next_generation();
+        let source_fp = policy.fingerprint();
         let shard = self.shard(&key);
         let mut slots = shard.slots.write();
         if let Some(existing) = slots.get(&key) {
@@ -204,7 +245,12 @@ impl PolicyStore {
         }
         slots.insert(
             key,
-            Slot { policy: Arc::clone(&policy), last_used: AtomicU64::new(shard.next_tick()) },
+            Slot {
+                policy: Arc::clone(&policy),
+                last_used: AtomicU64::new(shard.next_tick()),
+                generation,
+                source_fp,
+            },
         );
         (policy, false)
     }
@@ -224,6 +270,55 @@ impl PolicyStore {
             removed += before - slots.len();
         }
         removed
+    }
+
+    /// Removes every snapshot `tenant` has installed whose source policy
+    /// carries `fingerprint` — fingerprint-based revocation, the sweep a
+    /// reload runs when a policy is discovered stale. Each shard is swept
+    /// in one pass under its write lock, so once this returns, no future
+    /// lookup anywhere in the store can resolve the revoked snapshot
+    /// (in-flight holders keep their `Arc`, exactly as with
+    /// [`flush_tenant`](Self::flush_tenant)). Returns how many entries
+    /// were dropped.
+    pub fn revoke_fingerprint(&self, tenant: &str, fingerprint: u64) -> usize {
+        let tenant_fp = fnv1a(tenant.as_bytes());
+        let mut removed = 0;
+        for shard in self.shards.iter() {
+            let mut slots = shard.slots.write();
+            let before = slots.len();
+            slots.retain(|key, slot| key.tenant_fp() != tenant_fp || slot.source_fp != fingerprint);
+            removed += before - slots.len();
+        }
+        removed
+    }
+
+    /// Compare-and-remove: drops the slot for `key` only if it still
+    /// carries `generation` (as resolved by
+    /// [`get_with_generation`](Self::get_with_generation)). Returns
+    /// whether anything was removed. A racing re-install bumps the slot's
+    /// generation, so a stale revocation observes the mismatch and leaves
+    /// the fresh snapshot alone.
+    ///
+    /// This is a *targeted* revocation primitive for callers that
+    /// resolved one specific snapshot and later decide to retire exactly
+    /// that install. The shipped reload paths do not need it — the
+    /// [`ReloadCoordinator`](crate::reload::ReloadCoordinator) claims
+    /// keys at its tracking layer and sweeps by fingerprint
+    /// ([`revoke_fingerprint`](Self::revoke_fingerprint), whose
+    /// single-pass-per-shard write-lock sweep is what actually provides
+    /// the no-stale-lookup guarantee) — but external resolvers holding a
+    /// (snapshot, generation) pair get a clobber-safe retire without a
+    /// fingerprint's blast radius.
+    pub fn revoke_if_generation(&self, key: &EngineKey, generation: u64) -> bool {
+        let shard = self.shard(key);
+        let mut slots = shard.slots.write();
+        match slots.get(key) {
+            Some(slot) if slot.generation == generation => {
+                slots.remove(key);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Number of cached policies across all shards.
@@ -351,6 +446,60 @@ mod tests {
         assert!(held.source_handle().task == "a", "in-flight snapshot survives the flush");
         assert_eq!(store.flush_tenant("acme"), 0, "second flush finds nothing");
         assert_eq!(store.flush_tenant("never-seen"), 0);
+    }
+
+    #[test]
+    fn revoke_fingerprint_sweeps_only_matching_snapshots() {
+        let store = PolicyStore::new(StoreConfig::default());
+        let stale = compiled("stale task");
+        let fresh = compiled("fresh task");
+        let fp = stale.fingerprint();
+        // The same stale policy installed under two keys (two contexts),
+        // plus an unrelated policy and another tenant holding the same
+        // fingerprint.
+        store.insert(key("acme", "stale task"), Arc::clone(&stale));
+        store.insert(
+            EngineKey::new("acme", "stale task", &TrustedContext::for_user("bob")),
+            Arc::clone(&stale),
+        );
+        store.insert(key("acme", "fresh task"), Arc::clone(&fresh));
+        store.insert(key("globex", "stale task"), Arc::clone(&stale));
+        assert_eq!(store.revoke_fingerprint("acme", fp), 2, "both stale keys swept");
+        assert!(store.get(&key("acme", "stale task")).is_none());
+        assert!(store.get(&key("acme", "fresh task")).is_some(), "other policies survive");
+        assert!(store.get(&key("globex", "stale task")).is_some(), "other tenants survive");
+        assert_eq!(store.revoke_fingerprint("acme", fp), 0, "second sweep finds nothing");
+    }
+
+    #[test]
+    fn generation_mismatch_protects_a_racing_reinstall() {
+        let store = PolicyStore::new(StoreConfig::default());
+        let k = key("acme", "t");
+        let gen1 = store.insert(k, compiled("t"));
+        let (_, seen) = store.get_with_generation(&k).expect("installed");
+        assert_eq!(seen, gen1);
+        // A re-install lands between the revoker observing gen1 and
+        // acting on it: the stale revocation must be a no-op.
+        let gen2 = store.insert(k, compiled("t"));
+        assert!(gen2 > gen1, "every install advances the generation");
+        assert!(!store.revoke_if_generation(&k, gen1), "stale token must not revoke");
+        assert!(store.get(&k).is_some(), "the fresh snapshot survives");
+        assert!(store.revoke_if_generation(&k, gen2), "current token revokes");
+        assert!(store.get(&k).is_none());
+        assert!(!store.revoke_if_generation(&k, gen2), "second revoke finds nothing");
+    }
+
+    #[test]
+    fn replace_reports_the_old_fingerprint() {
+        let store = PolicyStore::new(StoreConfig::default());
+        let k = key("acme", "t");
+        let first = compiled("first");
+        let second = compiled("second");
+        let (old, _) = store.replace(k, Arc::clone(&first));
+        assert_eq!(old, None, "nothing installed yet");
+        let (old, _) = store.replace(k, Arc::clone(&second));
+        assert_eq!(old, Some(first.fingerprint()));
+        assert_eq!(store.len(), 1);
     }
 
     #[test]

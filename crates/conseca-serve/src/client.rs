@@ -94,6 +94,18 @@ pub struct InstallReceipt {
     pub entries: u64,
 }
 
+/// Receipt for a reloaded policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadReceipt {
+    /// Fingerprint of the snapshot the reload displaced, if the key was
+    /// live server-side.
+    pub old_fingerprint: Option<u64>,
+    /// [`Policy::fingerprint`] of the reloaded policy.
+    pub fingerprint: u64,
+    /// Number of API entries the reloaded policy lists.
+    pub entries: u64,
+}
+
 /// A connected, handshaken policy-decision client.
 pub struct Client {
     conn: Box<dyn Stream>,
@@ -235,6 +247,52 @@ impl Client {
         })? {
             Response::PolicyOk { policy } => Ok(policy),
             other => Err(unexpected(other, "PolicyOk")),
+        }
+    }
+
+    /// Revokes every snapshot `tenant` has installed whose source policy
+    /// carries `fingerprint` (hot-reload: the trusted context the policy
+    /// was generated against no longer holds). Once the response
+    /// arrives, no check through this server can resolve the revoked
+    /// snapshot; the swept keys fail closed until a
+    /// [`reload`](Self::reload) or [`install`](Self::install) replaces
+    /// them. Returns how many snapshots were removed.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn revoke(&mut self, tenant: &str, fingerprint: u64) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Revoke { tenant: tenant.into(), fingerprint })? {
+            Response::Revoked { removed } => Ok(removed),
+            other => Err(unexpected(other, "Revoked")),
+        }
+    }
+
+    /// Revoke-and-replace in one round-trip: atomically swaps `policy` in
+    /// for (tenant, task, context) server-side and reports the
+    /// fingerprint of whatever was displaced.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors ([`code::BAD_POLICY`](crate::wire::code::BAD_POLICY) if a
+    /// regex constraint fails to compile server-side).
+    pub fn reload(
+        &mut self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+    ) -> Result<ReloadReceipt, ClientError> {
+        match self.roundtrip(&Request::Reload {
+            tenant: tenant.into(),
+            task: task.into(),
+            context: context.clone(),
+            policy: policy.clone(),
+        })? {
+            Response::Reloaded { old_fingerprint, fingerprint, entries } => {
+                Ok(ReloadReceipt { old_fingerprint, fingerprint, entries })
+            }
+            other => Err(unexpected(other, "Reloaded")),
         }
     }
 

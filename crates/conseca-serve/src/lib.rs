@@ -98,7 +98,7 @@ pub mod session;
 pub mod transport;
 pub mod wire;
 
-pub use client::{Client, ClientError, InstallReceipt};
+pub use client::{Client, ClientError, InstallReceipt, ReloadReceipt};
 pub use server::{ServeConfig, ServeMetrics, Server, ServerHandle};
 pub use session::RemoteSessionLayer;
 pub use transport::{duplex, DuplexStream, Stream};

@@ -518,6 +518,20 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                         let removed = engine.flush_tenant(&tenant) as u64;
                         let _ = job.reply.send(Response::Flushed { removed });
                     }
+                    Request::Revoke { tenant, fingerprint } => {
+                        let removed = engine.revoke_fingerprint(&tenant, fingerprint) as u64;
+                        let _ = job.reply.send(Response::Revoked { removed });
+                    }
+                    Request::Reload { tenant, task, context, policy } => {
+                        let fingerprint = policy.fingerprint();
+                        let entries = policy.len() as u64;
+                        let receipt = engine.reload(&tenant, &task, &context, &policy);
+                        let _ = job.reply.send(Response::Reloaded {
+                            old_fingerprint: receipt.old_fingerprint,
+                            fingerprint,
+                            entries,
+                        });
+                    }
                     Request::Stats { tenant } => {
                         let counters = engine.tenant_counters(&tenant);
                         let _ = job.reply.send(Response::StatsOk { counters });

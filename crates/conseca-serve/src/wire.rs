@@ -35,7 +35,13 @@ use conseca_shell::ApiCall;
 /// incompatible frame-layout changes; new message tags within a version
 /// are additive (receivers answer unknown tags with
 /// [`code::UNKNOWN_TAG`]).
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// Version history: **2** extended the `counters` encoding with the
+/// `reloads`/`revoked` totals (a payload change to `StatsOk`, hence the
+/// bump) and added the `Revoke`/`Reload` hot-reload messages (additive —
+/// they alone would not have required it). **1** was the initial
+/// protocol.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// Default cap on `length` (tag + payload) a peer will accept. Frames
 /// above the cap are answered with [`code::FRAME_TOO_LARGE`] and the
@@ -77,6 +83,8 @@ pub(crate) const TAG_FETCH_POLICY: u8 = 0x05;
 pub(crate) const TAG_FLUSH: u8 = 0x06;
 pub(crate) const TAG_STATS: u8 = 0x07;
 pub(crate) const TAG_SHUTDOWN: u8 = 0x08;
+pub(crate) const TAG_REVOKE: u8 = 0x09;
+pub(crate) const TAG_RELOAD: u8 = 0x0A;
 
 // Response tags.
 pub(crate) const TAG_HELLO_OK: u8 = 0x81;
@@ -87,6 +95,8 @@ pub(crate) const TAG_POLICY: u8 = 0x85;
 pub(crate) const TAG_FLUSHED: u8 = 0x86;
 pub(crate) const TAG_STATS_OK: u8 = 0x87;
 pub(crate) const TAG_SHUTTING_DOWN: u8 = 0x88;
+pub(crate) const TAG_REVOKED: u8 = 0x89;
+pub(crate) const TAG_RELOADED: u8 = 0x8A;
 pub(crate) const TAG_ERROR: u8 = 0xFF;
 
 /// One length-prefixed message as it travels the wire.
@@ -452,6 +462,8 @@ fn put_counters(out: &mut Vec<u8>, c: &TenantCounters) {
     put_u64(out, c.checks);
     put_u64(out, c.allowed);
     put_u64(out, c.denied);
+    put_u64(out, c.reloads);
+    put_u64(out, c.revoked);
 }
 
 // --------------------------------------------------------------- decoder
@@ -667,6 +679,8 @@ impl<'a> Reader<'a> {
             checks: self.u64("counters.checks")?,
             allowed: self.u64("counters.allowed")?,
             denied: self.u64("counters.denied")?,
+            reloads: self.u64("counters.reloads")?,
+            revoked: self.u64("counters.revoked")?,
         })
     }
 
@@ -744,6 +758,28 @@ pub enum Request {
     },
     /// Asks the server to stop accepting connections (admin operation).
     Shutdown,
+    /// Revokes every snapshot the tenant has installed whose source
+    /// policy carries the fingerprint (hot-reload: the policy's trusted
+    /// context no longer holds). Checks against swept keys fail closed
+    /// until a `Reload`/`Install` replaces them.
+    Revoke {
+        /// The tenant whose snapshots are swept.
+        tenant: String,
+        /// Semantic fingerprint ([`Policy::fingerprint`]) to revoke.
+        fingerprint: u64,
+    },
+    /// Revoke-and-replace in one step: atomically swaps the policy in
+    /// for (tenant, task, context) and reports what was displaced.
+    Reload {
+        /// Owning tenant.
+        tenant: String,
+        /// Task text the policy is keyed by.
+        task: String,
+        /// The *current* trusted context the policy is keyed by.
+        context: TrustedContext,
+        /// The regenerated policy.
+        policy: Policy,
+    },
 }
 
 /// A server-to-client message.
@@ -790,6 +826,21 @@ pub enum Response {
     /// Answer to [`Request::Shutdown`]; the server stops accepting new
     /// connections but serves existing ones until they close.
     ShuttingDown,
+    /// Answer to [`Request::Revoke`].
+    Revoked {
+        /// How many store snapshots the sweep removed.
+        removed: u64,
+    },
+    /// Answer to [`Request::Reload`].
+    Reloaded {
+        /// Fingerprint of the snapshot the reload displaced, if the key
+        /// was live.
+        old_fingerprint: Option<u64>,
+        /// [`Policy::fingerprint`] of the reloaded policy.
+        fingerprint: u64,
+        /// Number of API entries the reloaded policy lists.
+        entries: u64,
+    },
     /// The request failed; see [`code`] for the catalogue.
     Error {
         /// Machine-readable error code.
@@ -847,6 +898,18 @@ impl Request {
                 TAG_STATS
             }
             Request::Shutdown => TAG_SHUTDOWN,
+            Request::Revoke { tenant, fingerprint } => {
+                put_str(&mut out, tenant);
+                put_u64(&mut out, *fingerprint);
+                TAG_REVOKE
+            }
+            Request::Reload { tenant, task, context, policy } => {
+                put_str(&mut out, tenant);
+                put_str(&mut out, task);
+                put_context(&mut out, context);
+                put_policy(&mut out, policy);
+                TAG_RELOAD
+            }
         };
         Frame { tag, payload: out }
     }
@@ -892,6 +955,16 @@ impl Request {
             TAG_FLUSH => Request::Flush { tenant: r.str_("flush.tenant")? },
             TAG_STATS => Request::Stats { tenant: r.str_("stats.tenant")? },
             TAG_SHUTDOWN => Request::Shutdown,
+            TAG_REVOKE => Request::Revoke {
+                tenant: r.str_("revoke.tenant")?,
+                fingerprint: r.u64("revoke.fingerprint")?,
+            },
+            TAG_RELOAD => Request::Reload {
+                tenant: r.str_("reload.tenant")?,
+                task: r.str_("reload.task")?,
+                context: r.context()?,
+                policy: r.policy()?,
+            },
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -955,6 +1028,22 @@ impl Response {
                 TAG_STATS_OK
             }
             Response::ShuttingDown => TAG_SHUTTING_DOWN,
+            Response::Revoked { removed } => {
+                put_u64(&mut out, *removed);
+                TAG_REVOKED
+            }
+            Response::Reloaded { old_fingerprint, fingerprint, entries } => {
+                match old_fingerprint {
+                    None => put_bool(&mut out, false),
+                    Some(fp) => {
+                        put_bool(&mut out, true);
+                        put_u64(&mut out, *fp);
+                    }
+                }
+                put_u64(&mut out, *fingerprint);
+                put_u64(&mut out, *entries);
+                TAG_RELOADED
+            }
             Response::Error { code, message } => {
                 put_u16(&mut out, *code);
                 put_str(&mut out, message);
@@ -998,6 +1087,16 @@ impl Response {
             TAG_FLUSHED => Response::Flushed { removed: r.u64("flushed.removed")? },
             TAG_STATS_OK => Response::StatsOk { counters: r.counters()? },
             TAG_SHUTTING_DOWN => Response::ShuttingDown,
+            TAG_REVOKED => Response::Revoked { removed: r.u64("revoked.removed")? },
+            TAG_RELOADED => Response::Reloaded {
+                old_fingerprint: if r.bool_("reloaded.old_present")? {
+                    Some(r.u64("reloaded.old_fingerprint")?)
+                } else {
+                    None
+                },
+                fingerprint: r.u64("reloaded.fingerprint")?,
+                entries: r.u64("reloaded.entries")?,
+            },
             TAG_ERROR => {
                 Response::Error { code: r.u16("error.code")?, message: r.str_("error.message")? }
             }
@@ -1090,6 +1189,13 @@ mod tests {
             Request::Flush { tenant: "acme".into() },
             Request::Stats { tenant: "acme".into() },
             Request::Shutdown,
+            Request::Revoke { tenant: "acme".into(), fingerprint: 0xfeed_f00d },
+            Request::Reload {
+                tenant: "acme".into(),
+                task: "t".into(),
+                context: sample_context(),
+                policy: sample_policy(),
+            },
         ];
         for request in requests {
             assert_eq!(roundtrip_request(request.clone()), request);
@@ -1120,9 +1226,20 @@ mod tests {
             Response::PolicyOk { policy: Some(policy) },
             Response::Flushed { removed: 3 },
             Response::StatsOk {
-                counters: TenantCounters { hits: 1, misses: 2, checks: 3, allowed: 2, denied: 1 },
+                counters: TenantCounters {
+                    hits: 1,
+                    misses: 2,
+                    checks: 3,
+                    allowed: 2,
+                    denied: 1,
+                    reloads: 4,
+                    revoked: 5,
+                },
             },
             Response::ShuttingDown,
+            Response::Revoked { removed: 2 },
+            Response::Reloaded { old_fingerprint: None, fingerprint: 7, entries: 2 },
+            Response::Reloaded { old_fingerprint: Some(0xabc), fingerprint: 7, entries: 2 },
             Response::Error { code: code::MALFORMED, message: "truncated".into() },
         ];
         for response in responses {

@@ -1,0 +1,212 @@
+//! Wire-decoder fuzz: arbitrary, truncated, and corrupted byte frames
+//! must produce structured errors, never panics.
+//!
+//! The decoders sit on the trust boundary — any peer can hand them any
+//! bytes — so "malformed input" must always surface as a [`WireError`]
+//! (which the server maps to an error code) or a [`FrameReadError`],
+//! and never as a panic that takes the connection thread down. The
+//! properties below drive >10k generated cases per run through
+//! `Request::decode`, `Response::decode`, and `read_frame`:
+//!
+//! - totally arbitrary tag/payload frames;
+//! - valid frames truncated at every possible and at random offsets;
+//! - valid frames with a corrupted (bit-flipped) interior byte;
+//! - valid frames with junk appended (length-exactness: must error);
+//! - arbitrary byte streams fed to the frame reader under several caps.
+//!
+//! Failures reproduce exactly: the harness prints the failing seed, and
+//! `CONSECA_PROPTEST_SEED=<seed>` replays it.
+
+use conseca_core::{ArgConstraint, Policy, PolicyEntry, Predicate, TrustedContext};
+use conseca_engine::TenantCounters;
+use conseca_serve::wire::{read_frame, write_frame, Frame, Request, Response};
+use conseca_shell::ApiCall;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sample_context() -> TrustedContext {
+    let mut ctx = TrustedContext::for_user("alice");
+    ctx.date = "2025-05-14".into();
+    ctx.usernames = vec!["alice".into(), "bob".into()];
+    ctx.email_addresses = vec!["alice@work.com".into()];
+    ctx.fs_tree = "alice/\n  Documents/\n".into();
+    ctx
+}
+
+fn sample_policy() -> Policy {
+    let mut policy = Policy::new("respond to urgent work emails");
+    policy.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::regex("^alice$").unwrap(),
+                ArgConstraint::Dsl(Predicate::All(vec![
+                    Predicate::Suffix("@work.com".into()),
+                    Predicate::Not(Box::new(Predicate::Contains("..".into()))),
+                ])),
+            ],
+            "alice answers",
+        ),
+    );
+    policy.set("delete_email", PolicyEntry::deny("no deletions"));
+    policy
+}
+
+fn sample_requests() -> Vec<Request> {
+    let ctx = sample_context();
+    let call = ApiCall::new("email", "send_email", vec!["alice".into(), "b@work.com".into()]);
+    vec![
+        Request::Hello { version: conseca_serve::PROTOCOL_VERSION },
+        Request::Check {
+            tenant: "acme".into(),
+            task: "t".into(),
+            context: ctx.clone(),
+            call: call.clone(),
+        },
+        Request::CheckBatch {
+            tenant: "acme".into(),
+            task: "t".into(),
+            context: ctx.clone(),
+            calls: vec![call, ApiCall::new("fs", "ls", vec![])],
+        },
+        Request::Install {
+            tenant: "acme".into(),
+            task: "t".into(),
+            context: ctx.clone(),
+            policy: sample_policy(),
+        },
+        Request::FetchPolicy { tenant: "acme".into(), task: "t".into(), context: ctx.clone() },
+        Request::Flush { tenant: "acme".into() },
+        Request::Stats { tenant: "acme".into() },
+        Request::Revoke { tenant: "acme".into(), fingerprint: 0xfeed_f00d },
+        Request::Reload {
+            tenant: "acme".into(),
+            task: "t".into(),
+            context: ctx,
+            policy: sample_policy(),
+        },
+    ]
+}
+
+fn sample_responses() -> Vec<Response> {
+    vec![
+        Response::HelloOk { version: conseca_serve::PROTOCOL_VERSION },
+        Response::Verdict { decision: None },
+        Response::Installed { fingerprint: 1, entries: 2 },
+        Response::PolicyOk { policy: Some(sample_policy()) },
+        Response::Flushed { removed: 3 },
+        Response::StatsOk {
+            counters: TenantCounters {
+                hits: 1,
+                misses: 2,
+                checks: 3,
+                allowed: 2,
+                denied: 1,
+                reloads: 1,
+                revoked: 1,
+            },
+        },
+        Response::Revoked { removed: 2 },
+        Response::Reloaded { old_fingerprint: Some(9), fingerprint: 8, entries: 2 },
+        Response::Error { code: 3, message: "nope".into() },
+    ]
+}
+
+/// `decode` must return (Ok or Err) — reaching the end of this function
+/// is the property; a panic anywhere in the decoder fails the test.
+fn decode_both(frame: &Frame) {
+    let _ = Request::decode(frame);
+    let _ = Response::decode(frame);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+
+    #[test]
+    fn arbitrary_frames_decode_to_error_not_panic(
+        input in ((0u16..256).prop_map(|t| t as u8), vec(any::<u8>(), 0..96))
+    ) {
+        let (tag, payload) = input;
+        decode_both(&Frame { tag, payload });
+    }
+
+    #[test]
+    fn truncated_valid_frames_error_not_panic(input in (any::<u64>(), any::<u64>())) {
+        let (pick, cut) = input;
+        let requests = sample_requests();
+        let frame = requests[(pick % requests.len() as u64) as usize].encode();
+        if !frame.payload.is_empty() {
+            // A strict prefix of a length-exact encoding can never decode.
+            let cut = (cut % frame.payload.len() as u64) as usize;
+            let truncated = Frame { tag: frame.tag, payload: frame.payload[..cut].to_vec() };
+            prop_assert!(
+                Request::decode(&truncated).is_err(),
+                "tag 0x{:02x} cut at {} decoded",
+                frame.tag,
+                cut
+            );
+        }
+        let responses = sample_responses();
+        let frame = responses[(pick % responses.len() as u64) as usize].encode();
+        if !frame.payload.is_empty() {
+            let cut = (cut % frame.payload.len() as u64) as usize;
+            let truncated = Frame { tag: frame.tag, payload: frame.payload[..cut].to_vec() };
+            prop_assert!(Response::decode(&truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn corrupted_tails_error_not_panic(
+        input in (any::<u64>(), any::<u64>(), vec(any::<u8>(), 1..16))
+    ) {
+        let (pick, at, junk) = input;
+        let requests = sample_requests();
+        let valid = requests[(pick % requests.len() as u64) as usize].encode();
+        // Valid prefix, corrupted interior byte: may decode to something
+        // else or error — must not panic.
+        if !valid.payload.is_empty() {
+            let mut flipped = valid.clone();
+            let at = (at % flipped.payload.len() as u64) as usize;
+            flipped.payload[at] ^= 0xFF;
+            decode_both(&flipped);
+        }
+        // Valid prefix, junk tail: every encoding is length-exact, so
+        // trailing bytes must be rejected.
+        let mut extended = valid;
+        extended.payload.extend_from_slice(&junk);
+        prop_assert!(Request::decode(&extended).is_err(), "junk tail accepted");
+    }
+
+    #[test]
+    fn frame_reader_survives_arbitrary_streams(bytes in vec(any::<u8>(), 0..64)) {
+        // Any byte stream, several caps (including one small enough that
+        // most announced lengths are oversized): Ok/Err only, and the
+        // reader must never allocate the announced length before
+        // checking the cap.
+        for cap in [8u32, 64, 1 << 20] {
+            let _ = read_frame(&mut bytes.as_slice(), cap);
+        }
+    }
+
+    #[test]
+    fn truncated_byte_streams_surface_as_io_errors(
+        input in (any::<u64>(), any::<u64>())
+    ) {
+        let (pick, cut) = input;
+        let requests = sample_requests();
+        let request = &requests[(pick % requests.len() as u64) as usize];
+        let mut full = Vec::new();
+        write_frame(&mut full, &request.encode()).unwrap();
+        let cut = (cut % full.len() as u64) as usize;
+        match read_frame(&mut &full[..cut], 1 << 20) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only an empty stream is a clean EOF"),
+            Ok(Some(_)) => prop_assert!(false, "a truncated stream yielded a frame"),
+            Err(_) => {}
+        }
+    }
+}
+
+// Coverage floor: 5 properties × 3000 cases each = 15k generated cases
+// per run, comfortably above the 10k-case floor the conformance issue
+// demands. Adjust the per-property `ProptestConfig` if properties are
+// added or removed.

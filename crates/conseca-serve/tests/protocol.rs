@@ -354,3 +354,56 @@ fn shutdown_refuses_new_tcp_connections() {
     existing.close();
     server.shutdown();
 }
+
+#[test]
+fn revoke_fails_checks_closed_and_reload_restores_them() {
+    let server = start();
+    let mut client = server.connect().unwrap();
+    let context = ctx();
+    let installed = policy();
+    client.install("acme", "t", &context, &installed).unwrap();
+    assert!(
+        client
+            .check("acme", "t", &context, &call("send_email", &["alice"]))
+            .unwrap()
+            .unwrap()
+            .allowed
+    );
+
+    // Revoke by fingerprint: the snapshot disappears for every key that
+    // carried it, and checks fail closed (absent verdict).
+    assert_eq!(client.revoke("acme", installed.fingerprint()).unwrap(), 1);
+    assert!(
+        client.check("acme", "t", &context, &call("send_email", &["alice"])).unwrap().is_none(),
+        "a revoked snapshot must not serve decisions over the wire"
+    );
+    assert!(client
+        .check_all("acme", "t", &context, &[call("send_email", &["alice"])])
+        .unwrap()
+        .is_none());
+
+    // Reload: the regenerated policy lands atomically and reports what it
+    // displaced (nothing — the key was swept).
+    let mut regenerated = Policy::new("t");
+    regenerated.set("send_email", PolicyEntry::deny("context changed"));
+    let receipt = client.reload("acme", "t", &context, &regenerated).unwrap();
+    assert_eq!(receipt.old_fingerprint, None);
+    assert_eq!(receipt.fingerprint, regenerated.fingerprint());
+    let decision =
+        client.check("acme", "t", &context, &call("send_email", &["alice"])).unwrap().unwrap();
+    assert!(!decision.allowed, "the reloaded policy governs");
+
+    // Reload on the live key reports the displaced fingerprint.
+    let receipt = client.reload("acme", "t", &context, &installed).unwrap();
+    assert_eq!(receipt.old_fingerprint, Some(regenerated.fingerprint()));
+
+    // The tenant's reload accounting travels through Stats.
+    let counters = client.stats("acme").unwrap();
+    assert_eq!(counters.reloads, 2);
+    assert_eq!(counters.revoked, 2, "the sweep plus the live-key displacement");
+    assert_eq!(counters, server.engine().tenant_counters("acme"), "wire and engine stats agree");
+
+    // A revoke for a fingerprint nobody holds is a counted no-op.
+    assert_eq!(client.revoke("acme", 0xdead_beef).unwrap(), 0);
+    server.shutdown();
+}

@@ -1,0 +1,488 @@
+//! Cross-mode conformance: one workload script, every execution path,
+//! byte-identical outcomes.
+//!
+//! The repo ships four interchangeable enforcement shapes — the
+//! in-process interpreted pipeline, the shared [`Engine`], a remote
+//! policy-decision server driven per call, and the same server driven in
+//! batches — and the standing claim (docs/engine.md) is that moving
+//! between them never changes a verdict. This module turns that claim
+//! into a reusable harness: a [`PolicyOp`] script (install / check /
+//! revoke / reload / flush — the full policy lifecycle, hot-reload
+//! included) is run through each path and every op's outcome is reduced
+//! to a canonical byte string via the serving codec, so "identical"
+//! means *byte*-identical, not merely same-allowed-bit.
+//!
+//! Agent-level conformance rides the same idea: [`report_fingerprint`]
+//! canonicalises a [`TaskReport`]'s enforcement-visible surface so full
+//! task runs can be compared across backends the same way.
+
+use std::sync::Arc;
+
+use conseca_agent::TaskReport;
+use conseca_core::pipeline::PipelineBuilder;
+use conseca_core::{render_policy, Decision, Policy, TrustedContext};
+use conseca_engine::{Engine, TenantCounters};
+use conseca_serve::wire::encode_decision;
+use conseca_serve::{Client, ServeConfig, Server};
+use conseca_shell::ApiCall;
+
+/// One step of a policy-lifecycle workload script.
+#[derive(Debug, Clone)]
+pub enum PolicyOp {
+    /// Install (or replace) the policy for the script's (task, context)
+    /// key.
+    Install(Policy),
+    /// Screen one call against whatever is installed.
+    Check(ApiCall),
+    /// Screen a batch of calls against whatever is installed.
+    CheckBatch(Vec<ApiCall>),
+    /// Revoke every snapshot carrying this policy fingerprint.
+    Revoke(u64),
+    /// Revoke-and-replace: the regenerated policy lands atomically.
+    Reload(Policy),
+    /// Drop everything the tenant has installed.
+    Flush,
+}
+
+/// The four execution paths the conformance harness drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionPath {
+    /// In-process interpreted pipeline (the paper's prototype shape).
+    Pipeline,
+    /// Shared in-process [`Engine`] with compiled snapshots.
+    Engine,
+    /// Remote policy-decision server, one wire round-trip per check.
+    Remote,
+    /// Remote server driven through batched `CheckBatch` frames.
+    ServedBatch,
+}
+
+impl ExecutionPath {
+    /// Human-readable path name for assertion messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecutionPath::Pipeline => "pipeline",
+            ExecutionPath::Engine => "engine",
+            ExecutionPath::Remote => "remote",
+            ExecutionPath::ServedBatch => "served-batch",
+        }
+    }
+
+    /// Every path, in documentation order.
+    pub fn all() -> [ExecutionPath; 4] {
+        [
+            ExecutionPath::Pipeline,
+            ExecutionPath::Engine,
+            ExecutionPath::Remote,
+            ExecutionPath::ServedBatch,
+        ]
+    }
+}
+
+/// What one path produced for one script.
+#[derive(Debug, Clone)]
+pub struct ScriptTranscript {
+    /// Which path ran.
+    pub path: ExecutionPath,
+    /// One canonical byte string per [`PolicyOp`], in script order.
+    pub outcomes: Vec<Vec<u8>>,
+    /// Final tenant counters, for the engine-backed paths (`None` for
+    /// the pure pipeline, which has no tenant accounting).
+    pub counters: Option<TenantCounters>,
+}
+
+// Canonical outcome encodings. Every path reduces an op's result to the
+// same representation before encoding, so the bytes compare across
+// transports: decisions go through the serving codec's
+// [`encode_decision`] (the same bytes `Verdict`/`VerdictBatch` carry on
+// the wire), counts are big-endian u64s.
+
+fn encode_opt_decision(d: &Option<Decision>) -> Vec<u8> {
+    match d {
+        None => vec![0],
+        Some(d) => {
+            let mut out = vec![1];
+            out.extend(encode_decision(d));
+            out
+        }
+    }
+}
+
+fn encode_opt_batch(ds: &Option<Vec<Decision>>) -> Vec<u8> {
+    match ds {
+        None => vec![0],
+        Some(ds) => {
+            let mut out = vec![1];
+            out.extend((ds.len() as u32).to_be_bytes());
+            for d in ds {
+                out.extend(encode_decision(d));
+            }
+            out
+        }
+    }
+}
+
+fn encode_count(n: u64) -> Vec<u8> {
+    n.to_be_bytes().to_vec()
+}
+
+fn encode_install(policy: &Policy) -> Vec<u8> {
+    let mut out = policy.fingerprint().to_be_bytes().to_vec();
+    out.extend((policy.len() as u64).to_be_bytes());
+    out
+}
+
+fn encode_reload(old: Option<u64>, policy: &Policy) -> Vec<u8> {
+    let mut out = Vec::new();
+    match old {
+        None => out.push(0),
+        Some(fp) => {
+            out.push(1);
+            out.extend(fp.to_be_bytes());
+        }
+    }
+    out.extend(encode_install(policy));
+    out
+}
+
+/// The in-process interpreted reference: a one-key "store" holding the
+/// currently installed policy, screened through the enforcement pipeline.
+fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
+    let mut current: Option<Arc<Policy>> = None;
+    let screen = |policy: &Policy, calls: &[ApiCall]| -> Vec<Decision> {
+        PipelineBuilder::new()
+            .policy(policy)
+            .build()
+            .check_all(calls)
+            .into_iter()
+            .map(|v| Decision {
+                allowed: v.allowed,
+                rationale: v.rationale,
+                violation: v.violation,
+            })
+            .collect()
+    };
+    ops.iter()
+        .map(|op| match op {
+            PolicyOp::Install(policy) => {
+                current = Some(Arc::new(policy.clone()));
+                encode_install(policy)
+            }
+            PolicyOp::Check(call) => {
+                let decision = current
+                    .as_ref()
+                    .map(|p| screen(p, std::slice::from_ref(call)).pop().expect("one verdict"));
+                encode_opt_decision(&decision)
+            }
+            PolicyOp::CheckBatch(calls) => {
+                let decisions = current.as_ref().map(|p| screen(p, calls));
+                encode_opt_batch(&decisions)
+            }
+            PolicyOp::Revoke(fingerprint) => {
+                let removed = match &current {
+                    Some(p) if p.fingerprint() == *fingerprint => {
+                        current = None;
+                        1
+                    }
+                    _ => 0,
+                };
+                encode_count(removed)
+            }
+            PolicyOp::Reload(policy) => {
+                let old = current.replace(Arc::new(policy.clone())).map(|p| p.fingerprint());
+                encode_reload(old, policy)
+            }
+            PolicyOp::Flush => encode_count(current.take().map(|_| 1).unwrap_or(0)),
+        })
+        .collect()
+}
+
+fn run_engine(
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    ops: &[PolicyOp],
+) -> (Vec<Vec<u8>>, TenantCounters) {
+    let engine = Engine::default();
+    let outcomes = ops
+        .iter()
+        .map(|op| match op {
+            PolicyOp::Install(policy) => {
+                engine.install(tenant, task, context, policy);
+                encode_install(policy)
+            }
+            PolicyOp::Check(call) => {
+                encode_opt_decision(&engine.check(tenant, task, context, call))
+            }
+            PolicyOp::CheckBatch(calls) => {
+                encode_opt_batch(&engine.check_all(tenant, task, context, calls))
+            }
+            PolicyOp::Revoke(fingerprint) => {
+                encode_count(engine.revoke_fingerprint(tenant, *fingerprint) as u64)
+            }
+            PolicyOp::Reload(policy) => {
+                let receipt = engine.reload(tenant, task, context, policy);
+                encode_reload(receipt.old_fingerprint, policy)
+            }
+            PolicyOp::Flush => encode_count(engine.flush_tenant(tenant) as u64),
+        })
+        .collect();
+    (outcomes, engine.tenant_counters(tenant))
+}
+
+fn run_served(
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    ops: &[PolicyOp],
+    batch_checks: bool,
+) -> (Vec<Vec<u8>>, TenantCounters) {
+    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+    let mut client: Client = server.connect().expect("handshake");
+    let outcomes = ops
+        .iter()
+        .map(|op| match op {
+            PolicyOp::Install(policy) => {
+                let receipt = client.install(tenant, task, context, policy).expect("install");
+                let mut out = receipt.fingerprint.to_be_bytes().to_vec();
+                out.extend(receipt.entries.to_be_bytes());
+                out
+            }
+            PolicyOp::Check(call) => {
+                if batch_checks {
+                    // The batch transport carries one-call batches too;
+                    // the outcome is reduced to the same single decision.
+                    let decisions = client
+                        .check_all(tenant, task, context, std::slice::from_ref(call))
+                        .expect("check batch");
+                    encode_opt_decision(&decisions.map(|mut ds| ds.pop().expect("one decision")))
+                } else {
+                    encode_opt_decision(&client.check(tenant, task, context, call).expect("check"))
+                }
+            }
+            PolicyOp::CheckBatch(calls) => {
+                encode_opt_batch(&client.check_all(tenant, task, context, calls).expect("batch"))
+            }
+            PolicyOp::Revoke(fingerprint) => {
+                encode_count(client.revoke(tenant, *fingerprint).expect("revoke"))
+            }
+            PolicyOp::Reload(policy) => {
+                let receipt = client.reload(tenant, task, context, policy).expect("reload");
+                let mut out = Vec::new();
+                match receipt.old_fingerprint {
+                    None => out.push(0),
+                    Some(fp) => {
+                        out.push(1);
+                        out.extend(fp.to_be_bytes());
+                    }
+                }
+                out.extend(receipt.fingerprint.to_be_bytes());
+                out.extend(receipt.entries.to_be_bytes());
+                out
+            }
+            PolicyOp::Flush => encode_count(client.flush(tenant).expect("flush")),
+        })
+        .collect();
+    let counters = client.stats(tenant).expect("stats");
+    server.shutdown();
+    (outcomes, counters)
+}
+
+/// Runs `ops` through one execution path against a fresh backend.
+pub fn run_script(
+    path: ExecutionPath,
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    ops: &[PolicyOp],
+) -> ScriptTranscript {
+    let (outcomes, counters) = match path {
+        ExecutionPath::Pipeline => (run_pipeline(ops), None),
+        ExecutionPath::Engine => {
+            let (outcomes, counters) = run_engine(tenant, task, context, ops);
+            (outcomes, Some(counters))
+        }
+        ExecutionPath::Remote => {
+            let (outcomes, counters) = run_served(tenant, task, context, ops, false);
+            (outcomes, Some(counters))
+        }
+        ExecutionPath::ServedBatch => {
+            let (outcomes, counters) = run_served(tenant, task, context, ops, true);
+            (outcomes, Some(counters))
+        }
+    };
+    ScriptTranscript { path, outcomes, counters }
+}
+
+/// Runs `ops` through all four paths.
+pub fn run_script_everywhere(
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    ops: &[PolicyOp],
+) -> Vec<ScriptTranscript> {
+    ExecutionPath::all()
+        .into_iter()
+        .map(|path| run_script(path, tenant, task, context, ops))
+        .collect()
+}
+
+/// Asserts every transcript is byte-identical to the first, naming the
+/// first diverging (path, op) on failure.
+///
+/// # Panics
+///
+/// Panics on the first divergence.
+pub fn assert_conformant(transcripts: &[ScriptTranscript]) {
+    let (reference, rest) = transcripts.split_first().expect("at least one transcript");
+    for transcript in rest {
+        assert_eq!(
+            reference.outcomes.len(),
+            transcript.outcomes.len(),
+            "{} and {} ran different op counts",
+            reference.path.label(),
+            transcript.path.label()
+        );
+        for (index, (want, got)) in reference.outcomes.iter().zip(&transcript.outcomes).enumerate()
+        {
+            assert_eq!(
+                want,
+                got,
+                "op #{index}: {} diverged from {} ({} vs {} bytes)",
+                transcript.path.label(),
+                reference.path.label(),
+                got.len(),
+                want.len()
+            );
+        }
+    }
+}
+
+/// Canonical bytes for a [`TaskReport`]'s enforcement-visible surface:
+/// outcome flags, counts, the exact command dispositions, and the policy
+/// rendered in the §4.1 block format. Two runs with equal fingerprints
+/// executed and denied exactly the same things under exactly the same
+/// (first-resolved) policy.
+pub fn report_fingerprint(report: &TaskReport) -> Vec<u8> {
+    let mut text = String::new();
+    let mut field = |s: &str| {
+        text.push_str(s);
+        text.push('\u{1f}');
+    };
+    field(&report.task);
+    field(if report.claimed_complete { "complete" } else { "incomplete" });
+    field(&format!("{:?}", report.stop));
+    field(&report.final_message);
+    field(&format!(
+        "proposals={} executed={} denials={} tool_errors={} reloads={} cache_hit={}",
+        report.proposals,
+        report.executed,
+        report.denials,
+        report.tool_errors,
+        report.reloads,
+        report.generation.cache_hit,
+    ));
+    for cmd in &report.executed_commands {
+        field(cmd);
+    }
+    field("--denied--");
+    for cmd in &report.denied_commands {
+        field(cmd);
+    }
+    field("--injected--");
+    for cmd in report.injected_executed.iter().chain(&report.injected_denied) {
+        field(cmd);
+    }
+    field("--policy--");
+    field(&render_policy(&report.policy));
+    text.into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_core::{ArgConstraint, PolicyEntry};
+
+    fn policy_a() -> Policy {
+        let mut p = Policy::new("respond to urgent work emails");
+        p.set(
+            "send_email",
+            PolicyEntry::allow(vec![ArgConstraint::regex("^alice$").unwrap()], "alice sends"),
+        );
+        p.set("delete_email", PolicyEntry::deny("no deletions"));
+        p
+    }
+
+    fn policy_b() -> Policy {
+        let mut p = Policy::new("respond to urgent work emails");
+        p.set("send_email", PolicyEntry::deny("context changed: sends locked"));
+        p
+    }
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    fn ctx() -> TrustedContext {
+        TrustedContext::for_user("alice")
+    }
+
+    #[test]
+    fn all_paths_agree_on_a_simple_lifecycle() {
+        let ops = vec![
+            PolicyOp::Check(call("send_email", &["alice"])), // nothing installed yet
+            PolicyOp::Install(policy_a()),
+            PolicyOp::Check(call("send_email", &["alice"])),
+            PolicyOp::Check(call("send_email", &["eve"])),
+            PolicyOp::CheckBatch(vec![call("delete_email", &["1"]), call("ls", &[])]),
+            PolicyOp::Reload(policy_b()),
+            PolicyOp::Check(call("send_email", &["alice"])), // now judged by B
+            PolicyOp::Flush,
+            PolicyOp::Check(call("send_email", &["alice"])), // flushed: absent again
+        ];
+        let transcripts = run_script_everywhere("acme", "t", &ctx(), &ops);
+        assert_conformant(&transcripts);
+        assert_eq!(transcripts[0].outcomes[0], vec![0], "pre-install checks are absent");
+        assert_eq!(transcripts[0].outcomes[6][..2], [1, 0], "reloaded policy denies the send");
+        assert_eq!(transcripts[0].outcomes[8], vec![0], "post-flush checks are absent");
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn divergence_is_named_per_op() {
+        let mut a = run_script(
+            ExecutionPath::Pipeline,
+            "acme",
+            "t",
+            &ctx(),
+            &[PolicyOp::Install(policy_a()), PolicyOp::Check(call("send_email", &["alice"]))],
+        );
+        let b = run_script(
+            ExecutionPath::Engine,
+            "acme",
+            "t",
+            &ctx(),
+            &[PolicyOp::Install(policy_a()), PolicyOp::Check(call("send_email", &["eve"]))],
+        );
+        a.outcomes[1][0] ^= 1; // force a divergence
+        assert_conformant(&[a, b]);
+    }
+
+    #[test]
+    fn report_fingerprints_separate_distinct_outcomes() {
+        use conseca_agent::PolicyMode;
+        let open = crate::run_task_once(1, 0, PolicyMode::NoPolicy, false);
+        let open_again = crate::run_task_once(1, 0, PolicyMode::NoPolicy, false);
+        let locked = crate::run_task_once(1, 0, PolicyMode::StaticRestrictive, false);
+        assert_eq!(
+            report_fingerprint(&open.report),
+            report_fingerprint(&open_again.report),
+            "identical runs share a fingerprint"
+        );
+        assert_ne!(
+            report_fingerprint(&open.report),
+            report_fingerprint(&locked.report),
+            "different dispositions must differ"
+        );
+    }
+}

@@ -8,9 +8,14 @@
 //!   (sequential steps, stubborn retry on denial, explicit fallbacks);
 //! - [`runner`]: the Figure 3 / Table A / injection harnesses;
 //! - [`ablation`]: trusted-context and trajectory ablations;
+//! - [`conformance`]: the cross-mode harness proving every execution
+//!   path (pipeline, engine, remote, served batch) produces
+//!   byte-identical outcomes for the same workload — hot-reload
+//!   lifecycles included;
 //! - [`table`]: plain-text table rendering for experiment binaries.
 
 pub mod ablation;
+pub mod conformance;
 pub mod env;
 pub mod runner;
 pub mod script;
@@ -21,11 +26,15 @@ pub use ablation::{
     run_context_ablation, run_trajectory_ablation, ContextAblationRow, ContextLevel,
     TrajectoryAblationRow,
 };
+pub use conformance::{
+    assert_conformant, report_fingerprint, run_script, run_script_everywhere, ExecutionPath,
+    PolicyOp, ScriptTranscript,
+};
 pub use env::{Env, CURRENT_USER, DOMAIN, INJECTED_BODY, USERS};
 pub use runner::{
     denies_inappropriate, figure3, golden_examples, injection_task_ids, mode_index, run_grid,
-    run_injection, run_task_once, run_task_once_engine, screen_calls, screen_calls_compiled,
-    table_a, Figure3Row, Grid, InjectionOutcome, RunOutcome, TableARow,
+    run_injection, run_task_once, run_task_once_engine, run_task_once_served, screen_calls,
+    screen_calls_compiled, table_a, Figure3Row, Grid, InjectionOutcome, RunOutcome, TableARow,
 };
 pub use script::{DeniedBehavior, Script, ScriptCtx, StepResult};
 pub use tasks::{

@@ -1,0 +1,199 @@
+//! The cross-mode conformance suite: the same workload through every
+//! execution path, byte-identical — with the hot-reload lifecycle
+//! (install → check → revoke → reload → check) as the headline script.
+//!
+//! These are the acceptance tests for fingerprint revocation: after a
+//! revoke, *no* execution mode may return a decision from the revoked
+//! snapshot, and the reload counters must reconcile exactly across the
+//! engine-backed paths.
+
+use std::sync::Arc;
+
+use conseca_agent::PolicyMode;
+use conseca_core::{ArgConstraint, Policy, PolicyEntry, Predicate, TrustedContext};
+use conseca_engine::Engine;
+use conseca_shell::ApiCall;
+use conseca_workloads::{
+    assert_conformant, report_fingerprint, run_script_everywhere, run_task_once,
+    run_task_once_engine, run_task_once_served, ExecutionPath, PolicyOp,
+};
+
+fn call(name: &str, args: &[&str]) -> ApiCall {
+    ApiCall::new("test", name, args.iter().map(|s| s.to_string()).collect())
+}
+
+fn ctx() -> TrustedContext {
+    let mut ctx = TrustedContext::for_user("alice");
+    ctx.date = "2025-05-14".into();
+    ctx.usernames = vec!["alice".into(), "bob".into()];
+    ctx.email_addresses = vec!["alice@work.com".into(), "bob@work.com".into()];
+    ctx.fs_tree = "alice/\n  Documents/\n".into();
+    ctx
+}
+
+/// The policy generated "yesterday": permissive about sends.
+fn stale_policy() -> Policy {
+    let mut p = Policy::new("respond to urgent work emails");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(
+            vec![
+                ArgConstraint::regex("^alice$").unwrap(),
+                ArgConstraint::Dsl(Predicate::Suffix("@work.com".into())),
+            ],
+            "alice answers urgent mail",
+        ),
+    );
+    p.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+    p
+}
+
+/// The policy regenerated after the trusted context drifted: sends are
+/// locked down.
+fn regenerated_policy() -> Policy {
+    let mut p = Policy::new("respond to urgent work emails");
+    p.set("send_email", PolicyEntry::deny("context changed: recipient list shrank"));
+    p.set("ls", PolicyEntry::allow_any("reads stay fine"));
+    p
+}
+
+#[test]
+fn install_check_revoke_reload_check_is_byte_identical_in_every_mode() {
+    let stale = stale_policy();
+    let fresh = regenerated_policy();
+    let probe = call("send_email", &["alice", "bob@work.com"]);
+    let ops = vec![
+        PolicyOp::Install(stale.clone()),
+        PolicyOp::Check(probe.clone()),
+        PolicyOp::CheckBatch(vec![probe.clone(), call("delete_email", &["3"])]),
+        PolicyOp::Revoke(stale.fingerprint()),
+        // The acceptance criterion: after the revoke, NO mode may return
+        // a decision from the revoked snapshot.
+        PolicyOp::Check(probe.clone()),
+        PolicyOp::CheckBatch(vec![probe.clone()]),
+        PolicyOp::Reload(fresh.clone()),
+        PolicyOp::Check(probe.clone()),
+        PolicyOp::Check(call("ls", &[])),
+    ];
+    let transcripts = run_script_everywhere("acme", "respond", &ctx(), &ops);
+    assert_conformant(&transcripts);
+
+    let reference = &transcripts[0].outcomes;
+    assert_eq!(reference[1][0], 1, "pre-revoke check carries a decision");
+    assert_eq!(reference[4], vec![0], "post-revoke check must be absent: fail closed");
+    assert_eq!(reference[5], vec![0], "post-revoke batch must be absent too");
+    assert_eq!(reference[7][0], 1, "post-reload check carries a decision again");
+    assert_eq!(reference[7][1], 0, "…and the reloaded policy denies the send");
+    assert_eq!(reference[8][1], 1, "…while allowing the read it lists");
+
+    // Counter reconciliation across every engine-backed path: the same
+    // script must bill the same revocations, reloads, lookups, and
+    // verdicts wherever it ran.
+    let engine_counters = transcripts.iter().filter_map(|t| t.counters).collect::<Vec<_>>();
+    assert_eq!(engine_counters.len(), 3, "engine, remote, and served-batch report counters");
+    for counters in &engine_counters {
+        assert_eq!(counters.revoked, 1, "exactly the swept snapshot");
+        assert_eq!(counters.reloads, 1, "exactly the reload");
+        assert_eq!(counters.checks, 5, "decisions only when a policy was installed");
+        assert_eq!(counters.allowed, 3);
+        assert_eq!(counters.denied, 2);
+        assert_eq!(counters.hits + counters.misses, 6, "one resolution per check op");
+        assert_eq!(counters.misses, 2, "exactly the two fail-closed post-revoke ops");
+    }
+    assert_eq!(engine_counters[0], engine_counters[1]);
+    assert_eq!(engine_counters[1], engine_counters[2]);
+}
+
+#[test]
+fn reload_on_a_live_key_displaces_without_a_fail_closed_gap() {
+    let stale = stale_policy();
+    let fresh = regenerated_policy();
+    let probe = call("send_email", &["alice", "bob@work.com"]);
+    // No revoke between install and reload: the swap must be atomic —
+    // every mode must answer every check, first from the stale policy,
+    // then from the fresh one.
+    let ops = vec![
+        PolicyOp::Install(stale.clone()),
+        PolicyOp::Check(probe.clone()),
+        PolicyOp::Reload(fresh.clone()),
+        PolicyOp::Check(probe.clone()),
+    ];
+    let transcripts = run_script_everywhere("acme", "respond", &ctx(), &ops);
+    assert_conformant(&transcripts);
+    let reference = &transcripts[0].outcomes;
+    assert_eq!(reference[1][..2], [1, 1], "stale policy allows the send");
+    assert_eq!(reference[3][..2], [1, 0], "fresh policy denies it");
+    // The reload receipt names what it displaced, in every mode.
+    assert_eq!(reference[2][0], 1, "old snapshot present");
+    assert_eq!(reference[2][1..9], stale.fingerprint().to_be_bytes());
+}
+
+#[test]
+fn revoking_one_fingerprint_leaves_other_policies_standing() {
+    let stale = stale_policy();
+    let probe = call("send_email", &["alice", "bob@work.com"]);
+    let ops = vec![
+        PolicyOp::Install(stale.clone()),
+        PolicyOp::Revoke(0xdead_beef), // nobody holds this fingerprint
+        PolicyOp::Check(probe.clone()),
+        PolicyOp::Revoke(stale.fingerprint()),
+        PolicyOp::Check(probe),
+    ];
+    let transcripts = run_script_everywhere("acme", "respond", &ctx(), &ops);
+    assert_conformant(&transcripts);
+    let reference = &transcripts[0].outcomes;
+    assert_eq!(reference[1], 0u64.to_be_bytes().to_vec(), "unknown fingerprint: no-op");
+    assert_eq!(reference[2][0], 1, "the policy survived the unrelated revoke");
+    assert_eq!(reference[3], 1u64.to_be_bytes().to_vec());
+    assert_eq!(reference[4], vec![0], "the matching revoke swept it");
+}
+
+#[test]
+fn full_task_runs_are_byte_identical_across_agent_backends() {
+    // The agent-level half of the harness: the same (task, trial, mode)
+    // cell through the in-process, engine-backed, and server-backed
+    // agents must produce byte-identical report fingerprints — including
+    // mid-task context-drift reloads (task 1 writes files, so Conseca
+    // runs reload mid-session).
+    for mode in [PolicyMode::Conseca, PolicyMode::StaticPermissive, PolicyMode::NoPolicy] {
+        for task_id in [1usize, 13] {
+            let engine = Arc::new(Engine::default());
+            let server = conseca_serve::Server::start(
+                Arc::new(Engine::default()),
+                conseca_serve::ServeConfig::default(),
+            );
+            let direct = run_task_once(task_id, 0, mode, false);
+            let engined = run_task_once_engine(task_id, 0, mode, false, &engine, "conf");
+            let served = run_task_once_served(task_id, 0, mode, false, &server, "conf");
+            let reference = report_fingerprint(&direct.report);
+            assert_eq!(
+                report_fingerprint(&engined.report),
+                reference,
+                "engine-backed report diverged: task {task_id} {mode:?}"
+            );
+            assert_eq!(
+                report_fingerprint(&served.report),
+                reference,
+                "served report diverged: task {task_id} {mode:?}"
+            );
+            assert_eq!(engined.completed, direct.completed);
+            assert_eq!(served.completed, direct.completed);
+            server.shutdown();
+        }
+    }
+}
+
+#[test]
+fn every_path_is_actually_exercised() {
+    // Guard against the harness silently dropping a path.
+    let labels: Vec<_> = ExecutionPath::all().iter().map(|p| p.label()).collect();
+    assert_eq!(labels, vec!["pipeline", "engine", "remote", "served-batch"]);
+    let transcripts = run_script_everywhere(
+        "acme",
+        "t",
+        &ctx(),
+        &[PolicyOp::Install(stale_policy()), PolicyOp::Check(call("ls", &[]))],
+    );
+    let ran: Vec<_> = transcripts.iter().map(|t| t.path.label()).collect();
+    assert_eq!(ran, labels);
+}
