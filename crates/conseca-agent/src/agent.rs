@@ -11,6 +11,8 @@
 //! The layering itself lives in [`conseca_core::pipeline`]; `run_task`
 //! only assembles an [`EnforcementSession`] per task and drives it.
 
+use std::collections::HashSet;
+use std::path::Path;
 use std::sync::Arc;
 
 use conseca_core::pipeline::{EnforcementSession, PipelineBuilder};
@@ -18,10 +20,10 @@ use conseca_core::{
     AuditEvent, AuditLog, ConfirmationProvider, GenerationStats, Policy, PolicyGenerator,
     PolicyModel, TrajectoryPolicy, TrustedContext,
 };
-use conseca_engine::{CompiledPolicy, Engine};
+use conseca_engine::{CompiledPolicy, Engine, SnapshotError, WarmStartReport};
 use conseca_llm::{ObsKind, Observation, PlannerAction, PlannerState, ScriptedPlanner};
 use conseca_mail::MailSystem;
-use conseca_serve::{Client, RemoteSessionLayer};
+use conseca_serve::{Client, ClientError, RemoteSessionLayer};
 use conseca_shell::{parse_command, Executor, OutputTrust, ToolRegistry};
 use conseca_vfs::SharedVfs;
 
@@ -103,6 +105,46 @@ pub struct Agent<M: PolicyModel> {
     /// keeps enforcement in-process. When both an engine and a remote
     /// connection are attached, the in-process engine wins.
     remote: Option<(Client, String)>,
+}
+
+/// Why [`Agent::snapshot_policies`] / [`Agent::warm_start`] failed.
+#[derive(Debug)]
+pub enum PersistenceError {
+    /// The agent has neither an engine nor a remote server attached —
+    /// the in-process interpreted path holds no shared store to
+    /// persist or warm-start.
+    NoBackend,
+    /// The snapshot subsystem refused the file (corruption, version
+    /// skew, fingerprint binding) or I/O failed.
+    Snapshot(SnapshotError),
+    /// The remote server transport or protocol failed.
+    Remote(ClientError),
+}
+
+impl core::fmt::Display for PersistenceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PersistenceError::NoBackend => {
+                write!(f, "no engine or remote server attached: nothing to persist")
+            }
+            PersistenceError::Snapshot(e) => write!(f, "{e}"),
+            PersistenceError::Remote(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistenceError {}
+
+impl From<SnapshotError> for PersistenceError {
+    fn from(e: SnapshotError) -> Self {
+        PersistenceError::Snapshot(e)
+    }
+}
+
+impl From<ClientError> for PersistenceError {
+    fn from(e: ClientError) -> Self {
+        PersistenceError::Remote(e)
+    }
 }
 
 /// Which enforcement backend [`Agent::resolve_policy`] produced for a
@@ -332,6 +374,83 @@ impl<M: PolicyModel> Agent<M> {
                 .revoke(tenant, fingerprint)
                 .expect("remote policy revocation transport failed (fail-closed)");
         }
+    }
+
+    /// Persists every policy this agent's tenant has installed on its
+    /// attached backend to a snapshot file, returning how many entries
+    /// were written. With an engine attached the export is local; with a
+    /// remote server the blob is fetched over the wire (`Snapshot`) and
+    /// written here. The bytes are the engine's checksummed snapshot
+    /// format (`docs/persistence.md`).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistenceError::NoBackend`] on the in-process interpreted
+    /// path; otherwise snapshot or transport failures.
+    pub fn snapshot_policies(&mut self, path: impl AsRef<Path>) -> Result<usize, PersistenceError> {
+        if let Some((engine, tenant)) = self.engine.as_ref() {
+            let receipt = engine.snapshot_to(tenant, path)?;
+            return Ok(receipt.entries);
+        }
+        if let Some((client, tenant)) = self.remote.as_mut() {
+            let receipt = client.snapshot(tenant)?;
+            std::fs::write(path, &receipt.snapshot).map_err(SnapshotError::Io)?;
+            return Ok(receipt.entries as usize);
+        }
+        Err(PersistenceError::NoBackend)
+    }
+
+    /// Warm-starts this agent's backend from a snapshot file, turning
+    /// the per-task *fetch-or-generate* policy resolution into
+    /// **load-or-fetch-or-generate**: every verified snapshot entry is
+    /// re-compiled into the store up front, so the first `run_task` for
+    /// a covered (task, context) is a store hit — no generation, no
+    /// compile — instead of a cold regeneration.
+    ///
+    /// Composes with hot-reload: pass the fingerprints revoked since the
+    /// snapshot was exported (e.g.
+    /// [`ReloadCoordinator::revoked_fingerprints`](conseca_engine::ReloadCoordinator::revoked_fingerprints))
+    /// and those entries stay dead; [`warm_start`](Self::warm_start) is
+    /// the no-revocations convenience.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistenceError::NoBackend`] on the in-process interpreted
+    /// path; otherwise snapshot verification or transport failures
+    /// (fail-closed: nothing was installed).
+    pub fn warm_start_with_revocations(
+        &mut self,
+        path: impl AsRef<Path>,
+        revoked: &HashSet<u64>,
+    ) -> Result<WarmStartReport, PersistenceError> {
+        if let Some((engine, tenant)) = self.engine.as_ref() {
+            return Ok(engine.warm_start_from(tenant, path, revoked)?);
+        }
+        if let Some((client, tenant)) = self.remote.as_mut() {
+            let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+            let mut fingerprints: Vec<u64> = revoked.iter().copied().collect();
+            fingerprints.sort_unstable();
+            let receipt = client.restore(tenant, &fingerprints, bytes)?;
+            return Ok(WarmStartReport {
+                installed: receipt.installed as usize,
+                skipped_revoked: receipt.skipped_revoked as usize,
+                skipped_live: receipt.skipped_live as usize,
+            });
+        }
+        Err(PersistenceError::NoBackend)
+    }
+
+    /// [`warm_start_with_revocations`](Self::warm_start_with_revocations)
+    /// with an empty revocation set.
+    ///
+    /// # Errors
+    ///
+    /// As [`warm_start_with_revocations`](Self::warm_start_with_revocations).
+    pub fn warm_start(
+        &mut self,
+        path: impl AsRef<Path>,
+    ) -> Result<WarmStartReport, PersistenceError> {
+        self.warm_start_with_revocations(path, &HashSet::new())
     }
 
     /// Runs one task to completion, stall, or budget exhaustion.
@@ -1151,6 +1270,97 @@ mod tests {
                 .any(|r| matches!(r.event, AuditEvent::PolicyRevoked { .. })),
             "an unchanged policy must not be revoked"
         );
+    }
+
+    fn temp_snapshot_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("conseca-agent-warmstart");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn warm_start_turns_fetch_or_generate_into_load_or_fetch_or_generate() {
+        let path = temp_snapshot_path("engine.csnap");
+        let task = "do some file work";
+        // Session one: generate, compile, snapshot.
+        let engine_a = Arc::new(conseca_engine::Engine::default());
+        let mut first = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine_a), "acme");
+        let r1 = first.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(!r1.generation.cache_hit, "the cold process must generate");
+        assert_eq!(first.snapshot_policies(&path).unwrap(), 1);
+
+        // Session two, a brand-new engine (a fresh process): warm-start
+        // from the file, then the same task is a *load* — no generation.
+        let engine_b = Arc::new(conseca_engine::Engine::default());
+        let mut second = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine_b), "acme");
+        let report = second.warm_start(&path).unwrap();
+        assert_eq!(report.installed, 1);
+        let r2 = second.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(r2.generation.cache_hit, "a warm-started store must serve the policy");
+        assert_eq!(r1.policy, r2.policy, "the restored policy is the generated one, exactly");
+        assert_eq!(r2.executed, r1.executed);
+        let counters = engine_b.tenant_counters("acme");
+        assert_eq!((counters.hits, counters.misses), (1, 0), "no cold miss after warm start");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn warm_start_works_over_a_remote_server_too() {
+        let path = temp_snapshot_path("remote.csnap");
+        let task = "do some file work";
+        let server_a = conseca_serve::Server::start(
+            Arc::new(conseca_engine::Engine::default()),
+            conseca_serve::ServeConfig::default(),
+        );
+        let mut first =
+            setup(PolicyMode::Conseca).with_remote_engine(server_a.connect().unwrap(), "acme");
+        let r1 = first.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert_eq!(first.snapshot_policies(&path).unwrap(), 1);
+        server_a.shutdown();
+
+        // A different server (fresh store), warm-started from the file.
+        let server_b = conseca_serve::Server::start(
+            Arc::new(conseca_engine::Engine::default()),
+            conseca_serve::ServeConfig::default(),
+        );
+        let mut second =
+            setup(PolicyMode::Conseca).with_remote_engine(server_b.connect().unwrap(), "acme");
+        let report = second.warm_start(&path).unwrap();
+        assert_eq!(report.installed, 1);
+        let r2 = second.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(r2.generation.cache_hit, "the warm-started server serves the policy back");
+        assert_eq!(r1.policy, r2.policy);
+        server_b.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn warm_start_respects_revocations_and_regenerates() {
+        let path = temp_snapshot_path("revoked.csnap");
+        let task = "do some file work";
+        let engine_a = Arc::new(conseca_engine::Engine::default());
+        let mut first = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine_a), "acme");
+        let r1 = first.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        first.snapshot_policies(&path).unwrap();
+
+        // The policy is revoked after the snapshot was taken; the next
+        // process's warm start must not resurrect it.
+        let revoked: std::collections::HashSet<u64> = [r1.policy.fingerprint()].into();
+        let engine_b = Arc::new(conseca_engine::Engine::default());
+        let mut second = setup(PolicyMode::Conseca).with_engine(Arc::clone(&engine_b), "acme");
+        let report = second.warm_start_with_revocations(&path, &revoked).unwrap();
+        assert_eq!((report.installed, report.skipped_revoked), (0, 1));
+        let r2 = second.run_task(task, simple_planner(vec!["ls /home/alice"]));
+        assert!(!r2.generation.cache_hit, "the revoked entry must be regenerated, not loaded");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn persistence_needs_a_backend() {
+        let path = temp_snapshot_path("nobackend.csnap");
+        let mut agent = setup(PolicyMode::Conseca);
+        assert!(matches!(agent.snapshot_policies(&path), Err(PersistenceError::NoBackend)));
+        assert!(matches!(agent.warm_start(&path), Err(PersistenceError::NoBackend)));
     }
 
     #[test]

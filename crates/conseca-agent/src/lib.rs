@@ -47,6 +47,6 @@ pub mod agent;
 pub mod context_ext;
 pub mod report;
 
-pub use agent::{Agent, AgentConfig, PolicyMode};
+pub use agent::{Agent, AgentConfig, PersistenceError, PolicyMode};
 pub use context_ext::{build_trusted_context, LOGICAL_DATE};
 pub use report::{StopReason, TaskReport};

@@ -1,20 +1,27 @@
 //! Benchmarks the compiled-policy engine against the interpreted
 //! baseline: cold compilation cost, hot single-check latency (the
 //! acceptance target: compiled ≥2× faster than interpreted on
-//! regex-constrained policies), store lookup overhead, and
-//! multi-threaded throughput over a shared `PolicyStore` at 1/2/4/8
-//! threads. The measured numbers are recorded in `BENCH_engine.json` at
-//! the repository root alongside the hardware caveats.
+//! regex-constrained policies), store lookup overhead, multi-threaded
+//! throughput over a shared `PolicyStore` at 1/2/4/8 threads, and
+//! process startup — cold regenerate+compile vs. warm-start from a
+//! policy snapshot (the persistence acceptance target: warm must
+//! measurably beat cold). The measured numbers are recorded in
+//! `BENCH_engine.json` at the repository root alongside the hardware
+//! caveats.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use conseca_core::{
-    is_allowed, ArgConstraint, CmpOp, Policy, PolicyEntry, Predicate, TrustedContext,
+    is_allowed, ArgConstraint, CmpOp, Policy, PolicyEntry, PolicyGenerator, Predicate,
+    TrustedContext,
 };
-use conseca_engine::{CheckJob, CompiledPolicy, Engine, EngineConfig, EngineKey};
+use conseca_engine::{decode_snapshot, CheckJob, CompiledPolicy, Engine, EngineConfig, EngineKey};
+use conseca_llm::TemplatePolicyModel;
 use conseca_shell::ApiCall;
+use conseca_workloads::golden_examples;
 
 /// The paper's §4.1 policy: three regex constraints on `send_email`.
 fn regex_policy() -> Policy {
@@ -185,5 +192,71 @@ fn bench_thread_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_hot_check, bench_store_path, bench_thread_scaling);
+fn bench_warm_start(c: &mut Criterion) {
+    // Process startup for a tenant with 24 live task policies: the cost
+    // every process paid before persistence (regenerate + compile each
+    // policy) vs. warm-starting from a snapshot (verify + decode +
+    // re-compile). Same end state either way — a store serving all 24
+    // keys — so the two rows are directly comparable.
+    const TASKS: usize = 24;
+    let registry = conseca_shell::default_registry();
+    let ctx = {
+        let mut ctx = TrustedContext::for_user("alice");
+        ctx.email_addresses = vec!["alice@work.com".into(), "bob@work.com".into()];
+        ctx.email_categories = vec!["Inbox".into(), "Archive".into()];
+        ctx.fs_tree = "alice/\n  Documents/\n  Archive/\n".into();
+        ctx
+    };
+    let tasks: Vec<String> = (0..TASKS)
+        .map(|i| format!("triage mailbox shard {i}: respond to urgent email and archive the rest"))
+        .collect();
+
+    let cold_start = |tasks: &[String]| -> Engine {
+        let engine = Engine::default();
+        let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+            .with_golden_examples(golden_examples());
+        for task in tasks {
+            let (policy, _) = generator.set_policy(task, &ctx);
+            engine.install("acme", task, &ctx, &policy);
+        }
+        engine
+    };
+
+    // The snapshot a prior process persisted.
+    let snapshot = cold_start(&tasks).store().export_snapshot("acme").expect("export").bytes;
+    let no_revocations = HashSet::new();
+
+    let mut group = c.benchmark_group("engine_startup_24_policies");
+    group.sample_size(10);
+    group.bench_function("cold_regenerate_compile", |b| {
+        b.iter(|| cold_start(black_box(&tasks)).store().len())
+    });
+    group.bench_function("warm_start_import", |b| {
+        b.iter(|| {
+            let engine = Engine::default();
+            engine
+                .store()
+                .import_snapshot("acme", black_box(&snapshot), &no_revocations)
+                .expect("import")
+                .installed
+        })
+    });
+    group.bench_function("snapshot_decode_verify_only", |b| {
+        b.iter(|| decode_snapshot(black_box(&snapshot)).expect("decode").entries.len())
+    });
+    group.bench_function("snapshot_export", |b| {
+        let engine = cold_start(&tasks);
+        b.iter(|| engine.store().export_snapshot(black_box("acme")).expect("export").bytes.len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_hot_check,
+    bench_store_path,
+    bench_thread_scaling,
+    bench_warm_start
+);
 criterion_main!(benches);

@@ -26,6 +26,19 @@ impl CacheKey {
     pub fn from_fingerprints(task_fp: u64, context_fp: u64) -> Self {
         CacheKey { task_fp, context_fp }
     }
+
+    /// The task-text fingerprint component — what snapshot persistence
+    /// records so a restored policy lands under exactly the key it was
+    /// exported from.
+    pub fn task_fp(&self) -> u64 {
+        self.task_fp
+    }
+
+    /// The trusted-context fingerprint component (see
+    /// [`task_fp`](Self::task_fp)).
+    pub fn context_fp(&self) -> u64 {
+        self.context_fp
+    }
 }
 
 /// An LRU cache of generated policies.

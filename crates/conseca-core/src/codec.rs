@@ -1,0 +1,884 @@
+//! The one binary codec for policy-engine types.
+//!
+//! `conseca-serve`'s wire protocol and `conseca-engine`'s on-disk policy
+//! snapshots both serialise the same core types — [`Policy`],
+//! [`TrustedContext`], [`Decision`], [`ApiCall`] — and both sit on a
+//! trust boundary where arbitrary bytes may arrive. This module is the
+//! single implementation both reuse: one codec, one trust boundary, one
+//! set of depth limits and structured errors. The byte layout is the
+//! wire protocol's (`docs/serving.md` §3 is the normative spec):
+//!
+//! - all integers big-endian;
+//! - strings are a `u32` byte length plus UTF-8 bytes;
+//! - lists are a `u32` count plus elements;
+//! - options are a presence byte (0/1) plus the value.
+//!
+//! **Encoding is bound-checked.** Every `u32` length prefix is written
+//! through [`Writer`], which errors (never silently wraps) when a field
+//! cannot be represented or when the output would exceed the writer's
+//! byte limit — so a peer's frame cap is enforced at *encode* time with
+//! a typed [`WireError::Oversized`] instead of the peer's opaque
+//! rejection after the bytes were already produced.
+//!
+//! **Decoding is fail-closed.** Truncated fields, trailing bytes, bad
+//! UTF-8, unknown discriminants, over-deep predicate trees, and regex
+//! constraints that do not compile all surface as structured
+//! [`WireError`]s, never panics; property tests
+//! (`conseca-serve/tests/fuzz.rs`) drive tens of thousands of corrupted
+//! inputs through [`Reader`] to pin this down.
+
+use core::fmt;
+
+use conseca_shell::ApiCall;
+
+use crate::constraint::{ArgConstraint, CmpOp, Predicate};
+use crate::context::TrustedContext;
+use crate::enforce::{Decision, Violation};
+use crate::policy::{Policy, PolicyEntry};
+
+/// Version of the byte layout this module implements. Consumers that
+/// persist codec output (the engine's snapshot files) record and verify
+/// it; the wire protocol's own `PROTOCOL_VERSION` tracks message-level
+/// changes on top of it.
+pub const CODEC_VERSION: u16 = 1;
+
+/// Maximum nesting depth the decoder accepts for [`Predicate`] (and
+/// [`Violation`]) trees — a malicious payload must not be able to
+/// overflow the decoder's stack.
+pub const MAX_PREDICATE_DEPTH: usize = 64;
+
+/// Why a value failed to encode or decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame tag names no message this implementation knows.
+    UnknownTag(u8),
+    /// A field's bytes ended before the field did.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+    },
+    /// The payload decoded fully but bytes remain.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// An enum discriminant byte named no known variant.
+    UnknownEnumTag {
+        /// The enum being decoded.
+        what: &'static str,
+        /// The offending discriminant.
+        tag: u8,
+    },
+    /// A predicate tree exceeded [`MAX_PREDICATE_DEPTH`].
+    TooDeep,
+    /// A regex constraint pattern failed to compile on arrival.
+    BadRegex {
+        /// The pattern as received.
+        pattern: String,
+        /// The compiler's error, rendered.
+        error: String,
+    },
+    /// Encode-side: a field or the accumulated output exceeds the
+    /// writer's byte limit (or a length cannot be represented in its
+    /// `u32` prefix). The typed alternative to silently wrapping a
+    /// length cast.
+    Oversized {
+        /// What was being encoded.
+        what: &'static str,
+        /// The size that did not fit, in bytes.
+        len: u64,
+        /// The limit it exceeded, in bytes.
+        max: u64,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::UnknownTag(tag) => write!(f, "unknown message tag 0x{tag:02x}"),
+            WireError::Truncated { what } => write!(f, "payload truncated while decoding {what}"),
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing byte(s) after the payload")
+            }
+            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            WireError::UnknownEnumTag { what, tag } => {
+                write!(f, "unknown {what} discriminant 0x{tag:02x}")
+            }
+            WireError::TooDeep => {
+                write!(f, "predicate nesting exceeds {MAX_PREDICATE_DEPTH} levels")
+            }
+            WireError::BadRegex { pattern, error } => {
+                write!(f, "regex constraint {pattern:?} does not compile: {error}")
+            }
+            WireError::Oversized { what, len, max } => {
+                write!(f, "{what} is {len} bytes, exceeding the {max}-byte encode limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// --------------------------------------------------------------- encoder
+
+/// A bound-checked byte accumulator: every write verifies the output
+/// stays within `limit` bytes and every `u32` length prefix verifies the
+/// length is representable, returning [`WireError::Oversized`] instead
+/// of wrapping. The raw bytes come back from [`Writer::finish`].
+#[derive(Debug)]
+pub struct Writer {
+    buf: Vec<u8>,
+    limit: u64,
+}
+
+impl Writer {
+    /// A writer that only enforces representability (`u32` length
+    /// prefixes must fit) — for callers with no peer-imposed byte cap,
+    /// e.g. snapshot files.
+    pub fn unbounded() -> Self {
+        Writer::with_limit(u64::MAX)
+    }
+
+    /// A writer that errors once the accumulated output would exceed
+    /// `limit` bytes — encode-time enforcement of a peer's frame cap.
+    pub fn with_limit(limit: u64) -> Self {
+        Writer { buf: Vec::new(), limit }
+    }
+
+    /// Bytes accumulated so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, handing back the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn grow(&mut self, extra: usize, what: &'static str) -> Result<(), WireError> {
+        let next = self.buf.len() as u64 + extra as u64;
+        if next > self.limit {
+            return Err(WireError::Oversized { what, len: next, max: self.limit });
+        }
+        Ok(())
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8, what: &'static str) -> Result<(), WireError> {
+        self.grow(1, what)?;
+        self.buf.push(v);
+        Ok(())
+    }
+
+    /// Appends a big-endian `u16`.
+    pub fn u16(&mut self, v: u16, what: &'static str) -> Result<(), WireError> {
+        self.grow(2, what)?;
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Appends a big-endian `u32`.
+    pub fn u32(&mut self, v: u32, what: &'static str) -> Result<(), WireError> {
+        self.grow(4, what)?;
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Appends a big-endian `u64`.
+    pub fn u64(&mut self, v: u64, what: &'static str) -> Result<(), WireError> {
+        self.grow(8, what)?;
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Appends a big-endian `i64`.
+    pub fn i64(&mut self, v: i64, what: &'static str) -> Result<(), WireError> {
+        self.grow(8, what)?;
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Appends a presence/choice byte (0 or 1).
+    pub fn bool_(&mut self, v: bool, what: &'static str) -> Result<(), WireError> {
+        self.u8(v as u8, what)
+    }
+
+    /// Appends a length (bound-checked against the `u32` prefix) without
+    /// payload — for list counts.
+    pub fn count(&mut self, n: usize, what: &'static str) -> Result<(), WireError> {
+        let n32 = u32::try_from(n).map_err(|_| WireError::Oversized {
+            what,
+            len: n as u64,
+            max: u32::MAX as u64,
+        })?;
+        self.u32(n32, what)
+    }
+
+    /// Appends a `u32`-length-prefixed byte string.
+    pub fn bytes(&mut self, b: &[u8], what: &'static str) -> Result<(), WireError> {
+        self.count(b.len(), what)?;
+        self.grow(b.len(), what)?;
+        self.buf.extend_from_slice(b);
+        Ok(())
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn str_(&mut self, s: &str, what: &'static str) -> Result<(), WireError> {
+        self.bytes(s.as_bytes(), what)
+    }
+
+    /// Appends a `u32`-counted list of strings.
+    pub fn str_list(&mut self, items: &[String], what: &'static str) -> Result<(), WireError> {
+        self.count(items.len(), what)?;
+        for item in items {
+            self.str_(item, what)?;
+        }
+        Ok(())
+    }
+}
+
+/// Encodes a [`TrustedContext`].
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the writer's limit is exceeded.
+pub fn put_context(w: &mut Writer, ctx: &TrustedContext) -> Result<(), WireError> {
+    w.str_(&ctx.current_user, "context.current_user")?;
+    w.str_(&ctx.date, "context.date")?;
+    w.u64(ctx.time, "context.time")?;
+    w.str_list(&ctx.usernames, "context.usernames")?;
+    w.str_list(&ctx.email_addresses, "context.email_addresses")?;
+    w.str_list(&ctx.email_categories, "context.email_categories")?;
+    w.str_(&ctx.fs_tree, "context.fs_tree")?;
+    w.count(ctx.extra.len(), "context.extra")?;
+    for (k, v) in &ctx.extra {
+        w.str_(k, "context.extra key")?;
+        w.str_(v, "context.extra value")?;
+    }
+    Ok(())
+}
+
+/// Encodes an [`ApiCall`].
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the writer's limit is exceeded.
+pub fn put_call(w: &mut Writer, call: &ApiCall) -> Result<(), WireError> {
+    w.str_(&call.tool, "call.tool")?;
+    w.str_(&call.name, "call.name")?;
+    w.str_list(&call.args, "call.args")?;
+    w.str_(&call.raw, "call.raw")
+}
+
+/// Encodes a [`Predicate`] tree.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the writer's limit is exceeded.
+pub fn put_predicate(w: &mut Writer, p: &Predicate) -> Result<(), WireError> {
+    match p {
+        Predicate::True => w.u8(0, "predicate"),
+        Predicate::Eq(s) => {
+            w.u8(1, "predicate")?;
+            w.str_(s, "predicate.eq")
+        }
+        Predicate::Prefix(s) => {
+            w.u8(2, "predicate")?;
+            w.str_(s, "predicate.prefix")
+        }
+        Predicate::Suffix(s) => {
+            w.u8(3, "predicate")?;
+            w.str_(s, "predicate.suffix")
+        }
+        Predicate::Contains(s) => {
+            w.u8(4, "predicate")?;
+            w.str_(s, "predicate.contains")
+        }
+        Predicate::OneOf(options) => {
+            w.u8(5, "predicate")?;
+            w.str_list(options, "predicate.one_of")
+        }
+        Predicate::Num(op, v) => {
+            w.u8(6, "predicate")?;
+            w.u8(
+                match op {
+                    CmpOp::Lt => 0,
+                    CmpOp::Le => 1,
+                    CmpOp::Eq => 2,
+                    CmpOp::Ge => 3,
+                    CmpOp::Gt => 4,
+                },
+                "cmp_op",
+            )?;
+            w.i64(*v, "predicate.num")
+        }
+        Predicate::Not(inner) => {
+            w.u8(7, "predicate")?;
+            put_predicate(w, inner)
+        }
+        Predicate::All(ps) => {
+            w.u8(8, "predicate")?;
+            w.count(ps.len(), "predicate.all")?;
+            for p in ps {
+                put_predicate(w, p)?;
+            }
+            Ok(())
+        }
+        Predicate::AnyOf(ps) => {
+            w.u8(9, "predicate")?;
+            w.count(ps.len(), "predicate.any_of")?;
+            for p in ps {
+                put_predicate(w, p)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Encodes an [`ArgConstraint`].
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the writer's limit is exceeded.
+pub fn put_constraint(w: &mut Writer, c: &ArgConstraint) -> Result<(), WireError> {
+    match c {
+        ArgConstraint::Any => w.u8(0, "constraint"),
+        ArgConstraint::Regex(re) => {
+            w.u8(1, "constraint")?;
+            w.str_(re.pattern(), "constraint.regex")
+        }
+        ArgConstraint::Dsl(p) => {
+            w.u8(2, "constraint")?;
+            put_predicate(w, p)
+        }
+    }
+}
+
+/// Encodes a [`Policy`] — the shared block both `Install`/`Reload` wire
+/// frames and snapshot-file entries carry.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the writer's limit is exceeded (a large
+/// installed policy is the realistic trigger).
+pub fn put_policy(w: &mut Writer, policy: &Policy) -> Result<(), WireError> {
+    w.str_(&policy.task, "policy.task")?;
+    w.str_(&policy.default_rationale, "policy.default_rationale")?;
+    w.count(policy.entries.len(), "policy.entries")?;
+    for (api, entry) in &policy.entries {
+        w.str_(api, "policy.api")?;
+        w.bool_(entry.can_execute, "entry.can_execute")?;
+        w.count(entry.arg_constraints.len(), "entry.constraints")?;
+        for c in &entry.arg_constraints {
+            put_constraint(w, c)?;
+        }
+        w.str_(&entry.rationale, "entry.rationale")?;
+    }
+    Ok(())
+}
+
+/// Encodes a [`Violation`] tree.
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the writer's limit is exceeded.
+pub fn put_violation(w: &mut Writer, v: &Violation) -> Result<(), WireError> {
+    match v {
+        Violation::UnlistedApi => w.u8(0, "violation"),
+        Violation::CannotExecute => w.u8(1, "violation"),
+        Violation::ArgMismatch { index, constraint, value } => {
+            w.u8(2, "violation")?;
+            w.u64(*index as u64, "violation.index")?;
+            w.str_(constraint, "violation.constraint")?;
+            w.str_(value, "violation.value")
+        }
+        Violation::RateLimited { api, limit, used } => {
+            w.u8(3, "violation")?;
+            w.str_(api, "violation.api")?;
+            w.u64(*limit as u64, "violation.limit")?;
+            w.u64(*used as u64, "violation.used")
+        }
+        Violation::SequenceUnmet { api, requirement } => {
+            w.u8(4, "violation")?;
+            w.str_(api, "violation.api")?;
+            w.str_(requirement, "violation.requirement")
+        }
+        Violation::BudgetExhausted { max } => {
+            w.u8(5, "violation")?;
+            w.u64(*max as u64, "violation.max")
+        }
+        Violation::OverrideDeclined { underlying } => {
+            w.u8(6, "violation")?;
+            match underlying {
+                None => w.bool_(false, "violation.underlying"),
+                Some(inner) => {
+                    w.bool_(true, "violation.underlying")?;
+                    put_violation(w, inner)
+                }
+            }
+        }
+    }
+}
+
+/// Encodes a [`Decision`].
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the writer's limit is exceeded.
+pub fn put_decision(w: &mut Writer, d: &Decision) -> Result<(), WireError> {
+    w.bool_(d.allowed, "decision.allowed")?;
+    w.str_(&d.rationale, "decision.rationale")?;
+    match &d.violation {
+        None => w.bool_(false, "decision.violation"),
+        Some(v) => {
+            w.bool_(true, "decision.violation")?;
+            put_violation(w, v)
+        }
+    }
+}
+
+// --------------------------------------------------------------- decoder
+
+/// A cursor over untrusted payload bytes; every accessor is fail-closed.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        if self.buf.len() - self.pos < n {
+            return Err(WireError::Truncated { what });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`].
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`].
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`].
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`].
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a big-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`].
+    pub fn i64(&mut self, what: &'static str) -> Result<i64, WireError> {
+        Ok(i64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a strict 0/1 byte.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] or [`WireError::UnknownEnumTag`].
+    pub fn bool_(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::UnknownEnumTag { what, tag }),
+        }
+    }
+
+    /// Reads a `u32`-length-prefixed byte string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`].
+    pub fn bytes(&mut self, what: &'static str) -> Result<&'a [u8], WireError> {
+        let len = self.u32(what)? as usize;
+        self.take(len, what)
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] or [`WireError::BadUtf8`].
+    pub fn str_(&mut self, what: &'static str) -> Result<String, WireError> {
+        let bytes = self.bytes(what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
+    }
+
+    /// Reads a `u32`-counted list of strings.
+    ///
+    /// # Errors
+    ///
+    /// Any string decode failure.
+    pub fn str_list(&mut self, what: &'static str) -> Result<Vec<String>, WireError> {
+        let count = self.u32(what)? as usize;
+        let mut items = Vec::new();
+        for _ in 0..count {
+            items.push(self.str_(what)?);
+        }
+        Ok(items)
+    }
+
+    /// Decodes a [`TrustedContext`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn context(&mut self) -> Result<TrustedContext, WireError> {
+        let mut ctx = TrustedContext::for_user("");
+        ctx.current_user = self.str_("context.current_user")?;
+        ctx.date = self.str_("context.date")?;
+        ctx.time = self.u64("context.time")?;
+        ctx.usernames = self.str_list("context.usernames")?;
+        ctx.email_addresses = self.str_list("context.email_addresses")?;
+        ctx.email_categories = self.str_list("context.email_categories")?;
+        ctx.fs_tree = self.str_("context.fs_tree")?;
+        let extras = self.u32("context.extra")? as usize;
+        for _ in 0..extras {
+            let key = self.str_("context.extra key")?;
+            let value = self.str_("context.extra value")?;
+            ctx.extra.insert(key, value);
+        }
+        Ok(ctx)
+    }
+
+    /// Decodes an [`ApiCall`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn call(&mut self) -> Result<ApiCall, WireError> {
+        let tool = self.str_("call.tool")?;
+        let name = self.str_("call.name")?;
+        let args = self.str_list("call.args")?;
+        let raw = self.str_("call.raw")?;
+        Ok(ApiCall { tool, name, args, raw })
+    }
+
+    fn predicate_at(&mut self, depth: usize) -> Result<Predicate, WireError> {
+        if depth > MAX_PREDICATE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.u8("predicate")? {
+            0 => Ok(Predicate::True),
+            1 => Ok(Predicate::Eq(self.str_("predicate.eq")?)),
+            2 => Ok(Predicate::Prefix(self.str_("predicate.prefix")?)),
+            3 => Ok(Predicate::Suffix(self.str_("predicate.suffix")?)),
+            4 => Ok(Predicate::Contains(self.str_("predicate.contains")?)),
+            5 => Ok(Predicate::OneOf(self.str_list("predicate.one_of")?)),
+            6 => {
+                let op = match self.u8("cmp_op")? {
+                    0 => CmpOp::Lt,
+                    1 => CmpOp::Le,
+                    2 => CmpOp::Eq,
+                    3 => CmpOp::Ge,
+                    4 => CmpOp::Gt,
+                    tag => return Err(WireError::UnknownEnumTag { what: "cmp_op", tag }),
+                };
+                Ok(Predicate::Num(op, self.i64("predicate.num")?))
+            }
+            7 => Ok(Predicate::Not(Box::new(self.predicate_at(depth + 1)?))),
+            8 => {
+                let count = self.u32("predicate.all")? as usize;
+                let mut ps = Vec::new();
+                for _ in 0..count {
+                    ps.push(self.predicate_at(depth + 1)?);
+                }
+                Ok(Predicate::All(ps))
+            }
+            9 => {
+                let count = self.u32("predicate.any_of")? as usize;
+                let mut ps = Vec::new();
+                for _ in 0..count {
+                    ps.push(self.predicate_at(depth + 1)?);
+                }
+                Ok(Predicate::AnyOf(ps))
+            }
+            tag => Err(WireError::UnknownEnumTag { what: "predicate", tag }),
+        }
+    }
+
+    /// Decodes a [`Predicate`] tree, depth-limited.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], [`WireError::TooDeep`] included.
+    pub fn predicate(&mut self) -> Result<Predicate, WireError> {
+        self.predicate_at(0)
+    }
+
+    /// Decodes an [`ArgConstraint`], compiling regex patterns at the
+    /// trust boundary.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`], [`WireError::BadRegex`] included.
+    pub fn constraint(&mut self) -> Result<ArgConstraint, WireError> {
+        match self.u8("constraint")? {
+            0 => Ok(ArgConstraint::Any),
+            1 => {
+                let pattern = self.str_("constraint.regex")?;
+                ArgConstraint::regex(&pattern)
+                    .map_err(|e| WireError::BadRegex { pattern, error: e.to_string() })
+            }
+            2 => Ok(ArgConstraint::Dsl(self.predicate()?)),
+            tag => Err(WireError::UnknownEnumTag { what: "constraint", tag }),
+        }
+    }
+
+    /// Decodes a [`Policy`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn policy(&mut self) -> Result<Policy, WireError> {
+        let mut policy = Policy::new(&self.str_("policy.task")?);
+        policy.default_rationale = self.str_("policy.default_rationale")?;
+        let entries = self.u32("policy.entries")? as usize;
+        for _ in 0..entries {
+            let api = self.str_("policy.api")?;
+            let can_execute = self.bool_("entry.can_execute")?;
+            let constraints = self.u32("entry.constraints")? as usize;
+            let mut arg_constraints = Vec::new();
+            for _ in 0..constraints {
+                arg_constraints.push(self.constraint()?);
+            }
+            let rationale = self.str_("entry.rationale")?;
+            policy.set(&api, PolicyEntry { can_execute, arg_constraints, rationale });
+        }
+        Ok(policy)
+    }
+
+    fn violation_at(&mut self, depth: usize) -> Result<Violation, WireError> {
+        if depth > MAX_PREDICATE_DEPTH {
+            return Err(WireError::TooDeep);
+        }
+        match self.u8("violation")? {
+            0 => Ok(Violation::UnlistedApi),
+            1 => Ok(Violation::CannotExecute),
+            2 => Ok(Violation::ArgMismatch {
+                index: self.u64("violation.index")? as usize,
+                constraint: self.str_("violation.constraint")?,
+                value: self.str_("violation.value")?,
+            }),
+            3 => Ok(Violation::RateLimited {
+                api: self.str_("violation.api")?,
+                limit: self.u64("violation.limit")? as usize,
+                used: self.u64("violation.used")? as usize,
+            }),
+            4 => Ok(Violation::SequenceUnmet {
+                api: self.str_("violation.api")?,
+                requirement: self.str_("violation.requirement")?,
+            }),
+            5 => Ok(Violation::BudgetExhausted { max: self.u64("violation.max")? as usize }),
+            6 => {
+                let underlying = if self.bool_("violation.underlying")? {
+                    Some(Box::new(self.violation_at(depth + 1)?))
+                } else {
+                    None
+                };
+                Ok(Violation::OverrideDeclined { underlying })
+            }
+            tag => Err(WireError::UnknownEnumTag { what: "violation", tag }),
+        }
+    }
+
+    /// Decodes a [`Violation`] tree, depth-limited.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn violation(&mut self) -> Result<Violation, WireError> {
+        self.violation_at(0)
+    }
+
+    /// Decodes a [`Decision`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn decision(&mut self) -> Result<Decision, WireError> {
+        let allowed = self.bool_("decision.allowed")?;
+        let rationale = self.str_("decision.rationale")?;
+        let violation =
+            if self.bool_("decision.violation")? { Some(self.violation()?) } else { None };
+        Ok(Decision { allowed, rationale, violation })
+    }
+
+    /// Asserts the payload was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::TrailingBytes`] if bytes remain.
+    pub fn finish(self) -> Result<(), WireError> {
+        let extra = self.buf.len() - self.pos;
+        if extra == 0 {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes { extra })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_policy() -> Policy {
+        let mut policy = Policy::new("respond to urgent work emails");
+        policy.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![
+                    ArgConstraint::regex("alice").unwrap(),
+                    ArgConstraint::Dsl(Predicate::All(vec![
+                        Predicate::Suffix("@work.com".into()),
+                        Predicate::Not(Box::new(Predicate::Contains("..".into()))),
+                    ])),
+                    ArgConstraint::Any,
+                ],
+                "urgent responses come from alice",
+            ),
+        );
+        policy.set("delete_email", PolicyEntry::deny("no deletions in this task"));
+        policy
+    }
+
+    #[test]
+    fn policy_roundtrips_exactly() {
+        let policy = sample_policy();
+        let mut w = Writer::unbounded();
+        put_policy(&mut w, &policy).unwrap();
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let decoded = r.policy().unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, policy);
+    }
+
+    #[test]
+    fn encode_limit_is_enforced_with_a_typed_error() {
+        let policy = sample_policy();
+        let mut w = Writer::with_limit(16);
+        match put_policy(&mut w, &policy) {
+            Err(WireError::Oversized { max: 16, .. }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_field_kind_checks_the_limit() {
+        // The first write that would cross the limit errors, whatever the
+        // field type — no helper silently wraps or overshoots.
+        let mut w = Writer::with_limit(3);
+        w.u16(7, "a").unwrap();
+        assert!(matches!(w.u16(7, "b"), Err(WireError::Oversized { .. })));
+        assert!(matches!(w.u32(7, "c"), Err(WireError::Oversized { .. })));
+        assert!(matches!(w.u64(7, "d"), Err(WireError::Oversized { .. })));
+        assert!(matches!(w.str_("xx", "e"), Err(WireError::Oversized { .. })));
+        w.u8(1, "f").unwrap();
+        assert!(matches!(w.u8(1, "g"), Err(WireError::Oversized { .. })));
+        assert_eq!(w.len(), 3, "failed writes must not leave partial bytes behind");
+    }
+
+    #[test]
+    fn unbounded_writer_still_guards_the_u32_prefix() {
+        // `count` is the one place a length cast could wrap; it must
+        // reject anything over u32::MAX even with no byte limit.
+        let mut w = Writer::unbounded();
+        match w.count(u32::MAX as usize + 1, "huge list") {
+            Err(WireError::Oversized { what: "huge list", max, .. }) => {
+                assert_eq!(max, u32::MAX as u64);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        w.count(3, "ok list").unwrap();
+    }
+
+    #[test]
+    fn over_deep_predicates_are_rejected() {
+        let mut p = Predicate::True;
+        for _ in 0..(MAX_PREDICATE_DEPTH + 1) {
+            p = Predicate::Not(Box::new(p));
+        }
+        let mut w = Writer::unbounded();
+        put_predicate(&mut w, &p).unwrap();
+        let bytes = w.finish();
+        assert_eq!(Reader::new(&bytes).predicate(), Err(WireError::TooDeep));
+    }
+
+    #[test]
+    fn context_and_decision_roundtrip() {
+        let mut ctx = TrustedContext::for_user("alice");
+        ctx.fs_tree = "alice/\n".into();
+        ctx.extra.insert("region".into(), "eu".into());
+        let mut w = Writer::unbounded();
+        put_context(&mut w, &ctx).unwrap();
+        let bytes = w.finish();
+        assert_eq!(Reader::new(&bytes).context().unwrap(), ctx);
+
+        let decision = Decision {
+            allowed: false,
+            rationale: "why".into(),
+            violation: Some(Violation::ArgMismatch {
+                index: 1,
+                constraint: "~ /a/".into(),
+                value: "b".into(),
+            }),
+        };
+        let mut w = Writer::unbounded();
+        put_decision(&mut w, &decision).unwrap();
+        let bytes = w.finish();
+        assert_eq!(Reader::new(&bytes).decision().unwrap(), decision);
+    }
+}

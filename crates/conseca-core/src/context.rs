@@ -77,32 +77,52 @@ impl TrustedContext {
         out
     }
 
-    /// A stable fingerprint over every field (cache key component).
-    pub fn fingerprint(&self) -> u64 {
+    /// The canonical text both fingerprints hash. Every value ends with
+    /// a unit separator and every field (scalar or whole list) with a
+    /// record separator, so values can never bleed across field
+    /// boundaries: `usernames=["alice","bob"]` and
+    /// `usernames=["alice"], email_addresses=["bob"]` serialise
+    /// differently, as do `user="ab", date="c"` and `user="a",
+    /// date="bc"`. (Neither control character occurs in user-derived
+    /// context text.)
+    fn fingerprint_text(&self, include_time: bool) -> String {
+        const UNIT: char = '\u{1f}';
+        const RECORD: char = '\u{1e}';
         let mut text = String::new();
-        text.push_str(&self.current_user);
-        text.push_str(&self.date);
-        text.push_str(&self.time.to_string());
-        for v in &self.usernames {
+        let scalar = |text: &mut String, v: &str| {
             text.push_str(v);
-            text.push(';');
+            text.push(UNIT);
+            text.push(RECORD);
+        };
+        scalar(&mut text, &self.current_user);
+        scalar(&mut text, &self.date);
+        if include_time {
+            scalar(&mut text, &self.time.to_string());
         }
-        for v in &self.email_addresses {
-            text.push_str(v);
-            text.push(';');
-        }
-        for v in &self.email_categories {
-            text.push_str(v);
-            text.push(';');
-        }
-        text.push_str(&self.fs_tree);
+        let list = |text: &mut String, vs: &[String]| {
+            for v in vs {
+                text.push_str(v);
+                text.push(UNIT);
+            }
+            text.push(RECORD);
+        };
+        list(&mut text, &self.usernames);
+        list(&mut text, &self.email_addresses);
+        list(&mut text, &self.email_categories);
+        scalar(&mut text, &self.fs_tree);
         for (k, v) in &self.extra {
             text.push_str(k);
-            text.push('=');
+            text.push(UNIT);
             text.push_str(v);
-            text.push(';');
+            text.push(UNIT);
         }
-        fnv1a(text.as_bytes())
+        text.push(RECORD);
+        text
+    }
+
+    /// A stable fingerprint over every field (cache key component).
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(self.fingerprint_text(true).as_bytes())
     }
 
     /// A fingerprint over the *semantic* fields only — everything except
@@ -113,29 +133,7 @@ impl TrustedContext {
     /// keying drift on the full fingerprint would force a policy reload
     /// after every write even when nothing the generator looks at changed.
     pub fn drift_fingerprint(&self) -> u64 {
-        let mut text = String::new();
-        text.push_str(&self.current_user);
-        text.push_str(&self.date);
-        for v in &self.usernames {
-            text.push_str(v);
-            text.push(';');
-        }
-        for v in &self.email_addresses {
-            text.push_str(v);
-            text.push(';');
-        }
-        for v in &self.email_categories {
-            text.push_str(v);
-            text.push(';');
-        }
-        text.push_str(&self.fs_tree);
-        for (k, v) in &self.extra {
-            text.push_str(k);
-            text.push('=');
-            text.push_str(v);
-            text.push(';');
-        }
-        fnv1a(text.as_bytes())
+        fnv1a(self.fingerprint_text(false).as_bytes())
     }
 
     /// Renders the context as the prompt block the policy model receives.
@@ -214,6 +212,34 @@ mod tests {
             assert_ne!(base.fingerprint(), variant.fingerprint());
         }
         assert_eq!(base.fingerprint(), sample().fingerprint());
+    }
+
+    #[test]
+    fn fingerprints_do_not_collide_across_field_boundaries() {
+        // Regression: the pre-separator encoding concatenated fields, so
+        // a value sliding from one field (or list) into the next hashed
+        // identically and the drift it represented was invisible to
+        // hot-reload.
+        let mut a = TrustedContext::for_user("alice");
+        a.usernames = vec!["alice".into(), "bob".into()];
+        let mut b = TrustedContext::for_user("alice");
+        b.usernames = vec!["alice".into()];
+        b.email_addresses = vec!["bob".into()];
+        assert_ne!(a.fingerprint(), b.fingerprint(), "list boundary must matter");
+        assert_ne!(a.drift_fingerprint(), b.drift_fingerprint());
+
+        let mut c = TrustedContext::for_user("ab");
+        c.date = "c".into();
+        let mut d = TrustedContext::for_user("a");
+        d.date = "bc".into();
+        assert_ne!(c.fingerprint(), d.fingerprint(), "scalar boundary must matter");
+        assert_ne!(c.drift_fingerprint(), d.drift_fingerprint());
+
+        let mut e = TrustedContext::for_user("alice");
+        e.extra.insert("ke".into(), "y".into());
+        let mut f = TrustedContext::for_user("alice");
+        f.extra.insert("k".into(), "ey".into());
+        assert_ne!(e.fingerprint(), f.fingerprint(), "extra key/value boundary must matter");
     }
 
     #[test]

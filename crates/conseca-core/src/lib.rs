@@ -21,6 +21,7 @@
 //! | Trusted context isolation (§3.1) | [`context`] |
 //! | Policy generation + in-context learning (§3.2) | [`generate`] |
 //! | Policy caching (§7) | [`cache`] |
+//! | Binary codec shared by wire serving + snapshots (§7) | [`codec`] |
 //! | Human-readable policy format + parser (§4.1) | [`mod@format`] |
 //! | Logging and auditing (§3.2) | [`audit`], [`jsonout`] |
 //! | Automated rationale/constraint verification (§7) | [`verify`] |
@@ -62,6 +63,7 @@
 
 pub mod audit;
 pub mod cache;
+pub mod codec;
 pub mod confirm;
 pub mod constraint;
 pub mod context;

@@ -96,11 +96,16 @@
 pub mod compile;
 pub mod engine;
 pub mod layer;
+pub mod persist;
 pub mod reload;
 pub mod store;
 
 pub use compile::CompiledPolicy;
 pub use engine::{CheckJob, Engine, EngineConfig, ParallelReport, ReloadReceipt, TenantCounters};
 pub use layer::CompiledPolicyLayer;
+pub use persist::{
+    decode_snapshot, Snapshot, SnapshotEntry, SnapshotError, SnapshotReceipt, TenantSnapshot,
+    WarmStartReport, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
+};
 pub use reload::{ReloadCoordinator, ReloadOutcome, SweepReport};
-pub use store::{EngineKey, PolicyStore, StoreConfig};
+pub use store::{EngineKey, ExportedSlot, PolicyStore, StoreConfig};

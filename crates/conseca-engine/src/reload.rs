@@ -28,7 +28,7 @@
 //! same clobber-safety from the store primitive
 //! [`PolicyStore::revoke_if_generation`](crate::PolicyStore::revoke_if_generation).)
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use conseca_core::{AuditEvent, AuditSink, Policy, TrustedContext};
@@ -95,12 +95,22 @@ pub struct SweepReport {
 pub struct ReloadCoordinator {
     engine: Arc<Engine>,
     live: RwLock<HashMap<LiveKey, LiveEntry>>,
+    /// Fingerprints this coordinator has revoked and not since seen
+    /// reinstated — the revocation set a warm start consults so that
+    /// restoring a snapshot taken *before* a revocation cannot
+    /// resurrect the revoked policy
+    /// ([`Engine::warm_start_from`](crate::Engine::warm_start_from)).
+    revoked: RwLock<HashSet<u64>>,
 }
 
 impl ReloadCoordinator {
     /// A coordinator fronting `engine`.
     pub fn new(engine: Arc<Engine>) -> Self {
-        ReloadCoordinator { engine, live: RwLock::new(HashMap::new()) }
+        ReloadCoordinator {
+            engine,
+            live: RwLock::new(HashMap::new()),
+            revoked: RwLock::new(HashSet::new()),
+        }
     }
 
     /// The engine this coordinator reloads policies on.
@@ -128,7 +138,11 @@ impl ReloadCoordinator {
     }
 
     /// Starts watching a key that was installed directly on the engine.
+    /// Tracking a fingerprint also clears it from the revocation ledger:
+    /// a policy deliberately reinstalled after a revocation is live
+    /// again, and a warm start may restore it.
     pub fn track(&self, tenant: &str, task: &str, context: &TrustedContext, policy_fp: u64) {
+        self.revoked.write().remove(&policy_fp);
         self.live.write().insert(
             LiveKey::new(tenant, task),
             LiveEntry {
@@ -137,6 +151,20 @@ impl ReloadCoordinator {
                 policy_fp,
             },
         );
+    }
+
+    /// Whether `fingerprint` is in this coordinator's revocation ledger
+    /// (revoked and not since reinstated).
+    pub fn is_revoked(&self, fingerprint: u64) -> bool {
+        self.revoked.read().contains(&fingerprint)
+    }
+
+    /// A snapshot of the revocation ledger — the set to hand to
+    /// [`Engine::warm_start_from`](crate::Engine::warm_start_from) so a
+    /// restore cannot resurrect anything this coordinator retired after
+    /// the snapshot was exported.
+    pub fn revoked_fingerprints(&self) -> HashSet<u64> {
+        self.revoked.read().clone()
     }
 
     /// Whether the tracked policy for (`tenant`, `task`) was generated
@@ -165,6 +193,7 @@ impl ReloadCoordinator {
     ) -> Option<usize> {
         let entry = self.live.write().remove(&LiveKey::new(tenant, task))?;
         let removed = self.engine.revoke_fingerprint(tenant, entry.policy_fp);
+        self.revoked.write().insert(entry.policy_fp);
         sink.record(AuditEvent::PolicyRevoked {
             task: task.to_owned(),
             fingerprint: entry.policy_fp,
@@ -229,9 +258,17 @@ impl ReloadCoordinator {
             context_fingerprint: stale.context_fp,
             reason: "trusted context drifted".to_owned(),
         });
-        // 2. Regenerate against the current context and reinstall.
+        // 2. Regenerate against the current context and reinstall. The
+        // old fingerprint joins the revocation ledger unless the
+        // regenerated policy came out identical — a fingerprint that is
+        // live again must stay warm-start-restorable (`track` below
+        // clears it regardless, but never ledger a fingerprint we are
+        // about to serve).
         let policy = regenerate(current);
         let new_fingerprint = policy.fingerprint();
+        if new_fingerprint != stale.policy_fp {
+            self.revoked.write().insert(stale.policy_fp);
+        }
         let receipt = self.engine.reload(tenant, task, current, &policy);
         sink.record(AuditEvent::PolicyReloaded {
             task: task.to_owned(),
@@ -431,6 +468,77 @@ mod tests {
             &mut log,
         );
         assert_eq!(report, SweepReport { scanned: 2, reloaded: 0, orphaned: 0 });
+    }
+
+    #[test]
+    fn the_revocation_ledger_feeds_warm_starts() {
+        let engine = Arc::new(Engine::default());
+        let coordinator = ReloadCoordinator::new(Arc::clone(&engine));
+        let mut sink = CountingSink::default();
+        let before = ctx("alice", "alice/\n");
+        let stale = policy_for("t", &before);
+        coordinator.install("acme", "t", &before, &stale);
+        assert!(!coordinator.is_revoked(stale.fingerprint()));
+
+        // A snapshot taken while the stale policy is live...
+        let snapshot = engine.store().export_snapshot("acme").unwrap();
+
+        // ...then the context drifts and the reload regenerates a
+        // semantically different policy (same-fingerprint regenerations
+        // deliberately stay off the ledger — see the next test).
+        let after = ctx("alice", "alice/\n  New/\n");
+        coordinator
+            .reload_now(
+                "acme",
+                "t",
+                &after,
+                |c| {
+                    let mut p = policy_for("t", c);
+                    p.set("rm", PolicyEntry::deny("the tree grew: deletions locked"));
+                    p
+                },
+                &mut sink,
+            )
+            .expect("tracked key reloads");
+        assert!(coordinator.is_revoked(stale.fingerprint()), "the displaced fp is ledgered");
+
+        // A warm start gated on the ledger cannot resurrect it.
+        let fresh = Engine::default();
+        let report = fresh
+            .store()
+            .import_snapshot("acme", &snapshot.bytes, &coordinator.revoked_fingerprints())
+            .unwrap();
+        assert_eq!((report.installed, report.skipped_revoked), (0, 1));
+        assert!(fresh.check("acme", "t", &before, &ls()).is_none());
+
+        // Deliberately reinstalling the fingerprint clears the ledger:
+        // the policy is live again and restorable again.
+        coordinator.install("acme", "t", &before, &stale);
+        assert!(!coordinator.is_revoked(stale.fingerprint()));
+        assert!(coordinator.revoked_fingerprints().is_empty());
+    }
+
+    #[test]
+    fn identical_regeneration_does_not_ledger_the_live_fingerprint() {
+        // A drift reload whose regenerated policy is identical re-keys
+        // without poisoning the ledger — the fingerprint is still the
+        // one in force and must stay warm-start-restorable.
+        let engine = Arc::new(Engine::default());
+        let coordinator = ReloadCoordinator::new(Arc::clone(&engine));
+        let mut sink = CountingSink::default();
+        let before = ctx("alice", "alice/\n");
+        let mut fixed = Policy::new("t");
+        fixed.set("ls", PolicyEntry::allow_any("always the same"));
+        coordinator.install("acme", "t", &before, &fixed);
+        let after = ctx("alice", "alice/\n  New/\n");
+        let rekeyed = fixed.clone();
+        coordinator
+            .reload_now("acme", "t", &after, move |_| rekeyed, &mut sink)
+            .expect("tracked key reloads");
+        assert!(
+            !coordinator.is_revoked(fixed.fingerprint()),
+            "an identical regeneration must not ledger its own fingerprint"
+        );
     }
 
     #[test]

@@ -58,6 +58,13 @@ impl EngineKey {
         self.tenant_fp
     }
 
+    /// The (task fingerprint, context fingerprint) component — what a
+    /// snapshot records so a restored policy lands under exactly the key
+    /// it was exported from.
+    pub fn policy_key(&self) -> CacheKey {
+        self.policy_key
+    }
+
     fn shard_index(&self, shards: usize) -> usize {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         self.hash(&mut hasher);
@@ -121,6 +128,21 @@ fn evict_lru(slots: &mut HashMap<EngineKey, Slot>) {
     if let Some(victim) = victim {
         slots.remove(&victim);
     }
+}
+
+/// One live slot as seen by a snapshot export: its cache key, the
+/// source-policy fingerprint and install generation it was stamped
+/// with, and the shared compiled snapshot (whose retained source
+/// [`Policy`](conseca_core::Policy) is what actually gets serialised).
+pub struct ExportedSlot {
+    /// The (task fingerprint, context fingerprint) store-key component.
+    pub key: CacheKey,
+    /// Source-policy fingerprint the slot was stamped with.
+    pub source_fp: u64,
+    /// Install generation the slot was stamped with.
+    pub generation: u64,
+    /// The compiled snapshot occupying the slot.
+    pub policy: Arc<CompiledPolicy>,
 }
 
 /// A sharded LRU map from [`EngineKey`] to `Arc<CompiledPolicy>`.
@@ -290,6 +312,68 @@ impl PolicyStore {
             removed += before - slots.len();
         }
         removed
+    }
+
+    /// Everything `tenant` currently has installed, read shard-by-shard
+    /// under the read locks — the raw material of a snapshot export.
+    /// Each shard is read in one pass, so within a shard the view is a
+    /// point-in-time cut; a concurrent install/reload lands either
+    /// wholly before or wholly after a shard's cut (slots are replaced
+    /// atomically under the write lock), so no exported entry can be a
+    /// torn mix of two installs. Entries come back sorted by cache key
+    /// so exports are deterministic for identical store states.
+    pub fn export_entries(&self, tenant: &str) -> Vec<ExportedSlot> {
+        let tenant_fp = fnv1a(tenant.as_bytes());
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let slots = shard.slots.read();
+            for (key, slot) in slots.iter() {
+                if key.tenant_fp() == tenant_fp {
+                    out.push(ExportedSlot {
+                        key: key.policy_key(),
+                        source_fp: slot.source_fp,
+                        generation: slot.generation,
+                        policy: Arc::clone(&slot.policy),
+                    });
+                }
+            }
+        }
+        out.sort_by_key(|slot| (slot.key.task_fp(), slot.key.context_fp()));
+        out
+    }
+
+    /// Whether the key currently holds a snapshot — a lock-cheap peek
+    /// that touches neither hit/miss accounting nor LRU recency.
+    /// Advisory only (the answer can be stale by the time the caller
+    /// acts); [`install_absent`](Self::install_absent) remains the
+    /// authoritative compare-and-install. Snapshot imports use it to
+    /// skip compiling entries whose key is plainly already live.
+    pub fn is_live(&self, key: &EngineKey) -> bool {
+        self.shard(key).slots.read().contains_key(key)
+    }
+
+    /// Installs `policy` only if the key is currently empty, returning
+    /// the new slot's generation — the compare-and-install half of
+    /// [`revoke_if_generation`](Self::revoke_if_generation)'s semantics,
+    /// used by snapshot restores: a concurrent (hence newer) install
+    /// always wins over a stale restore, which observes `None` and
+    /// leaves the live snapshot alone.
+    pub fn install_absent(&self, key: EngineKey, policy: Arc<CompiledPolicy>) -> Option<u64> {
+        let generation = self.next_generation();
+        let source_fp = policy.fingerprint();
+        let shard = self.shard(&key);
+        let mut slots = shard.slots.write();
+        if slots.contains_key(&key) {
+            return None;
+        }
+        if slots.len() >= shard.capacity {
+            evict_lru(&mut slots);
+        }
+        slots.insert(
+            key,
+            Slot { policy, last_used: AtomicU64::new(shard.next_tick()), generation, source_fp },
+        );
+        Some(generation)
     }
 
     /// Compare-and-remove: drops the slot for `key` only if it still

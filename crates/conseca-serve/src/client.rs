@@ -16,8 +16,8 @@ use conseca_shell::ApiCall;
 
 use crate::transport::Stream;
 use crate::wire::{
-    read_frame, write_frame, FrameReadError, Request, Response, WireError, DEFAULT_MAX_FRAME_LEN,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, FrameReadError, FrameWriteError, Request, Response, WireError,
+    DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 
 /// Why a client call failed.
@@ -85,6 +85,17 @@ impl From<FrameReadError> for ClientError {
     }
 }
 
+impl From<FrameWriteError> for ClientError {
+    fn from(e: FrameWriteError) -> Self {
+        match e {
+            FrameWriteError::Io(e) => ClientError::Io(e),
+            FrameWriteError::Oversized { len, max } => {
+                ClientError::Wire(WireError::Oversized { what: "frame", len, max: max as u64 })
+            }
+        }
+    }
+}
+
 /// Receipt for an installed policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct InstallReceipt {
@@ -104,6 +115,30 @@ pub struct ReloadReceipt {
     pub fingerprint: u64,
     /// Number of API entries the reloaded policy lists.
     pub entries: u64,
+}
+
+/// A tenant snapshot exported by the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotReceipt {
+    /// How many policy entries the snapshot records.
+    pub entries: u64,
+    /// The snapshot bytes — checksummed and self-describing; persist
+    /// them as-is and hand them back to [`Client::restore`] (or load
+    /// them into an engine with `PolicyStore::import_snapshot`).
+    pub snapshot: Vec<u8>,
+}
+
+/// What a server-side warm start did; counters partition the snapshot's
+/// entries exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreReceipt {
+    /// Entries re-compiled and installed.
+    pub installed: u64,
+    /// Entries skipped because their fingerprint was revoked after the
+    /// snapshot was taken.
+    pub skipped_revoked: u64,
+    /// Entries skipped because the key was already live server-side.
+    pub skipped_live: u64,
 }
 
 /// A connected, handshaken policy-decision client.
@@ -130,6 +165,20 @@ impl Client {
         Client::over(stream)
     }
 
+    /// [`connect`](Self::connect) with a non-default frame cap — raise
+    /// it in lockstep with the server's `ServeConfig::max_frame_len`
+    /// when legitimate payloads (large policies, snapshots) exceed the
+    /// 1 MiB default.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect_with(addr: &str, max_frame_len: u32) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Client::over_with(stream, max_frame_len)
+    }
+
     /// Wraps an already-established stream (TCP or
     /// [`DuplexStream`](crate::transport::DuplexStream)) and completes
     /// the handshake.
@@ -138,15 +187,40 @@ impl Client {
     ///
     /// Handshake failures ([`code::UNSUPPORTED_VERSION`](crate::wire::code::UNSUPPORTED_VERSION) among them).
     pub fn over<S: Stream>(stream: S) -> Result<Client, ClientError> {
-        let mut client = Client { conn: Box::new(stream), max_frame_len: DEFAULT_MAX_FRAME_LEN };
+        Client::over_with(stream, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// [`over`](Self::over) with a non-default frame cap (see
+    /// [`connect_with`](Self::connect_with)).
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures.
+    pub fn over_with<S: Stream>(stream: S, max_frame_len: u32) -> Result<Client, ClientError> {
+        let mut client = Client { conn: Box::new(stream), max_frame_len };
         match client.roundtrip(&Request::Hello { version: PROTOCOL_VERSION })? {
             Response::HelloOk { .. } => Ok(client),
             other => Err(unexpected(other, "HelloOk")),
         }
     }
 
+    /// The frame cap this client encodes against and accepts.
+    pub fn max_frame_len(&self) -> u32 {
+        self.max_frame_len
+    }
+
+    /// Changes the frame cap mid-connection (both directions). The
+    /// server's cap is configured independently; keep them in lockstep.
+    pub fn set_max_frame_len(&mut self, max_frame_len: u32) {
+        self.max_frame_len = max_frame_len;
+    }
+
     fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.conn, &request.encode())?;
+        // The cap is enforced while encoding, so an oversized request is
+        // a typed local error naming the field — not a server-side
+        // rejection after the bytes crossed the wire.
+        let frame = request.encode_limited(self.max_frame_len).map_err(ClientError::Wire)?;
+        write_frame(&mut self.conn, &frame, self.max_frame_len)?;
         let frame = read_frame(&mut self.conn, self.max_frame_len)?.ok_or(ClientError::Closed)?;
         Ok(Response::decode(&frame)?)
     }
@@ -293,6 +367,54 @@ impl Client {
                 Ok(ReloadReceipt { old_fingerprint, fingerprint, entries })
             }
             other => Err(unexpected(other, "Reloaded")),
+        }
+    }
+
+    /// Asks the server to export everything `tenant` has installed as a
+    /// snapshot blob (the engine's checksummed persistence format).
+    /// Persist the bytes as-is; a later [`restore`](Self::restore)
+    /// warm-starts a server from them without resending every install.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors — including
+    /// [`code::FRAME_TOO_LARGE`](crate::wire::code::FRAME_TOO_LARGE) if
+    /// the snapshot exceeds the frame cap (raise it on both sides; see
+    /// [`connect_with`](Self::connect_with)).
+    pub fn snapshot(&mut self, tenant: &str) -> Result<SnapshotReceipt, ClientError> {
+        match self.roundtrip(&Request::Snapshot { tenant: tenant.into() })? {
+            Response::SnapshotOk { entries, snapshot } => Ok(SnapshotReceipt { entries, snapshot }),
+            other => Err(unexpected(other, "SnapshotOk")),
+        }
+    }
+
+    /// Warm-starts `tenant` on the server from snapshot bytes. The
+    /// server verifies the blob fail-closed (checksum, versions, tenant,
+    /// per-entry fingerprint binding), skips every fingerprint in
+    /// `revoked` — a restore must not resurrect a policy revoked after
+    /// the snapshot was taken — and leaves already-live keys to the
+    /// newer install that got there first.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors
+    /// ([`code::BAD_SNAPSHOT`](crate::wire::code::BAD_SNAPSHOT) for a
+    /// blob that fails verification; nothing was installed).
+    pub fn restore(
+        &mut self,
+        tenant: &str,
+        revoked: &[u64],
+        snapshot: Vec<u8>,
+    ) -> Result<RestoreReceipt, ClientError> {
+        match self.roundtrip(&Request::Restore {
+            tenant: tenant.into(),
+            revoked: revoked.to_vec(),
+            snapshot,
+        })? {
+            Response::Restored { installed, skipped_revoked, skipped_live } => {
+                Ok(RestoreReceipt { installed, skipped_revoked, skipped_live })
+            }
+            other => Err(unexpected(other, "Restored")),
         }
     }
 

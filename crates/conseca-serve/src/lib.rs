@@ -98,11 +98,16 @@ pub mod session;
 pub mod transport;
 pub mod wire;
 
-pub use client::{Client, ClientError, InstallReceipt, ReloadReceipt};
+pub use client::{
+    Client, ClientError, InstallReceipt, ReloadReceipt, RestoreReceipt, SnapshotReceipt,
+};
 pub use server::{ServeConfig, ServeMetrics, Server, ServerHandle};
 pub use session::RemoteSessionLayer;
 pub use transport::{duplex, DuplexStream, Stream};
-pub use wire::{Frame, Request, Response, WireError, PROTOCOL_VERSION};
+pub use wire::{
+    Frame, FrameReadError, FrameWriteError, Request, Response, WireError, WireErrorCode,
+    PROTOCOL_VERSION,
+};
 
 #[cfg(test)]
 mod tests {

@@ -33,6 +33,7 @@
 //! in-process path uses, which is what keeps served decisions
 //! byte-identical.
 
+use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -46,15 +47,21 @@ use futures::ThreadPool;
 use crate::client::{Client, ClientError};
 use crate::transport::{duplex, DuplexStream, Stream};
 use crate::wire::{
-    code, read_frame, write_frame, FrameReadError, Request, Response, PROTOCOL_VERSION,
+    code, read_frame, write_frame, FrameReadError, Request, Response, WireErrorCode,
+    PROTOCOL_VERSION,
 };
 
 /// Server sizing and limits.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Largest frame (tag + payload) accepted from a client; oversized
-    /// frames are answered with [`code::FRAME_TOO_LARGE`] and the
-    /// connection closes.
+    /// Largest frame (tag + payload) this server accepts *and emits*.
+    /// Oversized incoming frames are answered with
+    /// [`code::FRAME_TOO_LARGE`] and the connection closes; a response
+    /// that would exceed the cap at encode time (a large `SnapshotOk`,
+    /// say) is replaced by a [`code::FRAME_TOO_LARGE`] error on a
+    /// connection that stays open. Raise it — together with the
+    /// client's `with_max_frame_len` — as the sanctioned path for
+    /// oversized-but-legitimate payloads such as policy snapshots.
     pub max_frame_len: u32,
     /// Worker threads in the executor driving the dispatcher.
     pub worker_threads: usize,
@@ -116,6 +123,15 @@ struct ServerState {
     /// Close hooks + thread handles for every spawned connection.
     conns: Mutex<Vec<ConnEntry>>,
     metrics: Metrics,
+    /// Fingerprints revoked over the wire, per tenant — the server-side
+    /// revocation ledger. Every `Restore` unions this with the
+    /// request's own revocation list, so a warm start through this
+    /// server cannot resurrect a policy some client revoked earlier
+    /// even if the restoring client never learned the fingerprint. A
+    /// later `Install`/`Reload` of the same fingerprint clears it (a
+    /// deliberately reinstated policy is live again and restorable
+    /// again), mirroring the `ReloadCoordinator` ledger semantics.
+    revoked: Mutex<HashMap<Box<str>, HashSet<u64>>>,
 }
 
 struct ConnEntry {
@@ -125,6 +141,10 @@ struct ConnEntry {
 }
 
 impl ServerState {
+    fn ledger(&self) -> std::sync::MutexGuard<'_, HashMap<Box<str>, HashSet<u64>>> {
+        self.revoked.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Stops accepting new connections. Existing connections keep being
     /// served until their clients disconnect (or the handle force-closes
     /// them in [`ServerHandle::shutdown`]).
@@ -183,6 +203,7 @@ impl Server {
             tcp_addr,
             conns: Mutex::new(Vec::new()),
             metrics: Metrics::default(),
+            revoked: Mutex::new(HashMap::new()),
         });
         let pool = ThreadPool::new(config.worker_threads);
         let dispatcher = Arc::clone(&state);
@@ -311,8 +332,9 @@ fn spawn_connection<S: Stream>(state: &Arc<ServerState>, stream: S) {
     };
     let (out_tx, out_rx) = std::sync::mpsc::channel::<Outgoing>();
     let reader_state = Arc::clone(state);
+    let max_frame_len = state.config.max_frame_len;
     let reader = thread::spawn(move || read_loop(reader_state, stream, out_tx));
-    let writer = thread::spawn(move || write_loop(writer_stream, out_rx));
+    let writer = thread::spawn(move || write_loop(writer_stream, out_rx, max_frame_len));
     let mut conns = state.conns.lock().unwrap_or_else(|e| e.into_inner());
     // Reap connections whose threads have already exited — without this
     // a long-running server accepting many short-lived connections would
@@ -415,7 +437,7 @@ fn read_loop<S: Stream>(
     }
 }
 
-fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>) {
+fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>, max_len: u32) {
     for outgoing in out {
         let response = match outgoing {
             Outgoing::Ready(response) => response,
@@ -431,7 +453,28 @@ fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>
                 break;
             }
         };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+        // Encode against the server's own frame cap: a response too big
+        // to send is downgraded to a (small) typed error in the same
+        // response slot, so ordering holds and the client learns *why*
+        // instead of watching the connection die. Under a pathologically
+        // tiny cap even the error may not fit — then the only honest
+        // move left is closing the connection (never a panic, never a
+        // silent skip that would desynchronise response ordering).
+        let frame = match response.encode_limited(max_len) {
+            Ok(frame) => frame,
+            Err(e) => {
+                let fallback = Response::Error { code: e.error_code(), message: e.to_string() };
+                match fallback.encode_limited(max_len) {
+                    Ok(frame) => frame,
+                    Err(_) => {
+                        let _ = stream.flush();
+                        stream.close();
+                        break;
+                    }
+                }
+            }
+        };
+        if write_frame(&mut stream, &frame, max_len).is_err() {
             break;
         }
     }
@@ -506,6 +549,11 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                         let fingerprint = policy.fingerprint();
                         let entries = policy.len() as u64;
                         engine.install(&tenant, &task, &context, &policy);
+                        // A deliberate reinstall makes the fingerprint
+                        // live (and restorable) again.
+                        if let Some(set) = state.ledger().get_mut(tenant.as_str()) {
+                            set.remove(&fingerprint);
+                        }
                         let _ = job.reply.send(Response::Installed { fingerprint, entries });
                     }
                     Request::FetchPolicy { tenant, task, context } => {
@@ -520,17 +568,67 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                     }
                     Request::Revoke { tenant, fingerprint } => {
                         let removed = engine.revoke_fingerprint(&tenant, fingerprint) as u64;
+                        // Remember the revocation server-side so a later
+                        // Restore cannot resurrect the fingerprint even
+                        // if the restoring client never learned it.
+                        state
+                            .ledger()
+                            .entry(tenant.as_str().into())
+                            .or_default()
+                            .insert(fingerprint);
                         let _ = job.reply.send(Response::Revoked { removed });
                     }
                     Request::Reload { tenant, task, context, policy } => {
                         let fingerprint = policy.fingerprint();
                         let entries = policy.len() as u64;
                         let receipt = engine.reload(&tenant, &task, &context, &policy);
+                        // The reloaded fingerprint is live again; the
+                        // displaced one stays un-ledgered (explicit wire
+                        // Revokes, not displacements, define the set —
+                        // a displaced policy is replaceable history, not
+                        // a standing retirement order).
+                        if let Some(set) = state.ledger().get_mut(tenant.as_str()) {
+                            set.remove(&fingerprint);
+                        }
                         let _ = job.reply.send(Response::Reloaded {
                             old_fingerprint: receipt.old_fingerprint,
                             fingerprint,
                             entries,
                         });
+                    }
+                    Request::Snapshot { tenant } => {
+                        let response = match engine.store().export_snapshot(&tenant) {
+                            Ok(snapshot) => Response::SnapshotOk {
+                                entries: snapshot.entries as u64,
+                                snapshot: snapshot.bytes,
+                            },
+                            Err(e) => {
+                                Response::Error { code: code::BAD_SNAPSHOT, message: e.to_string() }
+                            }
+                        };
+                        let _ = job.reply.send(response);
+                    }
+                    Request::Restore { tenant, revoked, snapshot } => {
+                        // The effective revocation set is the request's
+                        // list unioned with the server-side ledger of
+                        // wire-revoked fingerprints.
+                        let mut revoked: HashSet<u64> = revoked.into_iter().collect();
+                        if let Some(set) = state.ledger().get(tenant.as_str()) {
+                            revoked.extend(set.iter().copied());
+                        }
+                        let response =
+                            match engine.store().import_snapshot(&tenant, &snapshot, &revoked) {
+                                Ok(report) => Response::Restored {
+                                    installed: report.installed as u64,
+                                    skipped_revoked: report.skipped_revoked as u64,
+                                    skipped_live: report.skipped_live as u64,
+                                },
+                                Err(e) => Response::Error {
+                                    code: code::BAD_SNAPSHOT,
+                                    message: e.to_string(),
+                                },
+                            };
+                        let _ = job.reply.send(response);
                     }
                     Request::Stats { tenant } => {
                         let counters = engine.tenant_counters(&tenant);

@@ -15,42 +15,54 @@
 //!   [`Response::Error`] with [`code::UNSUPPORTED_VERSION`] and closes.
 //! - Decode failures are structured [`WireError`]s so the server can
 //!   answer with the precise [`code`] instead of dropping the connection.
+//! - Encode failures are structured too: [`Request::encode_limited`]
+//!   enforces the peer's frame cap *while encoding*, and
+//!   [`write_frame`] refuses to emit a frame over the cap — oversized
+//!   messages surface as typed errors on the sending side, never as a
+//!   silently wrapped length prefix the receiver chokes on.
 //!
-//! The codec round-trips every type it carries ([`conseca_core::Policy`],
+//! The serialisation of the core types ([`conseca_core::Policy`],
 //! [`conseca_core::TrustedContext`], [`conseca_shell::ApiCall`],
-//! [`conseca_core::Decision`]) exactly — property tests in
-//! `tests/differential.rs` pin this down — which is what makes served
+//! [`conseca_core::Decision`]) lives in [`conseca_core::codec`] — the
+//! same codec the engine's policy snapshots persist, so there is exactly
+//! one encoder and one fail-closed decoder at the trust boundary. The
+//! codec round-trips every type exactly (property tests in
+//! `tests/differential.rs` pin this down), which is what makes served
 //! verdicts byte-identical to in-process ones.
 
 use core::fmt;
 use std::io::{self, Read, Write};
 
-use conseca_core::{
-    ArgConstraint, CmpOp, Decision, Policy, PolicyEntry, Predicate, TrustedContext, Violation,
-};
+use conseca_core::codec::{self, Reader, Writer};
+use conseca_core::{Decision, Policy, TrustedContext};
 use conseca_engine::TenantCounters;
 use conseca_shell::ApiCall;
+
+pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 
 /// Protocol version spoken by this implementation. Bumped only for
 /// incompatible frame-layout changes; new message tags within a version
 /// are additive (receivers answer unknown tags with
 /// [`code::UNKNOWN_TAG`]).
 ///
-/// Version history: **2** extended the `counters` encoding with the
-/// `reloads`/`revoked` totals (a payload change to `StatsOk`, hence the
-/// bump) and added the `Revoke`/`Reload` hot-reload messages (additive —
-/// they alone would not have required it). **1** was the initial
+/// Version history: **3** added the `Snapshot`/`Restore` persistence
+/// messages and encode-side frame-cap enforcement with the
+/// [`code::FRAME_TOO_LARGE`]-overridable limit (bumped so a client that
+/// depends on snapshot support fails fast against older servers). **2**
+/// extended the `counters` encoding with the `reloads`/`revoked` totals
+/// (a payload change to `StatsOk`, hence the bump) and added the
+/// `Revoke`/`Reload` hot-reload messages. **1** was the initial
 /// protocol.
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// Default cap on `length` (tag + payload) a peer will accept. Frames
 /// above the cap are answered with [`code::FRAME_TOO_LARGE`] and the
-/// connection is closed (the oversized payload is never read).
+/// connection is closed (the oversized payload is never read). Both
+/// sides can raise the cap — `ServeConfig::max_frame_len` server-side,
+/// `Client::with_max_frame_len` client-side — which is the sanctioned
+/// path for oversized-but-legitimate payloads such as large policy
+/// snapshots; see `docs/serving.md` §2.
 pub const DEFAULT_MAX_FRAME_LEN: u32 = 1 << 20;
-
-/// Maximum nesting depth the decoder accepts for [`Predicate`] trees —
-/// a malicious payload must not be able to overflow the decoder's stack.
-pub const MAX_PREDICATE_DEPTH: usize = 64;
 
 /// Error codes carried by [`Response::Error`].
 pub mod code {
@@ -65,13 +77,20 @@ pub mod code {
     /// The frame tag names no request this version knows. Connection
     /// stays open.
     pub const UNKNOWN_TAG: u16 = 4;
-    /// The frame length exceeds the receiver's cap; connection closes.
+    /// The frame length exceeds the receiver's cap (or a response would
+    /// exceed it at encode time). Connection closes on receive;
+    /// oversized *responses* are reported on a connection that stays
+    /// open.
     pub const FRAME_TOO_LARGE: u16 = 5;
     /// An installed policy failed compilation (a regex constraint did not
     /// compile). Connection stays open.
     pub const BAD_POLICY: u16 = 6;
     /// The server is shutting down and no longer accepts work.
     pub const SHUTTING_DOWN: u16 = 7;
+    /// A `Restore` payload failed snapshot verification (corruption,
+    /// checksum or version mismatch, tenant mismatch, fingerprint
+    /// binding). Nothing was installed; connection stays open.
+    pub const BAD_SNAPSHOT: u16 = 8;
 }
 
 // Request tags.
@@ -85,6 +104,8 @@ pub(crate) const TAG_STATS: u8 = 0x07;
 pub(crate) const TAG_SHUTDOWN: u8 = 0x08;
 pub(crate) const TAG_REVOKE: u8 = 0x09;
 pub(crate) const TAG_RELOAD: u8 = 0x0A;
+pub(crate) const TAG_SNAPSHOT: u8 = 0x0B;
+pub(crate) const TAG_RESTORE: u8 = 0x0C;
 
 // Response tags.
 pub(crate) const TAG_HELLO_OK: u8 = 0x81;
@@ -97,6 +118,8 @@ pub(crate) const TAG_STATS_OK: u8 = 0x87;
 pub(crate) const TAG_SHUTTING_DOWN: u8 = 0x88;
 pub(crate) const TAG_REVOKED: u8 = 0x89;
 pub(crate) const TAG_RELOADED: u8 = 0x8A;
+pub(crate) const TAG_SNAPSHOT_OK: u8 = 0x8B;
+pub(crate) const TAG_RESTORED: u8 = 0x8C;
 pub(crate) const TAG_ERROR: u8 = 0xFF;
 
 /// One length-prefixed message as it travels the wire.
@@ -108,71 +131,18 @@ pub struct Frame {
     pub payload: Vec<u8>,
 }
 
-/// Why a payload failed to decode.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum WireError {
-    /// The frame tag names no message this implementation knows.
-    UnknownTag(u8),
-    /// A field's bytes ended before the field did.
-    Truncated {
-        /// What was being decoded.
-        what: &'static str,
-    },
-    /// The payload decoded fully but bytes remain.
-    TrailingBytes {
-        /// How many bytes were left over.
-        extra: usize,
-    },
-    /// A string field was not valid UTF-8.
-    BadUtf8,
-    /// An enum discriminant byte named no known variant.
-    UnknownEnumTag {
-        /// The enum being decoded.
-        what: &'static str,
-        /// The offending discriminant.
-        tag: u8,
-    },
-    /// A predicate tree exceeded [`MAX_PREDICATE_DEPTH`].
-    TooDeep,
-    /// A regex constraint pattern failed to compile on arrival.
-    BadRegex {
-        /// The pattern as received.
-        pattern: String,
-        /// The compiler's error, rendered.
-        error: String,
-    },
+/// The [`code`] a server reports for a decode failure.
+pub trait WireErrorCode {
+    /// Maps the failure to its wire error code.
+    fn error_code(&self) -> u16;
 }
 
-impl fmt::Display for WireError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            WireError::UnknownTag(tag) => write!(f, "unknown message tag 0x{tag:02x}"),
-            WireError::Truncated { what } => write!(f, "payload truncated while decoding {what}"),
-            WireError::TrailingBytes { extra } => {
-                write!(f, "{extra} trailing byte(s) after the payload")
-            }
-            WireError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
-            WireError::UnknownEnumTag { what, tag } => {
-                write!(f, "unknown {what} discriminant 0x{tag:02x}")
-            }
-            WireError::TooDeep => {
-                write!(f, "predicate nesting exceeds {MAX_PREDICATE_DEPTH} levels")
-            }
-            WireError::BadRegex { pattern, error } => {
-                write!(f, "regex constraint {pattern:?} does not compile: {error}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for WireError {}
-
-impl WireError {
-    /// The [`code`] a server reports for this decode failure.
-    pub fn error_code(&self) -> u16 {
+impl WireErrorCode for WireError {
+    fn error_code(&self) -> u16 {
         match self {
             WireError::UnknownTag(_) => code::UNKNOWN_TAG,
             WireError::BadRegex { .. } => code::BAD_POLICY,
+            WireError::Oversized { .. } => code::FRAME_TOO_LARGE,
             _ => code::MALFORMED,
         }
     }
@@ -216,13 +186,62 @@ impl From<io::Error> for FrameReadError {
     }
 }
 
+/// Why a frame could not be written to the transport.
+#[derive(Debug)]
+pub enum FrameWriteError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The frame (tag + payload) exceeds `max_len` — the sender-side
+    /// twin of [`FrameReadError::Oversized`]. Nothing was written; a
+    /// silently wrapped length prefix can never reach the wire.
+    Oversized {
+        /// The frame's length (tag + payload), which may exceed `u32`.
+        len: u64,
+        /// The cap it exceeds.
+        max: u32,
+    },
+}
+
+impl fmt::Display for FrameWriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameWriteError::Io(e) => write!(f, "frame write failed: {e}"),
+            FrameWriteError::Oversized { len, max } => {
+                write!(f, "refusing to write a {len}-byte frame over the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameWriteError {}
+
+impl From<io::Error> for FrameWriteError {
+    fn from(e: io::Error) -> Self {
+        FrameWriteError::Io(e)
+    }
+}
+
 /// Writes one frame: `u32` length (tag + payload), tag byte, payload.
-pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
-    let len = 1u32 + frame.payload.len() as u32;
-    w.write_all(&len.to_be_bytes())?;
+///
+/// The length is bound-checked against `max_len` *before* anything is
+/// written (in widened arithmetic, so a payload near `u32::MAX` cannot
+/// wrap into a corrupt prefix), and a frame the peer's cap would reject
+/// is refused here with a typed [`FrameWriteError::Oversized`] instead
+/// of being encoded only to die on the other side.
+///
+/// # Errors
+///
+/// [`FrameWriteError::Oversized`] or transport failures.
+pub fn write_frame(w: &mut impl Write, frame: &Frame, max_len: u32) -> Result<(), FrameWriteError> {
+    let len = 1u64 + frame.payload.len() as u64;
+    if len > max_len as u64 {
+        return Err(FrameWriteError::Oversized { len, max: max_len });
+    }
+    w.write_all(&(len as u32).to_be_bytes())?;
     w.write_all(&[frame.tag])?;
     w.write_all(&frame.payload)?;
-    w.flush()
+    w.flush()?;
+    Ok(())
 }
 
 /// Reads one frame. `Ok(None)` means the peer closed cleanly at a frame
@@ -257,441 +276,54 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Frame>, Fram
     Ok(Some(Frame { tag: tag[0], payload }))
 }
 
-// --------------------------------------------------------------- encoder
+// ---------------------------------------------------- shared field codecs
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_i64(out: &mut Vec<u8>, v: i64) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_bool(out: &mut Vec<u8>, v: bool) {
-    out.push(v as u8);
-}
-
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
-}
-
-fn put_str_list(out: &mut Vec<u8>, items: &[String]) {
-    put_u32(out, items.len() as u32);
+fn put_u64_list(w: &mut Writer, items: &[u64], what: &'static str) -> Result<(), WireError> {
+    w.count(items.len(), what)?;
     for item in items {
-        put_str(out, item);
+        w.u64(*item, what)?;
     }
+    Ok(())
 }
 
-fn put_context(out: &mut Vec<u8>, ctx: &TrustedContext) {
-    put_str(out, &ctx.current_user);
-    put_str(out, &ctx.date);
-    put_u64(out, ctx.time);
-    put_str_list(out, &ctx.usernames);
-    put_str_list(out, &ctx.email_addresses);
-    put_str_list(out, &ctx.email_categories);
-    put_str(out, &ctx.fs_tree);
-    put_u32(out, ctx.extra.len() as u32);
-    for (k, v) in &ctx.extra {
-        put_str(out, k);
-        put_str(out, v);
+fn read_u64_list(r: &mut Reader<'_>, what: &'static str) -> Result<Vec<u64>, WireError> {
+    let count = r.u32(what)? as usize;
+    let mut items = Vec::new();
+    for _ in 0..count {
+        items.push(r.u64(what)?);
     }
+    Ok(items)
 }
 
-fn put_call(out: &mut Vec<u8>, call: &ApiCall) {
-    put_str(out, &call.tool);
-    put_str(out, &call.name);
-    put_str_list(out, &call.args);
-    put_str(out, &call.raw);
+fn put_counters(w: &mut Writer, c: &TenantCounters) -> Result<(), WireError> {
+    w.u64(c.hits, "counters.hits")?;
+    w.u64(c.misses, "counters.misses")?;
+    w.u64(c.checks, "counters.checks")?;
+    w.u64(c.allowed, "counters.allowed")?;
+    w.u64(c.denied, "counters.denied")?;
+    w.u64(c.reloads, "counters.reloads")?;
+    w.u64(c.revoked, "counters.revoked")
 }
 
-fn put_predicate(out: &mut Vec<u8>, p: &Predicate) {
-    match p {
-        Predicate::True => out.push(0),
-        Predicate::Eq(s) => {
-            out.push(1);
-            put_str(out, s);
-        }
-        Predicate::Prefix(s) => {
-            out.push(2);
-            put_str(out, s);
-        }
-        Predicate::Suffix(s) => {
-            out.push(3);
-            put_str(out, s);
-        }
-        Predicate::Contains(s) => {
-            out.push(4);
-            put_str(out, s);
-        }
-        Predicate::OneOf(options) => {
-            out.push(5);
-            put_str_list(out, options);
-        }
-        Predicate::Num(op, v) => {
-            out.push(6);
-            out.push(match op {
-                CmpOp::Lt => 0,
-                CmpOp::Le => 1,
-                CmpOp::Eq => 2,
-                CmpOp::Ge => 3,
-                CmpOp::Gt => 4,
-            });
-            put_i64(out, *v);
-        }
-        Predicate::Not(inner) => {
-            out.push(7);
-            put_predicate(out, inner);
-        }
-        Predicate::All(ps) => {
-            out.push(8);
-            put_u32(out, ps.len() as u32);
-            for p in ps {
-                put_predicate(out, p);
-            }
-        }
-        Predicate::AnyOf(ps) => {
-            out.push(9);
-            put_u32(out, ps.len() as u32);
-            for p in ps {
-                put_predicate(out, p);
-            }
-        }
-    }
-}
-
-fn put_constraint(out: &mut Vec<u8>, c: &ArgConstraint) {
-    match c {
-        ArgConstraint::Any => out.push(0),
-        ArgConstraint::Regex(re) => {
-            out.push(1);
-            put_str(out, re.pattern());
-        }
-        ArgConstraint::Dsl(p) => {
-            out.push(2);
-            put_predicate(out, p);
-        }
-    }
-}
-
-fn put_policy(out: &mut Vec<u8>, policy: &Policy) {
-    put_str(out, &policy.task);
-    put_str(out, &policy.default_rationale);
-    put_u32(out, policy.entries.len() as u32);
-    for (api, entry) in &policy.entries {
-        put_str(out, api);
-        put_bool(out, entry.can_execute);
-        put_u32(out, entry.arg_constraints.len() as u32);
-        for c in &entry.arg_constraints {
-            put_constraint(out, c);
-        }
-        put_str(out, &entry.rationale);
-    }
-}
-
-fn put_violation(out: &mut Vec<u8>, v: &Violation) {
-    match v {
-        Violation::UnlistedApi => out.push(0),
-        Violation::CannotExecute => out.push(1),
-        Violation::ArgMismatch { index, constraint, value } => {
-            out.push(2);
-            put_u64(out, *index as u64);
-            put_str(out, constraint);
-            put_str(out, value);
-        }
-        Violation::RateLimited { api, limit, used } => {
-            out.push(3);
-            put_str(out, api);
-            put_u64(out, *limit as u64);
-            put_u64(out, *used as u64);
-        }
-        Violation::SequenceUnmet { api, requirement } => {
-            out.push(4);
-            put_str(out, api);
-            put_str(out, requirement);
-        }
-        Violation::BudgetExhausted { max } => {
-            out.push(5);
-            put_u64(out, *max as u64);
-        }
-        Violation::OverrideDeclined { underlying } => {
-            out.push(6);
-            match underlying {
-                None => put_bool(out, false),
-                Some(inner) => {
-                    put_bool(out, true);
-                    put_violation(out, inner);
-                }
-            }
-        }
-    }
-}
-
-fn put_decision(out: &mut Vec<u8>, d: &Decision) {
-    put_bool(out, d.allowed);
-    put_str(out, &d.rationale);
-    match &d.violation {
-        None => put_bool(out, false),
-        Some(v) => {
-            put_bool(out, true);
-            put_violation(out, v);
-        }
-    }
+fn read_counters(r: &mut Reader<'_>) -> Result<TenantCounters, WireError> {
+    Ok(TenantCounters {
+        hits: r.u64("counters.hits")?,
+        misses: r.u64("counters.misses")?,
+        checks: r.u64("counters.checks")?,
+        allowed: r.u64("counters.allowed")?,
+        denied: r.u64("counters.denied")?,
+        reloads: r.u64("counters.reloads")?,
+        revoked: r.u64("counters.revoked")?,
+    })
 }
 
 /// Encodes a decision exactly as [`Response::Verdict`] carries it — the
 /// byte string the differential tests compare served and in-process
 /// verdicts with.
 pub fn encode_decision(d: &Decision) -> Vec<u8> {
-    let mut out = Vec::new();
-    put_decision(&mut out, d);
-    out
-}
-
-fn put_counters(out: &mut Vec<u8>, c: &TenantCounters) {
-    put_u64(out, c.hits);
-    put_u64(out, c.misses);
-    put_u64(out, c.checks);
-    put_u64(out, c.allowed);
-    put_u64(out, c.denied);
-    put_u64(out, c.reloads);
-    put_u64(out, c.revoked);
-}
-
-// --------------------------------------------------------------- decoder
-
-struct Reader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
-        Reader { buf, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
-        if self.buf.len() - self.pos < n {
-            return Err(WireError::Truncated { what });
-        }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
-        Ok(slice)
-    }
-
-    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
-        Ok(self.take(1, what)?[0])
-    }
-
-    fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
-        Ok(u16::from_be_bytes(self.take(2, what)?.try_into().unwrap()))
-    }
-
-    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4, what)?.try_into().unwrap()))
-    }
-
-    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
-    }
-
-    fn i64(&mut self, what: &'static str) -> Result<i64, WireError> {
-        Ok(i64::from_be_bytes(self.take(8, what)?.try_into().unwrap()))
-    }
-
-    fn bool_(&mut self, what: &'static str) -> Result<bool, WireError> {
-        match self.u8(what)? {
-            0 => Ok(false),
-            1 => Ok(true),
-            tag => Err(WireError::UnknownEnumTag { what, tag }),
-        }
-    }
-
-    fn str_(&mut self, what: &'static str) -> Result<String, WireError> {
-        let len = self.u32(what)? as usize;
-        let bytes = self.take(len, what)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)
-    }
-
-    fn str_list(&mut self, what: &'static str) -> Result<Vec<String>, WireError> {
-        let count = self.u32(what)? as usize;
-        let mut items = Vec::new();
-        for _ in 0..count {
-            items.push(self.str_(what)?);
-        }
-        Ok(items)
-    }
-
-    fn context(&mut self) -> Result<TrustedContext, WireError> {
-        let mut ctx = TrustedContext::for_user("");
-        ctx.current_user = self.str_("context.current_user")?;
-        ctx.date = self.str_("context.date")?;
-        ctx.time = self.u64("context.time")?;
-        ctx.usernames = self.str_list("context.usernames")?;
-        ctx.email_addresses = self.str_list("context.email_addresses")?;
-        ctx.email_categories = self.str_list("context.email_categories")?;
-        ctx.fs_tree = self.str_("context.fs_tree")?;
-        let extras = self.u32("context.extra")? as usize;
-        for _ in 0..extras {
-            let key = self.str_("context.extra key")?;
-            let value = self.str_("context.extra value")?;
-            ctx.extra.insert(key, value);
-        }
-        Ok(ctx)
-    }
-
-    fn call(&mut self) -> Result<ApiCall, WireError> {
-        let tool = self.str_("call.tool")?;
-        let name = self.str_("call.name")?;
-        let args = self.str_list("call.args")?;
-        let raw = self.str_("call.raw")?;
-        Ok(ApiCall { tool, name, args, raw })
-    }
-
-    fn predicate(&mut self, depth: usize) -> Result<Predicate, WireError> {
-        if depth > MAX_PREDICATE_DEPTH {
-            return Err(WireError::TooDeep);
-        }
-        match self.u8("predicate")? {
-            0 => Ok(Predicate::True),
-            1 => Ok(Predicate::Eq(self.str_("predicate.eq")?)),
-            2 => Ok(Predicate::Prefix(self.str_("predicate.prefix")?)),
-            3 => Ok(Predicate::Suffix(self.str_("predicate.suffix")?)),
-            4 => Ok(Predicate::Contains(self.str_("predicate.contains")?)),
-            5 => Ok(Predicate::OneOf(self.str_list("predicate.one_of")?)),
-            6 => {
-                let op = match self.u8("cmp_op")? {
-                    0 => CmpOp::Lt,
-                    1 => CmpOp::Le,
-                    2 => CmpOp::Eq,
-                    3 => CmpOp::Ge,
-                    4 => CmpOp::Gt,
-                    tag => return Err(WireError::UnknownEnumTag { what: "cmp_op", tag }),
-                };
-                Ok(Predicate::Num(op, self.i64("predicate.num")?))
-            }
-            7 => Ok(Predicate::Not(Box::new(self.predicate(depth + 1)?))),
-            8 => {
-                let count = self.u32("predicate.all")? as usize;
-                let mut ps = Vec::new();
-                for _ in 0..count {
-                    ps.push(self.predicate(depth + 1)?);
-                }
-                Ok(Predicate::All(ps))
-            }
-            9 => {
-                let count = self.u32("predicate.any_of")? as usize;
-                let mut ps = Vec::new();
-                for _ in 0..count {
-                    ps.push(self.predicate(depth + 1)?);
-                }
-                Ok(Predicate::AnyOf(ps))
-            }
-            tag => Err(WireError::UnknownEnumTag { what: "predicate", tag }),
-        }
-    }
-
-    fn constraint(&mut self) -> Result<ArgConstraint, WireError> {
-        match self.u8("constraint")? {
-            0 => Ok(ArgConstraint::Any),
-            1 => {
-                let pattern = self.str_("constraint.regex")?;
-                ArgConstraint::regex(&pattern)
-                    .map_err(|e| WireError::BadRegex { pattern, error: e.to_string() })
-            }
-            2 => Ok(ArgConstraint::Dsl(self.predicate(0)?)),
-            tag => Err(WireError::UnknownEnumTag { what: "constraint", tag }),
-        }
-    }
-
-    fn policy(&mut self) -> Result<Policy, WireError> {
-        let mut policy = Policy::new(&self.str_("policy.task")?);
-        policy.default_rationale = self.str_("policy.default_rationale")?;
-        let entries = self.u32("policy.entries")? as usize;
-        for _ in 0..entries {
-            let api = self.str_("policy.api")?;
-            let can_execute = self.bool_("entry.can_execute")?;
-            let constraints = self.u32("entry.constraints")? as usize;
-            let mut arg_constraints = Vec::new();
-            for _ in 0..constraints {
-                arg_constraints.push(self.constraint()?);
-            }
-            let rationale = self.str_("entry.rationale")?;
-            policy.set(&api, PolicyEntry { can_execute, arg_constraints, rationale });
-        }
-        Ok(policy)
-    }
-
-    fn violation(&mut self, depth: usize) -> Result<Violation, WireError> {
-        if depth > MAX_PREDICATE_DEPTH {
-            return Err(WireError::TooDeep);
-        }
-        match self.u8("violation")? {
-            0 => Ok(Violation::UnlistedApi),
-            1 => Ok(Violation::CannotExecute),
-            2 => Ok(Violation::ArgMismatch {
-                index: self.u64("violation.index")? as usize,
-                constraint: self.str_("violation.constraint")?,
-                value: self.str_("violation.value")?,
-            }),
-            3 => Ok(Violation::RateLimited {
-                api: self.str_("violation.api")?,
-                limit: self.u64("violation.limit")? as usize,
-                used: self.u64("violation.used")? as usize,
-            }),
-            4 => Ok(Violation::SequenceUnmet {
-                api: self.str_("violation.api")?,
-                requirement: self.str_("violation.requirement")?,
-            }),
-            5 => Ok(Violation::BudgetExhausted { max: self.u64("violation.max")? as usize }),
-            6 => {
-                let underlying = if self.bool_("violation.underlying")? {
-                    Some(Box::new(self.violation(depth + 1)?))
-                } else {
-                    None
-                };
-                Ok(Violation::OverrideDeclined { underlying })
-            }
-            tag => Err(WireError::UnknownEnumTag { what: "violation", tag }),
-        }
-    }
-
-    fn decision(&mut self) -> Result<Decision, WireError> {
-        let allowed = self.bool_("decision.allowed")?;
-        let rationale = self.str_("decision.rationale")?;
-        let violation =
-            if self.bool_("decision.violation")? { Some(self.violation(0)?) } else { None };
-        Ok(Decision { allowed, rationale, violation })
-    }
-
-    fn counters(&mut self) -> Result<TenantCounters, WireError> {
-        Ok(TenantCounters {
-            hits: self.u64("counters.hits")?,
-            misses: self.u64("counters.misses")?,
-            checks: self.u64("counters.checks")?,
-            allowed: self.u64("counters.allowed")?,
-            denied: self.u64("counters.denied")?,
-            reloads: self.u64("counters.reloads")?,
-            revoked: self.u64("counters.revoked")?,
-        })
-    }
-
-    fn finish(self) -> Result<(), WireError> {
-        let extra = self.buf.len() - self.pos;
-        if extra == 0 {
-            Ok(())
-        } else {
-            Err(WireError::TrailingBytes { extra })
-        }
-    }
+    let mut w = Writer::unbounded();
+    codec::put_decision(&mut w, d).expect("decision exceeds the u32 representation limit");
+    w.finish()
 }
 
 // --------------------------------------------------------------- messages
@@ -780,6 +412,27 @@ pub enum Request {
         /// The regenerated policy.
         policy: Policy,
     },
+    /// Asks the server to serialise everything the tenant has installed
+    /// into a snapshot blob (the engine's persistence format,
+    /// `docs/persistence.md`) so the client can persist it and later
+    /// warm-start a server without resending every install.
+    Snapshot {
+        /// The tenant to export.
+        tenant: String,
+    },
+    /// Warm-starts the tenant from a snapshot blob: the server verifies,
+    /// re-keys, and re-compiles every entry, skipping fingerprints in
+    /// `revoked` (a restore must not resurrect a policy revoked after
+    /// the snapshot was taken) and keys that are already live (a
+    /// concurrent install wins).
+    Restore {
+        /// The tenant to warm-start; must match the snapshot's tenant.
+        tenant: String,
+        /// Fingerprints revoked since the snapshot was exported.
+        revoked: Vec<u64>,
+        /// The snapshot bytes, exactly as `Snapshot` handed them out.
+        snapshot: Vec<u8>,
+    },
 }
 
 /// A server-to-client message.
@@ -841,6 +494,24 @@ pub enum Response {
         /// Number of API entries the reloaded policy lists.
         entries: u64,
     },
+    /// Answer to [`Request::Snapshot`].
+    SnapshotOk {
+        /// How many policy entries the snapshot records.
+        entries: u64,
+        /// The snapshot bytes (checksummed; opaque to the protocol).
+        snapshot: Vec<u8>,
+    },
+    /// Answer to [`Request::Restore`]. The three counters partition the
+    /// snapshot's entries exactly.
+    Restored {
+        /// Entries re-compiled and installed.
+        installed: u64,
+        /// Entries skipped because their fingerprint was in the
+        /// request's revocation set.
+        skipped_revoked: u64,
+        /// Entries skipped because the key was already live.
+        skipped_live: u64,
+    },
     /// The request failed; see [`code`] for the catalogue.
     Error {
         /// Machine-readable error code.
@@ -851,67 +522,101 @@ pub enum Response {
 }
 
 impl Request {
-    /// Encodes the request into a frame.
-    pub fn encode(&self) -> Frame {
-        let mut out = Vec::new();
+    /// Encodes the request into a frame, enforcing `max_frame_len` (the
+    /// peer's cap, tag byte included) while encoding: the first field
+    /// that would push the frame over the cap aborts with
+    /// [`WireError::Oversized`], so an oversized `Install` or `Restore`
+    /// is a typed client-side error instead of a peer-side rejection
+    /// after megabytes hit the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`].
+    pub fn encode_limited(&self, max_frame_len: u32) -> Result<Frame, WireError> {
+        // The frame length counts the tag byte; the payload gets the rest.
+        let mut w = Writer::with_limit((max_frame_len as u64).saturating_sub(1));
         let tag = match self {
             Request::Hello { version } => {
-                put_u16(&mut out, *version);
+                w.u16(*version, "hello.version")?;
                 TAG_HELLO
             }
             Request::Check { tenant, task, context, call } => {
-                put_str(&mut out, tenant);
-                put_str(&mut out, task);
-                put_context(&mut out, context);
-                put_call(&mut out, call);
+                w.str_(tenant, "check.tenant")?;
+                w.str_(task, "check.task")?;
+                codec::put_context(&mut w, context)?;
+                codec::put_call(&mut w, call)?;
                 TAG_CHECK
             }
             Request::CheckBatch { tenant, task, context, calls } => {
-                put_str(&mut out, tenant);
-                put_str(&mut out, task);
-                put_context(&mut out, context);
-                put_u32(&mut out, calls.len() as u32);
+                w.str_(tenant, "check_batch.tenant")?;
+                w.str_(task, "check_batch.task")?;
+                codec::put_context(&mut w, context)?;
+                w.count(calls.len(), "check_batch.calls")?;
                 for call in calls {
-                    put_call(&mut out, call);
+                    codec::put_call(&mut w, call)?;
                 }
                 TAG_CHECK_BATCH
             }
             Request::Install { tenant, task, context, policy } => {
-                put_str(&mut out, tenant);
-                put_str(&mut out, task);
-                put_context(&mut out, context);
-                put_policy(&mut out, policy);
+                w.str_(tenant, "install.tenant")?;
+                w.str_(task, "install.task")?;
+                codec::put_context(&mut w, context)?;
+                codec::put_policy(&mut w, policy)?;
                 TAG_INSTALL
             }
             Request::FetchPolicy { tenant, task, context } => {
-                put_str(&mut out, tenant);
-                put_str(&mut out, task);
-                put_context(&mut out, context);
+                w.str_(tenant, "fetch.tenant")?;
+                w.str_(task, "fetch.task")?;
+                codec::put_context(&mut w, context)?;
                 TAG_FETCH_POLICY
             }
             Request::Flush { tenant } => {
-                put_str(&mut out, tenant);
+                w.str_(tenant, "flush.tenant")?;
                 TAG_FLUSH
             }
             Request::Stats { tenant } => {
-                put_str(&mut out, tenant);
+                w.str_(tenant, "stats.tenant")?;
                 TAG_STATS
             }
             Request::Shutdown => TAG_SHUTDOWN,
             Request::Revoke { tenant, fingerprint } => {
-                put_str(&mut out, tenant);
-                put_u64(&mut out, *fingerprint);
+                w.str_(tenant, "revoke.tenant")?;
+                w.u64(*fingerprint, "revoke.fingerprint")?;
                 TAG_REVOKE
             }
             Request::Reload { tenant, task, context, policy } => {
-                put_str(&mut out, tenant);
-                put_str(&mut out, task);
-                put_context(&mut out, context);
-                put_policy(&mut out, policy);
+                w.str_(tenant, "reload.tenant")?;
+                w.str_(task, "reload.task")?;
+                codec::put_context(&mut w, context)?;
+                codec::put_policy(&mut w, policy)?;
                 TAG_RELOAD
             }
+            Request::Snapshot { tenant } => {
+                w.str_(tenant, "snapshot.tenant")?;
+                TAG_SNAPSHOT
+            }
+            Request::Restore { tenant, revoked, snapshot } => {
+                w.str_(tenant, "restore.tenant")?;
+                put_u64_list(&mut w, revoked, "restore.revoked")?;
+                w.bytes(snapshot, "restore.snapshot")?;
+                TAG_RESTORE
+            }
         };
-        Frame { tag, payload: out }
+        Ok(Frame { tag, payload: w.finish() })
+    }
+
+    /// Encodes the request with only the `u32` representation limit —
+    /// the convenience for tests and tools that construct frames
+    /// directly. Production senders use
+    /// [`encode_limited`](Self::encode_limited), which turns cap
+    /// breaches into typed errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message cannot be represented in a frame at all
+    /// (over `u32::MAX` bytes).
+    pub fn encode(&self) -> Frame {
+        self.encode_limited(u32::MAX).expect("message exceeds the u32 frame representation limit")
     }
 
     /// Decodes a request frame.
@@ -919,7 +624,7 @@ impl Request {
     /// # Errors
     ///
     /// Any [`WireError`]; the server maps it to an error [`code`] via
-    /// [`WireError::error_code`].
+    /// [`WireErrorCode::error_code`].
     pub fn decode(frame: &Frame) -> Result<Request, WireError> {
         let mut r = Reader::new(&frame.payload);
         let request = match frame.tag {
@@ -965,6 +670,12 @@ impl Request {
                 context: r.context()?,
                 policy: r.policy()?,
             },
+            TAG_SNAPSHOT => Request::Snapshot { tenant: r.str_("snapshot.tenant")? },
+            TAG_RESTORE => Request::Restore {
+                tenant: r.str_("restore.tenant")?,
+                revoked: read_u64_list(&mut r, "restore.revoked")?,
+                snapshot: r.bytes("restore.snapshot")?.to_vec(),
+            },
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -973,84 +684,110 @@ impl Request {
 }
 
 impl Response {
-    /// Encodes the response into a frame.
-    pub fn encode(&self) -> Frame {
-        let mut out = Vec::new();
+    /// Encodes the response into a frame, enforcing `max_frame_len`
+    /// exactly as [`Request::encode_limited`] does.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`].
+    pub fn encode_limited(&self, max_frame_len: u32) -> Result<Frame, WireError> {
+        let mut w = Writer::with_limit((max_frame_len as u64).saturating_sub(1));
         let tag = match self {
             Response::HelloOk { version } => {
-                put_u16(&mut out, *version);
+                w.u16(*version, "hello_ok.version")?;
                 TAG_HELLO_OK
             }
             Response::Verdict { decision } => {
                 match decision {
-                    None => put_bool(&mut out, false),
+                    None => w.bool_(false, "verdict.present")?,
                     Some(d) => {
-                        put_bool(&mut out, true);
-                        put_decision(&mut out, d);
+                        w.bool_(true, "verdict.present")?;
+                        codec::put_decision(&mut w, d)?;
                     }
                 }
                 TAG_VERDICT
             }
             Response::VerdictBatch { decisions } => {
                 match decisions {
-                    None => put_bool(&mut out, false),
+                    None => w.bool_(false, "verdict_batch.present")?,
                     Some(ds) => {
-                        put_bool(&mut out, true);
-                        put_u32(&mut out, ds.len() as u32);
+                        w.bool_(true, "verdict_batch.present")?;
+                        w.count(ds.len(), "verdict_batch.count")?;
                         for d in ds {
-                            put_decision(&mut out, d);
+                            codec::put_decision(&mut w, d)?;
                         }
                     }
                 }
                 TAG_VERDICT_BATCH
             }
             Response::Installed { fingerprint, entries } => {
-                put_u64(&mut out, *fingerprint);
-                put_u64(&mut out, *entries);
+                w.u64(*fingerprint, "installed.fingerprint")?;
+                w.u64(*entries, "installed.entries")?;
                 TAG_INSTALLED
             }
             Response::PolicyOk { policy } => {
                 match policy {
-                    None => put_bool(&mut out, false),
+                    None => w.bool_(false, "policy.present")?,
                     Some(p) => {
-                        put_bool(&mut out, true);
-                        put_policy(&mut out, p);
+                        w.bool_(true, "policy.present")?;
+                        codec::put_policy(&mut w, p)?;
                     }
                 }
                 TAG_POLICY
             }
             Response::Flushed { removed } => {
-                put_u64(&mut out, *removed);
+                w.u64(*removed, "flushed.removed")?;
                 TAG_FLUSHED
             }
             Response::StatsOk { counters } => {
-                put_counters(&mut out, counters);
+                put_counters(&mut w, counters)?;
                 TAG_STATS_OK
             }
             Response::ShuttingDown => TAG_SHUTTING_DOWN,
             Response::Revoked { removed } => {
-                put_u64(&mut out, *removed);
+                w.u64(*removed, "revoked.removed")?;
                 TAG_REVOKED
             }
             Response::Reloaded { old_fingerprint, fingerprint, entries } => {
                 match old_fingerprint {
-                    None => put_bool(&mut out, false),
+                    None => w.bool_(false, "reloaded.old_present")?,
                     Some(fp) => {
-                        put_bool(&mut out, true);
-                        put_u64(&mut out, *fp);
+                        w.bool_(true, "reloaded.old_present")?;
+                        w.u64(*fp, "reloaded.old_fingerprint")?;
                     }
                 }
-                put_u64(&mut out, *fingerprint);
-                put_u64(&mut out, *entries);
+                w.u64(*fingerprint, "reloaded.fingerprint")?;
+                w.u64(*entries, "reloaded.entries")?;
                 TAG_RELOADED
             }
+            Response::SnapshotOk { entries, snapshot } => {
+                w.u64(*entries, "snapshot_ok.entries")?;
+                w.bytes(snapshot, "snapshot_ok.snapshot")?;
+                TAG_SNAPSHOT_OK
+            }
+            Response::Restored { installed, skipped_revoked, skipped_live } => {
+                w.u64(*installed, "restored.installed")?;
+                w.u64(*skipped_revoked, "restored.skipped_revoked")?;
+                w.u64(*skipped_live, "restored.skipped_live")?;
+                TAG_RESTORED
+            }
             Response::Error { code, message } => {
-                put_u16(&mut out, *code);
-                put_str(&mut out, message);
+                w.u16(*code, "error.code")?;
+                w.str_(message, "error.message")?;
                 TAG_ERROR
             }
         };
-        Frame { tag, payload: out }
+        Ok(Frame { tag, payload: w.finish() })
+    }
+
+    /// Encodes the response with only the `u32` representation limit
+    /// (see [`Request::encode`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the message cannot be represented in a frame at all.
+    pub fn encode(&self) -> Frame {
+        self.encode_limited(u32::MAX).expect("message exceeds the u32 frame representation limit")
     }
 
     /// Decodes a response frame.
@@ -1085,7 +822,7 @@ impl Response {
                 policy: if r.bool_("policy.present")? { Some(r.policy()?) } else { None },
             },
             TAG_FLUSHED => Response::Flushed { removed: r.u64("flushed.removed")? },
-            TAG_STATS_OK => Response::StatsOk { counters: r.counters()? },
+            TAG_STATS_OK => Response::StatsOk { counters: read_counters(&mut r)? },
             TAG_SHUTTING_DOWN => Response::ShuttingDown,
             TAG_REVOKED => Response::Revoked { removed: r.u64("revoked.removed")? },
             TAG_RELOADED => Response::Reloaded {
@@ -1096,6 +833,15 @@ impl Response {
                 },
                 fingerprint: r.u64("reloaded.fingerprint")?,
                 entries: r.u64("reloaded.entries")?,
+            },
+            TAG_SNAPSHOT_OK => Response::SnapshotOk {
+                entries: r.u64("snapshot_ok.entries")?,
+                snapshot: r.bytes("snapshot_ok.snapshot")?.to_vec(),
+            },
+            TAG_RESTORED => Response::Restored {
+                installed: r.u64("restored.installed")?,
+                skipped_revoked: r.u64("restored.skipped_revoked")?,
+                skipped_live: r.u64("restored.skipped_live")?,
             },
             TAG_ERROR => {
                 Response::Error { code: r.u16("error.code")?, message: r.str_("error.message")? }
@@ -1110,7 +856,7 @@ impl Response {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use conseca_core::is_allowed;
+    use conseca_core::{is_allowed, ArgConstraint, PolicyEntry, Predicate, Violation};
 
     fn sample_policy() -> Policy {
         let mut policy = Policy::new("respond to urgent work emails");
@@ -1147,7 +893,7 @@ mod tests {
     fn roundtrip_request(request: Request) -> Request {
         let frame = request.encode();
         let mut bytes = Vec::new();
-        write_frame(&mut bytes, &frame).unwrap();
+        write_frame(&mut bytes, &frame, DEFAULT_MAX_FRAME_LEN).unwrap();
         let read = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
         assert_eq!(read, frame);
         Request::decode(&read).unwrap()
@@ -1156,7 +902,7 @@ mod tests {
     fn roundtrip_response(response: Response) -> Response {
         let frame = response.encode();
         let mut bytes = Vec::new();
-        write_frame(&mut bytes, &frame).unwrap();
+        write_frame(&mut bytes, &frame, DEFAULT_MAX_FRAME_LEN).unwrap();
         let read = read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
         Response::decode(&read).unwrap()
     }
@@ -1195,6 +941,12 @@ mod tests {
                 task: "t".into(),
                 context: sample_context(),
                 policy: sample_policy(),
+            },
+            Request::Snapshot { tenant: "acme".into() },
+            Request::Restore {
+                tenant: "acme".into(),
+                revoked: vec![0xdead_beef, 0xfeed_f00d],
+                snapshot: vec![0xC5, 0x00, 0x01, 0x7F],
             },
         ];
         for request in requests {
@@ -1240,6 +992,8 @@ mod tests {
             Response::Revoked { removed: 2 },
             Response::Reloaded { old_fingerprint: None, fingerprint: 7, entries: 2 },
             Response::Reloaded { old_fingerprint: Some(0xabc), fingerprint: 7, entries: 2 },
+            Response::SnapshotOk { entries: 4, snapshot: vec![1, 2, 3, 4, 5] },
+            Response::Restored { installed: 2, skipped_revoked: 1, skipped_live: 1 },
             Response::Error { code: code::MALFORMED, message: "truncated".into() },
         ];
         for response in responses {
@@ -1307,6 +1061,81 @@ mod tests {
     }
 
     #[test]
+    fn write_frame_refuses_frames_over_the_cap() {
+        // The sender-side twin of the read cap: the frame is refused
+        // with a typed error and nothing reaches the transport — the
+        // regression for "encode happily, peer rejects".
+        let frame = Frame { tag: TAG_INSTALL, payload: vec![0u8; 64] };
+        let mut out = Vec::new();
+        match write_frame(&mut out, &frame, 16) {
+            Err(FrameWriteError::Oversized { len: 65, max: 16 }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert!(out.is_empty(), "no partial frame may be written");
+        // At exactly the cap it goes through.
+        write_frame(&mut out, &frame, 65).unwrap();
+        assert_eq!(out.len(), 4 + 65);
+    }
+
+    #[test]
+    fn write_frame_length_arithmetic_cannot_wrap() {
+        // `1 + payload.len()` is computed in u64, so even a payload at
+        // the u32 boundary is compared, not wrapped. (A real 4 GiB
+        // allocation is out of reach for a unit test; the cap comparison
+        // below exercises the same widened-arithmetic path.)
+        let frame = Frame { tag: TAG_STATS, payload: vec![0u8; 4096] };
+        let mut out = Vec::new();
+        match write_frame(&mut out, &frame, 4096) {
+            Err(FrameWriteError::Oversized { len: 4097, .. }) => {}
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn encode_limited_rejects_an_oversized_install_with_a_typed_error() {
+        // The realistic trigger: a large Install policy. The encoder
+        // must stop at the cap with WireError::Oversized — the caller
+        // sees which field overflowed instead of a wrapped length.
+        let mut policy = Policy::new("wide");
+        for i in 0..64 {
+            policy.set(
+                &format!("api_{i:03}"),
+                PolicyEntry::allow_any("a rationale that takes up some room"),
+            );
+        }
+        let request = Request::Install {
+            tenant: "acme".into(),
+            task: "t".into(),
+            context: sample_context(),
+            policy,
+        };
+        let err = request.encode_limited(256).unwrap_err();
+        assert!(matches!(err, WireError::Oversized { .. }), "got {err:?}");
+        assert_eq!(err.error_code(), code::FRAME_TOO_LARGE);
+        // The same message encodes fine under the default cap, and the
+        // encode-side cap agrees with what read_frame would accept.
+        let frame = request.encode_limited(DEFAULT_MAX_FRAME_LEN).unwrap();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame, DEFAULT_MAX_FRAME_LEN).unwrap();
+        assert!(read_frame(&mut bytes.as_slice(), DEFAULT_MAX_FRAME_LEN).unwrap().is_some());
+    }
+
+    #[test]
+    fn encode_limited_and_read_frame_agree_at_the_boundary() {
+        // Whatever encode_limited accepts, the peer's read_frame at the
+        // same cap accepts too — no asymmetric window where a frame
+        // encodes but cannot be received.
+        let request = Request::Stats { tenant: "tenant-with-a-name".into() };
+        let exact = 1 + request.encode().payload.len() as u32;
+        assert!(request.encode_limited(exact - 1).is_err(), "one under the need must fail");
+        let frame = request.encode_limited(exact).unwrap();
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &frame, exact).unwrap();
+        let read = read_frame(&mut bytes.as_slice(), exact).unwrap().unwrap();
+        assert_eq!(Request::decode(&read).unwrap(), request);
+    }
+
+    #[test]
     fn zero_length_frames_are_refused() {
         let bytes = 0u32.to_be_bytes();
         assert!(matches!(read_frame(&mut bytes.as_slice(), 16), Err(FrameReadError::Empty)));
@@ -1316,7 +1145,7 @@ mod tests {
     fn clean_eof_is_none_but_mid_frame_eof_is_truncation() {
         assert!(read_frame(&mut [].as_slice(), 16).unwrap().is_none());
         let mut full = Vec::new();
-        write_frame(&mut full, &Request::Shutdown.encode()).unwrap();
+        write_frame(&mut full, &Request::Shutdown.encode(), 16).unwrap();
         for cut in 1..full.len() {
             match read_frame(&mut &full[..cut], 16) {
                 Err(FrameReadError::Io(e)) => {
@@ -1350,20 +1179,20 @@ mod tests {
         // Encode a policy frame whose regex pattern is unbalanced by
         // hand-crafting the constraint bytes (the typed API cannot build
         // one, which is the point of checking at the trust boundary).
-        let mut out = Vec::new();
-        put_str(&mut out, "tenant");
-        put_str(&mut out, "task");
-        put_context(&mut out, &TrustedContext::for_user("a"));
-        put_str(&mut out, "task");
-        put_str(&mut out, "default");
-        put_u32(&mut out, 1);
-        put_str(&mut out, "ls");
-        put_bool(&mut out, true);
-        put_u32(&mut out, 1);
-        out.push(1); // constraint kind: regex
-        put_str(&mut out, "(unclosed");
-        put_str(&mut out, "rationale");
-        let frame = Frame { tag: TAG_INSTALL, payload: out };
+        let mut w = Writer::unbounded();
+        w.str_("tenant", "t").unwrap();
+        w.str_("task", "t").unwrap();
+        codec::put_context(&mut w, &TrustedContext::for_user("a")).unwrap();
+        w.str_("task", "t").unwrap();
+        w.str_("default", "t").unwrap();
+        w.u32(1, "t").unwrap();
+        w.str_("ls", "t").unwrap();
+        w.bool_(true, "t").unwrap();
+        w.u32(1, "t").unwrap();
+        w.u8(1, "t").unwrap(); // constraint kind: regex
+        w.str_("(unclosed", "t").unwrap();
+        w.str_("rationale", "t").unwrap();
+        let frame = Frame { tag: TAG_INSTALL, payload: w.finish() };
         match Request::decode(&frame) {
             Err(e @ WireError::BadRegex { .. }) => {
                 assert_eq!(e.error_code(), code::BAD_POLICY);
@@ -1375,7 +1204,7 @@ mod tests {
     #[test]
     fn bad_utf8_is_rejected() {
         let mut payload = Vec::new();
-        put_u32(&mut payload, 2);
+        payload.extend_from_slice(&2u32.to_be_bytes());
         payload.extend_from_slice(&[0xFF, 0xFE]);
         let frame = Frame { tag: TAG_STATS, payload };
         assert_eq!(Request::decode(&frame), Err(WireError::BadUtf8));

@@ -10,7 +10,9 @@ use std::sync::Arc;
 use conseca_core::pipeline::PipelineBuilder;
 use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrustedContext};
 use conseca_engine::Engine;
-use conseca_serve::wire::{code, read_frame, write_frame, Frame, Request, Response};
+use conseca_serve::wire::{
+    code, read_frame, write_frame, Frame, Request, Response, DEFAULT_MAX_FRAME_LEN,
+};
 use conseca_serve::{Client, RemoteSessionLayer, ServeConfig, Server, ServerHandle};
 use conseca_shell::ApiCall;
 
@@ -38,8 +40,12 @@ fn start() -> ServerHandle {
 
 /// Raw-stream handshake for tests that speak frames directly.
 fn greet(stream: &mut (impl Read + Write)) {
-    write_frame(stream, &Request::Hello { version: conseca_serve::PROTOCOL_VERSION }.encode())
-        .unwrap();
+    write_frame(
+        stream,
+        &Request::Hello { version: conseca_serve::PROTOCOL_VERSION }.encode(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
     let frame = read_frame(stream, 1 << 20).unwrap().expect("hello response");
     assert!(matches!(Response::decode(&frame).unwrap(), Response::HelloOk { .. }));
 }
@@ -95,13 +101,19 @@ fn unknown_tag_is_answered_and_the_connection_continues() {
     let server = start();
     let mut raw = server.connect_stream().unwrap();
     greet(&mut raw);
-    write_frame(&mut raw, &Frame { tag: 0x7E, payload: vec![1, 2, 3] }).unwrap();
+    write_frame(&mut raw, &Frame { tag: 0x7E, payload: vec![1, 2, 3] }, DEFAULT_MAX_FRAME_LEN)
+        .unwrap();
     match read_response(&mut raw) {
         Response::Error { code: c, .. } => assert_eq!(c, code::UNKNOWN_TAG),
         other => panic!("expected UNKNOWN_TAG, got {other:?}"),
     }
     // Same connection, valid request: still served.
-    write_frame(&mut raw, &Request::Stats { tenant: "acme".into() }.encode()).unwrap();
+    write_frame(
+        &mut raw,
+        &Request::Stats { tenant: "acme".into() }.encode(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
     assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }));
     server.shutdown();
 }
@@ -115,12 +127,17 @@ fn malformed_payload_is_answered_and_the_connection_continues() {
     let mut payload = Vec::new();
     payload.extend_from_slice(&100u32.to_be_bytes());
     payload.extend_from_slice(b"short");
-    write_frame(&mut raw, &Frame { tag: 0x07, payload }).unwrap();
+    write_frame(&mut raw, &Frame { tag: 0x07, payload }, DEFAULT_MAX_FRAME_LEN).unwrap();
     match read_response(&mut raw) {
         Response::Error { code: c, .. } => assert_eq!(c, code::MALFORMED),
         other => panic!("expected MALFORMED, got {other:?}"),
     }
-    write_frame(&mut raw, &Request::Stats { tenant: "acme".into() }.encode()).unwrap();
+    write_frame(
+        &mut raw,
+        &Request::Stats { tenant: "acme".into() }.encode(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
     assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }));
     server.shutdown();
 }
@@ -129,7 +146,12 @@ fn malformed_payload_is_answered_and_the_connection_continues() {
 fn requests_before_hello_are_refused_and_the_connection_closes() {
     let server = start();
     let mut raw = server.connect_stream().unwrap();
-    write_frame(&mut raw, &Request::Stats { tenant: "acme".into() }.encode()).unwrap();
+    write_frame(
+        &mut raw,
+        &Request::Stats { tenant: "acme".into() }.encode(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
     match read_response(&mut raw) {
         Response::Error { code: c, .. } => assert_eq!(c, code::HANDSHAKE_REQUIRED),
         other => panic!("expected HANDSHAKE_REQUIRED, got {other:?}"),
@@ -142,7 +164,7 @@ fn requests_before_hello_are_refused_and_the_connection_closes() {
 fn unsupported_version_is_refused_and_the_connection_closes() {
     let server = start();
     let mut raw = server.connect_stream().unwrap();
-    write_frame(&mut raw, &Request::Hello { version: 99 }.encode()).unwrap();
+    write_frame(&mut raw, &Request::Hello { version: 99 }.encode(), DEFAULT_MAX_FRAME_LEN).unwrap();
     match read_response(&mut raw) {
         Response::Error { code: c, message } => {
             assert_eq!(c, code::UNSUPPORTED_VERSION);
@@ -185,7 +207,7 @@ fn bad_policy_install_is_answered_and_the_connection_continues() {
     payload.extend_from_slice(pattern);
     payload.extend_from_slice(&1u32.to_be_bytes());
     payload.extend_from_slice(b"r");
-    write_frame(&mut raw, &Frame { tag: 0x04, payload }).unwrap();
+    write_frame(&mut raw, &Frame { tag: 0x04, payload }, DEFAULT_MAX_FRAME_LEN).unwrap();
     match read_response(&mut raw) {
         Response::Error { code: c, message } => {
             assert_eq!(c, code::BAD_POLICY);
@@ -193,7 +215,12 @@ fn bad_policy_install_is_answered_and_the_connection_continues() {
         }
         other => panic!("expected BAD_POLICY, got {other:?}"),
     }
-    write_frame(&mut raw, &Request::Stats { tenant: "acme".into() }.encode()).unwrap();
+    write_frame(
+        &mut raw,
+        &Request::Stats { tenant: "acme".into() }.encode(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
     assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }));
     server.shutdown();
 }
@@ -216,6 +243,7 @@ fn pipelined_requests_apply_effects_in_arrival_order() {
             policy: policy(),
         }
         .encode(),
+        DEFAULT_MAX_FRAME_LEN,
     )
     .unwrap();
     assert!(matches!(read_response(&mut raw), Response::Installed { .. }));
@@ -226,9 +254,14 @@ fn pipelined_requests_apply_effects_in_arrival_order() {
         context: context.clone(),
         call: call("send_email", &["alice"]),
     };
-    write_frame(&mut raw, &check.encode()).unwrap();
-    write_frame(&mut raw, &Request::Flush { tenant: "acme".into() }.encode()).unwrap();
-    write_frame(&mut raw, &check.encode()).unwrap();
+    write_frame(&mut raw, &check.encode(), DEFAULT_MAX_FRAME_LEN).unwrap();
+    write_frame(
+        &mut raw,
+        &Request::Flush { tenant: "acme".into() }.encode(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    write_frame(&mut raw, &check.encode(), DEFAULT_MAX_FRAME_LEN).unwrap();
     match read_response(&mut raw) {
         Response::Verdict { decision: Some(d) } => assert!(d.allowed),
         other => panic!("pre-flush check must see the policy, got {other:?}"),
@@ -405,5 +438,208 @@ fn revoke_fails_checks_closed_and_reload_restores_them() {
 
     // A revoke for a fingerprint nobody holds is a counted no-op.
     assert_eq!(client.revoke("acme", 0xdead_beef).unwrap(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restore_roundtrip_over_the_wire() {
+    // install → snapshot → flush → restore → check: a server warm-starts
+    // from bytes the client persisted, without the client resending the
+    // installs.
+    let server = start();
+    let mut client = server.connect().unwrap();
+    let context = ctx();
+    client.install("acme", "t", &context, &policy()).unwrap();
+    let receipt = client.snapshot("acme").unwrap();
+    assert_eq!(receipt.entries, 1);
+
+    assert_eq!(client.flush("acme").unwrap(), 1);
+    assert!(client
+        .check("acme", "t", &context, &call("send_email", &["alice"]))
+        .unwrap()
+        .is_none());
+
+    let restored = client.restore("acme", &[], receipt.snapshot.clone()).unwrap();
+    assert_eq!((restored.installed, restored.skipped_revoked, restored.skipped_live), (1, 0, 0));
+    let decision =
+        client.check("acme", "t", &context, &call("send_email", &["alice"])).unwrap().unwrap();
+    assert!(decision.allowed, "the restored policy serves decisions again");
+
+    // Restoring over a live key defers to the newer install.
+    let again = client.restore("acme", &[], receipt.snapshot.clone()).unwrap();
+    assert_eq!((again.installed, again.skipped_live), (0, 1));
+
+    // A fingerprint revoked after the snapshot was taken can never come
+    // back through a restore.
+    let fp = policy().fingerprint();
+    assert_eq!(client.revoke("acme", fp).unwrap(), 1);
+    let blocked = client.restore("acme", &[fp], receipt.snapshot).unwrap();
+    assert_eq!((blocked.installed, blocked.skipped_revoked), (0, 1));
+    assert!(
+        client.check("acme", "t", &context, &call("send_email", &["alice"])).unwrap().is_none(),
+        "the revoked policy must stay gone"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_or_cross_tenant_snapshots_are_refused_with_bad_snapshot() {
+    let server = start();
+    let mut client = server.connect().unwrap();
+    let context = ctx();
+    client.install("acme", "t", &context, &policy()).unwrap();
+    let receipt = client.snapshot("acme").unwrap();
+
+    // Bit-flipped bytes: BAD_SNAPSHOT, nothing installed, connection
+    // stays open.
+    let mut corrupt = receipt.snapshot.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    match client.restore("acme", &[], corrupt) {
+        Err(conseca_serve::ClientError::Server { code: c, .. }) => {
+            assert_eq!(c, code::BAD_SNAPSHOT)
+        }
+        other => panic!("expected BAD_SNAPSHOT, got {other:?}"),
+    }
+
+    // A pristine snapshot restored under another tenant is refused too —
+    // snapshots cannot cross tenants.
+    match client.restore("globex", &[], receipt.snapshot) {
+        Err(conseca_serve::ClientError::Server { code: c, .. }) => {
+            assert_eq!(c, code::BAD_SNAPSHOT)
+        }
+        other => panic!("expected BAD_SNAPSHOT, got {other:?}"),
+    }
+    assert!(server
+        .engine()
+        .check("globex", "t", &context, &call("send_email", &["alice"]))
+        .is_none());
+    // The connection survived both refusals.
+    assert!(client.stats("acme").is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn oversized_snapshots_have_a_sanctioned_path_via_raised_frame_caps() {
+    // A tenant with enough installed policy that its snapshot exceeds a
+    // tiny frame cap: the default-cap client gets a typed
+    // FRAME_TOO_LARGE error (from the *encode* side of the server — the
+    // connection survives), and a client/server pair with raised caps
+    // moves the same snapshot without complaint.
+    let small = Server::start(
+        Arc::new(Engine::default()),
+        ServeConfig { max_frame_len: 2048, ..ServeConfig::default() },
+    );
+    let mut client = Client::over_with(small.connect_stream().unwrap(), 2048).unwrap();
+    let context = ctx();
+    for i in 0..24 {
+        let mut wide = Policy::new(&format!("task {i}"));
+        wide.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![ArgConstraint::regex("^alice$").unwrap()],
+                "a rationale string that occupies a fair amount of space in the snapshot",
+            ),
+        );
+        client.install("acme", &format!("task {i}"), &context, &wide).unwrap();
+    }
+    match client.snapshot("acme") {
+        Err(conseca_serve::ClientError::Server { code: c, .. }) => {
+            assert_eq!(c, code::FRAME_TOO_LARGE, "the server refuses at encode time");
+        }
+        other => panic!("expected FRAME_TOO_LARGE, got {other:?}"),
+    }
+    // The connection is still usable after the oversized response was
+    // downgraded to an error.
+    assert!(client.stats("acme").is_ok());
+    small.shutdown();
+
+    // Same workload, raised caps on both sides: the snapshot flows.
+    let big = Server::start(
+        Arc::new(Engine::default()),
+        ServeConfig { max_frame_len: 1 << 22, ..ServeConfig::default() },
+    );
+    let mut client = Client::over_with(big.connect_stream().unwrap(), 1 << 22).unwrap();
+    for i in 0..24 {
+        let mut wide = Policy::new(&format!("task {i}"));
+        wide.set(
+            "send_email",
+            PolicyEntry::allow(
+                vec![ArgConstraint::regex("^alice$").unwrap()],
+                "a rationale string that occupies a fair amount of space in the snapshot",
+            ),
+        );
+        client.install("acme", &format!("task {i}"), &context, &wide).unwrap();
+    }
+    let receipt = client.snapshot("acme").unwrap();
+    assert_eq!(receipt.entries, 24);
+    let restored = client.restore("acme", &[], receipt.snapshot).unwrap();
+    assert_eq!(restored.skipped_live, 24, "every key is still live on this server");
+    big.shutdown();
+}
+
+#[test]
+fn oversized_client_requests_fail_locally_with_a_typed_error() {
+    // The client's own encode-side cap: an Install too large for the
+    // frame cap never leaves the process — the satellite regression for
+    // "encoder happily encodes, peer rejects".
+    let server = Server::start(
+        Arc::new(Engine::default()),
+        ServeConfig { max_frame_len: 512, ..ServeConfig::default() },
+    );
+    let mut client = Client::over_with(server.connect_stream().unwrap(), 512).unwrap();
+    let mut wide = Policy::new("t");
+    for i in 0..64 {
+        wide.set(&format!("api_{i:03}"), PolicyEntry::allow_any("some rationale text here"));
+    }
+    match client.install("acme", "t", &ctx(), &wide) {
+        Err(conseca_serve::ClientError::Wire(conseca_serve::WireError::Oversized { .. })) => {}
+        other => panic!("expected a local Oversized error, got {other:?}"),
+    }
+    // Nothing reached the server, and the connection is still in sync.
+    assert_eq!(server.engine().store().len(), 0);
+    assert!(client.stats("acme").is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn wire_revocations_gate_restores_even_with_an_empty_request_set() {
+    // The server keeps its own ledger of wire-revoked fingerprints: a
+    // client that restores last night's snapshot without knowing what
+    // was revoked since (revoked = []) must still not resurrect it.
+    let server = start();
+    let mut client = server.connect().unwrap();
+    let context = ctx();
+    client.install("acme", "t", &context, &policy()).unwrap();
+    let receipt = client.snapshot("acme").unwrap();
+    let fp = policy().fingerprint();
+    assert_eq!(client.revoke("acme", fp).unwrap(), 1);
+
+    let restored = client.restore("acme", &[], receipt.snapshot.clone()).unwrap();
+    assert_eq!(
+        (restored.installed, restored.skipped_revoked),
+        (0, 1),
+        "the server-side ledger must gate the restore"
+    );
+    assert!(client
+        .check("acme", "t", &context, &call("send_email", &["alice"]))
+        .unwrap()
+        .is_none());
+
+    // The ledger is per tenant: another tenant revoking the same
+    // fingerprint does not block acme... and a deliberate reinstall
+    // clears acme's entry, making the snapshot restorable again.
+    client.install("acme", "t", &context, &policy()).unwrap();
+    assert!(client
+        .check("acme", "t", &context, &call("send_email", &["alice"]))
+        .unwrap()
+        .is_some());
+    assert_eq!(client.flush("acme").unwrap(), 1);
+    let restored = client.restore("acme", &[], receipt.snapshot).unwrap();
+    assert_eq!(
+        (restored.installed, restored.skipped_revoked),
+        (1, 0),
+        "a deliberate reinstall clears the ledger entry"
+    );
     server.shutdown();
 }

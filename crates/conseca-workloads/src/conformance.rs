@@ -7,8 +7,9 @@
 //! batches — and the standing claim (docs/engine.md) is that moving
 //! between them never changes a verdict. This module turns that claim
 //! into a reusable harness: a [`PolicyOp`] script (install / check /
-//! revoke / reload / flush — the full policy lifecycle, hot-reload
-//! included) is run through each path and every op's outcome is reduced
+//! revoke / reload / flush / snapshot / warm-start — the full policy
+//! lifecycle, hot-reload and persistence included) is run through each
+//! path and every op's outcome is reduced
 //! to a canonical byte string via the serving codec, so "identical"
 //! means *byte*-identical, not merely same-allowed-bit.
 //!
@@ -16,12 +17,13 @@
 //! canonicalises a [`TaskReport`]'s enforcement-visible surface so full
 //! task runs can be compared across backends the same way.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use conseca_agent::TaskReport;
 use conseca_core::pipeline::PipelineBuilder;
 use conseca_core::{render_policy, Decision, Policy, TrustedContext};
-use conseca_engine::{Engine, TenantCounters};
+use conseca_engine::{decode_snapshot, Engine, TenantCounters};
 use conseca_serve::wire::encode_decision;
 use conseca_serve::{Client, ServeConfig, Server};
 use conseca_shell::ApiCall;
@@ -42,6 +44,15 @@ pub enum PolicyOp {
     Reload(Policy),
     /// Drop everything the tenant has installed.
     Flush,
+    /// Persist the tenant's installed policies into the script's
+    /// snapshot slot (overwriting any earlier snapshot).
+    Snapshot,
+    /// Warm-start from the snapshot slot. Every fingerprint a
+    /// [`PolicyOp::Revoke`] earlier in the script named is passed as the
+    /// revocation set, so the script proves install → snapshot → revoke
+    /// → warm-start cannot resurrect a revoked policy. Keys that are
+    /// live stay with the newer install.
+    WarmStart,
 }
 
 /// The four execution paths the conformance harness drives.
@@ -145,10 +156,36 @@ fn encode_reload(old: Option<u64>, policy: &Policy) -> Vec<u8> {
     out
 }
 
+/// Canonical `Snapshot` outcome: entry count plus the sorted source
+/// fingerprints — enough to prove every path captured exactly the same
+/// policies without comparing transport-private bytes.
+fn encode_snapshot_outcome(fingerprints: &mut Vec<u64>) -> Vec<u8> {
+    fingerprints.sort_unstable();
+    let mut out = (fingerprints.len() as u64).to_be_bytes().to_vec();
+    for fp in fingerprints {
+        out.extend(fp.to_be_bytes());
+    }
+    out
+}
+
+/// Canonical `WarmStart` outcome: (installed, skipped_revoked,
+/// skipped_live), which partition the snapshot's entries exactly.
+fn encode_warm_start(installed: u64, skipped_revoked: u64, skipped_live: u64) -> Vec<u8> {
+    let mut out = installed.to_be_bytes().to_vec();
+    out.extend(skipped_revoked.to_be_bytes());
+    out.extend(skipped_live.to_be_bytes());
+    out
+}
+
 /// The in-process interpreted reference: a one-key "store" holding the
 /// currently installed policy, screened through the enforcement pipeline.
 fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
     let mut current: Option<Arc<Policy>> = None;
+    // Snapshot slot + revocation set: the pipeline's one-key "store"
+    // mirrors the persistence semantics the engine-backed paths get
+    // from `PolicyStore::{export,import}_snapshot`.
+    let mut snapshot: Option<Vec<Arc<Policy>>> = None;
+    let mut revoked_fps: HashSet<u64> = HashSet::new();
     let screen = |policy: &Policy, calls: &[ApiCall]| -> Vec<Decision> {
         PipelineBuilder::new()
             .policy(policy)
@@ -179,6 +216,7 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
                 encode_opt_batch(&decisions)
             }
             PolicyOp::Revoke(fingerprint) => {
+                revoked_fps.insert(*fingerprint);
                 let removed = match &current {
                     Some(p) if p.fingerprint() == *fingerprint => {
                         current = None;
@@ -193,6 +231,26 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
                 encode_reload(old, policy)
             }
             PolicyOp::Flush => encode_count(current.take().map(|_| 1).unwrap_or(0)),
+            PolicyOp::Snapshot => {
+                let entries: Vec<Arc<Policy>> = current.iter().cloned().collect();
+                let mut fps: Vec<u64> = entries.iter().map(|p| p.fingerprint()).collect();
+                snapshot = Some(entries);
+                encode_snapshot_outcome(&mut fps)
+            }
+            PolicyOp::WarmStart => {
+                let (mut installed, mut skipped_revoked, mut skipped_live) = (0u64, 0u64, 0u64);
+                for policy in snapshot.clone().unwrap_or_default() {
+                    if revoked_fps.contains(&policy.fingerprint()) {
+                        skipped_revoked += 1;
+                    } else if current.is_some() {
+                        skipped_live += 1;
+                    } else {
+                        current = Some(policy);
+                        installed += 1;
+                    }
+                }
+                encode_warm_start(installed, skipped_revoked, skipped_live)
+            }
         })
         .collect()
 }
@@ -204,6 +262,8 @@ fn run_engine(
     ops: &[PolicyOp],
 ) -> (Vec<Vec<u8>>, TenantCounters) {
     let engine = Engine::default();
+    let mut snapshot: Option<Vec<u8>> = None;
+    let mut revoked_fps: HashSet<u64> = HashSet::new();
     let outcomes = ops
         .iter()
         .map(|op| match op {
@@ -218,6 +278,7 @@ fn run_engine(
                 encode_opt_batch(&engine.check_all(tenant, task, context, calls))
             }
             PolicyOp::Revoke(fingerprint) => {
+                revoked_fps.insert(*fingerprint);
                 encode_count(engine.revoke_fingerprint(tenant, *fingerprint) as u64)
             }
             PolicyOp::Reload(policy) => {
@@ -225,6 +286,27 @@ fn run_engine(
                 encode_reload(receipt.old_fingerprint, policy)
             }
             PolicyOp::Flush => encode_count(engine.flush_tenant(tenant) as u64),
+            PolicyOp::Snapshot => {
+                let exported = engine.store().export_snapshot(tenant).expect("export");
+                let decoded = decode_snapshot(&exported.bytes).expect("own snapshot decodes");
+                let mut fps: Vec<u64> = decoded.entries.iter().map(|e| e.source_fp).collect();
+                snapshot = Some(exported.bytes);
+                encode_snapshot_outcome(&mut fps)
+            }
+            PolicyOp::WarmStart => match &snapshot {
+                None => encode_warm_start(0, 0, 0),
+                Some(bytes) => {
+                    let report = engine
+                        .store()
+                        .import_snapshot(tenant, bytes, &revoked_fps)
+                        .expect("warm start");
+                    encode_warm_start(
+                        report.installed as u64,
+                        report.skipped_revoked as u64,
+                        report.skipped_live as u64,
+                    )
+                }
+            },
         })
         .collect();
     (outcomes, engine.tenant_counters(tenant))
@@ -239,6 +321,8 @@ fn run_served(
 ) -> (Vec<Vec<u8>>, TenantCounters) {
     let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
     let mut client: Client = server.connect().expect("handshake");
+    let mut snapshot: Option<Vec<u8>> = None;
+    let mut revoked_fps: Vec<u64> = Vec::new();
     let outcomes = ops
         .iter()
         .map(|op| match op {
@@ -264,6 +348,9 @@ fn run_served(
                 encode_opt_batch(&client.check_all(tenant, task, context, calls).expect("batch"))
             }
             PolicyOp::Revoke(fingerprint) => {
+                if !revoked_fps.contains(fingerprint) {
+                    revoked_fps.push(*fingerprint);
+                }
                 encode_count(client.revoke(tenant, *fingerprint).expect("revoke"))
             }
             PolicyOp::Reload(policy) => {
@@ -281,6 +368,25 @@ fn run_served(
                 out
             }
             PolicyOp::Flush => encode_count(client.flush(tenant).expect("flush")),
+            PolicyOp::Snapshot => {
+                let receipt = client.snapshot(tenant).expect("snapshot");
+                let decoded = decode_snapshot(&receipt.snapshot).expect("served snapshot decodes");
+                let mut fps: Vec<u64> = decoded.entries.iter().map(|e| e.source_fp).collect();
+                snapshot = Some(receipt.snapshot);
+                encode_snapshot_outcome(&mut fps)
+            }
+            PolicyOp::WarmStart => match &snapshot {
+                None => encode_warm_start(0, 0, 0),
+                Some(bytes) => {
+                    let receipt =
+                        client.restore(tenant, &revoked_fps, bytes.clone()).expect("warm start");
+                    encode_warm_start(
+                        receipt.installed,
+                        receipt.skipped_revoked,
+                        receipt.skipped_live,
+                    )
+                }
+            },
         })
         .collect();
     let counters = client.stats(tenant).expect("stats");

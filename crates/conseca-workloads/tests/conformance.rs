@@ -149,6 +149,88 @@ fn revoking_one_fingerprint_leaves_other_policies_standing() {
 }
 
 #[test]
+fn install_snapshot_revoke_warm_start_check_cannot_resurrect_in_any_mode() {
+    // The persistence acceptance criterion: a snapshot taken while a
+    // policy was live, then the policy is revoked, then a warm start
+    // from that snapshot — the revoked fingerprint must stay dead in
+    // every execution mode, byte-identically, with exact counter
+    // reconciliation.
+    let stale = stale_policy();
+    let probe = call("send_email", &["alice", "bob@work.com"]);
+    let ops = vec![
+        PolicyOp::Install(stale.clone()),
+        PolicyOp::Check(probe.clone()),
+        PolicyOp::Snapshot,
+        PolicyOp::Revoke(stale.fingerprint()),
+        PolicyOp::Check(probe.clone()), // revoked: fail closed
+        PolicyOp::WarmStart,            // must NOT bring the policy back
+        PolicyOp::Check(probe.clone()), // still fail closed
+        PolicyOp::CheckBatch(vec![probe.clone()]),
+    ];
+    let transcripts = run_script_everywhere("acme", "respond", &ctx(), &ops);
+    assert_conformant(&transcripts);
+
+    let reference = &transcripts[0].outcomes;
+    assert_eq!(reference[1][0], 1, "pre-revoke check carries a decision");
+    let mut snapshot_outcome = 1u64.to_be_bytes().to_vec();
+    snapshot_outcome.extend(stale.fingerprint().to_be_bytes());
+    assert_eq!(reference[2], snapshot_outcome, "one entry, the stale fingerprint");
+    assert_eq!(reference[3], 1u64.to_be_bytes().to_vec(), "the revoke swept it");
+    assert_eq!(reference[4], vec![0], "post-revoke check is absent");
+    let mut warm_start_outcome = 0u64.to_be_bytes().to_vec(); // installed
+    warm_start_outcome.extend(1u64.to_be_bytes()); // skipped_revoked
+    warm_start_outcome.extend(0u64.to_be_bytes()); // skipped_live
+    assert_eq!(reference[5], warm_start_outcome, "the warm start skipped the revoked entry");
+    assert_eq!(reference[6], vec![0], "post-warm-start check is STILL absent: no resurrection");
+    assert_eq!(reference[7], vec![0], "…and so is the batch");
+
+    // Counter reconciliation across every engine-backed path.
+    let engine_counters = transcripts.iter().filter_map(|t| t.counters).collect::<Vec<_>>();
+    assert_eq!(engine_counters.len(), 3);
+    for counters in &engine_counters {
+        assert_eq!(counters.revoked, 1, "exactly the swept snapshot");
+        assert_eq!(counters.reloads, 0);
+        assert_eq!(counters.checks, 1, "only the pre-revoke check produced a decision");
+        assert_eq!(counters.hits, 1);
+        assert_eq!(counters.misses, 3, "the three fail-closed post-revoke ops");
+    }
+    assert_eq!(engine_counters[0], engine_counters[1]);
+    assert_eq!(engine_counters[1], engine_counters[2]);
+}
+
+#[test]
+fn warm_start_restores_flushed_policies_in_every_mode() {
+    // The positive half: install → snapshot → flush → warm-start → check
+    // serves decisions again, byte-identically, and a second warm start
+    // over the now-live key defers to it.
+    let stale = stale_policy();
+    let probe = call("send_email", &["alice", "bob@work.com"]);
+    let ops = vec![
+        PolicyOp::Install(stale.clone()),
+        PolicyOp::Snapshot,
+        PolicyOp::Flush,
+        PolicyOp::Check(probe.clone()), // flushed: absent
+        PolicyOp::WarmStart,            // restore from the snapshot
+        PolicyOp::Check(probe.clone()), // served again, same decision
+        PolicyOp::WarmStart,            // live key: the restore defers
+        PolicyOp::Check(probe.clone()),
+    ];
+    let transcripts = run_script_everywhere("acme", "respond", &ctx(), &ops);
+    assert_conformant(&transcripts);
+    let reference = &transcripts[0].outcomes;
+    assert_eq!(reference[3], vec![0], "post-flush check is absent");
+    let mut first_restore = 1u64.to_be_bytes().to_vec();
+    first_restore.extend(0u64.to_be_bytes());
+    first_restore.extend(0u64.to_be_bytes());
+    assert_eq!(reference[4], first_restore, "the flushed policy is restored");
+    assert_eq!(reference[5][..2], [1, 1], "the restored policy allows the send again");
+    let mut second_restore = 0u64.to_be_bytes().to_vec();
+    second_restore.extend(0u64.to_be_bytes());
+    second_restore.extend(1u64.to_be_bytes());
+    assert_eq!(reference[6], second_restore, "a live key defers to the newer install");
+}
+
+#[test]
 fn full_task_runs_are_byte_identical_across_agent_backends() {
     // The agent-level half of the harness: the same (task, trial, mode)
     // cell through the in-process, engine-backed, and server-backed

@@ -1,0 +1,91 @@
+//! Persistence quickstart: snapshot a tenant's compiled policies to
+//! disk and warm-start a fresh engine from the file.
+//!
+//! Simulates two process lifetimes. Process one generates policies for
+//! a few tasks (the expensive step the paper's §7 caching discussion
+//! wants to amortise), installs them into an engine, and snapshots the
+//! tenant to disk — then revokes one policy, the way a hot-reload would
+//! when its trusted context stops holding. Process two warm-starts a
+//! brand-new engine from the file with that revocation set: the live
+//! policies come back compiled and serving, the revoked one stays dead.
+//!
+//! Run with: `cargo run --example warm_start`
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use conseca_core::{PolicyGenerator, TrustedContext};
+use conseca_engine::{Engine, ReloadCoordinator};
+use conseca_llm::TemplatePolicyModel;
+use conseca_shell::{default_registry, parse_command};
+use conseca_workloads::golden_examples;
+
+fn main() {
+    let registry = default_registry();
+    let mut ctx = TrustedContext::for_user("alice");
+    ctx.email_addresses = vec!["alice@work.com".into(), "bob@work.com".into()];
+    ctx.fs_tree = "alice/\n  Documents/\n".into();
+    let tasks = [
+        "respond to urgent work emails",
+        "archive last week's resolved threads",
+        "summarise the Documents folder",
+    ];
+    let snapshot_path = std::env::temp_dir().join("conseca-warm-start-example.csnap");
+
+    // ---- process one: generate, install, snapshot, revoke ----------
+    let engine = Arc::new(Engine::default());
+    let coordinator = ReloadCoordinator::new(Arc::clone(&engine));
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    let mut fingerprints = Vec::new();
+    for task in &tasks {
+        let (policy, _) = generator.set_policy(task, &ctx);
+        coordinator.install("acme", task, &ctx, &policy);
+        fingerprints.push(policy.fingerprint());
+        println!("generated + installed  {:016x}  {task}", policy.fingerprint());
+    }
+
+    let receipt = engine.snapshot_to("acme", &snapshot_path).expect("snapshot");
+    println!(
+        "\nsnapshot: {} entries, {} bytes -> {}",
+        receipt.entries,
+        receipt.bytes,
+        snapshot_path.display()
+    );
+
+    // After the snapshot, task three's context stops holding: revoke it.
+    let mut sink = conseca_core::AuditLog::new();
+    coordinator.revoke("acme", tasks[2], "context no longer holds", &mut sink);
+    let revoked: HashSet<u64> = coordinator.revoked_fingerprints();
+    println!("revoked after snapshot: {:016x} ({})", fingerprints[2], tasks[2]);
+
+    // ---- process two: warm-start a brand-new engine ----------------
+    let fresh = Arc::new(Engine::default());
+    let report = fresh.warm_start_from("acme", &snapshot_path, &revoked).expect("warm start");
+    println!(
+        "\nwarm start: installed={} skipped_revoked={} skipped_live={}",
+        report.installed, report.skipped_revoked, report.skipped_live
+    );
+    assert_eq!(report.installed, 2);
+    assert_eq!(report.skipped_revoked, 1);
+
+    // The restored policies serve immediately — no regeneration, no
+    // compile on the request path.
+    let call = parse_command("send_email alice bob@work.com 'urgent: build' 'done'", &registry)
+        .expect("parses");
+    let decision = fresh.check("acme", tasks[0], &ctx, &call).expect("restored policy serves");
+    println!(
+        "\ncheck under restored policy: {} — {}",
+        if decision.allowed { "ALLOWED" } else { "DENIED" },
+        decision.rationale
+    );
+
+    // The revoked task stays fail-closed: no policy, no decision.
+    assert!(
+        fresh.check("acme", tasks[2], &ctx, &call).is_none(),
+        "a revoked fingerprint must not be resurrected by a warm start"
+    );
+    println!("check under revoked task: absent (fail closed) — as it must be");
+
+    let _ = std::fs::remove_file(&snapshot_path);
+}
