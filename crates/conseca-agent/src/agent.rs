@@ -522,6 +522,14 @@ impl<M: PolicyModel> Agent<M> {
         // task, not one policy round.
         let mut trajectory_layer =
             self.config.trajectory.clone().map(conseca_core::pipeline::TrajectoryLayer::new);
+        // The *policy's own* trajectory block (generated constraints the
+        // policy carries, as opposed to the operator-configured layer
+        // above) is enforced through an interpreted layer rebuilt each
+        // round against that round's policy — but its recorded history is
+        // owned here and re-threaded through every rebuild, so a mid-task
+        // reload regenerating the policy can never reset spent budgets,
+        // fired ordering triggers, or window history.
+        let mut policy_trajectory_history: Vec<conseca_shell::ApiCall> = Vec::new();
 
         loop {
             let (policy, generation, backend, context) = self.resolve_policy(task);
@@ -556,6 +564,12 @@ impl<M: PolicyModel> Agent<M> {
             // stream. The policy layer comes from the engine's compiled
             // snapshot when one is attached, and borrows the interpreted
             // policy otherwise.
+            let mut policy_trajectory_layer = (!policy.trajectory.is_empty()).then(|| {
+                conseca_core::pipeline::TrajectoryLayer::with_history(
+                    policy.trajectory.clone(),
+                    std::mem::take(&mut policy_trajectory_history),
+                )
+            });
             let mut builder =
                 PipelineBuilder::new().max_consecutive_denials(self.config.max_consecutive_denials);
             builder = match backend {
@@ -577,6 +591,9 @@ impl<M: PolicyModel> Agent<M> {
                 }
                 ResolvedBackend::Interpreted => builder.policy(&policy),
             };
+            if let Some(layer) = policy_trajectory_layer.as_mut() {
+                builder = builder.layer(layer);
+            }
             if let Some(layer) = trajectory_layer.as_mut() {
                 builder = builder.layer(layer);
             }
@@ -748,7 +765,16 @@ impl<M: PolicyModel> Agent<M> {
                     });
                     return report;
                 }
-                RoundEnd::Reload => continue,
+                RoundEnd::Reload => {
+                    // End the session's borrow, then reclaim the recorded
+                    // history so the next round's rebuilt layer carries
+                    // the budgets this round spent.
+                    drop(session);
+                    if let Some(layer) = policy_trajectory_layer.take() {
+                        policy_trajectory_history = layer.into_history();
+                    }
+                    continue;
+                }
             }
         }
     }
@@ -1195,6 +1221,79 @@ mod tests {
         assert_eq!(revoked, old_fp);
         assert_ne!(old_fp, new_fp, "the regenerated policy differs");
         assert_eq!(report.policy.fingerprint(), old_fp, "the report keeps the first policy");
+    }
+
+    /// A model whose policies carry their own trajectory block: `ls` may
+    /// run once per task, however many times the policy is regenerated.
+    struct RateLimitedModel;
+
+    impl conseca_core::PolicyModel for RateLimitedModel {
+        fn generate(&self, request: &conseca_core::PolicyRequest) -> conseca_core::PolicyDraft {
+            let mut policy = Policy::new(&request.task);
+            policy.set("ls", conseca_core::PolicyEntry::allow_any("listing is fine"));
+            policy.set("write_file", conseca_core::PolicyEntry::allow_any("writing is the task"));
+            policy.set_trajectory(conseca_core::TrajectoryPolicy::new().limit(
+                "ls",
+                1,
+                "one listing is plenty",
+            ));
+            conseca_core::PolicyDraft { policy, notes: Vec::new() }
+        }
+
+        fn name(&self) -> &str {
+            "rate-limited-model"
+        }
+    }
+
+    #[test]
+    fn policy_reload_does_not_reset_spent_trajectory_budgets() {
+        // Regression: the policy-carried trajectory layer used to be
+        // rebuilt from scratch each policy round, so a mid-task reload
+        // (triggered here by the mutating write drifting the trusted
+        // context) handed the planner a fresh rate limit. The recorded
+        // history must survive the reload: the second `ls` is screened by
+        // the *regenerated* policy and still denied.
+        let mut fs = Vfs::new();
+        fs.add_user("alice", false).unwrap();
+        let vfs = SharedVfs::new(fs);
+        let mail = MailSystem::new(vfs.clone(), "work.com");
+        mail.ensure_mailbox("alice").unwrap();
+        let registry = conseca_shell::default_registry();
+        let generator = PolicyGenerator::new(RateLimitedModel, &registry);
+        let mut agent = Agent::new(
+            vfs,
+            mail,
+            "alice",
+            registry,
+            generator,
+            AgentConfig::for_mode(PolicyMode::Conseca),
+        );
+        let planner = simple_planner(vec![
+            "ls /home/alice",
+            "write_file /home/alice/scratch.txt 'v'",
+            "ls /home/alice",
+        ]);
+        let report = agent.run_task("tidy my files", planner);
+        assert_eq!(report.reloads, 1, "the mutating write must drift the context");
+        assert_eq!(report.executed, 2, "the first ls and the write");
+        assert_eq!(report.denials, 1, "the post-reload ls must still be rate-limited");
+        assert_eq!(report.denied_commands, vec!["ls /home/alice"]);
+        let denial = agent
+            .audit()
+            .records()
+            .iter()
+            .find_map(|r| match &r.event {
+                AuditEvent::ActionDecision { allowed: false, violation, .. } => {
+                    Some(violation.clone())
+                }
+                _ => None,
+            })
+            .expect("a denial was audited")
+            .expect("trajectory denials carry a violation");
+        assert!(
+            denial.contains("limit 1"),
+            "the denial should name the carried-over rate limit, got {denial:?}"
+        );
     }
 
     #[test]

@@ -16,9 +16,11 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 
 use conseca_core::{
     is_allowed, ArgConstraint, CmpOp, Policy, PolicyEntry, PolicyGenerator, Predicate,
-    TrustedContext,
+    TrajectoryEnforcer, TrajectoryPolicy, TrustedContext,
 };
-use conseca_engine::{decode_snapshot, CheckJob, CompiledPolicy, Engine, EngineConfig, EngineKey};
+use conseca_engine::{
+    decode_snapshot, CheckJob, CompiledPolicy, CompiledTrajectory, Engine, EngineConfig, EngineKey,
+};
 use conseca_llm::TemplatePolicyModel;
 use conseca_shell::ApiCall;
 use conseca_workloads::golden_examples;
@@ -251,12 +253,84 @@ fn bench_warm_start(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trajectory_sequences(c: &mut Criterion) {
+    // Compiled trajectory automata vs. the interpreted enforcer over
+    // full sequences (the acceptance target: compiled ≥1.5× on
+    // sequence-heavy workloads). Each iteration drives the whole
+    // sequence check-and-record from a fresh state, so the interpreted
+    // side pays its history scans and the compiled side its counter
+    // updates, end to end.
+    const SEQ: usize = 256;
+    let apis = ["send_email", "read_email", "read_secret", "search", "ls", "ping"];
+    let calls: Vec<ApiCall> = (0..SEQ)
+        .map(|i| ApiCall::new("t", apis[i % apis.len()], vec![format!("arg-{}", i % 7)]))
+        .collect();
+
+    // Budget-heavy: a total budget plus a rate limit on every API. The
+    // interpreted side counts the full history per rate rule per check;
+    // the compiled side bumps per-rule counters.
+    let budget_heavy = {
+        let mut t = TrajectoryPolicy::new().budget(SEQ * 2);
+        for api in apis {
+            t = t.limit(api, SEQ, "headroom: never actually trips");
+        }
+        t
+    };
+    // Ordering-heavy: latched order rules and windows across the API
+    // pool. The interpreted side rescans history for each trigger; the
+    // compiled side reads latched booleans and pruned step deques.
+    let ordering_heavy = {
+        let mut t = TrajectoryPolicy::new();
+        for pair in apis.windows(2) {
+            t = t.forbid_after(pair[0], pair[1], "declared order");
+        }
+        for api in &apis[..3] {
+            t = t.limit_in_window(api, SEQ, 16, "headroom: never actually trips");
+        }
+        t
+    };
+
+    let mut group = c.benchmark_group(format!("engine_trajectory_seq{SEQ}"));
+    group.sample_size(10);
+    for (label, policy) in [("budget_heavy", &budget_heavy), ("ordering_heavy", &ordering_heavy)] {
+        let compiled = CompiledTrajectory::compile(policy).expect("non-empty trajectory");
+        group.bench_function(format!("{label}/interpreted"), |b| {
+            b.iter(|| {
+                let mut enforcer = TrajectoryEnforcer::new(policy.clone());
+                let mut allowed = 0usize;
+                for call in &calls {
+                    if enforcer.check(black_box(call)).allowed {
+                        enforcer.record(call);
+                        allowed += 1;
+                    }
+                }
+                allowed
+            })
+        });
+        group.bench_function(format!("{label}/compiled"), |b| {
+            b.iter(|| {
+                let mut state = compiled.new_state();
+                let mut allowed = 0usize;
+                for call in &calls {
+                    if compiled.check(&state, black_box(call)).allowed {
+                        compiled.record(&mut state, call);
+                        allowed += 1;
+                    }
+                }
+                allowed
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_compile,
     bench_hot_check,
     bench_store_path,
     bench_thread_scaling,
-    bench_warm_start
+    bench_warm_start,
+    bench_trajectory_sequences
 );
 criterion_main!(benches);

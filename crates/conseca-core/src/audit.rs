@@ -64,6 +64,11 @@ pub enum AuditEvent {
         rationale: String,
         /// Violation description when denied.
         violation: Option<String>,
+        /// The stable [`Violation::kind`](crate::Violation::kind) label of
+        /// the rule that fired (e.g. `trajectory-budget` vs
+        /// `trajectory-window`), so audits can tell *which kind* of rule
+        /// denied the call without parsing the prose.
+        violation_kind: Option<String>,
     },
     /// An approved action was executed.
     ActionExecuted {
@@ -230,12 +235,16 @@ impl AuditLog {
                     "policy-reloaded task={task:?} fp={old_fingerprint:016x}->{new_fingerprint:016x} ctx={old_context:016x}->{new_context:016x}"
                 ),
                 AuditEvent::ActionProposed { call } => format!("proposed {call}"),
-                AuditEvent::ActionDecision { call, allowed, rationale, violation } => {
+                AuditEvent::ActionDecision { call, allowed, rationale, violation, violation_kind } => {
                     if *allowed {
                         format!("allowed {call} — {rationale}")
                     } else {
+                        let kind = violation_kind
+                            .as_deref()
+                            .map(|k| format!("[{k}] "))
+                            .unwrap_or_default();
                         format!(
-                            "DENIED {call} — {} ({rationale})",
+                            "DENIED {call} — {kind}{} ({rationale})",
                             violation.as_deref().unwrap_or("denied")
                         )
                     }
@@ -305,7 +314,7 @@ fn record_json(r: &AuditRecord) -> Json {
         AuditEvent::ActionProposed { call } => {
             ("action_proposed", vec![("call", Json::str(call.clone()))])
         }
-        AuditEvent::ActionDecision { call, allowed, rationale, violation } => (
+        AuditEvent::ActionDecision { call, allowed, rationale, violation, violation_kind } => (
             "action_decision",
             vec![
                 ("call", Json::str(call.clone())),
@@ -314,6 +323,10 @@ fn record_json(r: &AuditRecord) -> Json {
                 (
                     "violation",
                     violation.as_ref().map(|v| Json::str(v.clone())).unwrap_or(Json::Null),
+                ),
+                (
+                    "violation_kind",
+                    violation_kind.as_ref().map(|v| Json::str(v.clone())).unwrap_or(Json::Null),
                 ),
             ],
         ),
@@ -367,6 +380,7 @@ mod tests {
             allowed: true,
             rationale: "listing needed".into(),
             violation: None,
+            violation_kind: None,
         });
         log.record(AuditEvent::ActionExecuted {
             call: "ls /home/alice".into(),
@@ -378,6 +392,7 @@ mod tests {
             allowed: false,
             rationale: "no deletions".into(),
             violation: Some("the policy forbids this API call".into()),
+            violation_kind: Some("policy-forbidden".into()),
         });
         log.record(AuditEvent::TaskFinished {
             task: "backup files".into(),
@@ -414,6 +429,53 @@ mod tests {
         assert!(json.contains("\"allowed\":false"));
         // Every record carries a seq.
         assert_eq!(json.matches("\"seq\":").count(), 6);
+    }
+
+    #[test]
+    fn trajectory_denials_name_the_specific_rule_in_both_sinks() {
+        use crate::enforce::Violation;
+        let mut log = AuditLog::new();
+        let cases = [
+            Violation::BudgetExhausted { max: 4 },
+            Violation::RateLimited { api: "send_email".into(), limit: 2, used: 2 },
+            Violation::WindowRateLimited { api: "send_email".into(), limit: 1, used: 1, window: 5 },
+            Violation::OrderForbidden { api: "send_email".into(), after: "read_secret".into() },
+        ];
+        for v in &cases {
+            log.record(AuditEvent::ActionDecision {
+                call: "send_email a b s x".into(),
+                allowed: false,
+                rationale: "r".into(),
+                violation: Some(v.to_string()),
+                violation_kind: Some(v.kind().to_owned()),
+            });
+        }
+        let text = log.to_text();
+        // The text sink tags each denial with the rule kind and keeps the
+        // mechanics (limits, windows) from the violation rendering.
+        assert!(text.contains("[trajectory-budget] the task's total action budget of 4"), "{text}");
+        assert!(text.contains("[trajectory-rate-limit] send_email already called 2"), "{text}");
+        assert!(
+            text.contains("[trajectory-window] send_email already called 1 time(s) in the last 5 step(s), limit 1 per window"),
+            "{text}"
+        );
+        assert!(
+            text.contains("[trajectory-order] send_email is forbidden after read_secret"),
+            "{text}"
+        );
+        let json = log.to_json();
+        assert!(json.contains("\"violation_kind\":\"trajectory-budget\""), "{json}");
+        assert!(json.contains("\"violation_kind\":\"trajectory-window\""), "{json}");
+        assert!(json.contains("\"violation_kind\":\"trajectory-order\""), "{json}");
+        assert!(json.contains("\"violation_kind\":\"trajectory-rate-limit\""), "{json}");
+        assert!(json.contains("limit 1 per window"), "{json}");
+    }
+
+    #[test]
+    fn allowed_decisions_have_null_violation_kind_in_json() {
+        let json = sample_log().to_json();
+        assert!(json.contains("\"violation_kind\":null"), "{json}");
+        assert!(json.contains("\"violation_kind\":\"policy-forbidden\""), "{json}");
     }
 
     #[test]

@@ -35,12 +35,22 @@ use crate::constraint::{ArgConstraint, CmpOp, Predicate};
 use crate::context::TrustedContext;
 use crate::enforce::{Decision, Violation};
 use crate::policy::{Policy, PolicyEntry};
+use crate::trajectory::{
+    OrderRule, PriorCondition, RateLimit, SequenceRule, TrajectoryPolicy, WindowLimit,
+};
 
 /// Version of the byte layout this module implements. Consumers that
 /// persist codec output (the engine's snapshot files) record and verify
 /// it; the wire protocol's own `PROTOCOL_VERSION` tracks message-level
 /// changes on top of it.
-pub const CODEC_VERSION: u16 = 1;
+///
+/// History:
+/// - v1: initial layout.
+/// - v2: [`Policy`] carries a trailing trajectory block (budget,
+///   rate limits, window limits, order rules, sequence rules), and
+///   [`Violation`] gains the `WindowRateLimited` (tag 7) and
+///   `OrderForbidden` (tag 8) variants.
+pub const CODEC_VERSION: u16 = 2;
 
 /// Maximum nesting depth the decoder accepts for [`Predicate`] (and
 /// [`Violation`]) trees — a malicious payload must not be able to
@@ -381,6 +391,69 @@ pub fn put_policy(w: &mut Writer, policy: &Policy) -> Result<(), WireError> {
         }
         w.str_(&entry.rationale, "entry.rationale")?;
     }
+    put_trajectory(w, &policy.trajectory)
+}
+
+fn put_prior_condition(w: &mut Writer, cond: &PriorCondition) -> Result<(), WireError> {
+    match cond {
+        PriorCondition::ApiCalled(api) => {
+            w.u8(0, "prior_condition")?;
+            w.str_(api, "prior_condition.api")
+        }
+        PriorCondition::ApiCalledWithArg { api, index, needle } => {
+            w.u8(1, "prior_condition")?;
+            w.str_(api, "prior_condition.api")?;
+            w.u64(*index as u64, "prior_condition.index")?;
+            w.str_(needle, "prior_condition.needle")
+        }
+        PriorCondition::SameArgAsPrior { api, prior_index, this_index } => {
+            w.u8(2, "prior_condition")?;
+            w.str_(api, "prior_condition.api")?;
+            w.u64(*prior_index as u64, "prior_condition.prior_index")?;
+            w.u64(*this_index as u64, "prior_condition.this_index")
+        }
+    }
+}
+
+/// Encodes a [`TrajectoryPolicy`] — the codec-v2 trailing block of
+/// [`put_policy`].
+///
+/// # Errors
+///
+/// [`WireError::Oversized`] when the writer's limit is exceeded.
+pub fn put_trajectory(w: &mut Writer, t: &TrajectoryPolicy) -> Result<(), WireError> {
+    match t.max_total_actions {
+        None => w.bool_(false, "trajectory.budget")?,
+        Some(max) => {
+            w.bool_(true, "trajectory.budget")?;
+            w.u64(max as u64, "trajectory.budget")?;
+        }
+    }
+    w.count(t.rate_limits.len(), "trajectory.rate_limits")?;
+    for l in &t.rate_limits {
+        w.str_(&l.api, "rate_limit.api")?;
+        w.u64(l.max_calls as u64, "rate_limit.max_calls")?;
+        w.str_(&l.rationale, "rate_limit.rationale")?;
+    }
+    w.count(t.window_limits.len(), "trajectory.window_limits")?;
+    for l in &t.window_limits {
+        w.str_(&l.api, "window_limit.api")?;
+        w.u64(l.max_calls as u64, "window_limit.max_calls")?;
+        w.u64(l.window as u64, "window_limit.window")?;
+        w.str_(&l.rationale, "window_limit.rationale")?;
+    }
+    w.count(t.order_rules.len(), "trajectory.order_rules")?;
+    for o in &t.order_rules {
+        w.str_(&o.api, "order_rule.api")?;
+        w.str_(&o.after, "order_rule.after")?;
+        w.str_(&o.rationale, "order_rule.rationale")?;
+    }
+    w.count(t.sequence_rules.len(), "trajectory.sequence_rules")?;
+    for r in &t.sequence_rules {
+        w.str_(&r.api, "sequence_rule.api")?;
+        put_prior_condition(w, &r.requires)?;
+        w.str_(&r.rationale, "sequence_rule.rationale")?;
+    }
     Ok(())
 }
 
@@ -423,6 +496,18 @@ pub fn put_violation(w: &mut Writer, v: &Violation) -> Result<(), WireError> {
                     put_violation(w, inner)
                 }
             }
+        }
+        Violation::WindowRateLimited { api, limit, used, window } => {
+            w.u8(7, "violation")?;
+            w.str_(api, "violation.api")?;
+            w.u64(*limit as u64, "violation.limit")?;
+            w.u64(*used as u64, "violation.used")?;
+            w.u64(*window as u64, "violation.window")
+        }
+        Violation::OrderForbidden { api, after } => {
+            w.u8(8, "violation")?;
+            w.str_(api, "violation.api")?;
+            w.str_(after, "violation.after")
         }
     }
 }
@@ -696,7 +781,73 @@ impl<'a> Reader<'a> {
             let rationale = self.str_("entry.rationale")?;
             policy.set(&api, PolicyEntry { can_execute, arg_constraints, rationale });
         }
+        policy.trajectory = self.trajectory()?;
         Ok(policy)
+    }
+
+    fn prior_condition(&mut self) -> Result<PriorCondition, WireError> {
+        match self.u8("prior_condition")? {
+            0 => Ok(PriorCondition::ApiCalled(self.str_("prior_condition.api")?)),
+            1 => Ok(PriorCondition::ApiCalledWithArg {
+                api: self.str_("prior_condition.api")?,
+                index: self.u64("prior_condition.index")? as usize,
+                needle: self.str_("prior_condition.needle")?,
+            }),
+            2 => Ok(PriorCondition::SameArgAsPrior {
+                api: self.str_("prior_condition.api")?,
+                prior_index: self.u64("prior_condition.prior_index")? as usize,
+                this_index: self.u64("prior_condition.this_index")? as usize,
+            }),
+            tag => Err(WireError::UnknownEnumTag { what: "prior_condition", tag }),
+        }
+    }
+
+    /// Decodes a [`TrajectoryPolicy`] (codec v2). Unknown rule kinds are
+    /// rejected, never skipped — a policy with constraints this build
+    /// cannot enforce must not be accepted in weakened form.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`].
+    pub fn trajectory(&mut self) -> Result<TrajectoryPolicy, WireError> {
+        let mut t = TrajectoryPolicy::new();
+        if self.bool_("trajectory.budget")? {
+            t.max_total_actions = Some(self.u64("trajectory.budget")? as usize);
+        }
+        let rate_limits = self.u32("trajectory.rate_limits")? as usize;
+        for _ in 0..rate_limits {
+            t.rate_limits.push(RateLimit {
+                api: self.str_("rate_limit.api")?,
+                max_calls: self.u64("rate_limit.max_calls")? as usize,
+                rationale: self.str_("rate_limit.rationale")?,
+            });
+        }
+        let window_limits = self.u32("trajectory.window_limits")? as usize;
+        for _ in 0..window_limits {
+            t.window_limits.push(WindowLimit {
+                api: self.str_("window_limit.api")?,
+                max_calls: self.u64("window_limit.max_calls")? as usize,
+                window: self.u64("window_limit.window")? as usize,
+                rationale: self.str_("window_limit.rationale")?,
+            });
+        }
+        let order_rules = self.u32("trajectory.order_rules")? as usize;
+        for _ in 0..order_rules {
+            t.order_rules.push(OrderRule {
+                api: self.str_("order_rule.api")?,
+                after: self.str_("order_rule.after")?,
+                rationale: self.str_("order_rule.rationale")?,
+            });
+        }
+        let sequence_rules = self.u32("trajectory.sequence_rules")? as usize;
+        for _ in 0..sequence_rules {
+            t.sequence_rules.push(SequenceRule {
+                api: self.str_("sequence_rule.api")?,
+                requires: self.prior_condition()?,
+                rationale: self.str_("sequence_rule.rationale")?,
+            });
+        }
+        Ok(t)
     }
 
     fn violation_at(&mut self, depth: usize) -> Result<Violation, WireError> {
@@ -729,6 +880,16 @@ impl<'a> Reader<'a> {
                 };
                 Ok(Violation::OverrideDeclined { underlying })
             }
+            7 => Ok(Violation::WindowRateLimited {
+                api: self.str_("violation.api")?,
+                limit: self.u64("violation.limit")? as usize,
+                used: self.u64("violation.used")? as usize,
+                window: self.u64("violation.window")? as usize,
+            }),
+            8 => Ok(Violation::OrderForbidden {
+                api: self.str_("violation.api")?,
+                after: self.str_("violation.after")?,
+            }),
             tag => Err(WireError::UnknownEnumTag { what: "violation", tag }),
         }
     }
@@ -804,6 +965,90 @@ mod tests {
         let decoded = r.policy().unwrap();
         r.finish().unwrap();
         assert_eq!(decoded, policy);
+    }
+
+    #[test]
+    fn trajectory_policy_roundtrips_exactly() {
+        let mut policy = sample_policy();
+        policy.set_trajectory(
+            TrajectoryPolicy::new()
+                .budget(10)
+                .limit("send_email", 3, "few notifications")
+                .limit_in_window("send_email", 1, 5, "no bursts")
+                .forbid_after("send_email", "read_secret", "no exfiltration")
+                .require(
+                    "reply_email",
+                    PriorCondition::ApiCalled("read_email".into()),
+                    "read before replying",
+                )
+                .require(
+                    "forward_email",
+                    PriorCondition::ApiCalledWithArg {
+                        api: "search_email".into(),
+                        index: 0,
+                        needle: "urgent".into(),
+                    },
+                    "urgent workflow only",
+                )
+                .require(
+                    "reply_email",
+                    PriorCondition::SameArgAsPrior {
+                        api: "read_email".into(),
+                        prior_index: 0,
+                        this_index: 0,
+                    },
+                    "reply to what was read",
+                ),
+        );
+        let mut w = Writer::unbounded();
+        put_policy(&mut w, &policy).unwrap();
+        let bytes = w.finish();
+        let mut r = Reader::new(&bytes);
+        let decoded = r.policy().unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded, policy);
+        assert_eq!(decoded.fingerprint(), policy.fingerprint());
+    }
+
+    #[test]
+    fn unknown_prior_condition_kind_is_rejected() {
+        let mut policy = sample_policy();
+        policy.set_trajectory(TrajectoryPolicy::new().require(
+            "reply_email",
+            PriorCondition::ApiCalled("read_email".into()),
+            "r",
+        ));
+        let mut w = Writer::unbounded();
+        put_policy(&mut w, &policy).unwrap();
+        let mut bytes = w.finish();
+        // The prior-condition tag byte sits right after the rule's api
+        // string; find its encoded position by locating the only place a
+        // 0x00 condition tag follows the "reply_email" string.
+        let api = b"reply_email";
+        let pos = bytes
+            .windows(api.len())
+            .rposition(|wnd| wnd == api)
+            .expect("encoded rule api not found")
+            + api.len();
+        assert_eq!(bytes[pos], 0, "expected the ApiCalled tag after the rule api");
+        bytes[pos] = 9; // an unknown future rule kind
+        let err = Reader::new(&bytes).policy().unwrap_err();
+        assert_eq!(err, WireError::UnknownEnumTag { what: "prior_condition", tag: 9 });
+    }
+
+    #[test]
+    fn trajectory_violations_roundtrip() {
+        for v in [
+            Violation::WindowRateLimited { api: "send_email".into(), limit: 2, used: 2, window: 5 },
+            Violation::OrderForbidden { api: "send_email".into(), after: "read_secret".into() },
+        ] {
+            let mut w = Writer::unbounded();
+            put_violation(&mut w, &v).unwrap();
+            let bytes = w.finish();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(r.violation().unwrap(), v);
+            r.finish().unwrap();
+        }
     }
 
     #[test]

@@ -60,6 +60,46 @@ pub enum Violation {
         /// The violation that triggered the confirmation request.
         underlying: Option<Box<Violation>>,
     },
+    /// A sliding-window trajectory rate limit was exhausted (§7): too many
+    /// calls of the API within the last `window` logical steps.
+    WindowRateLimited {
+        /// The capped API.
+        api: String,
+        /// The configured per-window cap.
+        limit: usize,
+        /// Calls already recorded inside the window.
+        used: usize,
+        /// Window size, in logical steps.
+        window: usize,
+    },
+    /// A trajectory ordering rule fired (§7): the API is forbidden once
+    /// another API has been observed (e.g. no `send_email` after
+    /// `read_secret`).
+    OrderForbidden {
+        /// The forbidden API.
+        api: String,
+        /// The API whose earlier occurrence triggered the rule.
+        after: String,
+    },
+}
+
+impl Violation {
+    /// A short, stable label for the *kind* of rule that fired, so audit
+    /// sinks can name the specific rule (budget vs ordering vs rate limit)
+    /// without parsing the human-facing text.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::UnlistedApi => "policy-unlisted",
+            Violation::CannotExecute => "policy-forbidden",
+            Violation::ArgMismatch { .. } => "policy-arg-mismatch",
+            Violation::RateLimited { .. } => "trajectory-rate-limit",
+            Violation::SequenceUnmet { .. } => "trajectory-sequence",
+            Violation::BudgetExhausted { .. } => "trajectory-budget",
+            Violation::OverrideDeclined { .. } => "override-declined",
+            Violation::WindowRateLimited { .. } => "trajectory-window",
+            Violation::OrderForbidden { .. } => "trajectory-order",
+        }
+    }
 }
 
 impl fmt::Display for Violation {
@@ -85,6 +125,16 @@ impl fmt::Display for Violation {
                 Some(v) => write!(f, "the user declined to override the denial ({v})"),
                 None => write!(f, "the user declined to override the denial"),
             },
+            Violation::WindowRateLimited { api, limit, used, window } => {
+                write!(
+                    f,
+                    "{api} already called {used} time(s) in the last {window} step(s), \
+                     limit {limit} per window"
+                )
+            }
+            Violation::OrderForbidden { api, after } => {
+                write!(f, "{api} is forbidden after {after} has been called")
+            }
         }
     }
 }
@@ -324,6 +374,42 @@ mod tests {
         let a = is_allowed(&c, &policy);
         let b = is_allowed(&c, &policy);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trajectory_violations_render_their_mechanics() {
+        let w =
+            Violation::WindowRateLimited { api: "send_email".into(), limit: 2, used: 2, window: 5 };
+        assert_eq!(
+            w.to_string(),
+            "send_email already called 2 time(s) in the last 5 step(s), limit 2 per window"
+        );
+        let o = Violation::OrderForbidden { api: "send_email".into(), after: "read_secret".into() };
+        assert_eq!(o.to_string(), "send_email is forbidden after read_secret has been called");
+    }
+
+    #[test]
+    fn violation_kinds_are_stable_labels() {
+        assert_eq!(Violation::UnlistedApi.kind(), "policy-unlisted");
+        assert_eq!(Violation::CannotExecute.kind(), "policy-forbidden");
+        assert_eq!(Violation::BudgetExhausted { max: 1 }.kind(), "trajectory-budget");
+        assert_eq!(
+            Violation::RateLimited { api: "x".into(), limit: 1, used: 1 }.kind(),
+            "trajectory-rate-limit"
+        );
+        assert_eq!(
+            Violation::WindowRateLimited { api: "x".into(), limit: 1, used: 1, window: 2 }.kind(),
+            "trajectory-window"
+        );
+        assert_eq!(
+            Violation::OrderForbidden { api: "x".into(), after: "y".into() }.kind(),
+            "trajectory-order"
+        );
+        assert_eq!(
+            Violation::SequenceUnmet { api: "x".into(), requirement: "r".into() }.kind(),
+            "trajectory-sequence"
+        );
+        assert_eq!(Violation::OverrideDeclined { underlying: None }.kind(), "override-declined");
     }
 
     #[test]

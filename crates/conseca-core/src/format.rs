@@ -9,6 +9,7 @@ use core::fmt;
 
 use crate::constraint::{ArgConstraint, CmpOp, Predicate};
 use crate::policy::{Policy, PolicyEntry};
+use crate::trajectory::{OrderRule, PriorCondition, RateLimit, SequenceRule, WindowLimit};
 
 /// Errors parsing the policy block format.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,7 +45,104 @@ pub fn render_policy(policy: &Policy) -> String {
         }
         out.push_str(&format!("  Rationale: {}\n", entry.rationale.replace('\n', " ")));
     }
+    let t = &policy.trajectory;
+    if !t.is_empty() {
+        out.push('\n');
+        out.push_str("Trajectory:\n");
+        if let Some(max) = t.max_total_actions {
+            out.push_str(&format!("  Budget: {max}\n"));
+        }
+        for l in &t.rate_limits {
+            out.push_str(&format!(
+                "  Limit: {} max {} :: {}\n",
+                l.api,
+                l.max_calls,
+                l.rationale.replace('\n', " ")
+            ));
+        }
+        for w in &t.window_limits {
+            out.push_str(&format!(
+                "  Window: {} max {} per {} :: {}\n",
+                w.api,
+                w.max_calls,
+                w.window,
+                w.rationale.replace('\n', " ")
+            ));
+        }
+        for o in &t.order_rules {
+            out.push_str(&format!(
+                "  Forbid: {} after {} :: {}\n",
+                o.api,
+                o.after,
+                o.rationale.replace('\n', " ")
+            ));
+        }
+        for r in &t.sequence_rules {
+            let cond = match &r.requires {
+                PriorCondition::ApiCalled(api) => format!("called({api:?})"),
+                PriorCondition::ApiCalledWithArg { api, index, needle } => {
+                    format!("arg({api:?}, {index}, {needle:?})")
+                }
+                PriorCondition::SameArgAsPrior { api, prior_index, this_index } => {
+                    format!("same-arg({api:?}, {prior_index}, {this_index})")
+                }
+            };
+            out.push_str(&format!(
+                "  Require: {} when {cond} :: {}\n",
+                r.api,
+                r.rationale.replace('\n', " ")
+            ));
+        }
+    }
     out
+}
+
+/// Splits a trajectory rule line into its rule body and rationale at the
+/// first top-level ` :: ` (quote-aware, so quoted needles may contain the
+/// separator; a rationale containing ` :: ` is re-joined).
+fn split_rule_rationale(text: &str) -> (String, String) {
+    let parts = split_top_level(text, " :: ");
+    if parts.len() < 2 {
+        return (text.trim().to_owned(), String::new());
+    }
+    (parts[0].trim().to_owned(), parts[1..].join(" :: ").trim().to_owned())
+}
+
+fn parse_prior_condition(text: &str) -> Result<PriorCondition, String> {
+    let text = text.trim();
+    if let Some(rest) = text.strip_prefix("called(") {
+        let inner = rest.strip_suffix(')').ok_or_else(|| "unterminated called(...)".to_owned())?;
+        return Ok(PriorCondition::ApiCalled(parse_quoted(inner)?));
+    }
+    if let Some(rest) = text.strip_prefix("arg(") {
+        let inner = rest.strip_suffix(')').ok_or_else(|| "unterminated arg(...)".to_owned())?;
+        let parts = split_top_level(inner, ", ");
+        if parts.len() != 3 {
+            return Err(format!("arg(...) takes 3 fields, got {}", parts.len()));
+        }
+        return Ok(PriorCondition::ApiCalledWithArg {
+            api: parse_quoted(parts[0])?,
+            index: parts[1].trim().parse().map_err(|_| format!("bad index {:?}", parts[1]))?,
+            needle: parse_quoted(parts[2])?,
+        });
+    }
+    if let Some(rest) = text.strip_prefix("same-arg(") {
+        let inner =
+            rest.strip_suffix(')').ok_or_else(|| "unterminated same-arg(...)".to_owned())?;
+        let parts = split_top_level(inner, ", ");
+        if parts.len() != 3 {
+            return Err(format!("same-arg(...) takes 3 fields, got {}", parts.len()));
+        }
+        return Ok(PriorCondition::SameArgAsPrior {
+            api: parse_quoted(parts[0])?,
+            prior_index: parts[1]
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad index {:?}", parts[1]))?,
+            this_index: parts[2].trim().parse().map_err(|_| format!("bad index {:?}", parts[2]))?,
+        });
+    }
+    Err(format!("unrecognised prior condition {text:?}"))
 }
 
 /// Parses the block format back into a [`Policy`].
@@ -98,6 +196,79 @@ pub fn parse_policy(text: &str) -> Result<Policy, FormatError> {
         } else if let Some(v) = line.trim_start().strip_prefix("Rationale: ") {
             current_entry.rationale = v.trim().to_owned();
             in_constraints = false;
+        } else if line.trim_start() == "Trajectory:" {
+            if policy.is_none() {
+                return Err(err(lineno, "Trajectory before policy header"));
+            }
+            in_constraints = false;
+        } else if let Some(v) = line.trim_start().strip_prefix("Budget: ") {
+            let p = policy.as_mut().ok_or_else(|| err(lineno, "Budget before policy header"))?;
+            p.trajectory.max_total_actions =
+                Some(v.trim().parse().map_err(|_| err(lineno, &format!("bad budget {v:?}")))?);
+        } else if let Some(v) = line.trim_start().strip_prefix("Limit: ") {
+            let p = policy.as_mut().ok_or_else(|| err(lineno, "Limit before policy header"))?;
+            let (rule, rationale) = split_rule_rationale(v);
+            let parts: Vec<&str> = rule.split_whitespace().collect();
+            match parts.as_slice() {
+                [api, "max", n] => p.trajectory.rate_limits.push(RateLimit {
+                    api: (*api).to_owned(),
+                    max_calls: n
+                        .parse()
+                        .map_err(|_| err(lineno, &format!("bad limit count {n:?}")))?,
+                    rationale,
+                }),
+                _ => return Err(err(lineno, "Limit line must be '<api> max <n> :: <rationale>'")),
+            }
+        } else if let Some(v) = line.trim_start().strip_prefix("Window: ") {
+            let p = policy.as_mut().ok_or_else(|| err(lineno, "Window before policy header"))?;
+            let (rule, rationale) = split_rule_rationale(v);
+            let parts: Vec<&str> = rule.split_whitespace().collect();
+            match parts.as_slice() {
+                [api, "max", n, "per", win] => p.trajectory.window_limits.push(WindowLimit {
+                    api: (*api).to_owned(),
+                    max_calls: n
+                        .parse()
+                        .map_err(|_| err(lineno, &format!("bad window count {n:?}")))?,
+                    window: win
+                        .parse()
+                        .map_err(|_| err(lineno, &format!("bad window size {win:?}")))?,
+                    rationale,
+                }),
+                _ => {
+                    return Err(err(
+                        lineno,
+                        "Window line must be '<api> max <n> per <steps> :: <rationale>'",
+                    ))
+                }
+            }
+        } else if let Some(v) = line.trim_start().strip_prefix("Forbid: ") {
+            let p = policy.as_mut().ok_or_else(|| err(lineno, "Forbid before policy header"))?;
+            let (rule, rationale) = split_rule_rationale(v);
+            let parts: Vec<&str> = rule.split_whitespace().collect();
+            match parts.as_slice() {
+                [api, "after", trigger] => p.trajectory.order_rules.push(OrderRule {
+                    api: (*api).to_owned(),
+                    after: (*trigger).to_owned(),
+                    rationale,
+                }),
+                _ => {
+                    return Err(err(
+                        lineno,
+                        "Forbid line must be '<api> after <api> :: <rationale>'",
+                    ))
+                }
+            }
+        } else if let Some(v) = line.trim_start().strip_prefix("Require: ") {
+            let p = policy.as_mut().ok_or_else(|| err(lineno, "Require before policy header"))?;
+            let (rule, rationale) = split_rule_rationale(v);
+            let (api, cond) = rule.split_once(" when ").ok_or_else(|| {
+                err(lineno, "Require line must be '<api> when <condition> :: <rationale>'")
+            })?;
+            p.trajectory.sequence_rules.push(SequenceRule {
+                api: api.trim().to_owned(),
+                requires: parse_prior_condition(cond).map_err(|m| err(lineno, &m))?,
+                rationale,
+            });
         } else if in_constraints && line.trim_start().starts_with('$') {
             let body = line.trim_start();
             let (idx_part, rest) =
@@ -340,6 +511,69 @@ mod tests {
         );
         let parsed = parse_policy(&render_policy(&p)).unwrap();
         assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn round_trip_trajectory_policy() {
+        let mut p = paper_example_policy();
+        p.set_trajectory(
+            crate::trajectory::TrajectoryPolicy::new()
+                .budget(12)
+                .limit("send_email", 3, "a few notifications at most")
+                .limit_in_window("send_email", 1, 5, "no bursts")
+                .forbid_after("send_email", "read_secret", "no exfiltration after secrets")
+                .require(
+                    "reply_email",
+                    PriorCondition::ApiCalled("read_email".into()),
+                    "read before replying",
+                )
+                .require(
+                    "forward_email",
+                    PriorCondition::ApiCalledWithArg {
+                        api: "search_email".into(),
+                        index: 0,
+                        needle: "urgent :: notice".into(),
+                    },
+                    "the needle may contain the separator",
+                )
+                .require(
+                    "reply_email",
+                    PriorCondition::SameArgAsPrior {
+                        api: "read_email".into(),
+                        prior_index: 0,
+                        this_index: 0,
+                    },
+                    "reply only to what was read",
+                ),
+        );
+        let text = render_policy(&p);
+        assert!(text.contains("Trajectory:"));
+        assert!(text.contains("Budget: 12"));
+        assert!(text.contains("Window: send_email max 1 per 5"));
+        assert!(text.contains("Forbid: send_email after read_secret"));
+        let parsed = parse_policy(&text).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn rationale_containing_separator_survives() {
+        let mut p = Policy::new("t");
+        p.set_trajectory(crate::trajectory::TrajectoryPolicy::new().limit(
+            "ls",
+            2,
+            "weird :: rationale",
+        ));
+        let parsed = parse_policy(&render_policy(&p)).unwrap();
+        assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn malformed_trajectory_lines_cite_their_line() {
+        let text = "Policy for task: t\n\nTrajectory:\n  Limit: send_email maximum 3 :: r\n";
+        let e = parse_policy(text).unwrap_err();
+        assert_eq!(e.line, 4);
+        let text = "Policy for task: t\n\nTrajectory:\n  Require: x whenever called(\"y\") :: r\n";
+        assert!(parse_policy(text).is_err());
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub use pipeline::{
 pub use policy::{fnv1a, Policy, PolicyEntry};
 pub use sanitize::{default_sanitizers, SanitizerSet};
 pub use trajectory::{
-    PriorCondition, RateLimit, SequenceRule, TrajectoryDecision, TrajectoryEnforcer,
-    TrajectoryPolicy,
+    OrderRule, PriorCondition, RateLimit, SequenceRule, TrajectoryDecision, TrajectoryEnforcer,
+    TrajectoryPolicy, WindowLimit,
 };
 pub use verify::{max_severity, verify_policy, Finding, Severity};

@@ -285,9 +285,23 @@ impl TrajectoryLayer {
         TrajectoryLayer { enforcer: TrajectoryEnforcer::new(policy) }
     }
 
+    /// A layer enforcing `policy` against an already-witnessed `history` —
+    /// how trajectory state survives a mid-task policy reload: the new
+    /// policy's layer is rebuilt from the old layer's history, so budgets
+    /// already spent stay spent.
+    pub fn with_history(policy: TrajectoryPolicy, history: Vec<ApiCall>) -> Self {
+        TrajectoryLayer { enforcer: TrajectoryEnforcer::with_history(policy, history) }
+    }
+
     /// The underlying stateful enforcer.
     pub fn enforcer(&self) -> &TrajectoryEnforcer {
         &self.enforcer
+    }
+
+    /// Consumes the layer, returning the recorded history for replay into
+    /// a successor layer (see [`TrajectoryLayer::with_history`]).
+    pub fn into_history(self) -> Vec<ApiCall> {
+        self.enforcer.into_history()
     }
 }
 
@@ -466,6 +480,7 @@ impl<'a> EnforcementSession<'a> {
                 allowed: audited.allowed,
                 rationale: audited.rationale.clone(),
                 violation: audited.violation.as_ref().map(|v| v.to_string()),
+                violation_kind: audited.violation.as_ref().map(|v| v.kind().to_owned()),
             };
             self.emit(event);
             if let Some((approved, _)) = confirmation {

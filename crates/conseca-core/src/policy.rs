@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 use conseca_shell::{Effect, ToolRegistry};
 
 use crate::constraint::ArgConstraint;
+use crate::trajectory::TrajectoryPolicy;
 
 /// Policy for a single API call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +55,10 @@ pub struct Policy {
     pub entries: BTreeMap<String, PolicyEntry>,
     /// Rationale attached to default denials of unlisted calls.
     pub default_rationale: String,
+    /// Constraints over the whole call *sequence* (§7): budgets, ordering
+    /// rules, rate limits. Empty by default, and an empty block changes
+    /// nothing — not the fingerprint, not enforcement.
+    pub trajectory: TrajectoryPolicy,
 }
 
 impl Policy {
@@ -63,7 +68,14 @@ impl Policy {
             task: task.to_owned(),
             entries: BTreeMap::new(),
             default_rationale: "the call is not part of the policy for this task".to_owned(),
+            trajectory: TrajectoryPolicy::new(),
         }
+    }
+
+    /// Attaches (replacing any previous) trajectory constraints.
+    pub fn set_trajectory(&mut self, trajectory: TrajectoryPolicy) -> &mut Self {
+        self.trajectory = trajectory;
+        self
     }
 
     /// Adds or replaces the entry for `api`.
@@ -102,6 +114,12 @@ impl Policy {
             for c in &entry.arg_constraints {
                 text.push_str(&c.to_string());
             }
+        }
+        // Appended only when present so policies without trajectory rules
+        // keep the fingerprints they had before the block existed.
+        if !self.trajectory.is_empty() {
+            text.push('\u{1f}');
+            text.push_str(&self.trajectory.semantic_summary());
         }
         fnv1a(text.as_bytes())
     }
@@ -211,6 +229,40 @@ mod tests {
         let mut c = Policy::new("t");
         c.set("ls", PolicyEntry::allow_any("different rationale, same meaning"));
         assert_eq!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_folds_trajectory_semantics() {
+        let mut base = Policy::new("t");
+        base.set("ls", PolicyEntry::allow_any("r"));
+        let plain = base.fingerprint();
+
+        let mut budgeted = base.clone();
+        budgeted.set_trajectory(crate::trajectory::TrajectoryPolicy::new().budget(5));
+        assert_ne!(plain, budgeted.fingerprint());
+
+        let mut ordered = base.clone();
+        ordered.set_trajectory(crate::trajectory::TrajectoryPolicy::new().forbid_after(
+            "send_email",
+            "read_secret",
+            "r",
+        ));
+        assert_ne!(plain, ordered.fingerprint());
+        assert_ne!(budgeted.fingerprint(), ordered.fingerprint());
+
+        // Trajectory rationales, like entry rationales, are non-semantic.
+        let mut ordered2 = base.clone();
+        ordered2.set_trajectory(crate::trajectory::TrajectoryPolicy::new().forbid_after(
+            "send_email",
+            "read_secret",
+            "a completely different rationale",
+        ));
+        assert_eq!(ordered.fingerprint(), ordered2.fingerprint());
+
+        // An empty trajectory block leaves the historical fingerprint intact.
+        let mut empty = base.clone();
+        empty.set_trajectory(crate::trajectory::TrajectoryPolicy::new());
+        assert_eq!(plain, empty.fingerprint());
     }
 
     #[test]

@@ -14,6 +14,11 @@ use conseca_shell::ApiCall;
 
 use crate::enforce::Violation;
 
+/// Rationale attached to budget-exhaustion denials. A named constant so
+/// the compiled enforcer (`conseca-engine`) emits byte-identical text.
+pub const BUDGET_RATIONALE: &str =
+    "trajectories beyond the configured budget suggest a runaway or stuck plan";
+
 /// Caps how many times one API may be called within a task.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RateLimit {
@@ -65,8 +70,37 @@ pub struct SequenceRule {
     pub rationale: String,
 }
 
+/// Caps how many times one API may be called within a sliding window of
+/// logical steps. The step clock is the number of *recorded* actions: a
+/// call at step `t` (zero-based, `t = history.len()`) is denied when the
+/// API already fired `max_calls` times among steps `t-window .. t`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowLimit {
+    /// The API name.
+    pub api: String,
+    /// Maximum calls allowed inside one window.
+    pub max_calls: usize,
+    /// Window size in logical steps (must be ≥ 1 to ever fire).
+    pub window: usize,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
+/// Forbids an API once another API has been observed — "no `send_email`
+/// after `read_secret`". Compiles to a two-state automaton: the rule arms
+/// when `after` is recorded and from then on denies every `api`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderRule {
+    /// The API that becomes forbidden.
+    pub api: String,
+    /// The API whose occurrence arms the rule.
+    pub after: String,
+    /// Human-readable rationale.
+    pub rationale: String,
+}
+
 /// A policy over trajectories.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TrajectoryPolicy {
     /// Per-API call-count caps.
     pub rate_limits: Vec<RateLimit>,
@@ -74,6 +108,10 @@ pub struct TrajectoryPolicy {
     pub sequence_rules: Vec<SequenceRule>,
     /// Cap on total actions in the task, if any.
     pub max_total_actions: Option<usize>,
+    /// Sliding-window rate limits over the logical step clock.
+    pub window_limits: Vec<WindowLimit>,
+    /// Ordering rules ("no X after Y").
+    pub order_rules: Vec<OrderRule>,
 }
 
 impl TrajectoryPolicy {
@@ -107,6 +145,79 @@ impl TrajectoryPolicy {
         self.max_total_actions = Some(max_total_actions);
         self
     }
+
+    /// Adds a sliding-window rate limit.
+    pub fn limit_in_window(
+        mut self,
+        api: &str,
+        max_calls: usize,
+        window: usize,
+        rationale: &str,
+    ) -> Self {
+        self.window_limits.push(WindowLimit {
+            api: api.to_owned(),
+            max_calls,
+            window,
+            rationale: rationale.to_owned(),
+        });
+        self
+    }
+
+    /// Adds an ordering rule: `api` is forbidden once `after` has run.
+    pub fn forbid_after(mut self, api: &str, after: &str, rationale: &str) -> Self {
+        self.order_rules.push(OrderRule {
+            api: api.to_owned(),
+            after: after.to_owned(),
+            rationale: rationale.to_owned(),
+        });
+        self
+    }
+
+    /// A canonical, rationale-free rendering of the policy's semantics.
+    ///
+    /// [`Policy::fingerprint`](crate::Policy::fingerprint) folds this in
+    /// (only when the trajectory block is non-empty, so policies without
+    /// trajectory rules keep their historical fingerprints), matching the
+    /// per-entry convention that rationales do not change the fingerprint.
+    pub fn semantic_summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        if let Some(max) = self.max_total_actions {
+            let _ = write!(s, "budget:{max};");
+        }
+        for l in &self.rate_limits {
+            let _ = write!(s, "limit:{}:{};", l.api, l.max_calls);
+        }
+        for w in &self.window_limits {
+            let _ = write!(s, "window:{}:{}:{};", w.api, w.max_calls, w.window);
+        }
+        for o in &self.order_rules {
+            let _ = write!(s, "order:{}:{};", o.api, o.after);
+        }
+        for r in &self.sequence_rules {
+            match &r.requires {
+                PriorCondition::ApiCalled(api) => {
+                    let _ = write!(s, "seq:{}:called({api});", r.api);
+                }
+                PriorCondition::ApiCalledWithArg { api, index, needle } => {
+                    let _ = write!(s, "seq:{}:arg({api},{index},{needle});", r.api);
+                }
+                PriorCondition::SameArgAsPrior { api, prior_index, this_index } => {
+                    let _ = write!(s, "seq:{}:same({api},{prior_index},{this_index});", r.api);
+                }
+            }
+        }
+        s
+    }
+
+    /// Reports whether the policy constrains nothing (permit-everything).
+    pub fn is_empty(&self) -> bool {
+        self.rate_limits.is_empty()
+            && self.sequence_rules.is_empty()
+            && self.max_total_actions.is_none()
+            && self.window_limits.is_empty()
+            && self.order_rules.is_empty()
+    }
 }
 
 /// The verdict of a trajectory check.
@@ -135,6 +246,30 @@ impl TrajectoryEnforcer {
         TrajectoryEnforcer { policy, history: Vec::new(), counts: HashMap::new() }
     }
 
+    /// Creates an enforcer that has already witnessed `history`, in order.
+    ///
+    /// This is how a caller carries trajectory state across a policy
+    /// reload: spent budgets and armed ordering rules are reconstructed
+    /// from the replayed history rather than reset to zero.
+    pub fn with_history(policy: TrajectoryPolicy, history: Vec<ApiCall>) -> Self {
+        let mut counts = HashMap::new();
+        for call in &history {
+            *counts.entry(call.name.clone()).or_insert(0) += 1;
+        }
+        TrajectoryEnforcer { policy, history, counts }
+    }
+
+    /// Consumes the enforcer, returning the recorded history so it can be
+    /// replayed into a successor (see [`TrajectoryEnforcer::with_history`]).
+    pub fn into_history(self) -> Vec<ApiCall> {
+        self.history
+    }
+
+    /// The trajectory policy being enforced.
+    pub fn policy(&self) -> &TrajectoryPolicy {
+        &self.policy
+    }
+
     /// Actions recorded so far.
     pub fn history(&self) -> &[ApiCall] {
         &self.history
@@ -147,14 +282,18 @@ impl TrajectoryEnforcer {
     /// On denial, the mechanics (which rule tripped, counts) are in the
     /// [`Violation`]; `rationale` carries only the rule's human reason, so
     /// feedback lines never say the same thing twice.
+    ///
+    /// Rules are evaluated in a canonical order — budget, then rate
+    /// limits, sliding-window limits, ordering rules, and sequence rules,
+    /// each in declaration order. The compiled enforcer in
+    /// `conseca-engine` reproduces this order exactly so that decisions,
+    /// rationales, and violations are byte-identical between the two.
     pub fn check(&self, call: &ApiCall) -> TrajectoryDecision {
         if let Some(max) = self.policy.max_total_actions {
             if self.history.len() >= max {
                 return TrajectoryDecision {
                     allowed: false,
-                    rationale:
-                        "trajectories beyond the configured budget suggest a runaway or stuck plan"
-                            .to_owned(),
+                    rationale: BUDGET_RATIONALE.to_owned(),
                     violation: Some(Violation::BudgetExhausted { max }),
                 };
             }
@@ -173,6 +312,41 @@ impl TrajectoryEnforcer {
                         }),
                     };
                 }
+            }
+        }
+        for limit in &self.policy.window_limits {
+            if limit.api == call.name {
+                let used = self
+                    .history
+                    .iter()
+                    .rev()
+                    .take(limit.window)
+                    .filter(|h| h.name == call.name)
+                    .count();
+                if used >= limit.max_calls {
+                    return TrajectoryDecision {
+                        allowed: false,
+                        rationale: limit.rationale.clone(),
+                        violation: Some(Violation::WindowRateLimited {
+                            api: call.name.clone(),
+                            limit: limit.max_calls,
+                            used,
+                            window: limit.window,
+                        }),
+                    };
+                }
+            }
+        }
+        for rule in &self.policy.order_rules {
+            if rule.api == call.name && self.history.iter().any(|h| h.name == rule.after) {
+                return TrajectoryDecision {
+                    allowed: false,
+                    rationale: rule.rationale.clone(),
+                    violation: Some(Violation::OrderForbidden {
+                        api: call.name.clone(),
+                        after: rule.after.clone(),
+                    }),
+                };
             }
         }
         for rule in &self.policy.sequence_rules {
@@ -318,6 +492,97 @@ mod tests {
         let d = e.check(&c);
         assert!(!d.allowed);
         assert!(d.rationale.contains("budget"));
+    }
+
+    #[test]
+    fn window_limit_slides_with_the_step_clock() {
+        let policy = TrajectoryPolicy::new().limit_in_window(
+            "send_email",
+            1,
+            3,
+            "at most one email per three steps",
+        );
+        let mut e = TrajectoryEnforcer::new(policy);
+        let send = call("send_email", &["a", "b", "s", "x"]);
+        let ls = call("ls", &["/"]);
+        assert!(e.check(&send).allowed);
+        e.record(&send);
+        // Within the window of 3 steps, a second send is denied.
+        let d = e.check(&send);
+        assert!(!d.allowed);
+        assert_eq!(
+            d.violation,
+            Some(Violation::WindowRateLimited {
+                api: "send_email".into(),
+                limit: 1,
+                used: 1,
+                window: 3
+            })
+        );
+        assert!(d.rationale.contains("per three steps"));
+        // Unrelated calls advance the clock; after 3 of them the earlier
+        // send has slid out of the window.
+        e.record(&ls);
+        e.record(&ls);
+        assert!(!e.check(&send).allowed);
+        e.record(&ls);
+        assert!(e.check(&send).allowed);
+    }
+
+    #[test]
+    fn order_rule_forbids_after_trigger() {
+        let policy = TrajectoryPolicy::new().forbid_after(
+            "send_email",
+            "read_secret",
+            "no exfiltration after touching secrets",
+        );
+        let mut e = TrajectoryEnforcer::new(policy);
+        let send = call("send_email", &["a", "b", "s", "x"]);
+        assert!(e.check(&send).allowed);
+        e.record(&send);
+        e.record(&call("read_secret", &["/vault/key"]));
+        let d = e.check(&send);
+        assert!(!d.allowed);
+        assert_eq!(
+            d.violation,
+            Some(Violation::OrderForbidden {
+                api: "send_email".into(),
+                after: "read_secret".into()
+            })
+        );
+        assert!(d.rationale.contains("exfiltration"));
+        // The rule stays armed forever.
+        e.record(&call("ls", &["/"]));
+        assert!(!e.check(&send).allowed);
+    }
+
+    #[test]
+    fn with_history_reconstructs_spent_budgets() {
+        let policy = TrajectoryPolicy::new().budget(2).limit("send_email", 1, "one send");
+        let send = call("send_email", &["a", "b", "s", "x"]);
+        let ls = call("ls", &["/"]);
+        let mut first = TrajectoryEnforcer::new(policy.clone());
+        first.record(&send);
+        first.record(&ls);
+        // A successor built from the predecessor's history sees the spent
+        // budget and the consumed rate limit.
+        let successor = TrajectoryEnforcer::with_history(policy, first.into_history());
+        let d = successor.check(&ls);
+        assert!(!d.allowed);
+        assert_eq!(d.violation, Some(Violation::BudgetExhausted { max: 2 }));
+        assert_eq!(successor.history().len(), 2);
+    }
+
+    #[test]
+    fn is_empty_reflects_every_rule_kind() {
+        assert!(TrajectoryPolicy::new().is_empty());
+        assert!(!TrajectoryPolicy::new().budget(1).is_empty());
+        assert!(!TrajectoryPolicy::new().limit("a", 1, "r").is_empty());
+        assert!(!TrajectoryPolicy::new().limit_in_window("a", 1, 2, "r").is_empty());
+        assert!(!TrajectoryPolicy::new().forbid_after("a", "b", "r").is_empty());
+        assert!(!TrajectoryPolicy::new()
+            .require("a", PriorCondition::ApiCalled("b".into()), "r")
+            .is_empty());
     }
 
     #[test]

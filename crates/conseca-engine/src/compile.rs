@@ -34,6 +34,8 @@ use conseca_regex::ast::Ast;
 use conseca_regex::{parser, Regex, Scratch};
 use conseca_shell::ApiCall;
 
+use crate::trajectory_compile::{CompiledTrajectory, TrajectoryState};
+
 thread_local! {
     /// Per-thread VM scratch: `CompiledPolicy::check` takes `&self` and is
     /// shared across threads via `Arc`, so reusable match buffers live in
@@ -185,6 +187,9 @@ pub struct CompiledPolicy {
     names: Box<[Box<str>]>,
     entries: Box<[CompiledEntry]>,
     fingerprint: u64,
+    /// Compiled temporal constraints; `None` when the policy carries no
+    /// trajectory block, so stateless checks pay nothing for the feature.
+    trajectory: Option<CompiledTrajectory>,
 }
 
 impl CompiledPolicy {
@@ -221,11 +226,13 @@ impl CompiledPolicy {
             });
         }
         let fingerprint = policy.fingerprint();
+        let trajectory = CompiledTrajectory::compile(&policy.trajectory);
         CompiledPolicy {
             source: policy,
             names: names.into_boxed_slice(),
             entries: entries.into_boxed_slice(),
             fingerprint,
+            trajectory,
         }
     }
 
@@ -258,6 +265,18 @@ impl CompiledPolicy {
     /// Reports whether the policy lists no APIs (deny-everything).
     pub fn is_empty(&self) -> bool {
         self.names.is_empty()
+    }
+
+    /// The compiled trajectory constraints, if the policy carries any.
+    pub fn trajectory(&self) -> Option<&CompiledTrajectory> {
+        self.trajectory.as_ref()
+    }
+
+    /// A fresh per-session trajectory state for this policy, or `None`
+    /// when the policy has no temporal constraints (stateless checking
+    /// suffices).
+    pub fn new_trajectory_state(&self) -> Option<TrajectoryState> {
+        self.trajectory.as_ref().map(CompiledTrajectory::new_state)
     }
 
     fn lookup(&self, api: &str) -> Option<&CompiledEntry> {

@@ -18,6 +18,7 @@ use parking_lot::RwLock;
 
 use crate::compile::CompiledPolicy;
 use crate::store::{EngineKey, PolicyStore, StoreConfig};
+use crate::trajectory_compile::TrajectoryState;
 
 /// Engine sizing; forwarded to the [`PolicyStore`].
 #[derive(Debug, Clone, Copy, Default)]
@@ -146,6 +147,56 @@ impl ParallelReport {
             self.checked as f64 / secs
         } else {
             f64::INFINITY
+        }
+    }
+}
+
+/// One session's trajectory progress, threaded through the engine's
+/// session-aware entry points ([`Engine::check_session`],
+/// [`Engine::check_all_session`]).
+///
+/// The engine itself stays stateless per check; callers that want
+/// temporal constraints (call budgets, ordering rules, sliding windows)
+/// enforced across a sequence of checks own one `SessionState` per
+/// logical session and pass it back in on every check. Because the state
+/// lives *outside* the policy store, revoking, flushing, snapshotting, or
+/// warm-starting policies can never resurrect a spent budget: the same
+/// policy fingerprint resolves to the same still-spent session state.
+///
+/// The state is keyed to the policy snapshot's fingerprint. When a check
+/// resolves a snapshot with a *different* fingerprint (the policy was
+/// regenerated with new semantics), the trajectory state is rebuilt fresh
+/// — counters from one policy's rules are meaningless under another's.
+#[derive(Debug, Clone, Default)]
+pub struct SessionState {
+    fingerprint: Option<u64>,
+    trajectory: Option<TrajectoryState>,
+}
+
+impl SessionState {
+    /// A fresh session: no policy seen, no steps recorded.
+    pub fn new() -> Self {
+        SessionState::default()
+    }
+
+    /// Fingerprint of the policy snapshot this state was built against
+    /// (`None` until the first session-aware check resolves a policy).
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.fingerprint
+    }
+
+    /// Logical steps recorded so far (0 when the governing policy has no
+    /// trajectory block — stateless checks record nothing).
+    pub fn steps(&self) -> u64 {
+        self.trajectory.as_ref().map(TrajectoryState::steps).unwrap_or(0)
+    }
+
+    /// Re-keys the state to `policy`: kept as-is when the fingerprint
+    /// matches, rebuilt when the snapshot changed.
+    fn sync(&mut self, policy: &CompiledPolicy) {
+        if self.fingerprint != Some(policy.fingerprint()) {
+            self.fingerprint = Some(policy.fingerprint());
+            self.trajectory = policy.new_trajectory_state();
         }
     }
 }
@@ -323,6 +374,103 @@ impl Engine {
         )
     }
 
+    /// Judges one call with both the per-API policy *and* the session's
+    /// trajectory state: the policy check runs first (its denials take
+    /// precedence, matching the pipeline's layer order), then the
+    /// compiled trajectory automata. An allowed decision is **recorded**
+    /// into `session` — session checks are check-and-advance, since the
+    /// engine's callers (the wire server, batch harnesses) treat an
+    /// allowed decision as authorisation to execute. Policies with no
+    /// trajectory block pay nothing beyond the stateless check.
+    fn judge_session(
+        policy: &CompiledPolicy,
+        session: &mut SessionState,
+        call: &ApiCall,
+    ) -> Decision {
+        session.sync(policy);
+        let decision = policy.check(call);
+        if !decision.allowed {
+            return decision;
+        }
+        if let (Some(trajectory), Some(state)) = (policy.trajectory(), session.trajectory.as_mut())
+        {
+            let verdict = trajectory.check(state, call);
+            if !verdict.allowed {
+                return Decision {
+                    allowed: false,
+                    rationale: verdict.rationale,
+                    violation: verdict.violation,
+                };
+            }
+            trajectory.record(state, call);
+        }
+        decision
+    }
+
+    /// Session-aware [`check_compiled`](Self::check_compiled): judges
+    /// `call` against an already-held snapshot plus the session's
+    /// trajectory state, counting the outcome against the tenant.
+    pub fn check_compiled_session(
+        &self,
+        tenant: &str,
+        policy: &CompiledPolicy,
+        session: &mut SessionState,
+        call: &ApiCall,
+    ) -> Decision {
+        let decision = Self::judge_session(policy, session, call);
+        self.tenant(tenant).record_decision(decision.allowed);
+        decision
+    }
+
+    /// Session-aware [`check`](Self::check): one store lookup, then the
+    /// policy and trajectory checks of
+    /// [`check_compiled_session`](Self::check_compiled_session). Billing
+    /// is identical to `check` — one lookup, one decision.
+    pub fn check_session(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        session: &mut SessionState,
+        call: &ApiCall,
+    ) -> Option<Decision> {
+        let stats = self.tenant(tenant);
+        let found = self.store.get(&EngineKey::new(tenant, task, context));
+        stats.record_lookup(found.is_some());
+        let policy = found?;
+        let decision = Self::judge_session(&policy, session, call);
+        stats.record_decision(decision.allowed);
+        Some(decision)
+    }
+
+    /// Session-aware [`check_all`](Self::check_all): one store lookup and
+    /// one stats-handle resolution, every call judged in order against
+    /// the same snapshot with the trajectory state advancing through the
+    /// batch (call *n* sees the budgets spent by calls *0..n*).
+    pub fn check_all_session(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        session: &mut SessionState,
+        calls: &[ApiCall],
+    ) -> Option<Vec<Decision>> {
+        let stats = self.tenant(tenant);
+        let found = self.store.get(&EngineKey::new(tenant, task, context));
+        stats.record_lookup(found.is_some());
+        let policy = found?;
+        Some(
+            calls
+                .iter()
+                .map(|call| {
+                    let decision = Self::judge_session(&policy, session, call);
+                    stats.record_decision(decision.allowed);
+                    decision
+                })
+                .collect(),
+        )
+    }
+
     /// Multi-threaded evaluation: `jobs` are striped across `threads`
     /// scoped workers, every worker sharing this engine's store. Jobs
     /// whose key has no installed policy are denied by default (the
@@ -460,7 +608,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use conseca_core::{ArgConstraint, PolicyEntry};
+    use conseca_core::{ArgConstraint, PolicyEntry, TrajectoryPolicy, Violation};
 
     fn send_policy() -> Policy {
         let mut policy = Policy::new("respond to urgent work emails");
@@ -655,5 +803,141 @@ mod tests {
         let report = engine.check_parallel(&[], 0);
         assert_eq!(report.threads, 1);
         assert_eq!(report.checked, 0);
+    }
+
+    fn budgeted_policy(budget: usize) -> Policy {
+        let mut policy = Policy::new("triage the inbox");
+        policy.set("list_emails", PolicyEntry::allow_any("listing is the task"));
+        policy.set_trajectory(TrajectoryPolicy::new().budget(budget));
+        policy
+    }
+
+    #[test]
+    fn session_checks_exhaust_budgets_and_bill_like_check() {
+        let engine = Engine::default();
+        let policy = budgeted_policy(2);
+        engine.install("acme", &policy.task, &ctx(), &policy);
+        let mut session = SessionState::new();
+        let list = call("list_emails", &["Inbox"]);
+        for _ in 0..2 {
+            let d =
+                engine.check_session("acme", &policy.task, &ctx(), &mut session, &list).unwrap();
+            assert!(d.allowed);
+        }
+        let third =
+            engine.check_session("acme", &policy.task, &ctx(), &mut session, &list).unwrap();
+        assert!(!third.allowed);
+        assert_eq!(third.violation, Some(Violation::BudgetExhausted { max: 2 }));
+        assert_eq!(session.steps(), 2, "denied calls do not advance the clock");
+        // Billing parity with the stateless path: 3 hits, 3 checks.
+        let counters = engine.tenant_counters("acme");
+        assert_eq!((counters.hits, counters.checks), (3, 3));
+        assert_eq!((counters.allowed, counters.denied), (2, 1));
+    }
+
+    #[test]
+    fn session_denied_by_policy_does_not_spend_the_budget() {
+        let engine = Engine::default();
+        let policy = budgeted_policy(5);
+        engine.install("acme", &policy.task, &ctx(), &policy);
+        let mut session = SessionState::new();
+        let denied = engine
+            .check_session("acme", &policy.task, &ctx(), &mut session, &call("rm", &["-rf"]))
+            .unwrap();
+        assert!(!denied.allowed, "unlisted APIs stay default-denied");
+        assert_eq!(session.steps(), 0, "a policy denial must not consume trajectory budget");
+    }
+
+    #[test]
+    fn revoke_and_reinstall_does_not_resurrect_spent_budgets() {
+        let engine = Engine::default();
+        let policy = budgeted_policy(1);
+        engine.install("acme", &policy.task, &ctx(), &policy);
+        let mut session = SessionState::new();
+        let list = call("list_emails", &["Inbox"]);
+        assert!(
+            engine
+                .check_session("acme", &policy.task, &ctx(), &mut session, &list)
+                .unwrap()
+                .allowed
+        );
+        // Revoke, then reinstall the byte-identical policy (what a
+        // warm-start from a snapshot does). Same fingerprint → the
+        // session's spent state still governs.
+        assert_eq!(engine.revoke_fingerprint("acme", policy.fingerprint()), 1);
+        assert!(engine.check_session("acme", &policy.task, &ctx(), &mut session, &list).is_none());
+        engine.install("acme", &policy.task, &ctx(), &policy);
+        let after =
+            engine.check_session("acme", &policy.task, &ctx(), &mut session, &list).unwrap();
+        assert!(!after.allowed, "reinstalling the same policy must not reset the budget");
+        assert_eq!(after.violation, Some(Violation::BudgetExhausted { max: 1 }));
+    }
+
+    #[test]
+    fn a_semantically_new_policy_rebuilds_session_state() {
+        let engine = Engine::default();
+        let policy = budgeted_policy(1);
+        engine.install("acme", &policy.task, &ctx(), &policy);
+        let mut session = SessionState::new();
+        let list = call("list_emails", &["Inbox"]);
+        assert!(
+            engine
+                .check_session("acme", &policy.task, &ctx(), &mut session, &list)
+                .unwrap()
+                .allowed
+        );
+        let regenerated = budgeted_policy(3);
+        assert_ne!(regenerated.fingerprint(), policy.fingerprint());
+        engine.reload("acme", &policy.task, &ctx(), &regenerated);
+        // New semantics, new state: the budget-of-3 clock starts fresh.
+        assert!(
+            engine
+                .check_session("acme", &policy.task, &ctx(), &mut session, &list)
+                .unwrap()
+                .allowed
+        );
+        assert_eq!(session.steps(), 1);
+        assert_eq!(session.fingerprint(), Some(regenerated.fingerprint()));
+    }
+
+    #[test]
+    fn check_all_session_advances_through_the_batch() {
+        let engine = Engine::default();
+        let mut policy = Policy::new("t");
+        policy.set("ping", PolicyEntry::allow_any("ok"));
+        policy.set_trajectory(TrajectoryPolicy::new().limit_in_window("ping", 2, 10, "no bursts"));
+        engine.install("acme", "t", &ctx(), &policy);
+        let mut session = SessionState::new();
+        let calls = vec![call("ping", &[]), call("ping", &[]), call("ping", &[])];
+        let decisions =
+            engine.check_all_session("acme", "t", &ctx(), &mut session, &calls).unwrap();
+        assert_eq!(
+            decisions.iter().map(|d| d.allowed).collect::<Vec<_>>(),
+            vec![true, true, false],
+            "the third call in the batch must see the window spent by the first two"
+        );
+        let counters = engine.tenant_counters("acme");
+        assert_eq!((counters.hits, counters.checks), (1, 3));
+    }
+
+    #[test]
+    fn sessions_with_no_trajectory_block_record_nothing() {
+        let engine = Engine::default();
+        let policy = send_policy();
+        engine.install("acme", &policy.task, &ctx(), &policy);
+        let mut session = SessionState::new();
+        for _ in 0..4 {
+            engine
+                .check_session(
+                    "acme",
+                    &policy.task,
+                    &ctx(),
+                    &mut session,
+                    &call("send_email", &["alice"]),
+                )
+                .unwrap();
+        }
+        assert_eq!(session.steps(), 0);
+        assert_eq!(session.fingerprint(), Some(policy.fingerprint()));
     }
 }

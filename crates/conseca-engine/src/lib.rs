@@ -99,9 +99,12 @@ pub mod layer;
 pub mod persist;
 pub mod reload;
 pub mod store;
+pub mod trajectory_compile;
 
 pub use compile::CompiledPolicy;
-pub use engine::{CheckJob, Engine, EngineConfig, ParallelReport, ReloadReceipt, TenantCounters};
+pub use engine::{
+    CheckJob, Engine, EngineConfig, ParallelReport, ReloadReceipt, SessionState, TenantCounters,
+};
 pub use layer::CompiledPolicyLayer;
 pub use persist::{
     decode_snapshot, Snapshot, SnapshotEntry, SnapshotError, SnapshotReceipt, TenantSnapshot,
@@ -109,3 +112,4 @@ pub use persist::{
 };
 pub use reload::{ReloadCoordinator, ReloadOutcome, SweepReport};
 pub use store::{EngineKey, ExportedSlot, PolicyStore, StoreConfig};
+pub use trajectory_compile::{CompiledTrajectory, TrajectoryState};

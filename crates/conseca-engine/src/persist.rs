@@ -499,6 +499,53 @@ mod tests {
     }
 
     #[test]
+    fn trajectory_policies_survive_warm_start_without_resurrecting_budgets() {
+        use crate::engine::SessionState;
+        use conseca_core::TrajectoryPolicy;
+
+        let source = Engine::default();
+        let mut p = policy("budgeted task");
+        p.set_trajectory(TrajectoryPolicy::new().budget(1).forbid_after(
+            "send_email",
+            "delete_email",
+            "order",
+        ));
+        source.install("acme", &p.task, &ctx(), &p);
+
+        // Spend the budget against the source engine's session.
+        let mut session = SessionState::new();
+        let send = call("send_email", &["alice"]);
+        assert!(
+            source.check_session("acme", &p.task, &ctx(), &mut session, &send).unwrap().allowed
+        );
+
+        let snapshot = source.store().export_snapshot("acme").unwrap();
+        let fresh = Engine::default();
+        fresh.store().import_snapshot("acme", &snapshot.bytes, &none_revoked()).unwrap();
+
+        // The warm-started snapshot decodes the trajectory block: same
+        // fingerprint, compiled automata present.
+        let restored = fresh.lookup("acme", &p.task, &ctx()).unwrap();
+        assert_eq!(restored.fingerprint(), p.fingerprint());
+        assert!(restored.trajectory().is_some(), "the trajectory block must survive the codec");
+
+        // The session carried across the warm start still remembers the
+        // spent budget — restoring policies must not restore allowances.
+        let denied = fresh.check_session("acme", &p.task, &ctx(), &mut session, &send).unwrap();
+        assert!(!denied.allowed, "warm start must not resurrect a spent budget");
+
+        // A genuinely new session against the restored snapshot starts
+        // fresh, as it would have on the source engine.
+        let mut fresh_session = SessionState::new();
+        assert!(
+            fresh
+                .check_session("acme", &p.task, &ctx(), &mut fresh_session, &send)
+                .unwrap()
+                .allowed
+        );
+    }
+
+    #[test]
     fn snapshot_files_warm_start_an_engine() {
         let dir = std::env::temp_dir().join("conseca-persist-test");
         std::fs::create_dir_all(&dir).unwrap();

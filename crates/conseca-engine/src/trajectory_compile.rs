@@ -1,0 +1,609 @@
+//! Trajectory compilation: lowering a [`TrajectoryPolicy`] into compact
+//! automata and counter tables for the engine's hot check path.
+//!
+//! The interpreted [`TrajectoryEnforcer`](conseca_core::TrajectoryEnforcer)
+//! re-derives every fact from the full call history on each check: a rate
+//! limit walks a `HashMap`, a sliding window re-scans the last `window`
+//! history entries, an ordering rule re-scans *all* of history, and the
+//! history itself grows without bound. [`CompiledTrajectory::compile`]
+//! does the derivation once, turning each rule into a reference into a
+//! small state vector:
+//!
+//! - the total budget becomes one step counter comparison;
+//! - each rate-limited API gets one slot in a counter table;
+//! - each ordering rule and `ApiCalled` precondition becomes a two-state
+//!   automaton — one latched `fired` bit per unique trigger API;
+//! - each `ApiCalledWithArg` precondition becomes a latched watch bit;
+//! - each sliding window keeps only the recent fire-steps of its API in a
+//!   pruned deque, never the whole history;
+//! - `SameArgAsPrior` preconditions intern seen argument values into a
+//!   hash set per (API, argument index) tracker.
+//!
+//! Per-session mutable state lives in a [`TrajectoryState`] — small
+//! fixed-size vectors sized by the compiled tables —
+//! [`check`](CompiledTrajectory::check) never allocates on the allow
+//! path, and [`record`](CompiledTrajectory::record) advances the clock.
+//!
+//! The contract is **semantic identity** with the interpreted enforcer:
+//! same rule evaluation order (budget, rate limits, window limits, order
+//! rules, sequence rules — each in declaration order), same decisions,
+//! same rationales, same structured violations, byte for byte. The
+//! differential property tests in `tests/trajectory_differential.rs` pin
+//! this down across random policies and call sequences.
+
+use std::collections::{HashSet, VecDeque};
+
+use conseca_core::trajectory::{PriorCondition, TrajectoryPolicy, BUDGET_RATIONALE};
+use conseca_core::{TrajectoryDecision, Violation};
+use conseca_shell::ApiCall;
+
+/// A compiled per-API rate limit: counter-table slot plus the cap.
+#[derive(Debug, Clone)]
+struct RateRule {
+    api: Box<str>,
+    counter: u32,
+    max_calls: usize,
+    rationale: Box<str>,
+}
+
+/// A compiled sliding-window limit: window-table slot plus cap and span.
+#[derive(Debug, Clone)]
+struct WindowRule {
+    api: Box<str>,
+    window_slot: u32,
+    max_calls: usize,
+    window: usize,
+    rationale: Box<str>,
+}
+
+/// A compiled ordering rule: denies `api` once the `trigger` bit is set.
+#[derive(Debug, Clone)]
+struct OrderRuleC {
+    api: Box<str>,
+    after: Box<str>,
+    trigger: u32,
+    rationale: Box<str>,
+}
+
+/// The compiled form of a sequence rule's precondition.
+#[derive(Debug, Clone)]
+enum SeqCond {
+    /// `PriorCondition::ApiCalled` — a latched trigger bit.
+    Fired(u32),
+    /// `PriorCondition::ApiCalledWithArg` — a latched watch bit.
+    Watched(u32),
+    /// `PriorCondition::SameArgAsPrior` — membership in a tracker's
+    /// seen-argument set, keyed by this call's `this_index` argument.
+    SeenArg { tracker: u32, this_index: usize },
+}
+
+/// A compiled sequence rule.
+#[derive(Debug, Clone)]
+struct SeqRule {
+    api: Box<str>,
+    cond: SeqCond,
+    rationale: Box<str>,
+}
+
+/// A watch: latches when `api` is recorded with argument `index`
+/// containing `needle`.
+#[derive(Debug, Clone)]
+struct Watch {
+    api: Box<str>,
+    index: usize,
+    needle: Box<str>,
+}
+
+/// A tracker: interns argument `prior_index` of every recorded `api` call.
+#[derive(Debug, Clone)]
+struct Tracker {
+    api: Box<str>,
+    prior_index: usize,
+}
+
+/// A [`TrajectoryPolicy`] lowered into automaton tables.
+///
+/// Immutable and shareable: all per-session mutation lives in the
+/// [`TrajectoryState`] the caller threads through
+/// [`check`](Self::check)/[`record`](Self::record).
+#[derive(Debug, Clone)]
+pub struct CompiledTrajectory {
+    budget: Option<usize>,
+    rate_rules: Box<[RateRule]>,
+    window_rules: Box<[WindowRule]>,
+    order_rules: Box<[OrderRuleC]>,
+    seq_rules: Box<[SeqRule]>,
+    /// Unique rate-limited APIs; parallel to `TrajectoryState::counts`.
+    counter_apis: Box<[Box<str>]>,
+    /// Unique latch-trigger APIs; parallel to `TrajectoryState::fired`.
+    trigger_apis: Box<[Box<str>]>,
+    /// Unique windowed APIs with the widest window referencing each;
+    /// parallel to `TrajectoryState::windows`.
+    window_apis: Box<[(Box<str>, usize)]>,
+    watches: Box<[Watch]>,
+    trackers: Box<[Tracker]>,
+}
+
+/// One session's trajectory progress: a logical step clock plus the
+/// fixed-size counter/automaton vectors the compiled tables index into.
+///
+/// Create with [`CompiledTrajectory::new_state`]; the state is only
+/// meaningful against the [`CompiledTrajectory`] that created it (the
+/// engine keys session state by policy fingerprint for exactly this
+/// reason).
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryState {
+    /// Logical step clock: number of recorded actions.
+    steps: u64,
+    counts: Box<[u64]>,
+    fired: Box<[bool]>,
+    windows: Box<[VecDeque<u64>]>,
+    watches: Box<[bool]>,
+    seen_args: Box<[HashSet<Box<str>>]>,
+}
+
+impl TrajectoryState {
+    /// The logical step clock — how many actions have been recorded.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+/// Interns `api` into `table`, returning its index.
+fn intern(table: &mut Vec<Box<str>>, api: &str) -> u32 {
+    match table.iter().position(|a| a.as_ref() == api) {
+        Some(idx) => idx as u32,
+        None => {
+            table.push(api.into());
+            (table.len() - 1) as u32
+        }
+    }
+}
+
+impl CompiledTrajectory {
+    /// Compiles `policy`, or returns `None` when it constrains nothing —
+    /// an empty trajectory block must cost literally zero on the check
+    /// path.
+    pub fn compile(policy: &TrajectoryPolicy) -> Option<Self> {
+        if policy.is_empty() {
+            return None;
+        }
+        let mut counter_apis: Vec<Box<str>> = Vec::new();
+        let rate_rules: Box<[RateRule]> = policy
+            .rate_limits
+            .iter()
+            .map(|l| RateRule {
+                api: l.api.as_str().into(),
+                counter: intern(&mut counter_apis, &l.api),
+                max_calls: l.max_calls,
+                rationale: l.rationale.as_str().into(),
+            })
+            .collect();
+
+        // One pruned deque per unique windowed API, retaining enough
+        // steps to serve the widest window that watches it.
+        let mut window_apis: Vec<(Box<str>, usize)> = Vec::new();
+        let window_rules: Box<[WindowRule]> = policy
+            .window_limits
+            .iter()
+            .map(|w| {
+                let slot = match window_apis.iter().position(|(a, _)| a.as_ref() == w.api.as_str())
+                {
+                    Some(idx) => {
+                        window_apis[idx].1 = window_apis[idx].1.max(w.window);
+                        idx as u32
+                    }
+                    None => {
+                        window_apis.push((w.api.as_str().into(), w.window));
+                        (window_apis.len() - 1) as u32
+                    }
+                };
+                WindowRule {
+                    api: w.api.as_str().into(),
+                    window_slot: slot,
+                    max_calls: w.max_calls,
+                    window: w.window,
+                    rationale: w.rationale.as_str().into(),
+                }
+            })
+            .collect();
+
+        let mut trigger_apis: Vec<Box<str>> = Vec::new();
+        let order_rules: Box<[OrderRuleC]> = policy
+            .order_rules
+            .iter()
+            .map(|o| OrderRuleC {
+                api: o.api.as_str().into(),
+                after: o.after.as_str().into(),
+                trigger: intern(&mut trigger_apis, &o.after),
+                rationale: o.rationale.as_str().into(),
+            })
+            .collect();
+
+        let mut watches: Vec<Watch> = Vec::new();
+        let mut trackers: Vec<Tracker> = Vec::new();
+        let seq_rules: Box<[SeqRule]> = policy
+            .sequence_rules
+            .iter()
+            .map(|r| {
+                let cond = match &r.requires {
+                    PriorCondition::ApiCalled(api) => {
+                        SeqCond::Fired(intern(&mut trigger_apis, api))
+                    }
+                    PriorCondition::ApiCalledWithArg { api, index, needle } => {
+                        let pos = watches.iter().position(|w| {
+                            w.api.as_ref() == api.as_str()
+                                && w.index == *index
+                                && w.needle.as_ref() == needle.as_str()
+                        });
+                        let idx = match pos {
+                            Some(idx) => idx as u32,
+                            None => {
+                                watches.push(Watch {
+                                    api: api.as_str().into(),
+                                    index: *index,
+                                    needle: needle.as_str().into(),
+                                });
+                                (watches.len() - 1) as u32
+                            }
+                        };
+                        SeqCond::Watched(idx)
+                    }
+                    PriorCondition::SameArgAsPrior { api, prior_index, this_index } => {
+                        let pos = trackers.iter().position(|t| {
+                            t.api.as_ref() == api.as_str() && t.prior_index == *prior_index
+                        });
+                        let idx = match pos {
+                            Some(idx) => idx as u32,
+                            None => {
+                                trackers.push(Tracker {
+                                    api: api.as_str().into(),
+                                    prior_index: *prior_index,
+                                });
+                                (trackers.len() - 1) as u32
+                            }
+                        };
+                        SeqCond::SeenArg { tracker: idx, this_index: *this_index }
+                    }
+                };
+                SeqRule { api: r.api.as_str().into(), cond, rationale: r.rationale.as_str().into() }
+            })
+            .collect();
+
+        Some(CompiledTrajectory {
+            budget: policy.max_total_actions,
+            rate_rules,
+            window_rules,
+            order_rules,
+            seq_rules,
+            counter_apis: counter_apis.into_boxed_slice(),
+            trigger_apis: trigger_apis.into_boxed_slice(),
+            window_apis: window_apis.into_boxed_slice(),
+            watches: watches.into_boxed_slice(),
+            trackers: trackers.into_boxed_slice(),
+        })
+    }
+
+    /// A fresh session state sized for this policy's tables.
+    pub fn new_state(&self) -> TrajectoryState {
+        TrajectoryState {
+            steps: 0,
+            counts: vec![0; self.counter_apis.len()].into_boxed_slice(),
+            fired: vec![false; self.trigger_apis.len()].into_boxed_slice(),
+            windows: vec![VecDeque::new(); self.window_apis.len()].into_boxed_slice(),
+            watches: vec![false; self.watches.len()].into_boxed_slice(),
+            seen_args: vec![HashSet::new(); self.trackers.len()].into_boxed_slice(),
+        }
+    }
+
+    /// Checks whether `call` is admissible given `state`, without
+    /// mutating it. Allocation-free on the allow path.
+    ///
+    /// Byte-identical to
+    /// [`TrajectoryEnforcer::check`](conseca_core::TrajectoryEnforcer::check)
+    /// over the same recorded sequence: same rule order, same rationale
+    /// text, same violation values.
+    pub fn check(&self, state: &TrajectoryState, call: &ApiCall) -> TrajectoryDecision {
+        if let Some(max) = self.budget {
+            if state.steps >= max as u64 {
+                return TrajectoryDecision {
+                    allowed: false,
+                    rationale: BUDGET_RATIONALE.to_owned(),
+                    violation: Some(Violation::BudgetExhausted { max }),
+                };
+            }
+        }
+        for rule in &self.rate_rules {
+            if rule.api.as_ref() == call.name {
+                let used = state.counts[rule.counter as usize] as usize;
+                if used >= rule.max_calls {
+                    return TrajectoryDecision {
+                        allowed: false,
+                        rationale: rule.rationale.to_string(),
+                        violation: Some(Violation::RateLimited {
+                            api: call.name.clone(),
+                            limit: rule.max_calls,
+                            used,
+                        }),
+                    };
+                }
+            }
+        }
+        for rule in &self.window_rules {
+            if rule.api.as_ref() == call.name {
+                // Steps inside the window are those `>= steps - window`;
+                // the deque is ascending, so count from the back.
+                let threshold = state.steps.saturating_sub(rule.window as u64);
+                let deque = &state.windows[rule.window_slot as usize];
+                let used = deque.iter().rev().take_while(|&&s| s >= threshold).count();
+                if used >= rule.max_calls {
+                    return TrajectoryDecision {
+                        allowed: false,
+                        rationale: rule.rationale.to_string(),
+                        violation: Some(Violation::WindowRateLimited {
+                            api: call.name.clone(),
+                            limit: rule.max_calls,
+                            used,
+                            window: rule.window,
+                        }),
+                    };
+                }
+            }
+        }
+        for rule in &self.order_rules {
+            if rule.api.as_ref() == call.name && state.fired[rule.trigger as usize] {
+                return TrajectoryDecision {
+                    allowed: false,
+                    rationale: rule.rationale.to_string(),
+                    violation: Some(Violation::OrderForbidden {
+                        api: call.name.clone(),
+                        after: rule.after.to_string(),
+                    }),
+                };
+            }
+        }
+        for rule in &self.seq_rules {
+            if rule.api.as_ref() == call.name && !self.cond_satisfied(&rule.cond, state, call) {
+                return TrajectoryDecision {
+                    allowed: false,
+                    rationale: rule.rationale.to_string(),
+                    violation: Some(Violation::SequenceUnmet {
+                        api: call.name.clone(),
+                        requirement: rule.rationale.to_string(),
+                    }),
+                };
+            }
+        }
+        TrajectoryDecision { allowed: true, rationale: String::new(), violation: None }
+    }
+
+    fn cond_satisfied(&self, cond: &SeqCond, state: &TrajectoryState, call: &ApiCall) -> bool {
+        match cond {
+            SeqCond::Fired(idx) => state.fired[*idx as usize],
+            SeqCond::Watched(idx) => state.watches[*idx as usize],
+            SeqCond::SeenArg { tracker, this_index } => match call.args.get(*this_index) {
+                Some(wanted) => state.seen_args[*tracker as usize].contains(wanted.as_str()),
+                None => false,
+            },
+        }
+    }
+
+    /// Records an executed action into `state`: bumps counters, latches
+    /// trigger and watch bits, appends to (and prunes) window deques,
+    /// interns tracked argument values, and advances the step clock.
+    pub fn record(&self, state: &mut TrajectoryState, call: &ApiCall) {
+        let step = state.steps;
+        state.steps += 1;
+        for (idx, api) in self.counter_apis.iter().enumerate() {
+            if api.as_ref() == call.name {
+                state.counts[idx] += 1;
+            }
+        }
+        for (idx, api) in self.trigger_apis.iter().enumerate() {
+            if api.as_ref() == call.name {
+                state.fired[idx] = true;
+            }
+        }
+        for (idx, (api, widest)) in self.window_apis.iter().enumerate() {
+            if api.as_ref() == call.name {
+                let deque = &mut state.windows[idx];
+                deque.push_back(step);
+                // Steps the widest window can no longer see will never be
+                // counted again; drop them so the deque stays O(window).
+                let horizon = state.steps.saturating_sub(*widest as u64);
+                while deque.front().is_some_and(|&s| s < horizon) {
+                    deque.pop_front();
+                }
+            }
+        }
+        for (idx, watch) in self.watches.iter().enumerate() {
+            if !state.watches[idx]
+                && watch.api.as_ref() == call.name
+                && call
+                    .args
+                    .get(watch.index)
+                    .map(|a| a.contains(watch.needle.as_ref()))
+                    .unwrap_or(false)
+            {
+                state.watches[idx] = true;
+            }
+        }
+        for (idx, tracker) in self.trackers.iter().enumerate() {
+            if tracker.api.as_ref() == call.name {
+                if let Some(v) = call.args.get(tracker.prior_index) {
+                    let set = &mut state.seen_args[idx];
+                    if !set.contains(v.as_str()) {
+                        set.insert(v.as_str().into());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use conseca_core::{TrajectoryEnforcer, TrajectoryPolicy};
+
+    fn call(name: &str, args: &[&str]) -> ApiCall {
+        ApiCall::new("t", name, args.iter().map(|s| s.to_string()).collect())
+    }
+
+    /// Runs `calls` through both enforcers with check-and-advance
+    /// semantics, asserting byte-identical decisions at every step.
+    fn assert_parity(policy: &TrajectoryPolicy, calls: &[ApiCall]) {
+        let compiled = CompiledTrajectory::compile(policy).expect("non-empty policy");
+        let mut state = compiled.new_state();
+        let mut interpreted = TrajectoryEnforcer::new(policy.clone());
+        for c in calls {
+            let fast = compiled.check(&state, c);
+            let slow = interpreted.check(c);
+            assert_eq!(fast, slow, "divergence on {}", c.raw);
+            if fast.allowed {
+                compiled.record(&mut state, c);
+                interpreted.record(c);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_policy_compiles_to_none() {
+        assert!(CompiledTrajectory::compile(&TrajectoryPolicy::new()).is_none());
+        assert!(CompiledTrajectory::compile(&TrajectoryPolicy::new().budget(1)).is_some());
+    }
+
+    #[test]
+    fn budget_rate_and_window_parity() {
+        let policy = TrajectoryPolicy::new()
+            .budget(6)
+            .limit("send_email", 2, "two sends at most")
+            .limit_in_window("send_email", 1, 3, "no bursts");
+        let send = call("send_email", &["a", "b", "s", "x"]);
+        let ls = call("ls", &["/"]);
+        let seq = vec![
+            send.clone(),
+            send.clone(),
+            ls.clone(),
+            ls.clone(),
+            send.clone(),
+            ls.clone(),
+            send,
+            ls,
+        ];
+        assert_parity(&policy, &seq);
+    }
+
+    #[test]
+    fn order_rule_is_a_latched_automaton() {
+        let policy =
+            TrajectoryPolicy::new().forbid_after("send_email", "read_secret", "no exfiltration");
+        let compiled = CompiledTrajectory::compile(&policy).unwrap();
+        let mut state = compiled.new_state();
+        let send = call("send_email", &["a", "b", "s", "x"]);
+        assert!(compiled.check(&state, &send).allowed);
+        compiled.record(&mut state, &send);
+        compiled.record(&mut state, &call("read_secret", &["/vault"]));
+        let d = compiled.check(&state, &send);
+        assert!(!d.allowed);
+        assert_eq!(
+            d.violation,
+            Some(Violation::OrderForbidden {
+                api: "send_email".into(),
+                after: "read_secret".into()
+            })
+        );
+        // Parity over the same shape.
+        assert_parity(
+            &policy,
+            &[
+                call("send_email", &["a"]),
+                call("read_secret", &["/vault"]),
+                call("send_email", &["a"]),
+                call("ls", &["/"]),
+                call("send_email", &["a"]),
+            ],
+        );
+    }
+
+    #[test]
+    fn sequence_rules_parity_across_all_condition_kinds() {
+        let policy = TrajectoryPolicy::new()
+            .require(
+                "reply_email",
+                PriorCondition::ApiCalled("read_email".into()),
+                "read before replying",
+            )
+            .require(
+                "forward_email",
+                PriorCondition::ApiCalledWithArg {
+                    api: "search_email".into(),
+                    index: 0,
+                    needle: "urgent".into(),
+                },
+                "urgent workflow only",
+            )
+            .require(
+                "reply_email",
+                PriorCondition::SameArgAsPrior {
+                    api: "read_email".into(),
+                    prior_index: 0,
+                    this_index: 0,
+                },
+                "reply to what was read",
+            );
+        assert_parity(
+            &policy,
+            &[
+                call("reply_email", &["3", "hi"]),
+                call("forward_email", &["3", "x@work.com"]),
+                call("read_email", &["3"]),
+                call("reply_email", &["3", "hi"]),
+                call("reply_email", &["9", "hi"]),
+                call("search_email", &["very urgent indeed"]),
+                call("forward_email", &["3", "x@work.com"]),
+                call("reply_email", &[]),
+            ],
+        );
+    }
+
+    #[test]
+    fn window_pruning_keeps_the_deque_bounded() {
+        let policy = TrajectoryPolicy::new().limit_in_window("ping", 2, 4, "slow down");
+        let compiled = CompiledTrajectory::compile(&policy).unwrap();
+        let mut state = compiled.new_state();
+        let ping = call("ping", &[]);
+        let mut recorded = 0usize;
+        for _ in 0..200 {
+            if compiled.check(&state, &ping).allowed {
+                compiled.record(&mut state, &ping);
+                recorded += 1;
+            } else {
+                // Advance the clock with an unrelated call.
+                compiled.record(&mut state, &call("ls", &["/"]));
+            }
+        }
+        assert!(recorded > 50, "the window must keep sliding open");
+        assert!(
+            state.windows[0].len() <= 5,
+            "deque grew to {} entries despite pruning",
+            state.windows[0].len()
+        );
+    }
+
+    #[test]
+    fn shared_tables_are_deduplicated() {
+        let policy = TrajectoryPolicy::new()
+            .limit("a", 1, "r1")
+            .limit("a", 2, "r2")
+            .forbid_after("x", "t", "r")
+            .require("y", PriorCondition::ApiCalled("t".into()), "r")
+            .limit_in_window("w", 1, 2, "r")
+            .limit_in_window("w", 3, 7, "r");
+        let compiled = CompiledTrajectory::compile(&policy).unwrap();
+        assert_eq!(compiled.counter_apis.len(), 1, "both limits share one counter");
+        assert_eq!(compiled.trigger_apis.len(), 1, "order rule and ApiCalled share the trigger");
+        assert_eq!(compiled.window_apis.len(), 1, "both windows share one deque");
+        assert_eq!(compiled.window_apis[0].1, 7, "the deque keeps the widest window");
+    }
+}

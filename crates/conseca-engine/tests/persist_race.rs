@@ -153,7 +153,10 @@ fn a_restore_racing_installs_never_displaces_newer_policies() {
             let bytes = snapshot.bytes.clone();
             scope.spawn(move || {
                 let mut restored = 0u64;
-                while !stop.load(Ordering::Acquire) {
+                // At least one restore always runs, even if this thread
+                // is not scheduled until the churn loop has finished (a
+                // real starvation mode on single-vCPU hosts).
+                loop {
                     let report = engine
                         .store()
                         .import_snapshot("acme", &bytes, &HashSet::new())
@@ -163,6 +166,9 @@ fn a_restore_racing_installs_never_displaces_newer_policies() {
                     // the stale restore must always lose.
                     assert_eq!(report.installed, 0, "a stale restore displaced a newer install");
                     restored += 1;
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
                 }
                 restored
             })

@@ -27,11 +27,22 @@
 //!
 //! The dispatcher is where the async layer earns its keep: under
 //! concurrent load the queue fills between polls, so one store lookup and
-//! one tenant-stats resolution serve many clients' checks (visible in
-//! [`ServeMetrics::coalesced_checks`]). The engine itself is untouched —
-//! every verdict is produced by the same [`Engine::check_all`] the
-//! in-process path uses, which is what keeps served decisions
-//! byte-identical.
+//! one tenant-stats resolution serve a connection's queued checks
+//! (visible in [`ServeMetrics::coalesced_checks`]). The engine itself is
+//! untouched — every verdict is produced by the same
+//! [`Engine::check_all_session`] the in-process path uses, which is what
+//! keeps served decisions byte-identical.
+//!
+//! # Trajectory sessions
+//!
+//! Each connection owns one [`SessionState`] per policy key, held in the
+//! server's session table. Checks from the connection advance that
+//! state, so a policy's temporal constraints (call budgets, ordering
+//! rules, sliding windows) bind across the connection's whole
+//! conversation; closing the connection drops its sessions. This is why
+//! check coalescing groups by *(connection, key)* rather than key alone —
+//! two connections checking under the same policy spend their own
+//! budgets, never each other's.
 
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -39,7 +50,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
-use conseca_engine::{Engine, EngineKey};
+use conseca_engine::{Engine, EngineKey, SessionState};
 use conseca_shell::ApiCall;
 use futures::channel::{mpsc, oneshot};
 use futures::ThreadPool;
@@ -99,6 +110,9 @@ struct Metrics {
 }
 
 struct Job {
+    /// Which connection sent the request; checks from one connection
+    /// share that connection's trajectory session state.
+    conn_id: u64,
     request: Request,
     reply: oneshot::Sender<Response>,
 }
@@ -132,6 +146,17 @@ struct ServerState {
     /// deliberately reinstated policy is live again and restorable
     /// again), mirroring the `ReloadCoordinator` ledger semantics.
     revoked: Mutex<HashMap<Box<str>, HashSet<u64>>>,
+    /// Connection-id allocator; ids are never reused within a server's
+    /// lifetime, so a new connection can never inherit a closed
+    /// connection's trajectory state.
+    next_conn: AtomicU64,
+    /// Per-connection trajectory sessions, keyed by (connection, policy
+    /// key). A connection's checks against a trajectory-carrying policy
+    /// advance the same [`SessionState`] the engine's in-process callers
+    /// thread through `check_session`, so budgets/ordering/windows are
+    /// enforced across a connection's whole conversation. Entries are
+    /// pruned when the connection's reader exits.
+    sessions: Mutex<HashMap<(u64, EngineKey), SessionState>>,
 }
 
 struct ConnEntry {
@@ -143,6 +168,15 @@ struct ConnEntry {
 impl ServerState {
     fn ledger(&self) -> std::sync::MutexGuard<'_, HashMap<Box<str>, HashSet<u64>>> {
         self.revoked.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn sessions(&self) -> std::sync::MutexGuard<'_, HashMap<(u64, EngineKey), SessionState>> {
+        self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Drops every trajectory session the closed connection owned.
+    fn prune_conn(&self, conn_id: u64) {
+        self.sessions().retain(|(owner, _), _| *owner != conn_id);
     }
 
     /// Stops accepting new connections. Existing connections keep being
@@ -204,6 +238,8 @@ impl Server {
             conns: Mutex::new(Vec::new()),
             metrics: Metrics::default(),
             revoked: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            sessions: Mutex::new(HashMap::new()),
         });
         let pool = ThreadPool::new(config.worker_threads);
         let dispatcher = Arc::clone(&state);
@@ -333,7 +369,8 @@ fn spawn_connection<S: Stream>(state: &Arc<ServerState>, stream: S) {
     let (out_tx, out_rx) = std::sync::mpsc::channel::<Outgoing>();
     let reader_state = Arc::clone(state);
     let max_frame_len = state.config.max_frame_len;
-    let reader = thread::spawn(move || read_loop(reader_state, stream, out_tx));
+    let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+    let reader = thread::spawn(move || read_loop(reader_state, conn_id, stream, out_tx));
     let writer = thread::spawn(move || write_loop(writer_stream, out_rx, max_frame_len));
     let mut conns = state.conns.lock().unwrap_or_else(|e| e.into_inner());
     // Reap connections whose threads have already exited — without this
@@ -352,6 +389,7 @@ fn spawn_connection<S: Stream>(state: &Arc<ServerState>, stream: S) {
 
 fn read_loop<S: Stream>(
     state: Arc<ServerState>,
+    conn_id: u64,
     mut stream: S,
     out: std::sync::mpsc::Sender<Outgoing>,
 ) {
@@ -420,7 +458,7 @@ fn read_loop<S: Stream>(
             }
             request => {
                 let (reply_tx, reply_rx) = oneshot::channel();
-                if state.jobs.send(Job { request, reply: reply_tx }).is_err() {
+                if state.jobs.send(Job { conn_id, request, reply: reply_tx }).is_err() {
                     // The dispatcher is gone: the server is shutting down.
                     let _ = out.send(Outgoing::Ready(Response::Error {
                         code: code::SHUTTING_DOWN,
@@ -435,6 +473,11 @@ fn read_loop<S: Stream>(
             }
         }
     }
+    // The conversation is over, however it ended: drop the connection's
+    // trajectory sessions. (In-flight jobs already queued keep their
+    // group's session semantics; a *new* connection starts fresh because
+    // connection ids are never reused.)
+    state.prune_conn(conn_id);
 }
 
 fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>, max_len: u32) {
@@ -489,8 +532,12 @@ struct PendingCheck {
     single: bool,
 }
 
-/// All checks sharing one policy key within a dispatch round.
+/// All checks sharing one policy key *and one connection* within a
+/// dispatch round. Grouping is per-connection because each connection
+/// owns its trajectory session: two connections checking the same policy
+/// must spend their own budgets, not each other's.
 struct CheckGroup {
+    conn_id: u64,
     tenant: String,
     task: String,
     context: conseca_core::TrustedContext,
@@ -523,7 +570,8 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
     // own later Install or Flush (docs/serving.md §1 permits
     // pipelining).
     let mut groups: Vec<CheckGroup> = Vec::new();
-    let mut index: std::collections::HashMap<EngineKey, usize> = std::collections::HashMap::new();
+    let mut index: std::collections::HashMap<(u64, EngineKey), usize> =
+        std::collections::HashMap::new();
 
     for job in batch {
         match job.request {
@@ -531,6 +579,7 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                 push_check(
                     &mut groups,
                     &mut index,
+                    job.conn_id,
                     tenant,
                     task,
                     context,
@@ -540,7 +589,17 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                 );
             }
             Request::CheckBatch { tenant, task, context, calls } => {
-                push_check(&mut groups, &mut index, tenant, task, context, calls, false, job.reply);
+                push_check(
+                    &mut groups,
+                    &mut index,
+                    job.conn_id,
+                    tenant,
+                    task,
+                    context,
+                    calls,
+                    false,
+                    job.reply,
+                );
             }
             other => {
                 flush_checks(state, &mut groups, &mut index);
@@ -658,7 +717,8 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
 #[allow(clippy::too_many_arguments)]
 fn push_check(
     groups: &mut Vec<CheckGroup>,
-    index: &mut std::collections::HashMap<EngineKey, usize>,
+    index: &mut std::collections::HashMap<(u64, EngineKey), usize>,
+    conn_id: u64,
     tenant: String,
     task: String,
     context: conseca_core::TrustedContext,
@@ -667,8 +727,15 @@ fn push_check(
     reply: oneshot::Sender<Response>,
 ) {
     let key = EngineKey::new(&tenant, &task, &context);
-    let slot = *index.entry(key).or_insert_with(|| {
-        groups.push(CheckGroup { tenant, task, context, calls: Vec::new(), pending: Vec::new() });
+    let slot = *index.entry((conn_id, key)).or_insert_with(|| {
+        groups.push(CheckGroup {
+            conn_id,
+            tenant,
+            task,
+            context,
+            calls: Vec::new(),
+            pending: Vec::new(),
+        });
         groups.len() - 1
     });
     let group = &mut groups[slot];
@@ -683,15 +750,29 @@ fn push_check(
 fn flush_checks(
     state: &Arc<ServerState>,
     groups: &mut Vec<CheckGroup>,
-    index: &mut std::collections::HashMap<EngineKey, usize>,
+    index: &mut std::collections::HashMap<(u64, EngineKey), usize>,
 ) {
     index.clear();
     for group in groups.drain(..) {
         if group.pending.len() > 1 {
             state.metrics.coalesced_checks.fetch_add(group.calls.len() as u64, Ordering::Relaxed);
         }
-        let decisions =
-            state.engine.check_all(&group.tenant, &group.task, &group.context, &group.calls);
+        // The connection's trajectory session is checked out for the
+        // group, advanced through the coalesced batch, and checked back
+        // in — never held across the engine call's store lookup under the
+        // table lock's critical section twice, and never shared between
+        // connections.
+        let session_key =
+            (group.conn_id, EngineKey::new(&group.tenant, &group.task, &group.context));
+        let mut session = state.sessions().remove(&session_key).unwrap_or_default();
+        let decisions = state.engine.check_all_session(
+            &group.tenant,
+            &group.task,
+            &group.context,
+            &mut session,
+            &group.calls,
+        );
+        state.sessions().insert(session_key, session);
         for pending in group.pending {
             let response = match (&decisions, pending.single) {
                 (None, true) => Response::Verdict { decision: None },

@@ -45,7 +45,14 @@ pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 /// are additive (receivers answer unknown tags with
 /// [`code::UNKNOWN_TAG`]).
 ///
-/// Version history: **3** added the `Snapshot`/`Restore` persistence
+/// Version history: **4** extended the policy payload with the
+/// trajectory block (call budgets, per-API rate limits, sliding-window
+/// limits, ordering rules, sequence rules — codec version 2) and the
+/// decision payload with the `WindowRateLimited`/`OrderForbidden`
+/// violations; servers also began holding per-connection trajectory
+/// sessions, so a connection's checks advance its own budgets (bumped
+/// because both `Install`/`Reload`/`PolicyOk` and `Verdict` payloads
+/// changed layout). **3** added the `Snapshot`/`Restore` persistence
 /// messages and encode-side frame-cap enforcement with the
 /// [`code::FRAME_TOO_LARGE`]-overridable limit (bumped so a client that
 /// depends on snapshot support fails fast against older servers). **2**
@@ -53,7 +60,7 @@ pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 /// (a payload change to `StatsOk`, hence the bump) and added the
 /// `Revoke`/`Reload` hot-reload messages. **1** was the initial
 /// protocol.
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// Default cap on `length` (tag + payload) a peer will accept. Frames
 /// above the cap are answered with [`code::FRAME_TOO_LARGE`] and the
@@ -1008,6 +1015,8 @@ mod tests {
             Violation::CannotExecute,
             Violation::ArgMismatch { index: 2, constraint: "~ /a/".into(), value: "b\nc".into() },
             Violation::RateLimited { api: "send_email".into(), limit: 2, used: 2 },
+            Violation::WindowRateLimited { api: "send_email".into(), limit: 1, used: 1, window: 5 },
+            Violation::OrderForbidden { api: "send_email".into(), after: "read_secret".into() },
             Violation::SequenceUnmet { api: "rm".into(), requirement: "list first".into() },
             Violation::BudgetExhausted { max: 100 },
             Violation::OverrideDeclined { underlying: None },

@@ -82,9 +82,10 @@ fn oversized_frame_is_refused_and_the_connection_closes() {
     let mut raw = server.connect_stream().unwrap();
     greet(&mut raw);
     // Announce a frame far over the cap. The server answers without ever
-    // reading the payload, then closes.
+    // reading the payload, then closes — so it may have closed before
+    // this trailing byte lands; a refused write is the race, not a bug.
     raw.write_all(&(1_000_000u32).to_be_bytes()).unwrap();
-    raw.write_all(&[0x02]).unwrap();
+    let _ = raw.write_all(&[0x02]);
     match read_response(&mut raw) {
         Response::Error { code: c, message } => {
             assert_eq!(c, code::FRAME_TOO_LARGE);
@@ -641,5 +642,60 @@ fn wire_revocations_gate_restores_even_with_an_empty_request_set() {
         (1, 0),
         "a deliberate reinstall clears the ledger entry"
     );
+    server.shutdown();
+}
+
+fn budgeted_policy(budget: usize) -> Policy {
+    use conseca_core::TrajectoryPolicy;
+    let mut p = Policy::new("t");
+    p.set("list_emails", PolicyEntry::allow_any("listing is the task"));
+    p.set_trajectory(TrajectoryPolicy::new().budget(budget));
+    p
+}
+
+#[test]
+fn trajectory_sessions_bind_across_a_connection() {
+    let server = start();
+    let mut client = server.connect().unwrap();
+    let context = ctx();
+    client.install("acme", "t", &context, &budgeted_policy(2)).unwrap();
+    let list = call("list_emails", &["Inbox"]);
+    for _ in 0..2 {
+        let d = client.check("acme", "t", &context, &list).unwrap().unwrap();
+        assert!(d.allowed);
+    }
+    let third = client.check("acme", "t", &context, &list).unwrap().unwrap();
+    assert!(!third.allowed, "the third check on this connection must exhaust the budget");
+    assert_eq!(third.violation, Some(conseca_core::Violation::BudgetExhausted { max: 2 }));
+    // Batched checks advance the same session: everything is spent now.
+    let batch = client.check_all("acme", "t", &context, &[list.clone(), list]).unwrap().unwrap();
+    assert!(batch.iter().all(|d| !d.allowed));
+    server.shutdown();
+}
+
+#[test]
+fn trajectory_sessions_are_isolated_per_connection() {
+    let server = start();
+    let mut first = server.connect().unwrap();
+    let mut second = server.connect().unwrap();
+    let context = ctx();
+    first.install("acme", "t", &context, &budgeted_policy(1)).unwrap();
+    let list = call("list_emails", &["Inbox"]);
+
+    // The first connection spends its budget...
+    assert!(first.check("acme", "t", &context, &list).unwrap().unwrap().allowed);
+    assert!(!first.check("acme", "t", &context, &list).unwrap().unwrap().allowed);
+
+    // ...and the second connection's budget is untouched.
+    assert!(
+        second.check("acme", "t", &context, &list).unwrap().unwrap().allowed,
+        "one connection's spent budget must never leak into another's session"
+    );
+
+    // Closing the first connection drops its session; a fresh connection
+    // starts a fresh trajectory even though ids are never reused.
+    first.close();
+    let mut third = server.connect().unwrap();
+    assert!(third.check("acme", "t", &context, &list).unwrap().unwrap().allowed);
     server.shutdown();
 }

@@ -22,8 +22,8 @@ use std::sync::Arc;
 
 use conseca_agent::TaskReport;
 use conseca_core::pipeline::PipelineBuilder;
-use conseca_core::{render_policy, Decision, Policy, TrustedContext};
-use conseca_engine::{decode_snapshot, Engine, TenantCounters};
+use conseca_core::{render_policy, Decision, Policy, TrajectoryEnforcer, TrustedContext};
+use conseca_engine::{decode_snapshot, Engine, SessionState, TenantCounters};
 use conseca_serve::wire::encode_decision;
 use conseca_serve::{Client, ServeConfig, Server};
 use conseca_shell::ApiCall;
@@ -186,6 +186,12 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
     // from `PolicyStore::{export,import}_snapshot`.
     let mut snapshot: Option<Vec<Arc<Policy>>> = None;
     let mut revoked_fps: HashSet<u64> = HashSet::new();
+    // The interpreted sibling of the engine's `SessionState`: one
+    // trajectory enforcer keyed to the fingerprint it was built against,
+    // re-keyed when a check resolves a semantically different policy,
+    // and — crucially — *not* reset by Revoke/Flush/WarmStart, because
+    // session state lives outside the policy store on every path.
+    let mut session: Option<(u64, TrajectoryEnforcer)> = None;
     let screen = |policy: &Policy, calls: &[ApiCall]| -> Vec<Decision> {
         PipelineBuilder::new()
             .policy(policy)
@@ -199,6 +205,46 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
             })
             .collect()
     };
+    // Session semantics identical to `Engine::check_session`: sync the
+    // session to the resolved policy first, screen per-API rules, then
+    // let the trajectory enforcer judge — and record — allowed calls.
+    let mut screen_session = |policy: &Arc<Policy>, calls: &[ApiCall]| -> Vec<Decision> {
+        match &mut session {
+            Some((fp, _)) if *fp == policy.fingerprint() => {}
+            slot => {
+                *slot = (!policy.trajectory.is_empty()).then(|| {
+                    (policy.fingerprint(), TrajectoryEnforcer::new(policy.trajectory.clone()))
+                });
+                // A trajectory-free policy clears the slot entirely; the
+                // engine equivalently holds no `TrajectoryState`.
+                if policy.trajectory.is_empty() {
+                    *slot = None;
+                }
+            }
+        }
+        calls
+            .iter()
+            .map(|call| {
+                let mut decision =
+                    screen(policy, std::slice::from_ref(call)).pop().expect("one verdict");
+                if decision.allowed {
+                    if let Some((_, enforcer)) = &mut session {
+                        let verdict = enforcer.check(call);
+                        if verdict.allowed {
+                            enforcer.record(call);
+                        } else {
+                            decision = Decision {
+                                allowed: false,
+                                rationale: verdict.rationale,
+                                violation: verdict.violation,
+                            };
+                        }
+                    }
+                }
+                decision
+            })
+            .collect()
+    };
     ops.iter()
         .map(|op| match op {
             PolicyOp::Install(policy) => {
@@ -206,13 +252,13 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
                 encode_install(policy)
             }
             PolicyOp::Check(call) => {
-                let decision = current
-                    .as_ref()
-                    .map(|p| screen(p, std::slice::from_ref(call)).pop().expect("one verdict"));
+                let decision = current.as_ref().map(|p| {
+                    screen_session(p, std::slice::from_ref(call)).pop().expect("one verdict")
+                });
                 encode_opt_decision(&decision)
             }
             PolicyOp::CheckBatch(calls) => {
-                let decisions = current.as_ref().map(|p| screen(p, calls));
+                let decisions = current.as_ref().map(|p| screen_session(p, calls));
                 encode_opt_batch(&decisions)
             }
             PolicyOp::Revoke(fingerprint) => {
@@ -264,6 +310,9 @@ fn run_engine(
     let engine = Engine::default();
     let mut snapshot: Option<Vec<u8>> = None;
     let mut revoked_fps: HashSet<u64> = HashSet::new();
+    // One trajectory session per script run, matching the one-client
+    // connection the served path holds for the whole script.
+    let mut session = SessionState::new();
     let outcomes = ops
         .iter()
         .map(|op| match op {
@@ -271,12 +320,20 @@ fn run_engine(
                 engine.install(tenant, task, context, policy);
                 encode_install(policy)
             }
-            PolicyOp::Check(call) => {
-                encode_opt_decision(&engine.check(tenant, task, context, call))
-            }
-            PolicyOp::CheckBatch(calls) => {
-                encode_opt_batch(&engine.check_all(tenant, task, context, calls))
-            }
+            PolicyOp::Check(call) => encode_opt_decision(&engine.check_session(
+                tenant,
+                task,
+                context,
+                &mut session,
+                call,
+            )),
+            PolicyOp::CheckBatch(calls) => encode_opt_batch(&engine.check_all_session(
+                tenant,
+                task,
+                context,
+                &mut session,
+                calls,
+            )),
             PolicyOp::Revoke(fingerprint) => {
                 revoked_fps.insert(*fingerprint);
                 encode_count(engine.revoke_fingerprint(tenant, *fingerprint) as u64)
@@ -507,7 +564,7 @@ pub fn report_fingerprint(report: &TaskReport) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use conseca_core::{ArgConstraint, PolicyEntry};
+    use conseca_core::{ArgConstraint, PolicyEntry, TrajectoryPolicy, Violation};
 
     fn policy_a() -> Policy {
         let mut p = Policy::new("respond to urgent work emails");
@@ -572,6 +629,153 @@ mod tests {
         );
         a.outcomes[1][0] ^= 1; // force a divergence
         assert_conformant(&[a, b]);
+    }
+
+    /// A policy whose per-API layer allows everything the scripts call,
+    /// so every denial below is attributable to the trajectory layer.
+    fn trajectory_policy(trajectory: TrajectoryPolicy) -> Policy {
+        let mut p = Policy::new("respond to urgent work emails");
+        for api in ["send_email", "read_secret", "ls", "ping"] {
+            p.set(api, PolicyEntry::allow_any("listed for this task"));
+        }
+        p.set_trajectory(trajectory);
+        p
+    }
+
+    /// Decodes the leading decision from an `encode_opt_decision` outcome
+    /// just far enough to see present/allowed flags.
+    fn decision_flags(outcome: &[u8]) -> (bool, bool) {
+        match outcome {
+            [0] => (false, false),
+            [1, allowed, ..] => (true, *allowed == 1),
+            other => panic!("unrecognised decision encoding: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_is_conformant_across_all_paths() {
+        let policy = trajectory_policy(TrajectoryPolicy::new().budget(2));
+        let ops = vec![
+            PolicyOp::Install(policy),
+            PolicyOp::Check(call("send_email", &["alice"])),
+            PolicyOp::Check(call("ls", &[])),
+            PolicyOp::Check(call("ping", &[])), // budget of 2 spent
+            PolicyOp::CheckBatch(vec![call("ls", &[]), call("ping", &[])]),
+        ];
+        let transcripts = run_script_everywhere("acme", "t", &ctx(), &ops);
+        assert_conformant(&transcripts);
+        let outcomes = &transcripts[0].outcomes;
+        assert_eq!(decision_flags(&outcomes[1]), (true, true));
+        assert_eq!(decision_flags(&outcomes[2]), (true, true));
+        assert_eq!(decision_flags(&outcomes[3]), (true, false), "third call exhausts the budget");
+    }
+
+    #[test]
+    fn ordering_violations_are_conformant_across_all_paths() {
+        let policy = trajectory_policy(TrajectoryPolicy::new().forbid_after(
+            "send_email",
+            "read_secret",
+            "exfil guard",
+        ));
+        let ops = vec![
+            PolicyOp::Install(policy),
+            PolicyOp::Check(call("send_email", &["alice"])), // fine before the trigger
+            PolicyOp::Check(call("read_secret", &["vault"])),
+            PolicyOp::Check(call("send_email", &["alice"])), // latched: denied
+            PolicyOp::CheckBatch(vec![call("ls", &[]), call("send_email", &["bob"])]),
+        ];
+        let transcripts = run_script_everywhere("acme", "t", &ctx(), &ops);
+        assert_conformant(&transcripts);
+        let outcomes = &transcripts[0].outcomes;
+        assert_eq!(decision_flags(&outcomes[1]), (true, true));
+        assert_eq!(decision_flags(&outcomes[3]), (true, false), "order rule latches forever");
+    }
+
+    #[test]
+    fn window_limits_slide_conformantly_across_all_paths() {
+        let policy =
+            trajectory_policy(TrajectoryPolicy::new().limit_in_window("ls", 2, 3, "listing storm"));
+        let ops = vec![
+            PolicyOp::Install(policy),
+            PolicyOp::Check(call("ls", &[])),
+            PolicyOp::Check(call("ls", &[])),
+            PolicyOp::Check(call("ls", &[])), // 2 in the last 3 steps: denied
+            PolicyOp::Check(call("ping", &[])),
+            PolicyOp::Check(call("ping", &[])),
+            PolicyOp::Check(call("ls", &[])), // window slid past one ls: allowed
+        ];
+        let transcripts = run_script_everywhere("acme", "t", &ctx(), &ops);
+        assert_conformant(&transcripts);
+        let outcomes = &transcripts[0].outcomes;
+        assert_eq!(decision_flags(&outcomes[3]), (true, false), "window full");
+        assert_eq!(decision_flags(&outcomes[6]), (true, true), "window slid open again");
+    }
+
+    /// The acceptance script: install → check sequence → budget exhaust →
+    /// revoke → warm-start, byte-identical on all four paths, with the
+    /// post-warm-start check proving spent budgets are not resurrected.
+    #[test]
+    fn warm_start_does_not_resurrect_spent_budgets_on_any_path() {
+        let spent = trajectory_policy(TrajectoryPolicy::new().budget(2).forbid_after(
+            "send_email",
+            "read_secret",
+            "guard",
+        ));
+        let interim = policy_b();
+        let interim_fp = interim.fingerprint();
+        let ops = vec![
+            PolicyOp::Install(spent),
+            PolicyOp::Snapshot,
+            PolicyOp::Check(call("send_email", &["alice"])),
+            PolicyOp::Check(call("ls", &[])),
+            PolicyOp::Check(call("ping", &[])), // budget exhausted
+            PolicyOp::Reload(interim),
+            PolicyOp::Revoke(interim_fp),       // store is now empty
+            PolicyOp::Check(call("ping", &[])), // absent: nothing installed
+            PolicyOp::WarmStart,                // reinstalls the trajectory policy
+            PolicyOp::Check(call("ping", &[])), // budget must STILL be spent
+        ];
+        let transcripts = run_script_everywhere("acme", "t", &ctx(), &ops);
+        assert_conformant(&transcripts);
+        let outcomes = &transcripts[0].outcomes;
+        assert_eq!(decision_flags(&outcomes[4]), (true, false), "budget exhausted pre-revoke");
+        assert_eq!(decision_flags(&outcomes[7]), (false, false), "revoked: no policy resolves");
+        assert_eq!(
+            decision_flags(&outcomes[9]),
+            (true, false),
+            "warm-start restored the policy but must not resurrect the spent budget"
+        );
+    }
+
+    /// The interpreted mirror and the engine agree on the rationale bytes
+    /// of a trajectory denial, not just the allow/deny bit.
+    #[test]
+    fn trajectory_denials_carry_identical_violations_across_paths() {
+        let policy = trajectory_policy(TrajectoryPolicy::new().limit("ls", 1, "one is plenty"));
+        let ops = vec![
+            PolicyOp::Install(policy),
+            PolicyOp::Check(call("ls", &[])),
+            PolicyOp::Check(call("ls", &[])),
+        ];
+        let transcripts = run_script_everywhere("acme", "t", &ctx(), &ops);
+        assert_conformant(&transcripts);
+        // Sanity: the engine path really produced a RateLimited violation.
+        let engine = Engine::default();
+        engine.install(
+            "acme",
+            "t",
+            &ctx(),
+            &trajectory_policy(TrajectoryPolicy::new().limit("ls", 1, "one is plenty")),
+        );
+        let mut session = SessionState::new();
+        engine.check_session("acme", "t", &ctx(), &mut session, &call("ls", &[]));
+        let denied = engine
+            .check_session("acme", "t", &ctx(), &mut session, &call("ls", &[]))
+            .expect("installed");
+        assert_eq!(
+            denied.violation,
+            Some(Violation::RateLimited { api: "ls".into(), limit: 1, used: 1 })
+        );
     }
 
     #[test]
