@@ -3,9 +3,10 @@
 //! The build environment has no registry access, so the workspace's benches
 //! link against this minimal harness instead. It keeps Criterion's API shape
 //! (`criterion_group!`, `criterion_main!`, groups, `Bencher::iter`,
-//! `black_box`) and reports median per-iteration wall-clock time. It does
-//! no statistical analysis — numbers are for relative comparison between
-//! benches in one run, which is what the repo's throughput baselines need.
+//! `black_box`) and reports p50 and p99 per-iteration wall-clock time over
+//! the collected samples. It does no further statistical analysis —
+//! numbers are for relative comparison between benches in one run, which
+//! is what the repo's throughput baselines need.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -71,20 +72,30 @@ impl Bencher {
         }
     }
 
-    fn median(&mut self) -> Duration {
+    /// The q-th percentile (0.0..=1.0) of the per-iteration sample
+    /// means. Each sample already averages over ~1ms of iterations, so
+    /// this is a coarse tail — it catches scheduler stalls and lock
+    /// contention between samples, not single-iteration outliers.
+    fn percentile(&mut self, q: f64) -> Duration {
         if self.samples.is_empty() {
             return Duration::ZERO;
         }
         self.samples.sort();
-        self.samples[self.samples.len() / 2]
+        let rank = ((self.samples.len() as f64 - 1.0) * q).round() as usize;
+        self.samples[rank.min(self.samples.len() - 1)]
     }
 }
 
 fn run_one(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mut b = Bencher { samples: Vec::new(), sample_size };
     f(&mut b);
-    let median = b.median();
-    println!("bench {label:<48} {:>12.1} ns/iter", median.as_nanos() as f64);
+    let p50 = b.percentile(0.50);
+    let p99 = b.percentile(0.99);
+    println!(
+        "bench {label:<48} {:>12.1} ns/iter p50 {:>12.1} ns/iter p99",
+        p50.as_nanos() as f64,
+        p99.as_nanos() as f64
+    );
 }
 
 /// A named collection of related benchmarks.
@@ -180,6 +191,24 @@ mod tests {
         let mut b = Bencher { samples: Vec::new(), sample_size: 3 };
         b.iter(|| black_box(1 + 1));
         assert_eq!(b.samples.len(), 3);
+    }
+
+    #[test]
+    fn percentiles_pick_median_and_tail() {
+        let mut b = Bencher {
+            samples: vec![
+                Duration::from_nanos(30),
+                Duration::from_nanos(10),
+                Duration::from_nanos(20),
+                Duration::from_nanos(90),
+                Duration::from_nanos(40),
+            ],
+            sample_size: 5,
+        };
+        assert_eq!(b.percentile(0.50), Duration::from_nanos(30));
+        assert_eq!(b.percentile(0.99), Duration::from_nanos(90));
+        let mut empty = Bencher { samples: Vec::new(), sample_size: 0 };
+        assert_eq!(empty.percentile(0.99), Duration::ZERO);
     }
 
     #[test]

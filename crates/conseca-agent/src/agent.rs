@@ -23,7 +23,7 @@ use conseca_core::{
 use conseca_engine::{CompiledPolicy, Engine, SnapshotError, WarmStartReport};
 use conseca_llm::{ObsKind, Observation, PlannerAction, PlannerState, ScriptedPlanner};
 use conseca_mail::MailSystem;
-use conseca_serve::{Client, ClientError, RemoteSessionLayer};
+use conseca_serve::{CachedClient, CachedSessionLayer, Client, ClientError, RemoteSessionLayer};
 use conseca_shell::{parse_command, Executor, OutputTrust, ToolRegistry};
 use conseca_vfs::SharedVfs;
 
@@ -105,6 +105,11 @@ pub struct Agent<M: PolicyModel> {
     /// keeps enforcement in-process. When both an engine and a remote
     /// connection are attached, the in-process engine wins.
     remote: Option<(Client, String)>,
+    /// Subscribed cached-remote connection (tenant fixed by its
+    /// subscription): checks resolve in the client's local L1 after a
+    /// one-time policy fetch, kept sound by the server's push
+    /// invalidation channel. Precedence: engine > cached > remote.
+    cached: Option<CachedClient>,
 }
 
 /// Why [`Agent::snapshot_policies`] / [`Agent::warm_start`] failed.
@@ -162,6 +167,14 @@ enum ResolvedBackend {
         /// The context the policy is keyed by.
         context: TrustedContext,
     },
+    /// A subscribed cached-remote connection; per-action checks resolve
+    /// in the client's local L1 after a one-time policy fetch.
+    CachedRemote {
+        /// The store task the policy was fetched/installed under.
+        store_task: String,
+        /// The context the policy is keyed by.
+        context: TrustedContext,
+    },
 }
 
 impl<M: PolicyModel> Agent<M> {
@@ -186,6 +199,7 @@ impl<M: PolicyModel> Agent<M> {
             audit: AuditLog::new(),
             engine: None,
             remote: None,
+            cached: None,
         }
     }
 
@@ -217,6 +231,23 @@ impl<M: PolicyModel> Agent<M> {
     /// attached via [`with_engine`](Self::with_engine), it wins.
     pub fn with_remote_engine(mut self, client: Client, tenant: &str) -> Self {
         self.remote = Some((client, tenant.to_owned()));
+        self
+    }
+
+    /// Routes this agent's policies through a **cached** remote
+    /// connection ([`CachedClient`]): policies are fetched from — or
+    /// generated locally and installed into — the server's store
+    /// exactly like [`with_remote_engine`](Self::with_remote_engine),
+    /// but per-action checks resolve in the client's local L1 compiled
+    /// cache after a one-time fetch, at in-process engine speed. The
+    /// server's push invalidation channel keeps the cache sound, and
+    /// verdicts remain identical to every other path (the conformance
+    /// suite pins that down). The tenant is the one the client
+    /// subscribed for. Fail-closed like the plain remote path. An
+    /// in-process engine attached via [`with_engine`](Self::with_engine)
+    /// wins; this wins over a plain remote connection.
+    pub fn with_cached_remote_engine(mut self, client: CachedClient) -> Self {
+        self.cached = Some(client);
         self
     }
 
@@ -322,6 +353,32 @@ impl<M: PolicyModel> Agent<M> {
                 ctx,
             );
         }
+        if self.cached.is_some() {
+            let store_task = self.keyed_task(task);
+            let mode = self.config.policy_mode;
+            // Split the borrows: the client is driven while the generator
+            // may also run.
+            let Agent { cached, generator, registry, .. } = self;
+            let client = cached.as_mut().expect("checked above");
+            let fetched = client
+                .fetch_policy(&store_task, &ctx)
+                .expect("cached-remote policy resolution transport failed (fail-closed)");
+            let (policy, generation) = match fetched {
+                Some(policy) => (Arc::new(policy), hit_stats),
+                None => {
+                    let (policy, stats) = match Self::static_policy(mode, registry) {
+                        Some(policy) => (Arc::new(policy), none_stats),
+                        None => generator.set_policy(task, &ctx),
+                    };
+                    client
+                        .install(&store_task, &ctx, &policy)
+                        .expect("cached-remote policy install transport failed (fail-closed)");
+                    (policy, stats)
+                }
+            };
+            let backend = ResolvedBackend::CachedRemote { store_task, context: ctx.clone() };
+            return (policy, generation, backend, ctx);
+        }
         if self.remote.is_some() {
             let store_task = self.keyed_task(task);
             let mode = self.config.policy_mode;
@@ -369,6 +426,13 @@ impl<M: PolicyModel> Agent<M> {
     fn revoke_stale_snapshot(&mut self, fingerprint: u64) {
         if let Some((engine, tenant)) = self.engine.as_ref() {
             engine.revoke_fingerprint(tenant, fingerprint);
+        } else if let Some(client) = self.cached.as_mut() {
+            // By the time this returns, the revocation has been pushed
+            // to — and acknowledged by — every subscriber, this client's
+            // own L1 included.
+            client
+                .revoke(fingerprint)
+                .expect("cached-remote policy revocation transport failed (fail-closed)");
         } else if let Some((client, tenant)) = self.remote.as_mut() {
             client
                 .revoke(tenant, fingerprint)
@@ -391,6 +455,11 @@ impl<M: PolicyModel> Agent<M> {
         if let Some((engine, tenant)) = self.engine.as_ref() {
             let receipt = engine.snapshot_to(tenant, path)?;
             return Ok(receipt.entries);
+        }
+        if let Some(client) = self.cached.as_mut() {
+            let receipt = client.snapshot()?;
+            std::fs::write(path, &receipt.snapshot).map_err(SnapshotError::Io)?;
+            return Ok(receipt.entries as usize);
         }
         if let Some((client, tenant)) = self.remote.as_mut() {
             let receipt = client.snapshot(tenant)?;
@@ -425,6 +494,17 @@ impl<M: PolicyModel> Agent<M> {
     ) -> Result<WarmStartReport, PersistenceError> {
         if let Some((engine, tenant)) = self.engine.as_ref() {
             return Ok(engine.warm_start_from(tenant, path, revoked)?);
+        }
+        if let Some(client) = self.cached.as_mut() {
+            let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
+            let mut fingerprints: Vec<u64> = revoked.iter().copied().collect();
+            fingerprints.sort_unstable();
+            let receipt = client.restore(&fingerprints, bytes)?;
+            return Ok(WarmStartReport {
+                installed: receipt.installed as usize,
+                skipped_revoked: receipt.skipped_revoked as usize,
+                skipped_live: receipt.skipped_live as usize,
+            });
         }
         if let Some((client, tenant)) = self.remote.as_mut() {
             let bytes = std::fs::read(path).map_err(SnapshotError::Io)?;
@@ -584,6 +664,16 @@ impl<M: PolicyModel> Agent<M> {
                     builder.layer(RemoteSessionLayer::new(
                         client,
                         tenant,
+                        &store_task,
+                        context,
+                        Arc::clone(&policy),
+                    ))
+                }
+                ResolvedBackend::CachedRemote { store_task, context } => {
+                    let client =
+                        self.cached.as_mut().expect("cached backend implies a cached client");
+                    builder.layer(CachedSessionLayer::new(
+                        client,
                         &store_task,
                         context,
                         Arc::clone(&policy),
@@ -1035,6 +1125,81 @@ mod tests {
             assert_eq!(counters.checks, report.proposals as u64, "{mode:?}");
             server.shutdown();
         }
+    }
+
+    #[test]
+    fn cached_remote_agent_matches_in_process_enforcement() {
+        // The same tasks through a subscribed CachedClient: identical
+        // enforcement-visible outcomes in every policy mode, with
+        // decisions billed to the *local* L1 after the one-time fetch —
+        // the server only ever bills the policy lookups.
+        for mode in PolicyMode::all() {
+            let server = conseca_serve::Server::start(
+                Arc::new(conseca_engine::Engine::default()),
+                conseca_serve::ServeConfig::default(),
+            );
+            let cmds = vec![
+                "ls /home/alice",
+                "write_file /home/alice/out.txt 'x'",
+                "rm /home/alice/out.txt",
+                "cat /home/alice/notes.txt",
+            ];
+            let baseline = setup(mode).run_task("do some file work", simple_planner(cmds.clone()));
+            let client = server.connect_cached("acme").expect("subscribe handshake");
+            let mut cached = setup(mode).with_cached_remote_engine(client);
+            let report = cached.run_task("do some file work", simple_planner(cmds));
+            assert_eq!(report.executed, baseline.executed, "{mode:?}");
+            assert_eq!(report.denials, baseline.denials, "{mode:?}");
+            assert_eq!(report.denied_commands, baseline.denied_commands, "{mode:?}");
+            assert_eq!(report.claimed_complete, baseline.claimed_complete, "{mode:?}");
+            assert_eq!(report.policy, baseline.policy, "{mode:?}");
+            // Decisions were judged locally, not over the wire.
+            assert_eq!(server.engine().tenant_counters("acme").checks, 0, "{mode:?}");
+            let local = cached.cached.as_ref().unwrap().local_counters();
+            assert_eq!(local.checks, report.proposals as u64, "{mode:?}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn drift_reload_over_cached_remote_revokes_everywhere_including_the_l1() {
+        // The tripwire drift scenario over a cached connection: the
+        // stale snapshot must be swept from the server AND this client's
+        // own L1 (via the push channel) before the next screen — and the
+        // session budgets must survive the invalidation.
+        let server = conseca_serve::Server::start(
+            Arc::new(conseca_engine::Engine::default()),
+            conseca_serve::ServeConfig::default(),
+        );
+        let baseline = {
+            let mut direct = tripwire_setup();
+            direct.run_task(
+                "tidy my files",
+                simple_planner(vec![
+                    "write_file /home/alice/tripwire 'armed'",
+                    "rm /home/alice/notes.txt",
+                    "ls /home/alice",
+                ]),
+            )
+        };
+        let client = server.connect_cached("acme").expect("subscribe handshake");
+        let mut agent = tripwire_setup().with_cached_remote_engine(client);
+        let report = agent.run_task(
+            "tidy my files",
+            simple_planner(vec![
+                "write_file /home/alice/tripwire 'armed'",
+                "rm /home/alice/notes.txt",
+                "ls /home/alice",
+            ]),
+        );
+        assert_eq!(report.executed, baseline.executed);
+        assert_eq!(report.denials, baseline.denials);
+        assert_eq!(report.denied_commands, baseline.denied_commands);
+        assert_eq!(report.reloads, baseline.reloads);
+        // The revocation swept the server store (engine-wide, not
+        // session-local) and the push channel emptied the stale L1 entry.
+        assert_eq!(server.engine().tenant_counters("acme").revoked, 1);
+        server.shutdown();
     }
 
     #[test]

@@ -57,10 +57,18 @@ fn bench_round_trip(c: &mut Criterion) {
     let addr = server.local_addr().expect("listener").to_string();
     let mut duplex_client = server.connect().expect("in-process connect");
     let mut tcp_client = Client::connect(&addr).expect("tcp connect");
+    // The cached client fetches the policy once on its first check and
+    // answers every later check from its L1 — warm that fetch outside
+    // the measured loop so the rows show the steady state.
+    let mut cached_client = server.connect_cached("acme").expect("cached connect");
+    cached_client.check(&task, &ctx, &call).expect("warming fetch").expect("policy installed");
 
     let mut group = c.benchmark_group("serve_round_trip");
     group.bench_function("engine_check_in_process", |b| {
         b.iter(|| engine.check(black_box("acme"), black_box(&task), &ctx, black_box(&call)))
+    });
+    group.bench_function("served_check_cached", |b| {
+        b.iter(|| cached_client.check(&task, &ctx, black_box(&call)).unwrap())
     });
     group.bench_function("served_check_duplex", |b| {
         b.iter(|| duplex_client.check("acme", &task, &ctx, black_box(&call)).unwrap())
@@ -78,6 +86,9 @@ fn bench_round_trip(c: &mut Criterion) {
     group.bench_function("engine_check_all_in_process", |b| {
         b.iter(|| engine.check_all(black_box("acme"), black_box(&task), &ctx, black_box(&batch)))
     });
+    group.bench_function("served_check_all_cached", |b| {
+        b.iter(|| cached_client.check_all(&task, &ctx, black_box(&batch)).unwrap())
+    });
     group.bench_function("served_check_all_duplex", |b| {
         b.iter(|| duplex_client.check_all("acme", &task, &ctx, black_box(&batch)).unwrap())
     });
@@ -85,6 +96,7 @@ fn bench_round_trip(c: &mut Criterion) {
 
     tcp_client.close();
     drop(duplex_client);
+    drop(cached_client);
     server.shutdown();
 }
 

@@ -91,6 +91,62 @@ pub struct TenantCounters {
     pub revoked: u64,
 }
 
+/// One policy-store invalidation, emitted to registered listeners
+/// ([`Engine::add_invalidation_listener`]) *after* the store sweep
+/// completes — by the time a listener runs, no future lookup on this
+/// engine can resolve the invalidated snapshot. The wire server uses
+/// these events to fan out push frames that keep subscribed clients'
+/// L1 caches sound; because a downstream cache may hold an entry this
+/// engine already evicted, revoke/flush events fire even when the local
+/// sweep removed nothing (fail-closed over precise).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Invalidation {
+    /// [`Engine::revoke_fingerprint`] swept the tenant's snapshots
+    /// carrying `fingerprint`.
+    Revoked {
+        /// The tenant whose snapshots were swept.
+        tenant: String,
+        /// The revoked source fingerprint.
+        fingerprint: u64,
+    },
+    /// A key's snapshot was replaced ([`Engine::reload`], or an
+    /// [`Engine::install`] that displaced a live snapshot with a
+    /// semantically different policy). The key travels as its two
+    /// fingerprint halves so a cache can evict **by key** even when its
+    /// entry predates this engine's (e.g. the engine's own copy was
+    /// LRU-evicted before the reload landed).
+    Reloaded {
+        /// The tenant whose key was reloaded.
+        tenant: String,
+        /// Task-half of the store key.
+        task_fp: u64,
+        /// Context-half of the store key.
+        context_fp: u64,
+        /// Fingerprint of the *replacement* policy.
+        fingerprint: u64,
+    },
+    /// [`Engine::flush_tenant`] dropped every snapshot the tenant had.
+    Flushed {
+        /// The flushed tenant.
+        tenant: String,
+    },
+}
+
+impl Invalidation {
+    /// The tenant the invalidation applies to.
+    pub fn tenant(&self) -> &str {
+        match self {
+            Invalidation::Revoked { tenant, .. }
+            | Invalidation::Reloaded { tenant, .. }
+            | Invalidation::Flushed { tenant } => tenant,
+        }
+    }
+}
+
+/// A registered invalidation observer; see
+/// [`Engine::add_invalidation_listener`].
+pub type InvalidationListener = Box<dyn Fn(&Invalidation) + Send + Sync>;
+
 /// Receipt for an [`Engine::reload`]: what was displaced, what replaced
 /// it, and the install generation the new snapshot carries.
 #[derive(Debug, Clone)]
@@ -208,6 +264,7 @@ impl SessionState {
 pub struct Engine {
     store: PolicyStore,
     tenants: RwLock<HashMap<Box<str>, Arc<TenantStats>>>,
+    listeners: RwLock<Vec<InvalidationListener>>,
 }
 
 impl Default for Engine {
@@ -219,7 +276,31 @@ impl Default for Engine {
 impl Engine {
     /// Creates an engine with the given store layout.
     pub fn new(config: EngineConfig) -> Self {
-        Engine { store: PolicyStore::new(config.store), tenants: RwLock::new(HashMap::new()) }
+        Engine {
+            store: PolicyStore::new(config.store),
+            tenants: RwLock::new(HashMap::new()),
+            listeners: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Registers an [`Invalidation`] observer, called synchronously at
+    /// the end of every invalidating mutation
+    /// ([`revoke_fingerprint`](Self::revoke_fingerprint),
+    /// [`reload`](Self::reload), [`flush_tenant`](Self::flush_tenant),
+    /// and an [`install`](Self::install) that displaces a live
+    /// snapshot) — after the store sweep, outside all engine locks. The
+    /// mutation does not return until every listener has: a listener
+    /// that blocks until downstream caches acknowledge extends the
+    /// engine's revocation guarantee ("once this returns, no future
+    /// lookup resolves the snapshot") across those caches.
+    pub fn add_invalidation_listener(&self, listener: InvalidationListener) {
+        self.listeners.write().push(listener);
+    }
+
+    fn notify(&self, event: Invalidation) {
+        for listener in self.listeners.read().iter() {
+            listener(&event);
+        }
     }
 
     /// The underlying policy store (for diagnostics).
@@ -247,7 +328,19 @@ impl Engine {
         policy: &Policy,
     ) -> Arc<CompiledPolicy> {
         let compiled = Arc::new(CompiledPolicy::compile(policy));
-        self.store.insert(EngineKey::new(tenant, task, context), Arc::clone(&compiled));
+        let key = EngineKey::new(tenant, task, context);
+        let (old_fingerprint, _) = self.store.replace(key, Arc::clone(&compiled));
+        // An install that displaces a *different* live policy is a
+        // reload in all but billing — downstream caches must hear about
+        // it. Re-installing the identical policy invalidates nothing.
+        if old_fingerprint.is_some_and(|old| old != compiled.fingerprint()) {
+            self.notify(Invalidation::Reloaded {
+                tenant: tenant.to_owned(),
+                task_fp: key.policy_key().task_fp(),
+                context_fp: key.policy_key().context_fp(),
+                fingerprint: compiled.fingerprint(),
+            });
+        }
         compiled
     }
 
@@ -471,6 +564,55 @@ impl Engine {
         )
     }
 
+    /// [`check_session`](Self::check_session) for engines that are the
+    /// upper layer of a two-level cache (the served client's local L1):
+    /// a resolved key bills a hit plus the decision exactly like
+    /// `check_session`, but a miss bills **nothing** and returns `None`
+    /// — the authoritative lookup (and its hit/miss accounting) happens
+    /// at the layer below, and billing the miss here too would count
+    /// one logical lookup twice.
+    pub fn check_session_cached(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        session: &mut SessionState,
+        call: &ApiCall,
+    ) -> Option<Decision> {
+        let policy = self.store.get(&EngineKey::new(tenant, task, context))?;
+        let stats = self.tenant(tenant);
+        stats.record_lookup(true);
+        let decision = Self::judge_session(&policy, session, call);
+        stats.record_decision(decision.allowed);
+        Some(decision)
+    }
+
+    /// Batched [`check_session_cached`](Self::check_session_cached):
+    /// on a resolved key, one hit plus one decision per call; on a
+    /// miss, nothing.
+    pub fn check_all_session_cached(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        session: &mut SessionState,
+        calls: &[ApiCall],
+    ) -> Option<Vec<Decision>> {
+        let policy = self.store.get(&EngineKey::new(tenant, task, context))?;
+        let stats = self.tenant(tenant);
+        stats.record_lookup(true);
+        Some(
+            calls
+                .iter()
+                .map(|call| {
+                    let decision = Self::judge_session(&policy, session, call);
+                    stats.record_decision(decision.allowed);
+                    decision
+                })
+                .collect(),
+        )
+    }
+
     /// Multi-threaded evaluation: `jobs` are striped across `threads`
     /// scoped workers, every worker sharing this engine's store. Jobs
     /// whose key has no installed policy are denied by default (the
@@ -543,7 +685,9 @@ impl Engine {
     /// issued after a flush see a store miss until a policy is
     /// re-installed; in-flight holders of old snapshots are unaffected.
     pub fn flush_tenant(&self, tenant: &str) -> usize {
-        self.store.flush_tenant(tenant)
+        let removed = self.store.flush_tenant(tenant);
+        self.notify(Invalidation::Flushed { tenant: tenant.to_owned() });
+        removed
     }
 
     /// Revokes every snapshot `tenant` has installed whose source policy
@@ -558,6 +702,9 @@ impl Engine {
         if removed > 0 {
             self.tenant(tenant).revoked.fetch_add(removed as u64, Ordering::Relaxed);
         }
+        // Fires even when the local sweep removed nothing: a downstream
+        // cache may still hold a snapshot this store already evicted.
+        self.notify(Invalidation::Revoked { tenant: tenant.to_owned(), fingerprint });
         removed
     }
 
@@ -577,13 +724,19 @@ impl Engine {
         policy: &Policy,
     ) -> ReloadReceipt {
         let compiled = Arc::new(CompiledPolicy::compile(policy));
-        let (old_fingerprint, generation) =
-            self.store.replace(EngineKey::new(tenant, task, context), Arc::clone(&compiled));
+        let key = EngineKey::new(tenant, task, context);
+        let (old_fingerprint, generation) = self.store.replace(key, Arc::clone(&compiled));
         let stats = self.tenant(tenant);
         stats.reloads.fetch_add(1, Ordering::Relaxed);
         if old_fingerprint.is_some() {
             stats.revoked.fetch_add(1, Ordering::Relaxed);
         }
+        self.notify(Invalidation::Reloaded {
+            tenant: tenant.to_owned(),
+            task_fp: key.policy_key().task_fp(),
+            context_fp: key.policy_key().context_fp(),
+            fingerprint: compiled.fingerprint(),
+        });
         ReloadReceipt { old_fingerprint, generation, policy: compiled }
     }
 
@@ -918,6 +1071,99 @@ mod tests {
         );
         let counters = engine.tenant_counters("acme");
         assert_eq!((counters.hits, counters.checks), (1, 3));
+    }
+
+    #[test]
+    fn cached_session_checks_bill_hits_but_never_misses() {
+        let engine = Engine::default();
+        let policy = send_policy();
+        let mut session = SessionState::new();
+        let send = call("send_email", &["alice"]);
+        // Miss: no lookup billed at all — the layer below owns it.
+        assert!(engine
+            .check_session_cached("acme", &policy.task, &ctx(), &mut session, &send)
+            .is_none());
+        assert_eq!(engine.tenant_counters("acme"), TenantCounters::default());
+        // Hit: bills exactly like check_session — one hit, one decision.
+        engine.install("acme", &policy.task, &ctx(), &policy);
+        let d =
+            engine.check_session_cached("acme", &policy.task, &ctx(), &mut session, &send).unwrap();
+        assert!(d.allowed);
+        let batch = engine
+            .check_all_session_cached(
+                "acme",
+                &policy.task,
+                &ctx(),
+                &mut session,
+                &[send.clone(), call("delete_email", &["1"])],
+            )
+            .unwrap();
+        assert_eq!(batch.iter().map(|d| d.allowed).collect::<Vec<_>>(), vec![true, false]);
+        let counters = engine.tenant_counters("acme");
+        assert_eq!((counters.hits, counters.misses), (2, 0));
+        assert_eq!((counters.checks, counters.allowed, counters.denied), (3, 2, 1));
+    }
+
+    #[test]
+    fn invalidation_listeners_hear_every_sweep() {
+        use std::sync::Mutex;
+        let engine = Engine::default();
+        let events: Arc<Mutex<Vec<Invalidation>>> = Arc::default();
+        let sink = Arc::clone(&events);
+        engine.add_invalidation_listener(Box::new(move |event| {
+            sink.lock().unwrap().push(event.clone());
+        }));
+        let policy = send_policy();
+        let task = policy.task.clone();
+        let key = EngineKey::new("acme", &task, &ctx()).policy_key();
+
+        // A first install (empty key) and an identical re-install
+        // invalidate nothing.
+        engine.install("acme", &task, &ctx(), &policy);
+        engine.install("acme", &task, &ctx(), &policy);
+        assert!(events.lock().unwrap().is_empty());
+
+        // An install that displaces a different policy is a reload.
+        let mut regenerated = Policy::new(&task);
+        regenerated.set("send_email", PolicyEntry::allow_any("regenerated"));
+        engine.install("acme", &task, &ctx(), &regenerated);
+        assert_eq!(
+            events.lock().unwrap().last(),
+            Some(&Invalidation::Reloaded {
+                tenant: "acme".into(),
+                task_fp: key.task_fp(),
+                context_fp: key.context_fp(),
+                fingerprint: regenerated.fingerprint(),
+            })
+        );
+
+        // Revoke fires even when the sweep removes nothing (fail-closed
+        // for downstream caches holding locally evicted entries).
+        engine.revoke_fingerprint("acme", 0xdead_beef);
+        assert_eq!(
+            events.lock().unwrap().last(),
+            Some(&Invalidation::Revoked { tenant: "acme".into(), fingerprint: 0xdead_beef })
+        );
+
+        // Reload and flush fire unconditionally, after the sweep: by
+        // listener time the store already serves the new state.
+        engine.reload("acme", &task, &ctx(), &policy);
+        assert_eq!(
+            events.lock().unwrap().last(),
+            Some(&Invalidation::Reloaded {
+                tenant: "acme".into(),
+                task_fp: key.task_fp(),
+                context_fp: key.context_fp(),
+                fingerprint: policy.fingerprint(),
+            })
+        );
+        engine.flush_tenant("acme");
+        assert_eq!(
+            events.lock().unwrap().last(),
+            Some(&Invalidation::Flushed { tenant: "acme".into() })
+        );
+        assert_eq!(events.lock().unwrap().len(), 4);
+        assert_eq!(events.lock().unwrap()[0].tenant(), "acme");
     }
 
     #[test]

@@ -103,7 +103,8 @@ pub mod trajectory_compile;
 
 pub use compile::CompiledPolicy;
 pub use engine::{
-    CheckJob, Engine, EngineConfig, ParallelReport, ReloadReceipt, SessionState, TenantCounters,
+    CheckJob, Engine, EngineConfig, Invalidation, InvalidationListener, ParallelReport,
+    ReloadReceipt, SessionState, TenantCounters,
 };
 pub use layer::CompiledPolicyLayer;
 pub use persist::{

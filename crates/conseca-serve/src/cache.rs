@@ -1,0 +1,727 @@
+//! The L1 compiled-policy cache: remote enforcement at engine speed.
+//!
+//! A plain [`Client`](crate::client::Client) pays one wire round-trip
+//! per decision — ~15× an in-process engine check even over an
+//! in-memory duplex. A [`CachedClient`] pays that price **once per
+//! policy key**: the first check on a key fetches the source policy
+//! from the server (one round-trip, billed as the server-side lookup),
+//! compiles it into a private local [`Engine`], and every later check
+//! on that key resolves locally at engine speed.
+//!
+//! Caching a reference monitor's policies is only sound if the cache
+//! can never outlive the truth. The client therefore subscribes to the
+//! server's **push invalidation channel** (wire protocol v5): a reader
+//! thread demultiplexes server-initiated `PushRevoke` / `PushReload` /
+//! `PushFlush` frames from ordinary correlated responses, applies each
+//! to the local cache, and acknowledges it. The server does not let
+//! the triggering mutation (`Engine::revoke_fingerprint`, `reload`,
+//! `flush_tenant`, a `ReloadCoordinator` sweep) return until every
+//! subscriber has acknowledged — so once a revocation call completes
+//! anywhere in the deployment, no check *starting* afterwards can
+//! resolve the stale snapshot here, exactly the guarantee the engine
+//! gives in-process.
+//!
+//! Two fail-closed rules keep the soundness argument short:
+//!
+//! 1. **Disconnect ⇒ flush.** If the connection drops — EOF, transport
+//!    error, or an undecodable frame — the reader flushes the entire
+//!    local cache before reporting [`ClientError::Closed`]. A cache
+//!    that can no longer hear invalidations holds nothing.
+//! 2. **Pushes never install.** A push frame can only *remove* local
+//!    state ([`LocalPolicyCache::apply_push`] evicts or flushes; it
+//!    never inserts). Policies enter the cache through exactly one
+//!    door: an authoritative `FetchPolicy` answer, installed under an
+//!    epoch guard that discards the fetch if any invalidation raced it.
+//!
+//! Session state ([`SessionState`] — trajectory positions, spent
+//! budgets) lives on the *client*, keyed by policy key, and is **never
+//! flushed** by pushes or disconnects: budgets are fingerprint-synced,
+//! so a re-fetched policy resumes the old session iff it is the same
+//! policy — an invalidation cycle cannot resurrect a spent budget.
+
+use core::fmt;
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+use conseca_core::{CacheKey, Decision, Policy, TrustedContext};
+use conseca_engine::{CompiledPolicy, Engine, EngineKey, SessionState, TenantCounters};
+use conseca_shell::ApiCall;
+
+use crate::client::{
+    unexpected, ClientError, InstallReceipt, ReloadReceipt, RestoreReceipt, SnapshotReceipt,
+};
+use crate::transport::Stream;
+use crate::wire::{
+    read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+
+/// The client-side policy cache: a private single-tenant [`Engine`]
+/// that push frames may only ever shrink.
+///
+/// Public so the fuzz suite can prove the invariant that matters —
+/// [`apply_push`](Self::apply_push) on *arbitrary* frames never
+/// installs a policy — without a live server.
+pub struct LocalPolicyCache {
+    /// The local L1. Nothing registers invalidation listeners on it,
+    /// and nothing but this client's thread ever bills it, so its
+    /// tenant counters are exactly the locally-answered share of the
+    /// workload.
+    engine: Engine,
+    tenant: String,
+    /// Bumped (under `sync`) by every applied push and every flush.
+    /// A fetch-then-install observes the epoch before fetching and
+    /// aborts the install if it moved: the fetched bytes predate an
+    /// invalidation and must not enter the cache.
+    epoch: AtomicU64,
+    /// Serialises push application against fetch installs so the epoch
+    /// check and the install are one atomic step.
+    sync: Mutex<()>,
+}
+
+impl LocalPolicyCache {
+    /// An empty cache for `tenant`. Pushes for other tenants bump the
+    /// epoch (conservative) but touch no state.
+    pub fn new(tenant: &str) -> Self {
+        LocalPolicyCache {
+            engine: Engine::default(),
+            tenant: tenant.to_owned(),
+            epoch: AtomicU64::new(0),
+            sync: Mutex::new(()),
+        }
+    }
+
+    /// The tenant this cache serves.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The invalidation epoch — moves on every applied push or flush.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// How many compiled policies the cache currently holds.
+    pub fn policies(&self) -> usize {
+        self.engine.store().len()
+    }
+
+    /// Counters for the locally-answered share of the workload.
+    pub fn counters(&self) -> TenantCounters {
+        self.engine.tenant_counters(&self.tenant)
+    }
+
+    pub(crate) fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Applies a server push to the cache; returns `Some(seq)` for
+    /// push frames (the caller owes the server a `PushAck`) and `None`
+    /// for every other response.
+    ///
+    /// Application is strictly subtractive — store-level sweeps, no
+    /// engine billing, and never an install. `PushReload` carries the
+    /// key fingerprints *and* the new policy's fingerprint so the
+    /// cache can evict by key even when the server's own store has
+    /// LRU-evicted the entry; if the held snapshot already carries the
+    /// pushed fingerprint the entry is current and stays.
+    pub fn apply_push(&self, response: &Response) -> Option<u64> {
+        match response {
+            Response::PushRevoke { seq, tenant, fingerprint } => {
+                let _guard = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+                if *tenant == self.tenant {
+                    self.engine.store().revoke_fingerprint(tenant, *fingerprint);
+                }
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+                Some(*seq)
+            }
+            Response::PushReload { seq, tenant, task_fp, context_fp, fingerprint } => {
+                let _guard = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+                if *tenant == self.tenant {
+                    let key = EngineKey::from_cache_key(
+                        tenant,
+                        CacheKey::from_fingerprints(*task_fp, *context_fp),
+                    );
+                    if let Some((held, generation)) = self.engine.store().get_with_generation(&key)
+                    {
+                        if held.fingerprint() != *fingerprint {
+                            self.engine.store().revoke_if_generation(&key, generation);
+                        }
+                    }
+                }
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+                Some(*seq)
+            }
+            Response::PushFlush { seq, tenant } => {
+                let _guard = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+                if *tenant == self.tenant {
+                    self.engine.store().flush_tenant(tenant);
+                }
+                self.epoch.fetch_add(1, Ordering::SeqCst);
+                Some(*seq)
+            }
+            _ => None,
+        }
+    }
+
+    /// Drops every cached policy (the disconnect fail-closed rule).
+    pub fn flush_all(&self) {
+        let _guard = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+        self.engine.store().flush_tenant(&self.tenant);
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Installs a fetched policy iff no invalidation was applied since
+    /// `epoch` was observed (which was before the fetch was sent) —
+    /// otherwise the fetched bytes may predate a revocation and the
+    /// caller must not cache them.
+    fn install_if_epoch(
+        &self,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+        epoch: u64,
+    ) -> Option<Arc<CompiledPolicy>> {
+        let _guard = self.sync.lock().unwrap_or_else(|e| e.into_inner());
+        if self.epoch.load(Ordering::SeqCst) != epoch {
+            return None;
+        }
+        Some(self.engine.install(&self.tenant, task, context, policy))
+    }
+}
+
+impl fmt::Debug for LocalPolicyCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalPolicyCache")
+            .field("tenant", &self.tenant)
+            .field("policies", &self.policies())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+/// What the reader thread fills and the request path drains: at most
+/// one outstanding correlated response (the client is strictly
+/// sequential), plus the closed flag that makes disconnects visible.
+struct Slot {
+    response: Option<Result<Response, ClientError>>,
+    closed: bool,
+}
+
+struct Shared {
+    cache: LocalPolicyCache,
+    slot: Mutex<Slot>,
+    available: Condvar,
+}
+
+/// A subscribed policy-decision client with a local L1 cache: the
+/// [`Client`](crate::client::Client) API, minus the per-call `tenant`
+/// parameter (the subscription fixes the tenant at construction), with
+/// checks answered locally after a one-time policy fetch.
+///
+/// See the module docs for the soundness argument. Compared to the
+/// plain client, two things moved client-side: compiled policies (the
+/// cache) and session state (trajectory budgets) — so checks look like
+/// [`Engine::check_session`](conseca_engine::Engine::check_session)
+/// with the store lookup occasionally answered by the server.
+pub struct CachedClient {
+    tenant: String,
+    /// Write half, shared with the reader thread (which writes
+    /// `PushAck` frames). Locked per frame; duplex writes never block
+    /// and TCP writes only against the server's always-draining reader.
+    writer: Arc<Mutex<Box<dyn Stream>>>,
+    max_frame_len: u32,
+    shared: Arc<Shared>,
+    /// Per-key session state — **client-owned** and deliberately not
+    /// flushed by invalidations; see the module docs.
+    sessions: HashMap<EngineKey, SessionState>,
+    /// Checks that judged against an uncached ad-hoc compile because an
+    /// invalidation raced the fetch (observability; billing unchanged).
+    fallbacks: u64,
+    reader: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for CachedClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachedClient")
+            .field("tenant", &self.tenant)
+            .field("cache", &self.shared.cache)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Reads frames until the connection dies, demultiplexing pushes
+/// (apply, then ack) from correlated responses (handed to the waiting
+/// request). On any exit the cache is flushed *before* the disconnect
+/// becomes visible — the fail-closed ordering.
+fn reader_loop(
+    stream: &mut Box<dyn Stream>,
+    shared: &Shared,
+    writer: &Mutex<Box<dyn Stream>>,
+    max_frame_len: u32,
+) {
+    let failure = loop {
+        let frame = match read_frame(stream, max_frame_len) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break None,
+            Err(e) => break Some(ClientError::from(e)),
+        };
+        let response = match Response::decode(&frame) {
+            Ok(response) => response,
+            // Undecodable bytes poison the whole stream: nothing after
+            // them can be attributed, so treat it as a disconnect.
+            Err(e) => break Some(ClientError::Wire(e)),
+        };
+        if let Some(seq) = shared.cache.apply_push(&response) {
+            // Applied before acked: once the server hears this ack (and
+            // lets the mutation return), the stale snapshot is gone here.
+            let ack = match (Request::PushAck { seq }).encode_limited(max_frame_len) {
+                Ok(frame) => frame,
+                Err(e) => break Some(ClientError::Wire(e)),
+            };
+            let mut conn = writer.lock().unwrap_or_else(|e| e.into_inner());
+            if let Err(e) = write_frame(&mut *conn, &ack, max_frame_len) {
+                break Some(ClientError::from(e));
+            }
+        } else {
+            let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+            slot.response = Some(Ok(response));
+            shared.available.notify_all();
+        }
+    };
+    // Fail closed: with the push channel gone, nothing the cache holds
+    // can be proven current. Flush before reporting the disconnect so
+    // no check observes "closed" yet still hits the cache.
+    shared.cache.flush_all();
+    let mut slot = shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+    if slot.response.is_none() {
+        if let Some(error) = failure {
+            slot.response = Some(Err(error));
+        }
+    }
+    slot.closed = true;
+    shared.available.notify_all();
+}
+
+impl CachedClient {
+    /// Connects over TCP, completes the handshake, and subscribes to
+    /// `tenant`'s push channel.
+    ///
+    /// # Errors
+    ///
+    /// Connection, handshake, or subscription failures.
+    pub fn connect(addr: &str, tenant: &str) -> Result<CachedClient, ClientError> {
+        CachedClient::connect_with(addr, tenant, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// [`connect`](Self::connect) with a non-default frame cap (keep it
+    /// in lockstep with the server's `ServeConfig::max_frame_len`).
+    ///
+    /// # Errors
+    ///
+    /// Connection, handshake, or subscription failures.
+    pub fn connect_with(
+        addr: &str,
+        tenant: &str,
+        max_frame_len: u32,
+    ) -> Result<CachedClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        CachedClient::over_with(stream, tenant, max_frame_len)
+    }
+
+    /// Wraps an already-established stream, completes the handshake,
+    /// and subscribes to `tenant`'s push channel.
+    ///
+    /// # Errors
+    ///
+    /// Handshake or subscription failures.
+    pub fn over<S: Stream>(stream: S, tenant: &str) -> Result<CachedClient, ClientError> {
+        CachedClient::over_with(stream, tenant, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// [`over`](Self::over) with a non-default frame cap.
+    ///
+    /// # Errors
+    ///
+    /// Handshake or subscription failures.
+    pub fn over_with<S: Stream>(
+        stream: S,
+        tenant: &str,
+        max_frame_len: u32,
+    ) -> Result<CachedClient, ClientError> {
+        let write_half = stream.try_split()?;
+        let writer: Arc<Mutex<Box<dyn Stream>>> = Arc::new(Mutex::new(Box::new(write_half)));
+        let shared = Arc::new(Shared {
+            cache: LocalPolicyCache::new(tenant),
+            slot: Mutex::new(Slot { response: None, closed: false }),
+            available: Condvar::new(),
+        });
+        // The reader starts before the handshake: from the very first
+        // frame, responses and pushes arrive on one stream and only the
+        // demultiplexer may touch it.
+        let reader = {
+            let shared = Arc::clone(&shared);
+            let writer = Arc::clone(&writer);
+            thread::spawn(move || {
+                let mut stream: Box<dyn Stream> = Box::new(stream);
+                reader_loop(&mut stream, &shared, &writer, max_frame_len);
+            })
+        };
+        let mut client = CachedClient {
+            tenant: tenant.to_owned(),
+            writer,
+            max_frame_len,
+            shared,
+            sessions: HashMap::new(),
+            fallbacks: 0,
+            reader: Some(reader),
+        };
+        match client.roundtrip(&Request::Hello { version: PROTOCOL_VERSION })? {
+            Response::HelloOk { .. } => {}
+            other => return Err(unexpected(other, "HelloOk")),
+        }
+        match client.roundtrip(&Request::Subscribe { tenant: tenant.to_owned() })? {
+            Response::Subscribed => Ok(client),
+            other => Err(unexpected(other, "Subscribed")),
+        }
+    }
+
+    /// The tenant this client is subscribed for.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// The frame cap this client encodes against and accepts.
+    pub fn max_frame_len(&self) -> u32 {
+        self.max_frame_len
+    }
+
+    /// The local cache (policy count, epoch, local counters).
+    pub fn cache(&self) -> &LocalPolicyCache {
+        &self.shared.cache
+    }
+
+    /// How many checks fell back to an uncached ad-hoc compile because
+    /// an invalidation raced their policy fetch.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let frame = request.encode_limited(self.max_frame_len).map_err(ClientError::Wire)?;
+        {
+            let mut conn = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            write_frame(&mut *conn, &frame, self.max_frame_len)?;
+        }
+        let mut slot = self.shared.slot.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(result) = slot.response.take() {
+                return result;
+            }
+            if slot.closed {
+                return Err(ClientError::Closed);
+            }
+            slot = self.shared.available.wait(slot).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// One policy decision for one call — answered locally when the
+    /// key is cached, else via a one-time policy fetch. `Ok(None)`
+    /// means the server has no policy for the key.
+    ///
+    /// Billing reconciles exactly with the in-process engine path:
+    /// every check costs one lookup (a local hit, or the server-side
+    /// hit/miss of the fetch) and one decision, split across the two
+    /// counter sets that [`stats`](Self::stats) merges.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn check(
+        &mut self,
+        task: &str,
+        context: &TrustedContext,
+        call: &ApiCall,
+    ) -> Result<Option<Decision>, ClientError> {
+        let decisions = self.check_all(task, context, std::slice::from_ref(call))?;
+        Ok(decisions.map(|mut d| d.remove(0)))
+    }
+
+    /// Decisions for a batch of calls against one policy key: one
+    /// lookup (local or fetched) for the whole batch, like
+    /// [`Engine::check_all`](conseca_engine::Engine::check_all).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn check_all(
+        &mut self,
+        task: &str,
+        context: &TrustedContext,
+        calls: &[ApiCall],
+    ) -> Result<Option<Vec<Decision>>, ClientError> {
+        let key = EngineKey::new(&self.tenant, task, context);
+        let mut session = self.sessions.remove(&key).unwrap_or_default();
+        let result = self.check_calls(task, context, &mut session, calls);
+        self.sessions.insert(key, session);
+        result
+    }
+
+    fn check_calls(
+        &mut self,
+        task: &str,
+        context: &TrustedContext,
+        session: &mut SessionState,
+        calls: &[ApiCall],
+    ) -> Result<Option<Vec<Decision>>, ClientError> {
+        // L1 hit: the whole batch resolves locally at engine speed.
+        let cached = self.shared.cache.engine().check_all_session_cached(
+            &self.tenant,
+            task,
+            context,
+            session,
+            calls,
+        );
+        if let Some(decisions) = cached {
+            return Ok(Some(decisions));
+        }
+        // Miss: observe the epoch, then ask the server (which bills the
+        // authoritative hit or miss for this lookup).
+        let epoch = self.shared.cache.epoch();
+        let Some(policy) = self.fetch_policy(task, context)? else {
+            return Ok(None);
+        };
+        let compiled = match self.shared.cache.install_if_epoch(task, context, &policy, epoch) {
+            Some(compiled) => compiled,
+            None => {
+                // An invalidation raced the fetch. The fetched policy is
+                // still a legal basis for *this* batch — the check
+                // started before the invalidation was acknowledged, the
+                // same window an in-flight in-process check has — but it
+                // must not enter the cache, so judge from an ad-hoc
+                // compile and let the next check re-fetch fresh truth.
+                self.fallbacks += 1;
+                Arc::new(CompiledPolicy::compile(&policy))
+            }
+        };
+        let engine = self.shared.cache.engine();
+        Ok(Some(
+            calls
+                .iter()
+                .map(|call| engine.check_compiled_session(&self.tenant, &compiled, session, call))
+                .collect(),
+        ))
+    }
+
+    /// Compiles and installs `policy` for (task, context) on the
+    /// *server*. The local cache is deliberately not pre-populated: the
+    /// next check fetches it back, billing the same server-side hit the
+    /// engine path bills — and if the install displaced a live policy,
+    /// the resulting push has already evicted the stale local copy by
+    /// the time this returns.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn install(
+        &mut self,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+    ) -> Result<InstallReceipt, ClientError> {
+        match self.roundtrip(&Request::Install {
+            tenant: self.tenant.clone(),
+            task: task.into(),
+            context: context.clone(),
+            policy: policy.clone(),
+        })? {
+            Response::Installed { fingerprint, entries } => {
+                Ok(InstallReceipt { fingerprint, entries })
+            }
+            other => Err(unexpected(other, "Installed")),
+        }
+    }
+
+    /// Retrieves the source policy installed server-side for (task,
+    /// context), if any. Bills the server-side lookup.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn fetch_policy(
+        &mut self,
+        task: &str,
+        context: &TrustedContext,
+    ) -> Result<Option<Policy>, ClientError> {
+        match self.roundtrip(&Request::FetchPolicy {
+            tenant: self.tenant.clone(),
+            task: task.into(),
+            context: context.clone(),
+        })? {
+            Response::PolicyOk { policy } => Ok(policy),
+            other => Err(unexpected(other, "PolicyOk")),
+        }
+    }
+
+    /// Revokes every snapshot carrying `fingerprint` server-side. By
+    /// the time this returns, the revocation has been pushed to — and
+    /// acknowledged by — every subscriber, this client included: the
+    /// local cache entry is already gone.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn revoke(&mut self, fingerprint: u64) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Revoke { tenant: self.tenant.clone(), fingerprint })? {
+            Response::Revoked { removed } => Ok(removed),
+            other => Err(unexpected(other, "Revoked")),
+        }
+    }
+
+    /// Revoke-and-replace in one round-trip, server-side; the
+    /// displacement push evicts any stale local copy before this
+    /// returns.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn reload(
+        &mut self,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+    ) -> Result<ReloadReceipt, ClientError> {
+        match self.roundtrip(&Request::Reload {
+            tenant: self.tenant.clone(),
+            task: task.into(),
+            context: context.clone(),
+            policy: policy.clone(),
+        })? {
+            Response::Reloaded { old_fingerprint, fingerprint, entries } => {
+                Ok(ReloadReceipt { old_fingerprint, fingerprint, entries })
+            }
+            other => Err(unexpected(other, "Reloaded")),
+        }
+    }
+
+    /// Exports everything the tenant has installed server-side as a
+    /// snapshot blob (see [`Client::snapshot`](crate::Client::snapshot)).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn snapshot(&mut self) -> Result<SnapshotReceipt, ClientError> {
+        match self.roundtrip(&Request::Snapshot { tenant: self.tenant.clone() })? {
+            Response::SnapshotOk { entries, snapshot } => Ok(SnapshotReceipt { entries, snapshot }),
+            other => Err(unexpected(other, "SnapshotOk")),
+        }
+    }
+
+    /// Warm-starts the tenant server-side from snapshot bytes (see
+    /// [`Client::restore`](crate::Client::restore)).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn restore(
+        &mut self,
+        revoked: &[u64],
+        snapshot: Vec<u8>,
+    ) -> Result<RestoreReceipt, ClientError> {
+        match self.roundtrip(&Request::Restore {
+            tenant: self.tenant.clone(),
+            revoked: revoked.to_vec(),
+            snapshot,
+        })? {
+            Response::Restored { installed, skipped_revoked, skipped_live } => {
+                Ok(RestoreReceipt { installed, skipped_revoked, skipped_live })
+            }
+            other => Err(unexpected(other, "Restored")),
+        }
+    }
+
+    /// Drops every policy installed for the tenant server-side; the
+    /// flush push empties the local cache before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn flush(&mut self) -> Result<u64, ClientError> {
+        match self.roundtrip(&Request::Flush { tenant: self.tenant.clone() })? {
+            Response::Flushed { removed } => Ok(removed),
+            other => Err(unexpected(other, "Flushed")),
+        }
+    }
+
+    /// The server-side counters alone (lookups the server answered,
+    /// decisions other connections billed, revocations, reloads).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn server_stats(&mut self) -> Result<TenantCounters, ClientError> {
+        match self.roundtrip(&Request::Stats { tenant: self.tenant.clone() })? {
+            Response::StatsOk { counters } => Ok(counters),
+            other => Err(unexpected(other, "StatsOk")),
+        }
+    }
+
+    /// The locally-billed counters alone (cache hits and the decisions
+    /// this client judged).
+    pub fn local_counters(&self) -> TenantCounters {
+        self.shared.cache.counters()
+    }
+
+    /// The tenant's counters with the locally-answered share folded in:
+    /// field-wise `server + local`. On a single-client workload this
+    /// reconciles *exactly* with what an in-process engine would have
+    /// billed for the same operations.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn stats(&mut self) -> Result<TenantCounters, ClientError> {
+        let server = self.server_stats()?;
+        let local = self.local_counters();
+        Ok(TenantCounters {
+            hits: server.hits + local.hits,
+            misses: server.misses + local.misses,
+            checks: server.checks + local.checks,
+            allowed: server.allowed + local.allowed,
+            denied: server.denied + local.denied,
+            reloads: server.reloads + local.reloads,
+            revoked: server.revoked + local.revoked,
+        })
+    }
+
+    /// Asks the server to stop accepting new connections.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected(other, "ShuttingDown")),
+        }
+    }
+
+    /// Closes the connection (also done on drop). The reader flushes
+    /// the cache and exits; the server reaps the subscription.
+    pub fn close(self) {}
+}
+
+impl Drop for CachedClient {
+    fn drop(&mut self) {
+        {
+            let conn = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            conn.close();
+        }
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}

@@ -462,7 +462,7 @@ impl Client {
     }
 }
 
-fn unexpected(response: Response, expected: &'static str) -> ClientError {
+pub(crate) fn unexpected(response: Response, expected: &'static str) -> ClientError {
     match response {
         Response::Error { code, message } => ClientError::Server { code, message },
         _ => ClientError::Unexpected { expected },

@@ -26,6 +26,15 @@
 //! [`RemoteSessionLayer`] (a drop-in pipeline policy layer) or
 //! `Agent::with_remote_engine` in `conseca-agent`.
 //!
+//! For latency-sensitive callers there is a third shape:
+//! [`CachedClient`] subscribes to the server's **push invalidation
+//! channel** (protocol v5) and keeps an L1 of compiled policies
+//! locally, so after a one-time fetch each check runs at in-process
+//! engine speed — kept sound by server-initiated
+//! `PushRevoke`/`PushReload`/`PushFlush` frames that are acknowledged
+//! before the triggering mutation returns, and by a fail-closed
+//! disconnect rule (connection lost ⇒ cache flushed). See [`cache`].
+//!
 //! # Examples
 //!
 //! Serve, install a tenant's policy, screen a call, read the counters,
@@ -92,17 +101,19 @@
 //! server.shutdown();
 //! ```
 
+pub mod cache;
 pub mod client;
 pub mod server;
 pub mod session;
 pub mod transport;
 pub mod wire;
 
+pub use cache::{CachedClient, LocalPolicyCache};
 pub use client::{
     Client, ClientError, InstallReceipt, ReloadReceipt, RestoreReceipt, SnapshotReceipt,
 };
 pub use server::{ServeConfig, ServeMetrics, Server, ServerHandle};
-pub use session::RemoteSessionLayer;
+pub use session::{CachedSessionLayer, RemoteSessionLayer};
 pub use transport::{duplex, DuplexStream, Stream};
 pub use wire::{
     Frame, FrameReadError, FrameWriteError, Request, Response, WireError, WireErrorCode,
@@ -236,6 +247,66 @@ mod tests {
             other => panic!("expected SHUTTING_DOWN, got {other:?}"),
         }
         server.shutdown();
+    }
+
+    #[test]
+    fn cached_client_answers_locally_after_one_fetch() {
+        let engine = Arc::new(Engine::default());
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        let mut cached = crate::CachedClient::over(server.connect_stream().unwrap(), "acme")
+            .expect("subscribe handshake");
+        let ctx = TrustedContext::for_user("alice");
+
+        // No policy anywhere: miss (billed server-side via the fetch).
+        assert_eq!(cached.check("t", &ctx, &call("ls", &[])).unwrap(), None);
+
+        cached.install("t", &ctx, &policy()).unwrap();
+        // First check fetches + installs locally; the rest hit the L1.
+        for _ in 0..3 {
+            let d = cached.check("t", &ctx, &call("send_email", &["alice"])).unwrap().unwrap();
+            assert!(d.allowed);
+        }
+        assert_eq!(cached.cache().policies(), 1);
+        // Decisions after the fetch were billed locally, not on the server.
+        assert_eq!(engine.tenant_counters("acme").checks, 0);
+        assert_eq!(cached.local_counters().checks, 3);
+        // Merged stats reconcile with what one in-process engine would
+        // bill: 4 lookups (2 misses: the pre-install check + the first
+        // fetch... the fetch after install is a hit), 3 decisions.
+        let merged = cached.stats().unwrap();
+        assert_eq!((merged.checks, merged.allowed, merged.denied), (3, 3, 0));
+        assert_eq!(merged.hits + merged.misses, 4);
+
+        // A server-side revocation is pushed: by the time revoke()
+        // returns, the local cache entry is gone.
+        let removed = cached.revoke(policy().fingerprint()).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(cached.cache().policies(), 0);
+        assert_eq!(cached.check("t", &ctx, &call("ls", &[])).unwrap(), None);
+        server.shutdown();
+    }
+
+    #[test]
+    fn cached_client_disconnect_flushes_the_cache() {
+        let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+        let mut cached = crate::CachedClient::over(server.connect_stream().unwrap(), "acme")
+            .expect("subscribe handshake");
+        let ctx = TrustedContext::for_user("alice");
+        cached.install("t", &ctx, &policy()).unwrap();
+        assert!(cached.check("t", &ctx, &call("send_email", &["alice"])).unwrap().is_some());
+        assert_eq!(cached.cache().policies(), 1);
+
+        // Server dies; the push channel is gone, so the cache fails
+        // closed: flushed, and checks report the disconnect.
+        server.shutdown();
+        for _ in 0..50 {
+            if cached.cache().policies() == 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert_eq!(cached.cache().policies(), 0);
+        assert!(cached.check("t", &ctx, &call("send_email", &["alice"])).is_err());
     }
 
     #[test]

@@ -47,10 +47,11 @@
 use std::collections::{HashMap, HashSet};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread;
+use std::time::{Duration, Instant};
 
-use conseca_engine::{Engine, EngineKey, SessionState};
+use conseca_engine::{Engine, EngineKey, Invalidation, SessionState};
 use conseca_shell::ApiCall;
 use futures::channel::{mpsc, oneshot};
 use futures::ThreadPool;
@@ -117,6 +118,57 @@ struct Job {
     reply: oneshot::Sender<Response>,
 }
 
+/// How long the push fan-out waits for a subscriber's [`Request::PushAck`]
+/// before force-closing the connection. Generous: a healthy subscriber
+/// acks in microseconds; only a wedged client reader hits this, and a
+/// wedged cache must be disconnected (fail-closed) rather than left
+/// serving stale decisions.
+const PUSH_ACK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A connection's write half, shared between its writer thread and the
+/// push fan-out. Each frame is written under the lock, so pushes and
+/// correlated responses interleave only at frame boundaries.
+type SharedWriter = Arc<Mutex<Box<dyn Stream>>>;
+
+/// One connection registered for a tenant's invalidation pushes.
+struct Subscriber {
+    tenant: String,
+    writer: SharedWriter,
+    close: Arc<dyn Fn() + Send + Sync>,
+    /// Sequence allocator for this connection's push frames.
+    next_seq: AtomicU64,
+    /// Highest sequence the client has acknowledged.
+    acked: Mutex<u64>,
+    ack_cv: Condvar,
+}
+
+impl Subscriber {
+    fn record_ack(&self, seq: u64) {
+        let mut acked = self.acked.lock().unwrap_or_else(|e| e.into_inner());
+        if seq > *acked {
+            *acked = seq;
+        }
+        self.ack_cv.notify_all();
+    }
+
+    /// Blocks until the client has acknowledged push `seq` (or the
+    /// timeout expires — `false`, the subscriber must be disconnected).
+    fn wait_acked(&self, seq: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut acked = self.acked.lock().unwrap_or_else(|e| e.into_inner());
+        while *acked < seq {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) =
+                self.ack_cv.wait_timeout(acked, deadline - now).unwrap_or_else(|e| e.into_inner());
+            acked = guard;
+        }
+        true
+    }
+}
+
 /// What the writer thread sends next, in request order.
 enum Outgoing {
     /// An answer the reader produced inline (handshake, framing errors).
@@ -157,6 +209,13 @@ struct ServerState {
     /// enforced across a connection's whole conversation. Entries are
     /// pruned when the connection's reader exits.
     sessions: Mutex<HashMap<(u64, EngineKey), SessionState>>,
+    /// Connections subscribed to invalidation pushes, by connection id.
+    /// Fed by the reader (`Subscribe`/`PushAck` are handled inline, never
+    /// queued — the dispatcher may be *blocked* waiting for an ack, so
+    /// routing acks through its queue would deadlock); drained by the
+    /// reader's exit and by the fan-out force-closing unresponsive
+    /// subscribers.
+    subscribers: Mutex<HashMap<u64, Arc<Subscriber>>>,
 }
 
 struct ConnEntry {
@@ -172,6 +231,10 @@ impl ServerState {
 
     fn sessions(&self) -> std::sync::MutexGuard<'_, HashMap<(u64, EngineKey), SessionState>> {
         self.sessions.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn subscribers(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Subscriber>>> {
+        self.subscribers.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Drops every trajectory session the closed connection owned.
@@ -240,7 +303,22 @@ impl Server {
             revoked: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             sessions: Mutex::new(HashMap::new()),
+            subscribers: Mutex::new(HashMap::new()),
         });
+        // Fan invalidations out to subscribed connections. The listener
+        // holds the state weakly (the engine outlives the server and is
+        // shareable between servers; a strong reference would leak the
+        // state through the engine after shutdown) and runs on whatever
+        // thread mutated the engine — the dispatcher for wire mutations,
+        // the caller's thread for direct `Engine` calls and
+        // `ReloadCoordinator` sweeps, all of which reach the store
+        // through the engine methods that fire these events.
+        let push_state: Weak<ServerState> = Arc::downgrade(&state);
+        state.engine.add_invalidation_listener(Box::new(move |event| {
+            if let Some(state) = push_state.upgrade() {
+                fan_out_push(&state, event);
+            }
+        }));
         let pool = ThreadPool::new(config.worker_threads);
         let dispatcher = Arc::clone(&state);
         pool.spawn(async move { dispatch(dispatcher, jobs_rx).await });
@@ -293,6 +371,18 @@ impl ServerHandle {
     /// no longer accepts connections; otherwise handshake failures.
     pub fn connect(&self) -> Result<Client, ClientError> {
         Client::over(self.connect_stream()?)
+    }
+
+    /// Opens an in-process **cached** client subscribed for `tenant`:
+    /// checks resolve in its local L1 after a one-time policy fetch,
+    /// kept sound by this server's push invalidation channel.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`code::SHUTTING_DOWN`] if the
+    /// server no longer accepts connections; handshake failures.
+    pub fn connect_cached(&self, tenant: &str) -> Result<crate::cache::CachedClient, ClientError> {
+        crate::cache::CachedClient::over(self.connect_stream()?, tenant)
     }
 
     /// Opens a raw in-process connection **without** sending `Hello` —
@@ -366,12 +456,29 @@ fn spawn_connection<S: Stream>(state: &Arc<ServerState>, stream: S) {
         stream.close();
         return;
     };
+    // The write half is shared: the writer thread emits correlated
+    // responses through it, and — if this connection subscribes — the
+    // push fan-out emits unsolicited push frames through the same lock,
+    // so the two never interleave mid-frame.
+    let shared_writer: SharedWriter = Arc::new(Mutex::new(Box::new(writer_stream)));
+    // The close handle is shared the same way (ConnEntry, subscriber
+    // registration); `Stream` does not require `Sync`, so it travels in
+    // a mutex.
+    let close_handle = Arc::new(Mutex::new(close_handle));
+    let close_fn: Arc<dyn Fn() + Send + Sync> = {
+        let handle = Arc::clone(&close_handle);
+        Arc::new(move || handle.lock().unwrap_or_else(|e| e.into_inner()).close())
+    };
     let (out_tx, out_rx) = std::sync::mpsc::channel::<Outgoing>();
     let reader_state = Arc::clone(state);
     let max_frame_len = state.config.max_frame_len;
     let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
-    let reader = thread::spawn(move || read_loop(reader_state, conn_id, stream, out_tx));
-    let writer = thread::spawn(move || write_loop(writer_stream, out_rx, max_frame_len));
+    let reader_writer = Arc::clone(&shared_writer);
+    let reader_close = Arc::clone(&close_fn);
+    let reader = thread::spawn(move || {
+        read_loop(reader_state, conn_id, stream, out_tx, reader_writer, reader_close)
+    });
+    let writer = thread::spawn(move || write_loop(shared_writer, out_rx, max_frame_len));
     let mut conns = state.conns.lock().unwrap_or_else(|e| e.into_inner());
     // Reap connections whose threads have already exited — without this
     // a long-running server accepting many short-lived connections would
@@ -379,7 +486,7 @@ fn spawn_connection<S: Stream>(state: &Arc<ServerState>, stream: S) {
     let (dead, alive): (Vec<ConnEntry>, Vec<ConnEntry>) =
         conns.drain(..).partition(|conn| conn.reader.is_finished() && conn.writer.is_finished());
     *conns = alive;
-    conns.push(ConnEntry { close: Box::new(move || close_handle.close()), reader, writer });
+    conns.push(ConnEntry { close: Box::new(move || close_fn()), reader, writer });
     drop(conns);
     for conn in dead {
         let _ = conn.reader.join();
@@ -392,6 +499,8 @@ fn read_loop<S: Stream>(
     conn_id: u64,
     mut stream: S,
     out: std::sync::mpsc::Sender<Outgoing>,
+    writer: SharedWriter,
+    close: Arc<dyn Fn() + Send + Sync>,
 ) {
     let max = state.config.max_frame_len;
     let mut greeted = false;
@@ -456,6 +565,29 @@ fn read_loop<S: Stream>(
                 let _ = out.send(Outgoing::Close);
                 break;
             }
+            // Subscription traffic is handled here, never queued: the
+            // dispatcher can be *blocked inside a mutation* waiting for
+            // this very connection's ack, so an ack routed through the
+            // job queue would deadlock behind the mutation it completes.
+            Request::Subscribe { tenant } => {
+                let subscriber = Arc::new(Subscriber {
+                    tenant,
+                    writer: Arc::clone(&writer),
+                    close: Arc::clone(&close),
+                    next_seq: AtomicU64::new(0),
+                    acked: Mutex::new(0),
+                    ack_cv: Condvar::new(),
+                });
+                state.subscribers().insert(conn_id, subscriber);
+                let _ = out.send(Outgoing::Ready(Response::Subscribed));
+            }
+            Request::PushAck { seq } => {
+                // Acks answer pushes; they get no response of their own.
+                let subscriber = state.subscribers().get(&conn_id).cloned();
+                if let Some(subscriber) = subscriber {
+                    subscriber.record_ack(seq);
+                }
+            }
             request => {
                 let (reply_tx, reply_rx) = oneshot::channel();
                 if state.jobs.send(Job { conn_id, request, reply: reply_tx }).is_err() {
@@ -474,13 +606,17 @@ fn read_loop<S: Stream>(
         }
     }
     // The conversation is over, however it ended: drop the connection's
-    // trajectory sessions. (In-flight jobs already queued keep their
-    // group's session semantics; a *new* connection starts fresh because
-    // connection ids are never reused.)
+    // trajectory sessions and its push subscription. (In-flight jobs
+    // already queued keep their group's session semantics; a *new*
+    // connection starts fresh because connection ids are never reused.)
+    state.subscribers().remove(&conn_id);
     state.prune_conn(conn_id);
 }
 
-fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>, max_len: u32) {
+fn write_loop(stream: SharedWriter, out: std::sync::mpsc::Receiver<Outgoing>, max_len: u32) {
+    // The write half is locked per frame (never while blocked on a
+    // pending oneshot), so the push fan-out can interleave unsolicited
+    // push frames between — never inside — correlated responses.
     for outgoing in out {
         let response = match outgoing {
             Outgoing::Ready(response) => response,
@@ -491,6 +627,7 @@ fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>
                 Err(_) => break,
             },
             Outgoing::Close => {
+                let mut stream = stream.lock().unwrap_or_else(|e| e.into_inner());
                 let _ = stream.flush();
                 stream.close();
                 break;
@@ -510,6 +647,7 @@ fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>
                 match fallback.encode_limited(max_len) {
                     Ok(frame) => frame,
                     Err(_) => {
+                        let mut stream = stream.lock().unwrap_or_else(|e| e.into_inner());
                         let _ = stream.flush();
                         stream.close();
                         break;
@@ -517,10 +655,76 @@ fn write_loop<S: Stream>(mut stream: S, out: std::sync::mpsc::Receiver<Outgoing>
                 }
             }
         };
-        if write_frame(&mut stream, &frame, max_len).is_err() {
+        let mut stream = stream.lock().unwrap_or_else(|e| e.into_inner());
+        if write_frame(&mut *stream, &frame, max_len).is_err() {
             break;
         }
     }
+}
+
+/// Forwards one engine invalidation to every subscriber of its tenant
+/// and waits for each ack. Runs on the mutating thread (the dispatcher
+/// for wire mutations), so the mutation's own reply is not sent until
+/// every healthy subscriber has applied the invalidation — that is what
+/// extends "once the revocation returns, no new check sees the stale
+/// snapshot" across subscribed caches. A subscriber that cannot take
+/// the push (write failure, encode failure, ack timeout) is
+/// force-closed: its client observes the disconnect and flushes its
+/// whole cache, which is the fail-closed end of the same guarantee.
+fn fan_out_push(state: &Arc<ServerState>, event: &Invalidation) {
+    let targets: Vec<(u64, Arc<Subscriber>)> = state
+        .subscribers()
+        .iter()
+        .filter(|(_, sub)| sub.tenant == event.tenant())
+        .map(|(id, sub)| (*id, Arc::clone(sub)))
+        .collect();
+    // Write every push first, then await the acks: the subscribers
+    // apply the invalidation concurrently instead of one ack round-trip
+    // at a time.
+    let mut awaiting = Vec::new();
+    for (conn_id, subscriber) in targets {
+        let seq = subscriber.next_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let push = match event {
+            Invalidation::Revoked { tenant, fingerprint } => {
+                Response::PushRevoke { seq, tenant: tenant.clone(), fingerprint: *fingerprint }
+            }
+            Invalidation::Reloaded { tenant, task_fp, context_fp, fingerprint } => {
+                Response::PushReload {
+                    seq,
+                    tenant: tenant.clone(),
+                    task_fp: *task_fp,
+                    context_fp: *context_fp,
+                    fingerprint: *fingerprint,
+                }
+            }
+            Invalidation::Flushed { tenant } => Response::PushFlush { seq, tenant: tenant.clone() },
+        };
+        let written = match push.encode_limited(state.config.max_frame_len) {
+            Ok(frame) => {
+                let mut writer = subscriber.writer.lock().unwrap_or_else(|e| e.into_inner());
+                write_frame(&mut *writer, &frame, state.config.max_frame_len).is_ok()
+            }
+            Err(_) => false,
+        };
+        if written {
+            awaiting.push((conn_id, subscriber, seq));
+        } else {
+            drop_subscriber(state, conn_id, &subscriber);
+        }
+    }
+    for (conn_id, subscriber, seq) in awaiting {
+        if !subscriber.wait_acked(seq, PUSH_ACK_TIMEOUT) {
+            drop_subscriber(state, conn_id, &subscriber);
+        }
+    }
+}
+
+/// Fail-closed removal of a subscriber that cannot confirm an
+/// invalidation: deregister it and close its connection, so its client
+/// sees EOF and flushes its local cache.
+fn drop_subscriber(state: &Arc<ServerState>, conn_id: u64, subscriber: &Subscriber) {
+    state.subscribers().remove(&conn_id);
+    (subscriber.close)();
 }
 
 /// One coalescable check: where its calls start in the group's combined
@@ -704,6 +908,16 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                         let _ = job.reply.send(Response::Error {
                             code: code::MALFORMED,
                             message: "Hello is handled during the handshake".into(),
+                        });
+                    }
+                    Request::Subscribe { .. } | Request::PushAck { .. } => {
+                        // Subscription traffic is answered inline by the
+                        // connection reader; one reaching the dispatcher
+                        // is a server bug, not a client error.
+                        let _ = job.reply.send(Response::Error {
+                            code: code::MALFORMED,
+                            message: "subscription frames are handled by the connection reader"
+                                .into(),
                         });
                     }
                     Request::Check { .. } | Request::CheckBatch { .. } => unreachable!(),

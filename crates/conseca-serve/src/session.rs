@@ -13,6 +13,7 @@ use conseca_core::pipeline::{CheckLayer, LayerOutcome, SessionStats, Verdict, LA
 use conseca_core::{Decision, Policy, TrustedContext};
 use conseca_shell::ApiCall;
 
+use crate::cache::CachedClient;
 use crate::client::Client;
 
 /// The per-action policy check (§3.3) answered by a remote engine.
@@ -79,6 +80,78 @@ impl<'c> RemoteSessionLayer<'c> {
 }
 
 impl CheckLayer for RemoteSessionLayer<'_> {
+    fn name(&self) -> &'static str {
+        LAYER_POLICY
+    }
+
+    fn check(&mut self, call: &ApiCall, _stats: &SessionStats, pending: &Verdict) -> LayerOutcome {
+        if !pending.allowed {
+            return LayerOutcome::Pass;
+        }
+        let decision = self.decide(call);
+        match decision.violation {
+            None => LayerOutcome::Allow { rationale: decision.rationale },
+            Some(violation) => LayerOutcome::Deny { rationale: decision.rationale, violation },
+        }
+    }
+}
+
+/// The per-action policy check answered by a [`CachedClient`]: local
+/// L1 decisions after a one-time policy fetch, kept sound by the push
+/// invalidation channel.
+///
+/// Same fail-closed contract as [`RemoteSessionLayer`]: transport
+/// failure is a panic, never a silent allow, and a missing key
+/// (evicted server-side between checks) is re-installed from the
+/// policy this layer holds, with a bounded retry.
+pub struct CachedSessionLayer<'c> {
+    client: &'c mut CachedClient,
+    task: String,
+    context: TrustedContext,
+    policy: Arc<Policy>,
+}
+
+impl<'c> CachedSessionLayer<'c> {
+    /// A layer billing checks for (`task`, `context`) against
+    /// `client`'s cache (tenant fixed by the client's subscription),
+    /// holding `policy` for eviction recovery.
+    pub fn new(
+        client: &'c mut CachedClient,
+        task: &str,
+        context: TrustedContext,
+        policy: Arc<Policy>,
+    ) -> Self {
+        CachedSessionLayer { client, task: task.to_owned(), context, policy }
+    }
+
+    fn decide(&mut self, call: &ApiCall) -> Decision {
+        // Same bounded re-install loop as RemoteSessionLayer: `None`
+        // here means the *server* has no policy for the key (the local
+        // miss already fell through to an authoritative fetch).
+        const ATTEMPTS: usize = 4;
+        for attempt in 0..ATTEMPTS {
+            match self
+                .client
+                .check(&self.task, &self.context, call)
+                .expect("cached-remote enforcement transport failed (fail-closed)")
+            {
+                Some(decision) => return decision,
+                None if attempt + 1 < ATTEMPTS => {
+                    self.client
+                        .install(&self.task, &self.context, &self.policy)
+                        .expect("cached-remote enforcement transport failed (fail-closed)");
+                }
+                None => {}
+            }
+        }
+        panic!(
+            "remote policy snapshot evicted {ATTEMPTS} times in a row despite re-installs \
+             (fail-closed); the server's store is too small for its tenant load"
+        );
+    }
+}
+
+impl CheckLayer for CachedSessionLayer<'_> {
     fn name(&self) -> &'static str {
         LAYER_POLICY
     }

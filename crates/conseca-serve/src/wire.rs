@@ -45,7 +45,16 @@ pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 /// are additive (receivers answer unknown tags with
 /// [`code::UNKNOWN_TAG`]).
 ///
-/// Version history: **4** extended the policy payload with the
+/// Version history: **5** added the subscription/push invalidation
+/// channel — the protocol's first **server-initiated** traffic: a client
+/// sends [`Request::Subscribe`] once and thereafter the server may emit
+/// unsolicited [`Response::PushRevoke`] / [`Response::PushReload`] /
+/// [`Response::PushFlush`] frames (tag range `0x90..`) whenever the
+/// engine invalidates policies, each acknowledged with
+/// [`Request::PushAck`] (bumped because a subscribed client's reader
+/// must demultiplex unsolicited push frames from correlated responses —
+/// a v4 client would misattribute a push as the answer to its pending
+/// request). **4** extended the policy payload with the
 /// trajectory block (call budgets, per-API rate limits, sliding-window
 /// limits, ordering rules, sequence rules — codec version 2) and the
 /// decision payload with the `WindowRateLimited`/`OrderForbidden`
@@ -60,7 +69,7 @@ pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 /// (a payload change to `StatsOk`, hence the bump) and added the
 /// `Revoke`/`Reload` hot-reload messages. **1** was the initial
 /// protocol.
-pub const PROTOCOL_VERSION: u16 = 4;
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// Default cap on `length` (tag + payload) a peer will accept. Frames
 /// above the cap are answered with [`code::FRAME_TOO_LARGE`] and the
@@ -113,6 +122,8 @@ pub(crate) const TAG_REVOKE: u8 = 0x09;
 pub(crate) const TAG_RELOAD: u8 = 0x0A;
 pub(crate) const TAG_SNAPSHOT: u8 = 0x0B;
 pub(crate) const TAG_RESTORE: u8 = 0x0C;
+pub(crate) const TAG_SUBSCRIBE: u8 = 0x0D;
+pub(crate) const TAG_PUSH_ACK: u8 = 0x0E;
 
 // Response tags.
 pub(crate) const TAG_HELLO_OK: u8 = 0x81;
@@ -127,6 +138,14 @@ pub(crate) const TAG_REVOKED: u8 = 0x89;
 pub(crate) const TAG_RELOADED: u8 = 0x8A;
 pub(crate) const TAG_SNAPSHOT_OK: u8 = 0x8B;
 pub(crate) const TAG_RESTORED: u8 = 0x8C;
+pub(crate) const TAG_SUBSCRIBED: u8 = 0x8D;
+// Push tags (0x90 range): the only server-*initiated* frames in the
+// protocol. They share the response direction (and decoder) with the
+// correlated replies above, but a subscribed client's reader must
+// demultiplex them by tag — they answer no outstanding request.
+pub(crate) const TAG_PUSH_REVOKE: u8 = 0x90;
+pub(crate) const TAG_PUSH_RELOAD: u8 = 0x91;
+pub(crate) const TAG_PUSH_FLUSH: u8 = 0x92;
 pub(crate) const TAG_ERROR: u8 = 0xFF;
 
 /// One length-prefixed message as it travels the wire.
@@ -440,6 +459,23 @@ pub enum Request {
         /// The snapshot bytes, exactly as `Snapshot` handed them out.
         snapshot: Vec<u8>,
     },
+    /// Registers this connection for the tenant's invalidation pushes:
+    /// from the [`Response::Subscribed`] ack onward the server emits a
+    /// [`Response::PushRevoke`]/[`Response::PushReload`]/
+    /// [`Response::PushFlush`] frame on this connection for every
+    /// engine invalidation touching the tenant, and the mutating
+    /// operation does not complete until the push is acknowledged.
+    Subscribe {
+        /// The tenant whose invalidations this connection wants.
+        tenant: String,
+    },
+    /// Acknowledges one push frame by its sequence number: the client
+    /// has applied the invalidation to its local cache, so no check it
+    /// starts after this ack can use the invalidated snapshot.
+    PushAck {
+        /// The `seq` carried by the push frame being acknowledged.
+        seq: u64,
+    },
 }
 
 /// A server-to-client message.
@@ -518,6 +554,50 @@ pub enum Response {
         skipped_revoked: u64,
         /// Entries skipped because the key was already live.
         skipped_live: u64,
+    },
+    /// Answer to [`Request::Subscribe`]; invalidation pushes for the
+    /// tenant flow on this connection from this frame onward.
+    Subscribed,
+    /// **Server-initiated.** A fingerprint sweep
+    /// (`Engine::revoke_fingerprint`) fired: the client must drop every
+    /// cached snapshot whose source policy carries `fingerprint`, then
+    /// answer [`Request::PushAck`] with `seq`.
+    PushRevoke {
+        /// Per-connection push sequence number to acknowledge.
+        seq: u64,
+        /// The tenant whose snapshots were swept.
+        tenant: String,
+        /// The revoked semantic fingerprint ([`Policy::fingerprint`]).
+        fingerprint: u64,
+    },
+    /// **Server-initiated.** A policy was replaced
+    /// (`Engine::reload`, or an `Install` that displaced a live
+    /// snapshot): the client must drop its cached snapshot for the
+    /// pushed (task, context) key unless it already holds the new
+    /// policy, then answer [`Request::PushAck`] with `seq`. The key
+    /// travels as fingerprints so the client can evict **by key** even
+    /// when the server's own entry was already LRU-evicted.
+    PushReload {
+        /// Per-connection push sequence number to acknowledge.
+        seq: u64,
+        /// The tenant whose key was reloaded.
+        tenant: String,
+        /// Task-half of the store key (`CacheKey::task_fp`).
+        task_fp: u64,
+        /// Context-half of the store key (`CacheKey::context_fp`).
+        context_fp: u64,
+        /// [`Policy::fingerprint`] of the *replacement* policy.
+        fingerprint: u64,
+    },
+    /// **Server-initiated.** The tenant was flushed
+    /// (`Engine::flush_tenant`): the client must drop every cached
+    /// snapshot for the tenant, then answer [`Request::PushAck`] with
+    /// `seq`.
+    PushFlush {
+        /// Per-connection push sequence number to acknowledge.
+        seq: u64,
+        /// The flushed tenant.
+        tenant: String,
     },
     /// The request failed; see [`code`] for the catalogue.
     Error {
@@ -608,6 +688,14 @@ impl Request {
                 w.bytes(snapshot, "restore.snapshot")?;
                 TAG_RESTORE
             }
+            Request::Subscribe { tenant } => {
+                w.str_(tenant, "subscribe.tenant")?;
+                TAG_SUBSCRIBE
+            }
+            Request::PushAck { seq } => {
+                w.u64(*seq, "push_ack.seq")?;
+                TAG_PUSH_ACK
+            }
         };
         Ok(Frame { tag, payload: w.finish() })
     }
@@ -683,6 +771,8 @@ impl Request {
                 revoked: read_u64_list(&mut r, "restore.revoked")?,
                 snapshot: r.bytes("restore.snapshot")?.to_vec(),
             },
+            TAG_SUBSCRIBE => Request::Subscribe { tenant: r.str_("subscribe.tenant")? },
+            TAG_PUSH_ACK => Request::PushAck { seq: r.u64("push_ack.seq")? },
             tag => return Err(WireError::UnknownTag(tag)),
         };
         r.finish()?;
@@ -778,6 +868,26 @@ impl Response {
                 w.u64(*skipped_live, "restored.skipped_live")?;
                 TAG_RESTORED
             }
+            Response::Subscribed => TAG_SUBSCRIBED,
+            Response::PushRevoke { seq, tenant, fingerprint } => {
+                w.u64(*seq, "push_revoke.seq")?;
+                w.str_(tenant, "push_revoke.tenant")?;
+                w.u64(*fingerprint, "push_revoke.fingerprint")?;
+                TAG_PUSH_REVOKE
+            }
+            Response::PushReload { seq, tenant, task_fp, context_fp, fingerprint } => {
+                w.u64(*seq, "push_reload.seq")?;
+                w.str_(tenant, "push_reload.tenant")?;
+                w.u64(*task_fp, "push_reload.task_fp")?;
+                w.u64(*context_fp, "push_reload.context_fp")?;
+                w.u64(*fingerprint, "push_reload.fingerprint")?;
+                TAG_PUSH_RELOAD
+            }
+            Response::PushFlush { seq, tenant } => {
+                w.u64(*seq, "push_flush.seq")?;
+                w.str_(tenant, "push_flush.tenant")?;
+                TAG_PUSH_FLUSH
+            }
             Response::Error { code, message } => {
                 w.u16(*code, "error.code")?;
                 w.str_(message, "error.message")?;
@@ -849,6 +959,23 @@ impl Response {
                 installed: r.u64("restored.installed")?,
                 skipped_revoked: r.u64("restored.skipped_revoked")?,
                 skipped_live: r.u64("restored.skipped_live")?,
+            },
+            TAG_SUBSCRIBED => Response::Subscribed,
+            TAG_PUSH_REVOKE => Response::PushRevoke {
+                seq: r.u64("push_revoke.seq")?,
+                tenant: r.str_("push_revoke.tenant")?,
+                fingerprint: r.u64("push_revoke.fingerprint")?,
+            },
+            TAG_PUSH_RELOAD => Response::PushReload {
+                seq: r.u64("push_reload.seq")?,
+                tenant: r.str_("push_reload.tenant")?,
+                task_fp: r.u64("push_reload.task_fp")?,
+                context_fp: r.u64("push_reload.context_fp")?,
+                fingerprint: r.u64("push_reload.fingerprint")?,
+            },
+            TAG_PUSH_FLUSH => Response::PushFlush {
+                seq: r.u64("push_flush.seq")?,
+                tenant: r.str_("push_flush.tenant")?,
             },
             TAG_ERROR => {
                 Response::Error { code: r.u16("error.code")?, message: r.str_("error.message")? }
@@ -955,6 +1082,8 @@ mod tests {
                 revoked: vec![0xdead_beef, 0xfeed_f00d],
                 snapshot: vec![0xC5, 0x00, 0x01, 0x7F],
             },
+            Request::Subscribe { tenant: "acme".into() },
+            Request::PushAck { seq: u64::MAX },
         ];
         for request in requests {
             assert_eq!(roundtrip_request(request.clone()), request);
@@ -1001,6 +1130,16 @@ mod tests {
             Response::Reloaded { old_fingerprint: Some(0xabc), fingerprint: 7, entries: 2 },
             Response::SnapshotOk { entries: 4, snapshot: vec![1, 2, 3, 4, 5] },
             Response::Restored { installed: 2, skipped_revoked: 1, skipped_live: 1 },
+            Response::Subscribed,
+            Response::PushRevoke { seq: 1, tenant: "acme".into(), fingerprint: 0xfeed_f00d },
+            Response::PushReload {
+                seq: 2,
+                tenant: "acme".into(),
+                task_fp: 0xaaaa_bbbb,
+                context_fp: 0xcccc_dddd,
+                fingerprint: 0xfeed_f00d,
+            },
+            Response::PushFlush { seq: u64::MAX, tenant: "acme".into() },
             Response::Error { code: code::MALFORMED, message: "truncated".into() },
         ];
         for response in responses {
@@ -1049,6 +1188,37 @@ mod tests {
         let mut frame = Request::Shutdown.encode();
         frame.payload.push(0);
         assert_eq!(Request::decode(&frame), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn truncated_push_frames_are_structured_errors() {
+        // A push frame cut anywhere inside its payload must decode to a
+        // typed error, never a shorter valid push — a subscribed client
+        // applying a half-read invalidation would be unsound.
+        let pushes = vec![
+            Response::PushRevoke { seq: 9, tenant: "acme".into(), fingerprint: 7 },
+            Response::PushReload {
+                seq: 9,
+                tenant: "acme".into(),
+                task_fp: 1,
+                context_fp: 2,
+                fingerprint: 3,
+            },
+            Response::PushFlush { seq: 9, tenant: "acme".into() },
+        ];
+        for push in pushes {
+            let frame = push.encode();
+            for cut in 0..frame.payload.len() {
+                let cut_frame = Frame { tag: frame.tag, payload: frame.payload[..cut].to_vec() };
+                assert!(
+                    matches!(Response::decode(&cut_frame), Err(WireError::Truncated { .. })),
+                    "{push:?} cut at {cut}"
+                );
+            }
+            let mut trailing = frame.clone();
+            trailing.payload.push(0);
+            assert_eq!(Response::decode(&trailing), Err(WireError::TrailingBytes { extra: 1 }));
+        }
     }
 
     #[test]

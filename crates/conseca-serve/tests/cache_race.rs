@@ -1,0 +1,261 @@
+//! L1 cache vs. server-pushed invalidation races.
+//!
+//! Checker threads hammer subscribed [`CachedClient`]s — answering from
+//! their local compiled-policy caches whenever they can — while a churn
+//! thread cycles install → revoke/flush → reload over a plain wire
+//! client. Three invariants, the serving-layer mirror of
+//! `conseca-engine/tests/race.rs`:
+//!
+//! 1. **No check started after the invalidation ack sees the stale
+//!    snapshot**: the dispatcher sends a mutation's reply only after
+//!    every subscriber has applied and acked the push, so once the churn
+//!    client's call has *returned*, a cached check that *starts*
+//!    afterwards can never be answered by the swept snapshot — it either
+//!    misses (fail closed) or sees whatever was installed later.
+//! 2. **Counters reconcile exactly**: every lookup is billed exactly
+//!    once — locally on an L1 hit, server-side on the fetch that a miss
+//!    turns into — and every decision exactly once, client-side.
+//! 3. **Bystander tenants never notice**: pushes are tenant-scoped, so a
+//!    subscriber for another tenant keeps its warm cache through the
+//!    whole storm.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+
+use conseca_core::{Policy, PolicyEntry, TrajectoryPolicy, TrustedContext, Violation};
+use conseca_engine::{Engine, TenantCounters};
+use conseca_serve::{ServeConfig, Server};
+use conseca_shell::ApiCall;
+
+/// Policy "A" for one cycle: allows the probe, rationale stamps the cycle
+/// so checkers can tell exactly which snapshot answered them.
+fn policy_a(cycle: usize) -> Policy {
+    let mut p = Policy::new("raced task");
+    p.set("send_email", PolicyEntry::allow_any(&format!("A#{cycle}")));
+    p
+}
+
+/// Policy "B" for one cycle: denies the probe.
+fn policy_b(cycle: usize) -> Policy {
+    let mut p = Policy::new("raced task");
+    p.set("send_email", PolicyEntry::deny(&format!("B#{cycle}")));
+    p
+}
+
+fn probe() -> ApiCall {
+    ApiCall::new("email", "send_email", vec!["alice".into()])
+}
+
+fn ctx() -> TrustedContext {
+    TrustedContext::for_user("alice")
+}
+
+// The churn thread publishes its progress as `cycle * 4 + phase`, stored
+// *after* the corresponding wire call has returned (which, for
+// mutations, is after every subscriber acked the push). Checkers read it
+// before checking; the invariant is on (state-at-start → legal answers).
+const PH_A_LIVE: u64 = 0; // install(A#cycle) returned
+const PH_REVOKED: u64 = 1; // sweep of A#cycle returned; nothing installed
+const PH_B_LIVE: u64 = 2; // reload(B#cycle) returned
+
+fn pack(cycle: usize, phase: u64) -> u64 {
+    (cycle as u64) * 4 + phase
+}
+
+fn unpack(state: u64) -> (u64, u64) {
+    (state / 4, state % 4)
+}
+
+#[test]
+fn pushed_invalidations_never_leak_a_stale_cached_snapshot() {
+    const CHECKERS: usize = 3;
+    const CYCLES: usize = 80;
+    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+    let context = ctx();
+
+    // The churn client seeds A#0 before any checker subscribes.
+    let mut churn = server.connect().expect("churn connects");
+    churn.install("acme", "raced task", &context, &policy_a(0)).expect("seed install");
+
+    // A bystander tenant with its own warm subscriber: the acme storm
+    // must never evict its cache.
+    let mut bystander = server.connect_cached("globex").expect("bystander connects");
+    bystander.install("raced task", &context, &policy_a(0)).expect("bystander install");
+    let warm = bystander.check("raced task", &context, &probe()).expect("wire ok");
+    assert!(warm.expect("installed").allowed);
+    assert_eq!(bystander.cache().policies(), 1, "bystander cache is warm");
+
+    let state = Arc::new(AtomicU64::new(pack(0, PH_A_LIVE)));
+    let stop = Arc::new(AtomicBool::new(false));
+    let start = Arc::new(Barrier::new(CHECKERS + 1));
+    let violations = Arc::new(AtomicU64::new(0));
+    let attempts = Arc::new(AtomicU64::new(0));
+    let some_seen = Arc::new(AtomicU64::new(0));
+    let allowed_seen = Arc::new(AtomicU64::new(0));
+    let locals: Mutex<Vec<TenantCounters>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..CHECKERS {
+            let server = &server;
+            let locals = &locals;
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            let start = Arc::clone(&start);
+            let violations = Arc::clone(&violations);
+            let attempts = Arc::clone(&attempts);
+            let some_seen = Arc::clone(&some_seen);
+            let allowed_seen = Arc::clone(&allowed_seen);
+            let context = context.clone();
+            scope.spawn(move || {
+                let mut client = server.connect_cached("acme").expect("checker connects");
+                let call = probe();
+                start.wait();
+                while !stop.load(Ordering::Acquire) {
+                    // What the churn thread had *completed* before this
+                    // check began bounds what it may legally answer.
+                    let (c, ph) = unpack(state.load(Ordering::Acquire));
+                    attempts.fetch_add(1, Ordering::Relaxed);
+                    let decision = client.check("raced task", &context, &call).expect("wire ok");
+                    let Some(decision) = decision else { continue };
+                    some_seen.fetch_add(1, Ordering::Relaxed);
+                    if decision.allowed {
+                        allowed_seen.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let (kind, k) = decision
+                        .rationale
+                        .split_once('#')
+                        .map(|(kind, k)| (kind.to_owned(), k.parse::<u64>().unwrap()))
+                        .expect("rationale stamps the cycle");
+                    // A#k is swept (store first, then every subscriber's
+                    // L1, acked, *then* the reply) when (k, PH_REVOKED)
+                    // publishes, and is never reinstalled — cycle stamps
+                    // only grow. A check that began at or after that
+                    // publication must never see it. Likewise B#k is
+                    // swept before (k+1, PH_A_LIVE) publishes.
+                    let illegal = match kind.as_str() {
+                        "A" => c > k || (c == k && ph != PH_A_LIVE),
+                        "B" => c > k,
+                        other => panic!("unknown policy kind {other}"),
+                    };
+                    if illegal {
+                        violations.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                locals.lock().unwrap().push(client.local_counters());
+            });
+        }
+
+        // The churn thread: A#c live → swept (revoke or flush) → B#c
+        // live → B#c swept, A#(c+1) live → … Every mutation round-trips
+        // through the wire, so each returned call implies every
+        // subscriber already applied and acked the matching push.
+        let cycle_state = Arc::clone(&state);
+        let cycle_stop = Arc::clone(&stop);
+        let cycle_start = Arc::clone(&start);
+        let cycle_ctx = context.clone();
+        scope.spawn(move || {
+            cycle_start.wait();
+            for cycle in 0..CYCLES {
+                // Sweep A#cycle — alternating the two invalidation paths.
+                if cycle % 2 == 0 {
+                    churn.revoke("acme", policy_a(cycle).fingerprint()).expect("revoke");
+                } else {
+                    churn.flush("acme").expect("flush");
+                }
+                cycle_state.store(pack(cycle, PH_REVOKED), Ordering::Release);
+                // Reload B#cycle (atomic swap onto the empty key).
+                churn.reload("acme", "raced task", &cycle_ctx, &policy_b(cycle)).expect("reload");
+                cycle_state.store(pack(cycle, PH_B_LIVE), Ordering::Release);
+                // Retire B#cycle, restore A for the next cycle; only then
+                // publish, so "saw A#(cycle+1)" is legal strictly after
+                // the install returned.
+                churn.revoke("acme", policy_b(cycle).fingerprint()).expect("revoke B");
+                churn.install("acme", "raced task", &cycle_ctx, &policy_a(cycle + 1)).expect("i");
+                cycle_state.store(pack(cycle + 1, PH_A_LIVE), Ordering::Release);
+            }
+            cycle_stop.store(true, Ordering::Release);
+        });
+    });
+
+    assert_eq!(violations.load(Ordering::Acquire), 0, "a stale cached snapshot served a check");
+
+    // Exact counter reconciliation: every lookup billed exactly once —
+    // locally when the L1 answered, server-side when a miss fetched —
+    // and every decision exactly once, always client-side.
+    let locals = locals.into_inner().unwrap();
+    let server_counters = server.engine().tenant_counters("acme");
+    let attempts = attempts.load(Ordering::Acquire);
+    let some_seen = some_seen.load(Ordering::Acquire);
+    let allowed_seen = allowed_seen.load(Ordering::Acquire);
+    let local_hits: u64 = locals.iter().map(|c| c.hits).sum();
+    let local_checks: u64 = locals.iter().map(|c| c.checks).sum();
+    let local_allowed: u64 = locals.iter().map(|c| c.allowed).sum();
+    let local_denied: u64 = locals.iter().map(|c| c.denied).sum();
+    assert!(attempts > 0 && some_seen > 0, "the race actually ran");
+    assert!(local_hits > 0, "the L1 actually served checks");
+    assert_eq!(
+        local_hits + server_counters.hits + server_counters.misses,
+        attempts,
+        "every lookup billed once, on exactly one side of the wire"
+    );
+    assert_eq!(local_checks, some_seen, "every decision billed once, client-side");
+    assert_eq!(local_allowed, allowed_seen);
+    assert_eq!(local_denied, some_seen - allowed_seen);
+    assert_eq!(locals.iter().map(|c| c.misses).sum::<u64>(), 0, "L1 misses bill server-side");
+    assert_eq!(server_counters.checks, 0, "no decision was ever produced server-side");
+    // The churn is billed exactly too: one reload per cycle, one
+    // revocation for A on even cycles (odd cycles flush, which is
+    // deliberately *not* a revocation) and one for B every cycle.
+    assert_eq!(server_counters.reloads, CYCLES as u64);
+    let expected_revoked = (CYCLES as u64).div_ceil(2) + CYCLES as u64;
+    assert_eq!(server_counters.revoked, expected_revoked);
+
+    // The bystander tenant never noticed: its cache is still warm and
+    // still answers locally.
+    assert_eq!(bystander.cache().policies(), 1, "tenant-scoped pushes left the bystander alone");
+    let hits_before = bystander.local_counters().hits;
+    let after = bystander.check("raced task", &context, &probe()).expect("wire ok");
+    assert_eq!(after.expect("still installed").rationale, "A#0");
+    assert_eq!(bystander.local_counters().hits, hits_before + 1, "answered from the L1");
+    assert_eq!(server.engine().tenant_counters("globex").revoked, 0);
+
+    drop(bystander);
+    server.shutdown();
+}
+
+#[test]
+fn pushed_invalidation_never_resurrects_a_spent_budget() {
+    // Sessions are client-owned and fingerprint-keyed: an invalidation
+    // evicts the cached *policy*, never the trajectory state, so
+    // re-installing the same policy after a pushed revocation must not
+    // hand the session a fresh budget.
+    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+    let context = ctx();
+    let mut client = server.connect_cached("acme").expect("connects");
+    let mut policy = Policy::new("budgeted");
+    policy.set("send_email", PolicyEntry::allow_any("one shot"));
+    policy.set_trajectory(TrajectoryPolicy::new().budget(1));
+    client.install("budgeted", &context, &policy).expect("install");
+
+    let first = client.check("budgeted", &context, &probe()).expect("wire ok");
+    assert!(first.expect("installed").allowed, "the budget's one action");
+    assert_eq!(client.cache().policies(), 1, "the fetch warmed the L1");
+
+    // Revoke over the wire: the push evicts the L1 copy before the
+    // reply arrives, and the next check fails closed.
+    assert_eq!(client.revoke(policy.fingerprint()).expect("revoke"), 1);
+    assert_eq!(client.cache().policies(), 0, "the push already evicted the snapshot");
+    let gone = client.check("budgeted", &context, &probe()).expect("wire ok");
+    assert!(gone.is_none(), "revoked: fail closed");
+
+    // Same fingerprint, same session: the spent budget stays spent.
+    client.install("budgeted", &context, &policy).expect("reinstall");
+    let after = client.check("budgeted", &context, &probe()).expect("wire ok");
+    let after = after.expect("reinstalled");
+    assert!(!after.allowed, "reinstalling the same policy must not reset the budget");
+    assert_eq!(after.violation, Some(Violation::BudgetExhausted { max: 1 }));
+    assert_eq!(client.fallbacks(), 0, "no epoch race in a sequential script");
+
+    drop(client);
+    server.shutdown();
+}

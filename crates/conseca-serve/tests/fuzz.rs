@@ -87,6 +87,8 @@ fn sample_requests() -> Vec<Request> {
             context: ctx,
             policy: sample_policy(),
         },
+        Request::Subscribe { tenant: "acme".into() },
+        Request::PushAck { seq: 41 },
     ]
 }
 
@@ -111,6 +113,16 @@ fn sample_responses() -> Vec<Response> {
         Response::Revoked { removed: 2 },
         Response::Reloaded { old_fingerprint: Some(9), fingerprint: 8, entries: 2 },
         Response::Error { code: 3, message: "nope".into() },
+        Response::Subscribed,
+        Response::PushRevoke { seq: 1, tenant: "acme".into(), fingerprint: 0xfeed_f00d },
+        Response::PushReload {
+            seq: 2,
+            tenant: "acme".into(),
+            task_fp: 3,
+            context_fp: 4,
+            fingerprint: 5,
+        },
+        Response::PushFlush { seq: 6, tenant: "acme".into() },
     ]
 }
 
@@ -205,6 +217,134 @@ proptest! {
             Ok(Some(_)) => prop_assert!(false, "a truncated stream yielded a frame"),
             Err(_) => {}
         }
+    }
+}
+
+// ------------------------------------------------------ v5 push-frame fuzz
+//
+// The v5 subscription frames widen the trust boundary in a new
+// direction: push frames arrive *unsolicited* and feed
+// [`LocalPolicyCache::apply_push`], which is allowed to evict cached
+// policies — so a forged or corrupted push must never panic the reader
+// and, above all, must never cause a policy to *enter* the cache. The
+// properties below hold both decoders to the no-panic bar on the new
+// tags and prove the subtractive invariant directly: however malformed
+// or well-formed the frame, `apply_push` on a fresh cache leaves it
+// empty, and the epoch moves exactly when an ack is owed.
+
+use conseca_serve::LocalPolicyCache;
+
+// Mirrors the wire module's (crate-private) v5 tag constants:
+// Subscribe, PushAck, Subscribed, PushRevoke, PushReload, PushFlush.
+const V5_TAGS: [u8; 6] = [0x0D, 0x0E, 0x8D, 0x90, 0x91, 0x92];
+
+/// The v5 sample frames: both new requests and all four new responses.
+fn v5_frames() -> Vec<Frame> {
+    vec![
+        (Request::Subscribe { tenant: "acme".into() }).encode(),
+        (Request::PushAck { seq: u64::MAX }).encode(),
+        Response::Subscribed.encode(),
+        (Response::PushRevoke { seq: 1, tenant: "acme".into(), fingerprint: 0xfeed_f00d }).encode(),
+        (Response::PushReload {
+            seq: 2,
+            tenant: "acme".into(),
+            task_fp: 3,
+            context_fp: 4,
+            fingerprint: 5,
+        })
+        .encode(),
+        (Response::PushFlush { seq: 6, tenant: "acme".into() }).encode(),
+    ]
+}
+
+/// Decodes `frame` as a response and, when it decodes, feeds it to a
+/// fresh cache — which must stay empty: `apply_push` is subtractive,
+/// so no frame whatsoever may install. The epoch must move exactly
+/// when an ack is owed (push applied) and never otherwise.
+fn assert_never_installs(frame: &Frame) {
+    let cache = LocalPolicyCache::new("acme");
+    let before = cache.epoch();
+    if let Ok(response) = Response::decode(frame) {
+        match cache.apply_push(&response) {
+            Some(_) => assert_eq!(cache.epoch(), before + 1, "an applied push moves the epoch"),
+            None => assert_eq!(cache.epoch(), before, "a non-push must not move the epoch"),
+        }
+    }
+    assert_eq!(cache.policies(), 0, "a push frame installed a policy");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+
+    #[test]
+    fn arbitrary_v5_tagged_frames_never_panic_and_never_install(
+        input in (0usize..6, vec(any::<u8>(), 0..96))
+    ) {
+        let (pick, payload) = input;
+        let frame = Frame { tag: V5_TAGS[pick], payload };
+        let _ = Request::decode(&frame);
+        assert_never_installs(&frame);
+    }
+
+    #[test]
+    fn truncated_v5_frames_error_not_panic(input in (any::<u64>(), any::<u64>())) {
+        let (pick, cut) = input;
+        let frames = v5_frames();
+        let frame = &frames[(pick % frames.len() as u64) as usize];
+        if !frame.payload.is_empty() {
+            // A strict prefix of a length-exact encoding can never
+            // decode — in either direction.
+            let cut = (cut % frame.payload.len() as u64) as usize;
+            let truncated = Frame { tag: frame.tag, payload: frame.payload[..cut].to_vec() };
+            prop_assert!(Request::decode(&truncated).is_err());
+            prop_assert!(Response::decode(&truncated).is_err());
+            assert_never_installs(&truncated);
+        }
+    }
+
+    #[test]
+    fn bit_flipped_v5_frames_never_panic_and_never_install(
+        input in (any::<u64>(), any::<u64>(), any::<u8>())
+    ) {
+        let (pick, at, mask) = input;
+        let frames = v5_frames();
+        let valid = &frames[(pick % frames.len() as u64) as usize];
+        if !valid.payload.is_empty() {
+            // A flipped interior byte may still decode (e.g. into a
+            // push for a different tenant, seq, or fingerprint) — that
+            // is exactly the forged-push case, and it must only ever
+            // shrink the cache, never fill it.
+            let mut flipped = valid.clone();
+            let at = (at % flipped.payload.len() as u64) as usize;
+            flipped.payload[at] ^= mask | 0x01; // always flips at least one bit
+            let _ = Request::decode(&flipped);
+            assert_never_installs(&flipped);
+        }
+    }
+
+    #[test]
+    fn junk_tailed_v5_frames_are_rejected(
+        input in (any::<u64>(), vec(any::<u8>(), 1..16))
+    ) {
+        let (pick, junk) = input;
+        let frames = v5_frames();
+        let mut extended = frames[(pick % frames.len() as u64) as usize].clone();
+        // Every encoding is length-exact, so trailing bytes must be
+        // rejected by both decoders.
+        extended.payload.extend_from_slice(&junk);
+        prop_assert!(Request::decode(&extended).is_err(), "junk tail accepted as a request");
+        prop_assert!(Response::decode(&extended).is_err(), "junk tail accepted as a response");
+        assert_never_installs(&extended);
+    }
+
+    #[test]
+    fn arbitrary_responses_never_install_into_the_cache(
+        input in ((0u16..256).prop_map(|t| t as u8), vec(any::<u8>(), 0..96))
+    ) {
+        // The full tag space, not just the v5 tags: whatever a hostile
+        // server streams at the reader, the cache only ever shrinks.
+        let (tag, payload) = input;
+        assert_never_installs(&Frame { tag, payload });
     }
 }
 
@@ -359,7 +499,9 @@ proptest! {
     }
 }
 
-// Coverage floor: 10 properties × 3000 cases each = 30k generated cases
-// per run — 15k through the frame decoders and 15k through the snapshot
-// decoder, each comfortably above its 10k/15k-case floor. Adjust the
-// per-property `ProptestConfig` if properties are added or removed.
+// Coverage floor: 15 properties × 3000 cases each = 45k generated cases
+// per run — 15k through the frame decoders, 15k through the v5
+// push-frame surface (decoders plus `LocalPolicyCache::apply_push`),
+// and 15k through the snapshot decoder, each comfortably above its
+// 10k/15k-case floor. Adjust the per-property `ProptestConfig` if
+// properties are added or removed.

@@ -1,11 +1,12 @@
 //! Cross-mode conformance: one workload script, every execution path,
 //! byte-identical outcomes.
 //!
-//! The repo ships four interchangeable enforcement shapes — the
+//! The repo ships five interchangeable enforcement shapes — the
 //! in-process interpreted pipeline, the shared [`Engine`], a remote
-//! policy-decision server driven per call, and the same server driven in
-//! batches — and the standing claim (docs/engine.md) is that moving
-//! between them never changes a verdict. This module turns that claim
+//! policy-decision server driven per call, the same server driven in
+//! batches, and a subscribed [`CachedClient`] answering checks from its
+//! local L1 under push invalidation — and the standing claim
+//! (docs/engine.md) is that moving between them never changes a verdict. This module turns that claim
 //! into a reusable harness: a [`PolicyOp`] script (install / check /
 //! revoke / reload / flush / snapshot / warm-start — the full policy
 //! lifecycle, hot-reload and persistence included) is run through each
@@ -25,7 +26,7 @@ use conseca_core::pipeline::PipelineBuilder;
 use conseca_core::{render_policy, Decision, Policy, TrajectoryEnforcer, TrustedContext};
 use conseca_engine::{decode_snapshot, Engine, SessionState, TenantCounters};
 use conseca_serve::wire::encode_decision;
-use conseca_serve::{Client, ServeConfig, Server};
+use conseca_serve::{CachedClient, Client, ServeConfig, Server};
 use conseca_shell::ApiCall;
 
 /// One step of a policy-lifecycle workload script.
@@ -55,7 +56,7 @@ pub enum PolicyOp {
     WarmStart,
 }
 
-/// The four execution paths the conformance harness drives.
+/// The five execution paths the conformance harness drives.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionPath {
     /// In-process interpreted pipeline (the paper's prototype shape).
@@ -66,6 +67,10 @@ pub enum ExecutionPath {
     Remote,
     /// Remote server driven through batched `CheckBatch` frames.
     ServedBatch,
+    /// Subscribed [`CachedClient`]: checks answered from the local L1
+    /// compiled cache, invalidations arriving over the server's push
+    /// channel (wire protocol v5).
+    CachedRemote,
 }
 
 impl ExecutionPath {
@@ -76,16 +81,18 @@ impl ExecutionPath {
             ExecutionPath::Engine => "engine",
             ExecutionPath::Remote => "remote",
             ExecutionPath::ServedBatch => "served-batch",
+            ExecutionPath::CachedRemote => "cached-remote",
         }
     }
 
     /// Every path, in documentation order.
-    pub fn all() -> [ExecutionPath; 4] {
+    pub fn all() -> [ExecutionPath; 5] {
         [
             ExecutionPath::Pipeline,
             ExecutionPath::Engine,
             ExecutionPath::Remote,
             ExecutionPath::ServedBatch,
+            ExecutionPath::CachedRemote,
         ]
     }
 }
@@ -451,6 +458,85 @@ fn run_served(
     (outcomes, counters)
 }
 
+/// The fifth path: a subscribed [`CachedClient`] whose checks resolve
+/// in its local L1 after a one-time fetch, with server pushes keeping
+/// the cache sound across revokes/reloads/flushes. Counters are the
+/// merged server + local split ([`CachedClient::stats`]), which must
+/// reconcile *exactly* with what the engine path bills for the same
+/// script — every check costs one lookup and one decision, wherever
+/// each half landed.
+fn run_cached_remote(
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    ops: &[PolicyOp],
+) -> (Vec<Vec<u8>>, TenantCounters) {
+    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+    let mut client: CachedClient = server.connect_cached(tenant).expect("subscribe handshake");
+    let mut snapshot: Option<Vec<u8>> = None;
+    let mut revoked_fps: Vec<u64> = Vec::new();
+    let outcomes = ops
+        .iter()
+        .map(|op| match op {
+            PolicyOp::Install(policy) => {
+                let receipt = client.install(task, context, policy).expect("install");
+                let mut out = receipt.fingerprint.to_be_bytes().to_vec();
+                out.extend(receipt.entries.to_be_bytes());
+                out
+            }
+            PolicyOp::Check(call) => {
+                encode_opt_decision(&client.check(task, context, call).expect("check"))
+            }
+            PolicyOp::CheckBatch(calls) => {
+                encode_opt_batch(&client.check_all(task, context, calls).expect("batch"))
+            }
+            PolicyOp::Revoke(fingerprint) => {
+                if !revoked_fps.contains(fingerprint) {
+                    revoked_fps.push(*fingerprint);
+                }
+                encode_count(client.revoke(*fingerprint).expect("revoke"))
+            }
+            PolicyOp::Reload(policy) => {
+                let receipt = client.reload(task, context, policy).expect("reload");
+                let mut out = Vec::new();
+                match receipt.old_fingerprint {
+                    None => out.push(0),
+                    Some(fp) => {
+                        out.push(1);
+                        out.extend(fp.to_be_bytes());
+                    }
+                }
+                out.extend(receipt.fingerprint.to_be_bytes());
+                out.extend(receipt.entries.to_be_bytes());
+                out
+            }
+            PolicyOp::Flush => encode_count(client.flush().expect("flush")),
+            PolicyOp::Snapshot => {
+                let receipt = client.snapshot().expect("snapshot");
+                let decoded = decode_snapshot(&receipt.snapshot).expect("cached snapshot decodes");
+                let mut fps: Vec<u64> = decoded.entries.iter().map(|e| e.source_fp).collect();
+                snapshot = Some(receipt.snapshot);
+                encode_snapshot_outcome(&mut fps)
+            }
+            PolicyOp::WarmStart => match &snapshot {
+                None => encode_warm_start(0, 0, 0),
+                Some(bytes) => {
+                    let receipt = client.restore(&revoked_fps, bytes.clone()).expect("warm start");
+                    encode_warm_start(
+                        receipt.installed,
+                        receipt.skipped_revoked,
+                        receipt.skipped_live,
+                    )
+                }
+            },
+        })
+        .collect();
+    let counters = client.stats().expect("stats");
+    drop(client);
+    server.shutdown();
+    (outcomes, counters)
+}
+
 /// Runs `ops` through one execution path against a fresh backend.
 pub fn run_script(
     path: ExecutionPath,
@@ -473,11 +559,15 @@ pub fn run_script(
             let (outcomes, counters) = run_served(tenant, task, context, ops, true);
             (outcomes, Some(counters))
         }
+        ExecutionPath::CachedRemote => {
+            let (outcomes, counters) = run_cached_remote(tenant, task, context, ops);
+            (outcomes, Some(counters))
+        }
     };
     ScriptTranscript { path, outcomes, counters }
 }
 
-/// Runs `ops` through all four paths.
+/// Runs `ops` through all five paths.
 pub fn run_script_everywhere(
     tenant: &str,
     task: &str,
@@ -712,7 +802,7 @@ mod tests {
     }
 
     /// The acceptance script: install → check sequence → budget exhaust →
-    /// revoke → warm-start, byte-identical on all four paths, with the
+    /// revoke → warm-start, byte-identical on all five paths, with the
     /// post-warm-start check proving spent budgets are not resurrected.
     #[test]
     fn warm_start_does_not_resurrect_spent_budgets_on_any_path() {

@@ -90,7 +90,11 @@ fn install_check_revoke_reload_check_is_byte_identical_in_every_mode() {
     // script must bill the same revocations, reloads, lookups, and
     // verdicts wherever it ran.
     let engine_counters = transcripts.iter().filter_map(|t| t.counters).collect::<Vec<_>>();
-    assert_eq!(engine_counters.len(), 3, "engine, remote, and served-batch report counters");
+    assert_eq!(
+        engine_counters.len(),
+        4,
+        "engine, remote, served-batch, and cached-remote report counters"
+    );
     for counters in &engine_counters {
         assert_eq!(counters.revoked, 1, "exactly the swept snapshot");
         assert_eq!(counters.reloads, 1, "exactly the reload");
@@ -102,6 +106,7 @@ fn install_check_revoke_reload_check_is_byte_identical_in_every_mode() {
     }
     assert_eq!(engine_counters[0], engine_counters[1]);
     assert_eq!(engine_counters[1], engine_counters[2]);
+    assert_eq!(engine_counters[2], engine_counters[3]);
 }
 
 #[test]
@@ -186,7 +191,7 @@ fn install_snapshot_revoke_warm_start_check_cannot_resurrect_in_any_mode() {
 
     // Counter reconciliation across every engine-backed path.
     let engine_counters = transcripts.iter().filter_map(|t| t.counters).collect::<Vec<_>>();
-    assert_eq!(engine_counters.len(), 3);
+    assert_eq!(engine_counters.len(), 4);
     for counters in &engine_counters {
         assert_eq!(counters.revoked, 1, "exactly the swept snapshot");
         assert_eq!(counters.reloads, 0);
@@ -196,6 +201,7 @@ fn install_snapshot_revoke_warm_start_check_cannot_resurrect_in_any_mode() {
     }
     assert_eq!(engine_counters[0], engine_counters[1]);
     assert_eq!(engine_counters[1], engine_counters[2]);
+    assert_eq!(engine_counters[2], engine_counters[3]);
 }
 
 #[test]
@@ -269,7 +275,7 @@ fn full_task_runs_are_byte_identical_across_agent_backends() {
 fn every_path_is_actually_exercised() {
     // Guard against the harness silently dropping a path.
     let labels: Vec<_> = ExecutionPath::all().iter().map(|p| p.label()).collect();
-    assert_eq!(labels, vec!["pipeline", "engine", "remote", "served-batch"]);
+    assert_eq!(labels, vec!["pipeline", "engine", "remote", "served-batch", "cached-remote"]);
     let transcripts = run_script_everywhere(
         "acme",
         "t",

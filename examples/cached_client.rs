@@ -1,0 +1,91 @@
+//! Cached-remote quickstart: the v5 client with a local policy cache
+//! kept sound by server-pushed invalidations, in ~70 lines.
+//!
+//! Starts an in-process `conseca-serve` server, connects a subscribed
+//! [`CachedClient`], and shows the three moments that define the mode:
+//! the one-time fetch that warms the local cache, the checks it then
+//! answers at in-process engine speed, and a revocation pushed from a
+//! *different* connection evicting the cache before that revocation is
+//! even acknowledged — so a stale decision can never be served.
+//!
+//! Run with: `cargo run --example cached_client`
+
+use std::sync::Arc;
+
+use conseca_agent::build_trusted_context;
+use conseca_core::PolicyGenerator;
+use conseca_engine::Engine;
+use conseca_llm::TemplatePolicyModel;
+use conseca_mail::MailSystem;
+use conseca_serve::{ServeConfig, Server};
+use conseca_shell::{default_registry, parse_command};
+use conseca_vfs::{SharedVfs, Vfs};
+use conseca_workloads::golden_examples;
+
+fn main() {
+    // A small world: two users with mailboxes, for trusted context.
+    let mut fs = Vfs::new();
+    fs.add_user("alice", false).unwrap();
+    fs.add_user("bob", false).unwrap();
+    let vfs = SharedVfs::new(fs);
+    let mail = MailSystem::new(vfs.clone(), "work.com");
+    mail.ensure_mailbox("alice").unwrap();
+    mail.ensure_mailbox("bob").unwrap();
+
+    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+    // The cached client subscribes for tenant 'acme' on connect: from
+    // here on the server pushes every invalidation of acme's policies.
+    let mut cached = server.connect_cached("acme").expect("subscribe");
+
+    // Generate and install the §4.1 policy over the wire.
+    let registry = default_registry();
+    let mut generator = PolicyGenerator::new(TemplatePolicyModel::new(), &registry)
+        .with_golden_examples(golden_examples());
+    let task = "Get unread emails related to work and respond to any that are urgent";
+    let ctx = build_trusted_context(&vfs, &mail, "alice");
+    let (policy, _stats) = generator.set_policy(task, &ctx);
+    cached.install(task, &ctx, &policy).expect("install");
+
+    // The first check fetches the policy once and compiles it into the
+    // local cache; every later check is answered without touching the
+    // wire — within ~1.34x of a bare in-process engine check.
+    let trace = [
+        "send_email alice bob@work.com 'urgent: staging down' 'On it.'",
+        "send_email alice eve@evil.org 'urgent: staging down' 'On it.'",
+    ];
+    for line in trace {
+        let call = parse_command(line, &registry).expect("known command");
+        let decision =
+            cached.check(task, &ctx, &call).expect("transport").expect("policy installed");
+        println!("{}", decision.feedback(&call));
+    }
+    let local = cached.local_counters();
+    println!(
+        "\ncached policies: {} · locally answered: {} of {} lookups\n",
+        cached.cache().policies(),
+        local.hits,
+        local.hits + local.misses + 1 // +1: the fetch, billed server-side
+    );
+
+    // An operator on a *different* connection revokes the policy. The
+    // server pushes the revocation to every subscriber and waits for
+    // their acks before answering — by the time this call returns, the
+    // cached client's local copy is already gone.
+    let mut admin = server.connect().expect("admin connect");
+    admin.revoke("acme", policy.fingerprint()).expect("revoke");
+    println!(
+        "revoked {:016x}: cached policies = {}",
+        policy.fingerprint(),
+        cached.cache().policies()
+    );
+    let call = parse_command(trace[0], &registry).expect("known command");
+    match cached.check(task, &ctx, &call).expect("transport") {
+        None => println!("post-revoke check: no policy — fail closed, regenerate and reinstall"),
+        Some(_) => unreachable!("a revoked policy can never answer"),
+    }
+
+    drop(admin);
+    drop(cached);
+    server.shutdown();
+    println!("server stopped.");
+}
