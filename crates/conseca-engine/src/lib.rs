@@ -95,9 +95,11 @@
 
 pub mod compile;
 pub mod engine;
+pub mod journal;
 pub mod layer;
 pub mod persist;
 pub mod reload;
+pub mod snaplog;
 pub mod store;
 pub mod trajectory_compile;
 
@@ -106,11 +108,20 @@ pub use engine::{
     CheckJob, Engine, EngineConfig, Invalidation, InvalidationListener, ParallelReport,
     ReloadReceipt, SessionState, TenantCounters,
 };
+pub use journal::{
+    decode_journal, CompactReport, JournalError, JournalOp, JournalOptions, JournalRecord,
+    JournalReplayReport, RevocationJournal, JOURNAL_MAGIC, JOURNAL_VERSION,
+};
 pub use layer::CompiledPolicyLayer;
 pub use persist::{
     decode_snapshot, Snapshot, SnapshotEntry, SnapshotError, SnapshotReceipt, TenantSnapshot,
     WarmStartReport, SNAPSHOT_MAGIC, SNAPSHOT_VERSION,
 };
 pub use reload::{ReloadCoordinator, ReloadOutcome, SweepReport};
+pub use snaplog::{
+    decode_snapshot_log, ledger_path, merge_segments, recover, segments_tenant, tenant_log_path,
+    LogSegment, RecoverOptions, Recovery, RecoveryReport, SnapshotLog, SnapshotLogError,
+    SNAPSHOT_LOG_MAGIC, SNAPSHOT_LOG_VERSION,
+};
 pub use store::{EngineKey, ExportedSlot, PolicyStore, StoreConfig};
 pub use trajectory_compile::{CompiledTrajectory, TrajectoryState};

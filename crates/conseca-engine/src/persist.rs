@@ -185,6 +185,10 @@ pub struct TenantSnapshot {
     pub bytes: Vec<u8>,
     /// How many policy entries the snapshot records.
     pub entries: usize,
+    /// Highest install generation among the exported entries (0 when
+    /// empty) — the watermark an incremental exporter passes to the
+    /// next [`PolicyStore::export_snapshot_since`].
+    pub max_generation: u64,
 }
 
 /// One decoded snapshot entry — a source policy plus the identity it
@@ -338,13 +342,42 @@ impl PolicyStore {
     /// [`SnapshotError::Codec`] if a policy exceeds the codec's
     /// representation limits.
     pub fn export_snapshot(&self, tenant: &str) -> Result<TenantSnapshot, SnapshotError> {
+        self.export_snapshot_since(tenant, 0)
+    }
+
+    /// Like [`export_snapshot`](Self::export_snapshot) but only entries
+    /// whose install generation is strictly greater than
+    /// `after_generation` — the delta an incremental snapshot log
+    /// appends between full rewrites. Pass the previous export's
+    /// [`TenantSnapshot::max_generation`] as the watermark. An install
+    /// racing the export cut may land at a generation at or below the
+    /// watermark yet miss this delta; the log therefore only ever
+    /// *under*-approximates the live store (a missing entry regenerates
+    /// cold — fail-closed), and periodic full rewrites repair the gap.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Codec`] if a policy exceeds the codec's
+    /// representation limits.
+    pub fn export_snapshot_since(
+        &self,
+        tenant: &str,
+        after_generation: u64,
+    ) -> Result<TenantSnapshot, SnapshotError> {
         let slots = self.export_entries(tenant);
         let entries: Vec<(CacheKey, u64, u64, Arc<Policy>)> = slots
             .iter()
+            .filter(|slot| slot.generation > after_generation)
             .map(|slot| (slot.key, slot.source_fp, slot.generation, slot.policy.source_handle()))
             .collect();
+        let max_generation =
+            entries.iter().map(|(_, _, generation, _)| *generation).max().unwrap_or(0);
         let bytes = encode_snapshot(tenant, &entries)?;
-        Ok(TenantSnapshot { bytes, entries: entries.len() })
+        Ok(TenantSnapshot {
+            bytes,
+            entries: entries.len(),
+            max_generation: max_generation.max(after_generation),
+        })
     }
 
     /// Verifies, re-keys, re-compiles, and installs a snapshot's
@@ -373,8 +406,23 @@ impl PolicyStore {
                 found: snapshot.tenant,
             });
         }
+        Ok(self.import_entries(tenant, snapshot.entries, revoked))
+    }
+
+    /// The install half of a warm start, for entries already decoded
+    /// and verified (a single snapshot via
+    /// [`import_snapshot`](Self::import_snapshot), or a merged snapshot
+    /// log projection at crash recovery). Same semantics: revoked
+    /// fingerprints are skipped, live keys win, everything else is
+    /// compiled fresh from the verified source policy.
+    pub fn import_entries(
+        &self,
+        tenant: &str,
+        entries: Vec<SnapshotEntry>,
+        revoked: &HashSet<u64>,
+    ) -> WarmStartReport {
         let mut report = WarmStartReport::default();
-        for entry in snapshot.entries {
+        for entry in entries {
             if revoked.contains(&entry.source_fp) {
                 report.skipped_revoked += 1;
                 continue;
@@ -397,7 +445,7 @@ impl PolicyStore {
                 None => report.skipped_live += 1,
             }
         }
-        Ok(report)
+        report
     }
 }
 

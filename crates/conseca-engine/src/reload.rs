@@ -36,6 +36,7 @@ use parking_lot::RwLock;
 
 use crate::compile::CompiledPolicy;
 use crate::engine::Engine;
+use crate::journal::RevocationJournal;
 
 /// Identity of one tracked policy: the tenant it bills to and the task
 /// text it is keyed by (the same strings the engine's store fingerprints).
@@ -101,6 +102,14 @@ pub struct ReloadCoordinator {
     /// resurrect the revoked policy
     /// ([`Engine::warm_start_from`](crate::Engine::warm_start_from)).
     revoked: RwLock<HashSet<u64>>,
+    /// Durable mirror of the ledger, when one is attached
+    /// ([`with_journal`](Self::with_journal)). Every revoke is journaled
+    /// *before* the engine sweep, every reinstate after tracking, so the
+    /// resident set above never remembers less than the file. Journal
+    /// I/O failures are absorbed (the journal self-counts them): the
+    /// in-memory revocation still applies, which errs in the revoked —
+    /// fail-closed — direction.
+    journal: Option<Arc<RevocationJournal>>,
 }
 
 impl ReloadCoordinator {
@@ -110,7 +119,27 @@ impl ReloadCoordinator {
             engine,
             live: RwLock::new(HashMap::new()),
             revoked: RwLock::new(HashSet::new()),
+            journal: None,
         }
+    }
+
+    /// A coordinator whose revocation ledger is mirrored to (and seeded
+    /// from) a durable [`RevocationJournal`]: revocations recorded
+    /// before a crash are revocations this coordinator still knows
+    /// after it.
+    pub fn with_journal(engine: Arc<Engine>, journal: Arc<RevocationJournal>) -> Self {
+        let seeded = journal.all_revoked_fingerprints().unwrap_or_default();
+        ReloadCoordinator {
+            engine,
+            live: RwLock::new(HashMap::new()),
+            revoked: RwLock::new(seeded),
+            journal: Some(journal),
+        }
+    }
+
+    /// The attached durable journal, if any.
+    pub fn journal(&self) -> Option<&Arc<RevocationJournal>> {
+        self.journal.as_ref()
     }
 
     /// The engine this coordinator reloads policies on.
@@ -143,6 +172,9 @@ impl ReloadCoordinator {
     /// again, and a warm start may restore it.
     pub fn track(&self, tenant: &str, task: &str, context: &TrustedContext, policy_fp: u64) {
         self.revoked.write().remove(&policy_fp);
+        if let Some(journal) = &self.journal {
+            let _ = journal.record_reinstate(tenant, policy_fp);
+        }
         self.live.write().insert(
             LiveKey::new(tenant, task),
             LiveEntry {
@@ -154,17 +186,73 @@ impl ReloadCoordinator {
     }
 
     /// Whether `fingerprint` is in this coordinator's revocation ledger
-    /// (revoked and not since reinstated).
+    /// (revoked and not since reinstated). With a journal attached the
+    /// in-memory set is a bounded recent window; a miss falls through to
+    /// the durable ledger, and an *unreadable* ledger answers revoked —
+    /// fail closed.
     pub fn is_revoked(&self, fingerprint: u64) -> bool {
-        self.revoked.read().contains(&fingerprint)
+        if self.revoked.read().contains(&fingerprint) {
+            return true;
+        }
+        match &self.journal {
+            Some(journal) => journal
+                .all_revoked_fingerprints()
+                .map(|set| set.contains(&fingerprint))
+                .unwrap_or(true),
+            None => false,
+        }
     }
 
     /// A snapshot of the revocation ledger — the set to hand to
     /// [`Engine::warm_start_from`](crate::Engine::warm_start_from) so a
     /// restore cannot resurrect anything this coordinator retired after
-    /// the snapshot was exported.
+    /// the snapshot was exported. With a journal attached this is the
+    /// durable set unioned with the recent in-memory window.
     pub fn revoked_fingerprints(&self) -> HashSet<u64> {
-        self.revoked.read().clone()
+        match &self.journal {
+            Some(journal) => {
+                let mut set = journal.all_revoked_fingerprints().unwrap_or_default();
+                set.extend(self.revoked.read().iter().copied());
+                set
+            }
+            None => self.revoked.read().clone(),
+        }
+    }
+
+    /// Adds `fingerprint` to the in-memory revocation mirror. Without a
+    /// journal the mirror *is* the ledger and must hold everything; with
+    /// one, the journal is authoritative and the mirror is a recent
+    /// window kept from growing linearly under a revoke storm —
+    /// overflow drops the window entirely and reads fall through to the
+    /// file ([`is_revoked`](Self::is_revoked)).
+    fn note_revoked(&self, fingerprint: u64) {
+        const MIRROR_CAP: usize = 4096;
+        let mut revoked = self.revoked.write();
+        if self.journal.is_some() && revoked.len() >= MIRROR_CAP {
+            revoked.clear();
+            revoked.shrink_to_fit();
+        }
+        revoked.insert(fingerprint);
+    }
+
+    /// Folds an externally applied revocation into this coordinator's
+    /// view: the fingerprint joins the in-memory ledger and any tracked
+    /// key serving it is dropped. For callers (the serving dispatcher)
+    /// that already journaled and engine-swept the revocation
+    /// themselves — this method deliberately does neither, it only
+    /// reconciles the coordinator so a later
+    /// [`sweep`](Self::sweep) does not regenerate the dead policy.
+    /// Returns how many tracked keys were dropped.
+    pub fn retire_fingerprint(&self, tenant: &str, fingerprint: u64) -> usize {
+        let mut live = self.live.write();
+        let before = live.len();
+        live.retain(|key, entry| {
+            !(key.tenant.as_ref() == tenant && entry.policy_fp == fingerprint)
+        });
+        let dropped = before - live.len();
+        drop(live);
+        self.note_revoked(fingerprint);
+        dropped
     }
 
     /// Whether the tracked policy for (`tenant`, `task`) was generated
@@ -192,8 +280,14 @@ impl ReloadCoordinator {
         sink: &mut dyn AuditSink,
     ) -> Option<usize> {
         let entry = self.live.write().remove(&LiveKey::new(tenant, task))?;
+        // Durable before applied: once the engine sweep runs, callers
+        // may observe (and acknowledge) the revocation, so the journal
+        // record has to already be on disk.
+        if let Some(journal) = &self.journal {
+            let _ = journal.record_revoke(tenant, entry.policy_fp);
+        }
         let removed = self.engine.revoke_fingerprint(tenant, entry.policy_fp);
-        self.revoked.write().insert(entry.policy_fp);
+        self.note_revoked(entry.policy_fp);
         sink.record(AuditEvent::PolicyRevoked {
             task: task.to_owned(),
             fingerprint: entry.policy_fp,
@@ -250,7 +344,13 @@ impl ReloadCoordinator {
         // racing revoke() complete in the window before our reinstall,
         // which this reload would then reverse.
         let stale = self.live.write().remove(&LiveKey::new(tenant, task))?;
-        // 1. Fail closed: sweep the stale snapshot before regenerating.
+        // 1. Fail closed: sweep the stale snapshot before regenerating —
+        // journaled first, so a crash anywhere in this sequence leaves
+        // the stale fingerprint durably revoked. (If regeneration comes
+        // out identical, `track` below reinstates it, journal included.)
+        if let Some(journal) = &self.journal {
+            let _ = journal.record_revoke(tenant, stale.policy_fp);
+        }
         let revoked_entries = self.engine.revoke_fingerprint(tenant, stale.policy_fp);
         sink.record(AuditEvent::PolicyRevoked {
             task: task.to_owned(),
@@ -267,7 +367,7 @@ impl ReloadCoordinator {
         let policy = regenerate(current);
         let new_fingerprint = policy.fingerprint();
         if new_fingerprint != stale.policy_fp {
-            self.revoked.write().insert(stale.policy_fp);
+            self.note_revoked(stale.policy_fp);
         }
         let receipt = self.engine.reload(tenant, task, current, &policy);
         sink.record(AuditEvent::PolicyReloaded {

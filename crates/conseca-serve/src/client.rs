@@ -437,8 +437,21 @@ impl Client {
     ///
     /// Transport, protocol, or server errors.
     pub fn stats(&mut self, tenant: &str) -> Result<TenantCounters, ClientError> {
+        self.stats_with_daemon(tenant).map(|(counters, _)| counters)
+    }
+
+    /// Reads `tenant`'s counters plus the server's lifecycle-daemon
+    /// counters (`None` when the server runs without a daemon).
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn stats_with_daemon(
+        &mut self,
+        tenant: &str,
+    ) -> Result<(TenantCounters, Option<crate::daemon::DaemonCounters>), ClientError> {
         match self.roundtrip(&Request::Stats { tenant: tenant.into() })? {
-            Response::StatsOk { counters } => Ok(counters),
+            Response::StatsOk { counters, daemon } => Ok((counters, daemon)),
             other => Err(unexpected(other, "StatsOk")),
         }
     }

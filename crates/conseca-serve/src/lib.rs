@@ -103,6 +103,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod daemon;
 pub mod server;
 pub mod session;
 pub mod transport;
@@ -111,6 +112,9 @@ pub mod wire;
 pub use cache::{CachedClient, LocalPolicyCache};
 pub use client::{
     Client, ClientError, InstallReceipt, ReloadReceipt, RestoreReceipt, SnapshotReceipt,
+};
+pub use daemon::{
+    ContextResolver, DaemonConfig, DaemonCounters, LifecycleDaemon, PolicyRegenerator,
 };
 pub use server::{ServeConfig, ServeMetrics, Server, ServerHandle};
 pub use session::{CachedSessionLayer, RemoteSessionLayer};

@@ -51,12 +51,13 @@ use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use conseca_engine::{Engine, EngineKey, Invalidation, SessionState};
+use conseca_engine::{Engine, EngineKey, Invalidation, RevocationJournal, SessionState};
 use conseca_shell::ApiCall;
 use futures::channel::{mpsc, oneshot};
 use futures::ThreadPool;
 
 use crate::client::{Client, ClientError};
+use crate::daemon::{DaemonConfig, LifecycleDaemon};
 use crate::transport::{duplex, DuplexStream, Stream};
 use crate::wire::{
     code, read_frame, write_frame, FrameReadError, Request, Response, WireErrorCode,
@@ -79,6 +80,15 @@ pub struct ServeConfig {
     pub worker_threads: usize,
     /// Most jobs one dispatch round will coalesce.
     pub max_batch: usize,
+    /// How long a push fan-out waits for subscribers'
+    /// [`Request::PushAck`]s before force-closing the stragglers. The
+    /// deadline is shared by **all** subscribers of one event — N slow
+    /// subscribers stall a mutating request by at most this long in
+    /// total, not N times it. Generous by default: a healthy subscriber
+    /// acks in microseconds; only a wedged client reader hits this, and
+    /// a wedged cache must be disconnected (fail-closed) rather than
+    /// left serving stale decisions.
+    pub push_ack_timeout: Duration,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +97,7 @@ impl Default for ServeConfig {
             max_frame_len: crate::wire::DEFAULT_MAX_FRAME_LEN,
             worker_threads: 2,
             max_batch: 256,
+            push_ack_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -118,13 +129,6 @@ struct Job {
     reply: oneshot::Sender<Response>,
 }
 
-/// How long the push fan-out waits for a subscriber's [`Request::PushAck`]
-/// before force-closing the connection. Generous: a healthy subscriber
-/// acks in microseconds; only a wedged client reader hits this, and a
-/// wedged cache must be disconnected (fail-closed) rather than left
-/// serving stale decisions.
-const PUSH_ACK_TIMEOUT: Duration = Duration::from_secs(5);
-
 /// A connection's write half, shared between its writer thread and the
 /// push fan-out. Each frame is written under the lock, so pushes and
 /// correlated responses interleave only at frame boundaries.
@@ -151,10 +155,11 @@ impl Subscriber {
         self.ack_cv.notify_all();
     }
 
-    /// Blocks until the client has acknowledged push `seq` (or the
-    /// timeout expires — `false`, the subscriber must be disconnected).
-    fn wait_acked(&self, seq: u64, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+    /// Blocks until the client has acknowledged push `seq` (or
+    /// `deadline` passes — `false`, the subscriber must be
+    /// disconnected). The deadline is caller-supplied so one fan-out
+    /// can hold every subscriber to the same wall-clock cutoff.
+    fn wait_acked_until(&self, seq: u64, deadline: Instant) -> bool {
         let mut acked = self.acked.lock().unwrap_or_else(|e| e.into_inner());
         while *acked < seq {
             let now = Instant::now();
@@ -189,15 +194,21 @@ struct ServerState {
     /// Close hooks + thread handles for every spawned connection.
     conns: Mutex<Vec<ConnEntry>>,
     metrics: Metrics,
-    /// Fingerprints revoked over the wire, per tenant — the server-side
-    /// revocation ledger. Every `Restore` unions this with the
-    /// request's own revocation list, so a warm start through this
-    /// server cannot resurrect a policy some client revoked earlier
-    /// even if the restoring client never learned the fingerprint. A
-    /// later `Install`/`Reload` of the same fingerprint clears it (a
-    /// deliberately reinstated policy is live again and restorable
-    /// again), mirroring the `ReloadCoordinator` ledger semantics.
-    revoked: Mutex<HashMap<Box<str>, HashSet<u64>>>,
+    /// The server-side revocation ledger: every wire `Revoke` is
+    /// recorded here *before* it is acknowledged, every `Restore`
+    /// unions the ledger into the request's own revocation list, so a
+    /// warm start through this server cannot resurrect a policy some
+    /// client revoked earlier even if the restoring client never
+    /// learned the fingerprint. A later `Install`/`Reload` of the same
+    /// fingerprint reinstates it (a deliberately reinstated policy is
+    /// live again and restorable again), mirroring the
+    /// `ReloadCoordinator` ledger semantics. Servers started with a
+    /// [`LifecycleDaemon`] share the daemon's *durable* journal, so the
+    /// ledger survives crashes; plain servers get an in-memory journal
+    /// with the old purely-resident behaviour.
+    ledger: Arc<RevocationJournal>,
+    /// The lifecycle daemon, when this server was started with one.
+    daemon: Option<Arc<LifecycleDaemon>>,
     /// Connection-id allocator; ids are never reused within a server's
     /// lifetime, so a new connection can never inherit a closed
     /// connection's trajectory state.
@@ -225,10 +236,6 @@ struct ConnEntry {
 }
 
 impl ServerState {
-    fn ledger(&self) -> std::sync::MutexGuard<'_, HashMap<Box<str>, HashSet<u64>>> {
-        self.revoked.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
     fn sessions(&self) -> std::sync::MutexGuard<'_, HashMap<(u64, EngineKey), SessionState>> {
         self.sessions.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -262,9 +269,30 @@ pub struct Server;
 
 impl Server {
     /// Starts an in-process server (no TCP listener); connect with
-    /// [`ServerHandle::connect`].
+    /// [`ServerHandle::connect`]. No daemon: the revocation ledger is
+    /// in-memory and lifecycle stays client-driven.
     pub fn start(engine: Arc<Engine>, config: ServeConfig) -> ServerHandle {
-        Self::build(engine, config, None).expect("in-process start cannot fail")
+        Self::build(engine, config, None, None).expect("in-process start cannot fail")
+    }
+
+    /// Starts an in-process server with a [`LifecycleDaemon`]: crash
+    /// recovery runs first (the engine is warm-started from the data
+    /// directory, revoked fingerprints staying dead), the daemon's
+    /// durable journal becomes the server's revocation ledger, and any
+    /// configured sweep/snapshot ticks start.
+    ///
+    /// # Errors
+    ///
+    /// [`conseca_engine::JournalError`] if the durable ledger cannot be
+    /// opened or verified — a server must not serve restores against
+    /// revocation state it cannot trust.
+    pub fn start_with_daemon(
+        engine: Arc<Engine>,
+        config: ServeConfig,
+        daemon: DaemonConfig,
+    ) -> Result<ServerHandle, conseca_engine::JournalError> {
+        let daemon = LifecycleDaemon::start(Arc::clone(&engine), daemon)?;
+        Ok(Self::build(engine, config, None, Some(daemon)).expect("in-process start cannot fail"))
     }
 
     /// Starts a server listening on `addr` (e.g. `"127.0.0.1:0"`), *and*
@@ -279,13 +307,32 @@ impl Server {
         config: ServeConfig,
     ) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
-        Self::build(engine, config, Some(listener))
+        Self::build(engine, config, Some(listener), None)
+    }
+
+    /// [`bind`](Self::bind) plus a [`LifecycleDaemon`] (see
+    /// [`start_with_daemon`](Self::start_with_daemon)).
+    ///
+    /// # Errors
+    ///
+    /// Listener bind failures as `Io`; ledger verification failures as
+    /// the journal error.
+    pub fn bind_with_daemon(
+        engine: Arc<Engine>,
+        addr: &str,
+        config: ServeConfig,
+        daemon: DaemonConfig,
+    ) -> Result<ServerHandle, conseca_engine::JournalError> {
+        let listener = TcpListener::bind(addr)?;
+        let daemon = LifecycleDaemon::start(Arc::clone(&engine), daemon)?;
+        Ok(Self::build(engine, config, Some(listener), Some(daemon))?)
     }
 
     fn build(
         engine: Arc<Engine>,
         config: ServeConfig,
         listener: Option<TcpListener>,
+        daemon: Option<Arc<LifecycleDaemon>>,
     ) -> std::io::Result<ServerHandle> {
         let tcp_addr = match &listener {
             Some(l) => Some(l.local_addr()?),
@@ -300,7 +347,11 @@ impl Server {
             tcp_addr,
             conns: Mutex::new(Vec::new()),
             metrics: Metrics::default(),
-            revoked: Mutex::new(HashMap::new()),
+            ledger: daemon
+                .as_ref()
+                .map(|d| Arc::clone(d.journal()))
+                .unwrap_or_else(|| Arc::new(RevocationJournal::in_memory())),
+            daemon,
             next_conn: AtomicU64::new(0),
             sessions: Mutex::new(HashMap::new()),
             subscribers: Mutex::new(HashMap::new()),
@@ -404,6 +455,12 @@ impl ServerHandle {
         Ok(client_end)
     }
 
+    /// The lifecycle daemon, when the server was started with one (see
+    /// [`Server::start_with_daemon`]).
+    pub fn daemon(&self) -> Option<&Arc<LifecycleDaemon>> {
+        self.state.daemon.as_ref()
+    }
+
     /// Graceful shutdown: stop accepting, close every connection, join
     /// all connection threads, finish queued dispatcher work, stop the
     /// executor.
@@ -433,6 +490,12 @@ impl Drop for ServerHandle {
         // the dispatcher finish anything already queued, then parks it,
         // and shutdown cancels the parked task.
         self.pool.shutdown();
+        // Stop the daemon last: the dispatcher may have been feeding it
+        // install/revoke notifications until the pool drained. The
+        // journal stays valid on disk — stop only halts the ticks.
+        if let Some(daemon) = &self.state.daemon {
+            daemon.stop();
+        }
     }
 }
 
@@ -712,8 +775,13 @@ fn fan_out_push(state: &Arc<ServerState>, event: &Invalidation) {
             drop_subscriber(state, conn_id, &subscriber);
         }
     }
+    // One deadline shared by every subscriber of this event: the pushes
+    // were all written before the first wait, so the subscribers apply
+    // concurrently and the worst-case stall for the mutating caller is
+    // one `push_ack_timeout`, not one per slow subscriber.
+    let deadline = Instant::now() + state.config.push_ack_timeout;
     for (conn_id, subscriber, seq) in awaiting {
-        if !subscriber.wait_acked(seq, PUSH_ACK_TIMEOUT) {
+        if !subscriber.wait_acked_until(seq, deadline) {
             drop_subscriber(state, conn_id, &subscriber);
         }
     }
@@ -813,9 +881,12 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                         let entries = policy.len() as u64;
                         engine.install(&tenant, &task, &context, &policy);
                         // A deliberate reinstall makes the fingerprint
-                        // live (and restorable) again.
-                        if let Some(set) = state.ledger().get_mut(tenant.as_str()) {
-                            set.remove(&fingerprint);
+                        // live (and restorable) again — durably, so a
+                        // crash after the reply doesn't resurrect the
+                        // old retirement order.
+                        let _ = state.ledger.record_reinstate(&tenant, fingerprint);
+                        if let Some(daemon) = &state.daemon {
+                            daemon.on_installed(&tenant, &task, &context, fingerprint);
                         }
                         let _ = job.reply.send(Response::Installed { fingerprint, entries });
                     }
@@ -830,16 +901,30 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                         let _ = job.reply.send(Response::Flushed { removed });
                     }
                     Request::Revoke { tenant, fingerprint } => {
-                        let removed = engine.revoke_fingerprint(&tenant, fingerprint) as u64;
-                        // Remember the revocation server-side so a later
-                        // Restore cannot resurrect the fingerprint even
-                        // if the restoring client never learned it.
-                        state
-                            .ledger()
-                            .entry(tenant.as_str().into())
-                            .or_default()
-                            .insert(fingerprint);
-                        let _ = job.reply.send(Response::Revoked { removed });
+                        // Journal first — durable before acknowledged.
+                        // A revocation the server cannot persist is
+                        // still applied in memory (fail closed for the
+                        // running process), but the client is told the
+                        // durability guarantee does not hold.
+                        match state.ledger.record_revoke(&tenant, fingerprint) {
+                            Ok(()) => {
+                                let removed =
+                                    engine.revoke_fingerprint(&tenant, fingerprint) as u64;
+                                if let Some(daemon) = &state.daemon {
+                                    daemon.on_revoked(&tenant, fingerprint);
+                                }
+                                let _ = job.reply.send(Response::Revoked { removed });
+                            }
+                            Err(e) => {
+                                engine.revoke_fingerprint(&tenant, fingerprint);
+                                let _ = job.reply.send(Response::Error {
+                                    code: code::PERSISTENCE,
+                                    message: format!(
+                                        "revocation applied in memory but not journaled: {e}"
+                                    ),
+                                });
+                            }
+                        }
                     }
                     Request::Reload { tenant, task, context, policy } => {
                         let fingerprint = policy.fingerprint();
@@ -850,8 +935,9 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                         // Revokes, not displacements, define the set —
                         // a displaced policy is replaceable history, not
                         // a standing retirement order).
-                        if let Some(set) = state.ledger().get_mut(tenant.as_str()) {
-                            set.remove(&fingerprint);
+                        let _ = state.ledger.record_reinstate(&tenant, fingerprint);
+                        if let Some(daemon) = &state.daemon {
+                            daemon.on_installed(&tenant, &task, &context, fingerprint);
                         }
                         let _ = job.reply.send(Response::Reloaded {
                             old_fingerprint: receipt.old_fingerprint,
@@ -873,29 +959,41 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                     }
                     Request::Restore { tenant, revoked, snapshot } => {
                         // The effective revocation set is the request's
-                        // list unioned with the server-side ledger of
-                        // wire-revoked fingerprints.
-                        let mut revoked: HashSet<u64> = revoked.into_iter().collect();
-                        if let Some(set) = state.ledger().get(tenant.as_str()) {
-                            revoked.extend(set.iter().copied());
-                        }
-                        let response =
-                            match engine.store().import_snapshot(&tenant, &snapshot, &revoked) {
-                                Ok(report) => Response::Restored {
-                                    installed: report.installed as u64,
-                                    skipped_revoked: report.skipped_revoked as u64,
-                                    skipped_live: report.skipped_live as u64,
-                                },
-                                Err(e) => Response::Error {
-                                    code: code::BAD_SNAPSHOT,
-                                    message: e.to_string(),
-                                },
-                            };
+                        // list unioned with the server-side durable
+                        // ledger. If the ledger cannot be read the
+                        // restore is refused outright: importing with a
+                        // partial revocation set could resurrect a
+                        // revoked policy, which is the exact hole the
+                        // ledger closes.
+                        let response = match state.ledger.revoked_snapshot(&tenant) {
+                            Ok(ledgered) => {
+                                let mut revoked: HashSet<u64> = revoked.into_iter().collect();
+                                revoked.extend(ledgered);
+                                match engine.store().import_snapshot(&tenant, &snapshot, &revoked) {
+                                    Ok(report) => Response::Restored {
+                                        installed: report.installed as u64,
+                                        skipped_revoked: report.skipped_revoked as u64,
+                                        skipped_live: report.skipped_live as u64,
+                                    },
+                                    Err(e) => Response::Error {
+                                        code: code::BAD_SNAPSHOT,
+                                        message: e.to_string(),
+                                    },
+                                }
+                            }
+                            Err(e) => Response::Error {
+                                code: code::PERSISTENCE,
+                                message: format!(
+                                    "restore refused: revocation ledger unreadable: {e}"
+                                ),
+                            },
+                        };
                         let _ = job.reply.send(response);
                     }
                     Request::Stats { tenant } => {
                         let counters = engine.tenant_counters(&tenant);
-                        let _ = job.reply.send(Response::StatsOk { counters });
+                        let daemon = state.daemon.as_ref().map(|d| d.counters());
+                        let _ = job.reply.send(Response::StatsOk { counters, daemon });
                     }
                     Request::Shutdown => {
                         let _ = job.reply.send(Response::ShuttingDown);

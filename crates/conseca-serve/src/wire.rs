@@ -45,7 +45,12 @@ pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 /// are additive (receivers answer unknown tags with
 /// [`code::UNKNOWN_TAG`]).
 ///
-/// Version history: **5** added the subscription/push invalidation
+/// Version history: **6** extended `StatsOk` with the optional
+/// lifecycle-daemon counter block (sweep/snapshot-tick/journal totals —
+/// a payload change to an existing message, hence the bump, exactly as
+/// v2's counters extension was) and added the [`code::PERSISTENCE`]
+/// error for operations refused because the durable revocation ledger
+/// could not be written or replayed. **5** added the subscription/push invalidation
 /// channel — the protocol's first **server-initiated** traffic: a client
 /// sends [`Request::Subscribe`] once and thereafter the server may emit
 /// unsolicited [`Response::PushRevoke`] / [`Response::PushReload`] /
@@ -69,7 +74,7 @@ pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 /// (a payload change to `StatsOk`, hence the bump) and added the
 /// `Revoke`/`Reload` hot-reload messages. **1** was the initial
 /// protocol.
-pub const PROTOCOL_VERSION: u16 = 5;
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// Default cap on `length` (tag + payload) a peer will accept. Frames
 /// above the cap are answered with [`code::FRAME_TOO_LARGE`] and the
@@ -107,6 +112,13 @@ pub mod code {
     /// checksum or version mismatch, tenant mismatch, fingerprint
     /// binding). Nothing was installed; connection stays open.
     pub const BAD_SNAPSHOT: u16 = 8;
+    /// The durable revocation ledger could not be written or replayed,
+    /// so the operation's durability (or its revocation gating) cannot
+    /// be guaranteed. For a `Revoke` this means the in-memory
+    /// revocation *was* applied but did not persist; for a `Restore`
+    /// nothing was installed (a restore must never run against a
+    /// partial revocation set). Connection stays open.
+    pub const PERSISTENCE: u16 = 9;
 }
 
 // Request tags.
@@ -343,6 +355,53 @@ fn read_counters(r: &mut Reader<'_>) -> Result<TenantCounters, WireError> {
     })
 }
 
+fn put_daemon_counters(
+    w: &mut Writer,
+    d: &Option<crate::daemon::DaemonCounters>,
+) -> Result<(), WireError> {
+    match d {
+        None => w.u8(0, "daemon.present"),
+        Some(d) => {
+            w.u8(1, "daemon.present")?;
+            w.u64(d.sweeps, "daemon.sweeps")?;
+            w.u64(d.swept_reloaded, "daemon.swept_reloaded")?;
+            w.u64(d.swept_orphaned, "daemon.swept_orphaned")?;
+            w.u64(d.snapshot_ticks, "daemon.snapshot_ticks")?;
+            w.u64(d.segments_written, "daemon.segments_written")?;
+            w.u64(d.snapshot_skips, "daemon.snapshot_skips")?;
+            w.u64(d.flush_markers, "daemon.flush_markers")?;
+            w.u64(d.journal_records, "daemon.journal_records")?;
+            w.u64(d.journal_compactions, "daemon.journal_compactions")?;
+            w.u64(d.recovered_installed, "daemon.recovered_installed")?;
+            w.u64(d.recovered_skipped_revoked, "daemon.recovered_skipped_revoked")?;
+            w.u64(d.io_errors, "daemon.io_errors")
+        }
+    }
+}
+
+fn read_daemon_counters(
+    r: &mut Reader<'_>,
+) -> Result<Option<crate::daemon::DaemonCounters>, WireError> {
+    match r.u8("daemon.present")? {
+        0 => Ok(None),
+        1 => Ok(Some(crate::daemon::DaemonCounters {
+            sweeps: r.u64("daemon.sweeps")?,
+            swept_reloaded: r.u64("daemon.swept_reloaded")?,
+            swept_orphaned: r.u64("daemon.swept_orphaned")?,
+            snapshot_ticks: r.u64("daemon.snapshot_ticks")?,
+            segments_written: r.u64("daemon.segments_written")?,
+            snapshot_skips: r.u64("daemon.snapshot_skips")?,
+            flush_markers: r.u64("daemon.flush_markers")?,
+            journal_records: r.u64("daemon.journal_records")?,
+            journal_compactions: r.u64("daemon.journal_compactions")?,
+            recovered_installed: r.u64("daemon.recovered_installed")?,
+            recovered_skipped_revoked: r.u64("daemon.recovered_skipped_revoked")?,
+            io_errors: r.u64("daemon.io_errors")?,
+        })),
+        other => Err(WireError::UnknownEnumTag { what: "daemon.present", tag: other }),
+    }
+}
+
 /// Encodes a decision exactly as [`Response::Verdict`] carries it — the
 /// byte string the differential tests compare served and in-process
 /// verdicts with.
@@ -518,6 +577,9 @@ pub enum Response {
     StatsOk {
         /// The tenant's counters at the time of the request.
         counters: TenantCounters,
+        /// Lifecycle-daemon counters, present when the server runs a
+        /// [`LifecycleDaemon`](crate::daemon::LifecycleDaemon) (v6).
+        daemon: Option<crate::daemon::DaemonCounters>,
     },
     /// Answer to [`Request::Shutdown`]; the server stops accepting new
     /// connections but serves existing ones until they close.
@@ -836,8 +898,9 @@ impl Response {
                 w.u64(*removed, "flushed.removed")?;
                 TAG_FLUSHED
             }
-            Response::StatsOk { counters } => {
+            Response::StatsOk { counters, daemon } => {
                 put_counters(&mut w, counters)?;
+                put_daemon_counters(&mut w, daemon)?;
                 TAG_STATS_OK
             }
             Response::ShuttingDown => TAG_SHUTTING_DOWN,
@@ -939,7 +1002,10 @@ impl Response {
                 policy: if r.bool_("policy.present")? { Some(r.policy()?) } else { None },
             },
             TAG_FLUSHED => Response::Flushed { removed: r.u64("flushed.removed")? },
-            TAG_STATS_OK => Response::StatsOk { counters: read_counters(&mut r)? },
+            TAG_STATS_OK => Response::StatsOk {
+                counters: read_counters(&mut r)?,
+                daemon: read_daemon_counters(&mut r)?,
+            },
             TAG_SHUTTING_DOWN => Response::ShuttingDown,
             TAG_REVOKED => Response::Revoked { removed: r.u64("revoked.removed")? },
             TAG_RELOADED => Response::Reloaded {
@@ -1123,6 +1189,24 @@ mod tests {
                     reloads: 4,
                     revoked: 5,
                 },
+                daemon: None,
+            },
+            Response::StatsOk {
+                counters: TenantCounters::default(),
+                daemon: Some(crate::daemon::DaemonCounters {
+                    sweeps: 1,
+                    swept_reloaded: 2,
+                    swept_orphaned: 3,
+                    snapshot_ticks: 4,
+                    segments_written: 5,
+                    snapshot_skips: 6,
+                    flush_markers: 7,
+                    journal_records: 8,
+                    journal_compactions: 9,
+                    recovered_installed: 10,
+                    recovered_skipped_revoked: 11,
+                    io_errors: 12,
+                }),
             },
             Response::ShuttingDown,
             Response::Revoked { removed: 2 },

@@ -109,6 +109,24 @@ fn sample_responses() -> Vec<Response> {
                 reloads: 1,
                 revoked: 1,
             },
+            daemon: None,
+        },
+        Response::StatsOk {
+            counters: TenantCounters::default(),
+            daemon: Some(conseca_serve::DaemonCounters {
+                sweeps: 1,
+                swept_reloaded: 2,
+                swept_orphaned: 3,
+                snapshot_ticks: 4,
+                segments_written: 5,
+                snapshot_skips: 6,
+                flush_markers: 7,
+                journal_records: 8,
+                journal_compactions: 9,
+                recovered_installed: 10,
+                recovered_skipped_revoked: 11,
+                io_errors: 12,
+            }),
         },
         Response::Revoked { removed: 2 },
         Response::Reloaded { old_fingerprint: Some(9), fingerprint: 8, entries: 2 },
@@ -499,9 +517,210 @@ proptest! {
     }
 }
 
-// Coverage floor: 15 properties × 3000 cases each = 45k generated cases
+// --------------------------------------- persistence decoder fuzz (v6)
+//
+// The lifecycle daemon adds two more on-disk trust boundaries: the
+// revocation journal (`decode_journal`) and the per-tenant snapshot log
+// (`decode_snapshot_log`). Both replay at boot, before the server
+// accepts a single restore, so they get the same bar as the snapshot
+// decoder — structured errors, never panics, and every single-byte
+// corruption of a *complete* record caught. The encoders below are
+// written against the documented byte layouts in `docs/persistence.md`,
+// not the crate's own writers, so these properties double as format
+// pins: if the layout drifts, the roundtrip property fails.
+
+use conseca_engine::{
+    decode_journal, decode_snapshot_log, JournalError, JournalOp, SnapshotLogError, JOURNAL_MAGIC,
+    JOURNAL_VERSION, SNAPSHOT_LOG_MAGIC, SNAPSHOT_LOG_VERSION,
+};
+
+/// Frames one journal record / log segment body per the shared layout:
+/// `len u32 | body | fnv1a(len_be ++ body) u64`.
+fn seal_record(out: &mut Vec<u8>, body: &[u8]) {
+    let len = (body.len() as u32).to_be_bytes();
+    let mut covered = Vec::with_capacity(4 + body.len());
+    covered.extend_from_slice(&len);
+    covered.extend_from_slice(body);
+    out.extend_from_slice(&len);
+    out.extend_from_slice(body);
+    out.extend_from_slice(&conseca_core::fnv1a(&covered).to_be_bytes());
+}
+
+/// A valid journal: header plus `count` alternating revoke/reinstate
+/// records for seeded tenants and fingerprints.
+fn journal_bytes(seed: u64, count: u64) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&JOURNAL_MAGIC);
+    bytes.extend_from_slice(&JOURNAL_VERSION.to_be_bytes());
+    for i in 0..(count % 6) + 1 {
+        let tenant = format!("tenant-{}", (seed + i) % 3);
+        let mut body = Vec::new();
+        body.push(if (seed + i).is_multiple_of(3) { 2 } else { 1 }); // kind
+        body.extend_from_slice(&(tenant.len() as u32).to_be_bytes());
+        body.extend_from_slice(tenant.as_bytes());
+        body.extend_from_slice(&(seed ^ (i << 7)).to_be_bytes());
+        seal_record(&mut bytes, &body);
+    }
+    bytes
+}
+
+/// A valid snapshot log: header plus a full segment (wrapping a real
+/// exported snapshot blob), a flush marker, and a delta segment.
+fn snapshot_log_bytes(seed: u64, entries: u64) -> Vec<u8> {
+    let blob = exported_bytes(seed, entries);
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&SNAPSHOT_LOG_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_LOG_VERSION.to_be_bytes());
+    let mut full = vec![1u8];
+    full.extend_from_slice(&blob);
+    seal_record(&mut bytes, &full);
+    seal_record(&mut bytes, &[3u8]); // flush marker
+    let mut delta = vec![2u8];
+    delta.extend_from_slice(&blob);
+    seal_record(&mut bytes, &delta);
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3000))]
+
+    #[test]
+    fn journal_roundtrips_against_the_documented_layout(
+        input in (any::<u64>(), any::<u64>())
+    ) {
+        let (seed, count) = input;
+        let bytes = journal_bytes(seed, count);
+        let records = decode_journal(&bytes).expect("hand-framed journal decodes");
+        prop_assert_eq!(records.len() as u64, (count % 6) + 1);
+        for (i, record) in records.iter().enumerate() {
+            let i = i as u64;
+            let expected = if (seed + i).is_multiple_of(3) { JournalOp::Reinstate } else { JournalOp::Revoke };
+            prop_assert_eq!(record.op, expected);
+            prop_assert_eq!(&record.tenant, &format!("tenant-{}", (seed + i) % 3));
+            prop_assert_eq!(record.fingerprint, seed ^ (i << 7));
+        }
+    }
+
+    #[test]
+    fn corrupted_journals_error_not_panic(
+        input in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>())
+    ) {
+        let (seed, count, at, mask) = input;
+        let truncate = at & 1 == 0;
+        let at = at >> 1;
+        let clean = journal_bytes(seed, count);
+        if truncate {
+            // A cut on a record boundary is a shorter valid journal (a
+            // crash between appends); a cut inside a record is
+            // Truncated. Either way: no panic, and never records the
+            // full journal did not have.
+            let cut = (at % clean.len() as u64) as usize;
+            let full = decode_journal(&clean).expect("clean journal decodes");
+            match decode_journal(&clean[..cut]) {
+                Err(_) => {}
+                Ok(prefix) => prop_assert_eq!(&prefix[..], &full[..prefix.len()]),
+            }
+        } else {
+            let mut bytes = clean;
+            let at = (at % bytes.len() as u64) as usize;
+            bytes[at] ^= mask | 0x01;
+            // Every single-byte flip lands in the magic, the version, or
+            // a checksummed record — all refused.
+            match decode_journal(&bytes) {
+                Err(_) => {}
+                Ok(_) => prop_assert!(false, "single-byte corruption decoded at {at}"),
+            }
+        }
+    }
+
+    #[test]
+    fn journal_version_skew_is_refused_by_the_version_gate(version in any::<u16>()) {
+        let mut bytes = journal_bytes(7, 3);
+        bytes[8..10].copy_from_slice(&version.to_be_bytes());
+        if version == JOURNAL_VERSION {
+            prop_assert!(decode_journal(&bytes).is_ok());
+        } else {
+            prop_assert!(matches!(
+                decode_journal(&bytes),
+                Err(JournalError::FormatSkew { found, expected })
+                    if found == version && expected == JOURNAL_VERSION
+            ));
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_decode_as_a_journal(bytes in vec(any::<u8>(), 0..256)) {
+        prop_assert!(decode_journal(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupted_snapshot_logs_error_not_panic(
+        input in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>())
+    ) {
+        let (seed, entries, at, mask) = input;
+        let truncate = at & 1 == 0;
+        let at = at >> 1;
+        let clean = snapshot_log_bytes(seed, entries);
+        prop_assert_eq!(
+            decode_snapshot_log(&clean).expect("hand-framed log decodes").len(),
+            3,
+            "full + flush + delta"
+        );
+        if truncate {
+            // Same boundary rule as the journal: a cut between segments
+            // is a shorter valid log, a cut inside one is Truncated.
+            let cut = (at % clean.len() as u64) as usize;
+            match decode_snapshot_log(&clean[..cut]) {
+                Err(_) => {}
+                Ok(prefix) => prop_assert!(prefix.len() < 3),
+            }
+        } else {
+            let mut bytes = clean;
+            let at = (at % bytes.len() as u64) as usize;
+            bytes[at] ^= mask | 0x01;
+            // A flip inside a nested snapshot blob is caught by the
+            // *segment* checksum here; `BadSnapshot` exists for resealed
+            // segments, exercised below.
+            prop_assert!(decode_snapshot_log(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn resealed_segments_cannot_smuggle_tampered_snapshots(
+        input in (any::<u64>(), any::<u64>(), any::<u64>(), any::<u8>())
+    ) {
+        // The adversarial case: flip a byte inside the nested snapshot
+        // blob, then RE-SEAL the outer segment checksum. The outer
+        // framing is now self-consistent, so only the nested snapshot
+        // trust boundary (magic, version, whole-blob checksum) can catch
+        // it — and must.
+        let (seed, entries, at, mask) = input;
+        let blob = exported_bytes(seed, entries);
+        let at = (at % blob.len() as u64) as usize;
+        let mut tampered = blob;
+        tampered[at] ^= mask | 0x01;
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&SNAPSHOT_LOG_MAGIC);
+        bytes.extend_from_slice(&SNAPSHOT_LOG_VERSION.to_be_bytes());
+        let mut body = vec![1u8];
+        body.extend_from_slice(&tampered);
+        seal_record(&mut bytes, &body);
+        prop_assert!(matches!(
+            decode_snapshot_log(&bytes),
+            Err(SnapshotLogError::BadSnapshot { .. })
+        ));
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_decode_as_a_snapshot_log(bytes in vec(any::<u8>(), 0..256)) {
+        prop_assert!(decode_snapshot_log(&bytes).is_err());
+    }
+}
+
+// Coverage floor: 22 properties × 3000 cases each = 66k generated cases
 // per run — 15k through the frame decoders, 15k through the v5
 // push-frame surface (decoders plus `LocalPolicyCache::apply_push`),
-// and 15k through the snapshot decoder, each comfortably above its
+// 15k through the snapshot decoder, and 21k through the v6 persistence
+// decoders (journal + snapshot log), each comfortably above its
 // 10k/15k-case floor. Adjust the per-property `ProptestConfig` if
 // properties are added or removed.

@@ -19,14 +19,19 @@
 //! task runs can be compared across backends the same way.
 
 use std::collections::HashSet;
+use std::path::Path;
 use std::sync::Arc;
 
 use conseca_agent::TaskReport;
 use conseca_core::pipeline::PipelineBuilder;
 use conseca_core::{render_policy, Decision, Policy, TrajectoryEnforcer, TrustedContext};
-use conseca_engine::{decode_snapshot, Engine, SessionState, TenantCounters};
+use conseca_engine::{
+    decode_snapshot, decode_snapshot_log, ledger_path, merge_segments, recover, tenant_log_path,
+    Engine, JournalOptions, RecoverOptions, RecoveryReport, RevocationJournal, SessionState,
+    SnapshotLog, TenantCounters,
+};
 use conseca_serve::wire::encode_decision;
-use conseca_serve::{CachedClient, Client, ServeConfig, Server};
+use conseca_serve::{CachedClient, Client, DaemonConfig, ServeConfig, Server, ServerHandle};
 use conseca_shell::ApiCall;
 
 /// One step of a policy-lifecycle workload script.
@@ -54,6 +59,20 @@ pub enum PolicyOp {
     /// → warm-start cannot resurrect a revoked policy. Keys that are
     /// live stay with the newer install.
     WarmStart,
+    /// One lifecycle-daemon snapshot tick: persist the tenant's live
+    /// store to its durable snapshot log (a full segment — the harness
+    /// pins `full_snapshot_every` to 0 so the tick is deterministic).
+    /// Outcome: the sorted source fingerprints of the *durable*
+    /// projection after the tick. Requires [`run_script_durable`].
+    SnapshotTick,
+    /// Kill the backend without warning — no parting snapshot, open
+    /// handles dropped — then restart it from the data directory alone.
+    /// Outcome: the crash-recovery warm-start totals (installed,
+    /// skipped_revoked, skipped_live), which must prove the journal
+    /// gates everything the snapshot log still carries. Sessions die
+    /// with the crash on every path (trajectory state is
+    /// connection-scoped). Requires [`run_script_durable`].
+    CrashRecover,
 }
 
 /// The five execution paths the conformance harness drives.
@@ -184,22 +203,56 @@ fn encode_warm_start(installed: u64, skipped_revoked: u64, skipped_live: u64) ->
     out
 }
 
+/// The message every durable op panics with when the script was run
+/// through the non-durable entry points.
+const NEEDS_DURABLE: &str =
+    "SnapshotTick/CrashRecover require run_script_durable (a data directory per path)";
+
+/// Sorted source fingerprints of a tenant's durable snapshot-log
+/// projection: read the log file from disk, verify, merge. An absent
+/// file is an empty projection (the tenant was never snapshotted).
+fn durable_projection_fps(data_dir: &Path, tenant: &str) -> Vec<u64> {
+    let Ok(bytes) = std::fs::read(tenant_log_path(data_dir, tenant)) else {
+        return Vec::new();
+    };
+    let segments = decode_snapshot_log(&bytes).expect("tenant snapshot log verifies");
+    merge_segments(tenant, &segments)
+        .expect("tenant snapshot log merges")
+        .into_iter()
+        .map(|entry| entry.source_fp)
+        .collect()
+}
+
+/// Canonical `CrashRecover` outcome from a recovery report.
+fn encode_recovery(report: &RecoveryReport) -> Vec<u8> {
+    let skipped_live: u64 =
+        report.tenants.iter().map(|(_, tenant)| tenant.skipped_live as u64).sum();
+    encode_warm_start(report.installed() as u64, report.skipped_revoked() as u64, skipped_live)
+}
+
 /// The in-process interpreted reference: a one-key "store" holding the
 /// currently installed policy, screened through the enforcement pipeline.
-fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
+fn run_pipeline(ops: &[PolicyOp], durable: bool) -> Vec<Vec<u8>> {
     let mut current: Option<Arc<Policy>> = None;
     // Snapshot slot + revocation set: the pipeline's one-key "store"
     // mirrors the persistence semantics the engine-backed paths get
     // from `PolicyStore::{export,import}_snapshot`.
     let mut snapshot: Option<Vec<Arc<Policy>>> = None;
     let mut revoked_fps: HashSet<u64> = HashSet::new();
+    // The interpreted siblings of the durable machinery: `durable` is
+    // the merged snapshot-log projection (what the last SnapshotTick
+    // persisted, cleared by Flush's marker), `ledger` the replayed
+    // revocation journal (Revoke appends, Install/Reload reinstate).
+    // Both survive a CrashRecover — they are "the disk".
+    let mut durable_slot: Option<Arc<Policy>> = None;
+    let mut ledger: HashSet<u64> = HashSet::new();
     // The interpreted sibling of the engine's `SessionState`: one
     // trajectory enforcer keyed to the fingerprint it was built against,
     // re-keyed when a check resolves a semantically different policy,
     // and — crucially — *not* reset by Revoke/Flush/WarmStart, because
     // session state lives outside the policy store on every path.
     let mut session: Option<(u64, TrajectoryEnforcer)> = None;
-    let screen = |policy: &Policy, calls: &[ApiCall]| -> Vec<Decision> {
+    fn screen(policy: &Policy, calls: &[ApiCall]) -> Vec<Decision> {
         PipelineBuilder::new()
             .policy(policy)
             .build()
@@ -211,12 +264,16 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
                 violation: v.violation,
             })
             .collect()
-    };
+    }
     // Session semantics identical to `Engine::check_session`: sync the
     // session to the resolved policy first, screen per-API rules, then
     // let the trajectory enforcer judge — and record — allowed calls.
-    let mut screen_session = |policy: &Arc<Policy>, calls: &[ApiCall]| -> Vec<Decision> {
-        match &mut session {
+    fn screen_session(
+        session: &mut Option<(u64, TrajectoryEnforcer)>,
+        policy: &Arc<Policy>,
+        calls: &[ApiCall],
+    ) -> Vec<Decision> {
+        match &mut *session {
             Some((fp, _)) if *fp == policy.fingerprint() => {}
             slot => {
                 *slot = (!policy.trajectory.is_empty()).then(|| {
@@ -235,7 +292,7 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
                 let mut decision =
                     screen(policy, std::slice::from_ref(call)).pop().expect("one verdict");
                 if decision.allowed {
-                    if let Some((_, enforcer)) = &mut session {
+                    if let Some((_, enforcer)) = session.as_mut() {
                         let verdict = enforcer.check(call);
                         if verdict.allowed {
                             enforcer.record(call);
@@ -251,25 +308,29 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
                 decision
             })
             .collect()
-    };
+    }
     ops.iter()
         .map(|op| match op {
             PolicyOp::Install(policy) => {
                 current = Some(Arc::new(policy.clone()));
+                ledger.remove(&policy.fingerprint());
                 encode_install(policy)
             }
             PolicyOp::Check(call) => {
                 let decision = current.as_ref().map(|p| {
-                    screen_session(p, std::slice::from_ref(call)).pop().expect("one verdict")
+                    screen_session(&mut session, p, std::slice::from_ref(call))
+                        .pop()
+                        .expect("one verdict")
                 });
                 encode_opt_decision(&decision)
             }
             PolicyOp::CheckBatch(calls) => {
-                let decisions = current.as_ref().map(|p| screen_session(p, calls));
+                let decisions = current.as_ref().map(|p| screen_session(&mut session, p, calls));
                 encode_opt_batch(&decisions)
             }
             PolicyOp::Revoke(fingerprint) => {
                 revoked_fps.insert(*fingerprint);
+                ledger.insert(*fingerprint);
                 let removed = match &current {
                     Some(p) if p.fingerprint() == *fingerprint => {
                         current = None;
@@ -281,9 +342,15 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
             }
             PolicyOp::Reload(policy) => {
                 let old = current.replace(Arc::new(policy.clone())).map(|p| p.fingerprint());
+                ledger.remove(&policy.fingerprint());
                 encode_reload(old, policy)
             }
-            PolicyOp::Flush => encode_count(current.take().map(|_| 1).unwrap_or(0)),
+            PolicyOp::Flush => {
+                // The durable side of a flush is the log's flush marker:
+                // the projection empties with the store.
+                durable_slot = None;
+                encode_count(current.take().map(|_| 1).unwrap_or(0))
+            }
             PolicyOp::Snapshot => {
                 let entries: Vec<Arc<Policy>> = current.iter().cloned().collect();
                 let mut fps: Vec<u64> = entries.iter().map(|p| p.fingerprint()).collect();
@@ -304,6 +371,33 @@ fn run_pipeline(ops: &[PolicyOp]) -> Vec<Vec<u8>> {
                 }
                 encode_warm_start(installed, skipped_revoked, skipped_live)
             }
+            PolicyOp::SnapshotTick => {
+                assert!(durable, "{NEEDS_DURABLE}");
+                // A full-segment tick: the projection becomes exactly
+                // the live store.
+                durable_slot = current.clone();
+                let mut fps: Vec<u64> = durable_slot.iter().map(|p| p.fingerprint()).collect();
+                encode_snapshot_outcome(&mut fps)
+            }
+            PolicyOp::CrashRecover => {
+                assert!(durable, "{NEEDS_DURABLE}");
+                // Memory dies: the live slot and the trajectory session
+                // are gone. Recovery replays the ledger, then
+                // warm-starts from the durable projection — never
+                // resurrecting a journaled revocation.
+                current = None;
+                session = None;
+                let (mut installed, mut skipped_revoked) = (0u64, 0u64);
+                if let Some(policy) = &durable_slot {
+                    if ledger.contains(&policy.fingerprint()) {
+                        skipped_revoked = 1;
+                    } else {
+                        current = Some(Arc::clone(policy));
+                        installed = 1;
+                    }
+                }
+                encode_warm_start(installed, skipped_revoked, 0)
+            }
         })
         .collect()
 }
@@ -313,18 +407,48 @@ fn run_engine(
     task: &str,
     context: &TrustedContext,
     ops: &[PolicyOp],
+    data_dir: Option<&Path>,
 ) -> (Vec<Vec<u8>>, TenantCounters) {
-    let engine = Engine::default();
+    let mut engine = Engine::default();
     let mut snapshot: Option<Vec<u8>> = None;
     let mut revoked_fps: HashSet<u64> = HashSet::new();
     // One trajectory session per script run, matching the one-client
     // connection the served path holds for the whole script.
     let mut session = SessionState::new();
+    // Durable runs drive the same journal + snapshot-log machinery the
+    // server's lifecycle daemon does, inline: revocations journaled
+    // before the engine applies them, flush markers appended when the
+    // store empties, full-segment ticks, `recover` at restart.
+    let mut journal: Option<Arc<RevocationJournal>> = None;
+    let mut log: Option<SnapshotLog> = None;
+    if let Some(dir) = data_dir {
+        std::fs::create_dir_all(dir).expect("data dir");
+        let (opened, _) = RevocationJournal::open(ledger_path(dir), JournalOptions::default())
+            .expect("revocation journal opens");
+        journal = Some(Arc::new(opened));
+    }
+    fn ensure_log<'a>(
+        log: &'a mut Option<SnapshotLog>,
+        dir: &Path,
+        tenant: &str,
+    ) -> &'a mut SnapshotLog {
+        if log.is_none() {
+            let (opened, _) = SnapshotLog::create_or_open(tenant_log_path(dir, tenant))
+                .expect("tenant snapshot log opens");
+            *log = Some(opened);
+        }
+        log.as_mut().expect("just ensured")
+    }
     let outcomes = ops
         .iter()
         .map(|op| match op {
             PolicyOp::Install(policy) => {
                 engine.install(tenant, task, context, policy);
+                if let Some(journal) = &journal {
+                    journal
+                        .record_reinstate(tenant, policy.fingerprint())
+                        .expect("journal reinstate");
+                }
                 encode_install(policy)
             }
             PolicyOp::Check(call) => encode_opt_decision(&engine.check_session(
@@ -343,13 +467,30 @@ fn run_engine(
             )),
             PolicyOp::Revoke(fingerprint) => {
                 revoked_fps.insert(*fingerprint);
+                // Durable-before-acknowledged, same order as the server.
+                if let Some(journal) = &journal {
+                    journal.record_revoke(tenant, *fingerprint).expect("journal revoke");
+                }
                 encode_count(engine.revoke_fingerprint(tenant, *fingerprint) as u64)
             }
             PolicyOp::Reload(policy) => {
                 let receipt = engine.reload(tenant, task, context, policy);
+                if let Some(journal) = &journal {
+                    journal
+                        .record_reinstate(tenant, policy.fingerprint())
+                        .expect("journal reinstate");
+                }
                 encode_reload(receipt.old_fingerprint, policy)
             }
-            PolicyOp::Flush => encode_count(engine.flush_tenant(tenant) as u64),
+            PolicyOp::Flush => {
+                let flushed = engine.flush_tenant(tenant) as u64;
+                // The daemon's flush listener appends the marker after
+                // the engine empties the store; mirror it.
+                if let Some(dir) = data_dir {
+                    ensure_log(&mut log, dir, tenant).append_flush().expect("flush marker");
+                }
+                encode_count(flushed)
+            }
             PolicyOp::Snapshot => {
                 let exported = engine.store().export_snapshot(tenant).expect("export");
                 let decoded = decode_snapshot(&exported.bytes).expect("own snapshot decodes");
@@ -371,9 +512,45 @@ fn run_engine(
                     )
                 }
             },
+            PolicyOp::SnapshotTick => {
+                let dir = data_dir.expect(NEEDS_DURABLE);
+                let exported =
+                    engine.store().export_snapshot_since(tenant, 0).expect("full export");
+                ensure_log(&mut log, dir, tenant)
+                    .rewrite_full(&exported.bytes)
+                    .expect("full segment");
+                encode_snapshot_outcome(&mut durable_projection_fps(dir, tenant))
+            }
+            PolicyOp::CrashRecover => {
+                let dir = data_dir.expect(NEEDS_DURABLE);
+                // Crash: every open handle and all in-memory state dies.
+                log = None;
+                journal = None;
+                engine = Engine::default();
+                session = SessionState::new();
+                let recovery =
+                    recover(&engine, dir, RecoverOptions::default()).expect("crash recovery");
+                journal = Some(Arc::clone(&recovery.journal));
+                encode_recovery(&recovery.report)
+            }
         })
         .collect();
     (outcomes, engine.tenant_counters(tenant))
+}
+
+/// Starts the conformance server: bare for in-memory scripts, daemon-
+/// backed (crash recovery + durable ledger, every tick a full segment)
+/// when a data directory is given.
+fn start_server(data_dir: Option<&Path>) -> ServerHandle {
+    match data_dir {
+        None => Server::start(Arc::new(Engine::default()), ServeConfig::default()),
+        Some(dir) => Server::start_with_daemon(
+            Arc::new(Engine::default()),
+            ServeConfig::default(),
+            DaemonConfig::at(dir).full_snapshot_every(0),
+        )
+        .expect("daemon-backed server starts"),
+    }
 }
 
 fn run_served(
@@ -382,80 +559,134 @@ fn run_served(
     context: &TrustedContext,
     ops: &[PolicyOp],
     batch_checks: bool,
+    data_dir: Option<&Path>,
 ) -> (Vec<Vec<u8>>, TenantCounters) {
-    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
-    let mut client: Client = server.connect().expect("handshake");
+    let mut server = Some(start_server(data_dir));
+    let mut client: Option<Client> =
+        Some(server.as_ref().expect("server").connect().expect("handshake"));
     let mut snapshot: Option<Vec<u8>> = None;
     let mut revoked_fps: Vec<u64> = Vec::new();
     let outcomes = ops
         .iter()
         .map(|op| match op {
-            PolicyOp::Install(policy) => {
-                let receipt = client.install(tenant, task, context, policy).expect("install");
-                let mut out = receipt.fingerprint.to_be_bytes().to_vec();
-                out.extend(receipt.entries.to_be_bytes());
-                out
+            PolicyOp::SnapshotTick => {
+                let dir = data_dir.expect(NEEDS_DURABLE);
+                let handle = server.as_ref().expect("server");
+                handle.daemon().expect("durable server").snapshot_now();
+                encode_snapshot_outcome(&mut durable_projection_fps(dir, tenant))
             }
-            PolicyOp::Check(call) => {
-                if batch_checks {
-                    // The batch transport carries one-call batches too;
-                    // the outcome is reduced to the same single decision.
-                    let decisions = client
-                        .check_all(tenant, task, context, std::slice::from_ref(call))
-                        .expect("check batch");
-                    encode_opt_decision(&decisions.map(|mut ds| ds.pop().expect("one decision")))
-                } else {
-                    encode_opt_decision(&client.check(tenant, task, context, call).expect("check"))
-                }
+            PolicyOp::CrashRecover => {
+                data_dir.expect(NEEDS_DURABLE);
+                // The crash: connection gone, server gone, no parting
+                // snapshot (stopping never writes one by design).
+                drop(client.take());
+                server.take().expect("server").shutdown();
+                let restarted = start_server(data_dir);
+                let outcome =
+                    encode_recovery(restarted.daemon().expect("durable server").recovery());
+                client = Some(restarted.connect().expect("reconnect"));
+                server = Some(restarted);
+                outcome
             }
-            PolicyOp::CheckBatch(calls) => {
-                encode_opt_batch(&client.check_all(tenant, task, context, calls).expect("batch"))
+            op => {
+                let client = client.as_mut().expect("connected");
+                run_client_op(
+                    client,
+                    tenant,
+                    task,
+                    context,
+                    op,
+                    batch_checks,
+                    &mut snapshot,
+                    &mut revoked_fps,
+                )
             }
-            PolicyOp::Revoke(fingerprint) => {
-                if !revoked_fps.contains(fingerprint) {
-                    revoked_fps.push(*fingerprint);
-                }
-                encode_count(client.revoke(tenant, *fingerprint).expect("revoke"))
-            }
-            PolicyOp::Reload(policy) => {
-                let receipt = client.reload(tenant, task, context, policy).expect("reload");
-                let mut out = Vec::new();
-                match receipt.old_fingerprint {
-                    None => out.push(0),
-                    Some(fp) => {
-                        out.push(1);
-                        out.extend(fp.to_be_bytes());
-                    }
-                }
-                out.extend(receipt.fingerprint.to_be_bytes());
-                out.extend(receipt.entries.to_be_bytes());
-                out
-            }
-            PolicyOp::Flush => encode_count(client.flush(tenant).expect("flush")),
-            PolicyOp::Snapshot => {
-                let receipt = client.snapshot(tenant).expect("snapshot");
-                let decoded = decode_snapshot(&receipt.snapshot).expect("served snapshot decodes");
-                let mut fps: Vec<u64> = decoded.entries.iter().map(|e| e.source_fp).collect();
-                snapshot = Some(receipt.snapshot);
-                encode_snapshot_outcome(&mut fps)
-            }
-            PolicyOp::WarmStart => match &snapshot {
-                None => encode_warm_start(0, 0, 0),
-                Some(bytes) => {
-                    let receipt =
-                        client.restore(tenant, &revoked_fps, bytes.clone()).expect("warm start");
-                    encode_warm_start(
-                        receipt.installed,
-                        receipt.skipped_revoked,
-                        receipt.skipped_live,
-                    )
-                }
-            },
         })
         .collect();
-    let counters = client.stats(tenant).expect("stats");
-    server.shutdown();
+    let counters = client.as_mut().expect("connected").stats(tenant).expect("stats");
+    drop(client);
+    if let Some(server) = server.take() {
+        server.shutdown();
+    }
     (outcomes, counters)
+}
+
+/// One non-durable script op against a connected [`Client`] — the
+/// shared body of the remote and served-batch paths, factored out so
+/// the crash-recovery restart can swap the connection underneath it.
+#[allow(clippy::too_many_arguments)]
+fn run_client_op(
+    client: &mut Client,
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    op: &PolicyOp,
+    batch_checks: bool,
+    snapshot: &mut Option<Vec<u8>>,
+    revoked_fps: &mut Vec<u64>,
+) -> Vec<u8> {
+    match op {
+        PolicyOp::Install(policy) => {
+            let receipt = client.install(tenant, task, context, policy).expect("install");
+            let mut out = receipt.fingerprint.to_be_bytes().to_vec();
+            out.extend(receipt.entries.to_be_bytes());
+            out
+        }
+        PolicyOp::Check(call) => {
+            if batch_checks {
+                // The batch transport carries one-call batches too;
+                // the outcome is reduced to the same single decision.
+                let decisions = client
+                    .check_all(tenant, task, context, std::slice::from_ref(call))
+                    .expect("check batch");
+                encode_opt_decision(&decisions.map(|mut ds| ds.pop().expect("one decision")))
+            } else {
+                encode_opt_decision(&client.check(tenant, task, context, call).expect("check"))
+            }
+        }
+        PolicyOp::CheckBatch(calls) => {
+            encode_opt_batch(&client.check_all(tenant, task, context, calls).expect("batch"))
+        }
+        PolicyOp::Revoke(fingerprint) => {
+            if !revoked_fps.contains(fingerprint) {
+                revoked_fps.push(*fingerprint);
+            }
+            encode_count(client.revoke(tenant, *fingerprint).expect("revoke"))
+        }
+        PolicyOp::Reload(policy) => {
+            let receipt = client.reload(tenant, task, context, policy).expect("reload");
+            let mut out = Vec::new();
+            match receipt.old_fingerprint {
+                None => out.push(0),
+                Some(fp) => {
+                    out.push(1);
+                    out.extend(fp.to_be_bytes());
+                }
+            }
+            out.extend(receipt.fingerprint.to_be_bytes());
+            out.extend(receipt.entries.to_be_bytes());
+            out
+        }
+        PolicyOp::Flush => encode_count(client.flush(tenant).expect("flush")),
+        PolicyOp::Snapshot => {
+            let receipt = client.snapshot(tenant).expect("snapshot");
+            let decoded = decode_snapshot(&receipt.snapshot).expect("served snapshot decodes");
+            let mut fps: Vec<u64> = decoded.entries.iter().map(|e| e.source_fp).collect();
+            *snapshot = Some(receipt.snapshot);
+            encode_snapshot_outcome(&mut fps)
+        }
+        PolicyOp::WarmStart => match &*snapshot {
+            None => encode_warm_start(0, 0, 0),
+            Some(bytes) => {
+                let receipt =
+                    client.restore(tenant, revoked_fps, bytes.clone()).expect("warm start");
+                encode_warm_start(receipt.installed, receipt.skipped_revoked, receipt.skipped_live)
+            }
+        },
+        PolicyOp::SnapshotTick | PolicyOp::CrashRecover => {
+            unreachable!("durable ops are handled by the runner, not per-connection")
+        }
+    }
 }
 
 /// The fifth path: a subscribed [`CachedClient`] whose checks resolve
@@ -470,74 +701,115 @@ fn run_cached_remote(
     task: &str,
     context: &TrustedContext,
     ops: &[PolicyOp],
+    data_dir: Option<&Path>,
 ) -> (Vec<Vec<u8>>, TenantCounters) {
-    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
-    let mut client: CachedClient = server.connect_cached(tenant).expect("subscribe handshake");
+    let mut server = Some(start_server(data_dir));
+    let mut client: Option<CachedClient> =
+        Some(server.as_ref().expect("server").connect_cached(tenant).expect("subscribe handshake"));
     let mut snapshot: Option<Vec<u8>> = None;
     let mut revoked_fps: Vec<u64> = Vec::new();
     let outcomes = ops
         .iter()
         .map(|op| match op {
-            PolicyOp::Install(policy) => {
-                let receipt = client.install(task, context, policy).expect("install");
-                let mut out = receipt.fingerprint.to_be_bytes().to_vec();
-                out.extend(receipt.entries.to_be_bytes());
-                out
+            PolicyOp::SnapshotTick => {
+                let dir = data_dir.expect(NEEDS_DURABLE);
+                let handle = server.as_ref().expect("server");
+                handle.daemon().expect("durable server").snapshot_now();
+                encode_snapshot_outcome(&mut durable_projection_fps(dir, tenant))
             }
-            PolicyOp::Check(call) => {
-                encode_opt_decision(&client.check(task, context, call).expect("check"))
+            PolicyOp::CrashRecover => {
+                data_dir.expect(NEEDS_DURABLE);
+                // The crash also takes the L1 down with the subscription
+                // — the restarted cache refetches cold, fail-closed.
+                drop(client.take());
+                server.take().expect("server").shutdown();
+                let restarted = start_server(data_dir);
+                let outcome =
+                    encode_recovery(restarted.daemon().expect("durable server").recovery());
+                client = Some(restarted.connect_cached(tenant).expect("resubscribe after restart"));
+                server = Some(restarted);
+                outcome
             }
-            PolicyOp::CheckBatch(calls) => {
-                encode_opt_batch(&client.check_all(task, context, calls).expect("batch"))
+            op => {
+                let client = client.as_mut().expect("subscribed");
+                run_cached_op(client, task, context, op, &mut snapshot, &mut revoked_fps)
             }
-            PolicyOp::Revoke(fingerprint) => {
-                if !revoked_fps.contains(fingerprint) {
-                    revoked_fps.push(*fingerprint);
-                }
-                encode_count(client.revoke(*fingerprint).expect("revoke"))
-            }
-            PolicyOp::Reload(policy) => {
-                let receipt = client.reload(task, context, policy).expect("reload");
-                let mut out = Vec::new();
-                match receipt.old_fingerprint {
-                    None => out.push(0),
-                    Some(fp) => {
-                        out.push(1);
-                        out.extend(fp.to_be_bytes());
-                    }
-                }
-                out.extend(receipt.fingerprint.to_be_bytes());
-                out.extend(receipt.entries.to_be_bytes());
-                out
-            }
-            PolicyOp::Flush => encode_count(client.flush().expect("flush")),
-            PolicyOp::Snapshot => {
-                let receipt = client.snapshot().expect("snapshot");
-                let decoded = decode_snapshot(&receipt.snapshot).expect("cached snapshot decodes");
-                let mut fps: Vec<u64> = decoded.entries.iter().map(|e| e.source_fp).collect();
-                snapshot = Some(receipt.snapshot);
-                encode_snapshot_outcome(&mut fps)
-            }
-            PolicyOp::WarmStart => match &snapshot {
-                None => encode_warm_start(0, 0, 0),
-                Some(bytes) => {
-                    let receipt = client.restore(&revoked_fps, bytes.clone()).expect("warm start");
-                    encode_warm_start(
-                        receipt.installed,
-                        receipt.skipped_revoked,
-                        receipt.skipped_live,
-                    )
-                }
-            },
         })
         .collect();
-    let counters = client.stats().expect("stats");
+    let counters = client.as_mut().expect("subscribed").stats().expect("stats");
     drop(client);
-    server.shutdown();
+    if let Some(server) = server.take() {
+        server.shutdown();
+    }
     (outcomes, counters)
 }
 
+/// One non-durable script op against a subscribed [`CachedClient`].
+fn run_cached_op(
+    client: &mut CachedClient,
+    task: &str,
+    context: &TrustedContext,
+    op: &PolicyOp,
+    snapshot: &mut Option<Vec<u8>>,
+    revoked_fps: &mut Vec<u64>,
+) -> Vec<u8> {
+    match op {
+        PolicyOp::Install(policy) => {
+            let receipt = client.install(task, context, policy).expect("install");
+            let mut out = receipt.fingerprint.to_be_bytes().to_vec();
+            out.extend(receipt.entries.to_be_bytes());
+            out
+        }
+        PolicyOp::Check(call) => {
+            encode_opt_decision(&client.check(task, context, call).expect("check"))
+        }
+        PolicyOp::CheckBatch(calls) => {
+            encode_opt_batch(&client.check_all(task, context, calls).expect("batch"))
+        }
+        PolicyOp::Revoke(fingerprint) => {
+            if !revoked_fps.contains(fingerprint) {
+                revoked_fps.push(*fingerprint);
+            }
+            encode_count(client.revoke(*fingerprint).expect("revoke"))
+        }
+        PolicyOp::Reload(policy) => {
+            let receipt = client.reload(task, context, policy).expect("reload");
+            let mut out = Vec::new();
+            match receipt.old_fingerprint {
+                None => out.push(0),
+                Some(fp) => {
+                    out.push(1);
+                    out.extend(fp.to_be_bytes());
+                }
+            }
+            out.extend(receipt.fingerprint.to_be_bytes());
+            out.extend(receipt.entries.to_be_bytes());
+            out
+        }
+        PolicyOp::Flush => encode_count(client.flush().expect("flush")),
+        PolicyOp::Snapshot => {
+            let receipt = client.snapshot().expect("snapshot");
+            let decoded = decode_snapshot(&receipt.snapshot).expect("cached snapshot decodes");
+            let mut fps: Vec<u64> = decoded.entries.iter().map(|e| e.source_fp).collect();
+            *snapshot = Some(receipt.snapshot);
+            encode_snapshot_outcome(&mut fps)
+        }
+        PolicyOp::WarmStart => match &*snapshot {
+            None => encode_warm_start(0, 0, 0),
+            Some(bytes) => {
+                let receipt = client.restore(revoked_fps, bytes.clone()).expect("warm start");
+                encode_warm_start(receipt.installed, receipt.skipped_revoked, receipt.skipped_live)
+            }
+        },
+        PolicyOp::SnapshotTick | PolicyOp::CrashRecover => {
+            unreachable!("durable ops are handled by the runner, not per-connection")
+        }
+    }
+}
+
 /// Runs `ops` through one execution path against a fresh backend.
+/// Scripts containing [`PolicyOp::SnapshotTick`] or
+/// [`PolicyOp::CrashRecover`] need [`run_script_durable`].
 pub fn run_script(
     path: ExecutionPath,
     tenant: &str,
@@ -545,22 +817,50 @@ pub fn run_script(
     context: &TrustedContext,
     ops: &[PolicyOp],
 ) -> ScriptTranscript {
+    run_script_inner(path, tenant, task, context, ops, None)
+}
+
+/// Like [`run_script`], but the backend is durable: it persists to
+/// `data_dir` (the revocation journal plus per-tenant snapshot logs, in
+/// the daemon's on-disk layout), which is what [`PolicyOp::SnapshotTick`]
+/// writes and [`PolicyOp::CrashRecover`] restarts from. The directory
+/// must be fresh per run — reusing one across paths would leak one
+/// path's durable state into another's transcript.
+pub fn run_script_durable(
+    path: ExecutionPath,
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    ops: &[PolicyOp],
+    data_dir: &Path,
+) -> ScriptTranscript {
+    run_script_inner(path, tenant, task, context, ops, Some(data_dir))
+}
+
+fn run_script_inner(
+    path: ExecutionPath,
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    ops: &[PolicyOp],
+    data_dir: Option<&Path>,
+) -> ScriptTranscript {
     let (outcomes, counters) = match path {
-        ExecutionPath::Pipeline => (run_pipeline(ops), None),
+        ExecutionPath::Pipeline => (run_pipeline(ops, data_dir.is_some()), None),
         ExecutionPath::Engine => {
-            let (outcomes, counters) = run_engine(tenant, task, context, ops);
+            let (outcomes, counters) = run_engine(tenant, task, context, ops, data_dir);
             (outcomes, Some(counters))
         }
         ExecutionPath::Remote => {
-            let (outcomes, counters) = run_served(tenant, task, context, ops, false);
+            let (outcomes, counters) = run_served(tenant, task, context, ops, false, data_dir);
             (outcomes, Some(counters))
         }
         ExecutionPath::ServedBatch => {
-            let (outcomes, counters) = run_served(tenant, task, context, ops, true);
+            let (outcomes, counters) = run_served(tenant, task, context, ops, true, data_dir);
             (outcomes, Some(counters))
         }
         ExecutionPath::CachedRemote => {
-            let (outcomes, counters) = run_cached_remote(tenant, task, context, ops);
+            let (outcomes, counters) = run_cached_remote(tenant, task, context, ops, data_dir);
             (outcomes, Some(counters))
         }
     };
@@ -577,6 +877,25 @@ pub fn run_script_everywhere(
     ExecutionPath::all()
         .into_iter()
         .map(|path| run_script(path, tenant, task, context, ops))
+        .collect()
+}
+
+/// Runs `ops` through all five paths durably: each path gets its own
+/// fresh data directory under `scratch_root` (named by its label), so
+/// crash-recovery scripts can be asserted byte-identical everywhere.
+/// The caller owns `scratch_root`'s lifetime and cleanup.
+pub fn run_script_everywhere_durable(
+    tenant: &str,
+    task: &str,
+    context: &TrustedContext,
+    ops: &[PolicyOp],
+    scratch_root: &Path,
+) -> Vec<ScriptTranscript> {
+    ExecutionPath::all()
+        .into_iter()
+        .map(|path| {
+            run_script_durable(path, tenant, task, context, ops, &scratch_root.join(path.label()))
+        })
         .collect()
 }
 
@@ -655,6 +974,27 @@ pub fn report_fingerprint(report: &TaskReport) -> Vec<u8> {
 mod tests {
     use super::*;
     use conseca_core::{ArgConstraint, PolicyEntry, TrajectoryPolicy, Violation};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn scratch(name: &str) -> (PathBuf, Cleanup) {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "conseca-conformance-{}-{}-{name}",
+            std::process::id(),
+            seq
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        (dir.clone(), Cleanup(dir))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
 
     fn policy_a() -> Policy {
         let mut p = Policy::new("respond to urgent work emails");
@@ -866,6 +1206,123 @@ mod tests {
             denied.violation,
             Some(Violation::RateLimited { api: "ls".into(), limit: 1, used: 1 })
         );
+    }
+
+    /// The crash-forgets-revocation hole, proven closed on all five
+    /// paths at once: a revocation journaled after the last snapshot
+    /// tick must still gate recovery, and a client-held snapshot taken
+    /// before the crash must not resurrect it afterwards.
+    #[test]
+    fn a_revocation_after_the_last_snapshot_tick_survives_a_crash_on_every_path() {
+        let (root, _cleanup) = scratch("revoke-crash");
+        let doomed = policy_a();
+        let fp = doomed.fingerprint();
+        let probe = call("send_email", &["alice"]);
+        let ops = vec![
+            PolicyOp::Install(doomed),
+            PolicyOp::Snapshot,     // the client keeps a pre-crash snapshot
+            PolicyOp::SnapshotTick, // the policy becomes durable
+            PolicyOp::Check(probe.clone()),
+            PolicyOp::Revoke(fp), // journaled; NO tick before the crash
+            PolicyOp::CrashRecover,
+            PolicyOp::Check(probe.clone()), // must stay dead
+            PolicyOp::WarmStart,            // the old snapshot must be gated too
+            PolicyOp::Check(probe),
+        ];
+        let transcripts = run_script_everywhere_durable("acme", "t", &ctx(), &ops, &root);
+        assert_conformant(&transcripts);
+        let outcomes = &transcripts[0].outcomes;
+        let mut one_entry = 1u64.to_be_bytes().to_vec();
+        one_entry.extend(fp.to_be_bytes());
+        assert_eq!(outcomes[2], one_entry, "the tick persisted exactly the doomed policy");
+        assert_eq!(decision_flags(&outcomes[3]), (true, true), "live before the crash");
+        assert_eq!(
+            outcomes[5],
+            encode_warm_start(0, 1, 0),
+            "recovery found the durable entry and refused it: the journal outlives the crash"
+        );
+        assert_eq!(decision_flags(&outcomes[6]), (false, false), "still dead after restart");
+        assert_eq!(
+            outcomes[7],
+            encode_warm_start(0, 1, 0),
+            "a pre-crash snapshot restore is gated the same way"
+        );
+        assert_eq!(decision_flags(&outcomes[8]), (false, false), "no resurrection, ever");
+    }
+
+    /// The other half of recovery correctness: flushed policies stay
+    /// flushed (the flush marker persists), and live policies restore
+    /// and serve decisions again.
+    #[test]
+    fn flushes_stay_flushed_and_live_policies_restore_across_a_crash_on_every_path() {
+        let (root, _cleanup) = scratch("flush-crash");
+        let replacement = policy_b();
+        let probe = call("send_email", &["alice"]);
+        let ops = vec![
+            PolicyOp::Install(policy_a()),
+            PolicyOp::SnapshotTick, // durable...
+            PolicyOp::Flush,        // ...then flushed: the marker is durable too
+            PolicyOp::CrashRecover,
+            PolicyOp::Check(probe.clone()), // flushed entries must not come back
+            PolicyOp::Install(replacement),
+            PolicyOp::SnapshotTick,
+            PolicyOp::CrashRecover,
+            PolicyOp::Check(probe), // the live policy serves again (B denies)
+        ];
+        let transcripts = run_script_everywhere_durable("acme", "t", &ctx(), &ops, &root);
+        assert_conformant(&transcripts);
+        let outcomes = &transcripts[0].outcomes;
+        assert_eq!(
+            outcomes[3],
+            encode_warm_start(0, 0, 0),
+            "nothing to recover: the flush marker emptied the durable projection"
+        );
+        assert_eq!(decision_flags(&outcomes[4]), (false, false), "flushed stays flushed");
+        assert_eq!(
+            outcomes[7],
+            encode_warm_start(1, 0, 0),
+            "the live replacement warm-starts from the log"
+        );
+        assert_eq!(
+            decision_flags(&outcomes[8]),
+            (true, false),
+            "the restored policy serves (and denies) the probe"
+        );
+    }
+
+    /// Trajectory sessions are connection-scoped on every path, so a
+    /// crash uniformly resets them: the recovered policy is the same,
+    /// but its spent budget is not carried over — unlike `WarmStart`,
+    /// which runs on a surviving connection and must NOT reset it.
+    #[test]
+    fn a_crash_resets_trajectory_sessions_uniformly() {
+        let (root, _cleanup) = scratch("session-crash");
+        let policy = trajectory_policy(TrajectoryPolicy::new().budget(1));
+        let ops = vec![
+            PolicyOp::Install(policy),
+            PolicyOp::SnapshotTick,
+            PolicyOp::Check(call("ping", &[])), // spends the budget
+            PolicyOp::Check(call("ping", &[])), // denied: exhausted
+            PolicyOp::CrashRecover,
+            PolicyOp::Check(call("ping", &[])), // fresh session: allowed again
+        ];
+        let transcripts = run_script_everywhere_durable("acme", "t", &ctx(), &ops, &root);
+        assert_conformant(&transcripts);
+        let outcomes = &transcripts[0].outcomes;
+        assert_eq!(decision_flags(&outcomes[2]), (true, true));
+        assert_eq!(decision_flags(&outcomes[3]), (true, false), "budget exhausted");
+        assert_eq!(outcomes[4], encode_warm_start(1, 0, 0), "the policy itself recovers");
+        assert_eq!(
+            decision_flags(&outcomes[5]),
+            (true, true),
+            "the crash killed the session on every path: budgets restart with the connection"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "run_script_durable")]
+    fn durable_ops_refuse_to_run_without_a_data_dir() {
+        run_script(ExecutionPath::Pipeline, "acme", "t", &ctx(), &[PolicyOp::SnapshotTick]);
     }
 
     #[test]

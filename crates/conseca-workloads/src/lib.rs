@@ -27,8 +27,8 @@ pub use ablation::{
     TrajectoryAblationRow,
 };
 pub use conformance::{
-    assert_conformant, report_fingerprint, run_script, run_script_everywhere, ExecutionPath,
-    PolicyOp, ScriptTranscript,
+    assert_conformant, report_fingerprint, run_script, run_script_durable, run_script_everywhere,
+    run_script_everywhere_durable, ExecutionPath, PolicyOp, ScriptTranscript,
 };
 pub use env::{Env, CURRENT_USER, DOMAIN, INJECTED_BODY, USERS};
 pub use runner::{

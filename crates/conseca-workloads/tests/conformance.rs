@@ -14,8 +14,8 @@ use conseca_core::{ArgConstraint, Policy, PolicyEntry, Predicate, TrustedContext
 use conseca_engine::Engine;
 use conseca_shell::ApiCall;
 use conseca_workloads::{
-    assert_conformant, report_fingerprint, run_script_everywhere, run_task_once,
-    run_task_once_engine, run_task_once_served, ExecutionPath, PolicyOp,
+    assert_conformant, report_fingerprint, run_script_everywhere, run_script_everywhere_durable,
+    run_task_once, run_task_once_engine, run_task_once_served, ExecutionPath, PolicyOp,
 };
 
 fn call(name: &str, args: &[&str]) -> ApiCall {
@@ -234,6 +234,54 @@ fn warm_start_restores_flushed_policies_in_every_mode() {
     second_restore.extend(0u64.to_be_bytes());
     second_restore.extend(1u64.to_be_bytes());
     assert_eq!(reference[6], second_restore, "a live key defers to the newer install");
+}
+
+#[test]
+fn a_crash_between_revoke_and_the_next_snapshot_tick_cannot_resurrect_in_any_mode() {
+    // The durable acceptance criterion (the crash-forgets-revocation
+    // hole): kill the backend after a revoke but before any snapshot
+    // tick could observe it, restart from disk, and prove — on all five
+    // execution paths, byte-identically — that the revoked fingerprint
+    // stays dead while an unrelated live policy restores.
+    let root =
+        std::env::temp_dir().join(format!("conseca-conformance-accept-{}", std::process::id()));
+    std::fs::create_dir_all(&root).unwrap();
+    struct Cleanup(std::path::PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+    let _cleanup = Cleanup(root.clone());
+
+    let doomed = stale_policy();
+    let replacement = regenerated_policy();
+    let probe = call("send_email", &["alice", "bob@work.com"]);
+    let ops = vec![
+        PolicyOp::Install(doomed.clone()),
+        PolicyOp::SnapshotTick, // the doomed policy is durable now
+        PolicyOp::Check(probe.clone()),
+        PolicyOp::Reload(replacement),
+        PolicyOp::SnapshotTick,                 // so is its replacement
+        PolicyOp::Revoke(doomed.fingerprint()), // journaled only — no tick follows
+        PolicyOp::CrashRecover,
+        PolicyOp::Check(probe.clone()), // the replacement answers (deny)
+        PolicyOp::Check(call("ls", &[])), // …and allows what it lists
+    ];
+    let transcripts = run_script_everywhere_durable("acme", "respond", &ctx(), &ops, &root);
+    assert_conformant(&transcripts);
+    let reference = &transcripts[0].outcomes;
+    assert_eq!(reference[2][..2], [1, 1], "the doomed policy was live pre-crash");
+    // Recovery restored exactly one entry: the replacement. The doomed
+    // fingerprint was superseded by the reload (the log's projection
+    // holds the replacement), and the journaled revocation guarantees
+    // it could not come back even from an older snapshot.
+    let mut recovered = 1u64.to_be_bytes().to_vec();
+    recovered.extend(0u64.to_be_bytes());
+    recovered.extend(0u64.to_be_bytes());
+    assert_eq!(reference[6], recovered, "exactly the replacement recovers");
+    assert_eq!(reference[7][..2], [1, 0], "the restored replacement denies the send");
+    assert_eq!(reference[8][..2], [1, 1], "…and still allows the read it lists");
 }
 
 #[test]
