@@ -212,6 +212,15 @@ pub mod oneshot {
         shared: Arc<Shared<T>>,
     }
 
+    impl<T> Receiver<T> {
+        /// Whether the channel already holds its value or a
+        /// cancellation — i.e. awaiting would resolve without parking.
+        pub fn is_ready(&self) -> bool {
+            let state = self.shared.lock();
+            state.value.is_some() || state.sender_gone
+        }
+    }
+
     /// Creates a oneshot channel.
     pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {

@@ -69,6 +69,12 @@ impl<T> JoinHandle<T> {
     pub fn join(self) -> Option<T> {
         crate::block_on(self.receiver).ok()
     }
+
+    /// Whether the task has completed or been canceled — i.e.
+    /// [`join`](Self::join) would return without blocking.
+    pub fn is_finished(&self) -> bool {
+        self.receiver.is_ready()
+    }
 }
 
 impl<T> Future for JoinHandle<T> {

@@ -1,0 +1,108 @@
+//! Small future combinators.
+//!
+//! Only what the serving layer needs: a **biased** two-way select. Bias
+//! is load-bearing there — a connection's write task selects between its
+//! ordered response lane and an out-of-band push lane, and pushes must
+//! win ties so an invalidation is never queued behind a response that is
+//! itself waiting on the push's acknowledgement.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// The value of whichever side of [`select2`] finished first.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The left future finished (it wins ties).
+    Left(A),
+    /// The right future finished.
+    Right(B),
+}
+
+/// Future returned by [`select2`].
+pub struct Select2<A, B> {
+    a: A,
+    b: B,
+}
+
+/// Waits for either future, **polling the left one first** on every
+/// wake: if both are ready, `Left` wins. The loser is dropped with the
+/// returned future, so pass `&mut`-style resumable futures (channel
+/// `recv`, oneshot receivers) when the losing side must not forget
+/// progress.
+pub fn select2<A, B>(a: A, b: B) -> Select2<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    Select2 { a, b }
+}
+
+impl<A, B> Future for Select2<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Poll::Ready(v) = Pin::new(&mut this.a).poll(cx) {
+            return Poll::Ready(Either::Left(v));
+        }
+        if let Poll::Ready(v) = Pin::new(&mut this.b).poll(cx) {
+            return Poll::Ready(Either::Right(v));
+        }
+        Poll::Pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_on;
+    use crate::channel::{mpsc, oneshot};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn left_wins_ties() {
+        let (ta, ra) = oneshot::channel();
+        let (tb, rb) = oneshot::channel();
+        ta.send(1u8).unwrap();
+        tb.send(2u8).unwrap();
+        match block_on(select2(ra, rb)) {
+            Either::Left(Ok(1)) => {}
+            other => panic!("expected Left(Ok(1)), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn right_resolves_when_left_is_pending() {
+        let (_ta, ra) = oneshot::channel::<u8>();
+        let (tb, rb) = oneshot::channel();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            tb.send(9u8).unwrap();
+        });
+        match block_on(select2(ra, rb)) {
+            Either::Right(Ok(9)) => {}
+            other => panic!("expected Right(Ok(9)), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn losing_recv_keeps_its_queue() {
+        // Selecting over `&mut`-style recv futures must not lose the
+        // message that arrives for the losing side afterwards.
+        let (tx, mut rx) = mpsc::unbounded();
+        let (t1, r1) = oneshot::channel();
+        t1.send(()).unwrap();
+        match block_on(select2(r1, rx.recv())) {
+            Either::Left(Ok(())) => {}
+            other => panic!("{other:?}"),
+        }
+        tx.send(5u8).unwrap();
+        assert_eq!(block_on(rx.recv()), Some(5));
+    }
+}

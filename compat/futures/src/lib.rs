@@ -1,8 +1,8 @@
 //! Offline stand-in for the `futures` crate.
 //!
-//! The serving layer (`conseca-serve`) needs exactly four async building
-//! blocks, and the build environment has no registry access, so this crate
-//! provides them over `std` alone:
+//! The serving layer (`conseca-serve`) needs a small set of async
+//! building blocks, and the build environment has no registry access, so
+//! this crate provides them over `std` alone:
 //!
 //! - [`block_on`] — drive a future to completion on the current thread
 //!   (thread-park waker, like `futures::executor::block_on`);
@@ -13,12 +13,18 @@
 //! - [`channel::mpsc`] — an unbounded multi-producer channel with an
 //!   async `recv` and a non-blocking `try_recv`;
 //! - [`channel::oneshot`] — a single-value channel whose receiver is a
-//!   future and which resolves to `Canceled` when the sender is dropped.
+//!   future and which resolves to `Canceled` when the sender is dropped;
+//! - [`reactor::Reactor`] — a global epoll-driven readiness reactor
+//!   (edge-triggered registrations, manual "virtual" registrations for
+//!   in-process transports, and deadline timers), so futures await I/O
+//!   readiness instead of parking OS threads;
+//! - [`future::select2`] — a biased two-way select ([`future::Either`]).
 //!
 //! Deviations from the real crate are deliberate and documented inline:
 //! no `Stream` trait (the receivers expose inherent methods instead), no
-//! `select!`, and `JoinHandle` resolves to `None` — rather than
-//! panicking — when its task was dropped by a pool shutdown.
+//! `select!` macro (the biased [`future::select2`] covers the one use),
+//! and `JoinHandle` resolves to `None` — rather than panicking — when
+//! its task was dropped by a pool shutdown.
 
 use std::future::Future;
 use std::sync::Arc;
@@ -27,8 +33,12 @@ use std::thread::{self, Thread};
 
 pub mod channel;
 pub mod executor;
+pub mod future;
+pub mod reactor;
 
 pub use executor::{JoinHandle, ThreadPool};
+pub use future::{select2, Either};
+pub use reactor::{Reactor, Registration};
 
 /// Wakes a parked thread; the waker behind [`block_on`].
 struct ThreadWaker(Thread);

@@ -1,0 +1,674 @@
+//! A readiness-driven I/O reactor: the piece that lets futures await
+//! "this file descriptor has bytes" instead of parking an OS thread in
+//! a blocking `read`.
+//!
+//! # Architecture
+//!
+//! One process-wide reactor thread sits in `epoll_wait` over every
+//! registered descriptor (edge-triggered, read + write interest) plus
+//! an `eventfd` used to interrupt the wait when a timer is (re)armed.
+//! Registering a descriptor yields a [`Registration`]: a token-mapped
+//! readiness record holding one *ready bit* and one parked [`Waker`]
+//! per direction. When the kernel reports an edge, the reactor sets the
+//! bit and wakes the parked task — nothing else happens on the reactor
+//! thread, so a slow consumer can never back it up.
+//!
+//! # The readiness protocol
+//!
+//! Edge-triggered notification loses events unless consumers follow one
+//! rule: **attempt the non-blocking operation first, and only await
+//! readiness after it returns `WouldBlock`.**
+//!
+//! ```text
+//! loop {
+//!     match stream.read(buf) {            // non-blocking attempt
+//!         Ok(n) => consume(n),
+//!         Err(WouldBlock) => registration.readable().await,
+//!     }
+//! }
+//! ```
+//!
+//! [`Registration::readable`] *consumes* the ready bit: it resolves
+//! immediately if an edge arrived since the last consumption (even one
+//! that raced the `WouldBlock` — that is the lost-wakeup case the bit
+//! exists for), and otherwise parks the task's waker for the next edge.
+//! Wakeups may be spurious (a new edge can land between the failed
+//! attempt and the await); the retry loop above absorbs them. Each
+//! direction supports **one** waiting task at a time — exactly the
+//! reader-task/writer-task split the serving layer uses.
+//!
+//! Two registration flavours share the protocol:
+//!
+//! - [`Reactor::register_fd`] — kernel-backed, for sockets and pipes
+//!   (the descriptor must already be non-blocking);
+//! - [`Reactor::register_virtual`] — no descriptor; a producer calls
+//!   [`Registration::notify_readable`] by hand. This is how in-process
+//!   duplex transports plug into the same machinery as TCP.
+//!
+//! # Timers
+//!
+//! [`Reactor::sleep`] / [`Reactor::sleep_until`] resolve at a deadline,
+//! driven by the same `epoll_wait` (its timeout is the earliest armed
+//! deadline). Dropping the future disarms the timer.
+//!
+//! Linux-only by construction (`epoll`, `eventfd` via direct syscall
+//! bindings — the build has no libc crate); the rest of the crate is
+//! portable.
+
+use std::collections::{BTreeMap, HashMap};
+use std::future::Future;
+use std::io;
+use std::os::raw::{c_int, c_void};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Context, Poll, Waker};
+use std::thread;
+use std::time::{Duration, Instant};
+
+// ------------------------------------------------------------ epoll ABI
+
+// The kernel ABI for `struct epoll_event` is packed on x86-64 (and only
+// there); everywhere else it uses natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLPRI: u32 = 0x002;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+/// Token the reactor's own wake `eventfd` is registered under.
+const WAKE_TOKEN: u64 = u64::MAX;
+
+// ------------------------------------------------------- readiness state
+
+/// Per-registration readiness record: one ready bit and one parked
+/// waker per direction.
+struct Source {
+    state: Mutex<SourceState>,
+}
+
+#[derive(Default)]
+struct SourceState {
+    read_ready: bool,
+    write_ready: bool,
+    read_waker: Option<Waker>,
+    write_waker: Option<Waker>,
+}
+
+impl Source {
+    fn new() -> Arc<Self> {
+        Arc::new(Source { state: Mutex::new(SourceState::default()) })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SourceState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Applies a kernel event mask. Errors and hangups wake both
+    /// directions: the reader observes EOF, the writer observes the
+    /// failed write.
+    fn set_from_events(&self, events: u32) {
+        let readable = events & (EPOLLIN | EPOLLPRI | EPOLLRDHUP | EPOLLHUP | EPOLLERR) != 0;
+        let writable = events & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0;
+        let (rw, ww) = {
+            let mut s = self.lock();
+            if readable {
+                s.read_ready = true;
+            }
+            if writable {
+                s.write_ready = true;
+            }
+            (
+                if readable { s.read_waker.take() } else { None },
+                if writable { s.write_waker.take() } else { None },
+            )
+        };
+        if let Some(w) = rw {
+            w.wake();
+        }
+        if let Some(w) = ww {
+            w.wake();
+        }
+    }
+}
+
+struct Shared {
+    epfd: c_int,
+    wake_fd: c_int,
+    /// Kernel-backed registrations by token, so the reactor thread can
+    /// route events. Virtual registrations never enter the map.
+    sources: Mutex<HashMap<u64, Arc<Source>>>,
+    /// Armed timers, ordered by deadline (the id breaks ties).
+    timers: Mutex<BTreeMap<(Instant, u64), Waker>>,
+    next_token: AtomicU64,
+}
+
+impl Shared {
+    fn sources(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Arc<Source>>> {
+        self.sources.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn timers(&self) -> std::sync::MutexGuard<'_, BTreeMap<(Instant, u64), Waker>> {
+        self.timers.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Interrupts a parked `epoll_wait` so it recomputes its timeout.
+    fn wake_reactor(&self) {
+        let one: u64 = 1;
+        unsafe {
+            let _ = write(self.wake_fd, (&one as *const u64).cast(), 8);
+        }
+    }
+}
+
+// ----------------------------------------------------------- the reactor
+
+/// The readiness reactor. One global instance drives every registered
+/// descriptor; see the module docs for the protocol.
+pub struct Reactor {
+    shared: Arc<Shared>,
+}
+
+impl Reactor {
+    /// The process-wide reactor, started on first use. One thread total,
+    /// however many servers, clients, and connections share it.
+    pub fn global() -> &'static Reactor {
+        static GLOBAL: OnceLock<Reactor> = OnceLock::new();
+        GLOBAL.get_or_init(|| Reactor::start().expect("the global reactor must start"))
+    }
+
+    fn start() -> io::Result<Reactor> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wake_fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if wake_fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let mut ev = EpollEvent { events: EPOLLIN | EPOLLET, data: WAKE_TOKEN };
+        if unsafe { epoll_ctl(epfd, EPOLL_CTL_ADD, wake_fd, &mut ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let shared = Arc::new(Shared {
+            epfd,
+            wake_fd,
+            sources: Mutex::new(HashMap::new()),
+            timers: Mutex::new(BTreeMap::new()),
+            next_token: AtomicU64::new(0),
+        });
+        let driver = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("futures-reactor".into())
+            .spawn(move || reactor_loop(&driver))?;
+        Ok(Reactor { shared })
+    }
+
+    /// Registers a descriptor (edge-triggered, read + write interest).
+    /// The descriptor **must already be non-blocking**; consumers must
+    /// follow the attempt-then-await protocol in the module docs.
+    ///
+    /// The registration does not own the descriptor. Readiness routing
+    /// stops when the last [`Registration`] clone drops; the kernel
+    /// drops its side of the registration when the last descriptor for
+    /// the open file closes.
+    ///
+    /// # Errors
+    ///
+    /// The underlying `epoll_ctl` failure (bad descriptor, exhausted
+    /// watch limit).
+    pub fn register_fd(&self, fd: i32) -> io::Result<Registration> {
+        let token = self.shared.next_token.fetch_add(1, Ordering::Relaxed);
+        let source = Source::new();
+        self.shared.sources().insert(token, Arc::clone(&source));
+        let mut ev = EpollEvent { events: EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET, data: token };
+        if unsafe { epoll_ctl(self.shared.epfd, EPOLL_CTL_ADD, fd, &mut ev) } < 0 {
+            let err = io::Error::last_os_error();
+            self.shared.sources().remove(&token);
+            return Err(err);
+        }
+        Ok(Registration {
+            token,
+            fd,
+            source,
+            shared: Arc::clone(&self.shared),
+            handles: Arc::new(AtomicUsize::new(1)),
+        })
+    }
+
+    /// A registration with no descriptor behind it: readiness is
+    /// asserted by hand via [`Registration::notify_readable`] /
+    /// [`notify_writable`](Registration::notify_writable). In-process
+    /// transports use this to speak the exact protocol sockets do.
+    pub fn register_virtual(&self) -> Registration {
+        Registration {
+            token: self.shared.next_token.fetch_add(1, Ordering::Relaxed),
+            fd: -1,
+            source: Source::new(),
+            shared: Arc::clone(&self.shared),
+            handles: Arc::new(AtomicUsize::new(1)),
+        }
+    }
+
+    /// Resolves once `deadline` passes. Dropping the future disarms it.
+    pub fn sleep_until(&self, deadline: Instant) -> Sleep {
+        Sleep { shared: Arc::clone(&self.shared), deadline, key: None }
+    }
+
+    /// Resolves after `duration`. Dropping the future disarms it.
+    pub fn sleep(&self, duration: Duration) -> Sleep {
+        self.sleep_until(Instant::now() + duration)
+    }
+}
+
+fn reactor_loop(shared: &Arc<Shared>) {
+    let mut events = [EpollEvent { events: 0, data: 0 }; 64];
+    loop {
+        // The wait's timeout is the earliest armed timer (or forever).
+        let timeout_ms: c_int = match shared.timers().keys().next() {
+            Some((deadline, _)) => {
+                let until = deadline.saturating_duration_since(Instant::now());
+                until.as_millis().min(i32::MAX as u128) as c_int
+            }
+            None => -1,
+        };
+        let n = unsafe {
+            epoll_wait(shared.epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+        };
+        if n < 0 {
+            if io::Error::last_os_error().kind() == io::ErrorKind::Interrupted {
+                continue;
+            }
+            // The epoll descriptor itself failed; readiness can no
+            // longer be driven. Parked tasks stay parked (their owners
+            // hold close handles), and there is nobody to report to.
+            return;
+        }
+        for ev in &events[..n.max(0) as usize] {
+            let (mask, token) = (ev.events, ev.data);
+            if token == WAKE_TOKEN {
+                let mut buf = 0u64;
+                unsafe {
+                    let _ = read(shared.wake_fd, (&mut buf as *mut u64).cast(), 8);
+                }
+                continue;
+            }
+            let source = shared.sources().get(&token).cloned();
+            if let Some(source) = source {
+                source.set_from_events(mask);
+            }
+        }
+        // Fire every due timer.
+        let now = Instant::now();
+        let due: Vec<Waker> = {
+            let mut timers = shared.timers();
+            let later = timers.split_off(&(now, u64::MAX));
+            std::mem::replace(&mut *timers, later).into_values().collect()
+        };
+        for waker in due {
+            waker.wake();
+        }
+    }
+}
+
+// --------------------------------------------------------- registrations
+
+/// A registered readiness source. Clones share the same readiness
+/// record (the intended split: one clone in the reader task, one in the
+/// writer task).
+pub struct Registration {
+    token: u64,
+    fd: c_int,
+    source: Arc<Source>,
+    shared: Arc<Shared>,
+    /// Live clones, for deregistering the token on last drop.
+    handles: Arc<AtomicUsize>,
+}
+
+impl Registration {
+    /// Resolves when the source has signalled readable since the last
+    /// time this resolved (consuming the signal). May resolve
+    /// spuriously; retry the non-blocking operation.
+    pub fn readable(&self) -> Readiness<'_> {
+        Readiness { registration: self, write: false }
+    }
+
+    /// The write-direction twin of [`readable`](Self::readable).
+    pub fn writable(&self) -> Readiness<'_> {
+        Readiness { registration: self, write: true }
+    }
+
+    /// Asserts read readiness by hand, waking a parked reader. Producers
+    /// feeding virtual registrations call this after publishing data (or
+    /// closing); it is also the out-of-band nudge that unparks a task
+    /// waiting on a descriptor the kernel will not signal again (e.g. an
+    /// accept loop being told to shut down).
+    pub fn notify_readable(&self) {
+        let waker = {
+            let mut s = self.source.lock();
+            s.read_ready = true;
+            s.read_waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    /// Asserts write readiness by hand, waking a parked writer.
+    pub fn notify_writable(&self) {
+        let waker = {
+            let mut s = self.source.lock();
+            s.write_ready = true;
+            s.write_waker.take()
+        };
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+
+    /// Wakes both directions (shutdown path).
+    pub fn notify_all(&self) {
+        self.notify_readable();
+        self.notify_writable();
+    }
+}
+
+impl Clone for Registration {
+    fn clone(&self) -> Self {
+        self.handles.fetch_add(1, Ordering::Relaxed);
+        Registration {
+            token: self.token,
+            fd: self.fd,
+            source: Arc::clone(&self.source),
+            shared: Arc::clone(&self.shared),
+            handles: Arc::clone(&self.handles),
+        }
+    }
+}
+
+impl Drop for Registration {
+    fn drop(&mut self) {
+        if self.handles.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return;
+        }
+        if self.fd >= 0 {
+            // Best-effort: the kernel also deregisters when the last
+            // descriptor for the file closes, and the token is never
+            // reused, so a late event for it is routed nowhere.
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            unsafe {
+                let _ = epoll_ctl(self.shared.epfd, EPOLL_CTL_DEL, self.fd, &mut ev);
+            }
+            self.shared.sources().remove(&self.token);
+        }
+    }
+}
+
+impl std::fmt::Debug for Registration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registration").field("token", &self.token).field("fd", &self.fd).finish()
+    }
+}
+
+/// Future returned by [`Registration::readable`] / [`writable`](Registration::writable).
+pub struct Readiness<'r> {
+    registration: &'r Registration,
+    write: bool,
+}
+
+impl Future for Readiness<'_> {
+    type Output = ();
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let mut guard = self.registration.source.lock();
+        let s = &mut *guard;
+        let (ready, waker) = if self.write {
+            (&mut s.write_ready, &mut s.write_waker)
+        } else {
+            (&mut s.read_ready, &mut s.read_waker)
+        };
+        if *ready {
+            *ready = false;
+            Poll::Ready(())
+        } else {
+            *waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ----------------------------------------------------------------- timers
+
+/// Future returned by [`Reactor::sleep`] / [`Reactor::sleep_until`].
+pub struct Sleep {
+    shared: Arc<Shared>,
+    deadline: Instant,
+    /// The armed timer entry, once polled.
+    key: Option<(Instant, u64)>,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if Instant::now() >= self.deadline {
+            if let Some(key) = self.key.take() {
+                self.shared.timers().remove(&key);
+            }
+            return Poll::Ready(());
+        }
+        let key = match self.key {
+            Some(key) => key,
+            None => {
+                let key = (self.deadline, self.shared.next_token.fetch_add(1, Ordering::Relaxed));
+                self.key = Some(key);
+                key
+            }
+        };
+        self.shared.timers().insert(key, cx.waker().clone());
+        // Re-arm the wait: the new deadline may be earlier than whatever
+        // the reactor is currently sleeping toward.
+        self.shared.wake_reactor();
+        Poll::Pending
+    }
+}
+
+impl Drop for Sleep {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.shared.timers().remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_on;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_resolves_when_bytes_arrive() {
+        let (mut a, mut b) = socket_pair();
+        b.set_nonblocking(true).unwrap();
+        let reg = Reactor::global().register_fd(b.as_raw_fd()).unwrap();
+        let writer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            a.write_all(b"hi").unwrap();
+            a
+        });
+        let mut buf = [0u8; 2];
+        block_on(async {
+            loop {
+                match b.read(&mut buf) {
+                    Ok(2) => break,
+                    Ok(n) => panic!("short read {n}"),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => reg.readable().await,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        });
+        assert_eq!(&buf, b"hi");
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn readable_sees_an_edge_that_raced_the_await() {
+        let (mut a, mut b) = socket_pair();
+        b.set_nonblocking(true).unwrap();
+        let reg = Reactor::global().register_fd(b.as_raw_fd()).unwrap();
+        // The edge lands *before* anyone awaits: the ready bit must hold
+        // it so the await cannot deadlock.
+        a.write_all(b"x").unwrap();
+        thread::sleep(Duration::from_millis(50));
+        block_on(reg.readable());
+        let mut buf = [0u8; 1];
+        assert_eq!(b.read(&mut buf).unwrap(), 1);
+    }
+
+    #[test]
+    fn peer_close_wakes_the_reader_with_eof() {
+        let (a, mut b) = socket_pair();
+        b.set_nonblocking(true).unwrap();
+        let reg = Reactor::global().register_fd(b.as_raw_fd()).unwrap();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            drop(a);
+        });
+        let n = block_on(async {
+            let mut buf = [0u8; 1];
+            loop {
+                match b.read(&mut buf) {
+                    Ok(n) => break n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => reg.readable().await,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        });
+        assert_eq!(n, 0, "EOF must surface as a zero-byte read");
+    }
+
+    #[test]
+    fn writable_resolves_when_the_peer_drains() {
+        let (mut a, mut b) = socket_pair();
+        a.set_nonblocking(true).unwrap();
+        let reg = Reactor::global().register_fd(a.as_raw_fd()).unwrap();
+        // Fill the send buffer until the kernel pushes back.
+        let chunk = [0u8; 64 * 1024];
+        let mut written = 0u64;
+        loop {
+            match a.write(&chunk) {
+                Ok(n) => written += n as u64,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        let drainer = thread::spawn(move || {
+            let mut sink = vec![0u8; 64 * 1024];
+            let mut drained = 0u64;
+            while drained < written {
+                drained += b.read(&mut sink).unwrap() as u64;
+            }
+            b
+        });
+        block_on(async {
+            loop {
+                match a.write(&chunk[..1]) {
+                    Ok(_) => break,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => reg.writable().await,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        });
+        drop(drainer.join().unwrap());
+    }
+
+    #[test]
+    fn virtual_registrations_deliver_manual_notifies() {
+        let reg = Reactor::global().register_virtual();
+        let nudger = reg.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            nudger.notify_readable();
+        });
+        block_on(reg.readable());
+        // The signal was consumed: a second await parks until notified
+        // again.
+        let nudger = reg.clone();
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            nudger.notify_readable();
+        });
+        block_on(reg.readable());
+    }
+
+    #[test]
+    fn sleep_fires_at_the_deadline_and_not_much_later() {
+        let start = Instant::now();
+        block_on(Reactor::global().sleep(Duration::from_millis(30)));
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(30), "woke early: {elapsed:?}");
+        assert!(elapsed < Duration::from_secs(5), "woke far too late: {elapsed:?}");
+    }
+
+    #[test]
+    fn sleeps_interleave_with_io_on_the_same_reactor() {
+        // A timer armed while a reader is parked: both must fire.
+        let (mut a, mut b) = socket_pair();
+        b.set_nonblocking(true).unwrap();
+        let reg = Reactor::global().register_fd(b.as_raw_fd()).unwrap();
+        let writer = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(40));
+            a.write_all(b"z").unwrap();
+            a
+        });
+        block_on(Reactor::global().sleep(Duration::from_millis(5)));
+        let mut buf = [0u8; 1];
+        block_on(async {
+            loop {
+                match b.read(&mut buf) {
+                    Ok(1) => break,
+                    Ok(n) => panic!("read {n}"),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => reg.readable().await,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        });
+        drop(writer.join().unwrap());
+    }
+}

@@ -10,7 +10,7 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrustedContext};
 use conseca_engine::Engine;
-use conseca_serve::{Client, ServeConfig, Server};
+use conseca_serve::{AsyncClient, Client, ServeConfig, Server};
 use conseca_shell::ApiCall;
 
 /// The paper's §4.1 policy, same as the `engine` bench uses.
@@ -100,5 +100,69 @@ fn bench_round_trip(c: &mut Criterion) {
     server.shutdown();
 }
 
-criterion_group!(benches, bench_round_trip);
+/// Concurrent clients: strict request/response sync clients vs the
+/// pipelined async client, at 1/2/8 connections. One iteration is a
+/// full wave — every client issues `DEPTH` checks — so per-check cost
+/// is the reported time divided by `clients * DEPTH`. The sync shape
+/// pays a full round trip of exclusive connection time per check; the
+/// async shape keeps `DEPTH` requests in flight per socket, which lets
+/// the dispatcher coalesce each connection's queued checks into one
+/// engine batch.
+fn bench_concurrent_clients(c: &mut Criterion) {
+    const DEPTH: usize = 32;
+    let engine = Arc::new(Engine::default());
+    let ctx = TrustedContext::for_user("alice");
+    let policy = regex_policy();
+    let task = policy.task.clone();
+    engine.install("acme", &task, &ctx, &policy);
+    let call = send_call(4);
+
+    let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+    let mut group = c.benchmark_group("serve_concurrent");
+    for clients in [1usize, 2, 8] {
+        let mut sync_clients: Vec<Client> =
+            (0..clients).map(|_| server.connect().expect("in-process connect")).collect();
+        group.bench_function(format!("serial_sync_{clients}x{DEPTH}").as_str(), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for client in sync_clients.iter_mut() {
+                        let (task, ctx, call) = (&task, &ctx, &call);
+                        scope.spawn(move || {
+                            for _ in 0..DEPTH {
+                                client.check("acme", task, ctx, black_box(call)).unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        drop(sync_clients);
+
+        let async_clients: Vec<AsyncClient> = (0..clients)
+            .map(|_| AsyncClient::over(server.connect_stream().expect("stream")).expect("connect"))
+            .collect();
+        group.bench_function(format!("pipelined_async_{clients}x{DEPTH}").as_str(), |b| {
+            b.iter(|| {
+                std::thread::scope(|scope| {
+                    for client in &async_clients {
+                        let (task, ctx, call) = (&task, &ctx, &call);
+                        scope.spawn(move || {
+                            let pending: Vec<_> = (0..DEPTH)
+                                .map(|_| client.check("acme", task, ctx, black_box(call)).unwrap())
+                                .collect();
+                            for p in pending {
+                                p.wait().unwrap();
+                            }
+                        });
+                    }
+                });
+            })
+        });
+        drop(async_clients);
+    }
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_round_trip, bench_concurrent_clients);
 criterion_main!(benches);

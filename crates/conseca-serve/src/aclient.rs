@@ -1,0 +1,648 @@
+//! The pipelined asynchronous policy-decision client.
+//!
+//! The sync [`Client`](crate::Client) is strict request/response: one
+//! frame out, one frame back, the calling thread parked in between. That
+//! is the right shape for an agent loop screening one call at a time,
+//! but it turns a busy multi-threaded caller into a convoy — every
+//! request pays a full round trip of exclusive connection time.
+//!
+//! [`AsyncClient`] keeps **many requests in flight on one socket**. Each
+//! request is wrapped in the wire v7 correlation envelope
+//! ([`crate::wire::wrap_tagged`]) with a connection-unique id; a
+//! background *demux task* (one per client, parked on the reactor, zero
+//! dedicated threads) reads response envelopes as they arrive and
+//! completes the matching [`Pending`] by id. Submitting is cheap —
+//! encode, stamp, write — so a caller can queue dozens of checks and
+//! collect the verdicts afterwards, overlapping its own work with the
+//! server's:
+//!
+//! ```
+//! use std::sync::Arc;
+//!
+//! use conseca_core::{Policy, PolicyEntry, TrustedContext};
+//! use conseca_engine::Engine;
+//! use conseca_serve::{AsyncClient, ServeConfig, Server};
+//! use conseca_shell::ApiCall;
+//!
+//! let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+//! let client = AsyncClient::over(server.connect_stream().expect("connect")).expect("handshake");
+//!
+//! let mut policy = Policy::new("t");
+//! policy.set("ls", PolicyEntry::allow_any("listing is fine"));
+//! let ctx = TrustedContext::for_user("alice");
+//! client.install("acme", "t", &ctx, &policy).expect("submit").wait().expect("install");
+//!
+//! // Pipeline: all submitted before the first wait.
+//! let pending: Vec<_> = (0..32)
+//!     .map(|i| {
+//!         let call = ApiCall::new("fs", "ls", vec![format!("/tmp/{i}")]);
+//!         client.check("acme", "t", &ctx, &call).expect("submit")
+//!     })
+//!     .collect();
+//! for p in pending {
+//!     assert!(p.wait().expect("verdict").expect("policy installed").allowed);
+//! }
+//! server.shutdown();
+//! ```
+//!
+//! A [`Pending`] is both a blocking handle (`wait`) and a [`Future`], so
+//! the same client serves sync callers and async tasks.
+//!
+//! [`ClientPool`] stacks connection pooling on top, routing each request
+//! by its policy key. Affinity is deliberate, not an optimisation: the
+//! server binds trajectory session state to *(connection, policy key)*,
+//! so all checks for one key must keep arriving on one connection for
+//! budgets and ordering constraints to accumulate coherently.
+//!
+//! # Ordering
+//!
+//! Responses complete in whatever order the server finishes them;
+//! correlation ids — not arrival order — pair answers with requests.
+//! Requests submitted from one thread are still *processed* in
+//! submission order (the connection preserves frame order and the
+//! dispatcher coalesces in arrival order), so an `install` followed by
+//! pipelined `check`s behaves exactly as the sync client would.
+//!
+//! # Push frames
+//!
+//! An `AsyncClient` holds no local policy cache, so if the connection is
+//! subscribed to a tenant's invalidation channel (via a raw
+//! [`request`](AsyncClient::request) with [`Request::Subscribe`]) the
+//! demux task acknowledges pushes immediately: with nothing cached there
+//! is nothing to invalidate, and a prompt ack keeps the server's
+//! fan-out from stalling on us. Cached clients with real apply-before-ack
+//! obligations use [`CachedClient`](crate::CachedClient).
+
+use std::collections::{HashMap, VecDeque};
+use std::future::Future;
+use std::hash::{Hash, Hasher};
+use std::net::TcpStream;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::task::{Context, Poll};
+
+use conseca_core::{Decision, Policy, TrustedContext};
+use conseca_engine::EngineKey;
+use conseca_shell::ApiCall;
+use futures::channel::oneshot;
+use futures::ThreadPool;
+
+use crate::client::{unexpected, ClientError, InstallReceipt, ServerStats};
+use crate::transport::{NbReader, NbWriter, Stream};
+use crate::wire::{
+    unwrap_tagged, wrap_tagged, Request, Response, DEFAULT_MAX_FRAME_LEN, PROTOCOL_VERSION,
+    TAG_TAGGED_OK,
+};
+
+/// The executor that drives every client's demux task. Demux tasks are
+/// cooperative (they park on the reactor between frames), so two workers
+/// serve any number of clients; the pool lives for the process.
+fn demux_pool() -> &'static ThreadPool {
+    static POOL: OnceLock<ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| ThreadPool::new(2))
+}
+
+/// In-flight requests awaiting their correlated responses.
+struct PendingState {
+    slots: HashMap<u64, oneshot::Sender<Response>>,
+    /// Submission order, for attributing a *bare* (un-enveloped) server
+    /// error to the oldest in-flight request. Lazily compacted: ids
+    /// whose slot already completed are skipped on pop.
+    order: VecDeque<u64>,
+    /// Set once the demux task exits; new submissions fail fast.
+    closed: bool,
+}
+
+struct PendingMap {
+    state: Mutex<PendingState>,
+}
+
+impl PendingMap {
+    fn new() -> Arc<Self> {
+        Arc::new(PendingMap {
+            state: Mutex::new(PendingState {
+                slots: HashMap::new(),
+                order: VecDeque::new(),
+                closed: false,
+            }),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PendingState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn insert(&self, id: u64, tx: oneshot::Sender<Response>) -> Result<(), ClientError> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err(ClientError::Closed);
+        }
+        state.slots.insert(id, tx);
+        state.order.push_back(id);
+        // The order queue is cleaned lazily; keep it proportional to the
+        // genuinely in-flight set.
+        if state.order.len() > state.slots.len() * 2 + 64 {
+            let live: std::collections::HashSet<u64> = state.slots.keys().copied().collect();
+            state.order.retain(|id| live.contains(id));
+        }
+        Ok(())
+    }
+
+    fn remove(&self, id: u64) {
+        self.lock().slots.remove(&id);
+    }
+
+    /// Routes a correlated response to its request.
+    fn complete(&self, id: u64, response: Response) {
+        if let Some(tx) = self.lock().slots.remove(&id) {
+            let _ = tx.send(response);
+        }
+    }
+
+    /// Routes a bare server error to the oldest in-flight request —
+    /// correct because the server processes one connection's frames in
+    /// order, so an answer it could not attribute belongs to the
+    /// earliest question. Returns `false` if nothing was in flight.
+    fn complete_oldest(&self, response: Response) -> bool {
+        let mut state = self.lock();
+        while let Some(id) = state.order.pop_front() {
+            if let Some(tx) = state.slots.remove(&id) {
+                let _ = tx.send(response);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Fails every in-flight request (their receivers observe
+    /// [`ClientError::Closed`]) and refuses new ones.
+    fn close(&self) {
+        let mut state = self.lock();
+        state.closed = true;
+        state.slots.clear();
+        state.order.clear();
+    }
+}
+
+type SharedWriter = Arc<Mutex<NbWriter<Box<dyn Stream>>>>;
+
+/// Writes one frame through the shared writer. The mutex serialises
+/// whole frames (submitters and the demux task's push acks share one
+/// socket); the brief `block_on` inside parks only on a full socket
+/// buffer, woken by the reactor.
+fn write_shared(
+    writer: &SharedWriter,
+    frame: &crate::wire::Frame,
+    max_len: u32,
+) -> Result<(), ClientError> {
+    let mut writer = writer.lock().unwrap_or_else(|e| e.into_inner());
+    futures::block_on(writer.write_frame(frame, max_len)).map_err(ClientError::from)
+}
+
+/// A pipelined, correlation-id multiplexed policy-decision client. See
+/// the [module docs](self) for the model; one instance is `Sync` — many
+/// threads can submit on it concurrently, sharing the socket.
+pub struct AsyncClient {
+    writer: SharedWriter,
+    pending: Arc<PendingMap>,
+    next_id: AtomicU64,
+    max_frame_len: u32,
+    /// Closes the underlying stream out-of-band (wakes the demux task
+    /// with EOF).
+    closer: Box<dyn Fn() + Send + Sync>,
+    demux: Mutex<Option<futures::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for AsyncClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AsyncClient").finish_non_exhaustive()
+    }
+}
+
+impl AsyncClient {
+    /// Connects over TCP and completes the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect(addr: &str) -> Result<AsyncClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        AsyncClient::over(stream)
+    }
+
+    /// Wraps an already-established stream (TCP or
+    /// [`DuplexStream`](crate::transport::DuplexStream)) and completes
+    /// the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures.
+    pub fn over<S: Stream>(stream: S) -> Result<AsyncClient, ClientError> {
+        AsyncClient::over_with(stream, DEFAULT_MAX_FRAME_LEN)
+    }
+
+    /// [`over`](Self::over) with a non-default frame cap; keep it in
+    /// lockstep with the server's `ServeConfig::max_frame_len`.
+    ///
+    /// # Errors
+    ///
+    /// Handshake failures.
+    pub fn over_with<S: Stream>(stream: S, max_frame_len: u32) -> Result<AsyncClient, ClientError> {
+        let reg = stream.register()?;
+        let write_half: Box<dyn Stream> = Box::new(stream.try_split()?);
+        let close_half = stream.try_split()?;
+        let mut reader = NbReader::new(Box::new(stream) as Box<dyn Stream>, reg.clone());
+        let writer: SharedWriter = Arc::new(Mutex::new(NbWriter::new(write_half, reg)));
+
+        // Handshake bare, before the demux task exists: the very first
+        // response frame on a connection is the HelloOk (or a typed
+        // refusal), so reading it inline is unambiguous.
+        let hello = Request::Hello { version: PROTOCOL_VERSION }
+            .encode_limited(max_frame_len)
+            .map_err(ClientError::Wire)?;
+        write_shared(&writer, &hello, max_frame_len)?;
+        let frame =
+            futures::block_on(reader.read_frame(max_frame_len))?.ok_or(ClientError::Closed)?;
+        match Response::decode(&frame)? {
+            Response::HelloOk { .. } => {}
+            other => return Err(unexpected(other, "HelloOk")),
+        }
+
+        let pending = PendingMap::new();
+        let demux = demux_pool().spawn(demux_task(
+            reader,
+            Arc::clone(&writer),
+            Arc::clone(&pending),
+            max_frame_len,
+        ));
+        let closer: Box<dyn Fn() + Send + Sync> = {
+            let close_half = Mutex::new(close_half);
+            Box::new(move || close_half.lock().unwrap_or_else(|e| e.into_inner()).close())
+        };
+        Ok(AsyncClient {
+            writer,
+            pending,
+            next_id: AtomicU64::new(1),
+            max_frame_len,
+            closer,
+            demux: Mutex::new(Some(demux)),
+        })
+    }
+
+    /// The frame cap this client encodes against and accepts.
+    pub fn max_frame_len(&self) -> u32 {
+        self.max_frame_len
+    }
+
+    /// Submits one raw request, returning a handle to its eventual
+    /// response. The request goes out enveloped; the handle resolves
+    /// when the correlated response arrives, however many other requests
+    /// are in flight.
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures (e.g. the request exceeds the frame cap) and a
+    /// closed or failed connection.
+    pub fn request(&self, request: &Request) -> Result<Pending<Response>, ClientError> {
+        self.submit(request, Ok)
+    }
+
+    fn submit<T>(
+        &self,
+        request: &Request,
+        map: fn(Response) -> Result<T, ClientError>,
+    ) -> Result<Pending<T>, ClientError> {
+        // The inner frame must leave room for the 9-byte envelope
+        // header, so the wrapped frame respects the shared cap.
+        let inner = request
+            .encode_limited(self.max_frame_len.saturating_sub(9))
+            .map_err(ClientError::Wire)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = wrap_tagged(id, &inner);
+        let (tx, rx) = oneshot::channel();
+        // Registered before the bytes leave: a response can never race
+        // an absent slot.
+        self.pending.insert(id, tx)?;
+        match write_shared(&self.writer, &frame, self.max_frame_len) {
+            Ok(()) => Ok(Pending { rx, map }),
+            Err(e) => {
+                self.pending.remove(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Pipelined [`Client::check`](crate::Client::check): one policy
+    /// decision for one call; `Ok(None)` when no policy is installed for
+    /// the key.
+    ///
+    /// # Errors
+    ///
+    /// Submission failures now; transport, protocol, or server errors at
+    /// the [`Pending`].
+    pub fn check(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        call: &ApiCall,
+    ) -> Result<Pending<Option<Decision>>, ClientError> {
+        self.submit(
+            &Request::Check {
+                tenant: tenant.into(),
+                task: task.into(),
+                context: context.clone(),
+                call: call.clone(),
+            },
+            |response| match response {
+                Response::Verdict { decision } => Ok(decision),
+                other => Err(unexpected(other, "Verdict")),
+            },
+        )
+    }
+
+    /// Pipelined [`Client::check_all`](crate::Client::check_all):
+    /// decisions for a batch of calls against one policy key.
+    ///
+    /// # Errors
+    ///
+    /// Submission failures now; transport, protocol, or server errors at
+    /// the [`Pending`].
+    pub fn check_all(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        calls: &[ApiCall],
+    ) -> Result<Pending<Option<Vec<Decision>>>, ClientError> {
+        self.submit(
+            &Request::CheckBatch {
+                tenant: tenant.into(),
+                task: task.into(),
+                context: context.clone(),
+                calls: calls.to_vec(),
+            },
+            |response| match response {
+                Response::VerdictBatch { decisions } => Ok(decisions),
+                other => Err(unexpected(other, "VerdictBatch")),
+            },
+        )
+    }
+
+    /// Pipelined [`Client::install`](crate::Client::install).
+    ///
+    /// # Errors
+    ///
+    /// Submission failures now; transport, protocol, or server errors at
+    /// the [`Pending`].
+    pub fn install(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        policy: &Policy,
+    ) -> Result<Pending<InstallReceipt>, ClientError> {
+        self.submit(
+            &Request::Install {
+                tenant: tenant.into(),
+                task: task.into(),
+                context: context.clone(),
+                policy: policy.clone(),
+            },
+            |response| match response {
+                Response::Installed { fingerprint, entries } => {
+                    Ok(InstallReceipt { fingerprint, entries })
+                }
+                other => Err(unexpected(other, "Installed")),
+            },
+        )
+    }
+
+    /// Pipelined [`Client::flush`](crate::Client::flush): drops all of
+    /// `tenant`'s policies, resolving to how many were removed.
+    ///
+    /// # Errors
+    ///
+    /// Submission failures now; transport, protocol, or server errors at
+    /// the [`Pending`].
+    pub fn flush(&self, tenant: &str) -> Result<Pending<u64>, ClientError> {
+        self.submit(&Request::Flush { tenant: tenant.into() }, |response| match response {
+            Response::Flushed { removed } => Ok(removed),
+            other => Err(unexpected(other, "Flushed")),
+        })
+    }
+
+    /// Pipelined [`Client::stats_full`](crate::Client::stats_full):
+    /// tenant counters, daemon counters, and the server's worker count.
+    ///
+    /// # Errors
+    ///
+    /// Submission failures now; transport, protocol, or server errors at
+    /// the [`Pending`].
+    pub fn stats_full(&self, tenant: &str) -> Result<Pending<ServerStats>, ClientError> {
+        self.submit(&Request::Stats { tenant: tenant.into() }, |response| match response {
+            Response::StatsOk { counters, daemon, workers } => {
+                Ok(ServerStats { counters, daemon, workers })
+            }
+            other => Err(unexpected(other, "StatsOk")),
+        })
+    }
+
+    /// Closes the connection. Every unresolved [`Pending`] fails with
+    /// [`ClientError::Closed`].
+    pub fn close(self) {
+        drop(self);
+    }
+}
+
+impl Drop for AsyncClient {
+    fn drop(&mut self) {
+        (self.closer)();
+        if let Some(demux) = self.demux.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = demux.join();
+        }
+    }
+}
+
+/// The demultiplexer: reads every frame the server sends and routes it —
+/// correlated envelopes by id, pushes to an immediate ack, bare errors
+/// to the oldest in-flight request. Exits on EOF, transport error, or a
+/// protocol violation; exit fails all in-flight requests (fail closed:
+/// an unattributable stream is a dead stream, not a guessing game).
+async fn demux_task(
+    mut reader: NbReader<Box<dyn Stream>>,
+    writer: SharedWriter,
+    pending: Arc<PendingMap>,
+    max_frame_len: u32,
+) {
+    loop {
+        let frame = match reader.read_frame(max_frame_len).await {
+            Ok(Some(frame)) => frame,
+            Ok(None) | Err(_) => break,
+        };
+        if frame.tag == TAG_TAGGED_OK {
+            let Ok((id, inner)) = unwrap_tagged(&frame) else { break };
+            let Ok(response) = Response::decode(&inner) else { break };
+            pending.complete(id, response);
+            continue;
+        }
+        match Response::decode(&frame) {
+            Ok(
+                Response::PushRevoke { seq, .. }
+                | Response::PushReload { seq, .. }
+                | Response::PushFlush { seq, .. },
+            ) => {
+                // Nothing is cached here, so "applied" is trivially
+                // true; ack straight away (acks are always bare).
+                let Ok(ack) = Request::PushAck { seq }.encode_limited(max_frame_len) else {
+                    break;
+                };
+                if write_shared(&writer, &ack, max_frame_len).is_err() {
+                    break;
+                }
+            }
+            Ok(response @ Response::Error { .. }) => {
+                // A bare error answers a frame the server could not
+                // attribute (it was followed by a close server-side for
+                // framing errors; either way in-order processing pins it
+                // on the oldest in-flight request).
+                if !pending.complete_oldest(response) {
+                    break;
+                }
+            }
+            // Any other bare response frame is a protocol violation on a
+            // connection that only ever sends enveloped requests.
+            _ => break,
+        }
+    }
+    pending.close();
+}
+
+/// A response that has been requested but may not have arrived: the
+/// async client's half of one pipelined round trip. Block on it with
+/// [`wait`](Self::wait) or `.await` it inside a task; drop it to ignore
+/// the response (the request still executes server-side).
+pub struct Pending<T> {
+    rx: oneshot::Receiver<Response>,
+    map: fn(Response) -> Result<T, ClientError>,
+}
+
+impl<T> Pending<T> {
+    /// Blocks the calling thread until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for typed server errors,
+    /// [`ClientError::Closed`] if the connection died first, and
+    /// [`ClientError::Unexpected`] for a response of the wrong type.
+    pub fn wait(self) -> Result<T, ClientError> {
+        let map = self.map;
+        finish(map, futures::block_on(self.rx))
+    }
+}
+
+fn finish<T>(
+    map: fn(Response) -> Result<T, ClientError>,
+    raw: Result<Response, oneshot::Canceled>,
+) -> Result<T, ClientError> {
+    match raw {
+        Ok(Response::Error { code, message }) => Err(ClientError::Server { code, message }),
+        Ok(response) => map(response),
+        Err(_) => Err(ClientError::Closed),
+    }
+}
+
+impl<T> Future for Pending<T> {
+    type Output = Result<T, ClientError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let map = this.map;
+        Pin::new(&mut this.rx).poll(cx).map(|raw| finish(map, raw))
+    }
+}
+
+/// A fixed-size pool of [`AsyncClient`] connections with **policy-key
+/// affinity**: every request for one *(tenant, task, context)* key lands
+/// on the same connection. Affinity is what makes pooling sound here —
+/// the server binds trajectory session state to *(connection, key)*, so
+/// spraying one key across connections would split a policy's session
+/// budgets into independent pots.
+pub struct ClientPool {
+    clients: Vec<AsyncClient>,
+}
+
+impl ClientPool {
+    /// Opens `size` TCP connections (clamped to at least one) and
+    /// handshakes each.
+    ///
+    /// # Errors
+    ///
+    /// Connection or handshake failures.
+    pub fn connect(addr: &str, size: usize) -> Result<ClientPool, ClientError> {
+        let clients =
+            (0..size.max(1)).map(|_| AsyncClient::connect(addr)).collect::<Result<Vec<_>, _>>()?;
+        Ok(ClientPool { clients })
+    }
+
+    /// Builds a pool from already-connected clients (e.g. in-process
+    /// duplex connections from
+    /// [`ServerHandle::connect_stream`](crate::ServerHandle::connect_stream)).
+    ///
+    /// # Panics
+    ///
+    /// If `clients` is empty.
+    pub fn from_clients(clients: Vec<AsyncClient>) -> ClientPool {
+        assert!(!clients.is_empty(), "a client pool needs at least one connection");
+        ClientPool { clients }
+    }
+
+    /// How many connections the pool holds.
+    pub fn size(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The connection that owns `(tenant, task, context)` — every
+    /// request for one key routes here, so the server-side trajectory
+    /// session for that key stays on one connection.
+    pub fn client_for(&self, tenant: &str, task: &str, context: &TrustedContext) -> &AsyncClient {
+        let key = EngineKey::new(tenant, task, context);
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.clients[(hasher.finish() % self.clients.len() as u64) as usize]
+    }
+
+    /// [`AsyncClient::check`] on the key's affine connection.
+    ///
+    /// # Errors
+    ///
+    /// Submission failures now; transport, protocol, or server errors at
+    /// the [`Pending`].
+    pub fn check(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        call: &ApiCall,
+    ) -> Result<Pending<Option<Decision>>, ClientError> {
+        self.client_for(tenant, task, context).check(tenant, task, context, call)
+    }
+
+    /// [`AsyncClient::check_all`] on the key's affine connection.
+    ///
+    /// # Errors
+    ///
+    /// Submission failures now; transport, protocol, or server errors at
+    /// the [`Pending`].
+    pub fn check_all(
+        &self,
+        tenant: &str,
+        task: &str,
+        context: &TrustedContext,
+        calls: &[ApiCall],
+    ) -> Result<Pending<Option<Vec<Decision>>>, ClientError> {
+        self.client_for(tenant, task, context).check_all(tenant, task, context, calls)
+    }
+}

@@ -664,7 +664,7 @@ impl CachedClient {
     /// Transport, protocol, or server errors.
     pub fn server_stats(&mut self) -> Result<TenantCounters, ClientError> {
         match self.roundtrip(&Request::Stats { tenant: self.tenant.clone() })? {
-            Response::StatsOk { counters, daemon: _ } => Ok(counters),
+            Response::StatsOk { counters, .. } => Ok(counters),
             other => Err(unexpected(other, "StatsOk")),
         }
     }

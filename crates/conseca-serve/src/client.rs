@@ -141,6 +141,18 @@ pub struct RestoreReceipt {
     pub skipped_live: u64,
 }
 
+/// Everything a `StatsOk` frame reports, in one place.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    /// The requested tenant's decision counters.
+    pub counters: TenantCounters,
+    /// Lifecycle-daemon counters, when the server runs one.
+    pub daemon: Option<crate::daemon::DaemonCounters>,
+    /// Worker threads in the server's executor pool — context for
+    /// interpreting throughput numbers measured against this server.
+    pub workers: u64,
+}
+
 /// A connected, handshaken policy-decision client.
 pub struct Client {
     conn: Box<dyn Stream>,
@@ -450,8 +462,21 @@ impl Client {
         &mut self,
         tenant: &str,
     ) -> Result<(TenantCounters, Option<crate::daemon::DaemonCounters>), ClientError> {
+        self.stats_full(tenant).map(|stats| (stats.counters, stats.daemon))
+    }
+
+    /// Reads everything the server's `StatsOk` carries: `tenant`'s
+    /// counters, the lifecycle-daemon counters (`None` without a
+    /// daemon), and the server's worker-pool size.
+    ///
+    /// # Errors
+    ///
+    /// Transport, protocol, or server errors.
+    pub fn stats_full(&mut self, tenant: &str) -> Result<ServerStats, ClientError> {
         match self.roundtrip(&Request::Stats { tenant: tenant.into() })? {
-            Response::StatsOk { counters, daemon } => Ok((counters, daemon)),
+            Response::StatsOk { counters, daemon, workers } => {
+                Ok(ServerStats { counters, daemon, workers })
+            }
             other => Err(unexpected(other, "StatsOk")),
         }
     }

@@ -1,16 +1,19 @@
-//! The async policy-decision server: out-of-process enforcement for the
-//! engine.
+//! The event-driven policy-decision server: out-of-process enforcement
+//! for the engine.
 //!
 //! `conseca-engine` made policy checks cheap inside one process; this
 //! crate moves them behind a wire so *many* processes — the paper's §7
 //! deployment at "millions of users" scale — can share one standing
 //! reference monitor. A [`Server`] wraps an
-//! [`Engine`](conseca_engine::Engine) in an async task layer: blocking
-//! reader/writer threads at the edges, and a batching dispatcher in the
-//! middle that **coalesces concurrent check requests into one
-//! [`check_all`](conseca_engine::Engine::check_all)** per policy key, so
-//! load from many agents amortises store lookups instead of multiplying
-//! them.
+//! [`Engine`](conseca_engine::Engine) in an event-driven core: every
+//! connection is two cooperative tasks (read + write) parked on an
+//! epoll reactor and run on a small fixed worker pool — the thread
+//! budget is O(workers), not O(connections) — and a batching
+//! dispatcher in the middle **coalesces each connection's queued check
+//! requests into one
+//! [`check_all`](conseca_engine::Engine::check_all)** per policy key,
+//! so load from many agents (and from one pipelined agent) amortises
+//! store lookups instead of multiplying them.
 //!
 //! The protocol is a small length-prefixed binary format — fully
 //! specified in `docs/serving.md`, implemented in [`wire`] — carrying
@@ -34,6 +37,13 @@
 //! `PushRevoke`/`PushReload`/`PushFlush` frames that are acknowledged
 //! before the triggering mutation returns, and by a fail-closed
 //! disconnect rule (connection lost ⇒ cache flushed). See [`cache`].
+//!
+//! And a fourth, for throughput: [`AsyncClient`] pipelines requests
+//! over one socket using the protocol v7 correlation envelope —
+//! submit-then-wait (or `.await`) with responses matched by id, dozens
+//! of checks in flight at once, which is exactly the shape that keeps
+//! the dispatcher's coalescing queue full. [`ClientPool`] fans that
+//! out across connections with policy-key affinity. See [`aclient`].
 //!
 //! # Examples
 //!
@@ -101,6 +111,7 @@
 //! server.shutdown();
 //! ```
 
+pub mod aclient;
 pub mod cache;
 pub mod client;
 pub mod daemon;
@@ -109,9 +120,11 @@ pub mod session;
 pub mod transport;
 pub mod wire;
 
+pub use aclient::{AsyncClient, ClientPool, Pending};
 pub use cache::{CachedClient, LocalPolicyCache};
 pub use client::{
-    Client, ClientError, InstallReceipt, ReloadReceipt, RestoreReceipt, SnapshotReceipt,
+    Client, ClientError, InstallReceipt, ReloadReceipt, RestoreReceipt, ServerStats,
+    SnapshotReceipt,
 };
 pub use daemon::{
     ContextResolver, DaemonConfig, DaemonCounters, LifecycleDaemon, PolicyRegenerator,

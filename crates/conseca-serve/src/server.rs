@@ -1,29 +1,42 @@
-//! The policy-decision server: an async task layer over
-//! [`Engine`], fed by per-connection reader/writer threads.
+//! The policy-decision server: an event-driven task layer over
+//! [`Engine`], multiplexing every connection onto a small worker pool.
 //!
 //! # Architecture
 //!
 //! ```text
-//!   TCP accept thread ──┐
-//!   in-process connect ─┴─► per-connection reader thread
-//!                              │ decode frame → Request
-//!                              │ (handshake + framing errors answered
-//!                              │  inline; engine work forwarded)
-//!                              ▼
-//!                     mpsc job queue  ◄─── all connections share it
-//!                              │
-//!                              ▼
-//!                    dispatcher task (futures::ThreadPool)
-//!                       drains the queue, COALESCES every queued
-//!                       Check/CheckBatch with the same policy key into
-//!                       one Engine::check_all, answers each job through
-//!                       its oneshot
-//!                              │
-//!                              ▼
-//!                     per-connection writer thread
-//!                       (awaits oneshots in request order, writes
-//!                        response frames — responses never reorder)
+//!   epoll reactor (1 thread, process-wide)
+//!        │ readiness edges
+//!        ▼
+//!   accept task ──────────► per-connection READ task
+//!   (non-blocking listener,     │ await frame → decode → Request
+//!    woken by the reactor,      │ (handshake, envelope, and framing
+//!    shutdown = one notify)     │  errors answered inline;
+//!                               │  engine work forwarded)
+//!                               ▼
+//!                      mpsc job queue  ◄─── all connections share it
+//!                               │
+//!                               ▼
+//!                     dispatcher task (futures::ThreadPool)
+//!                        drains the queue, COALESCES every queued
+//!                        Check/CheckBatch with the same policy key into
+//!                        one Engine::check_all, answers each job through
+//!                        its oneshot
+//!                               │
+//!                               ▼
+//!                      per-connection WRITE task
+//!                        two lanes, biased select: the ordered lane
+//!                        (responses in request order) and the
+//!                        out-of-band push lane (invalidation frames,
+//!                        which must never queue behind a response
+//!                        that is itself waiting on a push ack)
 //! ```
+//!
+//! A connection is a *state machine driven by two cooperative tasks*,
+//! not a pair of OS threads: the read task awaits frame bytes, the
+//! write task awaits things to send, and both park on the reactor
+//! between edges. Thread count is O(worker pool), not O(connections) —
+//! a thousand idle connections cost two parked tasks each and zero
+//! threads.
 //!
 //! The dispatcher is where the async layer earns its keep: under
 //! concurrent load the queue fills between polls, so one store lookup and
@@ -32,6 +45,16 @@
 //! untouched — every verdict is produced by the same
 //! [`Engine::check_all_session`] the in-process path uses, which is what
 //! keeps served decisions byte-identical.
+//!
+//! # Pipelining (wire v7)
+//!
+//! A client may wrap requests in the v7 correlation envelope
+//! ([`crate::wire::wrap_tagged`]); the read task splits the id off
+//! before decoding and the write task wraps the answer in the same id.
+//! Enveloped and bare requests share one connection freely — responses
+//! are produced and written in arrival order either way, so bare
+//! clients lose nothing and enveloped clients get out-of-order-safe
+//! correlation for dozens of in-flight requests per socket.
 //!
 //! # Trajectory sessions
 //!
@@ -45,23 +68,25 @@
 //! budgets, never each other's.
 
 use std::collections::{HashMap, HashSet};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, Weak};
-use std::thread;
 use std::time::{Duration, Instant};
 
 use conseca_engine::{Engine, EngineKey, Invalidation, RevocationJournal, SessionState};
 use conseca_shell::ApiCall;
 use futures::channel::{mpsc, oneshot};
-use futures::ThreadPool;
+use futures::reactor::{Reactor, Registration};
+use futures::{select2, Either, JoinHandle, ThreadPool};
 
 use crate::client::{Client, ClientError};
 use crate::daemon::{DaemonConfig, LifecycleDaemon};
-use crate::transport::{duplex, DuplexStream, Stream};
+use crate::transport::{duplex, DuplexStream, NbReader, NbWriter, Stream};
 use crate::wire::{
-    code, read_frame, write_frame, FrameReadError, Request, Response, WireErrorCode,
-    PROTOCOL_VERSION,
+    code, unwrap_tagged, wrap_tagged, Frame, FrameReadError, Request, Response, WireErrorCode,
+    PROTOCOL_VERSION, TAG_TAGGED,
 };
 
 /// Server sizing and limits.
@@ -76,7 +101,11 @@ pub struct ServeConfig {
     /// client's `with_max_frame_len` — as the sanctioned path for
     /// oversized-but-legitimate payloads such as policy snapshots.
     pub max_frame_len: u32,
-    /// Worker threads in the executor driving the dispatcher.
+    /// Worker threads in the executor driving the dispatcher and the
+    /// connection tasks. Defaults to the detected core count; always
+    /// clamped to at least two, because the dispatcher may *block* a
+    /// worker inside a push-ack wait and the subscriber's connection
+    /// tasks need a worker left to produce that very ack.
     pub worker_threads: usize,
     /// Most jobs one dispatch round will coalesce.
     pub max_batch: usize,
@@ -95,11 +124,17 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             max_frame_len: crate::wire::DEFAULT_MAX_FRAME_LEN,
-            worker_threads: 2,
+            worker_threads: detected_workers(),
             max_batch: 256,
             push_ack_timeout: Duration::from_secs(5),
         }
     }
+}
+
+/// The detected core count, floored at two (see
+/// [`ServeConfig::worker_threads`]).
+fn detected_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).max(2)
 }
 
 /// Point-in-time dispatcher counters.
@@ -112,6 +147,11 @@ pub struct ServeMetrics {
     /// Calls that shared a store lookup with another request because the
     /// dispatcher coalesced them into one `check_all`.
     pub coalesced_checks: u64,
+    /// Worker threads the server is running (the effective
+    /// [`ServeConfig::worker_threads`] after clamping) — not a counter,
+    /// surfaced here and in the wire `StatsOk` so operators can see the
+    /// pool size a measurement ran against.
+    pub workers: u64,
 }
 
 #[derive(Default)]
@@ -129,21 +169,23 @@ struct Job {
     reply: oneshot::Sender<Response>,
 }
 
-/// A connection's write half, shared between its writer thread and the
-/// push fan-out. Each frame is written under the lock, so pushes and
-/// correlated responses interleave only at frame boundaries.
-type SharedWriter = Arc<Mutex<Box<dyn Stream>>>;
-
 /// One connection registered for a tenant's invalidation pushes.
 struct Subscriber {
     tenant: String,
-    writer: SharedWriter,
+    /// Out-of-band lane into the connection's write task: pre-encoded
+    /// push frames travel here, bypassing the ordered response lane (a
+    /// push must never queue behind a response that is itself blocked
+    /// on this push's ack).
+    push_tx: mpsc::UnboundedSender<Frame>,
     close: Arc<dyn Fn() + Send + Sync>,
     /// Sequence allocator for this connection's push frames.
     next_seq: AtomicU64,
     /// Highest sequence the client has acknowledged.
     acked: Mutex<u64>,
     ack_cv: Condvar,
+    /// Set when the connection's read task exits, so an in-flight ack
+    /// wait aborts immediately instead of running out its deadline.
+    closed: AtomicBool,
 }
 
 impl Subscriber {
@@ -155,13 +197,24 @@ impl Subscriber {
         self.ack_cv.notify_all();
     }
 
+    /// Marks the connection gone and wakes any ack waiter (which then
+    /// fails fast — a closed subscriber can never ack).
+    fn mark_closed(&self) {
+        self.closed.store(true, Ordering::Release);
+        self.ack_cv.notify_all();
+    }
+
     /// Blocks until the client has acknowledged push `seq` (or
-    /// `deadline` passes — `false`, the subscriber must be
-    /// disconnected). The deadline is caller-supplied so one fan-out
-    /// can hold every subscriber to the same wall-clock cutoff.
+    /// `deadline` passes / the connection closes — `false`, the
+    /// subscriber must be disconnected). The deadline is
+    /// caller-supplied so one fan-out can hold every subscriber to the
+    /// same wall-clock cutoff.
     fn wait_acked_until(&self, seq: u64, deadline: Instant) -> bool {
         let mut acked = self.acked.lock().unwrap_or_else(|e| e.into_inner());
         while *acked < seq {
+            if self.closed.load(Ordering::Acquire) {
+                return false;
+            }
             let now = Instant::now();
             if now >= deadline {
                 return false;
@@ -174,12 +227,15 @@ impl Subscriber {
     }
 }
 
-/// What the writer thread sends next, in request order.
+/// What the write task sends next on the ordered lane, in request
+/// order. `id` is the v7 correlation id when the request arrived
+/// enveloped (`None` for bare requests — the answer goes out bare too).
 enum Outgoing {
-    /// An answer the reader produced inline (handshake, framing errors).
-    Ready(Response),
+    /// An answer the read task produced inline (handshake, framing and
+    /// envelope errors, subscriptions).
+    Ready { id: Option<u64>, response: Response },
     /// An answer the dispatcher will produce.
-    Pending(oneshot::Receiver<Response>),
+    Pending { id: Option<u64>, reply: oneshot::Receiver<Response> },
     /// Close the connection after everything queued so far is written.
     Close,
 }
@@ -191,7 +247,11 @@ struct ServerState {
     shutting_down: AtomicBool,
     /// Where the TCP listener ended up (None for in-process-only servers).
     tcp_addr: Option<SocketAddr>,
-    /// Close hooks + thread handles for every spawned connection.
+    /// The accept task's reactor registration; shutdown nudges it so an
+    /// idle listener wakes immediately instead of waiting for the next
+    /// connection to re-check the stop flag.
+    accept_reg: Option<Registration>,
+    /// Close hooks + task handles for every spawned connection.
     conns: Mutex<Vec<ConnEntry>>,
     metrics: Metrics,
     /// The server-side revocation ledger: every wire `Revoke` is
@@ -218,21 +278,21 @@ struct ServerState {
     /// advance the same [`SessionState`] the engine's in-process callers
     /// thread through `check_session`, so budgets/ordering/windows are
     /// enforced across a connection's whole conversation. Entries are
-    /// pruned when the connection's reader exits.
+    /// pruned when the connection's read task exits.
     sessions: Mutex<HashMap<(u64, EngineKey), SessionState>>,
     /// Connections subscribed to invalidation pushes, by connection id.
-    /// Fed by the reader (`Subscribe`/`PushAck` are handled inline, never
-    /// queued — the dispatcher may be *blocked* waiting for an ack, so
-    /// routing acks through its queue would deadlock); drained by the
-    /// reader's exit and by the fan-out force-closing unresponsive
-    /// subscribers.
+    /// Fed by the read task (`Subscribe`/`PushAck` are handled inline,
+    /// never queued — the dispatcher may be *blocked* waiting for an
+    /// ack, so routing acks through its queue would deadlock); drained
+    /// by the read task's exit and by the fan-out force-closing
+    /// unresponsive subscribers.
     subscribers: Mutex<HashMap<u64, Arc<Subscriber>>>,
 }
 
 struct ConnEntry {
     close: Box<dyn Fn() + Send>,
-    reader: thread::JoinHandle<()>,
-    writer: thread::JoinHandle<()>,
+    read: JoinHandle<()>,
+    write: JoinHandle<()>,
 }
 
 impl ServerState {
@@ -256,9 +316,12 @@ impl ServerState {
         if self.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        // Unblock the accept thread: it re-checks the flag per accept.
-        if let Some(addr) = self.tcp_addr {
-            let _ = TcpStream::connect(addr);
+        // Wake the accept task through the reactor: it re-checks the
+        // stop flag on every wakeup, so an *idle* listener shuts down
+        // immediately — no self-connect, no waiting for a straggler
+        // connection to arrive.
+        if let Some(reg) = &self.accept_reg {
+            reg.notify_readable();
         }
     }
 }
@@ -330,12 +393,20 @@ impl Server {
 
     fn build(
         engine: Arc<Engine>,
-        config: ServeConfig,
+        mut config: ServeConfig,
         listener: Option<TcpListener>,
         daemon: Option<Arc<LifecycleDaemon>>,
     ) -> std::io::Result<ServerHandle> {
-        let tcp_addr = match &listener {
-            Some(l) => Some(l.local_addr()?),
+        // See `ServeConfig::worker_threads`: one worker can be blocked
+        // by the dispatcher's ack wait, so there must always be another.
+        config.worker_threads = config.worker_threads.max(2);
+        let listener = match listener {
+            Some(listener) => {
+                listener.set_nonblocking(true)?;
+                let addr = listener.local_addr()?;
+                let reg = Reactor::global().register_fd(listener.as_raw_fd())?;
+                Some((listener, addr, reg))
+            }
             None => None,
         };
         let (jobs_tx, jobs_rx) = mpsc::unbounded();
@@ -344,7 +415,8 @@ impl Server {
             config,
             jobs: jobs_tx,
             shutting_down: AtomicBool::new(false),
-            tcp_addr,
+            tcp_addr: listener.as_ref().map(|(_, addr, _)| *addr),
+            accept_reg: listener.as_ref().map(|(_, _, reg)| reg.clone()),
             conns: Mutex::new(Vec::new()),
             metrics: Metrics::default(),
             ledger: daemon
@@ -370,12 +442,13 @@ impl Server {
                 fan_out_push(&state, event);
             }
         }));
-        let pool = ThreadPool::new(config.worker_threads);
+        let pool = Arc::new(ThreadPool::new(config.worker_threads));
         let dispatcher = Arc::clone(&state);
         pool.spawn(async move { dispatch(dispatcher, jobs_rx).await });
-        let accept = listener.map(|listener| {
+        let accept = listener.map(|(listener, _, reg)| {
             let state = Arc::clone(&state);
-            thread::spawn(move || accept_loop(state, listener))
+            let conn_pool = Arc::clone(&pool);
+            pool.spawn(accept_task(state, conn_pool, listener, reg))
         });
         Ok(ServerHandle { state, pool, accept })
     }
@@ -384,8 +457,8 @@ impl Server {
 /// A running server. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     state: Arc<ServerState>,
-    pool: ThreadPool,
-    accept: Option<thread::JoinHandle<()>>,
+    pool: Arc<ThreadPool>,
+    accept: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -399,12 +472,14 @@ impl ServerHandle {
         &self.state.engine
     }
 
-    /// Dispatcher counters (request/batch/coalescing totals so far).
+    /// Dispatcher counters (request/batch/coalescing totals so far),
+    /// plus the effective worker-pool size.
     pub fn metrics(&self) -> ServeMetrics {
         ServeMetrics {
             requests: self.state.metrics.requests.load(Ordering::Relaxed),
             batches: self.state.metrics.batches.load(Ordering::Relaxed),
             coalesced_checks: self.state.metrics.coalesced_checks.load(Ordering::Relaxed),
+            workers: self.state.config.worker_threads as u64,
         }
     }
 
@@ -451,7 +526,7 @@ impl ServerHandle {
             });
         }
         let (client_end, server_end) = duplex();
-        spawn_connection(&self.state, server_end);
+        spawn_connection(&self.state, &self.pool, server_end);
         Ok(client_end)
     }
 
@@ -462,7 +537,7 @@ impl ServerHandle {
     }
 
     /// Graceful shutdown: stop accepting, close every connection, join
-    /// all connection threads, finish queued dispatcher work, stop the
+    /// all connection tasks, finish queued dispatcher work, stop the
     /// executor.
     pub fn shutdown(self) {
         // Dropping runs the same sequence; this method exists so call
@@ -482,13 +557,15 @@ impl Drop for ServerHandle {
         for conn in &conns {
             (conn.close)();
         }
+        // The pool is still running here, so the connection tasks
+        // observe their close edges, drain, and complete.
         for conn in conns {
-            let _ = conn.reader.join();
-            let _ = conn.writer.join();
+            let _ = conn.read.join();
+            let _ = conn.write.join();
         }
-        // All readers are gone, so no new jobs can arrive; the pool lets
-        // the dispatcher finish anything already queued, then parks it,
-        // and shutdown cancels the parked task.
+        // All read tasks are gone, so no new jobs can arrive; the pool
+        // lets the dispatcher finish anything already queued, then parks
+        // it, and shutdown cancels the parked task.
         self.pool.shutdown();
         // Stop the daemon last: the dispatcher may have been feeding it
         // install/revoke notifications until the pool drained. The
@@ -499,19 +576,39 @@ impl Drop for ServerHandle {
     }
 }
 
-fn accept_loop(state: Arc<ServerState>, listener: TcpListener) {
-    for stream in listener.incoming() {
+/// Accepts TCP connections until shutdown. Parks on the reactor while
+/// the listener is idle; [`ServerState::initiate_shutdown`] wakes it
+/// with a manual readiness notify, so shutdown latency is bounded by a
+/// scheduler hop, not by the next incoming connection.
+async fn accept_task(
+    state: Arc<ServerState>,
+    pool: Arc<ThreadPool>,
+    listener: TcpListener,
+    reg: Registration,
+) {
+    loop {
         if state.shutting_down.load(Ordering::Acquire) {
             return;
         }
-        let Ok(stream) = stream else { continue };
-        let _ = stream.set_nodelay(true);
-        spawn_connection(&state, stream);
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                spawn_connection(&state, &pool, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => reg.readable().await,
+            // Transient per-connection accept failures (e.g. the peer
+            // aborted before we got to it): keep accepting.
+            Err(_) => {}
+        }
     }
 }
 
-fn spawn_connection<S: Stream>(state: &Arc<ServerState>, stream: S) {
-    let Ok(writer_stream) = stream.try_split() else {
+fn spawn_connection<S: Stream>(state: &Arc<ServerState>, pool: &ThreadPool, stream: S) {
+    let Ok(reg) = stream.register() else {
+        stream.close();
+        return;
+    };
+    let Ok(write_half) = stream.try_split() else {
         stream.close();
         return;
     };
@@ -519,76 +616,97 @@ fn spawn_connection<S: Stream>(state: &Arc<ServerState>, stream: S) {
         stream.close();
         return;
     };
-    // The write half is shared: the writer thread emits correlated
-    // responses through it, and — if this connection subscribes — the
-    // push fan-out emits unsolicited push frames through the same lock,
-    // so the two never interleave mid-frame.
-    let shared_writer: SharedWriter = Arc::new(Mutex::new(Box::new(writer_stream)));
-    // The close handle is shared the same way (ConnEntry, subscriber
-    // registration); `Stream` does not require `Sync`, so it travels in
-    // a mutex.
+    // The close handle is shared (ConnEntry, subscriber registration,
+    // both tasks); `Stream` does not require `Sync`, so it travels in a
+    // mutex.
     let close_handle = Arc::new(Mutex::new(close_handle));
     let close_fn: Arc<dyn Fn() + Send + Sync> = {
         let handle = Arc::clone(&close_handle);
         Arc::new(move || handle.lock().unwrap_or_else(|e| e.into_inner()).close())
     };
-    let (out_tx, out_rx) = std::sync::mpsc::channel::<Outgoing>();
-    let reader_state = Arc::clone(state);
-    let max_frame_len = state.config.max_frame_len;
+    let (ordered_tx, ordered_rx) = mpsc::unbounded();
+    let (push_tx, push_rx) = mpsc::unbounded();
     let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
-    let reader_writer = Arc::clone(&shared_writer);
-    let reader_close = Arc::clone(&close_fn);
-    let reader = thread::spawn(move || {
-        read_loop(reader_state, conn_id, stream, out_tx, reader_writer, reader_close)
-    });
-    let writer = thread::spawn(move || write_loop(shared_writer, out_rx, max_frame_len));
+    let max_frame_len = state.config.max_frame_len;
+    let read = pool.spawn(read_task(
+        Arc::clone(state),
+        conn_id,
+        NbReader::new(stream, reg.clone()),
+        ordered_tx,
+        push_tx.clone(),
+        Arc::clone(&close_fn),
+    ));
+    let write = pool.spawn(write_task(
+        NbWriter::new(write_half, reg),
+        ordered_rx,
+        push_rx,
+        push_tx,
+        max_frame_len,
+        Arc::clone(&close_fn),
+    ));
     let mut conns = state.conns.lock().unwrap_or_else(|e| e.into_inner());
-    // Reap connections whose threads have already exited — without this
+    // Reap connections whose tasks have already finished — without this
     // a long-running server accepting many short-lived connections would
-    // accumulate one entry (and two unjoined thread handles) apiece.
-    let (dead, alive): (Vec<ConnEntry>, Vec<ConnEntry>) =
-        conns.drain(..).partition(|conn| conn.reader.is_finished() && conn.writer.is_finished());
-    *conns = alive;
-    conns.push(ConnEntry { close: Box::new(move || close_fn()), reader, writer });
-    drop(conns);
-    for conn in dead {
-        let _ = conn.reader.join();
-        let _ = conn.writer.join();
-    }
+    // accumulate one entry apiece.
+    conns.retain(|conn| !(conn.read.is_finished() && conn.write.is_finished()));
+    conns.push(ConnEntry { close: Box::new(move || close_fn()), read, write });
 }
 
-fn read_loop<S: Stream>(
+async fn read_task<S: Stream>(
     state: Arc<ServerState>,
     conn_id: u64,
-    mut stream: S,
-    out: std::sync::mpsc::Sender<Outgoing>,
-    writer: SharedWriter,
+    mut reader: NbReader<S>,
+    out: mpsc::UnboundedSender<Outgoing>,
+    push_tx: mpsc::UnboundedSender<Frame>,
     close: Arc<dyn Fn() + Send + Sync>,
 ) {
     let max = state.config.max_frame_len;
     let mut greeted = false;
     loop {
-        let frame = match read_frame(&mut stream, max) {
+        let frame = match reader.read_frame(max).await {
             Ok(Some(frame)) => frame,
             // Clean EOF, or a truncated frame / transport error: either
             // way the conversation is over and there is nobody to answer.
             Ok(None) | Err(FrameReadError::Io(_)) => break,
             Err(e @ FrameReadError::Oversized { .. }) => {
-                let _ = out.send(Outgoing::Ready(Response::Error {
-                    code: code::FRAME_TOO_LARGE,
-                    message: e.to_string(),
-                }));
+                let _ = out.send(Outgoing::Ready {
+                    id: None,
+                    response: Response::Error {
+                        code: code::FRAME_TOO_LARGE,
+                        message: e.to_string(),
+                    },
+                });
                 let _ = out.send(Outgoing::Close);
                 break;
             }
             Err(e @ FrameReadError::Empty) => {
-                let _ = out.send(Outgoing::Ready(Response::Error {
-                    code: code::MALFORMED,
-                    message: e.to_string(),
-                }));
+                let _ = out.send(Outgoing::Ready {
+                    id: None,
+                    response: Response::Error { code: code::MALFORMED, message: e.to_string() },
+                });
                 let _ = out.send(Outgoing::Close);
                 break;
             }
+        };
+        // v7 envelope: split the correlation id off before decoding, so
+        // inner failures are answered inside the sender's envelope and a
+        // pipelining client can attribute them.
+        let (id, frame) = if frame.tag == TAG_TAGGED {
+            match unwrap_tagged(&frame) {
+                Ok((id, inner)) => (Some(id), inner),
+                Err(e) => {
+                    // The envelope itself is unusable (no trustworthy
+                    // id to echo): answer bare. The frame boundary is
+                    // intact, so the conversation continues.
+                    let _ = out.send(Outgoing::Ready {
+                        id: None,
+                        response: Response::Error { code: e.error_code(), message: e.to_string() },
+                    });
+                    continue;
+                }
+            }
+        } else {
+            (None, frame)
         };
         let request = match Request::decode(&frame) {
             Ok(request) => request,
@@ -596,10 +714,10 @@ fn read_loop<S: Stream>(
                 // Unknown tags and undecodable payloads are answered and
                 // the conversation continues — the frame boundary is
                 // intact, so the stream is still in sync.
-                let _ = out.send(Outgoing::Ready(Response::Error {
-                    code: e.error_code(),
-                    message: e.to_string(),
-                }));
+                let _ = out.send(Outgoing::Ready {
+                    id,
+                    response: Response::Error { code: e.error_code(), message: e.to_string() },
+                });
                 continue;
             }
         };
@@ -607,24 +725,32 @@ fn read_loop<S: Stream>(
             Request::Hello { version } => {
                 if version == PROTOCOL_VERSION {
                     greeted = true;
-                    let _ =
-                        out.send(Outgoing::Ready(Response::HelloOk { version: PROTOCOL_VERSION }));
+                    let _ = out.send(Outgoing::Ready {
+                        id,
+                        response: Response::HelloOk { version: PROTOCOL_VERSION },
+                    });
                 } else {
-                    let _ = out.send(Outgoing::Ready(Response::Error {
-                        code: code::UNSUPPORTED_VERSION,
-                        message: format!(
-                            "client speaks version {version}, server speaks {PROTOCOL_VERSION}"
-                        ),
-                    }));
+                    let _ = out.send(Outgoing::Ready {
+                        id,
+                        response: Response::Error {
+                            code: code::UNSUPPORTED_VERSION,
+                            message: format!(
+                                "client speaks version {version}, server speaks {PROTOCOL_VERSION}"
+                            ),
+                        },
+                    });
                     let _ = out.send(Outgoing::Close);
                     break;
                 }
             }
             _ if !greeted => {
-                let _ = out.send(Outgoing::Ready(Response::Error {
-                    code: code::HANDSHAKE_REQUIRED,
-                    message: "first frame must be Hello".into(),
-                }));
+                let _ = out.send(Outgoing::Ready {
+                    id,
+                    response: Response::Error {
+                        code: code::HANDSHAKE_REQUIRED,
+                        message: "first frame must be Hello".into(),
+                    },
+                });
                 let _ = out.send(Outgoing::Close);
                 break;
             }
@@ -635,14 +761,15 @@ fn read_loop<S: Stream>(
             Request::Subscribe { tenant } => {
                 let subscriber = Arc::new(Subscriber {
                     tenant,
-                    writer: Arc::clone(&writer),
+                    push_tx: push_tx.clone(),
                     close: Arc::clone(&close),
                     next_seq: AtomicU64::new(0),
                     acked: Mutex::new(0),
                     ack_cv: Condvar::new(),
+                    closed: AtomicBool::new(false),
                 });
                 state.subscribers().insert(conn_id, subscriber);
-                let _ = out.send(Outgoing::Ready(Response::Subscribed));
+                let _ = out.send(Outgoing::Ready { id, response: Response::Subscribed });
             }
             Request::PushAck { seq } => {
                 // Acks answer pushes; they get no response of their own.
@@ -655,74 +782,119 @@ fn read_loop<S: Stream>(
                 let (reply_tx, reply_rx) = oneshot::channel();
                 if state.jobs.send(Job { conn_id, request, reply: reply_tx }).is_err() {
                     // The dispatcher is gone: the server is shutting down.
-                    let _ = out.send(Outgoing::Ready(Response::Error {
-                        code: code::SHUTTING_DOWN,
-                        message: "server is shutting down".into(),
-                    }));
+                    let _ = out.send(Outgoing::Ready {
+                        id,
+                        response: Response::Error {
+                            code: code::SHUTTING_DOWN,
+                            message: "server is shutting down".into(),
+                        },
+                    });
                     let _ = out.send(Outgoing::Close);
                     break;
                 }
-                if out.send(Outgoing::Pending(reply_rx)).is_err() {
+                if out.send(Outgoing::Pending { id, reply: reply_rx }).is_err() {
                     break;
                 }
             }
         }
     }
     // The conversation is over, however it ended: drop the connection's
-    // trajectory sessions and its push subscription. (In-flight jobs
-    // already queued keep their group's session semantics; a *new*
-    // connection starts fresh because connection ids are never reused.)
-    state.subscribers().remove(&conn_id);
+    // trajectory sessions and its push subscription, waking any fan-out
+    // still waiting on this connection's ack. (In-flight jobs already
+    // queued keep their group's session semantics; a *new* connection
+    // starts fresh because connection ids are never reused.)
+    if let Some(subscriber) = state.subscribers().remove(&conn_id) {
+        subscriber.mark_closed();
+    }
     state.prune_conn(conn_id);
 }
 
-fn write_loop(stream: SharedWriter, out: std::sync::mpsc::Receiver<Outgoing>, max_len: u32) {
-    // The write half is locked per frame (never while blocked on a
-    // pending oneshot), so the push fan-out can interleave unsolicited
-    // push frames between — never inside — correlated responses.
-    for outgoing in out {
-        let response = match outgoing {
-            Outgoing::Ready(response) => response,
-            Outgoing::Pending(reply) => match futures::block_on(reply) {
-                Ok(response) => response,
-                // The dispatcher dropped the job (shutdown mid-flight);
-                // there is nothing left to say on this connection.
-                Err(_) => break,
-            },
-            Outgoing::Close => {
-                let mut stream = stream.lock().unwrap_or_else(|e| e.into_inner());
-                let _ = stream.flush();
-                stream.close();
-                break;
-            }
-        };
-        // Encode against the server's own frame cap: a response too big
-        // to send is downgraded to a (small) typed error in the same
-        // response slot, so ordering holds and the client learns *why*
-        // instead of watching the connection die. Under a pathologically
-        // tiny cap even the error may not fit — then the only honest
-        // move left is closing the connection (never a panic, never a
-        // silent skip that would desynchronise response ordering).
-        let frame = match response.encode_limited(max_len) {
-            Ok(frame) => frame,
-            Err(e) => {
-                let fallback = Response::Error { code: e.error_code(), message: e.to_string() };
-                match fallback.encode_limited(max_len) {
-                    Ok(frame) => frame,
-                    Err(_) => {
-                        let mut stream = stream.lock().unwrap_or_else(|e| e.into_inner());
-                        let _ = stream.flush();
-                        stream.close();
-                        break;
-                    }
+/// The connection's write half: drains two lanes with a **biased**
+/// select — the out-of-band push lane always wins ties over the ordered
+/// response lane, and keeps being serviced even while a dispatcher
+/// answer is pending (the dispatcher may be blocked on this very
+/// connection's push ack).
+async fn write_task<S: Stream>(
+    mut writer: NbWriter<S>,
+    mut ordered: mpsc::UnboundedReceiver<Outgoing>,
+    mut pushes: mpsc::UnboundedReceiver<Frame>,
+    // Held so the push lane never reads as "closed" mid-connection; the
+    // lane dies with this task.
+    _push_keepalive: mpsc::UnboundedSender<Frame>,
+    max_len: u32,
+    close: Arc<dyn Fn() + Send + Sync>,
+) {
+    'conn: loop {
+        match select2(pushes.recv(), ordered.recv()).await {
+            Either::Left(Some(push)) => {
+                if writer.write_frame(&push, max_len).await.is_err() {
+                    break 'conn;
                 }
             }
-        };
-        let mut stream = stream.lock().unwrap_or_else(|e| e.into_inner());
-        if write_frame(&mut *stream, &frame, max_len).is_err() {
-            break;
+            Either::Left(None) => unreachable!("the write task holds a push-lane sender"),
+            Either::Right(Some(Outgoing::Ready { id, response })) => {
+                if emit(&mut writer, &response, id, max_len).await.is_err() {
+                    break 'conn;
+                }
+            }
+            Either::Right(Some(Outgoing::Pending { id, mut reply })) => {
+                let response = loop {
+                    match select2(pushes.recv(), &mut reply).await {
+                        Either::Left(Some(push)) => {
+                            if writer.write_frame(&push, max_len).await.is_err() {
+                                break 'conn;
+                            }
+                        }
+                        Either::Left(None) => {
+                            unreachable!("the write task holds a push-lane sender")
+                        }
+                        Either::Right(Ok(response)) => break response,
+                        // The dispatcher dropped the job (shutdown
+                        // mid-flight); nothing left to say here.
+                        Either::Right(Err(_)) => break 'conn,
+                    }
+                };
+                if emit(&mut writer, &response, id, max_len).await.is_err() {
+                    break 'conn;
+                }
+            }
+            Either::Right(Some(Outgoing::Close)) | Either::Right(None) => break 'conn,
         }
     }
+    close();
+}
+
+/// Encodes and writes one correlated response. Encoding happens against
+/// the server's own frame cap — minus the 9-byte envelope header when
+/// the answer must be wrapped — and a response too big to send is
+/// downgraded to a (small) typed error in the same response slot, so
+/// ordering holds and the client learns *why* instead of watching the
+/// connection die. Under a pathologically tiny cap even the error may
+/// not fit — then the only honest move left is closing the connection
+/// (`Err`; never a panic, never a silent skip that would desynchronise
+/// response ordering).
+async fn emit<S: Stream>(
+    writer: &mut NbWriter<S>,
+    response: &Response,
+    id: Option<u64>,
+    max_len: u32,
+) -> Result<(), ()> {
+    let cap = if id.is_some() { max_len.saturating_sub(9) } else { max_len };
+    let frame = match response.encode_limited(cap) {
+        Ok(frame) => frame,
+        Err(e) => {
+            let fallback = Response::Error { code: e.error_code(), message: e.to_string() };
+            match fallback.encode_limited(cap) {
+                Ok(frame) => frame,
+                Err(_) => return Err(()),
+            }
+        }
+    };
+    let frame = match id {
+        Some(id) => wrap_tagged(id, &frame),
+        None => frame,
+    };
+    writer.write_frame(&frame, max_len).await.map_err(|_| ())
 }
 
 /// Forwards one engine invalidation to every subscriber of its tenant
@@ -731,9 +903,13 @@ fn write_loop(stream: SharedWriter, out: std::sync::mpsc::Receiver<Outgoing>, ma
 /// every healthy subscriber has applied the invalidation — that is what
 /// extends "once the revocation returns, no new check sees the stale
 /// snapshot" across subscribed caches. A subscriber that cannot take
-/// the push (write failure, encode failure, ack timeout) is
+/// the push (dead write lane, encode failure, ack timeout) is
 /// force-closed: its client observes the disconnect and flushes its
 /// whole cache, which is the fail-closed end of the same guarantee.
+///
+/// Push frames are never enveloped (they answer no request) and travel
+/// the out-of-band lane into each connection's write task, which
+/// services that lane even while a correlated response is pending.
 fn fan_out_push(state: &Arc<ServerState>, event: &Invalidation) {
     let targets: Vec<(u64, Arc<Subscriber>)> = state
         .subscribers()
@@ -741,7 +917,7 @@ fn fan_out_push(state: &Arc<ServerState>, event: &Invalidation) {
         .filter(|(_, sub)| sub.tenant == event.tenant())
         .map(|(id, sub)| (*id, Arc::clone(sub)))
         .collect();
-    // Write every push first, then await the acks: the subscribers
+    // Queue every push first, then await the acks: the subscribers
     // apply the invalidation concurrently instead of one ack round-trip
     // at a time.
     let mut awaiting = Vec::new();
@@ -762,21 +938,18 @@ fn fan_out_push(state: &Arc<ServerState>, event: &Invalidation) {
             }
             Invalidation::Flushed { tenant } => Response::PushFlush { seq, tenant: tenant.clone() },
         };
-        let written = match push.encode_limited(state.config.max_frame_len) {
-            Ok(frame) => {
-                let mut writer = subscriber.writer.lock().unwrap_or_else(|e| e.into_inner());
-                write_frame(&mut *writer, &frame, state.config.max_frame_len).is_ok()
-            }
+        let queued = match push.encode_limited(state.config.max_frame_len) {
+            Ok(frame) => subscriber.push_tx.send(frame).is_ok(),
             Err(_) => false,
         };
-        if written {
+        if queued {
             awaiting.push((conn_id, subscriber, seq));
         } else {
             drop_subscriber(state, conn_id, &subscriber);
         }
     }
     // One deadline shared by every subscriber of this event: the pushes
-    // were all written before the first wait, so the subscribers apply
+    // were all queued before the first wait, so the subscribers apply
     // concurrently and the worst-case stall for the mutating caller is
     // one `push_ack_timeout`, not one per slow subscriber.
     let deadline = Instant::now() + state.config.push_ack_timeout;
@@ -993,14 +1166,18 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                     Request::Stats { tenant } => {
                         let counters = engine.tenant_counters(&tenant);
                         let daemon = state.daemon.as_ref().map(|d| d.counters());
-                        let _ = job.reply.send(Response::StatsOk { counters, daemon });
+                        let _ = job.reply.send(Response::StatsOk {
+                            counters,
+                            daemon,
+                            workers: state.config.worker_threads as u64,
+                        });
                     }
                     Request::Shutdown => {
                         let _ = job.reply.send(Response::ShuttingDown);
                         state.initiate_shutdown();
                     }
                     Request::Hello { .. } => {
-                        // Handshakes are answered by the reader; one
+                        // Handshakes are answered by the read task; one
                         // reaching the dispatcher is a server bug, not a
                         // client error.
                         let _ = job.reply.send(Response::Error {
@@ -1010,8 +1187,8 @@ fn process_batch(state: &Arc<ServerState>, batch: Vec<Job>) {
                     }
                     Request::Subscribe { .. } | Request::PushAck { .. } => {
                         // Subscription traffic is answered inline by the
-                        // connection reader; one reaching the dispatcher
-                        // is a server bug, not a client error.
+                        // connection's read task; one reaching the
+                        // dispatcher is a server bug, not a client error.
                         let _ = job.reply.send(Response::Error {
                             code: code::MALFORMED,
                             message: "subscription frames are handled by the connection reader"

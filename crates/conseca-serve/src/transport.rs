@@ -1,25 +1,43 @@
 //! Byte transports the protocol runs over.
 //!
-//! The server splits every connection into a reader thread and a writer
-//! thread, so a transport must hand out a second handle to the same
-//! stream ([`Stream::try_split`]) and support an out-of-band close that
-//! unblocks a parked reader ([`Stream::close`]). Two transports are
-//! provided:
+//! The server drives every connection as a pair of cooperative tasks
+//! (read task, write task) on a small worker pool, so a transport must
+//! hand out a second handle to the same stream ([`Stream::try_split`]),
+//! support an out-of-band close that unblocks a parked reader
+//! ([`Stream::close`]), and plug into the readiness reactor
+//! ([`Stream::register`]) so those tasks can await I/O instead of
+//! parking threads. Two transports are provided:
 //!
-//! - [`std::net::TcpStream`] — the deployment transport;
+//! - [`std::net::TcpStream`] — the deployment transport; registration
+//!   flips the socket non-blocking and hands it to the epoll reactor;
 //! - [`DuplexStream`] — an in-process pipe pair for tests, benches, and
-//!   single-process deployments, with the same blocking `Read`/`Write`
-//!   semantics as a socket (EOF after close, `BrokenPipe` on writes to a
-//!   closed peer).
+//!   single-process deployments, with the same `Read`/`Write` semantics
+//!   as a socket (EOF after close, `BrokenPipe` on writes to a closed
+//!   peer). Registration attaches a *virtual* reactor registration: the
+//!   pipe notifies it on every write and close, so duplex connections
+//!   speak the exact readiness protocol sockets do.
+//!
+//! Unregistered streams keep their blocking behaviour — the sync client
+//! path still does plain blocking reads.
+//!
+//! `NbReader` / `NbWriter` adapt a registered stream to async frame
+//! I/O with the same framing semantics as [`wire::read_frame`](crate::wire::read_frame) /
+//! [`wire::write_frame`](crate::wire::write_frame).
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use futures::reactor::{Reactor, Registration};
+
+use crate::wire::{Frame, FrameReadError, FrameWriteError};
+
 /// A connection transport: a byte stream that can be split into
-/// independently owned reader/writer handles and closed out-of-band.
+/// independently owned reader/writer handles, closed out-of-band, and
+/// registered with the readiness reactor.
 pub trait Stream: Read + Write + Send + 'static {
     /// A second handle to the same underlying stream (reader/writer
     /// split).
@@ -32,8 +50,21 @@ pub trait Stream: Read + Write + Send + 'static {
         Self: Sized;
 
     /// Closes both directions: parked readers unblock with EOF, writers
-    /// fail with `BrokenPipe`.
+    /// fail with `BrokenPipe`. A registered stream's reactor
+    /// registration observes the close as a readiness edge.
     fn close(&self);
+
+    /// Registers the stream with the global reactor and switches it to
+    /// non-blocking mode. After this, reads and writes on **any handle
+    /// to the same underlying stream** may return `WouldBlock`; callers
+    /// must follow the reactor's attempt-then-await protocol (see
+    /// [`futures::reactor`]). Call once per connection and clone the
+    /// registration into the reader and writer tasks.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific registration failure.
+    fn register(&self) -> io::Result<Registration>;
 }
 
 impl Stream for TcpStream {
@@ -44,24 +75,39 @@ impl Stream for TcpStream {
     fn close(&self) {
         let _ = self.shutdown(std::net::Shutdown::Both);
     }
+
+    fn register(&self) -> io::Result<Registration> {
+        // Clones made by `try_split` share the file description, so the
+        // non-blocking flag and the epoll registration cover them all.
+        self.set_nonblocking(true)?;
+        Reactor::global().register_fd(self.as_raw_fd())
+    }
 }
 
 /// One direction of a duplex pipe.
 struct Pipe {
     state: Mutex<PipeState>,
     readable: Condvar,
+    /// When set, reads return `WouldBlock` instead of parking on the
+    /// condvar. Flipped by [`DuplexStream::register`] on the reading
+    /// end's inbound pipe only, so the peer keeps blocking semantics.
+    nonblocking: AtomicBool,
 }
 
 struct PipeState {
     buf: VecDeque<u8>,
     closed: bool,
+    /// Reactor registration of the end that reads this pipe; notified
+    /// on every write and close so a parked async reader wakes.
+    watcher: Option<Registration>,
 }
 
 impl Pipe {
     fn new() -> Arc<Self> {
         Arc::new(Pipe {
-            state: Mutex::new(PipeState { buf: VecDeque::new(), closed: false }),
+            state: Mutex::new(PipeState { buf: VecDeque::new(), closed: false, watcher: None }),
             readable: Condvar::new(),
+            nonblocking: AtomicBool::new(false),
         })
     }
 
@@ -70,18 +116,30 @@ impl Pipe {
     }
 
     fn close(&self) {
-        self.lock().closed = true;
+        let watcher = {
+            let mut state = self.lock();
+            state.closed = true;
+            state.watcher.clone()
+        };
         self.readable.notify_all();
+        if let Some(watcher) = watcher {
+            watcher.notify_readable();
+        }
     }
 
     fn write(&self, data: &[u8]) -> io::Result<usize> {
-        let mut state = self.lock();
-        if state.closed {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "duplex peer closed"));
-        }
-        state.buf.extend(data);
-        drop(state);
+        let watcher = {
+            let mut state = self.lock();
+            if state.closed {
+                return Err(io::Error::new(io::ErrorKind::BrokenPipe, "duplex peer closed"));
+            }
+            state.buf.extend(data);
+            state.watcher.clone()
+        };
         self.readable.notify_all();
+        if let Some(watcher) = watcher {
+            watcher.notify_readable();
+        }
         Ok(data.len())
     }
 
@@ -101,16 +159,20 @@ impl Pipe {
             if state.closed {
                 return Ok(0); // EOF
             }
+            if self.nonblocking.load(Ordering::Relaxed) {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "duplex would block"));
+            }
             state = self.readable.wait(state).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
 
-/// One end of an in-process, blocking, bidirectional byte stream.
+/// One end of an in-process, bidirectional byte stream.
 ///
 /// Clones share the same underlying pipes (like a `TcpStream` clone), so
 /// one clone can read while another writes. Dropping every clone of an
-/// end closes the stream for the peer.
+/// end closes the stream for the peer. Reads block until data arrives
+/// unless the end has been [`register`](Stream::register)ed.
 pub struct DuplexStream {
     read: Arc<Pipe>,
     write: Arc<Pipe>,
@@ -180,11 +242,159 @@ impl Stream for DuplexStream {
         self.write.close();
         self.read.close();
     }
+
+    fn register(&self) -> io::Result<Registration> {
+        let reg = Reactor::global().register_virtual();
+        self.read.lock().watcher = Some(reg.clone());
+        self.read.nonblocking.store(true, Ordering::Relaxed);
+        // Match epoll's ADD behaviour: report the current state as an
+        // initial edge, so data buffered (or a close) before
+        // registration is not lost, and the writer starts writable
+        // (duplex writes never block, but the protocol awaits
+        // writability only after `WouldBlock`, which duplex never
+        // returns — the initial edge keeps the bit trivially true).
+        reg.notify_all();
+        Ok(reg)
+    }
+}
+
+// ------------------------------------------------------ async frame I/O
+
+/// Async frame reader over a [`register`](Stream::register)ed stream.
+///
+/// [`read_frame`](Self::read_frame) mirrors [`wire::read_frame`](crate::wire::read_frame)
+/// exactly: `Ok(None)` for a clean close at a frame boundary,
+/// `UnexpectedEof` inside a frame, [`FrameReadError::Empty`] for a
+/// zero-length prefix, and [`FrameReadError::Oversized`] *before* the
+/// payload is read.
+pub(crate) struct NbReader<S> {
+    stream: S,
+    reg: Registration,
+}
+
+impl<S: Read> NbReader<S> {
+    pub(crate) fn new(stream: S, reg: Registration) -> Self {
+        NbReader { stream, reg }
+    }
+
+    /// One non-blocking read attempt, awaiting readiness on `WouldBlock`.
+    async fn read_some(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        loop {
+            match self.stream.read(buf) {
+                Ok(n) => return Ok(n),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.reg.readable().await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    async fn read_exact(&mut self, mut buf: &mut [u8]) -> io::Result<()> {
+        while !buf.is_empty() {
+            match self.read_some(buf).await? {
+                0 => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    ))
+                }
+                n => buf = &mut buf[n..],
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one frame; see the type docs for semantics.
+    pub(crate) async fn read_frame(
+        &mut self,
+        max_len: u32,
+    ) -> Result<Option<Frame>, FrameReadError> {
+        let mut len_bytes = [0u8; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            match self.read_some(&mut len_bytes[filled..]).await? {
+                0 if filled == 0 => return Ok(None),
+                0 => {
+                    return Err(FrameReadError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-length",
+                    )))
+                }
+                n => filled += n,
+            }
+        }
+        let len = u32::from_be_bytes(len_bytes);
+        if len == 0 {
+            return Err(FrameReadError::Empty);
+        }
+        if len > max_len {
+            return Err(FrameReadError::Oversized { len, max: max_len });
+        }
+        let mut tag = [0u8; 1];
+        self.read_exact(&mut tag).await?;
+        let mut payload = vec![0u8; len as usize - 1];
+        self.read_exact(&mut payload).await?;
+        Ok(Some(Frame { tag: tag[0], payload }))
+    }
+}
+
+/// Async frame writer over a [`register`](Stream::register)ed stream;
+/// the async twin of [`wire::write_frame`](crate::wire::write_frame), with the same encode-time
+/// length cap.
+pub(crate) struct NbWriter<S> {
+    stream: S,
+    reg: Registration,
+}
+
+impl<S: Write> NbWriter<S> {
+    pub(crate) fn new(stream: S, reg: Registration) -> Self {
+        NbWriter { stream, reg }
+    }
+
+    async fn write_all(&mut self, mut data: &[u8]) -> io::Result<()> {
+        while !data.is_empty() {
+            match self.stream.write(data) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "stream accepted zero bytes",
+                    ))
+                }
+                Ok(n) => data = &data[n..],
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => self.reg.writable().await,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.stream.flush()
+    }
+
+    /// Writes one frame, bound-checking the length against `max_len`
+    /// before any bytes go out (the [`wire::write_frame`](crate::wire::write_frame) contract).
+    pub(crate) async fn write_frame(
+        &mut self,
+        frame: &Frame,
+        max_len: u32,
+    ) -> Result<(), FrameWriteError> {
+        let len = 1u64 + frame.payload.len() as u64;
+        if len > max_len as u64 {
+            return Err(FrameWriteError::Oversized { len, max: max_len });
+        }
+        // One contiguous buffer so a frame is at most a handful of
+        // syscalls, not four tiny ones.
+        let mut buf = Vec::with_capacity(5 + frame.payload.len());
+        buf.extend_from_slice(&(len as u32).to_be_bytes());
+        buf.push(frame.tag);
+        buf.extend_from_slice(&frame.payload);
+        self.write_all(&buf).await?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use futures::block_on;
     use std::thread;
 
     #[test]
@@ -252,5 +462,128 @@ mod tests {
         // ...dropping the last closes it.
         drop(a);
         assert_eq!(b.read(&mut one).unwrap(), 0);
+    }
+
+    #[test]
+    fn registered_duplex_reads_would_block_instead_of_parking() {
+        let (a, mut b) = duplex();
+        let _reg = b.register().unwrap();
+        let mut buf = [0u8; 1];
+        let err = b.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+        // The peer keeps blocking semantics: its read pipe is untouched.
+        drop(a);
+        assert_eq!(b.read(&mut buf).unwrap(), 0, "EOF still beats WouldBlock");
+    }
+
+    #[test]
+    fn duplex_writes_wake_a_parked_async_reader() {
+        let (mut a, mut b) = duplex();
+        let reg = b.register().unwrap();
+        // Drain the initial registration edge first.
+        block_on(reg.readable());
+        let writer = thread::spawn(move || {
+            thread::sleep(std::time::Duration::from_millis(15));
+            a.write_all(b"zz").unwrap();
+            a
+        });
+        let mut buf = [0u8; 2];
+        block_on(async {
+            let mut filled = 0;
+            while filled < 2 {
+                match b.read(&mut buf[filled..]) {
+                    Ok(0) => panic!("unexpected EOF"),
+                    Ok(n) => filled += n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => reg.readable().await,
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        });
+        assert_eq!(&buf, b"zz");
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn nb_frame_io_roundtrips_over_duplex() {
+        let (a, b) = duplex();
+        let reg_a = a.register().unwrap();
+        let reg_b = b.register().unwrap();
+        let mut writer = NbWriter::new(a, reg_a);
+        let mut reader = NbReader::new(b, reg_b);
+        let frame = Frame { tag: 0x42, payload: vec![1, 2, 3, 4, 5] };
+        block_on(async {
+            writer.write_frame(&frame, 1024).await.unwrap();
+            let got = reader.read_frame(1024).await.unwrap().unwrap();
+            assert_eq!(got, frame);
+        });
+    }
+
+    #[test]
+    fn nb_reader_sees_clean_close_as_none_and_oversize_before_payload() {
+        let (a, b) = duplex();
+        let reg_b = b.register().unwrap();
+        let mut reader = NbReader::new(b, reg_b);
+        // An announced length over the cap errors without the payload.
+        let mut a2 = a.try_split().unwrap();
+        a2.write_all(&100u32.to_be_bytes()).unwrap();
+        block_on(async {
+            match reader.read_frame(10).await {
+                Err(FrameReadError::Oversized { len: 100, max: 10 }) => {}
+                other => panic!("expected Oversized, got {other:?}"),
+            }
+        });
+        // A clean close at a frame boundary is None.
+        let (a, b) = duplex();
+        let reg_b = b.register().unwrap();
+        let mut reader = NbReader::new(b, reg_b);
+        drop(a);
+        block_on(async {
+            assert!(reader.read_frame(10).await.unwrap().is_none());
+        });
+    }
+
+    #[test]
+    fn nb_reader_reports_truncated_frames() {
+        let (a, b) = duplex();
+        let reg_b = b.register().unwrap();
+        let mut reader = NbReader::new(b, reg_b);
+        let mut a2 = a.try_split().unwrap();
+        a2.write_all(&5u32.to_be_bytes()).unwrap();
+        a2.write_all(&[0x01, 0xAA]).unwrap(); // tag + 1 of 4 payload bytes
+        drop(a2);
+        drop(a);
+        block_on(async {
+            match reader.read_frame(1024).await {
+                Err(FrameReadError::Io(e)) => {
+                    assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof);
+                }
+                other => panic!("expected UnexpectedEof, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn nb_frame_io_roundtrips_over_tcp() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let reg_c = client.register().unwrap();
+        let reg_s = server.register().unwrap();
+        let mut writer = NbWriter::new(client, reg_c);
+        let mut reader = NbReader::new(server, reg_s);
+        let frame = Frame { tag: 0x07, payload: vec![9u8; 100_000] };
+        let send = frame.clone();
+        let writer_thread = thread::spawn(move || {
+            block_on(async move {
+                writer.write_frame(&send, 1 << 20).await.unwrap();
+            });
+        });
+        block_on(async {
+            let got = reader.read_frame(1 << 20).await.unwrap().unwrap();
+            assert_eq!(got.tag, frame.tag);
+            assert_eq!(got.payload.len(), frame.payload.len());
+        });
+        writer_thread.join().unwrap();
     }
 }

@@ -45,7 +45,18 @@ pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 /// are additive (receivers answer unknown tags with
 /// [`code::UNKNOWN_TAG`]).
 ///
-/// Version history: **6** extended `StatsOk` with the optional
+/// Version history: **7** added the pipelining envelope: a client may
+/// wrap any request in a `TAG_TAGGED`-framed envelope (an 8-byte
+/// big-endian correlation id followed by the complete inner frame —
+/// inner tag byte, then inner payload) and the server answers with the
+/// same id in a `TAG_TAGGED_OK` envelope, enabling many in-flight
+/// requests per connection with out-of-order-safe correlation (see
+/// [`wrap_tagged`] / [`unwrap_tagged`]; envelopes never nest, and
+/// server-initiated push frames are never enveloped — they answer no
+/// request). v7 also extended `StatsOk` with the server's worker-thread
+/// count (a payload change to an existing message, hence the bump).
+/// Bare unenveloped requests remain fully supported — the handshake
+/// itself and one-at-a-time sync clients stay untagged. **6** extended `StatsOk` with the optional
 /// lifecycle-daemon counter block (sweep/snapshot-tick/journal totals —
 /// a payload change to an existing message, hence the bump, exactly as
 /// v2's counters extension was) and added the [`code::PERSISTENCE`]
@@ -74,7 +85,7 @@ pub use conseca_core::codec::{WireError, MAX_PREDICATE_DEPTH};
 /// (a payload change to `StatsOk`, hence the bump) and added the
 /// `Revoke`/`Reload` hot-reload messages. **1** was the initial
 /// protocol.
-pub const PROTOCOL_VERSION: u16 = 6;
+pub const PROTOCOL_VERSION: u16 = 7;
 
 /// Default cap on `length` (tag + payload) a peer will accept. Frames
 /// above the cap are answered with [`code::FRAME_TOO_LARGE`] and the
@@ -136,6 +147,12 @@ pub(crate) const TAG_SNAPSHOT: u8 = 0x0B;
 pub(crate) const TAG_RESTORE: u8 = 0x0C;
 pub(crate) const TAG_SUBSCRIBE: u8 = 0x0D;
 pub(crate) const TAG_PUSH_ACK: u8 = 0x0E;
+/// v7 pipelining envelope (request direction): 8-byte big-endian
+/// correlation id, then the complete inner frame (tag byte + payload).
+/// Handled at the *frame* level — see [`wrap_tagged`] / [`unwrap_tagged`]
+/// — so every enveloped request decodes with the ordinary
+/// [`Request::decode`].
+pub(crate) const TAG_TAGGED: u8 = 0x0F;
 
 // Response tags.
 pub(crate) const TAG_HELLO_OK: u8 = 0x81;
@@ -151,6 +168,9 @@ pub(crate) const TAG_RELOADED: u8 = 0x8A;
 pub(crate) const TAG_SNAPSHOT_OK: u8 = 0x8B;
 pub(crate) const TAG_RESTORED: u8 = 0x8C;
 pub(crate) const TAG_SUBSCRIBED: u8 = 0x8D;
+/// v7 pipelining envelope (response direction); the answer to a
+/// [`TAG_TAGGED`] request, carrying the same correlation id.
+pub(crate) const TAG_TAGGED_OK: u8 = 0x8F;
 // Push tags (0x90 range): the only server-*initiated* frames in the
 // protocol. They share the response direction (and decoder) with the
 // correlated replies above, but a subscribed client's reader must
@@ -312,6 +332,50 @@ pub fn read_frame(r: &mut impl Read, max_len: u32) -> Result<Option<Frame>, Fram
     let mut payload = vec![0u8; len as usize - 1];
     r.read_exact(&mut payload)?;
     Ok(Some(Frame { tag: tag[0], payload }))
+}
+
+// ------------------------------------------------- v7 pipelining envelope
+
+/// Wraps a frame in a v7 pipelining envelope carrying correlation `id`.
+///
+/// The envelope direction follows the inner frame: requests (`0x01..`)
+/// wrap as `TAG_TAGGED`, responses (`0x81..`) as `TAG_TAGGED_OK`. The
+/// inner frame travels byte-identically (tag byte, then payload) after
+/// the 8-byte big-endian id, so enveloping adds exactly 9 bytes and the
+/// inner message decodes with the ordinary [`Request::decode`] /
+/// [`Response::decode`].
+pub fn wrap_tagged(id: u64, inner: &Frame) -> Frame {
+    let mut payload = Vec::with_capacity(9 + inner.payload.len());
+    payload.extend_from_slice(&id.to_be_bytes());
+    payload.push(inner.tag);
+    payload.extend_from_slice(&inner.payload);
+    let tag = if inner.tag & 0x80 != 0 { TAG_TAGGED_OK } else { TAG_TAGGED };
+    Frame { tag, payload }
+}
+
+/// Splits a v7 pipelining envelope into its correlation id and inner
+/// frame. The caller has already matched the outer tag
+/// (`TAG_TAGGED` / `TAG_TAGGED_OK`).
+///
+/// # Errors
+///
+/// [`WireError::Truncated`] when the payload is shorter than the 9-byte
+/// envelope header (id + inner tag), and [`WireError::UnknownEnumTag`]
+/// when the inner tag is itself an envelope — envelopes never nest.
+pub fn unwrap_tagged(frame: &Frame) -> Result<(u64, Frame), WireError> {
+    if frame.payload.len() < 9 {
+        return Err(WireError::Truncated { what: "tagged.envelope" });
+    }
+    let mut id_bytes = [0u8; 8];
+    id_bytes.copy_from_slice(&frame.payload[..8]);
+    let inner_tag = frame.payload[8];
+    if inner_tag == TAG_TAGGED || inner_tag == TAG_TAGGED_OK {
+        return Err(WireError::UnknownEnumTag { what: "tagged.inner_tag", tag: inner_tag });
+    }
+    Ok((
+        u64::from_be_bytes(id_bytes),
+        Frame { tag: inner_tag, payload: frame.payload[9..].to_vec() },
+    ))
 }
 
 // ---------------------------------------------------- shared field codecs
@@ -580,6 +644,9 @@ pub enum Response {
         /// Lifecycle-daemon counters, present when the server runs a
         /// [`LifecycleDaemon`](crate::daemon::LifecycleDaemon) (v6).
         daemon: Option<crate::daemon::DaemonCounters>,
+        /// Dispatcher worker threads the server runs (v7) — the
+        /// effective `ServeConfig::worker_threads` after clamping.
+        workers: u64,
     },
     /// Answer to [`Request::Shutdown`]; the server stops accepting new
     /// connections but serves existing ones until they close.
@@ -898,9 +965,10 @@ impl Response {
                 w.u64(*removed, "flushed.removed")?;
                 TAG_FLUSHED
             }
-            Response::StatsOk { counters, daemon } => {
+            Response::StatsOk { counters, daemon, workers } => {
                 put_counters(&mut w, counters)?;
                 put_daemon_counters(&mut w, daemon)?;
+                w.u64(*workers, "stats_ok.workers")?;
                 TAG_STATS_OK
             }
             Response::ShuttingDown => TAG_SHUTTING_DOWN,
@@ -1005,6 +1073,7 @@ impl Response {
             TAG_STATS_OK => Response::StatsOk {
                 counters: read_counters(&mut r)?,
                 daemon: read_daemon_counters(&mut r)?,
+                workers: r.u64("stats_ok.workers")?,
             },
             TAG_SHUTTING_DOWN => Response::ShuttingDown,
             TAG_REVOKED => Response::Revoked { removed: r.u64("revoked.removed")? },
@@ -1190,6 +1259,7 @@ mod tests {
                     revoked: 5,
                 },
                 daemon: None,
+                workers: 2,
             },
             Response::StatsOk {
                 counters: TenantCounters::default(),
@@ -1207,6 +1277,7 @@ mod tests {
                     recovered_skipped_revoked: 11,
                     io_errors: 12,
                 }),
+                workers: 8,
             },
             Response::ShuttingDown,
             Response::Revoked { removed: 2 },
@@ -1272,6 +1343,56 @@ mod tests {
         let mut frame = Request::Shutdown.encode();
         frame.payload.push(0);
         assert_eq!(Request::decode(&frame), Err(WireError::TrailingBytes { extra: 1 }));
+    }
+
+    #[test]
+    fn tagged_envelope_roundtrips_both_directions() {
+        let request = Request::Stats { tenant: "acme".into() };
+        let wrapped = wrap_tagged(0xDEAD_BEEF_0042, &request.encode());
+        assert_eq!(wrapped.tag, TAG_TAGGED, "request envelopes use the request-direction tag");
+        let (id, inner) = unwrap_tagged(&wrapped).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF_0042);
+        assert_eq!(Request::decode(&inner).unwrap(), request);
+
+        let response = Response::Flushed { removed: 3 };
+        let wrapped = wrap_tagged(7, &response.encode());
+        assert_eq!(wrapped.tag, TAG_TAGGED_OK, "response envelopes use the response-direction tag");
+        let (id, inner) = unwrap_tagged(&wrapped).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(Response::decode(&inner).unwrap(), response);
+    }
+
+    #[test]
+    fn tagged_envelope_adds_exactly_nine_bytes() {
+        let inner = Request::Subscribe { tenant: "t".into() }.encode();
+        let wrapped = wrap_tagged(1, &inner);
+        assert_eq!(wrapped.payload.len(), inner.payload.len() + 9);
+    }
+
+    #[test]
+    fn short_tagged_envelopes_are_structured_errors() {
+        // Anything under id (8) + inner tag (1) cannot carry a message.
+        for len in 0..9 {
+            let frame = Frame { tag: TAG_TAGGED, payload: vec![0u8; len] };
+            assert!(
+                matches!(unwrap_tagged(&frame), Err(WireError::Truncated { .. })),
+                "len {len} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn nested_tagged_envelopes_are_rejected() {
+        let once = wrap_tagged(1, &Request::Shutdown.encode());
+        let twice = wrap_tagged(2, &once);
+        assert!(matches!(unwrap_tagged(&twice), Err(WireError::UnknownEnumTag { .. })));
+        // Response direction nests are rejected the same way.
+        let once = wrap_tagged(1, &Response::ShuttingDown.encode());
+        let mut payload = 3u64.to_be_bytes().to_vec();
+        payload.push(once.tag);
+        payload.extend_from_slice(&once.payload);
+        let twice = Frame { tag: TAG_TAGGED_OK, payload };
+        assert!(matches!(unwrap_tagged(&twice), Err(WireError::UnknownEnumTag { .. })));
     }
 
     #[test]

@@ -110,6 +110,7 @@ fn sample_responses() -> Vec<Response> {
                 revoked: 1,
             },
             daemon: None,
+            workers: 2,
         },
         Response::StatsOk {
             counters: TenantCounters::default(),
@@ -127,6 +128,7 @@ fn sample_responses() -> Vec<Response> {
                 recovered_skipped_revoked: 11,
                 io_errors: 12,
             }),
+            workers: 8,
         },
         Response::Revoked { removed: 2 },
         Response::Reloaded { old_fingerprint: Some(9), fingerprint: 8, entries: 2 },

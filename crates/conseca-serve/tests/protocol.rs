@@ -645,6 +645,96 @@ fn wire_revocations_gate_restores_even_with_an_empty_request_set() {
     server.shutdown();
 }
 
+#[test]
+fn tagged_requests_are_answered_in_matching_envelopes_and_mix_with_bare() {
+    use conseca_serve::wire::{unwrap_tagged, wrap_tagged};
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    // Pipeline three frames — enveloped, bare, enveloped — before
+    // reading anything. Responses come back in order, each in the shape
+    // its request used.
+    let stats = Request::Stats { tenant: "acme".into() }.encode();
+    write_frame(&mut raw, &wrap_tagged(7, &stats), DEFAULT_MAX_FRAME_LEN).unwrap();
+    write_frame(&mut raw, &stats, DEFAULT_MAX_FRAME_LEN).unwrap();
+    write_frame(&mut raw, &wrap_tagged(u64::MAX, &stats), DEFAULT_MAX_FRAME_LEN).unwrap();
+
+    let first = read_frame(&mut raw, 1 << 20).unwrap().expect("first response");
+    let (id, inner) = unwrap_tagged(&first).expect("an enveloped response");
+    assert_eq!(id, 7);
+    assert!(matches!(Response::decode(&inner).unwrap(), Response::StatsOk { .. }));
+
+    assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }), "bare stays bare");
+
+    let third = read_frame(&mut raw, 1 << 20).unwrap().expect("third response");
+    let (id, inner) = unwrap_tagged(&third).expect("an enveloped response");
+    assert_eq!(id, u64::MAX);
+    assert!(matches!(Response::decode(&inner).unwrap(), Response::StatsOk { .. }));
+    server.shutdown();
+}
+
+#[test]
+fn tagged_decode_errors_come_back_in_the_senders_envelope() {
+    use conseca_serve::wire::{unwrap_tagged, wrap_tagged};
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    // An envelope whose inner frame has an unknown tag: the error must
+    // carry the correlation id, or a pipelining client cannot attribute
+    // it.
+    let bogus = Frame { tag: 0x7E, payload: vec![1, 2, 3] };
+    write_frame(&mut raw, &wrap_tagged(42, &bogus), DEFAULT_MAX_FRAME_LEN).unwrap();
+    let frame = read_frame(&mut raw, 1 << 20).unwrap().expect("a response");
+    let (id, inner) = unwrap_tagged(&frame).expect("enveloped error");
+    assert_eq!(id, 42);
+    match Response::decode(&inner).unwrap() {
+        Response::Error { code: c, .. } => assert_eq!(c, code::UNKNOWN_TAG),
+        other => panic!("expected UNKNOWN_TAG, got {other:?}"),
+    }
+    // The frame boundary was intact, so the connection continues.
+    write_frame(
+        &mut raw,
+        &Request::Stats { tenant: "acme".into() }.encode(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }));
+    server.shutdown();
+}
+
+#[test]
+fn unusable_envelopes_are_answered_bare_and_the_connection_continues() {
+    use conseca_serve::wire::{wrap_tagged, Frame};
+    let server = start();
+    let mut raw = server.connect_stream().unwrap();
+    greet(&mut raw);
+    // Envelope too short to carry an id (tag 0x0F, 3-byte payload): no
+    // trustworthy id to echo, so the answer is bare.
+    write_frame(&mut raw, &Frame { tag: 0x0F, payload: vec![1, 2, 3] }, DEFAULT_MAX_FRAME_LEN)
+        .unwrap();
+    match read_response(&mut raw) {
+        Response::Error { code: c, .. } => assert_eq!(c, code::MALFORMED),
+        other => panic!("expected MALFORMED, got {other:?}"),
+    }
+    // A nested envelope is rejected the same way.
+    let stats = Request::Stats { tenant: "acme".into() }.encode();
+    let nested = wrap_tagged(2, &wrap_tagged(1, &stats));
+    write_frame(&mut raw, &nested, DEFAULT_MAX_FRAME_LEN).unwrap();
+    match read_response(&mut raw) {
+        Response::Error { code: c, .. } => assert_eq!(c, code::MALFORMED),
+        other => panic!("expected MALFORMED, got {other:?}"),
+    }
+    // Both were frame-boundary-safe: the connection still serves.
+    write_frame(
+        &mut raw,
+        &Request::Stats { tenant: "acme".into() }.encode(),
+        DEFAULT_MAX_FRAME_LEN,
+    )
+    .unwrap();
+    assert!(matches!(read_response(&mut raw), Response::StatsOk { .. }));
+    server.shutdown();
+}
+
 fn budgeted_policy(budget: usize) -> Policy {
     use conseca_core::TrajectoryPolicy;
     let mut p = Policy::new("t");

@@ -1,0 +1,202 @@
+//! Load-shape tests for the event-driven serving core: connection
+//! counts far beyond the thread budget, deep pipelines on one socket,
+//! and adversarially reordered responses against the async client's
+//! correlation layer.
+
+use std::sync::Arc;
+
+use conseca_core::{ArgConstraint, Policy, PolicyEntry, TrustedContext};
+use conseca_engine::Engine;
+use conseca_serve::wire::{read_frame, unwrap_tagged, wrap_tagged, Request, Response};
+use conseca_serve::{transport::duplex, AsyncClient, ClientPool, ServeConfig, Server};
+use conseca_shell::ApiCall;
+
+fn policy() -> Policy {
+    let mut p = Policy::new("t");
+    p.set(
+        "send_email",
+        PolicyEntry::allow(vec![ArgConstraint::regex("^alice$").unwrap()], "alice sends"),
+    );
+    p
+}
+
+fn call(args: &[&str]) -> ApiCall {
+    ApiCall::new("test", "send_email", args.iter().map(|s| s.to_string()).collect())
+}
+
+fn ctx() -> TrustedContext {
+    TrustedContext::for_user("alice")
+}
+
+/// How many OS threads this process is running right now.
+fn thread_count() -> usize {
+    std::fs::read_dir("/proc/self/task").map(|entries| entries.count()).unwrap_or(0)
+}
+
+#[test]
+fn a_thousand_connections_cost_no_threads_and_counters_reconcile_exactly() {
+    const CONNS: usize = 1024;
+    const CHECKS_PER_CONN: usize = 2;
+    let engine = Arc::new(Engine::default());
+    let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+    {
+        let mut setup = server.connect().unwrap();
+        setup.install("acme", "t", &ctx(), &policy()).unwrap();
+    }
+    let context = ctx();
+    let baseline = thread_count();
+    assert!(baseline > 0, "/proc/self/task must be readable for this test");
+
+    // Open every connection up front and hold them all: a connection is
+    // two parked tasks, not a thread pair.
+    let mut clients = Vec::with_capacity(CONNS);
+    for _ in 0..CONNS {
+        clients.push(server.connect().expect("connect"));
+    }
+    let with_all_open = thread_count();
+    assert!(
+        with_all_open <= baseline + 4,
+        "{CONNS} open connections grew the thread count from {baseline} to {with_all_open}; \
+         the serving core must be O(workers), not O(connections)"
+    );
+
+    // Every connection does real work while all the others stay open,
+    // and every decision is billed exactly once.
+    let mut allowed = 0u64;
+    let mut denied = 0u64;
+    for (i, client) in clients.iter_mut().enumerate() {
+        for j in 0..CHECKS_PER_CONN {
+            let args: &[&str] = if (i + j) % 2 == 0 { &["alice"] } else { &["eve"] };
+            let decision =
+                client.check("acme", "t", &context, &call(args)).expect("transport").expect("hit");
+            if decision.allowed {
+                allowed += 1;
+            } else {
+                denied += 1;
+            }
+        }
+    }
+    let total = (CONNS * CHECKS_PER_CONN) as u64;
+    assert_eq!(allowed + denied, total);
+    assert_eq!(allowed, total / 2);
+    let counters = engine.tenant_counters("acme");
+    assert_eq!(counters.checks, total, "every check billed exactly once");
+    assert_eq!((counters.allowed, counters.denied), (allowed, denied));
+
+    drop(clients);
+    server.shutdown();
+}
+
+#[test]
+fn a_pipelined_client_sustains_hundreds_in_flight_on_one_socket() {
+    const IN_FLIGHT: usize = 256;
+    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+    let client = AsyncClient::over(server.connect_stream().unwrap()).expect("handshake");
+    let context = ctx();
+    client.install("acme", "t", &context, &policy()).expect("submit").wait().expect("install");
+
+    // All submitted before the first wait: one socket, IN_FLIGHT
+    // correlated requests outstanding at once.
+    let pending: Vec<_> = (0..IN_FLIGHT)
+        .map(|i| {
+            let args: &[&str] = if i % 2 == 0 { &["alice"] } else { &["eve"] };
+            (i, client.check("acme", "t", &context, &call(args)).expect("submit"))
+        })
+        .collect();
+    for (i, p) in pending {
+        let decision = p.wait().expect("verdict").expect("policy installed");
+        assert_eq!(
+            decision.allowed,
+            i % 2 == 0,
+            "response for request {i} was matched to the wrong request"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn correlation_survives_adversarially_reordered_responses() {
+    // A mock server that answers out of order on purpose: it buffers
+    // every window of requests and replies to it *reversed*. Each
+    // request carries a distinct value (the tenant name) that its
+    // response echoes (as Flushed.removed), so any mismatched
+    // correlation is caught exactly.
+    const WINDOW: usize = 16;
+    const REQUESTS: usize = 512; // a multiple of WINDOW
+
+    let (client_end, server_end) = duplex();
+    let mock = std::thread::spawn(move || {
+        let mut stream = server_end;
+        let max = conseca_serve::wire::DEFAULT_MAX_FRAME_LEN;
+        // Bare handshake, exactly like the real server.
+        let hello = read_frame(&mut stream, max).unwrap().expect("hello");
+        assert!(matches!(Request::decode(&hello).unwrap(), Request::Hello { .. }));
+        conseca_serve::wire::write_frame(
+            &mut stream,
+            &Response::HelloOk { version: conseca_serve::PROTOCOL_VERSION }.encode(),
+            max,
+        )
+        .unwrap();
+        let mut window = Vec::with_capacity(WINDOW);
+        while let Ok(Some(frame)) = read_frame(&mut stream, max) {
+            let (id, inner) = unwrap_tagged(&frame).expect("an enveloped request");
+            let Request::Flush { tenant } = Request::decode(&inner).unwrap() else {
+                panic!("the fuzz driver only sends Flush")
+            };
+            let value: u64 = tenant.parse().expect("numeric tenant");
+            window.push((id, value));
+            if window.len() == WINDOW {
+                for (id, value) in window.drain(..).rev() {
+                    let reply = wrap_tagged(id, &Response::Flushed { removed: value }.encode());
+                    conseca_serve::wire::write_frame(&mut stream, &reply, max).unwrap();
+                }
+            }
+        }
+        assert!(window.is_empty(), "the client closed with an unanswered partial window");
+    });
+
+    let client = AsyncClient::over(client_end).expect("handshake");
+    let pending: Vec<_> =
+        (0..REQUESTS as u64).map(|i| (i, client.flush(&i.to_string()).expect("submit"))).collect();
+    for (i, p) in pending {
+        assert_eq!(p.wait().expect("response"), i, "response routed to the wrong request");
+    }
+    client.close();
+    mock.join().expect("mock server");
+}
+
+#[test]
+fn a_client_pool_keeps_policy_keys_affine_and_checks_correct() {
+    let server = Server::start(Arc::new(Engine::default()), ServeConfig::default());
+    let clients: Vec<AsyncClient> = (0..4)
+        .map(|_| AsyncClient::over(server.connect_stream().unwrap()).expect("handshake"))
+        .collect();
+    let pool = ClientPool::from_clients(clients);
+    assert_eq!(pool.size(), 4);
+    let context = ctx();
+
+    // Install through the key's affine connection; checks for the same
+    // key route to the same place, whatever thread asks.
+    pool.client_for("acme", "t", &context)
+        .install("acme", "t", &context, &policy())
+        .expect("submit")
+        .wait()
+        .expect("install");
+    let pending: Vec<_> = (0..64)
+        .map(|i| {
+            let args: &[&str] = if i % 2 == 0 { &["alice"] } else { &["eve"] };
+            (i, pool.check("acme", "t", &context, &call(args)).expect("submit"))
+        })
+        .collect();
+    for (i, p) in pending {
+        let decision = p.wait().expect("verdict").expect("policy installed");
+        assert_eq!(decision.allowed, i % 2 == 0);
+    }
+
+    // Affinity is deterministic: the same key always names the same
+    // connection (pointer identity).
+    let a = pool.client_for("acme", "t", &context) as *const _;
+    let b = pool.client_for("acme", "t", &context) as *const _;
+    assert_eq!(a, b, "one key must always route to one connection");
+    server.shutdown();
+}
